@@ -1,0 +1,79 @@
+// Ablation for §5.4: design space exploration.
+//
+// Sweeps the number of computing units and the scratchpad size on the hoisted
+// bootstrapping workload, reporting runtime, area, performance per area and
+// memory stalls — showing why 128 units with 512 KB scratchpads (64 + 2 MB
+// total SRAM) is the chosen configuration.
+#include <cstdio>
+
+#include "arch/area_model.h"
+#include "bench_util.h"
+#include "sim/alchemist_sim.h"
+#include "workloads/ckks_workloads.h"
+#include "workloads/tfhe_workloads.h"
+
+int main() {
+  using namespace alchemist;
+  workloads::CkksWl w = workloads::CkksWl::paper(44);
+  w.hbm_stream_fraction = 0.05;
+  const auto boot = workloads::build_bootstrapping(w, true);
+
+  bench::print_header("Ablation (Sec. 5.4) - units sweep on bootstrapping");
+  std::printf("%-8s %-12s %-12s %-14s %-10s\n", "units", "time (ms)",
+              "area (mm^2)", "perf/area", "util");
+  double best_ppa = 0;
+  std::size_t best_units = 0;
+  for (std::size_t units : {32, 64, 128, 256, 512}) {
+    arch::ArchConfig cfg = arch::ArchConfig::alchemist();
+    cfg.num_units = units;
+    const auto r = sim::simulate_alchemist(boot, cfg);
+    const double area = arch::area_model(cfg).total_mm2;
+    const double ppa = 1e6 / r.time_us / area;
+    std::printf("%-8zu %-12.3f %-12.1f %-14.4f %-10.2f%s\n", units,
+                r.time_us / 1e3, area, ppa, r.utilization,
+                units == 128 ? "  <- paper config" : "");
+    if (ppa > best_ppa) {
+      best_ppa = ppa;
+      best_units = units;
+    }
+  }
+  std::printf("Best perf/area at %zu units.\n", best_units);
+
+  bench::print_header(
+      "Ablation (Sec. 5.4) - units sweep on TFHE-PBS (N=1024, batch=4)");
+  std::printf("%-8s %-12s %-10s\n", "units", "time (us)", "util");
+  workloads::TfheWl pbs_wl = workloads::TfheWl::set_i();
+  pbs_wl.batch = 4;
+  pbs_wl.hbm_stream_fraction = 0.0;
+  const auto pbs = workloads::build_pbs(pbs_wl);
+  for (std::size_t units : {32, 64, 128, 256, 512}) {
+    arch::ArchConfig cfg = arch::ArchConfig::alchemist();
+    cfg.num_units = units;
+    const auto r = sim::simulate_alchemist(pbs, cfg);
+    std::printf("%-8zu %-12.1f %-10.2f%s\n", units, r.time_us, r.utilization,
+                units == 128 ? "  <- last config that stays full on N=2^10" : "");
+  }
+  std::printf("Cross-scheme constraint: beyond 128 units the short logic-FHE\n"
+              "polynomials cannot fill the machine - the paper's 128-unit choice.\n");
+
+  bench::print_header("Ablation (Sec. 5.4) - on-chip SRAM: key residency");
+  std::printf("%-14s %-18s %-12s %-10s\n", "SRAM (MB)", "stream fraction",
+              "time (ms)", "stall kcyc");
+  // Working set: the evaluation keys touched by the workload (~130 MB per key
+  // at L=44). SRAM below the working set streams the difference from HBM.
+  const double working_set_mb = 130.0;
+  for (double sram_mb : {16.0, 32.0, 66.0, 128.0, 180.0}) {
+    workloads::CkksWl ws = workloads::CkksWl::paper(44);
+    ws.hbm_stream_fraction =
+        sram_mb >= working_set_mb ? 0.0 : 1.0 - sram_mb / working_set_mb;
+    const auto g = workloads::build_bootstrapping(ws, true);
+    const auto r = sim::simulate_alchemist(g, arch::ArchConfig::alchemist());
+    std::printf("%-14.0f %-18.2f %-12.3f %-10llu\n", sram_mb,
+                ws.hbm_stream_fraction, r.time_us / 1e3,
+                static_cast<unsigned long long>(r.mem_stall_cycles / 1000));
+  }
+  bench::print_footnote(
+      "66 MB (paper config) keeps streaming within the 1 TB/s budget: stalls "
+      "vanish well before SHARP's 180 MB");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces Figure 1: operator ratio (NTT / Bconv / DecompPolyMult) per
+// workload and overall hardware utilization of Alchemist vs the modular
+// baselines on the same workloads.
+#include <cstdio>
+
+#include "arch/baselines.h"
+#include "arch/config.h"
+#include "bench_util.h"
+#include "metaop/mult_count.h"
+#include "sim/alchemist_sim.h"
+#include "sim/baseline_sim.h"
+#include "workloads/bfv_workloads.h"
+#include "workloads/ckks_workloads.h"
+#include "workloads/tfhe_workloads.h"
+
+namespace {
+
+using namespace alchemist;
+
+workloads::CkksWl resident(std::size_t level) {
+  workloads::CkksWl w = workloads::CkksWl::paper(level);
+  w.hbm_stream_fraction = 0.05;  // application steady state: keys reused
+  return w;
+}
+
+void report(const char* name, const metaop::OpGraph& g, bool ckks) {
+  const auto mults = metaop::class_mults(g, /*meta=*/true);
+  const double total =
+      static_cast<double>(mults[0] + mults[1] + mults[2] + mults[3]);
+  const auto alch = sim::simulate_alchemist(g, arch::ArchConfig::alchemist());
+  double sharp_util = 0, clake_util = 0, matcha_util = 0, strix_util = 0;
+  if (ckks) {
+    sharp_util = sim::simulate_modular(g, arch::spec_by_name("SHARP")).utilization;
+    clake_util =
+        sim::simulate_modular(g, arch::spec_by_name("CraterLake")).utilization;
+  } else {
+    matcha_util = sim::simulate_modular(g, arch::spec_by_name("Matcha")).utilization;
+    strix_util = sim::simulate_modular(g, arch::spec_by_name("Strix")).utilization;
+  }
+  std::printf("%-14s | %5.1f%% %6.1f%% %6.1f%% %5.1f%% | %5.2f ", name,
+              100.0 * mults[0] / total, 100.0 * mults[1] / total,
+              100.0 * mults[2] / total, 100.0 * mults[3] / total,
+              alch.utilization);
+  if (ckks) {
+    std::printf("%9.2f %9.2f %8s %8s\n", sharp_util, clake_util, "-", "-");
+  } else {
+    std::printf("%9s %9s %8.2f %8.2f\n", "-", "-", matcha_util, strix_util);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 1 - Operator ratio per workload and overall HW utilization");
+  std::printf("%-14s | %-28s | %-5s %-9s %-9s %-8s %-8s\n", "Workload",
+              "NTT  Bconv  DecompPM  Elem", "Alch", "SHARP", "CLake", "Matcha",
+              "Strix");
+
+  report("TFHE-PBS", workloads::build_pbs(workloads::TfheWl::set_i()), false);
+  for (std::size_t level : {8, 16, 24}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "Cmult-L=%zu", level);
+    report(name, workloads::build_cmult(resident(level)), true);
+  }
+  for (std::size_t level : {24, 34, 44}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "BSP-L=%zu", level);
+    report(name, workloads::build_bootstrapping(resident(level), false), true);
+  }
+  report("BSP-L=44+", workloads::build_bootstrapping(resident(44), true), true);
+  // Extension beyond the paper's figure: BFV maps onto the same classes.
+  workloads::BfvWl bfv;
+  bfv.hbm_stream_fraction = 0.05;
+  report("BFV-Cmult*", workloads::build_bfv_cmult(bfv), true);
+
+  bench::print_footnote(
+      "paper: no prior ASIC keeps utilization high across all columns; "
+      "Alchemist stays ~0.85 while modular designs drop below ~0.55. "
+      "(* = our extension: BFV, the paper's other arithmetic scheme)");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces Figure 6(b): TFHE programmable-bootstrapping throughput on the
+// two parameter sets of §6.2.2 — Alchemist vs modeled Matcha/Strix, with the
+// paper's Concrete (CPU) and NuFHE (GPU) speedup references, plus our own
+// measured software PBS as the CPU point.
+#include <chrono>
+#include <cstdio>
+
+#include "arch/area_model.h"
+#include "arch/baselines.h"
+#include "arch/config.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "sim/alchemist_sim.h"
+#include "sim/baseline_sim.h"
+#include "tfhe/bootstrap.h"
+#include "workloads/tfhe_workloads.h"
+
+namespace {
+
+using namespace alchemist;
+
+// Measure one software PBS on this machine (single thread) — our "Concrete"
+// stand-in: the same role the paper's CPU baseline plays.
+double measure_cpu_pbs_us() {
+  Rng rng(42);
+  const tfhe::TfheParams params = tfhe::TfheParams::set_i();
+  const tfhe::LweKey lwe_key = tfhe::lwe_keygen(params.n_lwe, rng);
+  const tfhe::TrlweKey trlwe_key = tfhe::trlwe_keygen(params, rng);
+  const tfhe::BootstrapContext ctx =
+      tfhe::make_bootstrap_context(params, lwe_key, trlwe_key, rng);
+  const tfhe::LweSample in = tfhe::encrypt_bit(true, lwe_key, params.lwe_sigma, rng);
+  const tfhe::TorusPoly tv =
+      tfhe::make_constant_test_poly(params.degree, u64{1} << 61);
+  const auto start = std::chrono::steady_clock::now();
+  const int iters = 3;
+  for (int i = 0; i < iters; ++i) {
+    (void)tfhe::programmable_bootstrap(in, tv, ctx);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(stop - start).count() / iters;
+}
+
+void report(const char* name, workloads::TfheWl w) {
+  const auto cfg = arch::ArchConfig::alchemist();
+  // Per-accelerator key residency: cached fraction = on-chip MB / BK MB.
+  auto stream_fraction = [&](double onchip_mb) {
+    const double bk_mb = w.bk_bytes() / 1e6;
+    return bk_mb <= onchip_mb ? 0.0 : 1.0 - onchip_mb / bk_mb;
+  };
+
+  workloads::TfheWl wa = w;
+  wa.hbm_stream_fraction = stream_fraction(66.0 * 0.5);  // half the SRAM for BK
+  const auto alch = sim::simulate_alchemist(workloads::build_pbs(wa), cfg);
+
+  workloads::TfheWl wm = w;
+  wm.hbm_stream_fraction = stream_fraction(arch::spec_by_name("Matcha").onchip_mem_mb);
+  const auto matcha =
+      sim::simulate_modular(workloads::build_pbs(wm), arch::spec_by_name("Matcha"));
+
+  workloads::TfheWl ws = w;
+  ws.hbm_stream_fraction = stream_fraction(arch::spec_by_name("Strix").onchip_mem_mb);
+  const auto strix =
+      sim::simulate_modular(workloads::build_pbs(ws), arch::spec_by_name("Strix"));
+
+  const double batch = static_cast<double>(w.batch);
+  const double alch_tput = batch * 1e6 / alch.time_us;
+  const double matcha_tput = batch * 1e6 / matcha.time_us;
+  const double strix_tput = batch * 1e6 / strix.time_us;
+  std::printf("%-22s %10s %12s %12s   speedup: %.1fx / %.1fx\n", name,
+              bench::format_rate(alch_tput).c_str(),
+              bench::format_rate(matcha_tput).c_str(),
+              bench::format_rate(strix_tput).c_str(), alch_tput / matcha_tput,
+              alch_tput / strix_tput);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 6(b) - TFHE programmable bootstrapping throughput");
+  std::printf("%-22s %10s %12s %12s\n", "Params (PBS/s)", "Alchemist",
+              "Matcha(mdl)", "Strix(mdl)");
+  report("Set I  (N=1024,l=3)", workloads::TfheWl::set_i());
+  report("Set II (N=2048,l=2)", workloads::TfheWl::set_ii());
+
+  const double cpu_us = measure_cpu_pbs_us();
+  std::printf("\nSoftware PBS on this CPU (set I): %.1f ms -> %.1f PBS/s\n",
+              cpu_us / 1e3, 1e6 / cpu_us);
+  {
+    workloads::TfheWl w = workloads::TfheWl::set_i();
+    w.hbm_stream_fraction = 0.0;
+    const auto alch = sim::simulate_alchemist(workloads::build_pbs(w),
+                                              arch::ArchConfig::alchemist());
+    const double alch_tput = w.batch * 1e6 / alch.time_us;
+    std::printf("Alchemist vs this CPU: %.0fx   (paper: ~1600x vs Concrete, "
+                "105x vs NuFHE)\n", alch_tput / (1e6 / cpu_us));
+  }
+  std::printf("Paper: 7.0x average speedup vs the TFHE ASICs at comparable "
+              "perf/area.\n");
+  return 0;
+}

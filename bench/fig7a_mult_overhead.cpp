@@ -1,0 +1,40 @@
+// Reproduces Figure 7(a): computation overhead (word multiplications) of the
+// benchmark workloads with and without the (M_j A_j)_n R_j transformation.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "metaop/mult_count.h"
+#include "workloads/ckks_workloads.h"
+#include "workloads/tfhe_workloads.h"
+
+namespace {
+
+using namespace alchemist;
+
+void report(const char* name, const metaop::OpGraph& g, double paper_change) {
+  const auto c = metaop::count(g);
+  std::printf("%-24s %14llu %14llu %+8.1f%%  (paper: %+.1f%%)\n", name,
+              static_cast<unsigned long long>(c.origin),
+              static_cast<unsigned long long>(c.meta),
+              100.0 * c.relative_change(), paper_change);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 7(a) - Multiplications w/o and w/ (M_j A_j)_n R_j");
+  std::printf("%-24s %14s %14s %9s\n", "Workload", "origin", "Meta-OP", "change");
+
+  report("TFHE-PBS", workloads::build_pbs(workloads::TfheWl::set_i()), -3.4);
+  report("Cmult L=24", workloads::build_cmult(workloads::CkksWl::paper(24)), -23.3);
+  report("BSP L=44 (+hoisting)",
+         workloads::build_bootstrapping(workloads::CkksWl::paper(44), true), -37.1);
+
+  bench::print_footnote(
+      "shape check: TFHE saves least (NTT-dominated, +11% per butterfly), the "
+      "deep CKKS workloads save most (Bconv/DecompPolyMult dominated). "
+      "Absolute percentages differ from the paper because the exact op "
+      "schedule of their compiler is not public; see EXPERIMENTS.md.");
+  return 0;
+}

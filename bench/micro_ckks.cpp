@@ -1,0 +1,107 @@
+// Microbenchmarks of the software CKKS library — the measured single-thread
+// CPU costs behind Table 7's CPU column (at reduced, test-scale parameters).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keygen.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace alchemist;
+using namespace alchemist::ckks;
+
+struct Env {
+  ContextPtr ctx;
+  std::unique_ptr<CkksEncoder> encoder;
+  std::unique_ptr<KeyGenerator> keygen;
+  std::unique_ptr<Encryptor> encryptor;
+  std::unique_ptr<Evaluator> evaluator;
+  RelinKeys rk;
+  GaloisKeys gk;
+  Ciphertext ct;
+  Plaintext pt;
+
+  explicit Env(std::size_t n) {
+    ctx = std::make_shared<CkksContext>(CkksParams::toy(n, 4, 2));
+    encoder = std::make_unique<CkksEncoder>(ctx);
+    keygen = std::make_unique<KeyGenerator>(ctx, 7);
+    encryptor = std::make_unique<Encryptor>(ctx, keygen->make_public_key());
+    evaluator = std::make_unique<Evaluator>(ctx);
+    rk = keygen->make_relin_keys();
+    gk = keygen->make_galois_keys({1});
+    Rng rng(1);
+    std::vector<double> values(ctx->params().slots());
+    for (double& v : values) v = rng.uniform_real();
+    pt = encoder->encode(std::span<const double>(values), 4, ctx->params().scale());
+    ct = encryptor->encrypt(pt);
+  }
+};
+
+Env& env(std::size_t n) {
+  static std::map<std::size_t, std::unique_ptr<Env>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) it = cache.emplace(n, std::make_unique<Env>(n)).first;
+  return *it->second;
+}
+
+void BM_CkksEncode(benchmark::State& state) {
+  Env& e = env(static_cast<std::size_t>(state.range(0)));
+  Rng rng(2);
+  std::vector<double> values(e.ctx->params().slots());
+  for (double& v : values) v = rng.uniform_real();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.encoder->encode(std::span<const double>(values), 4,
+                                               e.ctx->params().scale()));
+  }
+}
+BENCHMARK(BM_CkksEncode)->Arg(1024)->Arg(4096);
+
+void BM_CkksEncrypt(benchmark::State& state) {
+  Env& e = env(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.encryptor->encrypt(e.pt));
+  }
+}
+BENCHMARK(BM_CkksEncrypt)->Arg(2048);
+
+void BM_CkksHadd(benchmark::State& state) {
+  Env& e = env(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.evaluator->add(e.ct, e.ct));
+  }
+}
+BENCHMARK(BM_CkksHadd)->Arg(2048)->Arg(8192);
+
+void BM_CkksPmult(benchmark::State& state) {
+  Env& e = env(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.evaluator->mul_plain(e.ct, e.pt));
+  }
+}
+BENCHMARK(BM_CkksPmult)->Arg(2048)->Arg(8192);
+
+void BM_CkksCmultRelinRescale(benchmark::State& state) {
+  Env& e = env(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        e.evaluator->rescale(e.evaluator->multiply(e.ct, e.ct, e.rk)));
+  }
+}
+BENCHMARK(BM_CkksCmultRelinRescale)->Arg(2048)->Arg(8192);
+
+void BM_CkksRotation(benchmark::State& state) {
+  Env& e = env(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.evaluator->rotate(e.ct, 1, e.gk));
+  }
+}
+BENCHMARK(BM_CkksRotation)->Arg(2048)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Microbenchmarks of the modular-arithmetic substrate (google-benchmark).
+// These measured rates calibrate the CPU baseline of Table 7.
+#include <benchmark/benchmark.h>
+
+#include "common/modarith.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace alchemist;
+
+constexpr u64 kPrime = (u64{1} << 61) - 1;
+
+void BM_MulModNaive(benchmark::State& state) {
+  Rng rng(1);
+  u64 x = rng.uniform(kPrime) | 1;
+  for (auto _ : state) {
+    x = mul_mod(x, x + 1, kPrime);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_MulModNaive);
+
+void BM_MulModBarrett(benchmark::State& state) {
+  Modulus mod(kPrime);
+  Rng rng(2);
+  u64 x = rng.uniform(kPrime) | 1;
+  for (auto _ : state) {
+    x = mod.mul(x, x + 1);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_MulModBarrett);
+
+void BM_MulModShoup(benchmark::State& state) {
+  Rng rng(3);
+  MulModShoup shoup(rng.uniform(kPrime), kPrime);
+  u64 x = rng.uniform(kPrime);
+  for (auto _ : state) {
+    x = shoup.mul(x + 1);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_MulModShoup);
+
+void BM_AddMod(benchmark::State& state) {
+  Rng rng(4);
+  u64 x = rng.uniform(kPrime), y = rng.uniform(kPrime);
+  for (auto _ : state) {
+    x = add_mod(x, y, kPrime);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_AddMod);
+
+void BM_PowMod(benchmark::State& state) {
+  Rng rng(5);
+  const u64 base = rng.uniform(kPrime);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pow_mod(base, kPrime - 2, kPrime));
+  }
+}
+BENCHMARK(BM_PowMod);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Microbenchmarks of the NTT substrate: single-step vs 4-step, and the RNS
+// base conversion — the software counterparts of the accelerator's three
+// operator classes.
+#include <benchmark/benchmark.h>
+
+#include "common/primes.h"
+#include "common/rng.h"
+#include "poly/four_step_ntt.h"
+#include "poly/ntt.h"
+#include "poly/rns.h"
+
+namespace {
+
+using namespace alchemist;
+
+void BM_NttForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const u64 q = max_ntt_prime(50, n);
+  const NttTable& table = get_ntt_table(q, n);
+  Rng rng(n);
+  std::vector<u64> a = rng.uniform_vector(n, q);
+  for (auto _ : state) {
+    table.forward(a);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_NttForward)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536);
+
+void BM_NttInverse(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const u64 q = max_ntt_prime(50, n);
+  const NttTable& table = get_ntt_table(q, n);
+  Rng rng(n);
+  std::vector<u64> a = rng.uniform_vector(n, q);
+  for (auto _ : state) {
+    table.inverse(a);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_NttInverse)->Arg(4096)->Arg(65536);
+
+void BM_FourStepForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const u64 q = max_ntt_prime(50, n);
+  FourStepNtt ntt(q, n);
+  Rng rng(n);
+  std::vector<u64> a = rng.uniform_vector(n, q);
+  for (auto _ : state) {
+    ntt.forward(a);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_FourStepForward)->Arg(1024)->Arg(4096);
+
+void BM_BconvApply(benchmark::State& state) {
+  const std::size_t n = 4096;
+  const std::size_t l = static_cast<std::size_t>(state.range(0));
+  const auto source = generate_ntt_primes(40, n, l);
+  const auto target = generate_ntt_primes(41, n, 2);
+  BConv conv(source, target);
+  RnsPoly x(n, source);
+  Rng rng(l);
+  for (std::size_t c = 0; c < l; ++c) {
+    auto ch = x.channel(c);
+    for (auto& v : ch) v = rng.uniform(source[c]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.apply(x));
+  }
+}
+BENCHMARK(BM_BconvApply)->Arg(2)->Arg(4)->Arg(11);
+
+}  // namespace
+
+BENCHMARK_MAIN();

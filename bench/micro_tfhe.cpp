@@ -1,0 +1,87 @@
+// Microbenchmarks of the software TFHE library: external product, blind
+// rotation and the full programmable bootstrap at the real parameter set I.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "tfhe/bootstrap.h"
+
+namespace {
+
+using namespace alchemist;
+using namespace alchemist::tfhe;
+
+struct Env {
+  TfheParams params;
+  LweKey lwe_key;
+  TrlweKey trlwe_key;
+  BootstrapContext ctx;
+  LweSample bit_ct;
+  TrlweSample acc;
+  TgswNtt tgsw_one;
+  TorusPoly tv;
+
+  explicit Env(const TfheParams& p) : params(p) {
+    Rng rng(11);
+    lwe_key = lwe_keygen(params.n_lwe, rng);
+    trlwe_key = trlwe_keygen(params, rng);
+    ctx = make_bootstrap_context(params, lwe_key, trlwe_key, rng);
+    bit_ct = encrypt_bit(true, lwe_key, params.lwe_sigma, rng);
+    TorusPoly msg(params.degree);
+    msg[0] = torus_from_message(1, 8);
+    acc = trlwe_encrypt(params, trlwe_key, msg, rng);
+    tgsw_one = tgsw_encrypt(params, trlwe_key, 1, rng);
+    tv = make_constant_test_poly(params.degree, u64{1} << 61);
+  }
+};
+
+Env& env() {
+  static Env instance{TfheParams::set_i()};
+  return instance;
+}
+
+void BM_TfheExternalProduct(benchmark::State& state) {
+  Env& e = env();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(external_product(e.tgsw_one, e.acc));
+  }
+}
+BENCHMARK(BM_TfheExternalProduct);
+
+void BM_TfheCmux(benchmark::State& state) {
+  Env& e = env();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cmux(e.tgsw_one, e.acc, e.acc));
+  }
+}
+BENCHMARK(BM_TfheCmux);
+
+void BM_TfheKeyswitch(benchmark::State& state) {
+  Env& e = env();
+  const LweSample extracted = sample_extract(e.acc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keyswitch(extracted, e.ctx.ksk));
+  }
+}
+BENCHMARK(BM_TfheKeyswitch);
+
+void BM_TfhePbs(benchmark::State& state) {
+  Env& e = env();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(programmable_bootstrap(e.bit_ct, e.tv, e.ctx));
+  }
+}
+BENCHMARK(BM_TfhePbs)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_TfheGateNand(benchmark::State& state) {
+  Env& e = env();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gate_nand(e.bit_ct, e.bit_ct, e.ctx));
+  }
+}
+BENCHMARK(BM_TfheGateNand)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Reproduces Table 3: multiplication count of Modup (RNS base conversion),
+// original vs the (M_j A_j)_L R_j transformation.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "metaop/lowering.h"
+#include "metaop/mult_count.h"
+
+int main() {
+  using namespace alchemist;
+  bench::print_header(
+      "Table 3 - Transformation of Modup (#word-mults, N = 65536)");
+  std::printf("%-5s %-5s %-20s %-24s %-10s\n", "L", "K", "origin (3KL+3L)N",
+              "(MA)_L R: (KL+3L+2K)N", "reduction");
+  const std::size_t n = 65536;
+  for (std::size_t l : {4, 8, 11, 22, 44}) {
+    for (std::size_t k : {1, 4, 11}) {
+      const auto c = metaop::bconv_mults(n, l, k);
+      std::printf("%-5zu %-5zu %-20llu %-24llu %.2fx\n", l, k,
+                  static_cast<unsigned long long>(c.origin),
+                  static_cast<unsigned long long>(c.meta),
+                  static_cast<double>(c.origin) / static_cast<double>(c.meta));
+      if (metaop::lower_bconv(n, l, k).mult_count() != c.meta) {
+        std::printf("MISMATCH between lowering and Table 3 formula!\n");
+        return 1;
+      }
+    }
+  }
+  bench::print_footnote(
+      "lazy reduction defers the K per-channel reductions to the accumulated sums");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Table 5: area breakdown of Alchemist (14nm, published component
+// densities) and the average-power figure.
+#include <cstdio>
+
+#include "arch/area_model.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace alchemist;
+  const auto cfg = arch::ArchConfig::alchemist();
+  const auto a = arch::area_model(cfg);
+
+  bench::print_header("Table 5 - Area breakdown of Alchemist (mm^2, 14nm)");
+  std::printf("%-48s %-12s %-10s\n", "Component", "model", "paper");
+  std::printf("%-48s %-12.3f %-10s\n", "1x Core", a.core_mm2, "0.043");
+  std::printf("%-48s %-12.3f %-10s\n", "1x Core Cluster (16x CORE)",
+              a.core_cluster_mm2, "0.688");
+  std::printf("%-48s %-12.3f %-10s\n", "1x Local SRAM (512 KB)", a.local_sram_mm2,
+              "0.427");
+  std::printf("%-48s %-12.3f %-10s\n", "1x Computing Unit", a.computing_unit_mm2,
+              "1.118");
+  std::printf("%-48s %-12.3f %-10s\n", "128x Computing Unit", a.all_units_mm2,
+              "143.104");
+  std::printf("%-48s %-12.3f %-10s\n", "Register file for transpose",
+              a.transpose_rf_mm2, "6.380");
+  std::printf("%-48s %-12.3f %-10s\n", "Shared memory (2 MB)", a.shared_mem_mm2,
+              "1.801");
+  std::printf("%-48s %-12.3f %-10s\n", "Memory interface (2x HBM2 PHY)",
+              a.hbm_phy_mm2, "29.801");
+  std::printf("%-48s %-12.3f %-10s\n", "Total", a.total_mm2, "181.086");
+  std::printf("%-48s %-12.2f %-10s\n", "Average power (W)",
+              arch::average_power_watts(cfg), "77.9");
+
+  bench::print_footnote("1 GHz, 36-bit word, 64+2 MB on-chip SRAM, 1 TB/s HBM2");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces Table 6: resource usage of FHE accelerators (published specs).
+#include <cstdio>
+
+#include "arch/baselines.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace alchemist;
+  bench::print_header("Table 6 - Resource usage in FHE accelerators");
+  std::printf("%-12s %-8s %-14s %-12s %-12s %-8s %-16s\n", "Design", "(AC,LC)",
+              "Off-chip BW", "On-chip MB", "On-chip BW", "Freq", "Area(14nm)mm^2");
+  for (const auto& s : arch::table6_specs()) {
+    char caps[8];
+    std::snprintf(caps, sizeof(caps), "(%c,%c)", s.arithmetic_fhe ? 'Y' : '-',
+                  s.logic_fhe ? 'Y' : '-');
+    char onbw[16];
+    if (s.onchip_bw_tb_s > 0) {
+      std::snprintf(onbw, sizeof(onbw), "%.0f TB/s", s.onchip_bw_tb_s);
+    } else {
+      std::snprintf(onbw, sizeof(onbw), "/");
+    }
+    std::printf("%-12s %-8s %-11.0f GB/s %-12.0f %-12s %-5.1f GHz %-16.1f\n",
+                s.name.c_str(), caps, s.offchip_bw_gb_s, s.onchip_mem_mb, onbw,
+                s.freq_ghz, s.area_14nm_mm2);
+  }
+  const auto alch = arch::spec_by_name("Alchemist");
+  const auto sharp = arch::spec_by_name("SHARP");
+  const auto clake = arch::spec_by_name("CraterLake");
+  std::printf("\nSRAM vs SHARP:      -%.0f%%   (paper: >60%% reduction)\n",
+              100.0 * (1.0 - alch.onchip_mem_mb / sharp.onchip_mem_mb));
+  std::printf("SRAM vs CraterLake: -%.0f%%\n",
+              100.0 * (1.0 - alch.onchip_mem_mb / clake.onchip_mem_mb));
+  std::printf("Area vs SHARP(14nm): -%.0f%%  (paper: >50%% reduction)\n",
+              100.0 * (1.0 - alch.area_14nm_mm2 / sharp.area_14nm_mm2));
+  bench::print_footnote("only Alchemist supports both scheme families");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Command-line front end to the Alchemist simulator.
+//
+//   alchemist_cli <workload> [options]
+//
+// Workloads: pmult hadd keyswitch cmult rotation rescale
+//            bootstrap bootstrap-hoisted helr mnist mnist-enc
+//            pbs-i pbs-ii bfv-cmult
+// Options:
+//   --accelerator <Alchemist|SHARP|CraterLake|Matcha|Strix>   (default Alchemist)
+//   --units <n>            computing units (Alchemist only, default 128)
+//   --hbm <GB/s>           off-chip bandwidth (Alchemist only, default 1000)
+//   --stream-fraction <f>  fraction of key traffic streamed from HBM (default 1.0)
+//   --level <L>            CKKS level (default 44)
+//   --batch <B>            TFHE PBS batch (default 16)
+//   --event                use the discrete-event simulator
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "arch/baselines.h"
+#include "arch/config.h"
+#include "arch/energy_model.h"
+#include "sim/alchemist_sim.h"
+#include "sim/baseline_sim.h"
+#include "sim/event_sim.h"
+#include "workloads/bfv_workloads.h"
+#include "workloads/ckks_workloads.h"
+#include "workloads/tfhe_workloads.h"
+
+namespace {
+
+using namespace alchemist;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: alchemist_cli <workload> [--accelerator A] [--units N]\n"
+               "       [--hbm GB/s] [--stream-fraction f] [--level L]\n"
+               "       [--batch B] [--event]\n"
+               "workloads: pmult hadd keyswitch cmult rotation rescale bootstrap\n"
+               "           bootstrap-hoisted helr mnist mnist-enc pbs-i pbs-ii bfv-cmult\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string workload = argv[1];
+
+  std::string accelerator = "Alchemist";
+  std::size_t units = 128, batch = 16, level = 44;
+  double hbm = 1000.0, stream_fraction = 1.0;
+  bool use_event = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--accelerator") accelerator = next();
+    else if (arg == "--units") units = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--hbm") hbm = std::atof(next());
+    else if (arg == "--stream-fraction") stream_fraction = std::atof(next());
+    else if (arg == "--level") level = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--batch") batch = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--event") use_event = true;
+    else return usage();
+  }
+
+  // Build the requested op graph.
+  workloads::CkksWl cw = workloads::CkksWl::paper(level);
+  cw.hbm_stream_fraction = stream_fraction;
+  workloads::TfheWl ti = workloads::TfheWl::set_i();
+  workloads::TfheWl tii = workloads::TfheWl::set_ii();
+  ti.batch = tii.batch = batch;
+  ti.hbm_stream_fraction = tii.hbm_stream_fraction = stream_fraction;
+  workloads::BfvWl bw;
+  bw.hbm_stream_fraction = stream_fraction;
+
+  metaop::OpGraph graph;
+  double ops_in_graph = 1.0;
+  if (workload == "pmult") graph = workloads::build_pmult(cw);
+  else if (workload == "hadd") graph = workloads::build_hadd(cw);
+  else if (workload == "keyswitch") graph = workloads::build_keyswitch(cw);
+  else if (workload == "cmult") graph = workloads::build_cmult(cw);
+  else if (workload == "rotation") graph = workloads::build_rotation(cw);
+  else if (workload == "rescale") graph = workloads::build_rescale(cw);
+  else if (workload == "bootstrap") graph = workloads::build_bootstrapping(cw, false);
+  else if (workload == "bootstrap-hoisted") graph = workloads::build_bootstrapping(cw, true);
+  else if (workload == "helr") graph = workloads::build_helr_iteration(cw);
+  else if (workload == "mnist") graph = workloads::build_lola_mnist(false);
+  else if (workload == "mnist-enc") graph = workloads::build_lola_mnist(true);
+  else if (workload == "pbs-i") { graph = workloads::build_pbs(ti); ops_in_graph = static_cast<double>(batch); }
+  else if (workload == "pbs-ii") { graph = workloads::build_pbs(tii); ops_in_graph = static_cast<double>(batch); }
+  else if (workload == "bfv-cmult") graph = workloads::build_bfv_cmult(bw);
+  else return usage();
+
+  // Simulate.
+  sim::SimResult result;
+  if (accelerator == "Alchemist") {
+    arch::ArchConfig cfg = arch::ArchConfig::alchemist();
+    cfg.num_units = units;
+    cfg.hbm_bw_gb_s = hbm;
+    result = use_event ? sim::simulate_alchemist_events(graph, cfg)
+                       : sim::simulate_alchemist(graph, cfg);
+    const auto energy = arch::energy_model(cfg, result);
+    std::printf("workload:      %s (%zu ops)\n", graph.name.c_str(), graph.ops.size());
+    std::printf("accelerator:   Alchemist, %zu units, %.0f GB/s HBM%s\n", units, hbm,
+                use_event ? " (event-driven model)" : "");
+    std::printf("cycles:        %llu\n", static_cast<unsigned long long>(result.cycles));
+    std::printf("time:          %.3f us  (%.1f ops/s)\n", result.time_us,
+                ops_in_graph * 1e6 / result.time_us);
+    std::printf("utilization:   %.3f\n", result.utilization);
+    std::printf("mem stalls:    %llu cycles, transpose: %llu cycles\n",
+                static_cast<unsigned long long>(result.mem_stall_cycles),
+                static_cast<unsigned long long>(result.transpose_cycles));
+    std::printf("word mults:    %llu\n",
+                static_cast<unsigned long long>(result.total_mults));
+    std::printf("energy:        %.3f mJ (%.1f W average)\n",
+                energy.total_joules * 1e3, energy.average_watts);
+  } else {
+    const arch::AcceleratorSpec spec = arch::spec_by_name(accelerator);
+    result = sim::simulate_modular(graph, spec);
+    std::printf("workload:      %s (%zu ops)\n", graph.name.c_str(), graph.ops.size());
+    std::printf("accelerator:   %s (modular FU model)\n", spec.name.c_str());
+    std::printf("cycles:        %llu\n", static_cast<unsigned long long>(result.cycles));
+    std::printf("time:          %.3f us  (%.1f ops/s)\n", result.time_us,
+                ops_in_graph * 1e6 / result.time_us);
+    std::printf("utilization:   %.3f\n", result.utilization);
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "arch/area_model.h"
+
+namespace alchemist::arch {
+
+AreaBreakdown area_model(const ArchConfig& config) {
+  AreaBreakdown a;
+  a.core_mm2 = kCoreMm2;
+  a.core_cluster_mm2 = kCoreMm2 * static_cast<double>(config.cores_per_unit);
+  a.local_sram_mm2 =
+      kLocalSramMm2Per512Kb * static_cast<double>(config.local_sram_kb) / 512.0;
+  a.computing_unit_mm2 = a.core_cluster_mm2 + a.local_sram_mm2 + kComputingUnitGlueMm2;
+  a.all_units_mm2 = a.computing_unit_mm2 * static_cast<double>(config.num_units);
+  // The transpose register file is an all-to-all permutation network across
+  // the computing units: its area grows quadratically with the unit count.
+  const double unit_ratio = static_cast<double>(config.num_units) / 128.0;
+  a.transpose_rf_mm2 = kTransposeRfMm2Per128Units * unit_ratio * unit_ratio;
+  a.shared_mem_mm2 =
+      kSharedMemMm2Per2Mb * static_cast<double>(config.shared_sram_kb) / 2048.0;
+  a.hbm_phy_mm2 = kHbmPhyMm2PerStack * 2.0;  // two stacks, fixed interface
+  a.total_mm2 =
+      a.all_units_mm2 + a.transpose_rf_mm2 + a.shared_mem_mm2 + a.hbm_phy_mm2;
+  return a;
+}
+
+double average_power_watts(const ArchConfig& config) {
+  const double reference_area = 181.086;
+  return kAvgPowerWattsAt181mm2 * area_model(config).total_mm2 / reference_area;
+}
+
+}  // namespace alchemist::arch

@@ -1,0 +1,39 @@
+// Analytical area/power model reproducing Table 5 of the paper.
+//
+// The paper synthesized RTL in a commercial 14nm process (Design Compiler,
+// CACTI for SRAM). We reproduce the published per-component densities and
+// scale them with the configuration, so the default config reproduces the
+// published breakdown exactly and design-space sweeps scale sensibly.
+#pragma once
+
+#include "arch/config.h"
+
+namespace alchemist::arch {
+
+struct AreaBreakdown {
+  double core_mm2 = 0;            // one unified core
+  double core_cluster_mm2 = 0;    // cores_per_unit cores
+  double local_sram_mm2 = 0;      // one local scratchpad
+  double computing_unit_mm2 = 0;  // cluster + scratchpad (+ glue)
+  double all_units_mm2 = 0;
+  double transpose_rf_mm2 = 0;
+  double shared_mem_mm2 = 0;
+  double hbm_phy_mm2 = 0;
+  double total_mm2 = 0;
+};
+
+// Published 14nm densities (Table 5).
+inline constexpr double kCoreMm2 = 0.043;
+inline constexpr double kLocalSramMm2Per512Kb = 0.427;
+inline constexpr double kComputingUnitGlueMm2 = 1.118 - 16 * 0.043 - 0.427;
+inline constexpr double kTransposeRfMm2Per128Units = 6.380;
+inline constexpr double kSharedMemMm2Per2Mb = 1.801;
+inline constexpr double kHbmPhyMm2PerStack = 29.801 / 2.0;
+inline constexpr double kAvgPowerWattsAt181mm2 = 77.9;
+
+AreaBreakdown area_model(const ArchConfig& config);
+
+// Average power, scaled with active area relative to the published design.
+double average_power_watts(const ArchConfig& config);
+
+}  // namespace alchemist::arch

@@ -1,0 +1,33 @@
+#include "arch/baselines.h"
+
+#include <stdexcept>
+
+namespace alchemist::arch {
+
+std::vector<AcceleratorSpec> table6_specs() {
+  // Published figures as quoted in Table 6 of the paper. FU fractions and
+  // peak throughputs parameterize the modular-baseline simulator; they are
+  // calibrated so each model reproduces its published benchmark performance
+  // to first order (see EXPERIMENTS.md).
+  std::vector<AcceleratorSpec> specs;
+  specs.push_back({"Matcha", false, true, 640, 4, 0, 2.0, 36.96, 33.6,
+                   0.70, 0.0, 0.30, 560});
+  specs.push_back({"Strix", false, true, 300, 26, 0, 1.2, 141.37, 56.4,
+                   0.72, 0.0, 0.28, 6656});
+  specs.push_back({"CraterLake", true, false, 2400, 256, 84, 1.0, 472.3, 472.3,
+                   0.50, 0.17, 0.33, 7680});
+  specs.push_back({"SHARP", true, false, 1000, 180, 72, 1.0, 178.8, 379.0,
+                   0.40, 0.22, 0.38, 13824});
+  specs.push_back({"Alchemist", true, true, 1000, 66, 66, 1.0, 181.1, 181.1,
+                   0.0, 0.0, 0.0, 16384});
+  return specs;
+}
+
+AcceleratorSpec spec_by_name(const std::string& name) {
+  for (const AcceleratorSpec& spec : table6_specs()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::invalid_argument("spec_by_name: unknown accelerator " + name);
+}
+
+}  // namespace alchemist::arch

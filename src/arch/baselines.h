@@ -1,0 +1,41 @@
+// Published characteristics of prior FHE accelerators (Table 6) and the
+// functional-unit mixes used by the baseline simulators.
+//
+// Numbers are taken from the respective papers as quoted by the Alchemist
+// paper; they parameterize the modularized-baseline model in src/sim so that
+// the utilization comparison (Fig. 1, Fig. 7b) emerges from the same workload
+// graphs the Alchemist simulator runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace alchemist::arch {
+
+struct AcceleratorSpec {
+  std::string name;
+  bool arithmetic_fhe = false;  // AC column
+  bool logic_fhe = false;       // LC column
+  double offchip_bw_gb_s = 0;
+  double onchip_mem_mb = 0;
+  double onchip_bw_tb_s = 0;    // 0 = not reported
+  double freq_ghz = 0;
+  double area_mm2 = 0;          // native node
+  double area_14nm_mm2 = 0;     // 14nm-scaled
+  // Modular FU mix: fraction of compute throughput hard-wired per class
+  // {NTT, Bconv, DecompPolyMult/elementwise-MAC}; unified designs use {0,0,0}
+  // to mean "fully fungible".
+  double fu_ntt_frac = 0;
+  double fu_bconv_frac = 0;
+  double fu_mac_frac = 0;
+  // Peak modular multiplications per cycle (model calibration).
+  double peak_mults_per_cycle = 0;
+};
+
+// Table 6 rows.
+std::vector<AcceleratorSpec> table6_specs();
+
+// Lookup by name ("Matcha", "Strix", "CraterLake", "SHARP", "Alchemist").
+AcceleratorSpec spec_by_name(const std::string& name);
+
+}  // namespace alchemist::arch

@@ -1,0 +1,83 @@
+#include "arch/data_layout.h"
+
+#include <stdexcept>
+
+#include "metaop/lowering.h"
+
+namespace alchemist::arch {
+
+SlotLayout::SlotLayout(std::size_t n, std::size_t units) : n_(n), units_(units) {
+  if (units == 0 || n % units != 0) {
+    throw std::invalid_argument("SlotLayout: N must be divisible by the unit count");
+  }
+}
+
+std::uint64_t SlotLayout::cross_unit_accesses_channel(std::size_t l_channels) const {
+  // Every channel stores slot k in the same stripe, so the gather for output
+  // slot k touches L operands that all live in unit_of_slot(k).
+  std::uint64_t crossings = 0;
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::size_t home = unit_of_slot(k);
+    for (std::size_t c = 0; c < l_channels; ++c) {
+      crossings += unit_of_slot(k) != home ? 1 : 0;  // structurally zero
+    }
+  }
+  return crossings;
+}
+
+std::uint64_t SlotLayout::cross_unit_accesses_dnum(std::size_t dnum) const {
+  // Identical argument: all dnum groups share the stripe.
+  std::uint64_t crossings = 0;
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::size_t home = unit_of_slot(k);
+    for (std::size_t d = 0; d < dnum; ++d) {
+      crossings += unit_of_slot(k) != home ? 1 : 0;
+    }
+  }
+  return crossings;
+}
+
+std::uint64_t SlotLayout::cross_unit_accesses_classic_ntt() const {
+  // Iterative radix-2 NTT: stage s pairs slot k with k ± 2^s-stride partner.
+  std::uint64_t crossings = 0;
+  for (std::size_t stride = n_ / 2; stride >= 1; stride /= 2) {
+    for (std::size_t k = 0; k < n_; ++k) {
+      const std::size_t partner = k ^ stride;  // butterfly partner
+      if (partner > k && unit_of_slot(k) != unit_of_slot(partner)) {
+        crossings += 2;  // both operands move
+      }
+    }
+    if (stride == 1) break;
+  }
+  return crossings;
+}
+
+std::uint64_t SlotLayout::cross_unit_accesses_four_step_ntt() const {
+  // Phase 1 works on rows of the n1 x n2 matrix, phase 2 on columns; with the
+  // stripe equal to whole rows (n2 >= slots_per_unit divides evenly), every
+  // sub-NTT is unit-local. The transpose between phases is accounted
+  // separately (it flows through the dedicated transpose register file).
+  const metaop::NttStagePlan plan = metaop::plan_ntt_stages(n_);
+  (void)plan;
+  std::size_t n1 = 1;
+  while (n1 * n1 < n_) n1 <<= 1;
+  const std::size_t n2 = n_ / n1;
+  // Rows are contiguous stripes of n2 slots; a unit owns whole rows iff
+  // slots_per_unit is a multiple of n2 (or rows span units evenly).
+  if (slots_per_unit() % n2 == 0 || n2 % slots_per_unit() == 0) {
+    return 0;
+  }
+  // Misaligned configuration: every row boundary crossing is a remote access.
+  std::uint64_t crossings = 0;
+  for (std::size_t row = 0; row < n1; ++row) {
+    const std::size_t first = row * n2;
+    if (unit_of_slot(first) != unit_of_slot(first + n2 - 1)) crossings += n2;
+  }
+  return crossings;
+}
+
+std::uint64_t SlotLayout::four_step_transpose_words() const {
+  return n_;  // the full polynomial crosses the transpose buffer once
+}
+
+}  // namespace alchemist::arch

@@ -1,0 +1,51 @@
+// Slot-based data layout model (§5.3, Fig. 5b).
+//
+// Polynomial slots are striped across the computing units: unit u owns slots
+// [u*N/U, (u+1)*N/U) of *every* channel of *every* dnum group. This module
+// checks, per Meta-OP access pattern (Table 4), which unit each operand of an
+// access lives in — quantifying the paper's claim that DecompPolyMult and
+// Modup/Moddown touch only unit-private data, and that the 4-step NTT's only
+// cross-unit traffic is the matrix transpose between its two phases.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "arch/config.h"
+#include "metaop/metaop.h"
+
+namespace alchemist::arch {
+
+class SlotLayout {
+ public:
+  // N slots striped over `units` computing units (N divisible by units).
+  SlotLayout(std::size_t n, std::size_t units);
+
+  std::size_t slots_per_unit() const { return n_ / units_; }
+  // The unit owning a slot (any channel, any dnum group — the stripe is the
+  // same for all of them by construction).
+  std::size_t unit_of_slot(std::size_t slot) const { return slot / slots_per_unit(); }
+
+  // Access-pattern audits: each returns the number of operand fetches that
+  // would cross a unit boundary.
+  //
+  // Channel pattern (Bconv/Modup/Moddown): output channel slot k gathers the
+  // same slot k from L input channels.
+  std::uint64_t cross_unit_accesses_channel(std::size_t l_channels) const;
+  // Dnum-group pattern (DecompPolyMult): slot k accumulates slot k of every
+  // decomposition group and the matching evk slots.
+  std::uint64_t cross_unit_accesses_dnum(std::size_t dnum) const;
+  // Slots pattern, classical single-pass NTT: butterfly partners are slot
+  // pairs at stride 2^s — most strides cross units.
+  std::uint64_t cross_unit_accesses_classic_ntt() const;
+  // Slots pattern, 4-step NTT: sub-NTTs are unit-local; the only cross-unit
+  // movement is the transpose (counted in words).
+  std::uint64_t cross_unit_accesses_four_step_ntt() const;
+  std::uint64_t four_step_transpose_words() const;
+
+ private:
+  std::size_t n_;
+  std::size_t units_;
+};
+
+}  // namespace alchemist::arch

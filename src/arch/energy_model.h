@@ -1,0 +1,28 @@
+// Energy model: converts simulated activity into joules.
+//
+// Calibrated against the paper's published 77.9 W average at the 181 mm²
+// reference design running at ~0.86 utilization: the dynamic share scales
+// with delivered lane-cycles, the static share with area and wall time.
+#pragma once
+
+#include "arch/config.h"
+#include "sim/result.h"
+
+namespace alchemist::arch {
+
+struct EnergyBreakdown {
+  double dynamic_joules = 0;  // compute + on-chip data movement
+  double hbm_joules = 0;      // off-chip traffic
+  double static_joules = 0;   // leakage + clocking, proportional to area*time
+  double total_joules = 0;
+  double average_watts = 0;
+};
+
+// Fraction of the reference average power that is activity-proportional.
+inline constexpr double kDynamicShare = 0.7;
+// HBM energy per byte (typical HBM2: ~4 pJ/bit).
+inline constexpr double kHbmPicojoulesPerByte = 32.0;
+
+EnergyBreakdown energy_model(const ArchConfig& config, const sim::SimResult& result);
+
+}  // namespace alchemist::arch

@@ -1,0 +1,108 @@
+// BGV: the third classic arithmetic FHE scheme (LSB message encoding).
+//
+// Where BFV stores the message in the high bits (Delta * m) and rescales
+// products by t/q, BGV stores it in the low bits: c0 + c1*s = m + t*e. Adds
+// and multiplies act on the message directly modulo t; the tensor product
+// needs no scaling (the noise t*e grows instead — this single-modulus
+// implementation supports one multiplicative level; production BGV adds
+// modulus switching). Batching reuses the negacyclic NTT over Z_t, exactly
+// as in BFV.
+#pragma once
+
+#include "bfv/bfv.h"
+
+namespace alchemist::bgv {
+
+using bfv::BfvParams;
+
+class BgvContext {
+ public:
+  explicit BgvContext(const BfvParams& params);
+  const BfvParams& params() const { return params_; }
+  std::size_t degree() const { return params_.n; }
+  u64 q() const { return q_; }
+  u64 t() const { return params_.t; }
+  std::size_t relin_digits() const { return relin_digits_; }
+
+ private:
+  BfvParams params_;
+  u64 q_;
+  std::size_t relin_digits_;
+};
+
+using BgvContextPtr = std::shared_ptr<const BgvContext>;
+
+struct BgvCiphertext {
+  std::vector<u64> c0;
+  std::vector<u64> c1;
+};
+
+struct BgvSecretKey {
+  std::vector<u64> s;
+};
+
+struct BgvPublicKey {
+  std::vector<u64> b;  // -(a*s + t*e)
+  std::vector<u64> a;
+};
+
+struct BgvRelinKey {
+  // digit i: (b_i, a_i) with b_i = -(a_i s + t e_i) + 2^(w*i) s^2.
+  std::vector<std::pair<std::vector<u64>, std::vector<u64>>> digits;
+};
+
+// Batching: identical plaintext ring to BFV — reuse bfv::BfvEncoder with a
+// BfvContext of the same (n, t), or the helpers below.
+std::vector<u64> bgv_encode(const BgvContext& ctx, std::span<const u64> values);
+std::vector<u64> bgv_decode(const BgvContext& ctx, std::span<const u64> plain);
+
+class BgvKeyGenerator {
+ public:
+  BgvKeyGenerator(BgvContextPtr ctx, u64 seed = 1);
+  const BgvSecretKey& secret_key() const { return secret_; }
+  BgvPublicKey make_public_key();
+  BgvRelinKey make_relin_key();
+
+ private:
+  BgvContextPtr ctx_;
+  Rng rng_;
+  BgvSecretKey secret_;
+};
+
+class BgvEncryptor {
+ public:
+  BgvEncryptor(BgvContextPtr ctx, BgvPublicKey pk, u64 seed = 2);
+  BgvCiphertext encrypt(std::span<const u64> plain);
+
+ private:
+  BgvContextPtr ctx_;
+  BgvPublicKey pk_;
+  Rng rng_;
+};
+
+class BgvDecryptor {
+ public:
+  BgvDecryptor(BgvContextPtr ctx, BgvSecretKey sk);
+  std::vector<u64> decrypt(const BgvCiphertext& ct) const;
+
+ private:
+  BgvContextPtr ctx_;
+  BgvSecretKey sk_;
+};
+
+class BgvEvaluator {
+ public:
+  explicit BgvEvaluator(BgvContextPtr ctx);
+  BgvCiphertext add(const BgvCiphertext& x, const BgvCiphertext& y) const;
+  BgvCiphertext sub(const BgvCiphertext& x, const BgvCiphertext& y) const;
+  BgvCiphertext add_plain(const BgvCiphertext& x, std::span<const u64> plain) const;
+  BgvCiphertext mul_plain(const BgvCiphertext& x, std::span<const u64> plain) const;
+  // Tensor + relinearize: one multiplicative level at these parameters.
+  BgvCiphertext multiply(const BgvCiphertext& x, const BgvCiphertext& y,
+                         const BgvRelinKey& rk) const;
+
+ private:
+  BgvContextPtr ctx_;
+};
+
+}  // namespace alchemist::bgv

@@ -1,0 +1,38 @@
+// Shared ring arithmetic for the integer FHE schemes (BFV and BGV):
+// mod-q negacyclic products, exact centered tensor products, samplers,
+// prime selection and Z_t SIMD batching.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/modarith.h"
+#include "common/rng.h"
+
+namespace alchemist::bfv::detail {
+
+// Exact negacyclic convolution of centered mod-q polynomials as signed
+// 128-bit integers (double-prime NTT + CRT; |result| <= N*(q/2)^2 < 2^118).
+std::vector<i128> exact_negacyclic_mul(std::span<const u64> a,
+                                       std::span<const u64> b, u64 q);
+
+// In-ring negacyclic product mod q via the single-prime NTT.
+std::vector<u64> ring_mul(std::span<const u64> a, std::span<const u64> b, u64 q);
+
+std::vector<u64> add_vec(std::span<const u64> a, std::span<const u64> b, u64 q);
+
+std::vector<u64> sample_small(std::size_t n, u64 q, double sigma, Rng& rng,
+                              bool ternary);
+
+// Largest prime below 2^bits with p ≡ 1 (mod step). Throws if none.
+u64 find_prime_1mod(int bits, u64 step);
+
+// SIMD batching over Z_t (t prime, t ≡ 1 mod 2N): slot values <-> plaintext
+// polynomial coefficients, via the negacyclic NTT mod t.
+std::vector<u64> batch_encode(std::size_t n, u64 t, std::span<const u64> values);
+std::vector<u64> batch_decode(std::size_t n, u64 t, std::span<const u64> plain);
+
+// Centered reduction of a signed tensor coefficient into [0, q).
+u64 center_mod(i128 d, u64 q);
+
+}  // namespace alchemist::bfv::detail

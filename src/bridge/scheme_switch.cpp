@@ -1,0 +1,82 @@
+#include "bridge/scheme_switch.h"
+
+#include <stdexcept>
+
+namespace alchemist::bridge {
+
+namespace {
+
+using tfhe::Torus;
+
+// Round x in [0, q0) to the 2^64 torus: round(x * 2^64 / q0).
+Torus to_torus(u64 x, u64 q0) {
+  const u128 scaled = (u128{x} << 64) + q0 / 2;
+  return static_cast<Torus>(scaled / q0);
+}
+
+}  // namespace
+
+tfhe::LweKey ckks_lwe_secret(const ckks::CkksContext& ctx, const ckks::SecretKey& sk) {
+  RnsPoly s = sk.s;
+  s.to_coeff();
+  const u64 q = s.moduli()[0];
+  tfhe::LweKey key;
+  key.s.resize(ctx.degree());
+  for (std::size_t i = 0; i < ctx.degree(); ++i) {
+    const u64 v = s.channel(0)[i];
+    if (v == 0) {
+      key.s[i] = 0;
+    } else if (v == 1) {
+      key.s[i] = 1;
+    } else if (v == q - 1) {
+      key.s[i] = -1;
+    } else {
+      throw std::invalid_argument("ckks_lwe_secret: secret is not ternary");
+    }
+  }
+  return key;
+}
+
+tfhe::KeySwitchKey make_bridge_key(const ckks::CkksContext& ctx,
+                                   const ckks::SecretKey& ckks_sk,
+                                   const tfhe::LweKey& tfhe_key,
+                                   const tfhe::TfheParams& params, Rng& rng) {
+  return tfhe::make_keyswitch_key(ckks_lwe_secret(ctx, ckks_sk), tfhe_key,
+                                  params.ks_base_bits, params.ks_length,
+                                  params.lwe_sigma, rng);
+}
+
+tfhe::LweSample extract_lwe(const ckks::CkksContext& ctx, const ckks::Ciphertext& ct,
+                            std::size_t k) {
+  if (ct.level != 1) {
+    throw std::invalid_argument("extract_lwe: ciphertext must be at level 1");
+  }
+  const std::size_t n = ctx.degree();
+  if (k >= n) throw std::invalid_argument("extract_lwe: coefficient out of range");
+  const u64 q0 = ctx.q_moduli()[0];
+
+  RnsPoly c0 = ct.c0;
+  RnsPoly c1 = ct.c1;
+  c0.to_coeff();
+  c1.to_coeff();
+  const auto a1 = c1.channel(0);
+
+  // Decryption is m_k = c0[k] + (c1 * s)[k]; TFHE's phase convention is
+  // b - <a, s>, so the mask is the *negated* negacyclic gather of c1.
+  tfhe::LweSample out;
+  out.a.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const u64 coeff = j <= k ? a1[k - j] : q0 - a1[n + k - j];  // +c1[k-j] / -c1[...]
+    out.a[j] = to_torus(coeff == q0 ? 0 : q0 - coeff, q0);      // negate mod q0
+  }
+  out.b = to_torus(c0.channel(0)[k], q0);
+  return out;
+}
+
+tfhe::LweSample switch_to_tfhe(const ckks::CkksContext& ctx,
+                               const ckks::Ciphertext& ct, std::size_t k,
+                               const tfhe::KeySwitchKey& bridge_key) {
+  return tfhe::keyswitch(extract_lwe(ctx, ct, k), bridge_key);
+}
+
+}  // namespace alchemist::bridge

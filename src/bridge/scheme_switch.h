@@ -1,0 +1,51 @@
+// Cross-scheme ciphertext bridge: CKKS -> TFHE (Pegasus-style [6], reduced).
+//
+// The workloads that motivate Alchemist evaluate the *linear* part of a
+// computation under arithmetic FHE and the *non-linear* part (comparison,
+// sign, LUT) under logic FHE. This module implements the switch without
+// decryption:
+//
+//   1. extract   A CKKS ciphertext at level 1 (single prime q0) in
+//                coefficient form is, per coefficient k, an LWE encryption of
+//                m_k under the CKKS secret: b = c0[k], a = "rotated" c1.
+//   2. modswitch Rescale the (a, b) pair from Z_q0 to the 2^64 torus.
+//   3. keyswitch From the N-dimensional ternary CKKS key to the TFHE binary
+//                LWE key (standard digit-decomposed LWE keyswitch; ternary
+//                source bits just flip the payload sign).
+//
+// The resulting LWE sample encrypts m_k / q0 on the torus and feeds directly
+// into programmable bootstrapping (sign, threshold, arbitrary LUT). Messages
+// must be scaled so m/q0 clears the PBS noise margin (use Delta close to q0).
+#pragma once
+
+#include "ckks/ciphertext.h"
+#include "ckks/keys.h"
+#include "ckks/params.h"
+#include "tfhe/bootstrap.h"
+
+namespace alchemist::bridge {
+
+// The LWE secret hidden inside a CKKS secret key (its coefficient vector),
+// needed to generate the bridge keyswitch key.
+tfhe::LweKey ckks_lwe_secret(const ckks::CkksContext& ctx,
+                             const ckks::SecretKey& sk);
+
+// Keyswitch key from the CKKS coefficient secret to a TFHE LWE key.
+tfhe::KeySwitchKey make_bridge_key(const ckks::CkksContext& ctx,
+                                   const ckks::SecretKey& ckks_sk,
+                                   const tfhe::LweKey& tfhe_key,
+                                   const tfhe::TfheParams& params, Rng& rng);
+
+// Extract coefficient k of a level-1 CKKS ciphertext as a torus LWE sample
+// under the CKKS coefficient secret. The sample encrypts m_k / q0 (where the
+// CKKS plaintext polynomial has integer coefficients m_k = Delta * value).
+tfhe::LweSample extract_lwe(const ckks::CkksContext& ctx,
+                            const ckks::Ciphertext& ct, std::size_t k);
+
+// Full bridge: extract + keyswitch to the TFHE key. The output is ready for
+// programmable bootstrapping.
+tfhe::LweSample switch_to_tfhe(const ckks::CkksContext& ctx,
+                               const ckks::Ciphertext& ct, std::size_t k,
+                               const tfhe::KeySwitchKey& bridge_key);
+
+}  // namespace alchemist::bridge

@@ -1,0 +1,75 @@
+// Functional CKKS bootstrapping (reduced-scale, full pipeline).
+//
+// Refreshes an exhausted ciphertext (level 1) back to a computable level:
+//
+//   ModRaise     lift the q_0 residues to the full chain: the result
+//                decrypts to m + q_0*I(X) with small integer I.
+//   CoeffToSlot  one homomorphic linear transform (A^{-1}, the square
+//                slot-group Vandermonde) plus a conjugation puts the
+//                *coefficients* (m_k + q_0 I_k)/q_0 into the slots, split
+//                into two ciphertexts (low/high coefficient halves).
+//   EvalMod      evaluates (q_0 / (2*pi*Delta)) * sin(2*pi*t) with a
+//                Chebyshev/Paterson-Stockmeyer polynomial, collapsing
+//                t = m/q_0 + I to m/Delta (removing the q_0*I term).
+//   SlotToCoeff  the inverse transform (A) returns the cleaned coefficients
+//                to coefficient positions.
+//
+// This is the evaluation pipeline of [8-11] at laptop scale: every stage is
+// the real algorithm (the cycle simulator covers the paper-scale cost side;
+// see workloads::build_bootstrapping).
+#pragma once
+
+#include <memory>
+
+#include "ckks/linear_transform.h"
+#include "ckks/poly_eval.h"
+
+namespace alchemist::ckks {
+
+struct BootstrapConfig {
+  // Chebyshev degree of the sine approximation. Convergence for sin over
+  // [-B, B] starts around e*pi*B; degree 200 gives ~1e-6 on B = 13.5 and
+  // costs the same multiplicative depth as 119 (same baby/giant structure).
+  std::size_t sine_degree = 200;
+  // Bound on |I| (dense ternary secret: ~3.5 sigma of sqrt(N*2/3/12)-ish).
+  double i_bound = 13.0;
+};
+
+class Bootstrapper {
+ public:
+  Bootstrapper(ContextPtr ctx, const CkksEncoder& encoder,
+               const Evaluator& evaluator, const RelinKeys& relin,
+               const GaloisKeys& galois, BootstrapConfig config = {});
+
+  // Rotations the Galois keys must contain (plus conjugation).
+  static std::vector<int> required_rotations(const CkksContext& ctx);
+
+  // Multiplicative depth of the whole pipeline.
+  std::size_t depth() const;
+
+  // ct must sit at level 1 with the context's nominal scale. The result
+  // encrypts the same message at level (L - depth()).
+  Ciphertext bootstrap(const Ciphertext& ct) const;
+
+  // Pipeline stages, exposed for tests.
+  Ciphertext mod_raise(const Ciphertext& ct) const;
+  // Returns (u, v): slots hold t-values of the low / high coefficient halves.
+  std::pair<Ciphertext, Ciphertext> coeff_to_slot(const Ciphertext& ct) const;
+  // (q0 / (2 pi Delta)) * sin(2 pi t) per slot.
+  Ciphertext eval_mod(const Ciphertext& ct) const;
+  Ciphertext slot_to_coeff(const Ciphertext& u, const Ciphertext& v) const;
+
+ private:
+  ContextPtr ctx_;
+  const CkksEncoder& encoder_;
+  const Evaluator& evaluator_;
+  const RelinKeys& relin_;
+  const GaloisKeys& galois_;
+  BootstrapConfig config_;
+  PolyEvaluator poly_;
+  std::unique_ptr<LinearTransform> cts_;  // (Delta / 2 q0) * A^{-1}
+  std::unique_ptr<LinearTransform> stc_;  // A
+  std::vector<double> sine_cheb_;
+};
+
+}  // namespace alchemist::ckks

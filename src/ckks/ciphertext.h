@@ -1,0 +1,17 @@
+// CKKS ciphertext: a degree-1 RLWE pair (c0, c1) with c0 + c1*s ≈ Delta*m.
+#pragma once
+
+#include <cstddef>
+
+#include "poly/rns.h"
+
+namespace alchemist::ckks {
+
+struct Ciphertext {
+  RnsPoly c0;         // NTT form over basis_at(level)
+  RnsPoly c1;
+  std::size_t level;  // number of active q primes, in [1, L]
+  double scale;
+};
+
+}  // namespace alchemist::ckks

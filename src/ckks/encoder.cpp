@@ -1,0 +1,164 @@
+#include "ckks/encoder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/biguint.h"
+
+namespace alchemist::ckks {
+
+CkksEncoder::CkksEncoder(ContextPtr ctx) : ctx_(std::move(ctx)) {
+  const std::size_t n = ctx_->degree();
+  const std::size_t two_n = 2 * n;
+  omega_powers_.resize(two_n);
+  for (std::size_t t = 0; t < two_n; ++t) {
+    const double angle = M_PI * static_cast<double>(t) / static_cast<double>(n);
+    omega_powers_[t] = {std::cos(angle), std::sin(angle)};
+  }
+  rot_group_.resize(n / 2);
+  std::size_t g = 1;
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    rot_group_[j] = g;
+    g = (g * 5) % two_n;
+  }
+}
+
+Plaintext CkksEncoder::encode(std::span<const std::complex<double>> values,
+                              std::size_t level, double scale) const {
+  const std::size_t n = ctx_->degree();
+  const std::size_t num_slots = n / 2;
+  const std::size_t two_n = 2 * n;
+  if (values.size() > num_slots) {
+    throw std::invalid_argument("CkksEncoder::encode: too many values");
+  }
+  if (scale <= 0) throw std::invalid_argument("CkksEncoder::encode: scale must be positive");
+
+  // Inverse embedding: m_k = (2/N) * sum_j Re(z_j * conj(zeta_j^k)).
+  std::vector<double> m(n, 0.0);
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    const std::complex<double> z = values[j];
+    if (z == std::complex<double>{0.0, 0.0}) continue;
+    const std::size_t sigma = rot_group_[j];
+    for (std::size_t k = 0; k < n; ++k) {
+      // conj(zeta_j^k) = conj(omega^(sigma*k)) = omega^(2N - sigma*k mod 2N)
+      const std::size_t t = (sigma * k) % two_n;
+      const std::complex<double>& w = omega_powers_[t];
+      m[k] += z.real() * w.real() + z.imag() * w.imag();  // Re(z * conj(w))
+    }
+  }
+  const double norm = 2.0 / static_cast<double>(n);
+
+  RnsPoly poly(n, ctx_->basis_at(level));
+  const auto& moduli = poly.moduli();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double scaled = m[k] * norm * scale;
+    if (std::abs(scaled) >= 0x1.0p62) {
+      throw std::invalid_argument("CkksEncoder::encode: scaled coefficient exceeds 2^62");
+    }
+    const i64 rounded = std::llround(scaled);
+    for (std::size_t c = 0; c < moduli.size(); ++c) {
+      const u64 q = moduli[c];
+      poly.channel(c)[k] = rounded >= 0 ? static_cast<u64>(rounded) % q
+                                        : q - (static_cast<u64>(-rounded) % q);
+    }
+  }
+  poly.to_ntt();
+  return Plaintext{std::move(poly), level, scale};
+}
+
+Plaintext CkksEncoder::encode(std::span<const double> values, std::size_t level,
+                              double scale) const {
+  std::vector<std::complex<double>> complex_values(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) complex_values[i] = values[i];
+  return encode(std::span<const std::complex<double>>(complex_values), level, scale);
+}
+
+Plaintext CkksEncoder::encode_scalar(std::complex<double> value, std::size_t level,
+                                     double scale) const {
+  std::vector<std::complex<double>> all(slots(), value);
+  return encode(std::span<const std::complex<double>>(all), level, scale);
+}
+
+Plaintext CkksEncoder::encode_constant(std::complex<double> value, std::size_t level,
+                                       double scale) const {
+  const std::size_t n = ctx_->degree();
+  if (scale <= 0) throw std::invalid_argument("encode_constant: scale must be positive");
+  // Scaled constants can exceed 64 bits (e.g. a constant added at scale
+  // Delta^2 during polynomial evaluation); form them in 128-bit and reduce
+  // per channel. long double keeps ~64 mantissa bits, so the rounding error
+  // is below 2^-60 relative — far under the CKKS noise floor.
+  const long double re = static_cast<long double>(value.real()) * scale;
+  const long double im = static_cast<long double>(value.imag()) * scale;
+  if (std::abs(static_cast<double>(re)) >= 0x1.0p120 ||
+      std::abs(static_cast<double>(im)) >= 0x1.0p120) {
+    throw std::invalid_argument("encode_constant: scaled value exceeds 2^120");
+  }
+  const i128 re_r = static_cast<i128>(re);
+  const i128 im_r = static_cast<i128>(im);
+
+  RnsPoly poly(n, ctx_->basis_at(level));
+  const auto& moduli = poly.moduli();
+  for (std::size_t c = 0; c < moduli.size(); ++c) {
+    const u64 q = moduli[c];
+    auto embed = [q](i128 v) {
+      return v >= 0 ? static_cast<u64>(static_cast<u128>(v) % q)
+                    : q - static_cast<u64>(static_cast<u128>(-v) % q);
+    };
+    poly.channel(c)[0] = embed(re_r);
+    poly.channel(c)[n / 2] = embed(im_r);
+  }
+  poly.to_ntt();
+  return Plaintext{std::move(poly), level, scale};
+}
+
+std::vector<std::complex<double>> CkksEncoder::decode_centered(
+    std::span<const double> centered_coeffs, double scale) const {
+  const std::size_t n = ctx_->degree();
+  const std::size_t num_slots = n / 2;
+  const std::size_t two_n = 2 * n;
+  if (centered_coeffs.size() != n) {
+    throw std::invalid_argument("CkksEncoder::decode_centered: size mismatch");
+  }
+  std::vector<std::complex<double>> out(num_slots);
+  for (std::size_t j = 0; j < num_slots; ++j) {
+    const std::size_t sigma = rot_group_[j];
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t k = 0; k < n; ++k) {
+      acc += centered_coeffs[k] * omega_powers_[(sigma * k) % two_n];
+    }
+    out[j] = acc / scale;
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> CkksEncoder::decode(const Plaintext& pt) const {
+  RnsPoly coeff = pt.poly;
+  coeff.to_coeff();
+  const std::vector<double> centered = to_centered_doubles(coeff);
+  return decode_centered(centered, pt.scale);
+}
+
+std::vector<double> to_centered_doubles(const RnsPoly& coeff_form) {
+  if (coeff_form.is_ntt()) {
+    throw std::invalid_argument("to_centered_doubles: expected coefficient form");
+  }
+  const std::size_t n = coeff_form.degree();
+  const std::size_t channels = coeff_form.num_channels();
+  const BigUInt big_q = BigUInt::product(coeff_form.moduli());
+  const BigUInt half_q = big_q.div_u64(2);
+
+  std::vector<double> out(n);
+  std::vector<u64> residues(channels);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t c = 0; c < channels; ++c) residues[c] = coeff_form.channel(c)[k];
+    BigUInt x = crt_compose(residues, coeff_form.moduli());
+    if (x > half_q) {
+      out[k] = -(big_q - x).to_double();
+    } else {
+      out[k] = x.to_double();
+    }
+  }
+  return out;
+}
+
+}  // namespace alchemist::ckks

@@ -1,0 +1,68 @@
+// CKKS canonical-embedding encoder.
+//
+// A message vector z in C^(N/2) is mapped to the real polynomial m(X) with
+// m(zeta_j) = z_j at the evaluation points zeta_j = omega^(5^j mod 2N)
+// (omega = exp(i*pi/N), the primitive 2N-th root), then scaled by Delta and
+// rounded. The orbit of 5 orders the slots so that the Galois automorphism
+// X -> X^(5^r) is exactly a cyclic rotation of the slot vector by r.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "ckks/params.h"
+#include "poly/rns.h"
+
+namespace alchemist::ckks {
+
+// Scaled, encoded message over the RNS basis of some level. NTT form.
+struct Plaintext {
+  RnsPoly poly;       // NTT form over basis_at(level)
+  std::size_t level;  // number of active q primes
+  double scale;
+};
+
+class CkksEncoder {
+ public:
+  explicit CkksEncoder(ContextPtr ctx);
+
+  std::size_t slots() const { return ctx_->params().slots(); }
+
+  // Values beyond `values.size()` are zero-padded; values.size() must not
+  // exceed slots().
+  Plaintext encode(std::span<const std::complex<double>> values,
+                   std::size_t level, double scale) const;
+  Plaintext encode(std::span<const double> values, std::size_t level,
+                   double scale) const;
+  // Broadcast a single scalar to every slot.
+  Plaintext encode_scalar(std::complex<double> value, std::size_t level,
+                          double scale) const;
+
+  // Fast path for the same broadcast: a + b*i in every slot equals the
+  // two-coefficient polynomial a + b*X^(N/2) (since 5^j ≡ 1 mod 4, the
+  // embedding sends X^(N/2) to +i in every slot). O(N) instead of O(N^2/2).
+  Plaintext encode_constant(std::complex<double> value, std::size_t level,
+                            double scale) const;
+
+  // Exact decode: CRT-composes the RNS residues, centers mod Q, divides by
+  // the scale and evaluates the embedding.
+  std::vector<std::complex<double>> decode(const Plaintext& pt) const;
+
+  // Decode pre-centered coefficients (used by the decryptor).
+  std::vector<std::complex<double>> decode_centered(
+      std::span<const double> centered_coeffs, double scale) const;
+
+ private:
+  ContextPtr ctx_;
+  std::vector<std::complex<double>> omega_powers_;  // omega^t, t in [0, 2N)
+  std::vector<std::size_t> rot_group_;              // 5^j mod 2N, j in [0, N/2)
+};
+
+// CRT-compose each coefficient of a coefficient-form RnsPoly and center it
+// into (-Q/2, Q/2], returned as doubles. Values must be small enough for a
+// double (|x| < 2^1000 trivially, precision loss beyond 2^53 is the caller's
+// concern — decrypted CKKS coefficients are Delta-scaled messages, far below).
+std::vector<double> to_centered_doubles(const RnsPoly& coeff_form);
+
+}  // namespace alchemist::ckks

@@ -1,0 +1,67 @@
+#include "ckks/encryptor.h"
+
+#include <stdexcept>
+
+namespace alchemist::ckks {
+
+Encryptor::Encryptor(ContextPtr ctx, PublicKey pk, u64 seed)
+    : ctx_(std::move(ctx)), pk_(std::move(pk)), rng_(seed) {}
+
+RnsPoly Encryptor::sample_small_ntt(const std::vector<u64>& basis, bool ternary) {
+  const std::size_t n = ctx_->degree();
+  std::vector<i64> small(n);
+  for (i64& v : small) {
+    v = ternary ? static_cast<i64>(rng_.uniform(3)) - 1
+                : rng_.gaussian_signed(ctx_->params().noise_sigma);
+  }
+  RnsPoly p(n, basis);
+  for (std::size_t c = 0; c < basis.size(); ++c) {
+    const u64 q = basis[c];
+    auto ch = p.channel(c);
+    for (std::size_t i = 0; i < n; ++i) {
+      ch[i] = small[i] >= 0 ? static_cast<u64>(small[i]) % q
+                            : q - static_cast<u64>(-small[i]) % q;
+    }
+  }
+  p.to_ntt();
+  return p;
+}
+
+Ciphertext Encryptor::encrypt(const Plaintext& pt) {
+  const std::size_t top = ctx_->params().num_levels;
+  const auto top_basis = ctx_->basis_at(top);
+
+  // (c0, c1) = (v*b + e0 + m, v*a + e1) over the full basis, then drop to the
+  // plaintext's level.
+  const RnsPoly v = sample_small_ntt(top_basis, /*ternary=*/true);
+  RnsPoly c0 = pk_.b;
+  c0 *= v;
+  c0 += sample_small_ntt(top_basis, /*ternary=*/false);
+  RnsPoly c1 = pk_.a;
+  c1 *= v;
+  c1 += sample_small_ntt(top_basis, /*ternary=*/false);
+
+  if (pt.level > top) throw std::invalid_argument("Encryptor: bad plaintext level");
+  c0.drop_channels_to(pt.level);
+  c1.drop_channels_to(pt.level);
+  c0 += pt.poly;
+  return Ciphertext{std::move(c0), std::move(c1), pt.level, pt.scale};
+}
+
+Decryptor::Decryptor(ContextPtr ctx, SecretKey sk)
+    : ctx_(std::move(ctx)), sk_(std::move(sk)) {}
+
+std::vector<double> Decryptor::decrypt_coeffs(const Ciphertext& ct) const {
+  RnsPoly m = ct.c1;
+  m *= sk_.s.extract_channels(0, ct.level);
+  m += ct.c0;
+  m.to_coeff();
+  return to_centered_doubles(m);
+}
+
+std::vector<std::complex<double>> Decryptor::decrypt(const Ciphertext& ct,
+                                                     const CkksEncoder& encoder) const {
+  return encoder.decode_centered(decrypt_coeffs(ct), ct.scale);
+}
+
+}  // namespace alchemist::ckks

@@ -1,0 +1,46 @@
+// Public-key encryption and secret-key decryption for CKKS.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "ckks/ciphertext.h"
+#include "ckks/encoder.h"
+#include "ckks/keys.h"
+#include "ckks/params.h"
+#include "common/rng.h"
+
+namespace alchemist::ckks {
+
+class Encryptor {
+ public:
+  Encryptor(ContextPtr ctx, PublicKey pk, u64 seed = 2);
+
+  // Encrypt an encoded plaintext; the ciphertext starts at the plaintext's
+  // level with the plaintext's scale.
+  Ciphertext encrypt(const Plaintext& pt);
+
+ private:
+  RnsPoly sample_small_ntt(const std::vector<u64>& basis, bool ternary);
+
+  ContextPtr ctx_;
+  PublicKey pk_;
+  Rng rng_;
+};
+
+class Decryptor {
+ public:
+  Decryptor(ContextPtr ctx, SecretKey sk);
+
+  // Raw decryption: centered coefficients of c0 + c1*s.
+  std::vector<double> decrypt_coeffs(const Ciphertext& ct) const;
+  // Full pipeline: decrypt then decode through `encoder`.
+  std::vector<std::complex<double>> decrypt(const Ciphertext& ct,
+                                            const CkksEncoder& encoder) const;
+
+ private:
+  ContextPtr ctx_;
+  SecretKey sk_;
+};
+
+}  // namespace alchemist::ckks

@@ -1,0 +1,132 @@
+#include "ckks/keygen.h"
+
+#include "common/biguint.h"
+
+namespace alchemist::ckks {
+
+KeyGenerator::KeyGenerator(ContextPtr ctx, u64 seed)
+    : ctx_(std::move(ctx)), rng_(seed) {
+  const std::size_t n = ctx_->degree();
+  const auto key_basis = ctx_->key_basis();
+
+  // Ternary secret sampled once as signed values, then embedded per channel
+  // so every residue channel holds the same integer polynomial. A sparse
+  // secret (fixed Hamming weight) is used for bootstrapping parameter sets.
+  std::vector<int> s_signed(n, 0);
+  const std::size_t h = ctx_->params().secret_hamming_weight;
+  if (h == 0) {
+    for (int& v : s_signed) v = static_cast<int>(rng_.uniform(3)) - 1;
+  } else {
+    std::size_t placed = 0;
+    while (placed < std::min(h, n)) {
+      const std::size_t pos = static_cast<std::size_t>(rng_.uniform(n));
+      if (s_signed[pos] != 0) continue;
+      s_signed[pos] = rng_.next() & 1 ? 1 : -1;
+      ++placed;
+    }
+  }
+  RnsPoly s(n, key_basis);
+  for (std::size_t c = 0; c < key_basis.size(); ++c) {
+    const u64 q = key_basis[c];
+    auto ch = s.channel(c);
+    for (std::size_t i = 0; i < n; ++i) {
+      ch[i] = s_signed[i] >= 0 ? static_cast<u64>(s_signed[i])
+                               : q - static_cast<u64>(-s_signed[i]);
+    }
+  }
+  s.to_ntt();
+  secret_ = SecretKey{std::move(s)};
+}
+
+RnsPoly KeyGenerator::sample_uniform(const std::vector<u64>& basis) {
+  RnsPoly a(ctx_->degree(), basis, RnsPoly::Form::Ntt);
+  for (std::size_t c = 0; c < basis.size(); ++c) {
+    auto ch = a.channel(c);
+    for (u64& x : ch) x = rng_.uniform(basis[c]);
+  }
+  return a;
+}
+
+RnsPoly KeyGenerator::sample_error_ntt(const std::vector<u64>& basis) {
+  const std::size_t n = ctx_->degree();
+  std::vector<i64> e_signed(n);
+  for (i64& v : e_signed) v = rng_.gaussian_signed(ctx_->params().noise_sigma);
+  RnsPoly e(n, basis);
+  for (std::size_t c = 0; c < basis.size(); ++c) {
+    const u64 q = basis[c];
+    auto ch = e.channel(c);
+    for (std::size_t i = 0; i < n; ++i) {
+      ch[i] = e_signed[i] >= 0 ? static_cast<u64>(e_signed[i]) % q
+                               : q - static_cast<u64>(-e_signed[i]) % q;
+    }
+  }
+  e.to_ntt();
+  return e;
+}
+
+PublicKey KeyGenerator::make_public_key() {
+  const std::size_t levels = ctx_->params().num_levels;
+  const auto basis = ctx_->basis_at(levels);
+  // Restrict the key-basis secret to the ciphertext basis (q channels lead).
+  const RnsPoly s_q = secret_.s.extract_channels(0, levels);
+  RnsPoly a = sample_uniform(basis);
+  RnsPoly e = sample_error_ntt(basis);
+  RnsPoly b = a;
+  b *= s_q;
+  b.negate();
+  b += e;
+  return PublicKey{std::move(b), std::move(a)};
+}
+
+KSwitchKey KeyGenerator::make_kswitch_key(const RnsPoly& s_from) {
+  const auto& params = ctx_->params();
+  const std::size_t levels = params.num_levels;
+  const auto key_basis = ctx_->key_basis();
+  const BigUInt big_p = BigUInt::product(ctx_->p_moduli());
+
+  KSwitchKey result;
+  result.digits.reserve(params.dnum);
+  for (std::size_t j = 0; j < ctx_->num_digits_at(levels); ++j) {
+    const auto [first, count] = ctx_->digit_range(j, levels);
+    RnsPoly a = sample_uniform(key_basis);
+    RnsPoly b = a;
+    b *= secret_.s;
+    b.negate();
+    b += sample_error_ntt(key_basis);
+    // Gadget payload: residue P * s_from on group-j channels, 0 elsewhere.
+    // NTT form is per-channel, so scaling channels of NTT(s_from) by the
+    // scalar [P]_{q_i} yields NTT(g_j * s_from) directly.
+    std::vector<u64> gadget(key_basis.size(), 0);
+    for (std::size_t c = first; c < first + count; ++c) {
+      gadget[c] = big_p.mod_u64(key_basis[c]);
+    }
+    RnsPoly payload = s_from;
+    payload.mul_scalar(std::span<const u64>(gadget));
+    b += payload;
+    result.digits.emplace_back(std::move(b), std::move(a));
+  }
+  return result;
+}
+
+RelinKeys KeyGenerator::make_relin_keys() {
+  RnsPoly s_squared = secret_.s;
+  s_squared *= secret_.s;
+  return RelinKeys{make_kswitch_key(s_squared)};
+}
+
+GaloisKeys KeyGenerator::make_galois_keys(const std::vector<int>& steps,
+                                          bool include_conjugate) {
+  GaloisKeys keys;
+  for (int step : steps) {
+    const u64 g = ctx_->galois_elt_for_rotation(step);
+    if (keys.has(g)) continue;
+    keys.keys.emplace(g, make_kswitch_key(secret_.s.automorphism(g)));
+  }
+  if (include_conjugate) {
+    const u64 g = ctx_->galois_elt_conjugate();
+    keys.keys.emplace(g, make_kswitch_key(secret_.s.automorphism(g)));
+  }
+  return keys;
+}
+
+}  // namespace alchemist::ckks

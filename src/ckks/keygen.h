@@ -1,0 +1,33 @@
+// Key generation for RNS-CKKS.
+#pragma once
+
+#include "ckks/keys.h"
+#include "ckks/params.h"
+#include "common/rng.h"
+
+namespace alchemist::ckks {
+
+class KeyGenerator {
+ public:
+  KeyGenerator(ContextPtr ctx, u64 seed = 1);
+
+  const SecretKey& secret_key() const { return secret_; }
+  PublicKey make_public_key();
+  RelinKeys make_relin_keys();
+  // One keyswitching key per requested rotation step (plus conjugation via
+  // make_galois_keys with include_conjugate).
+  GaloisKeys make_galois_keys(const std::vector<int>& steps,
+                              bool include_conjugate = false);
+
+ private:
+  RnsPoly sample_uniform(const std::vector<u64>& basis);
+  RnsPoly sample_error_ntt(const std::vector<u64>& basis);
+  // Core: keyswitching key from `s_from` (NTT, key basis) to the secret.
+  KSwitchKey make_kswitch_key(const RnsPoly& s_from);
+
+  ContextPtr ctx_;
+  Rng rng_;
+  SecretKey secret_;
+};
+
+}  // namespace alchemist::ckks

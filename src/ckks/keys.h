@@ -1,0 +1,48 @@
+// Key material for RNS-CKKS with hybrid keyswitching.
+//
+// The keyswitching key for a source secret s_from (s^2 for relinearization,
+// s(X^g) for rotations) holds one pair per digit group j:
+//   evk_j = ( -a_j * s + e_j + g_j * s_from ,  a_j )  over the basis Q·P,
+// where the RNS gadget element g_j has residue P on the group-j channels and
+// 0 everywhere else. That residue pattern is level-independent, so a single
+// key generated at the top level serves every level — lower levels simply
+// drop the missing q-channels when multiplying.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "poly/rns.h"
+
+namespace alchemist::ckks {
+
+struct SecretKey {
+  // Ternary secret, NTT form over the full key basis Q·P.
+  RnsPoly s;
+};
+
+struct PublicKey {
+  // (b, a) = (-a*s + e, a) over the full ciphertext basis Q, NTT form.
+  RnsPoly b;
+  RnsPoly a;
+};
+
+struct KSwitchKey {
+  // digits[j] = (b_j, a_j) over the key basis Q·P, NTT form.
+  std::vector<std::pair<RnsPoly, RnsPoly>> digits;
+};
+
+struct RelinKeys {
+  KSwitchKey key;  // switches s^2 -> s
+};
+
+struct GaloisKeys {
+  // galois element -> key switching s(X^g) -> s
+  std::map<u64, KSwitchKey> keys;
+
+  bool has(u64 galois_elt) const { return keys.count(galois_elt) != 0; }
+  const KSwitchKey& at(u64 galois_elt) const { return keys.at(galois_elt); }
+};
+
+}  // namespace alchemist::ckks

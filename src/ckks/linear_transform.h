@@ -1,0 +1,54 @@
+// Homomorphic linear transforms (matrix-vector products over the slots).
+//
+// A slots x slots complex matrix M is applied to an encrypted vector with the
+// diagonal method:  M z = sum_d diag_d ⊙ rot(z, d),  where diag_d[k] =
+// M[k][(k+d) mod slots]. Only nonzero diagonals cost work. With the
+// baby-step/giant-step split d = g*i + j the rotation count drops from
+// #diagonals to ~2*sqrt(#diagonals) — the structure of the CoeffToSlot /
+// SlotToCoeff stages of bootstrapping and of the dense layers in LoLa.
+#pragma once
+
+#include <complex>
+#include <map>
+#include <vector>
+
+#include "ckks/encoder.h"
+#include "ckks/evaluator.h"
+#include "ckks/keys.h"
+#include "ckks/params.h"
+
+namespace alchemist::ckks {
+
+class LinearTransform {
+ public:
+  using Matrix = std::vector<std::vector<std::complex<double>>>;
+
+  // Build from a dense slots x slots matrix; zero diagonals are skipped.
+  LinearTransform(ContextPtr ctx, Matrix matrix);
+
+  std::size_t num_diagonals() const { return diagonals_.size(); }
+  // Rotation steps needed by apply() (generate Galois keys for these).
+  std::vector<int> required_rotations(bool bsgs) const;
+
+  // y = M x. The result's scale is x.scale * pt_scale; the caller rescales.
+  // With bsgs=true, uses the baby-step/giant-step schedule.
+  Ciphertext apply(const Evaluator& evaluator, const CkksEncoder& encoder,
+                   const Ciphertext& x, const GaloisKeys& gk, double pt_scale,
+                   bool bsgs = true) const;
+
+ private:
+  std::size_t giant_step() const;
+
+  ContextPtr ctx_;
+  std::size_t slots_;
+  std::map<std::size_t, std::vector<std::complex<double>>> diagonals_;
+};
+
+// The slots x slots DFT-like matrices of CKKS bootstrapping: encode_matrix
+// (SlotToCoeff direction, entries zeta_j^k restricted to the slot group) and
+// its inverse decode_matrix (CoeffToSlot). Exposed for tests and the
+// bootstrap pipeline.
+LinearTransform::Matrix slot_to_coeff_matrix(const CkksContext& ctx);
+LinearTransform::Matrix coeff_to_slot_matrix(const CkksContext& ctx);
+
+}  // namespace alchemist::ckks

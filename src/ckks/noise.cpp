@@ -1,0 +1,55 @@
+#include "ckks/noise.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace alchemist::ckks {
+
+NoiseOracle::NoiseOracle(ContextPtr ctx, const CkksEncoder& encoder,
+                         const Decryptor& decryptor)
+    : ctx_(std::move(ctx)), encoder_(encoder), decryptor_(decryptor) {}
+
+double NoiseOracle::error_bits(const Ciphertext& ct,
+                               std::span<const std::complex<double>> expected) const {
+  const auto decrypted = decryptor_.decrypt(ct, encoder_);
+  double max_err = 0;
+  for (std::size_t i = 0; i < expected.size() && i < decrypted.size(); ++i) {
+    max_err = std::max(max_err, std::abs(decrypted[i] - expected[i]));
+  }
+  return max_err > 0 ? std::log2(max_err) : -1074.0;
+}
+
+double NoiseOracle::precision_bits(const Ciphertext& ct,
+                                   std::span<const std::complex<double>> expected) const {
+  double max_mag = 0;
+  for (const auto& v : expected) max_mag = std::max(max_mag, std::abs(v));
+  const double signal_bits = max_mag > 0 ? std::log2(max_mag) : 0.0;
+  return signal_bits - error_bits(ct, expected);
+}
+
+void check_ciphertext_invariants(const CkksContext& ctx, const Ciphertext& ct) {
+  const auto fail = [](const std::string& what) {
+    throw std::logic_error("ciphertext invariant violated: " + what);
+  };
+  if (ct.level == 0 || ct.level > ctx.params().num_levels) fail("level out of range");
+  if (ct.scale <= 0 || !std::isfinite(ct.scale)) fail("non-positive scale");
+  if (ct.c0.degree() != ctx.degree() || ct.c1.degree() != ctx.degree()) {
+    fail("degree mismatch");
+  }
+  if (!ct.c0.is_ntt() || !ct.c1.is_ntt()) fail("components must be in NTT form");
+  const auto expected_basis = ctx.basis_at(ct.level);
+  if (ct.c0.moduli() != expected_basis || ct.c1.moduli() != expected_basis) {
+    fail("basis does not match the level");
+  }
+  for (std::size_t c = 0; c < ct.c0.num_channels(); ++c) {
+    const u64 q = expected_basis[c];
+    for (std::size_t i = 0; i < ctx.degree(); ++i) {
+      if (ct.c0.channel(c)[i] >= q || ct.c1.channel(c)[i] >= q) {
+        fail("residue out of range");
+      }
+    }
+  }
+}
+
+}  // namespace alchemist::ckks

@@ -1,0 +1,43 @@
+// Noise measurement and ciphertext invariant checks for CKKS.
+//
+// CKKS noise is only observable with the secret key; the NoiseOracle wraps a
+// decryptor to report how many bits of the scale the error has consumed —
+// the quantity that decides when a ciphertext must be bootstrapped.
+#pragma once
+
+#include <complex>
+#include <span>
+
+#include "ckks/ciphertext.h"
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/params.h"
+
+namespace alchemist::ckks {
+
+class NoiseOracle {
+ public:
+  NoiseOracle(ContextPtr ctx, const CkksEncoder& encoder, const Decryptor& decryptor);
+
+  // log2 of the largest slot error against the expected values. Returns a
+  // negative number for sub-unit errors (e.g. -20 means max error 2^-20).
+  double error_bits(const Ciphertext& ct,
+                    std::span<const std::complex<double>> expected) const;
+
+  // Remaining precision headroom in bits: log2(scale) - error-magnitude bits
+  // relative to the message. Bootstrapping is due when this approaches 0.
+  double precision_bits(const Ciphertext& ct,
+                        std::span<const std::complex<double>> expected) const;
+
+ private:
+  ContextPtr ctx_;
+  const CkksEncoder& encoder_;
+  const Decryptor& decryptor_;
+};
+
+// Structural invariants every well-formed ciphertext satisfies; throws
+// std::logic_error with a description on violation. Useful in tests and as a
+// debug assertion after evaluator pipelines.
+void check_ciphertext_invariants(const CkksContext& ctx, const Ciphertext& ct);
+
+}  // namespace alchemist::ckks

@@ -1,0 +1,37 @@
+#include "ckks/packed_ops.h"
+
+namespace alchemist::ckks {
+
+std::vector<int> power_of_two_rotations(std::size_t slots) {
+  std::vector<int> steps;
+  for (std::size_t s = 1; s < slots; s <<= 1) steps.push_back(static_cast<int>(s));
+  return steps;
+}
+
+Ciphertext rotate_and_sum_all(const Evaluator& evaluator, const Ciphertext& ct,
+                              const GaloisKeys& gk, std::size_t slots) {
+  Ciphertext acc = ct;
+  for (std::size_t step = 1; step < slots; step <<= 1) {
+    acc = evaluator.add(acc, evaluator.rotate(acc, static_cast<int>(step), gk));
+  }
+  return acc;
+}
+
+Ciphertext inner_product_plain(const Evaluator& evaluator, const CkksEncoder& encoder,
+                               const Ciphertext& ct, std::span<const double> weights,
+                               const GaloisKeys& gk) {
+  const Plaintext pw = encoder.encode(weights, ct.level, ct.scale);
+  const Ciphertext weighted = evaluator.rescale(evaluator.mul_plain(ct, pw));
+  return rotate_and_sum_all(evaluator, weighted, gk, encoder.slots());
+}
+
+Ciphertext inner_product(const Evaluator& evaluator, const Ciphertext& a,
+                         const Ciphertext& b, const RelinKeys& rk,
+                         const GaloisKeys& gk) {
+  const Ciphertext prod = evaluator.mul_aligned(a, b, rk);
+  // Sum over all slots of the (aligned) product.
+  std::size_t slots = a.c0.degree() / 2;
+  return rotate_and_sum_all(evaluator, prod, gk, slots);
+}
+
+}  // namespace alchemist::ckks

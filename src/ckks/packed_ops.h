@@ -1,0 +1,34 @@
+// Packed-vector helpers on CKKS ciphertexts: the reductions and products
+// every application layer rebuilds (LoLa's dense layers, HELR's batched dot
+// products, the bridge's coefficient folding).
+#pragma once
+
+#include "ckks/encoder.h"
+#include "ckks/evaluator.h"
+#include "ckks/keys.h"
+#include "ckks/params.h"
+
+namespace alchemist::ckks {
+
+// The power-of-two rotation steps rotate_and_sum_all needs for `slots` slots
+// (generate Galois keys for these).
+std::vector<int> power_of_two_rotations(std::size_t slots);
+
+// Rotate-and-add tree: afterwards *every* slot holds the sum of all slots.
+// log2(slots) rotations.
+Ciphertext rotate_and_sum_all(const Evaluator& evaluator, const Ciphertext& ct,
+                              const GaloisKeys& gk, std::size_t slots);
+
+// Elementwise ct * plaintext-vector followed by the all-slot reduction:
+// every slot ends up holding <ct, weights>. Consumes one level.
+Ciphertext inner_product_plain(const Evaluator& evaluator, const CkksEncoder& encoder,
+                               const Ciphertext& ct, std::span<const double> weights,
+                               const GaloisKeys& gk);
+
+// Encrypted-encrypted inner product: every slot holds <a, b>. One level +
+// relinearization.
+Ciphertext inner_product(const Evaluator& evaluator, const Ciphertext& a,
+                         const Ciphertext& b, const RelinKeys& rk,
+                         const GaloisKeys& gk);
+
+}  // namespace alchemist::ckks

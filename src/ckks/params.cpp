@@ -1,0 +1,68 @@
+#include "ckks/params.h"
+
+#include <stdexcept>
+
+#include "common/primes.h"
+
+namespace alchemist::ckks {
+
+CkksContext::CkksContext(const CkksParams& params) : params_(params) {
+  if (!is_power_of_two(params.n)) {
+    throw std::invalid_argument("CkksContext: N must be a power of two");
+  }
+  if (params.num_levels == 0 || params.dnum == 0 || params.dnum > params.num_levels) {
+    throw std::invalid_argument("CkksContext: need 1 <= dnum <= L");
+  }
+
+  // q_0 at first_prime_bits, the rest at prime_bits; all distinct.
+  q_moduli_ = generate_ntt_primes(params.first_prime_bits, params.n, 1);
+  if (params.num_levels > 1) {
+    auto rest = generate_ntt_primes(params.prime_bits, params.n,
+                                    params.num_levels - 1, q_moduli_);
+    q_moduli_.insert(q_moduli_.end(), rest.begin(), rest.end());
+  }
+  p_moduli_ = generate_ntt_primes(params.special_prime_bits, params.n,
+                                  params.num_special(), q_moduli_);
+}
+
+std::vector<u64> CkksContext::basis_at(std::size_t level) const {
+  if (level == 0 || level > params_.num_levels) {
+    throw std::invalid_argument("CkksContext::basis_at: level out of range");
+  }
+  return {q_moduli_.begin(), q_moduli_.begin() + level};
+}
+
+std::vector<u64> CkksContext::extended_basis_at(std::size_t level) const {
+  std::vector<u64> basis = basis_at(level);
+  basis.insert(basis.end(), p_moduli_.begin(), p_moduli_.end());
+  return basis;
+}
+
+std::size_t CkksContext::num_digits_at(std::size_t level) const {
+  const std::size_t alpha = params_.alpha();
+  return (level + alpha - 1) / alpha;
+}
+
+std::pair<std::size_t, std::size_t> CkksContext::digit_range(std::size_t digit,
+                                                             std::size_t level) const {
+  const std::size_t alpha = params_.alpha();
+  const std::size_t first = digit * alpha;
+  if (first >= level) {
+    throw std::invalid_argument("CkksContext::digit_range: digit out of range");
+  }
+  const std::size_t last = std::min(first + alpha, level);
+  return {first, last - first};
+}
+
+u64 CkksContext::galois_elt_for_rotation(int steps) const {
+  const u64 two_n = 2 * params_.n;
+  const std::size_t slots = params_.slots();
+  // Normalize steps into [0, slots) — rotations are cyclic over the slots.
+  long long s = steps % static_cast<long long>(slots);
+  if (s < 0) s += static_cast<long long>(slots);
+  u64 g = 1;
+  for (long long i = 0; i < s; ++i) g = (g * 5) % two_n;
+  return g;
+}
+
+}  // namespace alchemist::ckks

@@ -1,0 +1,52 @@
+// Minimal binary serialization: little-endian, length-prefixed, magic+version
+// header. Used to persist keys and ciphertexts (see src/serdes for the
+// FHE-type overloads).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/modarith.h"
+
+namespace alchemist {
+
+class BinaryWriter {
+ public:
+  void write_u8(std::uint8_t v) { buffer_.push_back(v); }
+  void write_u64(u64 v);
+  void write_double(double v);
+  void write_u64_vector(std::span<const u64> v);
+  // Write a tag identifying the following object (checked on read).
+  void write_tag(const std::string& tag);
+
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<std::uint8_t> buffer)
+      : buffer_(std::move(buffer)) {}
+  static BinaryReader load(const std::string& path);
+
+  std::uint8_t read_u8();
+  u64 read_u64();
+  double read_double();
+  std::vector<u64> read_u64_vector();
+  // Throws std::runtime_error if the next tag does not match.
+  void expect_tag(const std::string& tag);
+
+  bool at_end() const { return pos_ == buffer_.size(); }
+
+ private:
+  void need(std::size_t bytes) const;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace alchemist

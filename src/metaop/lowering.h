@@ -1,0 +1,43 @@
+// Lowering of high-level polynomial operators to Meta-OP streams (§4.2).
+//
+//   NTT            -> radix-8 butterflies as (M_8 A_8)_3 R_8 (plus radix-4 as
+//                     (M_8 A_8)_2 R_8 covering two butterflies) — Fig. 4(c)
+//   Bconv/Modup    -> per output channel, (M_8 A_8)_L R_8 — Fig. 4(b)
+//   DecompPolyMult -> (M_8 A_8)_dnum R_8 — Fig. 4(a)
+//   Elementwise    -> (M_8 A_8)_1 R_8
+#pragma once
+
+#include "metaop/metaop.h"
+#include "metaop/op_graph.h"
+
+namespace alchemist::metaop {
+
+// Stage split of an N-point NTT into radix-8 and radix-4 passes.
+struct NttStagePlan {
+  std::size_t radix8_stages = 0;
+  std::size_t radix4_stages = 0;
+};
+NttStagePlan plan_ntt_stages(std::size_t n);
+
+// One N-point negacyclic NTT over `channels` RNS channels.
+MetaOpStream lower_ntt(std::size_t n, std::size_t channels);
+
+// Bconv from L source channels to K target channels (Eq. 1): the per-channel
+// q̂^{-1} scaling plus the K accumulations of depth L.
+MetaOpStream lower_bconv(std::size_t n, std::size_t l_in, std::size_t k_out);
+
+// DecompPolyMult: accumulate dnum digit polynomials times evk polynomials,
+// for `channels` output channels.
+MetaOpStream lower_decomp_poly_mult(std::size_t n, std::size_t dnum,
+                                    std::size_t channels);
+
+// Elementwise modular multiply/add over channels * n coefficients.
+MetaOpStream lower_elementwise(std::size_t n, std::size_t channels);
+
+// Dispatch on the IR node kind.
+MetaOpStream lower(const HighOp& op);
+
+// Lower a whole graph (concatenation; scheduling is the simulator's job).
+MetaOpStream lower(const OpGraph& graph);
+
+}  // namespace alchemist::metaop

@@ -1,0 +1,61 @@
+// Meta-OP: the paper's unified low-level operator (M_j A_j)_n R_j.
+//
+// One Meta-OP performs j parallel multiplications and j additions per cycle
+// for n cycles (accumulating), then reduces the j accumulated sums. On the
+// unified core (Fig. 5c/5d) the reduction reuses the multiplication array for
+// 2 cycles, so a Meta-OP occupies one core for exactly n + 2 cycles. j is
+// fixed to 8 by the design-space exploration in §4.2.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alchemist::metaop {
+
+inline constexpr std::size_t kLanes = 8;  // j
+
+// The three data access patterns of Table 4.
+enum class AccessPattern {
+  Slots,      // (I)NTT: data indexed by slot within the unit's stripe
+  Channel,    // Modup/Moddown: gather across RNS channels, same slot
+  DnumGroup,  // DecompPolyMult: gather across decomposition groups
+};
+
+const char* to_string(AccessPattern p);
+
+// Operator classes used for utilization and ratio accounting (Fig. 1, 7b).
+enum class OpClass { Ntt, Bconv, DecompPolyMult, Elementwise };
+
+const char* to_string(OpClass c);
+
+// A homogeneous batch of Meta-OPs: `count` ops, each (M_8 A_8)_n R_8.
+struct MetaOpBatch {
+  std::size_t n = 1;      // multiply-accumulate depth (dynamic parameter)
+  std::size_t count = 0;  // number of Meta-OPs in the batch
+  AccessPattern pattern = AccessPattern::Slots;
+  OpClass op_class = OpClass::Elementwise;
+
+  // Core-cycles for the whole batch on a single core: count * (n + 2).
+  std::uint64_t core_cycles() const { return count * (n + 2); }
+  // Multiplications actually executed: n per lane per cycle plus the 2-cycle
+  // reduction (2 mults per lane, Barrett-style).
+  std::uint64_t mult_count() const { return count * kLanes * (n + 2); }
+  // Useful multiply-accumulate slots (the pink phase); the reduction cycles
+  // reuse the multiplier, so the whole n+2 window keeps the array busy.
+  std::uint64_t macs() const { return count * kLanes * n; }
+};
+
+// A stream of batches produced by lowering one high-level operator.
+struct MetaOpStream {
+  std::vector<MetaOpBatch> batches;
+
+  std::uint64_t core_cycles() const;
+  std::uint64_t mult_count() const;
+  std::uint64_t meta_op_count() const;
+  void append(const MetaOpStream& other);
+  void append(MetaOpBatch batch);
+};
+
+}  // namespace alchemist::metaop

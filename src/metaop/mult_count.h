@@ -1,0 +1,55 @@
+// Multiplication-count analytics: Tables 2-3 and Fig. 7(a) of the paper.
+//
+// Counting convention (matching the paper): a modular multiplication with
+// eager Barrett reduction costs 3 word multiplications (1 product + 2 for the
+// reduction); under the Meta-OP's lazy reduction, the product costs 1 and a
+// deferred reduction costs 2 per accumulated output. Pure additions cost no
+// multiplications in either scheme.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "metaop/op_graph.h"
+
+namespace alchemist::metaop {
+
+struct MultCounts {
+  std::uint64_t origin = 0;  // modularized design, eager reduction
+  std::uint64_t meta = 0;    // (M_8 A_8)_n R_8 with lazy reduction
+
+  // Fractional change meta vs origin (negative = savings).
+  double relative_change() const {
+    return origin == 0 ? 0.0
+                       : (static_cast<double>(meta) - static_cast<double>(origin)) /
+                             static_cast<double>(origin);
+  }
+  MultCounts& operator+=(const MultCounts& other) {
+    origin += other.origin;
+    meta += other.meta;
+    return *this;
+  }
+};
+
+// N-point NTT over `channels` channels. Origin: 3 mults per radix-2
+// butterfly; meta: radix-8 butterflies at 40 word-mults per 8 outputs
+// (the +10% of §4.2).
+MultCounts ntt_mults(std::size_t n, std::size_t channels);
+
+// Bconv/Modup L -> K (Table 3): origin (3KL + 3L)N, meta (KL + 3L + 2K)N.
+MultCounts bconv_mults(std::size_t n, std::size_t l_in, std::size_t k_out);
+
+// DecompPolyMult (Table 2): origin 3*dnum*N, meta (dnum + 2)*N per channel.
+MultCounts decomp_mults(std::size_t n, std::size_t dnum, std::size_t channels);
+
+// Elementwise modular multiplication (same cost both ways: 3N per channel).
+MultCounts elementwise_mults(std::size_t n, std::size_t channels);
+
+MultCounts count(const HighOp& op);
+MultCounts count(const OpGraph& graph);
+
+// Per-operator-class multiplication shares (Fig. 1's "operator ratio").
+// Index with static_cast<std::size_t>(OpClass).
+std::array<std::uint64_t, 4> class_mults(const OpGraph& graph, bool meta);
+
+}  // namespace alchemist::metaop

@@ -1,0 +1,50 @@
+// High-level polynomial operator graph — the shared IR between the FHE
+// workload generators (src/workloads), the Meta-OP lowering (src/metaop) and
+// the cycle simulator (src/sim).
+//
+// Each node is one polynomial-level operator over a set of RNS channels.
+// Dependencies form a DAG; the simulator schedules ready nodes onto hardware.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alchemist::metaop {
+
+enum class OpKind {
+  Ntt,             // forward NTT: channels * N-point transforms
+  Intt,            // inverse NTT
+  Bconv,           // RNS base conversion: param_a = L inputs, param_b = K outputs
+  DecompPolyMult,  // accumulate param_a = dnum digit polys times evk, over channels
+  PointwiseMult,   // elementwise modular multiply, channels * N
+  PointwiseAdd,    // elementwise modular add/sub
+  Automorphism,    // Galois permutation (memory-bound)
+};
+
+const char* to_string(OpKind kind);
+
+struct HighOp {
+  OpKind kind = OpKind::PointwiseAdd;
+  std::size_t n = 0;         // polynomial length
+  std::size_t channels = 1;  // RNS channels this op covers
+  std::size_t param_a = 0;   // Bconv: L; DecompPolyMult: dnum
+  std::size_t param_b = 0;   // Bconv: K
+  std::vector<std::size_t> deps;  // indices into OpGraph::ops
+  // Bytes that must come from off-chip (e.g. streaming evaluation keys).
+  std::uint64_t hbm_bytes = 0;
+};
+
+struct OpGraph {
+  std::string name;
+  std::vector<HighOp> ops;
+
+  // Append an op, returning its index (for dependency wiring).
+  std::size_t add(HighOp op) {
+    ops.push_back(std::move(op));
+    return ops.size() - 1;
+  }
+};
+
+}  // namespace alchemist::metaop

@@ -1,0 +1,108 @@
+#include "poly/four_step_ntt.h"
+
+#include <stdexcept>
+
+#include "common/primes.h"
+#include "poly/ntt.h"
+
+namespace alchemist {
+
+namespace {
+
+// Iterative Cooley-Tukey cyclic DFT, natural order in and out (input is
+// bit-reverse permuted first). `omega` must have multiplicative order m.
+void cyclic_dft(std::span<u64> a, const Modulus& mod, u64 omega) {
+  const std::size_t m = a.size();
+  int log_m = 0;
+  while ((std::size_t{1} << log_m) < m) ++log_m;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t j = bit_reverse(i, log_m);
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= m; len <<= 1) {
+    const u64 wlen = mod.pow(omega, static_cast<u64>(m / len));
+    for (std::size_t i = 0; i < m; i += len) {
+      u64 w = 1;
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const u64 u = a[i + j];
+        const u64 v = mod.mul(a[i + j + len / 2], w);
+        a[i + j] = mod.add(u, v);
+        a[i + j + len / 2] = mod.sub(u, v);
+        w = mod.mul(w, wlen);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FourStepNtt::FourStepNtt(u64 q, std::size_t n) : mod_(q), n_(n) {
+  if (!is_power_of_two(n) || n < 4) {
+    throw std::invalid_argument("FourStepNtt: N must be a power of two >= 4");
+  }
+  int log_n = 0;
+  while ((std::size_t{1} << log_n) < n) ++log_n;
+  n1_ = std::size_t{1} << (log_n / 2);
+  n2_ = n / n1_;
+
+  psi_ = primitive_root_2n(q, n);
+  psi_inv_ = mod_.inv(psi_);
+  omega_ = mod_.mul(psi_, psi_);
+  omega_inv_ = mod_.inv(omega_);
+
+  twist_.resize(n);
+  untwist_.resize(n);
+  const u64 n_inv = mod_.inv(static_cast<u64>(n));
+  u64 p = 1, pi = n_inv;
+  for (std::size_t i = 0; i < n; ++i) {
+    twist_[i] = p;
+    untwist_[i] = pi;  // psi^{-i} * N^{-1}
+    p = mod_.mul(p, psi_);
+    pi = mod_.mul(pi, psi_inv_);
+  }
+}
+
+void FourStepNtt::cyclic_ntt(std::span<u64> a, bool invert) const {
+  const u64 w = invert ? omega_inv_ : omega_;
+  // Matrix layout: element a[i2 * n1 + i1] is row i1 (of n1 rows), column i2
+  // (of n2 columns). Output index: k = k1 * n2 + k2.
+  std::vector<u64> row(n2_);
+  std::vector<u64> scratch(n_);
+
+  // Phase 1: n1 independent DFTs of size n2 over stride-n1 slices, with root
+  // w^{n1} (order n2).
+  const u64 w_n1 = mod_.pow(w, static_cast<u64>(n1_));
+  for (std::size_t i1 = 0; i1 < n1_; ++i1) {
+    for (std::size_t i2 = 0; i2 < n2_; ++i2) row[i2] = a[i2 * n1_ + i1];
+    cyclic_dft(row, mod_, w_n1);
+    // Phase 2 fused in: per-element twiddle w^(i1 * k2).
+    for (std::size_t k2 = 0; k2 < n2_; ++k2) {
+      const u64 tw = mod_.pow(w, static_cast<u64>(i1 * k2));
+      scratch[k2 * n1_ + i1] = mod_.mul(row[k2], tw);
+    }
+  }
+
+  // Phase 3 (after the transpose implied by the scratch layout): n2
+  // independent DFTs of size n1 over contiguous columns, root w^{n2}.
+  const u64 w_n2 = mod_.pow(w, static_cast<u64>(n2_));
+  std::vector<u64> col(n1_);
+  for (std::size_t k2 = 0; k2 < n2_; ++k2) {
+    for (std::size_t i1 = 0; i1 < n1_; ++i1) col[i1] = scratch[k2 * n1_ + i1];
+    cyclic_dft(col, mod_, w_n2);
+    for (std::size_t k1 = 0; k1 < n1_; ++k1) a[k1 * n2_ + k2] = col[k1];
+  }
+}
+
+void FourStepNtt::forward(std::span<u64> a) const {
+  if (a.size() != n_) throw std::invalid_argument("FourStepNtt::forward: size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) a[i] = mod_.mul(a[i], twist_[i]);
+  cyclic_ntt(a, /*invert=*/false);
+}
+
+void FourStepNtt::inverse(std::span<u64> a) const {
+  if (a.size() != n_) throw std::invalid_argument("FourStepNtt::inverse: size mismatch");
+  cyclic_ntt(a, /*invert=*/true);
+  for (std::size_t i = 0; i < n_; ++i) a[i] = mod_.mul(a[i], untwist_[i]);
+}
+
+}  // namespace alchemist

@@ -1,0 +1,54 @@
+// Four-step negacyclic NTT — the data-locality algorithm from §5.3 of the
+// paper (Alchemist, DAC'24).
+//
+// An N-point negacyclic transform is computed as: twist by psi^i, then a
+// cyclic DFT decomposed into N1 x N2 sub-transforms — N1 row DFTs of size N2,
+// a twiddle multiplication, and N2 column DFTs of size N1 — with one global
+// transpose between the phases. On the accelerator each computing unit owns
+// one slot stripe, runs its sub-NTTs out of its private scratchpad, and the
+// only cross-unit traffic is the transpose (through the transpose buffer).
+//
+// This class is the *functional reference* for that decomposition; the cycle
+// simulator (src/sim) charges the corresponding Meta-OPs and transpose traffic
+// analytically.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/modarith.h"
+
+namespace alchemist {
+
+class FourStepNtt {
+ public:
+  // q prime with q ≡ 1 (mod 2N); N a power of two >= 4.
+  FourStepNtt(u64 q, std::size_t n);
+
+  std::size_t size() const { return n_; }
+  std::size_t n1() const { return n1_; }  // column-transform size
+  std::size_t n2() const { return n2_; }  // row-transform size
+
+  // Natural-order negacyclic DFT: out[k] = sum_i a[i] * psi^(i*(2k+1)).
+  void forward(std::span<u64> a) const;
+  // Exact inverse of forward().
+  void inverse(std::span<u64> a) const;
+
+  // Number of independent sub-NTTs per phase — what the paper's "128 sub-NTTs
+  // of 128 points" statement counts for N = 16384.
+  std::size_t sub_ntts_phase1() const { return n1_; }
+  std::size_t sub_ntts_phase2() const { return n2_; }
+
+ private:
+  void cyclic_ntt(std::span<u64> a, bool invert) const;
+
+  Modulus mod_;
+  std::size_t n_ = 0, n1_ = 0, n2_ = 0;
+  u64 psi_ = 0, psi_inv_ = 0;
+  u64 omega_ = 0, omega_inv_ = 0;  // psi^2, order-N cyclic root
+  std::vector<u64> twist_;         // psi^i
+  std::vector<u64> untwist_;       // psi^{-i} / N folded in
+};
+
+}  // namespace alchemist

@@ -1,0 +1,77 @@
+#include "poly/lazy_kernels.h"
+
+#include <stdexcept>
+
+namespace alchemist {
+
+namespace {
+
+int bit_width_u64(u64 x) {
+  return x == 0 ? 0 : 64 - __builtin_clzll(x);
+}
+
+}  // namespace
+
+bool lazy_accumulation_fits(std::size_t terms, int bits_a, int bits_b) {
+  if (terms == 0) return true;
+  int log_terms = 0;
+  while ((std::size_t{1} << log_terms) < terms) ++log_terms;
+  return bits_a + bits_b + log_terms <= 127;
+}
+
+u64 dot_mod_eager(std::span<const u64> a, std::span<const u64> b, const Modulus& mod) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot_mod: size mismatch");
+  u64 acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = mod.add(acc, mod.mul(a[i], b[i]));  // reduce every term
+  }
+  return acc;
+}
+
+u64 dot_mod_lazy(std::span<const u64> a, std::span<const u64> b, const Modulus& mod) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot_mod: size mismatch");
+  if (!lazy_accumulation_fits(a.size(), bit_width_u64(mod.value()),
+                              bit_width_u64(mod.value()))) {
+    // Headroom exhausted: fall back to block-wise accumulation.
+    u64 acc = 0;
+    const std::size_t block = std::size_t{1} << (127 - 2 * bit_width_u64(mod.value()));
+    for (std::size_t start = 0; start < a.size(); start += block) {
+      u128 partial = 0;
+      const std::size_t end = std::min(a.size(), start + block);
+      for (std::size_t i = start; i < end; ++i) partial += u128{a[i]} * b[i];
+      acc = mod.add(acc, mod.reduce(partial));
+    }
+    return acc;
+  }
+  u128 acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += u128{a[i]} * b[i];
+  return mod.reduce(acc);  // one reduction for the whole accumulation
+}
+
+void weighted_sum_eager(std::span<const std::vector<u64>> x, std::span<const u64> w,
+                        const Modulus& mod, std::span<u64> out) {
+  if (x.size() != w.size()) throw std::invalid_argument("weighted_sum: size mismatch");
+  for (u64& v : out) v = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      out[k] = mod.add(out[k], mod.mul(w[i], x[i][k]));
+    }
+  }
+}
+
+void weighted_sum_lazy(std::span<const std::vector<u64>> x, std::span<const u64> w,
+                       const Modulus& mod, std::span<u64> out) {
+  if (x.size() != w.size()) throw std::invalid_argument("weighted_sum: size mismatch");
+  const int qbits = bit_width_u64(mod.value());
+  if (!lazy_accumulation_fits(x.size(), qbits, qbits)) {
+    weighted_sum_eager(x, w, mod, out);
+    return;
+  }
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    u128 acc = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) acc += u128{w[i]} * x[i][k];
+    out[k] = mod.reduce(acc);
+  }
+}
+
+}  // namespace alchemist

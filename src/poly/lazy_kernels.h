@@ -1,0 +1,35 @@
+// Software analogues of the paper's lazy reduction (Tables 2-3).
+//
+// The Meta-OP (M_j A_j)_n R_j defers modular reduction until after the n-term
+// accumulation. In software the same transformation turns n Barrett
+// reductions into one: products are accumulated in 128-bit and reduced once,
+// valid while n * max(a) * max(b) stays below 2^128. These kernels are the
+// measurable counterpart of the paper's #Mults columns — the eager and lazy
+// variants compute identical results (tested), with the lazy ones running
+// the fewer-multiplications dataflow.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/modarith.h"
+
+namespace alchemist {
+
+// Inner product sum_i a[i] * b[i] mod q — the DecompPolyMult accumulation
+// pattern (Table 2).
+u64 dot_mod_eager(std::span<const u64> a, std::span<const u64> b, const Modulus& mod);
+u64 dot_mod_lazy(std::span<const u64> a, std::span<const u64> b, const Modulus& mod);
+
+// out[k] = sum_i w[i] * x[i][k] mod q — one Bconv output channel (Table 3):
+// L input channels combined with per-channel weights.
+void weighted_sum_eager(std::span<const std::vector<u64>> x, std::span<const u64> w,
+                        const Modulus& mod, std::span<u64> out);
+void weighted_sum_lazy(std::span<const std::vector<u64>> x, std::span<const u64> w,
+                       const Modulus& mod, std::span<u64> out);
+
+// True iff `terms` products of values below 2^`bits_a` * 2^`bits_b` can be
+// accumulated in 128 bits without overflow.
+bool lazy_accumulation_fits(std::size_t terms, int bits_a, int bits_b);
+
+}  // namespace alchemist

@@ -1,0 +1,93 @@
+#include "poly/ntt.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "common/primes.h"
+
+namespace alchemist {
+
+namespace {
+
+int log2_exact(std::size_t n) {
+  int log = 0;
+  while ((std::size_t{1} << log) < n) ++log;
+  if ((std::size_t{1} << log) != n) throw std::invalid_argument("NTT size must be a power of two");
+  return log;
+}
+
+}  // namespace
+
+NttTable::NttTable(u64 q, std::size_t n)
+    : mod_(q), n_(n), log_n_(log2_exact(n)), n_inv_() {
+  psi_ = primitive_root_2n(q, n);
+  const u64 psi_inv = inv_mod(psi_, q);
+
+  root_powers_.resize(n);
+  inv_root_powers_.resize(n);
+  u64 power = 1;
+  u64 inv_power = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t rev = bit_reverse(i, log_n_);
+    root_powers_[rev] = MulModShoup(power, q);
+    inv_root_powers_[rev] = MulModShoup(inv_power, q);
+    power = mul_mod(power, psi_, q);
+    inv_power = mul_mod(inv_power, psi_inv, q);
+  }
+  n_inv_ = MulModShoup(inv_mod(static_cast<u64>(n), q), q);
+}
+
+void NttTable::forward(std::span<u64> a) const {
+  if (a.size() != n_) throw std::invalid_argument("NttTable::forward: size mismatch");
+  const u64 q = mod_.value();
+  std::size_t t = n_;
+  for (std::size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t j1 = 2 * i * t;
+      const MulModShoup& s = root_powers_[m + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const u64 u = a[j];
+        const u64 v = s.mul(a[j + t]);
+        a[j] = add_mod(u, v, q);
+        a[j + t] = sub_mod(u, v, q);
+      }
+    }
+  }
+}
+
+void NttTable::inverse(std::span<u64> a) const {
+  if (a.size() != n_) throw std::invalid_argument("NttTable::inverse: size mismatch");
+  const u64 q = mod_.value();
+  std::size_t t = 1;
+  for (std::size_t m = n_; m > 1; m >>= 1) {
+    const std::size_t h = m >> 1;
+    std::size_t j1 = 0;
+    for (std::size_t i = 0; i < h; ++i) {
+      const MulModShoup& s = inv_root_powers_[h + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const u64 u = a[j];
+        const u64 v = a[j + t];
+        a[j] = add_mod(u, v, q);
+        a[j + t] = s.mul(sub_mod(u, v, q));
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  for (u64& x : a) x = n_inv_.mul(x);
+}
+
+const NttTable& get_ntt_table(u64 q, std::size_t n) {
+  // Single-threaded substrate: a plain static map suffices and keeps table
+  // construction out of every polynomial operation.
+  static std::map<std::pair<u64, std::size_t>, std::unique_ptr<NttTable>> cache;
+  auto key = std::make_pair(q, n);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<NttTable>(q, n)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace alchemist

@@ -1,0 +1,61 @@
+// Negacyclic number-theoretic transform over Z_q[X]/(X^N + 1).
+//
+// Forward transform: Cooley-Tukey (decimation in time), natural input order,
+// bit-reversed output order. Inverse: Gentleman-Sande, bit-reversed input,
+// natural output (Longa-Naehrig formulation). Pointwise operations in the NTT
+// domain are order-agnostic as long as both operands use the same transform.
+//
+// Twiddle factors are applied with Shoup multiplication (precomputed
+// quotients), which is why tables are built once per (q, N) pair and cached.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/modarith.h"
+
+namespace alchemist {
+
+class NttTable {
+ public:
+  // q must be prime with q ≡ 1 (mod 2N); N a power of two.
+  NttTable(u64 q, std::size_t n);
+
+  u64 modulus() const { return mod_.value(); }
+  const Modulus& mod() const { return mod_; }
+  std::size_t size() const { return n_; }
+  // The primitive 2N-th root of unity used by this table.
+  u64 psi() const { return psi_; }
+
+  // In-place forward negacyclic NTT: natural order in, bit-reversed out.
+  void forward(std::span<u64> a) const;
+  // In-place inverse negacyclic NTT: bit-reversed in, natural order out.
+  void inverse(std::span<u64> a) const;
+
+ private:
+  Modulus mod_;
+  std::size_t n_ = 0;
+  int log_n_ = 0;
+  u64 psi_ = 0;
+  std::vector<MulModShoup> root_powers_;      // psi^brev(i)
+  std::vector<MulModShoup> inv_root_powers_;  // psi^{-brev(i)}
+  MulModShoup n_inv_;
+};
+
+// Process-wide cache of NTT tables keyed by (q, N). Table construction costs
+// O(N) modular exponentiations; every RnsPoly channel shares one table.
+const NttTable& get_ntt_table(u64 q, std::size_t n);
+
+// Bit reversal of the low `bits` bits of x.
+constexpr std::size_t bit_reverse(std::size_t x, int bits) {
+  std::size_t r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | (x & 1);
+    x >>= 1;
+  }
+  return r;
+}
+
+}  // namespace alchemist

@@ -1,0 +1,105 @@
+#include "poly/polynomial.h"
+
+#include <stdexcept>
+
+#include "poly/ntt.h"
+
+namespace alchemist {
+
+Polynomial::Polynomial(std::size_t n, u64 q) : coeffs_(n, 0), mod_(q) {
+  if (!is_power_of_two(n)) throw std::invalid_argument("Polynomial: N must be a power of two");
+}
+
+Polynomial::Polynomial(std::vector<u64> coeffs, u64 q)
+    : coeffs_(std::move(coeffs)), mod_(q) {
+  if (!is_power_of_two(coeffs_.size())) {
+    throw std::invalid_argument("Polynomial: N must be a power of two");
+  }
+  for (u64& c : coeffs_) c %= q;
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& other) {
+  if (other.degree() != degree() || other.modulus() != modulus()) {
+    throw std::invalid_argument("Polynomial::+=: ring mismatch");
+  }
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    coeffs_[i] = mod_.add(coeffs_[i], other.coeffs_[i]);
+  }
+  return *this;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& other) {
+  if (other.degree() != degree() || other.modulus() != modulus()) {
+    throw std::invalid_argument("Polynomial::-=: ring mismatch");
+  }
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    coeffs_[i] = mod_.sub(coeffs_[i], other.coeffs_[i]);
+  }
+  return *this;
+}
+
+Polynomial& Polynomial::negate() {
+  for (u64& c : coeffs_) c = mod_.neg(c);
+  return *this;
+}
+
+Polynomial& Polynomial::mul_scalar(u64 scalar) {
+  for (u64& c : coeffs_) c = mod_.mul(c, scalar);
+  return *this;
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  if (other.degree() != degree() || other.modulus() != modulus()) {
+    throw std::invalid_argument("Polynomial::*: ring mismatch");
+  }
+  const NttTable& table = get_ntt_table(modulus(), degree());
+  std::vector<u64> a = coeffs_;
+  std::vector<u64> b = other.coeffs_;
+  table.forward(a);
+  table.forward(b);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = mod_.mul(a[i], b[i]);
+  table.inverse(a);
+  Polynomial result;
+  result.coeffs_ = std::move(a);
+  result.mod_ = mod_;
+  return result;
+}
+
+Polynomial Polynomial::mul_schoolbook(const Polynomial& other) const {
+  if (other.degree() != degree() || other.modulus() != modulus()) {
+    throw std::invalid_argument("Polynomial::mul_schoolbook: ring mismatch");
+  }
+  const std::size_t n = degree();
+  Polynomial result(n, modulus());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (coeffs_[i] == 0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      const u64 prod = mod_.mul(coeffs_[i], other.coeffs_[j]);
+      const std::size_t k = i + j;
+      if (k < n) {
+        result.coeffs_[k] = mod_.add(result.coeffs_[k], prod);
+      } else {
+        result.coeffs_[k - n] = mod_.sub(result.coeffs_[k - n], prod);
+      }
+    }
+  }
+  return result;
+}
+
+Polynomial Polynomial::automorphism(u64 galois_elt) const {
+  const std::size_t n = degree();
+  if ((galois_elt & 1) == 0) throw std::invalid_argument("automorphism: element must be odd");
+  Polynomial result(n, modulus());
+  const u64 two_n = 2 * static_cast<u64>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 idx = (static_cast<u64>(i) * galois_elt) % two_n;
+    if (idx < n) {
+      result.coeffs_[idx] = mod_.add(result.coeffs_[idx], coeffs_[i]);
+    } else {
+      result.coeffs_[idx - n] = mod_.sub(result.coeffs_[idx - n], coeffs_[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace alchemist

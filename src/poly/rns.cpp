@@ -1,0 +1,259 @@
+#include "poly/rns.h"
+
+#include <stdexcept>
+
+#include "common/biguint.h"
+#include "poly/lazy_kernels.h"
+#include "poly/ntt.h"
+
+namespace alchemist {
+
+RnsPoly::RnsPoly(std::size_t n, std::vector<u64> moduli, Form form)
+    : n_(n), form_(form), moduli_values_(std::move(moduli)) {
+  if (!is_power_of_two(n)) throw std::invalid_argument("RnsPoly: N must be a power of two");
+  if (moduli_values_.empty()) throw std::invalid_argument("RnsPoly: empty basis");
+  moduli_.reserve(moduli_values_.size());
+  channels_.reserve(moduli_values_.size());
+  for (u64 q : moduli_values_) {
+    moduli_.emplace_back(q);
+    channels_.emplace_back(n, 0);
+  }
+}
+
+void RnsPoly::to_ntt() {
+  if (form_ == Form::Ntt) return;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    get_ntt_table(moduli_values_[i], n_).forward(channels_[i]);
+  }
+  form_ = Form::Ntt;
+}
+
+void RnsPoly::to_coeff() {
+  if (form_ == Form::Coeff) return;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    get_ntt_table(moduli_values_[i], n_).inverse(channels_[i]);
+  }
+  form_ = Form::Coeff;
+}
+
+void RnsPoly::check_compatible(const RnsPoly& other, const char* op) const {
+  if (n_ != other.n_ || moduli_values_ != other.moduli_values_ || form_ != other.form_) {
+    throw std::invalid_argument(std::string("RnsPoly::") + op +
+                                ": degree/basis/form mismatch");
+  }
+}
+
+RnsPoly& RnsPoly::operator+=(const RnsPoly& other) {
+  check_compatible(other, "+=");
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const u64 q = moduli_values_[c];
+    for (std::size_t i = 0; i < n_; ++i) {
+      channels_[c][i] = add_mod(channels_[c][i], other.channels_[c][i], q);
+    }
+  }
+  return *this;
+}
+
+RnsPoly& RnsPoly::operator-=(const RnsPoly& other) {
+  check_compatible(other, "-=");
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const u64 q = moduli_values_[c];
+    for (std::size_t i = 0; i < n_; ++i) {
+      channels_[c][i] = sub_mod(channels_[c][i], other.channels_[c][i], q);
+    }
+  }
+  return *this;
+}
+
+RnsPoly& RnsPoly::operator*=(const RnsPoly& other) {
+  check_compatible(other, "*=");
+  if (form_ != Form::Ntt) {
+    throw std::invalid_argument("RnsPoly::*=: operands must be in NTT form");
+  }
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const Modulus& mod = moduli_[c];
+    for (std::size_t i = 0; i < n_; ++i) {
+      channels_[c][i] = mod.mul(channels_[c][i], other.channels_[c][i]);
+    }
+  }
+  return *this;
+}
+
+RnsPoly& RnsPoly::negate() {
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const u64 q = moduli_values_[c];
+    for (u64& x : channels_[c]) x = neg_mod(x, q);
+  }
+  return *this;
+}
+
+RnsPoly& RnsPoly::mul_scalar(std::span<const u64> scalar_per_channel) {
+  if (scalar_per_channel.size() != channels_.size()) {
+    throw std::invalid_argument("RnsPoly::mul_scalar: scalar count mismatch");
+  }
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const Modulus& mod = moduli_[c];
+    const u64 s = mod.reduce(scalar_per_channel[c]);
+    for (u64& x : channels_[c]) x = mod.mul(x, s);
+  }
+  return *this;
+}
+
+RnsPoly& RnsPoly::mul_scalar(u64 scalar) {
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const Modulus& mod = moduli_[c];
+    const u64 s = mod.reduce(scalar);
+    for (u64& x : channels_[c]) x = mod.mul(x, s);
+  }
+  return *this;
+}
+
+void RnsPoly::drop_channels_to(std::size_t count) {
+  if (count == 0 || count > channels_.size()) {
+    throw std::invalid_argument("RnsPoly::drop_channels_to: bad count");
+  }
+  channels_.resize(count);
+  moduli_.resize(count);
+  moduli_values_.resize(count);
+}
+
+RnsPoly RnsPoly::extract_channels(std::size_t first, std::size_t count) const {
+  if (first + count > channels_.size()) {
+    throw std::invalid_argument("RnsPoly::extract_channels: out of range");
+  }
+  std::vector<u64> sub(moduli_values_.begin() + first,
+                       moduli_values_.begin() + first + count);
+  RnsPoly out(n_, std::move(sub), form_);
+  for (std::size_t c = 0; c < count; ++c) {
+    out.channels_[c] = channels_[first + c];
+  }
+  return out;
+}
+
+void RnsPoly::append_channels(const RnsPoly& other) {
+  if (other.n_ != n_ || other.form_ != form_) {
+    throw std::invalid_argument("RnsPoly::append_channels: degree/form mismatch");
+  }
+  for (std::size_t c = 0; c < other.channels_.size(); ++c) {
+    moduli_.push_back(other.moduli_[c]);
+    moduli_values_.push_back(other.moduli_values_[c]);
+    channels_.push_back(other.channels_[c]);
+  }
+}
+
+RnsPoly RnsPoly::automorphism(u64 galois_elt) const {
+  if ((galois_elt & 1) == 0) throw std::invalid_argument("automorphism: element must be odd");
+  if (form_ == Form::Ntt) {
+    // Round-trip through coefficient form. Functionally exact; the cycle
+    // simulator charges the permutation, not this software detour.
+    RnsPoly tmp = *this;
+    tmp.to_coeff();
+    RnsPoly out = tmp.automorphism(galois_elt);
+    out.to_ntt();
+    return out;
+  }
+  RnsPoly out(n_, moduli_values_, Form::Coeff);
+  const u64 two_n = 2 * static_cast<u64>(n_);
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const u64 q = moduli_values_[c];
+    for (std::size_t i = 0; i < n_; ++i) {
+      const u64 idx = (static_cast<u64>(i) * galois_elt) % two_n;
+      const u64 v = channels_[c][i];
+      if (idx < n_) {
+        out.channels_[c][idx] = add_mod(out.channels_[c][idx], v, q);
+      } else {
+        out.channels_[c][idx - n_] = sub_mod(out.channels_[c][idx - n_], v, q);
+      }
+    }
+  }
+  return out;
+}
+
+bool RnsPoly::operator==(const RnsPoly& other) const {
+  return n_ == other.n_ && form_ == other.form_ &&
+         moduli_values_ == other.moduli_values_ && channels_ == other.channels_;
+}
+
+BConv::BConv(std::vector<u64> source_moduli, std::vector<u64> target_moduli)
+    : source_(std::move(source_moduli)), target_(std::move(target_moduli)) {
+  if (source_.empty() || target_.empty()) {
+    throw std::invalid_argument("BConv: empty basis");
+  }
+  const BigUInt big_q = BigUInt::product(source_);
+  qhat_inv_mod_qi_.resize(source_.size());
+  qhat_mod_pj_.assign(target_.size(), std::vector<u64>(source_.size()));
+  for (std::size_t i = 0; i < source_.size(); ++i) {
+    const BigUInt qhat = big_q.div_u64(source_[i], /*require_exact=*/true);
+    qhat_inv_mod_qi_[i] = inv_mod(qhat.mod_u64(source_[i]), source_[i]);
+    for (std::size_t j = 0; j < target_.size(); ++j) {
+      qhat_mod_pj_[j][i] = qhat.mod_u64(target_[j]);
+    }
+  }
+}
+
+RnsPoly BConv::apply(const RnsPoly& x) const {
+  if (x.is_ntt()) throw std::invalid_argument("BConv: input must be in coefficient form");
+  if (x.moduli() != source_) throw std::invalid_argument("BConv: basis mismatch");
+  const std::size_t n = x.degree();
+  const std::size_t src_count = source_.size();
+
+  // v_i = [x_i * q̂_i^{-1}]_{q_i}, shared across all target channels.
+  std::vector<std::vector<u64>> v(src_count, std::vector<u64>(n));
+  for (std::size_t i = 0; i < src_count; ++i) {
+    const Modulus& qi = x.channel_modulus(i);
+    const std::span<const u64> xi = x.channel(i);
+    for (std::size_t k = 0; k < n; ++k) {
+      v[i][k] = qi.mul(xi[k], qhat_inv_mod_qi_[i]);
+    }
+  }
+
+  // The paper's lazy reduction (Table 3): accumulate the L weighted channels
+  // in 128-bit and reduce once per output coefficient, instead of reducing
+  // every product. Falls back to eager reduction when the 128-bit headroom
+  // is insufficient (only possible for very long chains of 62-bit primes).
+  RnsPoly out(n, target_, RnsPoly::Form::Coeff);
+  for (std::size_t j = 0; j < target_.size(); ++j) {
+    const Modulus pj(target_[j]);
+    weighted_sum_lazy(std::span<const std::vector<u64>>(v),
+                      std::span<const u64>(qhat_mod_pj_[j]), pj, out.channel(j));
+  }
+  return out;
+}
+
+RnsPoly modup(const RnsPoly& x, const std::vector<u64>& special_moduli) {
+  const BConv conv(x.moduli(), special_moduli);
+  RnsPoly out = x;
+  out.append_channels(conv.apply(x));
+  return out;
+}
+
+RnsPoly moddown(const RnsPoly& x, std::size_t num_special) {
+  if (x.is_ntt()) throw std::invalid_argument("moddown: input must be in coefficient form");
+  if (num_special == 0 || num_special >= x.num_channels()) {
+    throw std::invalid_argument("moddown: bad special count");
+  }
+  const std::size_t num_q = x.num_channels() - num_special;
+  const RnsPoly q_part = x.extract_channels(0, num_q);
+  const RnsPoly p_part = x.extract_channels(num_q, num_special);
+
+  std::vector<u64> q_moduli(x.moduli().begin(), x.moduli().begin() + num_q);
+  std::vector<u64> p_moduli(x.moduli().begin() + num_q, x.moduli().end());
+
+  const BConv conv(p_moduli, q_moduli);
+  RnsPoly converted = conv.apply(p_part);
+
+  const BigUInt big_p = BigUInt::product(p_moduli);
+  RnsPoly out = q_part;
+  for (std::size_t i = 0; i < num_q; ++i) {
+    const Modulus& qi = out.channel_modulus(i);
+    const u64 p_inv = qi.inv(big_p.mod_u64(qi.value()));
+    std::span<u64> oi = out.channel(i);
+    std::span<const u64> ci = converted.channel(i);
+    for (std::size_t k = 0; k < out.degree(); ++k) {
+      oi[k] = qi.mul(qi.sub(oi[k], ci[k]), p_inv);
+    }
+  }
+  return out;
+}
+
+}  // namespace alchemist

@@ -1,0 +1,114 @@
+// Residue number system (RNS) polynomials and base conversion.
+//
+// Arithmetic FHE splits a big-modulus polynomial ring R_Q (Q hundreds to
+// thousands of bits) into parallel channels modulo word-sized primes q_i.
+// This file provides:
+//   * RnsPoly      — a polynomial held as per-channel residue vectors, with a
+//                    coefficient/NTT form flag;
+//   * BConv        — fast RNS basis conversion (Eq. 1 of the paper);
+//   * modup        — extend [x]_Q to [x]_{Q·P} (Eq. 2);
+//   * moddown      — divide-and-round back from Q·P to Q (Eq. 3).
+//
+// The Bconv here is the standard fast (HPS-style) conversion without the
+// gamma-correction: the output can carry a small multiple of Q. CKKS absorbs
+// that as keyswitching noise, which is exactly how the accelerator treats it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/modarith.h"
+
+namespace alchemist {
+
+class RnsPoly {
+ public:
+  enum class Form { Coeff, Ntt };
+
+  RnsPoly() = default;
+  RnsPoly(std::size_t n, std::vector<u64> moduli, Form form = Form::Coeff);
+
+  std::size_t degree() const { return n_; }
+  std::size_t num_channels() const { return channels_.size(); }
+  Form form() const { return form_; }
+  bool is_ntt() const { return form_ == Form::Ntt; }
+
+  const std::vector<u64>& moduli() const { return moduli_values_; }
+  const Modulus& channel_modulus(std::size_t i) const { return moduli_[i]; }
+  std::span<u64> channel(std::size_t i) { return channels_[i]; }
+  std::span<const u64> channel(std::size_t i) const { return channels_[i]; }
+
+  // Form conversions run one (inverse) NTT per channel.
+  void to_ntt();
+  void to_coeff();
+
+  // Elementwise ring arithmetic. Operands must share degree, basis and form;
+  // multiplication additionally requires NTT form.
+  RnsPoly& operator+=(const RnsPoly& other);
+  RnsPoly& operator-=(const RnsPoly& other);
+  RnsPoly& operator*=(const RnsPoly& other);
+  friend RnsPoly operator+(RnsPoly a, const RnsPoly& b) { return a += b; }
+  friend RnsPoly operator-(RnsPoly a, const RnsPoly& b) { return a -= b; }
+  friend RnsPoly operator*(RnsPoly a, const RnsPoly& b) { return a *= b; }
+  RnsPoly& negate();
+
+  // Multiply channel i by scalar[i] (one scalar per channel).
+  RnsPoly& mul_scalar(std::span<const u64> scalar_per_channel);
+  // Multiply every channel by the same small integer (reduced per channel).
+  RnsPoly& mul_scalar(u64 scalar);
+
+  // Keep only the first `count` channels (level drop / rescale tail).
+  void drop_channels_to(std::size_t count);
+  // Extract a sub-poly holding channels [first, first+count).
+  RnsPoly extract_channels(std::size_t first, std::size_t count) const;
+  // Append the channels of `other` (same degree and form).
+  void append_channels(const RnsPoly& other);
+
+  // Galois automorphism X -> X^g. Valid in both forms: coefficient form uses
+  // index folding, NTT form uses the standard odd-power permutation.
+  RnsPoly automorphism(u64 galois_elt) const;
+
+  bool operator==(const RnsPoly& other) const;
+
+ private:
+  void check_compatible(const RnsPoly& other, const char* op) const;
+
+  std::size_t n_ = 0;
+  Form form_ = Form::Coeff;
+  std::vector<Modulus> moduli_;
+  std::vector<u64> moduli_values_;
+  std::vector<std::vector<u64>> channels_;
+};
+
+// Fast RNS base conversion from a source basis to a target basis (Eq. 1):
+//   [x]_{p_j} ≈ sum_i [[x]_{q_i} · q̂_i^{-1}]_{q_i} · q̂_i  (mod p_j)
+// where q̂_i = (prod_k q_k) / q_i. Output may exceed the exact value by a
+// small multiple of Q (fast conversion, no correction).
+class BConv {
+ public:
+  BConv(std::vector<u64> source_moduli, std::vector<u64> target_moduli);
+
+  const std::vector<u64>& source() const { return source_; }
+  const std::vector<u64>& target() const { return target_; }
+
+  // x must be in coefficient form over exactly the source basis.
+  RnsPoly apply(const RnsPoly& x) const;
+
+ private:
+  std::vector<u64> source_;
+  std::vector<u64> target_;
+  std::vector<u64> qhat_inv_mod_qi_;          // [L]
+  std::vector<std::vector<u64>> qhat_mod_pj_;  // [K][L]
+};
+
+// Eq. 2: extend [x]_Q (coeff form) with the channels [x]_{p_j}, j in [0, K).
+// Returns a poly over basis Q ∪ P.
+RnsPoly modup(const RnsPoly& x, const std::vector<u64>& special_moduli);
+
+// Eq. 3: given [x]_{Q·P} (coeff form, with the K special channels last),
+// return ([x] - Bconv([x]_P)) · P^{-1} over Q — i.e. round(x / P) up to the
+// fast-conversion error.
+RnsPoly moddown(const RnsPoly& x, std::size_t num_special);
+
+}  // namespace alchemist

@@ -1,0 +1,221 @@
+#include "serdes/fhe_serdes.h"
+
+#include <stdexcept>
+
+namespace alchemist::serdes {
+
+namespace {
+
+void write_header(BinaryWriter& w, const char* tag) {
+  w.write_tag(tag);
+  w.write_u64(kFormatVersion);
+}
+
+void read_header(BinaryReader& r, const char* tag) {
+  r.expect_tag(tag);
+  const u64 version = r.read_u64();
+  if (version != kFormatVersion) {
+    throw std::runtime_error("fhe_serdes: unsupported format version");
+  }
+}
+
+}  // namespace
+
+void write(BinaryWriter& w, const RnsPoly& poly) {
+  write_header(w, "rns");
+  w.write_u64(poly.degree());
+  w.write_u8(poly.is_ntt() ? 1 : 0);
+  w.write_u64_vector(poly.moduli());
+  for (std::size_t c = 0; c < poly.num_channels(); ++c) {
+    w.write_u64_vector(poly.channel(c));
+  }
+}
+
+RnsPoly read_rns_poly(BinaryReader& r) {
+  read_header(r, "rns");
+  const u64 degree = r.read_u64();
+  const bool ntt = r.read_u8() != 0;
+  const std::vector<u64> moduli = r.read_u64_vector();
+  RnsPoly poly(degree, moduli, ntt ? RnsPoly::Form::Ntt : RnsPoly::Form::Coeff);
+  for (std::size_t c = 0; c < moduli.size(); ++c) {
+    const std::vector<u64> data = r.read_u64_vector();
+    if (data.size() != degree) throw std::runtime_error("fhe_serdes: bad channel size");
+    for (std::size_t i = 0; i < degree; ++i) {
+      if (data[i] >= moduli[c]) throw std::runtime_error("fhe_serdes: residue out of range");
+      poly.channel(c)[i] = data[i];
+    }
+  }
+  return poly;
+}
+
+void write(BinaryWriter& w, const tfhe::TorusPoly& poly) {
+  write_header(w, "tpoly");
+  w.write_u64_vector(poly.coeffs());
+}
+
+tfhe::TorusPoly read_torus_poly(BinaryReader& r) {
+  read_header(r, "tpoly");
+  return tfhe::TorusPoly(r.read_u64_vector());
+}
+
+void write(BinaryWriter& w, const ckks::Ciphertext& ct) {
+  write_header(w, "ckks_ct");
+  w.write_u64(ct.level);
+  w.write_double(ct.scale);
+  write(w, ct.c0);
+  write(w, ct.c1);
+}
+
+ckks::Ciphertext read_ckks_ciphertext(BinaryReader& r) {
+  read_header(r, "ckks_ct");
+  ckks::Ciphertext ct;
+  ct.level = r.read_u64();
+  ct.scale = r.read_double();
+  ct.c0 = read_rns_poly(r);
+  ct.c1 = read_rns_poly(r);
+  if (ct.scale <= 0) throw std::runtime_error("fhe_serdes: bad ciphertext scale");
+  return ct;
+}
+
+void write(BinaryWriter& w, const ckks::SecretKey& key) {
+  write_header(w, "ckks_sk");
+  write(w, key.s);
+}
+
+ckks::SecretKey read_ckks_secret_key(BinaryReader& r) {
+  read_header(r, "ckks_sk");
+  return ckks::SecretKey{read_rns_poly(r)};
+}
+
+void write(BinaryWriter& w, const ckks::PublicKey& key) {
+  write_header(w, "ckks_pk");
+  write(w, key.b);
+  write(w, key.a);
+}
+
+ckks::PublicKey read_ckks_public_key(BinaryReader& r) {
+  read_header(r, "ckks_pk");
+  ckks::PublicKey key;
+  key.b = read_rns_poly(r);
+  key.a = read_rns_poly(r);
+  return key;
+}
+
+void write(BinaryWriter& w, const ckks::KSwitchKey& key) {
+  write_header(w, "ckks_ksk");
+  w.write_u64(key.digits.size());
+  for (const auto& [b, a] : key.digits) {
+    write(w, b);
+    write(w, a);
+  }
+}
+
+ckks::KSwitchKey read_kswitch_key(BinaryReader& r) {
+  read_header(r, "ckks_ksk");
+  const u64 digits = r.read_u64();
+  ckks::KSwitchKey key;
+  key.digits.reserve(digits);
+  for (u64 i = 0; i < digits; ++i) {
+    RnsPoly b = read_rns_poly(r);
+    RnsPoly a = read_rns_poly(r);
+    key.digits.emplace_back(std::move(b), std::move(a));
+  }
+  return key;
+}
+
+void write(BinaryWriter& w, const ckks::RelinKeys& key) {
+  write_header(w, "ckks_rlk");
+  write(w, key.key);
+}
+
+ckks::RelinKeys read_relin_keys(BinaryReader& r) {
+  read_header(r, "ckks_rlk");
+  return ckks::RelinKeys{read_kswitch_key(r)};
+}
+
+void write(BinaryWriter& w, const ckks::GaloisKeys& keys) {
+  write_header(w, "ckks_glk");
+  w.write_u64(keys.keys.size());
+  for (const auto& [elt, key] : keys.keys) {
+    w.write_u64(elt);
+    write(w, key);
+  }
+}
+
+ckks::GaloisKeys read_galois_keys(BinaryReader& r) {
+  read_header(r, "ckks_glk");
+  const u64 count = r.read_u64();
+  ckks::GaloisKeys keys;
+  for (u64 i = 0; i < count; ++i) {
+    const u64 elt = r.read_u64();
+    keys.keys.emplace(elt, read_kswitch_key(r));
+  }
+  return keys;
+}
+
+void write(BinaryWriter& w, const tfhe::LweSample& sample) {
+  write_header(w, "lwe");
+  w.write_u64_vector(sample.a);
+  w.write_u64(sample.b);
+}
+
+tfhe::LweSample read_lwe_sample(BinaryReader& r) {
+  read_header(r, "lwe");
+  tfhe::LweSample out;
+  out.a = r.read_u64_vector();
+  out.b = r.read_u64();
+  return out;
+}
+
+void write(BinaryWriter& w, const tfhe::LweKey& key) {
+  write_header(w, "lwe_key");
+  w.write_u64(key.s.size());
+  for (int bit : key.s) w.write_u8(static_cast<std::uint8_t>(bit));
+}
+
+tfhe::LweKey read_lwe_key(BinaryReader& r) {
+  read_header(r, "lwe_key");
+  const u64 n = r.read_u64();
+  tfhe::LweKey key;
+  key.s.resize(n);
+  for (u64 i = 0; i < n; ++i) {
+    const std::uint8_t bit = r.read_u8();
+    if (bit > 1) throw std::runtime_error("fhe_serdes: bad key bit");
+    key.s[i] = bit;
+  }
+  return key;
+}
+
+void write(BinaryWriter& w, const tfhe::TrlweSample& sample) {
+  write_header(w, "trlwe");
+  w.write_u64(sample.k());
+  for (const auto& aj : sample.a) write(w, aj);
+  write(w, sample.b);
+}
+
+tfhe::TrlweSample read_trlwe_sample(BinaryReader& r) {
+  read_header(r, "trlwe");
+  const u64 k = r.read_u64();
+  tfhe::TrlweSample out;
+  out.a.reserve(k);
+  for (u64 i = 0; i < k; ++i) out.a.push_back(read_torus_poly(r));
+  out.b = read_torus_poly(r);
+  return out;
+}
+
+void write(BinaryWriter& w, const tfhe::EncInt& value) {
+  write_header(w, "encint");
+  w.write_u64(value.width());
+  for (const auto& bit : value.bits) write(w, bit);
+}
+
+tfhe::EncInt read_enc_int(BinaryReader& r) {
+  read_header(r, "encint");
+  const u64 width = r.read_u64();
+  tfhe::EncInt out;
+  out.bits.reserve(width);
+  for (u64 i = 0; i < width; ++i) out.bits.push_back(read_lwe_sample(r));
+  return out;
+}
+
+}  // namespace alchemist::serdes

@@ -1,0 +1,46 @@
+// Serialization of FHE objects: keys, ciphertexts and polynomials for both
+// schemes. Every object is framed with a type tag and a format version so
+// corrupted or mismatched files fail loudly instead of decrypting garbage.
+#pragma once
+
+#include "ckks/ciphertext.h"
+#include "ckks/keys.h"
+#include "common/serdes.h"
+#include "tfhe/integer.h"
+#include "tfhe/trlwe.h"
+
+namespace alchemist::serdes {
+
+inline constexpr u64 kFormatVersion = 1;
+
+// --- polynomials ---
+void write(BinaryWriter& w, const RnsPoly& poly);
+RnsPoly read_rns_poly(BinaryReader& r);
+void write(BinaryWriter& w, const tfhe::TorusPoly& poly);
+tfhe::TorusPoly read_torus_poly(BinaryReader& r);
+
+// --- CKKS ---
+void write(BinaryWriter& w, const ckks::Ciphertext& ct);
+ckks::Ciphertext read_ckks_ciphertext(BinaryReader& r);
+void write(BinaryWriter& w, const ckks::SecretKey& key);
+ckks::SecretKey read_ckks_secret_key(BinaryReader& r);
+void write(BinaryWriter& w, const ckks::PublicKey& key);
+ckks::PublicKey read_ckks_public_key(BinaryReader& r);
+void write(BinaryWriter& w, const ckks::KSwitchKey& key);
+ckks::KSwitchKey read_kswitch_key(BinaryReader& r);
+void write(BinaryWriter& w, const ckks::RelinKeys& key);
+ckks::RelinKeys read_relin_keys(BinaryReader& r);
+void write(BinaryWriter& w, const ckks::GaloisKeys& keys);
+ckks::GaloisKeys read_galois_keys(BinaryReader& r);
+
+// --- TFHE ---
+void write(BinaryWriter& w, const tfhe::LweSample& sample);
+tfhe::LweSample read_lwe_sample(BinaryReader& r);
+void write(BinaryWriter& w, const tfhe::LweKey& key);
+tfhe::LweKey read_lwe_key(BinaryReader& r);
+void write(BinaryWriter& w, const tfhe::TrlweSample& sample);
+tfhe::TrlweSample read_trlwe_sample(BinaryReader& r);
+void write(BinaryWriter& w, const tfhe::EncInt& value);
+tfhe::EncInt read_enc_int(BinaryReader& r);
+
+}  // namespace alchemist::serdes

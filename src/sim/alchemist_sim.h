@@ -1,0 +1,26 @@
+// Cycle-level simulator of the Alchemist accelerator.
+//
+// Model (matching §5 of the paper):
+//  * An op graph is executed level by level (ASAP schedule over the DAG).
+//  * Every high-level op lowers to Meta-OP batches; a Meta-OP occupies one
+//    core for n + 2 cycles. Batches spread over all num_units *
+//    cores_per_unit cores (slot partitioning makes units independent, so the
+//    distribution is uniform; a partially-filled last wave still costs a full
+//    n + 2 window — the "tail" loss).
+//  * 4-step NTTs pay one global transpose through the transpose register
+//    file, which moves num_units * lanes words per cycle and is serialized
+//    between the two NTT phases.
+//  * Off-chip traffic (evk streaming) is double-buffered against compute:
+//    a level's wall time is max(compute, HBM); the excess is a memory stall.
+#pragma once
+
+#include "arch/config.h"
+#include "metaop/op_graph.h"
+#include "sim/result.h"
+
+namespace alchemist::sim {
+
+SimResult simulate_alchemist(const metaop::OpGraph& graph,
+                             const arch::ArchConfig& config);
+
+}  // namespace alchemist::sim

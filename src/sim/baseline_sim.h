@@ -1,0 +1,23 @@
+// Analytical model of modularized (operator-spatial-multiplexed) baseline
+// accelerators: dedicated NTTU / BconvU / element-wise engines.
+//
+// The same op graph Alchemist runs is scheduled level by level; within a
+// level each engine processes its own operator class concurrently, so the
+// level's wall time is the *slowest* engine's time (plus off-chip stalls).
+// Because real FHE levels are dominated by one class at a time, the other
+// engines idle — this is exactly the utilization mismatch of Fig. 1 / Fig.
+// 7(b) that motivates the unified design. Baselines execute the original
+// (eagerly reduced) multiplication counts; the Meta-OP lazy-reduction saving
+// is Alchemist-specific.
+#pragma once
+
+#include "arch/baselines.h"
+#include "metaop/op_graph.h"
+#include "sim/result.h"
+
+namespace alchemist::sim {
+
+SimResult simulate_modular(const metaop::OpGraph& graph,
+                           const arch::AcceleratorSpec& spec);
+
+}  // namespace alchemist::sim

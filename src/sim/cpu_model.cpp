@@ -1,0 +1,38 @@
+#include "sim/cpu_model.h"
+
+#include <chrono>
+
+#include "common/modarith.h"
+#include "metaop/mult_count.h"
+
+namespace alchemist::sim {
+
+double cpu_ns_per_modmul() {
+  static const double cached = [] {
+    const Modulus mod((u64{1} << 61) - 1);
+    volatile u64 sink = 0;
+    u64 x = 0x1234'5678'9abc'def0ULL % mod.value();
+    // Warm-up.
+    for (int i = 0; i < 100000; ++i) x = mod.mul(x, x + 1);
+    const int iters = 4000000;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) x = mod.mul(x, x + 1);
+    const auto stop = std::chrono::steady_clock::now();
+    sink = x;
+    (void)sink;
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count() / iters;
+    // A software modmul with Barrett reduction is ~3 word multiplies; the
+    // origin counting convention already charges 3 word-mults per modular
+    // multiplication, so convert to per-word-mult cost.
+    return ns / 3.0;
+  }();
+  return cached;
+}
+
+double cpu_time_us(const metaop::OpGraph& graph) {
+  const std::uint64_t mults = metaop::count(graph).origin;
+  return static_cast<double>(mults) * cpu_ns_per_modmul() * 1e-3;
+}
+
+}  // namespace alchemist::sim

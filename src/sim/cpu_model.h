@@ -1,0 +1,23 @@
+// Single-thread CPU cost model — the Table 7 baseline.
+//
+// The paper measures an Intel Xeon Gold 6234 (3.3 GHz, one thread). We model
+// a single-thread software FHE library on *this* machine: the cost of an op
+// graph is its eager (origin) modular-multiplication count times the measured
+// per-multiplication latency of our own software substrate (Barrett mulmod,
+// measured once per process with a short calibration loop). This keeps the
+// CPU baseline honest — it is the same software that our functional tests run
+// — while allowing Table 7's N=2^16, L=44 operators to be costed without
+// hour-long runs.
+#pragma once
+
+#include "metaop/op_graph.h"
+
+namespace alchemist::sim {
+
+// Measured nanoseconds per modular multiplication (cached after first call).
+double cpu_ns_per_modmul();
+
+// Estimated single-thread CPU microseconds for the graph.
+double cpu_time_us(const metaop::OpGraph& graph);
+
+}  // namespace alchemist::sim

@@ -1,0 +1,194 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "metaop/lowering.h"
+
+namespace alchemist::sim {
+
+namespace {
+
+using metaop::HighOp;
+using metaop::MetaOpBatch;
+using metaop::MetaOpStream;
+using metaop::OpClass;
+using metaop::OpGraph;
+using metaop::OpKind;
+
+OpClass class_of(OpKind kind) {
+  switch (kind) {
+    case OpKind::Ntt:
+    case OpKind::Intt: return OpClass::Ntt;
+    case OpKind::Bconv: return OpClass::Bconv;
+    case OpKind::DecompPolyMult: return OpClass::DecompPolyMult;
+    default: return OpClass::Elementwise;
+  }
+}
+
+struct OpState {
+  double work = 0;        // core-cycles of Meta-OP work (incl. transpose)
+  double hbm_ready = 0;   // earliest time this op's prefetched keys land
+  double busy_lanes = 0;  // lane-cycles for utilization accounting
+  OpClass cls = OpClass::Elementwise;
+  std::size_t unmet_deps = 0;
+  std::vector<std::size_t> dependents;
+  bool running = false;
+  bool done = false;
+};
+
+}  // namespace
+
+SimResult simulate_alchemist_events(const OpGraph& graph,
+                                    const arch::ArchConfig& config) {
+  SimResult result;
+  result.workload = graph.name;
+  result.accelerator = "Alchemist(event)";
+  if (graph.ops.empty()) return result;
+
+  const double cores = static_cast<double>(config.total_cores());
+  const double hbm_bpc = config.hbm_bytes_per_cycle();
+  const double transpose_words_per_cycle =
+      static_cast<double>(config.num_units * config.lanes);
+
+  std::vector<OpState> state(graph.ops.size());
+  for (std::size_t i = 0; i < graph.ops.size(); ++i) {
+    const HighOp& op = graph.ops[i];
+    const MetaOpStream stream = metaop::lower(op);
+    OpState& s = state[i];
+    s.cls = class_of(op.kind);
+    s.work = static_cast<double>(stream.core_cycles());
+    for (const MetaOpBatch& b : stream.batches) {
+      s.busy_lanes += static_cast<double>(b.count * config.lanes * (b.n + 2));
+    }
+    if (op.kind == OpKind::Ntt || op.kind == OpKind::Intt) {
+      const double words = static_cast<double>(op.n) *
+                           static_cast<double>(std::max<std::size_t>(op.channels, 1));
+      // Serialized half of the transpose, expressed as extra machine work.
+      s.work += words / transpose_words_per_cycle / 2.0 * cores;
+      result.transpose_cycles += static_cast<std::uint64_t>(
+          words / transpose_words_per_cycle / 2.0);
+    }
+    s.unmet_deps = op.deps.size();
+    for (std::size_t dep : op.deps) {
+      if (dep >= i) throw std::invalid_argument("event sim: deps must point backwards");
+      state[dep].dependents.push_back(i);
+    }
+    result.total_mults += stream.mult_count();
+  }
+
+  // Key prefetching: the scheduler knows the op stream in advance, so HBM
+  // streams each op's keys in order starting at t=0; an op can only retire
+  // once its cumulative key traffic has landed.
+  double bytes_prefix = 0;
+  for (std::size_t i = 0; i < graph.ops.size(); ++i) {
+    bytes_prefix += static_cast<double>(graph.ops[i].hbm_bytes);
+    state[i].hbm_ready = bytes_prefix / hbm_bpc;
+  }
+
+  std::vector<std::size_t> running;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (state[i].unmet_deps == 0) {
+      state[i].running = true;
+      running.push_back(i);
+    }
+  }
+
+  double now = 0;
+  double busy_integral = 0;  // lane-cycles actually delivered
+  std::size_t completed = 0;
+  while (!running.empty()) {
+    // Work-conserving equal share of the cores among live compute demands.
+    std::size_t compute_live = 0;
+    for (std::size_t idx : running) compute_live += state[idx].work > 0 ? 1 : 0;
+    const double core_share = compute_live ? cores / compute_live : 0;
+
+    // Next completion event.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t idx : running) {
+      const OpState& s = state[idx];
+      double t_done = s.work > 0 ? s.work / core_share : 0;
+      t_done = std::max(t_done, s.hbm_ready - now);
+      dt = std::min(dt, t_done);
+    }
+    if (!(dt > 0) || !std::isfinite(dt)) dt = 1.0;  // zero-work ops finish now
+
+    // Advance time and drain work.
+    now += dt;
+    std::vector<std::size_t> still_running;
+    for (std::size_t idx : running) {
+      OpState& s = state[idx];
+      if (s.work > 0) {
+        const double delivered = std::min(s.work, core_share * dt);
+        busy_integral += delivered / s.work * s.busy_lanes;  // proportional
+        s.busy_lanes -= delivered / std::max(s.work, 1e-9) * s.busy_lanes;
+        s.work -= delivered;
+        if (s.work < 1e-9) s.work = 0;
+      }
+      if (s.work == 0 && now + 1e-9 >= s.hbm_ready) {
+        s.done = true;
+        ++completed;
+        for (std::size_t dep : s.dependents) {
+          if (--state[dep].unmet_deps == 0) {
+            state[dep].running = true;
+            still_running.push_back(dep);
+          }
+        }
+      } else {
+        still_running.push_back(idx);
+      }
+    }
+    running = std::move(still_running);
+  }
+  if (completed != graph.ops.size()) {
+    throw std::logic_error("event sim: dependency cycle or unreachable ops");
+  }
+
+  result.cycles = static_cast<std::uint64_t>(std::ceil(now));
+  result.time_us = now / (config.freq_ghz * 1e3);
+  result.utilization =
+      now > 0 ? busy_integral / (static_cast<double>(config.peak_lanes()) * now) : 0;
+  return result;
+}
+
+metaop::OpGraph merge_graphs(const std::vector<OpGraph>& graphs,
+                             const std::string& name) {
+  // Proportional interleave: ops of the streams alternate in schedule order
+  // (preserving each stream's internal dependencies), so key prefetching for
+  // one stream overlaps compute of the others — the time-sharing scheduling
+  // of §5.4.
+  OpGraph merged;
+  merged.name = name;
+  std::vector<std::size_t> next(graphs.size(), 0);
+  // Remap: new index of op j of graph g.
+  std::vector<std::vector<std::size_t>> remap(graphs.size());
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    remap[g].resize(graphs[g].ops.size());
+  }
+  for (;;) {
+    // Pick the stream with the smallest consumed fraction.
+    std::size_t best = graphs.size();
+    double best_frac = 2.0;
+    for (std::size_t g = 0; g < graphs.size(); ++g) {
+      if (next[g] >= graphs[g].ops.size()) continue;
+      const double frac =
+          static_cast<double>(next[g]) / static_cast<double>(graphs[g].ops.size());
+      if (frac < best_frac) {
+        best_frac = frac;
+        best = g;
+      }
+    }
+    if (best == graphs.size()) break;
+    HighOp op = graphs[best].ops[next[best]];
+    for (std::size_t& dep : op.deps) dep = remap[best][dep];
+    remap[best][next[best]] = merged.ops.size();
+    merged.add(std::move(op));
+    ++next[best];
+  }
+  return merged;
+}
+
+}  // namespace alchemist::sim

@@ -1,0 +1,29 @@
+// Discrete-event simulator — the fine-grained cross-check for the analytical
+// (ASAP-level) Alchemist model.
+//
+// Ops become ready the moment their dependencies complete (no level
+// barriers). Running ops share the 2048 cores work-conservingly (an op can
+// absorb the whole machine: its Meta-OP batches are wide) and share the HBM
+// channel the same way; an op completes when both its compute work and its
+// key streaming are done. Events are op completions.
+//
+// Because the event model removes the level barriers, its cycle count is a
+// lower bound on the analytical model's; tests pin the two within a small
+// factor and above the absolute lower bound (work/cores, bytes/bandwidth).
+#pragma once
+
+#include "arch/config.h"
+#include "metaop/op_graph.h"
+#include "sim/result.h"
+
+namespace alchemist::sim {
+
+SimResult simulate_alchemist_events(const metaop::OpGraph& graph,
+                                    const arch::ArchConfig& config);
+
+// Time-sharing scheduler (§5.4): interleave independent operation streams
+// into one graph so compute of one stream overlaps key streaming of another.
+metaop::OpGraph merge_graphs(const std::vector<metaop::OpGraph>& graphs,
+                             const std::string& name);
+
+}  // namespace alchemist::sim

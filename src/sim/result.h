@@ -1,0 +1,31 @@
+// Simulation results shared by the Alchemist and baseline simulators.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace alchemist::sim {
+
+struct SimResult {
+  std::string workload;
+  std::string accelerator;
+  std::uint64_t cycles = 0;
+  double time_us = 0;
+  // Overall compute utilization: busy lane-cycles / (peak lanes * cycles).
+  double utilization = 0;
+  // Per-operator-class utilization (index = metaop::OpClass): the fraction of
+  // that class's wall time during which its compute resources were busy.
+  std::array<double, 4> util_by_class = {0, 0, 0, 0};
+  // Wall cycles attributed to each class.
+  std::array<std::uint64_t, 4> cycles_by_class = {0, 0, 0, 0};
+  std::uint64_t mem_stall_cycles = 0;
+  std::uint64_t transpose_cycles = 0;
+  std::uint64_t total_mults = 0;
+
+  double throughput_per_sec(double ops = 1.0) const {
+    return time_us > 0 ? ops * 1e6 / time_us : 0.0;
+  }
+};
+
+}  // namespace alchemist::sim

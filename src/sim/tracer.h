@@ -1,0 +1,59 @@
+// Tracing evaluator: run *real* CKKS application code and record the
+// polynomial-level operator graph it executes, ready for the cycle simulator.
+//
+// This closes the loop between the functional library and the architecture
+// model: the same program that produces correct ciphertexts also produces the
+// op DAG whose cost the Alchemist/baseline simulators report. Ciphertexts are
+// wrapped with their producing node so dependencies wire themselves.
+#pragma once
+
+#include "ckks/encoder.h"
+#include "ckks/evaluator.h"
+#include "metaop/op_graph.h"
+#include "workloads/ckks_subgraphs.h"
+
+namespace alchemist::sim {
+
+struct TracedCiphertext {
+  ckks::Ciphertext ct;
+  // Node index of the op that produced this ciphertext; npos for fresh ones.
+  std::size_t node = static_cast<std::size_t>(-1);
+};
+
+class TracedEvaluator {
+ public:
+  // `arch_n` overrides the polynomial length recorded in the trace (e.g.
+  // trace a functional N=2048 program but cost it at the paper's N=65536);
+  // 0 keeps the functional length. Key traffic uses `hbm_stream_fraction`.
+  TracedEvaluator(ckks::ContextPtr ctx, const ckks::Evaluator& evaluator,
+                  std::size_t arch_n = 0, double hbm_stream_fraction = 1.0);
+
+  TracedCiphertext wrap(ckks::Ciphertext ct) const { return {std::move(ct), npos}; }
+
+  TracedCiphertext add(const TracedCiphertext& a, const TracedCiphertext& b);
+  TracedCiphertext mul_plain(const TracedCiphertext& a, const ckks::Plaintext& pt);
+  // multiply + relinearize + rescale (the fused form the accelerator runs).
+  TracedCiphertext multiply_rescale(const TracedCiphertext& a,
+                                    const TracedCiphertext& b,
+                                    const ckks::RelinKeys& rk);
+  TracedCiphertext rescale(const TracedCiphertext& a);
+  TracedCiphertext rotate(const TracedCiphertext& a, int steps,
+                          const ckks::GaloisKeys& gk);
+
+  const metaop::OpGraph& graph() const { return builder_.g; }
+  metaop::OpGraph take_graph(std::string name);
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  workloads::CkksWl arch_params(std::size_t level) const;
+  std::vector<std::size_t> deps_of(std::initializer_list<const TracedCiphertext*> cts) const;
+
+  ckks::ContextPtr ctx_;
+  const ckks::Evaluator& evaluator_;
+  std::size_t arch_n_;
+  double hbm_stream_fraction_;
+  workloads::GraphBuilder builder_;
+};
+
+}  // namespace alchemist::sim

@@ -1,0 +1,141 @@
+#include "tfhe/integer.h"
+
+#include <stdexcept>
+
+namespace alchemist::tfhe {
+
+namespace {
+
+constexpr u64 kEighth = u64{1} << 61;  // +1/8: encrypted "true"
+
+void check_widths(const EncInt& a, const EncInt& b, const char* op) {
+  if (a.width() != b.width() || a.width() == 0) {
+    throw std::invalid_argument(std::string("EncInt ") + op + ": width mismatch");
+  }
+}
+
+// Full adder on encrypted bits: (sum, carry).
+std::pair<LweSample, LweSample> full_add(const LweSample& a, const LweSample& b,
+                                         const LweSample& carry,
+                                         const BootstrapContext& ctx) {
+  const LweSample axb = gate_xor(a, b, ctx);
+  LweSample sum = gate_xor(axb, carry, ctx);
+  LweSample cout = gate_or(gate_and(a, b, ctx), gate_and(carry, axb, ctx), ctx);
+  return {std::move(sum), std::move(cout)};
+}
+
+LweSample false_bit(std::size_t lwe_dim) {
+  return lwe_trivial(lwe_dim, ~kEighth + 1);
+}
+
+LweSample true_bit(std::size_t lwe_dim) { return lwe_trivial(lwe_dim, kEighth); }
+
+}  // namespace
+
+EncInt encrypt_int(u64 value, std::size_t width, const LweKey& key, double sigma,
+                   Rng& rng) {
+  EncInt out;
+  out.bits.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    out.bits.push_back(encrypt_bit((value >> i) & 1, key, sigma, rng));
+  }
+  return out;
+}
+
+u64 decrypt_int(const EncInt& value, const LweKey& key) {
+  u64 out = 0;
+  for (std::size_t i = 0; i < value.width(); ++i) {
+    if (decrypt_bit(value.bits[i], key)) out |= u64{1} << i;
+  }
+  return out;
+}
+
+EncInt trivial_int(u64 value, std::size_t width, std::size_t lwe_dim) {
+  EncInt out;
+  out.bits.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    out.bits.push_back((value >> i) & 1 ? true_bit(lwe_dim) : false_bit(lwe_dim));
+  }
+  return out;
+}
+
+EncInt add(const EncInt& a, const EncInt& b, const BootstrapContext& ctx) {
+  check_widths(a, b, "add");
+  EncInt out;
+  out.bits.reserve(a.width());
+  LweSample carry = false_bit(a.bits[0].dimension());
+  for (std::size_t i = 0; i < a.width(); ++i) {
+    auto [sum, cout] = full_add(a.bits[i], b.bits[i], carry, ctx);
+    out.bits.push_back(std::move(sum));
+    carry = std::move(cout);
+  }
+  return out;
+}
+
+EncInt sub(const EncInt& a, const EncInt& b, const BootstrapContext& ctx) {
+  check_widths(a, b, "sub");
+  // a - b = a + ~b + 1 (two's complement): seed the carry with 1.
+  EncInt out;
+  out.bits.reserve(a.width());
+  LweSample carry = true_bit(a.bits[0].dimension());
+  for (std::size_t i = 0; i < a.width(); ++i) {
+    auto [sum, cout] = full_add(a.bits[i], gate_not(b.bits[i]), carry, ctx);
+    out.bits.push_back(std::move(sum));
+    carry = std::move(cout);
+  }
+  return out;
+}
+
+LweSample less_than(const EncInt& a, const EncInt& b, const BootstrapContext& ctx) {
+  check_widths(a, b, "less_than");
+  // Scan from LSB: lt = (a_i < b_i) or (a_i == b_i and lt_so_far).
+  LweSample lt = false_bit(a.bits[0].dimension());
+  for (std::size_t i = 0; i < a.width(); ++i) {
+    const LweSample ai_lt = gate_and(gate_not(a.bits[i]), b.bits[i], ctx);
+    const LweSample eq = gate_xnor(a.bits[i], b.bits[i], ctx);
+    lt = gate_or(ai_lt, gate_and(eq, lt, ctx), ctx);
+  }
+  return lt;
+}
+
+LweSample equal(const EncInt& a, const EncInt& b, const BootstrapContext& ctx) {
+  check_widths(a, b, "equal");
+  LweSample eq = true_bit(a.bits[0].dimension());
+  for (std::size_t i = 0; i < a.width(); ++i) {
+    eq = gate_and(eq, gate_xnor(a.bits[i], b.bits[i], ctx), ctx);
+  }
+  return eq;
+}
+
+EncInt select(const LweSample& sel, const EncInt& t, const EncInt& f,
+              const BootstrapContext& ctx) {
+  check_widths(t, f, "select");
+  EncInt out;
+  out.bits.reserve(t.width());
+  for (std::size_t i = 0; i < t.width(); ++i) {
+    out.bits.push_back(gate_mux(sel, t.bits[i], f.bits[i], ctx));
+  }
+  return out;
+}
+
+EncInt max_int(const EncInt& a, const EncInt& b, const BootstrapContext& ctx) {
+  return select(less_than(a, b, ctx), b, a, ctx);
+}
+
+EncInt mul(const EncInt& a, const EncInt& b, const BootstrapContext& ctx) {
+  check_widths(a, b, "mul");
+  const std::size_t w = a.width();
+  const std::size_t dim = a.bits[0].dimension();
+  // Shift-and-add: acc += (b_i ? a << i : 0) for each bit of b.
+  EncInt acc = trivial_int(0, w, dim);
+  for (std::size_t i = 0; i < w; ++i) {
+    EncInt partial = trivial_int(0, w, dim);
+    for (std::size_t j = 0; i + j < w; ++j) {
+      partial.bits[i + j] = gate_and(a.bits[j], b.bits[i], ctx);
+    }
+    acc = add(acc, partial, ctx);
+  }
+  return acc;
+}
+
+}  // namespace alchemist::tfhe

@@ -1,0 +1,48 @@
+// Encrypted fixed-width integers over TFHE gate bootstrapping.
+//
+// An EncInt is a little-endian vector of gate-bootstrapped bit ciphertexts.
+// Arithmetic circuits (ripple-carry add/sub, comparison, min/max, small
+// multiply) are built from the boolean gate library; every gate refreshes its
+// output noise, so circuits compose indefinitely — the logic-FHE working
+// style the paper contrasts with CKKS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tfhe/bootstrap.h"
+
+namespace alchemist::tfhe {
+
+struct EncInt {
+  std::vector<LweSample> bits;  // little-endian
+
+  std::size_t width() const { return bits.size(); }
+};
+
+// Encrypt / decrypt a value as a `width`-bit unsigned integer (two's
+// complement semantics for subtraction and signed comparison helpers).
+EncInt encrypt_int(u64 value, std::size_t width, const LweKey& key, double sigma,
+                   Rng& rng);
+u64 decrypt_int(const EncInt& value, const LweKey& key);
+
+// A noiseless public constant.
+EncInt trivial_int(u64 value, std::size_t width, std::size_t lwe_dim);
+
+// value + other (mod 2^width).
+EncInt add(const EncInt& a, const EncInt& b, const BootstrapContext& ctx);
+// value - other (mod 2^width, two's complement).
+EncInt sub(const EncInt& a, const EncInt& b, const BootstrapContext& ctx);
+// Unsigned comparison a < b (single encrypted bit).
+LweSample less_than(const EncInt& a, const EncInt& b, const BootstrapContext& ctx);
+// Equality a == b.
+LweSample equal(const EncInt& a, const EncInt& b, const BootstrapContext& ctx);
+// Bitwise select: sel ? t : f (per-bit MUX).
+EncInt select(const LweSample& sel, const EncInt& t, const EncInt& f,
+              const BootstrapContext& ctx);
+// max(a, b) via comparison + select.
+EncInt max_int(const EncInt& a, const EncInt& b, const BootstrapContext& ctx);
+// a * b truncated to width(a) bits (shift-and-add; O(w^2) gates).
+EncInt mul(const EncInt& a, const EncInt& b, const BootstrapContext& ctx);
+
+}  // namespace alchemist::tfhe

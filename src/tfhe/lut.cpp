@@ -1,0 +1,61 @@
+#include "tfhe/lut.h"
+
+#include <stdexcept>
+
+namespace alchemist::tfhe {
+
+namespace {
+
+constexpr u64 kEighth = u64{1} << 61;
+
+void check_width(const EncInt& value, const BootstrapContext& ctx) {
+  const std::size_t w = value.width();
+  if (w == 0) throw std::invalid_argument("lut: empty integer");
+  if ((u64{2} << w) > ctx.params.degree) {
+    throw std::invalid_argument(
+        "lut: need 2^(width+1) <= N for the test-vector resolution");
+  }
+}
+
+}  // namespace
+
+LweSample pack_bits(const EncInt& value, const BootstrapContext& ctx) {
+  check_width(value, ctx);
+  const std::size_t w = value.width();
+  const std::size_t dim = value.bits[0].dimension();
+
+  LweSample packed = lwe_trivial(dim, 0);
+  for (std::size_t i = 0; i < w; ++i) {
+    // PBS the gate bit (phase ±1/8) onto amplitude ±2^(62-w+i), then shift
+    // by the same amount: contribution b_i * 2^(63-w+i).
+    const Torus amp = u64{1} << (62 - w + i);
+    const TorusPoly tv = make_constant_test_poly(ctx.params.degree, amp);
+    LweSample scaled = programmable_bootstrap(value.bits[i], tv, ctx);
+    scaled.b += amp;
+    packed += scaled;
+  }
+  return packed;
+}
+
+EncInt apply_lut(const EncInt& value, const std::function<u64(u64)>& f,
+                 const BootstrapContext& ctx) {
+  check_width(value, ctx);
+  const std::size_t w = value.width();
+  const u64 space = u64{2} << w;  // 2^(w+1): messages occupy the lower half
+  const u64 mask = (u64{1} << w) - 1;
+
+  const LweSample packed = pack_bits(value, ctx);
+  EncInt out;
+  out.bits.reserve(w);
+  for (std::size_t j = 0; j < w; ++j) {
+    const TorusPoly tv = make_lut_test_poly(
+        ctx.params.degree, space, [&](u64 m) -> Torus {
+          const u64 bit = (f(m & mask) >> j) & 1;
+          return bit ? kEighth : ~kEighth + 1;  // ±1/8 gate encoding
+        });
+    out.bits.push_back(programmable_bootstrap(packed, tv, ctx));
+  }
+  return out;
+}
+
+}  // namespace alchemist::tfhe

@@ -1,0 +1,27 @@
+// Multi-bit programmable lookup tables over encrypted integers.
+//
+// This is the "programmable" in programmable bootstrapping: an arbitrary
+// w-bit -> w-bit function evaluated under encryption. Each input bit is
+// first re-amplituded by one PBS so the bits sum into a single LWE sample
+// whose phase encodes the integer in the lower half-torus (the negacyclic
+// constraint), then one PBS per output bit reads f(x) out of a lookup-table
+// test polynomial — 2w bootstraps total, independent of f's complexity.
+//
+// Requires 2^(w+1) <= N (each message needs at least one test-vector slot).
+#pragma once
+
+#include <functional>
+
+#include "tfhe/integer.h"
+
+namespace alchemist::tfhe {
+
+// One LWE sample with phase value / 2^(w+1): bit i is rescaled to amplitude
+// 2^(63-w+i) by a constant-test-vector PBS, then the shifted bits sum.
+LweSample pack_bits(const EncInt& value, const BootstrapContext& ctx);
+
+// f: [0, 2^w) -> [0, 2^w), arbitrary. Returns Enc(f(x)).
+EncInt apply_lut(const EncInt& value, const std::function<u64(u64)>& f,
+                 const BootstrapContext& ctx);
+
+}  // namespace alchemist::tfhe

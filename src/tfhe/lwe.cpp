@@ -1,0 +1,76 @@
+#include "tfhe/lwe.h"
+
+#include <stdexcept>
+
+namespace alchemist::tfhe {
+
+LweSample& LweSample::operator+=(const LweSample& other) {
+  if (other.dimension() != dimension()) throw std::invalid_argument("LweSample::+=: dim mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += other.a[i];
+  b += other.b;
+  return *this;
+}
+
+LweSample& LweSample::operator-=(const LweSample& other) {
+  if (other.dimension() != dimension()) throw std::invalid_argument("LweSample::-=: dim mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] -= other.a[i];
+  b -= other.b;
+  return *this;
+}
+
+LweSample& LweSample::negate() {
+  for (Torus& x : a) x = ~x + 1;
+  b = ~b + 1;
+  return *this;
+}
+
+LweSample& LweSample::mul_int(i64 c) {
+  const u64 cw = static_cast<u64>(c);
+  for (Torus& x : a) x *= cw;
+  b *= cw;
+  return *this;
+}
+
+LweKey lwe_keygen(std::size_t n, Rng& rng) {
+  LweKey key;
+  key.s.resize(n);
+  for (int& bit : key.s) bit = static_cast<int>(rng.next() & 1);
+  return key;
+}
+
+LweSample lwe_trivial(std::size_t n, Torus mu) {
+  LweSample out;
+  out.a.assign(n, 0);
+  out.b = mu;
+  return out;
+}
+
+LweSample lwe_encrypt(Torus mu, const LweKey& key, double sigma, Rng& rng) {
+  LweSample out;
+  out.a.resize(key.s.size());
+  Torus dot = 0;
+  for (std::size_t i = 0; i < out.a.size(); ++i) {
+    out.a[i] = rng.next();
+    dot += static_cast<u64>(static_cast<i64>(key.s[i])) * out.a[i];
+  }
+  const i64 noise = rng.gaussian_signed(sigma * 0x1.0p64);
+  out.b = dot + mu + static_cast<u64>(noise);
+  return out;
+}
+
+Torus lwe_phase(const LweSample& sample, const LweKey& key) {
+  if (sample.dimension() != key.s.size()) {
+    throw std::invalid_argument("lwe_phase: dimension mismatch");
+  }
+  Torus dot = 0;
+  for (std::size_t i = 0; i < sample.a.size(); ++i) {
+    dot += static_cast<u64>(static_cast<i64>(key.s[i])) * sample.a[i];
+  }
+  return sample.b - dot;
+}
+
+u64 lwe_decrypt(const LweSample& sample, const LweKey& key, u64 space) {
+  return torus_to_message(lwe_phase(sample, key), space);
+}
+
+}  // namespace alchemist::tfhe

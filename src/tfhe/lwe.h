@@ -1,0 +1,46 @@
+// LWE samples over Torus64.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tfhe/torus.h"
+
+namespace alchemist::tfhe {
+
+struct LweKey {
+  // Usually binary; ternary (-1/0/1) keys appear when switching from CKKS
+  // secrets (see src/bridge). All operations honor the sign.
+  std::vector<int> s;
+};
+
+// b = <a, s> + mu + e.
+struct LweSample {
+  std::vector<Torus> a;
+  Torus b = 0;
+
+  std::size_t dimension() const { return a.size(); }
+
+  LweSample& operator+=(const LweSample& other);
+  LweSample& operator-=(const LweSample& other);
+  LweSample& negate();
+  // Multiply by a small signed integer (noise scales with |c|).
+  LweSample& mul_int(i64 c);
+  friend LweSample operator+(LweSample x, const LweSample& y) { return x += y; }
+  friend LweSample operator-(LweSample x, const LweSample& y) { return x -= y; }
+};
+
+LweKey lwe_keygen(std::size_t n, Rng& rng);
+
+// Noiseless sample of a public constant: a = 0, b = mu.
+LweSample lwe_trivial(std::size_t n, Torus mu);
+
+LweSample lwe_encrypt(Torus mu, const LweKey& key, double sigma, Rng& rng);
+
+// b - <a, s>: message plus noise.
+Torus lwe_phase(const LweSample& sample, const LweKey& key);
+
+// Round the phase to the nearest of `space` equidistant torus points.
+u64 lwe_decrypt(const LweSample& sample, const LweKey& key, u64 space);
+
+}  // namespace alchemist::tfhe

@@ -1,0 +1,61 @@
+// TFHE parameter sets (Torus64 discretization).
+//
+// The torus T = R/Z is represented by 64-bit integers: t in [0, 2^64)
+// stands for t / 2^64. Noise standard deviations are given as fractions of
+// the torus and scaled by 2^64 when sampling.
+#pragma once
+
+#include <cstddef>
+
+#include "common/modarith.h"
+
+namespace alchemist::tfhe {
+
+struct TfheParams {
+  std::size_t n_lwe = 630;    // LWE dimension
+  std::size_t degree = 1024;  // TRLWE polynomial degree N
+  std::size_t k = 1;          // TRLWE mask polynomials
+  int bg_bits = 7;            // gadget base log2 (Bg = 2^bg_bits)
+  std::size_t l = 3;          // gadget length (decomposition digits, paper's l_b)
+  int ks_base_bits = 2;       // LWE keyswitch base log2
+  std::size_t ks_length = 8;  // LWE keyswitch digits
+  double lwe_sigma = 3.05e-5;    // fresh LWE noise (fraction of torus)
+  double trlwe_sigma = 9.6e-11;  // TRLWE / bootstrapping key noise
+
+  u64 bg() const { return u64{1} << bg_bits; }
+
+  // Parameter set I — gate-bootstrapping grade (TFHE-lib style, as used by
+  // the Matcha/Strix comparisons: N=1024, l_b in {2,3,4} per Fig. 1).
+  static TfheParams set_i() { return TfheParams{}; }
+
+  // Parameter set II — larger precision PBS (N=2048), the second set of the
+  // paper's §6.2.2 evaluation.
+  static TfheParams set_ii() {
+    TfheParams p;
+    p.n_lwe = 742;
+    p.degree = 2048;
+    p.bg_bits = 8;
+    p.l = 2;
+    p.ks_base_bits = 3;
+    p.ks_length = 6;
+    p.lwe_sigma = 1.0e-5;
+    p.trlwe_sigma = 3.0e-12;
+    return p;
+  }
+
+  // Tiny insecure parameters with near-zero noise for fast unit tests.
+  static TfheParams toy() {
+    TfheParams p;
+    p.n_lwe = 16;
+    p.degree = 64;
+    p.bg_bits = 8;
+    p.l = 4;
+    p.ks_base_bits = 4;
+    p.ks_length = 8;
+    p.lwe_sigma = 1e-15;
+    p.trlwe_sigma = 1e-17;
+    return p;
+  }
+};
+
+}  // namespace alchemist::tfhe

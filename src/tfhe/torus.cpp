@@ -1,0 +1,39 @@
+#include "tfhe/torus.h"
+
+#include <stdexcept>
+
+namespace alchemist::tfhe {
+
+std::vector<i64> gadget_decompose(Torus t, int bg_bits, std::size_t l) {
+  if (bg_bits <= 0 || l == 0 || static_cast<std::size_t>(bg_bits) * l > 63) {
+    throw std::invalid_argument("gadget_decompose: bad base/length");
+  }
+  const u64 bg = u64{1} << bg_bits;
+  const u64 half_bg = bg >> 1;
+  const u64 mask = bg - 1;
+
+  // Offset trick (TFHE-lib): adding half the base at every level plus the
+  // rounding offset turns truncation into centered rounding.
+  u64 offset = u64{1} << (63 - l * static_cast<std::size_t>(bg_bits));  // rounding
+  for (std::size_t i = 1; i <= l; ++i) {
+    offset += half_bg << (64 - i * static_cast<std::size_t>(bg_bits));
+  }
+  const u64 shifted = t + offset;
+
+  std::vector<i64> digits(l);
+  for (std::size_t i = 1; i <= l; ++i) {
+    const u64 raw = (shifted >> (64 - i * static_cast<std::size_t>(bg_bits))) & mask;
+    digits[i - 1] = static_cast<i64>(raw) - static_cast<i64>(half_bg);
+  }
+  return digits;
+}
+
+std::vector<Torus> gadget_scales(int bg_bits, std::size_t l) {
+  std::vector<Torus> scales(l);
+  for (std::size_t i = 1; i <= l; ++i) {
+    scales[i - 1] = u64{1} << (64 - i * static_cast<std::size_t>(bg_bits));
+  }
+  return scales;
+}
+
+}  // namespace alchemist::tfhe

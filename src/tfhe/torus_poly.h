@@ -1,0 +1,79 @@
+// Torus polynomials (coefficients mod 2^64) and exact negacyclic products.
+//
+// TFHE's blind rotation multiplies small-integer gadget digits with torus
+// polynomials in Z_{2^64}[X]/(X^N+1). We compute these products *exactly*:
+// either by wrap-around schoolbook convolution (reference), or by a
+// double-prime NTT with CRT reconstruction (fast path). With digit bound
+// 2^7, N <= 2^11 and 2^64 torus values, true coefficients stay below 2^83,
+// far under p1*p2/2 ~ 2^123, so the centered CRT lift is exact and the
+// result matches schoolbook bit for bit (no FFT rounding anywhere).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/modarith.h"
+#include "tfhe/torus.h"
+
+namespace alchemist::tfhe {
+
+class TorusPoly {
+ public:
+  TorusPoly() = default;
+  explicit TorusPoly(std::size_t n) : coeffs_(n, 0) {}
+  explicit TorusPoly(std::vector<Torus> coeffs) : coeffs_(std::move(coeffs)) {}
+
+  std::size_t degree() const { return coeffs_.size(); }
+  Torus& operator[](std::size_t i) { return coeffs_[i]; }
+  Torus operator[](std::size_t i) const { return coeffs_[i]; }
+  const std::vector<Torus>& coeffs() const { return coeffs_; }
+
+  TorusPoly& operator+=(const TorusPoly& other);
+  TorusPoly& operator-=(const TorusPoly& other);
+  TorusPoly& negate();
+  friend TorusPoly operator+(TorusPoly a, const TorusPoly& b) { return a += b; }
+  friend TorusPoly operator-(TorusPoly a, const TorusPoly& b) { return a -= b; }
+
+  // Negacyclic multiplication by the monomial X^e, e in [0, 2N).
+  TorusPoly rotate(u64 e) const;
+
+  bool operator==(const TorusPoly& other) const = default;
+
+ private:
+  std::vector<Torus> coeffs_;
+};
+
+// Exact reference: negacyclic convolution of small-int a with torus b,
+// wrap-around arithmetic mod 2^64. O(N^2).
+TorusPoly negacyclic_mul_schoolbook(const std::vector<i64>& a, const TorusPoly& b);
+
+// Fast exact path: two-prime NTT domain.
+class TorusNttContext {
+ public:
+  explicit TorusNttContext(std::size_t n);
+
+  struct DomainPoly {
+    std::array<std::vector<u64>, 2> residues;  // NTT domain per prime
+  };
+
+  std::size_t degree() const { return n_; }
+
+  DomainPoly forward_int(const std::vector<i64>& a) const;
+  DomainPoly forward_torus(const TorusPoly& b) const;
+  DomainPoly zero() const;
+  // acc += a * b, pointwise per prime.
+  void mul_accumulate(DomainPoly& acc, const DomainPoly& a, const DomainPoly& b) const;
+  // Inverse NTT, CRT-lift to the centered integer, reduce mod 2^64.
+  TorusPoly inverse(const DomainPoly& acc) const;
+
+  // Process-wide cache, one context per degree.
+  static const TorusNttContext& get(std::size_t n);
+
+ private:
+  std::size_t n_;
+  std::array<u64, 2> primes_;
+  u64 p1_inv_mod_p2_;  // for CRT: x = x1 + p1 * ((x2-x1) * p1^{-1} mod p2)
+};
+
+}  // namespace alchemist::tfhe

@@ -1,0 +1,191 @@
+#include "tfhe/trlwe.h"
+
+#include <stdexcept>
+
+namespace alchemist::tfhe {
+
+TrlweSample& TrlweSample::operator+=(const TrlweSample& other) {
+  if (other.k() != k() || other.degree() != degree()) {
+    throw std::invalid_argument("TrlweSample::+=: shape mismatch");
+  }
+  for (std::size_t j = 0; j < a.size(); ++j) a[j] += other.a[j];
+  b += other.b;
+  return *this;
+}
+
+TrlweSample& TrlweSample::operator-=(const TrlweSample& other) {
+  if (other.k() != k() || other.degree() != degree()) {
+    throw std::invalid_argument("TrlweSample::-=: shape mismatch");
+  }
+  for (std::size_t j = 0; j < a.size(); ++j) a[j] -= other.a[j];
+  b -= other.b;
+  return *this;
+}
+
+TrlweSample TrlweSample::rotate(u64 e) const {
+  TrlweSample out;
+  out.a.reserve(a.size());
+  for (const TorusPoly& aj : a) out.a.push_back(aj.rotate(e));
+  out.b = b.rotate(e);
+  return out;
+}
+
+TrlweKey trlwe_keygen(const TfheParams& params, Rng& rng) {
+  TrlweKey key;
+  key.s.resize(params.k);
+  for (auto& poly : key.s) {
+    poly.resize(params.degree);
+    for (i64& bit : poly) bit = static_cast<i64>(rng.next() & 1);
+  }
+  return key;
+}
+
+TrlweSample trlwe_trivial(const TfheParams& params, TorusPoly message) {
+  TrlweSample out;
+  out.a.assign(params.k, TorusPoly(params.degree));
+  out.b = std::move(message);
+  return out;
+}
+
+TrlweSample trlwe_encrypt_zero(const TfheParams& params, const TrlweKey& key,
+                               Rng& rng) {
+  const std::size_t n = params.degree;
+  const TorusNttContext& ctx = TorusNttContext::get(n);
+  TrlweSample out;
+  out.a.resize(params.k);
+  TorusPoly acc(n);
+  for (std::size_t j = 0; j < params.k; ++j) {
+    out.a[j] = TorusPoly(n);
+    for (std::size_t i = 0; i < n; ++i) out.a[j][i] = rng.next();
+    auto dom = ctx.zero();
+    ctx.mul_accumulate(dom, ctx.forward_int(key.s[j]), ctx.forward_torus(out.a[j]));
+    acc += ctx.inverse(dom);
+  }
+  out.b = TorusPoly(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.b[i] = acc[i] + static_cast<u64>(rng.gaussian_signed(params.trlwe_sigma * 0x1.0p64));
+  }
+  return out;
+}
+
+TrlweSample trlwe_encrypt(const TfheParams& params, const TrlweKey& key,
+                          const TorusPoly& message, Rng& rng) {
+  TrlweSample out = trlwe_encrypt_zero(params, key, rng);
+  out.b += message;
+  return out;
+}
+
+TorusPoly trlwe_phase(const TrlweSample& sample, const TrlweKey& key) {
+  const std::size_t n = sample.degree();
+  if (key.degree() != n || key.s.size() != sample.k()) {
+    throw std::invalid_argument("trlwe_phase: shape mismatch");
+  }
+  const TorusNttContext& ctx = TorusNttContext::get(n);
+  TorusPoly phase = sample.b;
+  for (std::size_t j = 0; j < sample.k(); ++j) {
+    auto dom = ctx.zero();
+    ctx.mul_accumulate(dom, ctx.forward_int(key.s[j]), ctx.forward_torus(sample.a[j]));
+    phase -= ctx.inverse(dom);
+  }
+  return phase;
+}
+
+TgswNtt tgsw_encrypt(const TfheParams& params, const TrlweKey& key, i64 message,
+                     Rng& rng) {
+  const std::size_t n = params.degree;
+  const TorusNttContext& ctx = TorusNttContext::get(n);
+  const auto scales = gadget_scales(params.bg_bits, params.l);
+
+  TgswNtt out;
+  out.k = params.k;
+  out.l = params.l;
+  out.bg_bits = params.bg_bits;
+  out.degree = n;
+  out.rows.resize((params.k + 1) * params.l);
+
+  for (std::size_t p = 0; p <= params.k; ++p) {
+    for (std::size_t i = 0; i < params.l; ++i) {
+      TrlweSample row = trlwe_encrypt_zero(params, key, rng);
+      const Torus payload = static_cast<u64>(message) * scales[i];
+      if (p < params.k) {
+        row.a[p][0] += payload;
+      } else {
+        row.b[0] += payload;
+      }
+      auto& domain_row = out.rows[p * params.l + i];
+      domain_row.reserve(params.k + 1);
+      for (std::size_t c = 0; c < params.k; ++c) {
+        domain_row.push_back(ctx.forward_torus(row.a[c]));
+      }
+      domain_row.push_back(ctx.forward_torus(row.b));
+    }
+  }
+  return out;
+}
+
+TrlweSample external_product(const TgswNtt& g, const TrlweSample& c) {
+  const std::size_t n = c.degree();
+  if (g.degree != n || g.k != c.k()) {
+    throw std::invalid_argument("external_product: shape mismatch");
+  }
+  const TorusNttContext& ctx = TorusNttContext::get(n);
+
+  std::vector<TorusNttContext::DomainPoly> acc(g.k + 1, ctx.zero());
+  std::vector<i64> digit_poly(n);
+  for (std::size_t p = 0; p <= g.k; ++p) {
+    const TorusPoly& comp = p < g.k ? c.a[p] : c.b;
+    // Decompose the whole component coefficient-wise, one digit layer at a
+    // time, so each layer forms an integer polynomial.
+    std::vector<std::vector<i64>> layers(g.l, std::vector<i64>(n));
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto digits = gadget_decompose(comp[t], g.bg_bits, g.l);
+      for (std::size_t i = 0; i < g.l; ++i) layers[i][t] = digits[i];
+    }
+    for (std::size_t i = 0; i < g.l; ++i) {
+      const auto dom = ctx.forward_int(layers[i]);
+      const auto& row = g.rows[p * g.l + i];
+      for (std::size_t c2 = 0; c2 <= g.k; ++c2) {
+        ctx.mul_accumulate(acc[c2], dom, row[c2]);
+      }
+    }
+  }
+
+  TrlweSample out;
+  out.a.reserve(g.k);
+  for (std::size_t c2 = 0; c2 < g.k; ++c2) out.a.push_back(ctx.inverse(acc[c2]));
+  out.b = ctx.inverse(acc[g.k]);
+  return out;
+}
+
+TrlweSample cmux(const TgswNtt& bit, const TrlweSample& c0, const TrlweSample& c1) {
+  TrlweSample diff = c1;
+  diff -= c0;
+  TrlweSample out = external_product(bit, diff);
+  out += c0;
+  return out;
+}
+
+LweSample sample_extract(const TrlweSample& c) {
+  const std::size_t n = c.degree();
+  LweSample out;
+  out.a.resize(c.k() * n);
+  for (std::size_t j = 0; j < c.k(); ++j) {
+    out.a[j * n] = c.a[j][0];
+    for (std::size_t i = 1; i < n; ++i) {
+      out.a[j * n + i] = ~c.a[j][n - i] + 1;  // -a_j[N-i] mod 2^64
+    }
+  }
+  out.b = c.b[0];
+  return out;
+}
+
+LweKey extract_key(const TrlweKey& key) {
+  LweKey out;
+  out.s.reserve(key.s.size() * key.degree());
+  for (const auto& poly : key.s) {
+    for (i64 bit : poly) out.s.push_back(static_cast<int>(bit));
+  }
+  return out;
+}
+
+}  // namespace alchemist::tfhe

@@ -1,0 +1,23 @@
+// BFV operator graphs — our extension beyond the paper's Fig. 1 set (the
+// paper names BFV as the other arithmetic scheme; its op mix maps onto the
+// same Meta-OP classes).
+#pragma once
+
+#include "metaop/op_graph.h"
+
+namespace alchemist::workloads {
+
+struct BfvWl {
+  std::size_t n = 16384;
+  std::size_t level = 12;      // RNS channels of q
+  std::size_t ext = 14;        // extended-basis channels for the tensor
+  std::size_t dnum = 3;        // relinearization digits
+  int word_bits = 36;
+  double hbm_stream_fraction = 1.0;
+};
+
+// RNS-BFV ciphertext multiplication (BEHZ-style): base extension of both
+// inputs, NTT tensor product, scale-and-round back to q, relinearization.
+metaop::OpGraph build_bfv_cmult(const BfvWl& w);
+
+}  // namespace alchemist::workloads

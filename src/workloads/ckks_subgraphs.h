@@ -1,0 +1,52 @@
+// Reusable CKKS operator subgraphs: the building blocks behind the workload
+// generators, exposed so tools (the tracing evaluator in src/sim) can append
+// ops to a graph under construction with correct dependency wiring.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metaop/op_graph.h"
+#include "workloads/ckks_workloads.h"
+
+namespace alchemist::workloads {
+
+// Thin convenience wrapper for wiring DAG nodes.
+struct GraphBuilder {
+  metaop::OpGraph g;
+
+  std::size_t add(metaop::OpKind kind, std::size_t n, std::size_t channels,
+                  std::vector<std::size_t> deps, std::size_t pa = 0,
+                  std::size_t pb = 0, std::uint64_t hbm_bytes = 0) {
+    metaop::HighOp op;
+    op.kind = kind;
+    op.n = n;
+    op.channels = channels;
+    op.param_a = pa;
+    op.param_b = pb;
+    op.deps = std::move(deps);
+    op.hbm_bytes = hbm_bytes;
+    return g.add(std::move(op));
+  }
+};
+
+// Evaluation-key traffic of one keyswitch at the given digit count.
+std::uint64_t evk_stream_bytes(const CkksWl& w, std::size_t digits);
+
+// Each appender wires a complete operator pipeline into `b`, depending on
+// `input` (node indices), and returns the index of its final op.
+std::size_t append_keyswitch_coeff(GraphBuilder& b, const CkksWl& w,
+                                   std::vector<std::size_t> input);
+std::size_t append_keyswitch(GraphBuilder& b, const CkksWl& w,
+                             std::vector<std::size_t> input);
+std::size_t append_rescale(GraphBuilder& b, const CkksWl& w,
+                           std::vector<std::size_t> input);
+std::size_t append_cmult_rescale(GraphBuilder& b, const CkksWl& w,
+                                 std::vector<std::size_t> input);
+std::size_t append_rotation(GraphBuilder& b, const CkksWl& w,
+                            std::vector<std::size_t> input);
+std::size_t append_hoisted_rotations(GraphBuilder& b, const CkksWl& w,
+                                     std::size_t count,
+                                     std::vector<std::size_t> input);
+
+}  // namespace alchemist::workloads

@@ -1,0 +1,65 @@
+// CKKS operator-graph builders for the paper's arithmetic-FHE benchmarks.
+//
+// The graphs describe the polynomial-level work of each homomorphic
+// operation (Table 7 basic ops, Fig. 6a applications) at full paper-scale
+// parameters (N = 2^16, L = 44, dnum = 4), independent of the functional
+// library — performance in FHE is data-independent, so the cycle simulator
+// only needs the op schedule.
+#pragma once
+
+#include "metaop/op_graph.h"
+
+namespace alchemist::workloads {
+
+struct CkksWl {
+  std::size_t n = 65536;       // ring degree
+  std::size_t level = 44;      // active ciphertext primes L
+  std::size_t max_level = 44;  // top of the moduli chain (fixes the digit size)
+  std::size_t dnum = 4;        // keyswitch digits
+  int word_bits = 36;
+  // Fraction of evaluation-key traffic that must stream from HBM (the rest is
+  // resident on chip or regenerated on the fly, as in ARK/SHARP). Benches set
+  // this per accelerator; 1.0 = stream everything (fresh-key worst case).
+  double hbm_stream_fraction = 1.0;
+
+  // The digit width is fixed by the key structure at the top of the chain;
+  // at lower levels the tail digit truncates (ceil(level/alpha) digits live).
+  std::size_t alpha() const { return (max_level + dnum - 1) / dnum; }
+  std::size_t num_special() const { return alpha(); }
+  std::size_t active_digits() const { return (level + alpha() - 1) / alpha(); }
+
+  static CkksWl paper(std::size_t level = 44) {
+    CkksWl w;
+    w.level = level;
+    return w;
+  }
+};
+
+// Basic operators (Table 7; parameters N=65536, L=44, dnum=4).
+metaop::OpGraph build_hadd(const CkksWl& w);
+metaop::OpGraph build_pmult(const CkksWl& w);
+metaop::OpGraph build_rescale(const CkksWl& w);
+// The hybrid keyswitch core: decompose + Modup + DecompPolyMult + Moddown.
+metaop::OpGraph build_keyswitch(const CkksWl& w);
+metaop::OpGraph build_cmult(const CkksWl& w);
+metaop::OpGraph build_rotation(const CkksWl& w);
+// `count` rotations sharing one decomposition/Modup (the hoisting of [9,11]
+// that the paper's "BSP-L=n+" variant uses).
+metaop::OpGraph build_hoisted_rotations(const CkksWl& w, std::size_t count);
+
+// Fully-packed CKKS bootstrapping (ModRaise -> CoeffToSlot -> EvalMod ->
+// SlotToCoeff), optionally with Modup hoisting in the linear transforms.
+metaop::OpGraph build_bootstrapping(const CkksWl& w, bool hoisting);
+
+// One iteration of 1024-batch HELR logistic-regression training (dot
+// products, sigmoid polynomial, update), amortizing one bootstrap over
+// `iters_per_bootstrap` iterations.
+metaop::OpGraph build_helr_iteration(const CkksWl& w,
+                                     std::size_t iters_per_bootstrap = 5);
+
+// LoLa-MNIST inference (conv -> square -> dense -> square -> dense) at the
+// shallow parameter set of F1/CraterLake; `encrypted_weights` turns the
+// weight multiplications into ciphertext-ciphertext products.
+metaop::OpGraph build_lola_mnist(bool encrypted_weights);
+
+}  // namespace alchemist::workloads

@@ -1,0 +1,41 @@
+// TFHE operator-graph builders (the paper's logic-FHE benchmark, §6.2.2).
+#pragma once
+
+#include "metaop/op_graph.h"
+
+namespace alchemist::workloads {
+
+struct TfheWl {
+  std::size_t n_lwe = 630;    // blind-rotation steps
+  std::size_t degree = 1024;  // TRLWE polynomial degree N
+  std::size_t k = 1;
+  std::size_t l = 3;          // gadget length (paper's l_b)
+  int word_bits = 36;
+  std::size_t batch = 16;     // independent PBS evaluated together
+  // Fraction of the bootstrapping key streamed from HBM (rest cached).
+  double hbm_stream_fraction = 1.0;
+
+  // Parameter set I / II of §6.2.2 (matching the Strix comparison).
+  static TfheWl set_i() { return TfheWl{}; }
+  static TfheWl set_ii() {
+    TfheWl w;
+    w.n_lwe = 742;
+    w.degree = 2048;
+    w.l = 2;
+    return w;
+  }
+
+  // Bootstrapping key size in bytes: n_lwe TGSW samples, each (k+1)*l rows of
+  // (k+1) degree-N torus polynomials.
+  double bk_bytes() const {
+    return static_cast<double>(n_lwe) * (k + 1) * l * (k + 1) * degree *
+           (word_bits / 8.0);
+  }
+};
+
+// One batch of programmable bootstrappings: n_lwe sequential CMux steps, each
+// an external product (gadget decompose, NTT, DecompPolyMult accumulation,
+// inverse NTT), followed by the LWE keyswitch.
+metaop::OpGraph build_pbs(const TfheWl& w);
+
+}  // namespace alchemist::workloads

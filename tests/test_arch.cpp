@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "arch/area_model.h"
+#include "arch/baselines.h"
+#include "arch/config.h"
+
+namespace alchemist::arch {
+namespace {
+
+TEST(ArchConfig, DefaultMatchesPaper) {
+  const ArchConfig c = ArchConfig::alchemist();
+  EXPECT_EQ(c.num_units, 128u);
+  EXPECT_EQ(c.cores_per_unit, 16u);
+  EXPECT_EQ(c.lanes, 8u);
+  EXPECT_EQ(c.total_cores(), 2048u);
+  EXPECT_EQ(c.peak_lanes(), 16384u);
+  // 64 MB local + 2 MB shared = the paper's "64 + 2 MB".
+  EXPECT_EQ(c.total_sram_kb(), 128u * 512u + 2048u);
+  EXPECT_DOUBLE_EQ(c.freq_ghz, 1.0);
+  EXPECT_EQ(c.word_bits, 36);
+  // 1 TB/s HBM at 1 GHz = 1000 bytes per cycle.
+  EXPECT_NEAR(c.hbm_bytes_per_cycle(), 1000.0, 1.0);
+  // On-chip bandwidth ~66 TB/s (Table 6): 16384 lanes * 4.5 B * 1 GHz.
+  EXPECT_NEAR(c.onchip_bytes_per_cycle() * c.cycles_per_second() / 1e12, 73.7, 1.0);
+}
+
+TEST(AreaModel, ReproducesTable5) {
+  const AreaBreakdown a = area_model(ArchConfig::alchemist());
+  EXPECT_NEAR(a.core_mm2, 0.043, 1e-9);
+  EXPECT_NEAR(a.core_cluster_mm2, 16 * 0.043, 1e-9);
+  EXPECT_NEAR(a.local_sram_mm2, 0.427, 1e-9);
+  EXPECT_NEAR(a.computing_unit_mm2, 1.118, 1e-9);
+  EXPECT_NEAR(a.all_units_mm2, 143.104, 1e-6);
+  EXPECT_NEAR(a.transpose_rf_mm2, 6.380, 1e-9);
+  EXPECT_NEAR(a.shared_mem_mm2, 1.801, 1e-9);
+  EXPECT_NEAR(a.hbm_phy_mm2, 29.801, 1e-9);
+  EXPECT_NEAR(a.total_mm2, 181.086, 1e-3);
+}
+
+TEST(AreaModel, ScalesWithConfiguration) {
+  ArchConfig half = ArchConfig::alchemist();
+  half.num_units = 64;
+  const AreaBreakdown a = area_model(half);
+  EXPECT_NEAR(a.all_units_mm2, 143.104 / 2, 1e-6);
+  // All-to-all transpose network: quadratic in the unit count.
+  EXPECT_NEAR(a.transpose_rf_mm2, 6.380 / 4, 1e-9);
+  // HBM PHY does not shrink with compute.
+  EXPECT_NEAR(a.hbm_phy_mm2, 29.801, 1e-9);
+
+  ArchConfig big_sram = ArchConfig::alchemist();
+  big_sram.local_sram_kb = 1024;
+  EXPECT_NEAR(area_model(big_sram).local_sram_mm2, 0.854, 1e-9);
+}
+
+TEST(AreaModel, PowerScalesWithArea) {
+  EXPECT_NEAR(average_power_watts(ArchConfig::alchemist()), 77.9, 0.1);
+  ArchConfig half = ArchConfig::alchemist();
+  half.num_units = 64;
+  EXPECT_LT(average_power_watts(half), 77.9 * 0.7);
+}
+
+TEST(Baselines, Table6RowsComplete) {
+  const auto specs = table6_specs();
+  ASSERT_EQ(specs.size(), 5u);
+  const AcceleratorSpec sharp = spec_by_name("SHARP");
+  EXPECT_TRUE(sharp.arithmetic_fhe);
+  EXPECT_FALSE(sharp.logic_fhe);
+  EXPECT_DOUBLE_EQ(sharp.offchip_bw_gb_s, 1000);
+  EXPECT_DOUBLE_EQ(sharp.onchip_mem_mb, 180);
+  EXPECT_DOUBLE_EQ(sharp.area_14nm_mm2, 379.0);
+
+  const AcceleratorSpec alch = spec_by_name("Alchemist");
+  EXPECT_TRUE(alch.arithmetic_fhe);
+  EXPECT_TRUE(alch.logic_fhe);
+  EXPECT_DOUBLE_EQ(alch.onchip_mem_mb, 66);
+  // Unified: no hard-wired FU split.
+  EXPECT_DOUBLE_EQ(alch.fu_ntt_frac, 0.0);
+
+  const AcceleratorSpec matcha = spec_by_name("Matcha");
+  EXPECT_TRUE(matcha.logic_fhe);
+  EXPECT_FALSE(matcha.arithmetic_fhe);
+  EXPECT_DOUBLE_EQ(matcha.freq_ghz, 2.0);
+
+  EXPECT_THROW(spec_by_name("F2"), std::invalid_argument);
+}
+
+TEST(Baselines, AlchemistSramIsSmallest) {
+  // The paper: >60% SRAM reduction vs the latest arithmetic accelerators.
+  const auto sharp = spec_by_name("SHARP");
+  const auto clake = spec_by_name("CraterLake");
+  const auto alch = spec_by_name("Alchemist");
+  EXPECT_LT(alch.onchip_mem_mb, 0.4 * sharp.onchip_mem_mb);
+  EXPECT_LT(alch.onchip_mem_mb, 0.4 * clake.onchip_mem_mb);
+  EXPECT_LT(alch.area_14nm_mm2, 0.5 * sharp.area_14nm_mm2);
+}
+
+}  // namespace
+}  // namespace alchemist::arch

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bfv/bfv.h"
+#include "common/primes.h"
+#include "common/rng.h"
+
+namespace alchemist::bfv {
+namespace {
+
+struct BfvFixture {
+  BfvContextPtr ctx;
+  std::unique_ptr<BfvEncoder> encoder;
+  std::unique_ptr<BfvKeyGenerator> keygen;
+  std::unique_ptr<BfvEncryptor> encryptor;
+  std::unique_ptr<BfvDecryptor> decryptor;
+  std::unique_ptr<BfvEvaluator> evaluator;
+  BfvRelinKey rk;
+
+  explicit BfvFixture(std::size_t n = 1024) {
+    ctx = std::make_shared<BfvContext>(BfvParams::toy(n));
+    encoder = std::make_unique<BfvEncoder>(ctx);
+    keygen = std::make_unique<BfvKeyGenerator>(ctx, 7);
+    encryptor = std::make_unique<BfvEncryptor>(ctx, keygen->make_public_key());
+    decryptor = std::make_unique<BfvDecryptor>(ctx, keygen->secret_key());
+    evaluator = std::make_unique<BfvEvaluator>(ctx);
+    rk = keygen->make_relin_key();
+  }
+
+  std::vector<u64> random_message(u64 seed) const {
+    Rng rng(seed);
+    return rng.uniform_vector(ctx->degree(), ctx->t());
+  }
+};
+
+BfvFixture& fx() {
+  static BfvFixture f;
+  return f;
+}
+
+TEST(Bfv, ContextDerivation) {
+  const BfvContext& ctx = *fx().ctx;
+  EXPECT_TRUE(is_prime(ctx.q()));
+  EXPECT_EQ((ctx.q() - 1) % (2 * ctx.degree()), 0u);
+  EXPECT_EQ(ctx.t(), 65537u);
+  EXPECT_GT(ctx.delta(), u64{1} << 37);
+  EXPECT_EQ(ctx.relin_digits(), 4u);  // ceil(55 / 16)
+  BfvParams bad;
+  bad.t = 65536;  // not prime
+  EXPECT_THROW(BfvContext{bad}, std::invalid_argument);
+  bad = BfvParams::toy(1000);  // not a power of two
+  EXPECT_THROW(BfvContext{bad}, std::invalid_argument);
+}
+
+TEST(Bfv, EncoderRoundTripAndSimdStructure) {
+  BfvFixture& f = fx();
+  const auto values = f.random_message(1);
+  const auto plain = f.encoder->encode(values);
+  EXPECT_EQ(f.encoder->decode(plain), values);
+  // Adding plaintexts adds slots (mod t).
+  const auto values2 = f.random_message(2);
+  const auto plain2 = f.encoder->encode(values2);
+  std::vector<u64> sum(plain.size());
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    sum[i] = add_mod(plain[i], plain2[i], f.ctx->t());
+  }
+  const auto decoded = f.encoder->decode(sum);
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i], (values[i] + values2[i]) % f.ctx->t()) << i;
+  }
+}
+
+TEST(Bfv, EncryptDecryptExact) {
+  BfvFixture& f = fx();
+  const auto values = f.random_message(3);
+  const auto ct = f.encryptor->encrypt(f.encoder->encode(values));
+  EXPECT_EQ(f.encoder->decode(f.decryptor->decrypt(ct)), values);
+}
+
+TEST(Bfv, FreshNoiseIsSmall) {
+  BfvFixture& f = fx();
+  const auto values = f.random_message(4);
+  const auto plain = f.encoder->encode(values);
+  const auto ct = f.encryptor->encrypt(plain);
+  // Fresh noise ~ N * sigma * ||u|| — far below Delta/2 (~2^38).
+  EXPECT_LT(f.decryptor->noise_bits(ct, plain), 20.0);
+}
+
+TEST(Bfv, HomomorphicAddSubExact) {
+  BfvFixture& f = fx();
+  const auto a = f.random_message(5);
+  const auto b = f.random_message(6);
+  const auto ca = f.encryptor->encrypt(f.encoder->encode(a));
+  const auto cb = f.encryptor->encrypt(f.encoder->encode(b));
+  const auto sum = f.encoder->decode(f.decryptor->decrypt(f.evaluator->add(ca, cb)));
+  const auto diff = f.encoder->decode(f.decryptor->decrypt(f.evaluator->sub(ca, cb)));
+  const u64 t = f.ctx->t();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(sum[i], (a[i] + b[i]) % t) << i;
+    EXPECT_EQ(diff[i], (a[i] + t - b[i]) % t) << i;
+  }
+}
+
+TEST(Bfv, AddAndMulPlainExact) {
+  BfvFixture& f = fx();
+  const auto a = f.random_message(7);
+  const auto p = f.random_message(8);
+  const auto ct = f.encryptor->encrypt(f.encoder->encode(a));
+  const auto ep = f.encoder->encode(p);
+  const auto sum = f.encoder->decode(f.decryptor->decrypt(f.evaluator->add_plain(ct, ep)));
+  const auto prod = f.encoder->decode(f.decryptor->decrypt(f.evaluator->mul_plain(ct, ep)));
+  const u64 t = f.ctx->t();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(sum[i], (a[i] + p[i]) % t) << i;
+    EXPECT_EQ(prod[i], static_cast<u64>((u128{a[i]} * p[i]) % t)) << i;
+  }
+}
+
+TEST(Bfv, CiphertextMultiplyExact) {
+  // The headline BFV property: exact modular integer products, slotwise.
+  BfvFixture& f = fx();
+  const auto a = f.random_message(9);
+  const auto b = f.random_message(10);
+  const auto ca = f.encryptor->encrypt(f.encoder->encode(a));
+  const auto cb = f.encryptor->encrypt(f.encoder->encode(b));
+  const auto prod =
+      f.encoder->decode(f.decryptor->decrypt(f.evaluator->multiply(ca, cb, f.rk)));
+  const u64 t = f.ctx->t();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(prod[i], static_cast<u64>((u128{a[i]} * b[i]) % t)) << i;
+  }
+}
+
+TEST(Bfv, MultiplyThenAddComposition) {
+  BfvFixture& f = fx();
+  const auto a = f.random_message(11);
+  const auto b = f.random_message(12);
+  const auto c = f.random_message(13);
+  const auto ca = f.encryptor->encrypt(f.encoder->encode(a));
+  const auto cb = f.encryptor->encrypt(f.encoder->encode(b));
+  const auto cc = f.encryptor->encrypt(f.encoder->encode(c));
+  // a*b + c
+  const auto res = f.encoder->decode(f.decryptor->decrypt(
+      f.evaluator->add(f.evaluator->multiply(ca, cb, f.rk), cc)));
+  const u64 t = f.ctx->t();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(res[i], static_cast<u64>((u128{a[i]} * b[i] + c[i]) % t)) << i;
+  }
+}
+
+TEST(Bfv, SmallRingWorksToo) {
+  BfvFixture small(256);
+  const auto a = small.random_message(14);
+  const auto b = small.random_message(15);
+  const auto ca = small.encryptor->encrypt(small.encoder->encode(a));
+  const auto cb = small.encryptor->encrypt(small.encoder->encode(b));
+  const auto prod = small.encoder->decode(
+      small.decryptor->decrypt(small.evaluator->multiply(ca, cb, small.rk)));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(prod[i], static_cast<u64>((u128{a[i]} * b[i]) % small.ctx->t())) << i;
+  }
+}
+
+TEST(Bfv, ArgumentChecks) {
+  BfvFixture& f = fx();
+  std::vector<u64> wrong(f.ctx->degree() / 2, 0);
+  EXPECT_THROW(f.encryptor->encrypt(wrong), std::invalid_argument);
+  EXPECT_THROW(f.encoder->decode(wrong), std::invalid_argument);
+  std::vector<u64> too_many(f.ctx->degree() + 1, 0);
+  EXPECT_THROW(f.encoder->encode(too_many), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace alchemist::bfv

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bfv/bgv.h"
+#include "common/rng.h"
+
+namespace alchemist::bgv {
+namespace {
+
+struct BgvFixture {
+  BgvContextPtr ctx;
+  std::unique_ptr<BgvKeyGenerator> keygen;
+  std::unique_ptr<BgvEncryptor> encryptor;
+  std::unique_ptr<BgvDecryptor> decryptor;
+  std::unique_ptr<BgvEvaluator> evaluator;
+  BgvRelinKey rk;
+
+  BgvFixture() {
+    ctx = std::make_shared<BgvContext>(BfvParams::toy(1024));
+    keygen = std::make_unique<BgvKeyGenerator>(ctx, 9);
+    encryptor = std::make_unique<BgvEncryptor>(ctx, keygen->make_public_key());
+    decryptor = std::make_unique<BgvDecryptor>(ctx, keygen->secret_key());
+    evaluator = std::make_unique<BgvEvaluator>(ctx);
+    rk = keygen->make_relin_key();
+  }
+
+  std::vector<u64> random_message(u64 seed) const {
+    Rng rng(seed);
+    return rng.uniform_vector(ctx->degree(), ctx->t());
+  }
+};
+
+BgvFixture& fx() {
+  static BgvFixture f;
+  return f;
+}
+
+TEST(Bgv, EncryptDecryptExact) {
+  BgvFixture& f = fx();
+  const auto values = f.random_message(1);
+  const auto ct = f.encryptor->encrypt(bgv_encode(*f.ctx, values));
+  EXPECT_EQ(bgv_decode(*f.ctx, f.decryptor->decrypt(ct)), values);
+}
+
+TEST(Bgv, AddSubPlainOps) {
+  BgvFixture& f = fx();
+  const auto a = f.random_message(2);
+  const auto b = f.random_message(3);
+  const auto ca = f.encryptor->encrypt(bgv_encode(*f.ctx, a));
+  const auto cb = f.encryptor->encrypt(bgv_encode(*f.ctx, b));
+  const u64 t = f.ctx->t();
+
+  const auto sum = bgv_decode(*f.ctx, f.decryptor->decrypt(f.evaluator->add(ca, cb)));
+  const auto diff = bgv_decode(*f.ctx, f.decryptor->decrypt(f.evaluator->sub(ca, cb)));
+  const auto psum = bgv_decode(
+      *f.ctx, f.decryptor->decrypt(f.evaluator->add_plain(ca, bgv_encode(*f.ctx, b))));
+  const auto pprod = bgv_decode(
+      *f.ctx, f.decryptor->decrypt(f.evaluator->mul_plain(ca, bgv_encode(*f.ctx, b))));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(sum[i], (a[i] + b[i]) % t) << i;
+    EXPECT_EQ(diff[i], (a[i] + t - b[i]) % t) << i;
+    EXPECT_EQ(psum[i], (a[i] + b[i]) % t) << i;
+    EXPECT_EQ(pprod[i], static_cast<u64>((u128{a[i]} * b[i]) % t)) << i;
+  }
+}
+
+TEST(Bgv, CiphertextMultiplyExact) {
+  BgvFixture& f = fx();
+  const auto a = f.random_message(4);
+  const auto b = f.random_message(5);
+  const auto ca = f.encryptor->encrypt(bgv_encode(*f.ctx, a));
+  const auto cb = f.encryptor->encrypt(bgv_encode(*f.ctx, b));
+  const auto prod =
+      bgv_decode(*f.ctx, f.decryptor->decrypt(f.evaluator->multiply(ca, cb, f.rk)));
+  const u64 t = f.ctx->t();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(prod[i], static_cast<u64>((u128{a[i]} * b[i]) % t)) << i;
+  }
+}
+
+TEST(Bgv, MultiplyThenLinearOps) {
+  BgvFixture& f = fx();
+  const auto a = f.random_message(6);
+  const auto b = f.random_message(7);
+  const auto c = f.random_message(8);
+  const auto ca = f.encryptor->encrypt(bgv_encode(*f.ctx, a));
+  const auto cb = f.encryptor->encrypt(bgv_encode(*f.ctx, b));
+  const auto cc = f.encryptor->encrypt(bgv_encode(*f.ctx, c));
+  const auto res = bgv_decode(*f.ctx, f.decryptor->decrypt(f.evaluator->add(
+                                          f.evaluator->multiply(ca, cb, f.rk), cc)));
+  const u64 t = f.ctx->t();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(res[i], static_cast<u64>((u128{a[i]} * b[i] + c[i]) % t)) << i;
+  }
+}
+
+TEST(Bgv, AgreesWithBfvSemantics) {
+  // BGV and BFV realize the same plaintext algebra Z_t^N; the same program
+  // must give the same answers under both schemes.
+  BgvFixture& f = fx();
+  auto bfv_ctx = std::make_shared<bfv::BfvContext>(BfvParams::toy(1024));
+  bfv::BfvEncoder bfv_encoder(bfv_ctx);
+  bfv::BfvKeyGenerator bfv_keygen(bfv_ctx, 10);
+  bfv::BfvEncryptor bfv_encryptor(bfv_ctx, bfv_keygen.make_public_key());
+  bfv::BfvDecryptor bfv_decryptor(bfv_ctx, bfv_keygen.secret_key());
+  bfv::BfvEvaluator bfv_evaluator(bfv_ctx);
+  const bfv::BfvRelinKey bfv_rk = bfv_keygen.make_relin_key();
+
+  const auto a = f.random_message(11);
+  const auto b = f.random_message(12);
+
+  const auto bgv_result = bgv_decode(
+      *f.ctx, f.decryptor->decrypt(f.evaluator->multiply(
+                  f.encryptor->encrypt(bgv_encode(*f.ctx, a)),
+                  f.encryptor->encrypt(bgv_encode(*f.ctx, b)), f.rk)));
+  const auto bfv_result = bfv_encoder.decode(bfv_decryptor.decrypt(
+      bfv_evaluator.multiply(bfv_encryptor.encrypt(bfv_encoder.encode(a)),
+                             bfv_encryptor.encrypt(bfv_encoder.encode(b)), bfv_rk)));
+  EXPECT_EQ(bgv_result, bfv_result);
+}
+
+TEST(Bgv, ArgumentChecks) {
+  BgvFixture& f = fx();
+  std::vector<u64> wrong(f.ctx->degree() / 2, 0);
+  EXPECT_THROW(f.encryptor->encrypt(wrong), std::invalid_argument);
+  BfvParams bad;
+  bad.t = 65536;
+  EXPECT_THROW(BgvContext{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace alchemist::bgv

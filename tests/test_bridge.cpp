@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "bridge/scheme_switch.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keygen.h"
+#include "common/rng.h"
+
+namespace alchemist::bridge {
+namespace {
+
+// CKKS parameters tuned for switching: Delta/q0 = 2^-3 keeps the bridged
+// torus message within PBS margins for |z| up to ~1.
+ckks::CkksParams bridge_params() {
+  ckks::CkksParams p = ckks::CkksParams::toy(1024, 3, 1);
+  p.first_prime_bits = 48;
+  p.log_scale = 45;
+  p.prime_bits = 45;
+  return p;
+}
+
+struct BridgeFixture {
+  ckks::ContextPtr ctx;
+  std::unique_ptr<ckks::CkksEncoder> encoder;
+  std::unique_ptr<ckks::KeyGenerator> keygen;
+  std::unique_ptr<ckks::Encryptor> encryptor;
+  std::unique_ptr<ckks::Decryptor> decryptor;
+  std::unique_ptr<ckks::Evaluator> evaluator;
+  Rng rng{2025};
+  tfhe::TfheParams tfhe_params = tfhe::TfheParams::toy();
+  tfhe::LweKey tfhe_key;
+  tfhe::TrlweKey trlwe_key;
+  tfhe::BootstrapContext boot_ctx;
+  tfhe::KeySwitchKey bridge_key;
+
+  BridgeFixture() {
+    ctx = std::make_shared<ckks::CkksContext>(bridge_params());
+    encoder = std::make_unique<ckks::CkksEncoder>(ctx);
+    keygen = std::make_unique<ckks::KeyGenerator>(ctx, 12);
+    encryptor = std::make_unique<ckks::Encryptor>(ctx, keygen->make_public_key());
+    decryptor = std::make_unique<ckks::Decryptor>(ctx, keygen->secret_key());
+    evaluator = std::make_unique<ckks::Evaluator>(ctx);
+    tfhe_key = tfhe::lwe_keygen(tfhe_params.n_lwe, rng);
+    trlwe_key = tfhe::trlwe_keygen(tfhe_params, rng);
+    boot_ctx = tfhe::make_bootstrap_context(tfhe_params, tfhe_key, trlwe_key, rng);
+    bridge_key = make_bridge_key(*ctx, keygen->secret_key(), tfhe_key, tfhe_params, rng);
+  }
+
+  // Level-1 ciphertext with z at coefficient 0 (constant encoding).
+  ckks::Ciphertext constant_ct(double z) {
+    const ckks::Ciphertext fresh = encryptor->encrypt(
+        encoder->encode_constant(z, ctx->params().num_levels, ctx->params().scale()));
+    return evaluator->mod_drop(fresh, 1);
+  }
+};
+
+BridgeFixture& fx() {
+  static BridgeFixture f;
+  return f;
+}
+
+TEST(Bridge, CkksSecretExtractsAsTernaryLweKey) {
+  BridgeFixture& f = fx();
+  const tfhe::LweKey key = ckks_lwe_secret(*f.ctx, f.keygen->secret_key());
+  ASSERT_EQ(key.s.size(), f.ctx->degree());
+  int nonzero = 0;
+  for (int bit : key.s) {
+    EXPECT_GE(bit, -1);
+    EXPECT_LE(bit, 1);
+    nonzero += bit != 0;
+  }
+  // Dense ternary: about two thirds of the coefficients are nonzero.
+  EXPECT_GT(nonzero, static_cast<int>(f.ctx->degree() / 2));
+}
+
+TEST(Bridge, ExtractedLwePhaseMatchesCkksCoefficient) {
+  BridgeFixture& f = fx();
+  const tfhe::LweKey ckks_key = ckks_lwe_secret(*f.ctx, f.keygen->secret_key());
+  const double q0 = static_cast<double>(f.ctx->q_moduli()[0]);
+  for (double z : {0.5, -0.5, 0.9, -0.25}) {
+    const ckks::Ciphertext ct = f.constant_ct(z);
+    const std::vector<double> coeffs = f.decryptor->decrypt_coeffs(ct);
+    const tfhe::LweSample lwe = extract_lwe(*f.ctx, ct, 0);
+    const double phase = tfhe::torus_to_double(tfhe::lwe_phase(lwe, ckks_key));
+    EXPECT_NEAR(phase, coeffs[0] / q0, 1e-6) << z;
+    // The bridged value is z * Delta / q0 = z / 8.
+    EXPECT_NEAR(phase, z / 8.0, 1e-3) << z;
+  }
+}
+
+TEST(Bridge, KeyswitchToTfheKeyPreservesMessage) {
+  BridgeFixture& f = fx();
+  for (double z : {0.75, -0.75}) {
+    const ckks::Ciphertext ct = f.constant_ct(z);
+    const tfhe::LweSample switched = switch_to_tfhe(*f.ctx, ct, 0, f.bridge_key);
+    EXPECT_EQ(switched.dimension(), f.tfhe_params.n_lwe);
+    const double phase = tfhe::torus_to_double(tfhe::lwe_phase(switched, f.tfhe_key));
+    EXPECT_NEAR(phase, z / 8.0, 2e-3) << z;
+  }
+}
+
+TEST(Bridge, EndToEndSignViaPbs) {
+  // The motivating pipeline: CKKS arithmetic, bridge, TFHE comparison.
+  BridgeFixture& f = fx();
+  const tfhe::TorusPoly sign_tv =
+      tfhe::make_constant_test_poly(f.tfhe_params.degree, u64{1} << 61);
+  for (double z : {0.9, 0.3, -0.3, -0.9}) {
+    // Homomorphic CKKS work first: (z + z) / 2 keeps the value but exercises
+    // real arithmetic before the switch.
+    ckks::Ciphertext ct = f.encryptor->encrypt(f.encoder->encode_constant(
+        z, f.ctx->params().num_levels, f.ctx->params().scale()));
+    ct = f.evaluator->add(ct, ct);
+    ct = f.evaluator->rescale(f.evaluator->mul_scalar(ct, 0.5, *f.encoder, ct.scale));
+    ct = f.evaluator->mod_drop(ct, 1);
+
+    const tfhe::LweSample bridged = switch_to_tfhe(*f.ctx, ct, 0, f.bridge_key);
+    const tfhe::LweSample decision =
+        tfhe::programmable_bootstrap(bridged, sign_tv, f.boot_ctx);
+    EXPECT_EQ(tfhe::decrypt_bit(decision, f.tfhe_key), z > 0) << z;
+  }
+}
+
+TEST(Bridge, RejectsWrongLevelAndIndex) {
+  BridgeFixture& f = fx();
+  const ckks::Ciphertext fresh = f.encryptor->encrypt(f.encoder->encode_constant(
+      0.5, f.ctx->params().num_levels, f.ctx->params().scale()));
+  EXPECT_THROW(extract_lwe(*f.ctx, fresh, 0), std::invalid_argument);
+  const ckks::Ciphertext low = f.evaluator->mod_drop(fresh, 1);
+  EXPECT_THROW(extract_lwe(*f.ctx, low, f.ctx->degree()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace alchemist::bridge

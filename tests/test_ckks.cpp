@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <memory>
+
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keygen.h"
+#include "ckks/params.h"
+#include "common/rng.h"
+
+namespace alchemist::ckks {
+namespace {
+
+using Complex = std::complex<double>;
+
+struct CkksFixture {
+  ContextPtr ctx;
+  std::unique_ptr<CkksEncoder> encoder;
+  std::unique_ptr<KeyGenerator> keygen;
+  std::unique_ptr<Encryptor> encryptor;
+  std::unique_ptr<Decryptor> decryptor;
+  std::unique_ptr<Evaluator> evaluator;
+
+  explicit CkksFixture(const CkksParams& params) {
+    ctx = std::make_shared<CkksContext>(params);
+    encoder = std::make_unique<CkksEncoder>(ctx);
+    keygen = std::make_unique<KeyGenerator>(ctx, /*seed=*/7);
+    encryptor = std::make_unique<Encryptor>(ctx, keygen->make_public_key());
+    decryptor = std::make_unique<Decryptor>(ctx, keygen->secret_key());
+    evaluator = std::make_unique<Evaluator>(ctx);
+  }
+};
+
+std::vector<Complex> random_message(std::size_t count, u64 seed, double mag = 1.0) {
+  Rng rng(seed);
+  std::vector<Complex> z(count);
+  for (Complex& v : z) {
+    v = {mag * (2 * rng.uniform_real() - 1), mag * (2 * rng.uniform_real() - 1)};
+  }
+  return z;
+}
+
+double max_error(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  double err = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) err = std::max(err, std::abs(a[i] - b[i]));
+  return err;
+}
+
+TEST(CkksContext, ModuliChainShape) {
+  CkksParams p = CkksParams::toy(1024, 4, 2);
+  CkksContext ctx(p);
+  EXPECT_EQ(ctx.q_moduli().size(), 4u);
+  EXPECT_EQ(ctx.p_moduli().size(), 2u);  // alpha = ceil(4/2) = 2
+  EXPECT_EQ(ctx.basis_at(2).size(), 2u);
+  EXPECT_EQ(ctx.extended_basis_at(2).size(), 4u);
+  EXPECT_EQ(ctx.num_digits_at(4), 2u);
+  EXPECT_EQ(ctx.num_digits_at(3), 2u);
+  EXPECT_EQ(ctx.num_digits_at(2), 1u);
+  auto [first, count] = ctx.digit_range(1, 3);
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(count, 1u);  // truncated tail digit
+  EXPECT_THROW(ctx.digit_range(1, 2), std::invalid_argument);
+  EXPECT_THROW(ctx.basis_at(0), std::invalid_argument);
+  EXPECT_THROW(ctx.basis_at(5), std::invalid_argument);
+}
+
+TEST(CkksContext, GaloisElements) {
+  CkksParams p = CkksParams::toy(1024, 2, 1);
+  CkksContext ctx(p);
+  EXPECT_EQ(ctx.galois_elt_for_rotation(0), 1u);
+  EXPECT_EQ(ctx.galois_elt_for_rotation(1), 5u);
+  EXPECT_EQ(ctx.galois_elt_for_rotation(2), 25u);
+  EXPECT_EQ(ctx.galois_elt_conjugate(), 2047u);
+  // Negative steps normalize to slots - |steps|.
+  EXPECT_EQ(ctx.galois_elt_for_rotation(-1), ctx.galois_elt_for_rotation(511));
+}
+
+TEST(CkksEncoder, EncodeDecodeRoundTrip) {
+  CkksFixture f(CkksParams::toy(1024, 3, 1));
+  const auto z = random_message(f.encoder->slots(), 1);
+  const Plaintext pt = f.encoder->encode(std::span<const Complex>(z), 3,
+                                         f.ctx->params().scale());
+  const auto decoded = f.encoder->decode(pt);
+  EXPECT_LT(max_error(z, decoded), 1e-7);
+}
+
+TEST(CkksEncoder, ZeroPaddingAndScalar) {
+  CkksFixture f(CkksParams::toy(1024, 2, 1));
+  std::vector<Complex> partial = {{1.0, 0.0}, {2.0, -1.0}};
+  const Plaintext pt = f.encoder->encode(std::span<const Complex>(partial), 2,
+                                         f.ctx->params().scale());
+  const auto decoded = f.encoder->decode(pt);
+  EXPECT_NEAR(std::abs(decoded[0] - partial[0]), 0.0, 1e-7);
+  EXPECT_NEAR(std::abs(decoded[1] - partial[1]), 0.0, 1e-7);
+  for (std::size_t i = 2; i < decoded.size(); ++i) {
+    EXPECT_LT(std::abs(decoded[i]), 1e-7);
+  }
+
+  const Plaintext ps = f.encoder->encode_scalar({0.5, 0.25}, 2, f.ctx->params().scale());
+  const auto ds = f.encoder->decode(ps);
+  for (const Complex& v : ds) EXPECT_LT(std::abs(v - Complex{0.5, 0.25}), 1e-7);
+}
+
+TEST(CkksEncoder, RejectsBadArguments) {
+  CkksFixture f(CkksParams::toy(1024, 2, 1));
+  std::vector<Complex> too_many(f.encoder->slots() + 1);
+  EXPECT_THROW(
+      f.encoder->encode(std::span<const Complex>(too_many), 2, 1024.0),
+      std::invalid_argument);
+  std::vector<Complex> ok(4);
+  EXPECT_THROW(f.encoder->encode(std::span<const Complex>(ok), 2, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Ckks, EncryptDecryptRoundTrip) {
+  CkksFixture f(CkksParams::toy(1024, 3, 1));
+  const auto z = random_message(f.encoder->slots(), 2);
+  const Plaintext pt = f.encoder->encode(std::span<const Complex>(z), 3,
+                                         f.ctx->params().scale());
+  const Ciphertext ct = f.encryptor->encrypt(pt);
+  const auto decrypted = f.decryptor->decrypt(ct, *f.encoder);
+  EXPECT_LT(max_error(z, decrypted), 1e-5);
+}
+
+TEST(Ckks, HomomorphicAddSub) {
+  CkksFixture f(CkksParams::toy(1024, 3, 1));
+  const auto za = random_message(f.encoder->slots(), 3);
+  const auto zb = random_message(f.encoder->slots(), 4);
+  const double scale = f.ctx->params().scale();
+  const Ciphertext ca = f.encryptor->encrypt(f.encoder->encode(std::span<const Complex>(za), 3, scale));
+  const Ciphertext cb = f.encryptor->encrypt(f.encoder->encode(std::span<const Complex>(zb), 3, scale));
+
+  std::vector<Complex> sum(za.size()), diff(za.size());
+  for (std::size_t i = 0; i < za.size(); ++i) {
+    sum[i] = za[i] + zb[i];
+    diff[i] = za[i] - zb[i];
+  }
+  EXPECT_LT(max_error(sum, f.decryptor->decrypt(f.evaluator->add(ca, cb), *f.encoder)), 1e-5);
+  EXPECT_LT(max_error(diff, f.decryptor->decrypt(f.evaluator->sub(ca, cb), *f.encoder)), 1e-5);
+
+  std::vector<Complex> neg(za.size());
+  for (std::size_t i = 0; i < za.size(); ++i) neg[i] = -za[i];
+  EXPECT_LT(max_error(neg, f.decryptor->decrypt(f.evaluator->negate(ca), *f.encoder)), 1e-5);
+}
+
+TEST(Ckks, AddPlainAndMulPlainWithRescale) {
+  CkksFixture f(CkksParams::toy(1024, 3, 1));
+  const double scale = f.ctx->params().scale();
+  const auto z = random_message(f.encoder->slots(), 5);
+  const auto w = random_message(f.encoder->slots(), 6);
+  const Ciphertext ct = f.encryptor->encrypt(f.encoder->encode(std::span<const Complex>(z), 3, scale));
+  const Plaintext pw = f.encoder->encode(std::span<const Complex>(w), 3, scale);
+
+  std::vector<Complex> sum(z.size()), prod(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    sum[i] = z[i] + w[i];
+    prod[i] = z[i] * w[i];
+  }
+  EXPECT_LT(max_error(sum, f.decryptor->decrypt(f.evaluator->add_plain(ct, pw), *f.encoder)), 1e-5);
+
+  Ciphertext cprod = f.evaluator->mul_plain(ct, pw);
+  EXPECT_DOUBLE_EQ(cprod.scale, scale * scale);
+  cprod = f.evaluator->rescale(cprod);
+  EXPECT_EQ(cprod.level, 2u);
+  EXPECT_LT(max_error(prod, f.decryptor->decrypt(cprod, *f.encoder)), 1e-4);
+}
+
+TEST(Ckks, CiphertextMultiplyWithRelin) {
+  CkksFixture f(CkksParams::toy(1024, 4, 2));
+  const double scale = f.ctx->params().scale();
+  const RelinKeys rk = f.keygen->make_relin_keys();
+  const auto za = random_message(f.encoder->slots(), 7);
+  const auto zb = random_message(f.encoder->slots(), 8);
+  const Ciphertext ca = f.encryptor->encrypt(f.encoder->encode(std::span<const Complex>(za), 4, scale));
+  const Ciphertext cb = f.encryptor->encrypt(f.encoder->encode(std::span<const Complex>(zb), 4, scale));
+
+  Ciphertext prod = f.evaluator->multiply(ca, cb, rk);
+  prod = f.evaluator->rescale(prod);
+
+  std::vector<Complex> expected(za.size());
+  for (std::size_t i = 0; i < za.size(); ++i) expected[i] = za[i] * zb[i];
+  EXPECT_LT(max_error(expected, f.decryptor->decrypt(prod, *f.encoder)), 1e-3);
+}
+
+TEST(Ckks, MultiplicationDepthChain) {
+  // Three successive multiplications down the moduli chain: z^8.
+  CkksFixture f(CkksParams::toy(1024, 4, 2));
+  const double scale = f.ctx->params().scale();
+  const RelinKeys rk = f.keygen->make_relin_keys();
+  const auto z = random_message(f.encoder->slots(), 9, /*mag=*/0.9);
+  Ciphertext ct = f.encryptor->encrypt(f.encoder->encode(std::span<const Complex>(z), 4, scale));
+
+  std::vector<Complex> expected = z;
+  for (int depth = 0; depth < 3; ++depth) {
+    ct = f.evaluator->rescale(f.evaluator->multiply(ct, ct, rk));
+    for (Complex& v : expected) v *= v;
+  }
+  EXPECT_EQ(ct.level, 1u);
+  EXPECT_LT(max_error(expected, f.decryptor->decrypt(ct, *f.encoder)), 5e-2);
+}
+
+TEST(Ckks, RotationMatchesCyclicShift) {
+  CkksFixture f(CkksParams::toy(1024, 3, 1));
+  const double scale = f.ctx->params().scale();
+  const GaloisKeys gk = f.keygen->make_galois_keys({1, 3, -1});
+  const auto z = random_message(f.encoder->slots(), 10);
+  const Ciphertext ct = f.encryptor->encrypt(f.encoder->encode(std::span<const Complex>(z), 3, scale));
+
+  for (int steps : {1, 3, -1}) {
+    const Ciphertext rotated = f.evaluator->rotate(ct, steps, gk);
+    const auto decrypted = f.decryptor->decrypt(rotated, *f.encoder);
+    const std::size_t num_slots = f.encoder->slots();
+    for (std::size_t i = 0; i < num_slots; ++i) {
+      const std::size_t src = (i + static_cast<std::size_t>(
+                                       (steps % static_cast<int>(num_slots) +
+                                        static_cast<int>(num_slots))) ) % num_slots;
+      EXPECT_LT(std::abs(decrypted[i] - z[src]), 1e-3)
+          << "steps=" << steps << " slot=" << i;
+    }
+  }
+}
+
+TEST(Ckks, RotateByZeroIsIdentity) {
+  CkksFixture f(CkksParams::toy(1024, 2, 1));
+  const auto z = random_message(f.encoder->slots(), 11);
+  const Ciphertext ct = f.encryptor->encrypt(
+      f.encoder->encode(std::span<const Complex>(z), 2, f.ctx->params().scale()));
+  GaloisKeys gk;  // rotation by 0 needs no key
+  const Ciphertext same = f.evaluator->rotate(ct, 0, gk);
+  EXPECT_LT(max_error(f.decryptor->decrypt(ct, *f.encoder),
+                      f.decryptor->decrypt(same, *f.encoder)),
+            1e-9);
+}
+
+TEST(Ckks, ConjugateConjugatesSlots) {
+  CkksFixture f(CkksParams::toy(1024, 3, 1));
+  const GaloisKeys gk = f.keygen->make_galois_keys({}, /*include_conjugate=*/true);
+  const auto z = random_message(f.encoder->slots(), 12);
+  const Ciphertext ct = f.encryptor->encrypt(
+      f.encoder->encode(std::span<const Complex>(z), 3, f.ctx->params().scale()));
+  const auto decrypted = f.decryptor->decrypt(f.evaluator->conjugate(ct, gk), *f.encoder);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    EXPECT_LT(std::abs(decrypted[i] - std::conj(z[i])), 1e-3);
+  }
+}
+
+TEST(Ckks, ModDropPreservesMessage) {
+  CkksFixture f(CkksParams::toy(1024, 4, 2));
+  const auto z = random_message(f.encoder->slots(), 13);
+  const Ciphertext ct = f.encryptor->encrypt(
+      f.encoder->encode(std::span<const Complex>(z), 4, f.ctx->params().scale()));
+  const Ciphertext dropped = f.evaluator->mod_drop(ct, 2);
+  EXPECT_EQ(dropped.level, 2u);
+  EXPECT_LT(max_error(z, f.decryptor->decrypt(dropped, *f.encoder)), 1e-4);
+  EXPECT_THROW(f.evaluator->mod_drop(ct, 0), std::invalid_argument);
+  EXPECT_THROW(f.evaluator->mod_drop(dropped, 3), std::invalid_argument);
+}
+
+TEST(Ckks, MismatchChecksThrow) {
+  CkksFixture f(CkksParams::toy(1024, 4, 2));
+  const double scale = f.ctx->params().scale();
+  const auto z = random_message(f.encoder->slots(), 14);
+  const Ciphertext a = f.encryptor->encrypt(f.encoder->encode(std::span<const Complex>(z), 4, scale));
+  const Ciphertext b = f.evaluator->mod_drop(a, 3);
+  EXPECT_THROW(f.evaluator->add(a, b), std::invalid_argument);
+  Ciphertext scaled = a;
+  scaled.scale *= 2;
+  EXPECT_THROW(f.evaluator->add(a, scaled), std::invalid_argument);
+  EXPECT_THROW(f.evaluator->rescale(f.evaluator->mod_drop(a, 1)), std::invalid_argument);
+  GaloisKeys empty;
+  EXPECT_THROW(f.evaluator->rotate(a, 2, empty), std::invalid_argument);
+  EXPECT_THROW(f.evaluator->conjugate(a, empty), std::invalid_argument);
+}
+
+TEST(Ckks, DnumVariantsAllWork) {
+  // The paper sweeps dnum (Fig. 1); every decomposition must stay correct.
+  for (std::size_t dnum : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    CkksFixture f(CkksParams::toy(1024, 4, dnum));
+    const double scale = f.ctx->params().scale();
+    const RelinKeys rk = f.keygen->make_relin_keys();
+    const auto z = random_message(f.encoder->slots(), 15 + dnum, 0.9);
+    const Ciphertext ct = f.encryptor->encrypt(
+        f.encoder->encode(std::span<const Complex>(z), 4, scale));
+    Ciphertext sq = f.evaluator->rescale(f.evaluator->multiply(ct, ct, rk));
+    std::vector<Complex> expected(z.size());
+    for (std::size_t i = 0; i < z.size(); ++i) expected[i] = z[i] * z[i];
+    EXPECT_LT(max_error(expected, f.decryptor->decrypt(sq, *f.encoder)), 1e-2)
+        << "dnum=" << dnum;
+  }
+}
+
+TEST(Ckks, KeyswitchAtLowerLevelAfterRescale) {
+  // Rotation after two rescales exercises the truncated-digit path.
+  CkksFixture f(CkksParams::toy(1024, 4, 2));
+  const double scale = f.ctx->params().scale();
+  const RelinKeys rk = f.keygen->make_relin_keys();
+  const GaloisKeys gk = f.keygen->make_galois_keys({2});
+  const auto z = random_message(f.encoder->slots(), 20, 0.9);
+  Ciphertext ct = f.encryptor->encrypt(f.encoder->encode(std::span<const Complex>(z), 4, scale));
+  ct = f.evaluator->rescale(f.evaluator->multiply(ct, ct, rk));
+  ct = f.evaluator->rescale(f.evaluator->multiply(ct, ct, rk));
+  ASSERT_EQ(ct.level, 2u);
+  const Ciphertext rotated = f.evaluator->rotate(ct, 2, gk);
+  const auto decrypted = f.decryptor->decrypt(rotated, *f.encoder);
+  const std::size_t num_slots = f.encoder->slots();
+  for (std::size_t i = 0; i < num_slots; ++i) {
+    const Complex expected = std::pow(z[(i + 2) % num_slots], 4);
+    EXPECT_LT(std::abs(decrypted[i] - expected), 5e-2) << i;
+  }
+}
+
+}  // namespace
+}  // namespace alchemist::ckks

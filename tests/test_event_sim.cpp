@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "metaop/lowering.h"
+#include "sim/alchemist_sim.h"
+#include "sim/event_sim.h"
+#include "workloads/ckks_workloads.h"
+#include "workloads/tfhe_workloads.h"
+
+namespace alchemist::sim {
+namespace {
+
+using metaop::HighOp;
+using metaop::OpGraph;
+using metaop::OpKind;
+
+HighOp make_op(OpKind kind, std::size_t n, std::size_t channels,
+               std::vector<std::size_t> deps = {}, std::size_t pa = 0,
+               std::uint64_t hbm = 0) {
+  HighOp op;
+  op.kind = kind;
+  op.n = n;
+  op.channels = channels;
+  op.deps = std::move(deps);
+  op.param_a = pa;
+  op.hbm_bytes = hbm;
+  return op;
+}
+
+TEST(EventSim, SingleOpMatchesAnalytical) {
+  OpGraph g;
+  g.name = "single";
+  g.add(make_op(OpKind::PointwiseMult, 65536, 8));
+  const auto cfg = arch::ArchConfig::alchemist();
+  const SimResult level = simulate_alchemist(g, cfg);
+  const SimResult event = simulate_alchemist_events(g, cfg);
+  EXPECT_NEAR(static_cast<double>(event.cycles), static_cast<double>(level.cycles),
+              static_cast<double>(level.cycles) * 0.02);
+  EXPECT_NEAR(event.utilization, level.utilization, 0.05);
+}
+
+TEST(EventSim, NeverSlowerThanLevelModelOnRealWorkloads) {
+  const auto cfg = arch::ArchConfig::alchemist();
+  workloads::CkksWl w = workloads::CkksWl::paper(24);
+  w.hbm_stream_fraction = 0.05;
+  for (const OpGraph& g : {workloads::build_keyswitch(w), workloads::build_cmult(w),
+                           workloads::build_rotation(w)}) {
+    const SimResult level = simulate_alchemist(g, cfg);
+    const SimResult event = simulate_alchemist_events(g, cfg);
+    // The two independent models must agree within 10% (they treat level
+    // barriers and transpose sharing differently, so neither strictly
+    // dominates).
+    const double ratio = static_cast<double>(event.cycles) / level.cycles;
+    EXPECT_GT(ratio, 0.90) << g.name;
+    EXPECT_LT(ratio, 1.10) << g.name;
+    // Both stay above the absolute work lower bound.
+    double work = 0;
+    for (const auto& op : g.ops) work += metaop::lower(op).core_cycles();
+    EXPECT_GE(static_cast<double>(event.cycles),
+              work / cfg.total_cores() * 0.95) << g.name;
+  }
+}
+
+TEST(EventSim, AgreesOnTfhePbs) {
+  const auto cfg = arch::ArchConfig::alchemist();
+  const OpGraph g = workloads::build_pbs(workloads::TfheWl::set_i());
+  const SimResult level = simulate_alchemist(g, cfg);
+  const SimResult event = simulate_alchemist_events(g, cfg);
+  // PBS is a long dependency chain: both models should land close together.
+  const double ratio = static_cast<double>(event.cycles) / level.cycles;
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.1);
+}
+
+TEST(EventSim, HbmBoundOpIsBandwidthLimited) {
+  OpGraph g;
+  g.add(make_op(OpKind::DecompPolyMult, 4096, 2, {}, 4, /*hbm=*/200'000'000));
+  const auto cfg = arch::ArchConfig::alchemist();
+  const SimResult event = simulate_alchemist_events(g, cfg);
+  EXPECT_GE(event.cycles, 200'000'000 / 1000);
+}
+
+TEST(EventSim, DependencyChainSerializes) {
+  OpGraph chain, fork;
+  const HighOp op = make_op(OpKind::PointwiseMult, 65536, 4);
+  std::size_t prev = chain.add(op);
+  for (int i = 0; i < 3; ++i) {
+    HighOp dependent = op;
+    dependent.deps = {prev};
+    prev = chain.add(dependent);
+  }
+  for (int i = 0; i < 4; ++i) fork.add(op);
+  const auto cfg = arch::ArchConfig::alchemist();
+  // Same work; the chain cannot go faster than the fork.
+  const SimResult rc = simulate_alchemist_events(chain, cfg);
+  const SimResult rf = simulate_alchemist_events(fork, cfg);
+  EXPECT_GE(rc.cycles, rf.cycles);
+  OpGraph bad;
+  HighOp cyc = op;
+  cyc.deps = {3};
+  bad.add(cyc);
+  EXPECT_THROW(simulate_alchemist_events(bad, cfg), std::invalid_argument);
+}
+
+TEST(EventSim, MergeGraphsShiftsDependencies) {
+  OpGraph a, b;
+  const std::size_t a0 = a.add(make_op(OpKind::PointwiseMult, 1024, 1));
+  HighOp a1 = make_op(OpKind::PointwiseAdd, 1024, 1);
+  a1.deps = {a0};
+  a.add(a1);
+  b.add(make_op(OpKind::Ntt, 1024, 1));
+  const OpGraph merged = merge_graphs({a, b}, "merged");
+  // Proportional interleave: a0, b0, a1 - a1's dependency is remapped to a0.
+  ASSERT_EQ(merged.ops.size(), 3u);
+  EXPECT_EQ(merged.ops[0].kind, OpKind::PointwiseMult);
+  EXPECT_EQ(merged.ops[1].kind, OpKind::Ntt);
+  EXPECT_TRUE(merged.ops[1].deps.empty());
+  EXPECT_EQ(merged.ops[2].kind, OpKind::PointwiseAdd);
+  EXPECT_EQ(merged.ops[2].deps, (std::vector<std::size_t>{0}));
+}
+
+TEST(EventSim, TimeSharingOverlapsComputeWithKeyStreaming) {
+  // The paper's time-sharing scheduling (§5.4): co-scheduling an HBM-bound
+  // CKKS keyswitch with a compute-bound TFHE PBS beats running them
+  // back-to-back — only possible on a unified accelerator.
+  const auto cfg = arch::ArchConfig::alchemist();
+  workloads::CkksWl ckks_wl = workloads::CkksWl::paper(44);  // fresh keys: HBM-bound
+  const OpGraph ks = workloads::build_keyswitch(ckks_wl);
+  workloads::TfheWl tfhe_wl = workloads::TfheWl::set_i();
+  tfhe_wl.hbm_stream_fraction = 0.0;  // BK cached: compute-bound
+  const OpGraph pbs = workloads::build_pbs(tfhe_wl);
+
+  const double t_seq = simulate_alchemist_events(ks, cfg).time_us +
+                       simulate_alchemist_events(pbs, cfg).time_us;
+  const double t_shared =
+      simulate_alchemist_events(merge_graphs({ks, pbs}, "co-scheduled"), cfg).time_us;
+  EXPECT_LT(t_shared, 0.85 * t_seq);
+}
+
+}  // namespace
+}  // namespace alchemist::sim

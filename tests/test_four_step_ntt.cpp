@@ -1,0 +1,126 @@
+#include "poly/four_step_ntt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/primes.h"
+#include "common/rng.h"
+#include "poly/ntt.h"
+
+namespace alchemist {
+namespace {
+
+TEST(FourStepNtt, FactorsizesMultiplyToN) {
+  const u64 q = max_ntt_prime(36, 16384);
+  FourStepNtt ntt(q, 16384);
+  EXPECT_EQ(ntt.n1() * ntt.n2(), 16384u);
+  // The paper's example: N=16384 decomposes into 128 sub-NTTs of 128 points.
+  EXPECT_EQ(ntt.n1(), 128u);
+  EXPECT_EQ(ntt.n2(), 128u);
+  EXPECT_EQ(ntt.sub_ntts_phase1(), 128u);
+  EXPECT_EQ(ntt.sub_ntts_phase2(), 128u);
+}
+
+TEST(FourStepNtt, MatchesDirectEvaluationSmall) {
+  const std::size_t n = 8;
+  const u64 q = max_ntt_prime(20, n);
+  FourStepNtt ntt(q, n);
+  Rng rng(1);
+  std::vector<u64> a = rng.uniform_vector(n, q);
+
+  // Direct negacyclic DFT in natural order.
+  std::vector<u64> expected(n);
+  const u64 psi = primitive_root_2n(q, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    u64 acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = add_mod(acc, mul_mod(a[i], pow_mod(psi, (i * (2 * k + 1)) % (2 * n), q), q), q);
+    }
+    expected[k] = acc;
+  }
+
+  std::vector<u64> actual = a;
+  ntt.forward(actual);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(FourStepNtt, AgreesWithSingleStepNttValues) {
+  // Same prime, same psi convention: four-step natural order output must be
+  // the bit-reversal-unscrambled output of the standard table.
+  const std::size_t n = 256;
+  const u64 q = max_ntt_prime(30, n);
+  FourStepNtt four(q, n);
+  const NttTable& table = get_ntt_table(q, n);
+  Rng rng(2);
+  std::vector<u64> a = rng.uniform_vector(n, q);
+
+  std::vector<u64> via_table = a;
+  table.forward(via_table);
+
+  std::vector<u64> via_four = a;
+  four.forward(via_four);
+
+  int log_n = 8;
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(via_four[k], via_table[bit_reverse(k, log_n)]) << k;
+  }
+}
+
+class FourStepRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FourStepRoundTrip, InverseUndoesForward) {
+  const std::size_t n = GetParam();
+  const u64 q = max_ntt_prime(40, n);
+  FourStepNtt ntt(q, n);
+  Rng rng(n);
+  const std::vector<u64> original = rng.uniform_vector(n, q);
+  std::vector<u64> a = original;
+  ntt.forward(a);
+  ntt.inverse(a);
+  EXPECT_EQ(a, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FourStepRoundTrip,
+                         ::testing::Values(4, 8, 16, 64, 128, 512, 2048, 4096));
+
+TEST(FourStepNtt, ConvolutionTheorem) {
+  const std::size_t n = 128;
+  const u64 q = max_ntt_prime(30, n);
+  FourStepNtt ntt(q, n);
+  Rng rng(7);
+  std::vector<u64> a = rng.uniform_vector(n, q);
+  std::vector<u64> b = rng.uniform_vector(n, q);
+
+  std::vector<u64> expected(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const u64 prod = mul_mod(a[i], b[j], q);
+      if (i + j < n) {
+        expected[i + j] = add_mod(expected[i + j], prod, q);
+      } else {
+        expected[i + j - n] = sub_mod(expected[i + j - n], prod, q);
+      }
+    }
+  }
+
+  ntt.forward(a);
+  ntt.forward(b);
+  for (std::size_t i = 0; i < n; ++i) a[i] = mul_mod(a[i], b[i], q);
+  ntt.inverse(a);
+  EXPECT_EQ(a, expected);
+}
+
+TEST(FourStepNtt, NonSquareDecomposition) {
+  // Odd log2: N = 2048 -> n1 = 32, n2 = 64.
+  const u64 q = max_ntt_prime(36, 2048);
+  FourStepNtt ntt(q, 2048);
+  EXPECT_EQ(ntt.n1(), 32u);
+  EXPECT_EQ(ntt.n2(), 64u);
+}
+
+TEST(FourStepNtt, RejectsBadSizes) {
+  EXPECT_THROW(FourStepNtt(max_ntt_prime(20, 64), 63), std::invalid_argument);
+  EXPECT_THROW(FourStepNtt(max_ntt_prime(20, 64), 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace alchemist

@@ -1,0 +1,112 @@
+// Cross-module integration: pipelines that span several subsystems at once.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keygen.h"
+#include "ckks/packed_ops.h"
+#include "common/rng.h"
+#include "serdes/fhe_serdes.h"
+#include "sim/alchemist_sim.h"
+#include "sim/tracer.h"
+#include "tfhe/lut.h"
+
+namespace alchemist {
+namespace {
+
+TEST(Integration, SerializeEvaluateDeserializeEvaluate) {
+  // Keys and a ciphertext cross a (simulated) wire mid-computation; the
+  // pipeline must continue identically on the other side.
+  using namespace ckks;
+  auto ctx = std::make_shared<CkksContext>(CkksParams::toy(512, 4, 2));
+  CkksEncoder encoder(ctx);
+  KeyGenerator keygen(ctx, 77);
+  Encryptor encryptor(ctx, keygen.make_public_key());
+  Decryptor decryptor(ctx, keygen.secret_key());
+  Evaluator evaluator(ctx);
+  const RelinKeys rk = keygen.make_relin_keys();
+
+  const std::vector<double> z = {0.5, -0.25};
+  Ciphertext ct = encryptor.encrypt(
+      encoder.encode(std::span<const double>(z), 4, ctx->params().scale()));
+  ct = evaluator.rescale(evaluator.multiply(ct, ct, rk));  // z^2, level 3
+
+  BinaryWriter w;
+  serdes::write(w, ct);
+  serdes::write(w, rk);
+  BinaryReader r(w.buffer());
+  Ciphertext ct2 = serdes::read_ckks_ciphertext(r);
+  const RelinKeys rk2 = serdes::read_relin_keys(r);
+
+  // Continue on the "other side": square again with the reloaded key.
+  ct2 = evaluator.rescale(evaluator.multiply(ct2, ct2, rk2));
+  const auto dec = decryptor.decrypt(ct2, encoder);
+  EXPECT_NEAR(dec[0].real(), 0.0625, 1e-3);   // 0.5^4
+  EXPECT_NEAR(dec[1].real(), 0.00390625, 1e-3);  // 0.25^4
+}
+
+TEST(Integration, TracedPackedPipelineSimulates) {
+  // packed_ops + tracer + simulator: a real inner-product program costs
+  // itself at paper scale.
+  using namespace ckks;
+  auto ctx = std::make_shared<CkksContext>(CkksParams::toy(512, 4, 2));
+  CkksEncoder encoder(ctx);
+  KeyGenerator keygen(ctx, 78);
+  Encryptor encryptor(ctx, keygen.make_public_key());
+  Decryptor decryptor(ctx, keygen.secret_key());
+  Evaluator evaluator(ctx);
+  const RelinKeys rk = keygen.make_relin_keys();
+  const GaloisKeys gk = keygen.make_galois_keys(
+      power_of_two_rotations(ctx->params().slots()));
+
+  sim::TracedEvaluator traced(ctx, evaluator, /*arch_n=*/65536,
+                              /*hbm_stream_fraction=*/0.05);
+  Rng rng(5);
+  std::vector<double> a(ctx->params().slots()), b(ctx->params().slots());
+  for (auto& v : a) v = 2 * rng.uniform_real() - 1;
+  for (auto& v : b) v = 2 * rng.uniform_real() - 1;
+  auto ta = traced.wrap(encryptor.encrypt(
+      encoder.encode(std::span<const double>(a), 4, ctx->params().scale())));
+  auto tb = traced.wrap(encryptor.encrypt(
+      encoder.encode(std::span<const double>(b), 4, ctx->params().scale())));
+
+  auto prod = traced.multiply_rescale(ta, tb, rk);
+  for (std::size_t s = 1; s < ctx->params().slots(); s <<= 1) {
+    prod = traced.add(prod, traced.rotate(prod, static_cast<int>(s), gk));
+  }
+
+  // Crypto correct:
+  double expected = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) expected += a[i] * b[i];
+  EXPECT_NEAR(decryptor.decrypt(prod.ct, encoder)[0].real(), expected, 5e-2);
+
+  // Trace simulates at paper scale with high utilization.
+  const auto result = sim::simulate_alchemist(traced.graph(),
+                                              arch::ArchConfig::alchemist());
+  EXPECT_GT(result.cycles, 10000u);
+  EXPECT_GT(result.utilization, 0.7);
+}
+
+TEST(Integration, EncIntLutFeedsComparator) {
+  // TFHE: apply a nonlinear LUT, then compare the result — gate bootstrapping
+  // composes indefinitely.
+  using namespace tfhe;
+  Rng rng(79);
+  TfheParams params = TfheParams::toy();
+  params.degree = 128;
+  const LweKey lwe_key = lwe_keygen(params.n_lwe, rng);
+  const TrlweKey trlwe_key = trlwe_keygen(params, rng);
+  const BootstrapContext ctx = make_bootstrap_context(params, lwe_key, trlwe_key, rng);
+
+  const EncInt x = encrypt_int(5, 4, lwe_key, params.lwe_sigma, rng);
+  const EncInt y = apply_lut(x, [](u64 m) { return (m * 3) & 0xF; }, ctx);  // 15
+  const EncInt limit = encrypt_int(12, 4, lwe_key, params.lwe_sigma, rng);
+  EXPECT_EQ(decrypt_int(y, lwe_key), 15u);
+  EXPECT_TRUE(decrypt_bit(less_than(limit, y, ctx), lwe_key));   // 12 < 15
+  EXPECT_FALSE(decrypt_bit(less_than(y, limit, ctx), lwe_key));
+}
+
+}  // namespace
+}  // namespace alchemist

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "common/primes.h"
+#include "common/rng.h"
+#include "poly/lazy_kernels.h"
+
+namespace alchemist {
+namespace {
+
+TEST(LazyKernels, HeadroomPredicate) {
+  EXPECT_TRUE(lazy_accumulation_fits(0, 62, 62));
+  EXPECT_TRUE(lazy_accumulation_fits(8, 60, 60));       // 123 <= 127
+  EXPECT_TRUE(lazy_accumulation_fits(1u << 20, 36, 36));  // 36-bit words: huge headroom
+  EXPECT_FALSE(lazy_accumulation_fits(32, 62, 62));     // 129 > 127
+}
+
+TEST(LazyKernels, DotProductsAgree) {
+  Rng rng(1);
+  for (int qbits : {36, 50, 62}) {
+    const u64 q = max_ntt_prime(qbits, 64);
+    const Modulus mod(q);
+    for (std::size_t len : {std::size_t{1}, std::size_t{7}, std::size_t{44},
+                            std::size_t{500}}) {
+      std::vector<u64> a = rng.uniform_vector(len, q);
+      std::vector<u64> b = rng.uniform_vector(len, q);
+      EXPECT_EQ(dot_mod_eager(a, b, mod), dot_mod_lazy(a, b, mod))
+          << "qbits=" << qbits << " len=" << len;
+    }
+  }
+}
+
+TEST(LazyKernels, DotLazyBlockFallbackExact) {
+  // 62-bit modulus with 500 terms exceeds the single-block headroom, forcing
+  // the block-wise path — which must stay exact.
+  Rng rng(2);
+  const u64 q = max_ntt_prime(62, 64);
+  const Modulus mod(q);
+  std::vector<u64> a = rng.uniform_vector(500, q);
+  std::vector<u64> b = rng.uniform_vector(500, q);
+  EXPECT_EQ(dot_mod_eager(a, b, mod), dot_mod_lazy(a, b, mod));
+}
+
+TEST(LazyKernels, WeightedSumsAgree) {
+  Rng rng(3);
+  const u64 q = max_ntt_prime(36, 64);
+  const Modulus mod(q);
+  const std::size_t channels = 44, n = 256;
+  std::vector<std::vector<u64>> x(channels);
+  for (auto& ch : x) ch = rng.uniform_vector(n, q);
+  std::vector<u64> w = rng.uniform_vector(channels, q);
+
+  std::vector<u64> eager(n), lazy(n);
+  weighted_sum_eager(std::span<const std::vector<u64>>(x), std::span<const u64>(w),
+                     mod, eager);
+  weighted_sum_lazy(std::span<const std::vector<u64>>(x), std::span<const u64>(w),
+                    mod, lazy);
+  EXPECT_EQ(eager, lazy);
+}
+
+TEST(LazyKernels, MaxValueOperandsNoOverflow) {
+  // Adversarial: every operand at q-1, the largest possible accumulation.
+  const u64 q = max_ntt_prime(50, 64);
+  const Modulus mod(q);
+  std::vector<u64> a(1000, q - 1), b(1000, q - 1);
+  EXPECT_EQ(dot_mod_eager(a, b, mod), dot_mod_lazy(a, b, mod));
+}
+
+TEST(LazyKernels, SizeMismatchThrows) {
+  const Modulus mod(97);
+  std::vector<u64> a(4, 1), b(5, 1);
+  EXPECT_THROW(dot_mod_eager(a, b, mod), std::invalid_argument);
+  EXPECT_THROW(dot_mod_lazy(a, b, mod), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace alchemist

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "metaop/lowering.h"
+#include "metaop/mult_count.h"
+
+namespace alchemist::metaop {
+namespace {
+
+TEST(MetaOpBatch, CycleAndMultMath) {
+  // One (M_8 A_8)_n R_8 occupies a core for n + 2 cycles (§5.2, Fig. 5d).
+  MetaOpBatch b{3, 10, AccessPattern::Slots, OpClass::Ntt};
+  EXPECT_EQ(b.core_cycles(), 10u * 5u);
+  EXPECT_EQ(b.mult_count(), 10u * 8u * 5u);
+  EXPECT_EQ(b.macs(), 10u * 8u * 3u);
+}
+
+TEST(NttStagePlan, AllPaperSizes) {
+  // The paper supports N in [2^10, 2^16]; every size must decompose into
+  // radix-8 and radix-4 passes exactly.
+  for (std::size_t log_n = 10; log_n <= 16; ++log_n) {
+    const std::size_t n = std::size_t{1} << log_n;
+    const NttStagePlan plan = plan_ntt_stages(n);
+    EXPECT_EQ(3 * plan.radix8_stages + 2 * plan.radix4_stages, log_n) << n;
+  }
+  // N = 16384 = 2^14: 4 radix-8 + 1 radix-4.
+  const NttStagePlan p14 = plan_ntt_stages(16384);
+  EXPECT_EQ(p14.radix8_stages, 4u);
+  EXPECT_EQ(p14.radix4_stages, 1u);
+  EXPECT_THROW(plan_ntt_stages(100), std::invalid_argument);
+  EXPECT_THROW(plan_ntt_stages(8), std::invalid_argument);
+}
+
+TEST(Lowering, NttStreamShape) {
+  const MetaOpStream s = lower_ntt(4096, 2);  // log2 = 12: 4 radix-8 stages
+  ASSERT_EQ(s.batches.size(), 1u);
+  EXPECT_EQ(s.batches[0].n, 3u);
+  EXPECT_EQ(s.batches[0].count, 4096u / 8 * 2 * 4);
+  EXPECT_EQ(s.batches[0].pattern, AccessPattern::Slots);
+  EXPECT_EQ(s.batches[0].op_class, OpClass::Ntt);
+}
+
+TEST(Lowering, BconvMatchesTable3) {
+  // Meta-OP lowering must reproduce Table 3's (KL + 3L + 2K) * N exactly.
+  for (std::size_t l = 1; l <= 12; ++l) {
+    for (std::size_t k : {std::size_t{1}, std::size_t{4}, std::size_t{11}}) {
+      const std::size_t n = 4096;
+      const MetaOpStream s = lower_bconv(n, l, k);
+      EXPECT_EQ(s.mult_count(), n * (k * l + 3 * l + 2 * k)) << l << " " << k;
+      const MultCounts c = bconv_mults(n, l, k);
+      EXPECT_EQ(c.meta, s.mult_count());
+      EXPECT_EQ(c.origin, n * (3 * k * l + 3 * l));
+    }
+  }
+}
+
+TEST(Lowering, DecompMatchesTable2) {
+  for (std::size_t dnum = 1; dnum <= 8; ++dnum) {
+    const std::size_t n = 8192;
+    const MetaOpStream s = lower_decomp_poly_mult(n, dnum, 1);
+    EXPECT_EQ(s.mult_count(), n * (dnum + 2));
+    const MultCounts c = decomp_mults(n, dnum, 1);
+    EXPECT_EQ(c.meta, s.mult_count());
+    EXPECT_EQ(c.origin, n * 3 * dnum);
+    // The paper: up to 3x multiplication reduction as dnum grows.
+    if (dnum >= 6) {
+      EXPECT_GT(static_cast<double>(c.origin) / c.meta, 2.2);
+    }
+  }
+}
+
+TEST(MultCount, NttOverheadAboutTenPercent) {
+  // §4.2: radix-8 Meta-OP NTT costs 40 vs 36 word-mults per butterfly (+11%).
+  for (std::size_t n : {std::size_t{4096}, std::size_t{32768}}) {  // radix-8 only
+    const MultCounts c = ntt_mults(n, 1);
+    EXPECT_NEAR(static_cast<double>(c.meta) / c.origin, 40.0 / 36.0, 1e-9) << n;
+  }
+  // Sizes needing radix-4 passes pay slightly more but stay below +20%.
+  for (std::size_t n : {std::size_t{1024}, std::size_t{65536}}) {
+    const MultCounts c = ntt_mults(n, 1);
+    EXPECT_LE(c.relative_change(), 0.201) << n;
+    EXPECT_GT(c.relative_change(), 0.08) << n;
+  }
+}
+
+TEST(MultCount, OriginNttIsOnePointFiveNLogN) {
+  // Eager counting: N/2 * log2(N) radix-2 butterflies, 3 word-mults each.
+  const std::size_t n = 4096;
+  EXPECT_EQ(ntt_mults(n, 1).origin, n / 2 * 12 * 3);
+}
+
+TEST(MultCount, AddsAndAutomorphismsAreFree) {
+  HighOp add;
+  add.kind = OpKind::PointwiseAdd;
+  add.n = 1024;
+  add.channels = 10;
+  EXPECT_EQ(count(add).origin, 0u);
+  EXPECT_EQ(count(add).meta, 0u);
+  add.kind = OpKind::Automorphism;
+  EXPECT_EQ(count(add).meta, 0u);
+}
+
+TEST(MultCount, GraphAggregation) {
+  OpGraph g;
+  HighOp ntt;
+  ntt.kind = OpKind::Ntt;
+  ntt.n = 4096;
+  ntt.channels = 2;
+  g.add(ntt);
+  HighOp bc;
+  bc.kind = OpKind::Bconv;
+  bc.n = 4096;
+  bc.param_a = 4;
+  bc.param_b = 2;
+  g.add(bc);
+  const MultCounts total = count(g);
+  EXPECT_EQ(total.origin, ntt_mults(4096, 2).origin + bconv_mults(4096, 4, 2).origin);
+  EXPECT_EQ(total.meta, ntt_mults(4096, 2).meta + bconv_mults(4096, 4, 2).meta);
+
+  const auto by_class_meta = class_mults(g, /*meta=*/true);
+  EXPECT_EQ(by_class_meta[static_cast<std::size_t>(OpClass::Ntt)],
+            ntt_mults(4096, 2).meta);
+  EXPECT_EQ(by_class_meta[static_cast<std::size_t>(OpClass::Bconv)],
+            bconv_mults(4096, 4, 2).meta);
+  EXPECT_EQ(by_class_meta[static_cast<std::size_t>(OpClass::DecompPolyMult)], 0u);
+}
+
+TEST(Lowering, StreamAppendAndTotals) {
+  MetaOpStream s = lower_ntt(1024, 1);
+  const std::uint64_t c1 = s.core_cycles();
+  s.append(lower_elementwise(1024, 4));
+  EXPECT_EQ(s.core_cycles(), c1 + lower_elementwise(1024, 4).core_cycles());
+  EXPECT_GT(s.meta_op_count(), 0u);
+}
+
+TEST(Lowering, RejectsBadArguments) {
+  EXPECT_THROW(lower_bconv(1024, 0, 1), std::invalid_argument);
+  EXPECT_THROW(lower_bconv(1024, 1, 0), std::invalid_argument);
+  EXPECT_THROW(lower_decomp_poly_mult(1024, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace alchemist::metaop

@@ -1,0 +1,131 @@
+#include "common/modarith.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace alchemist {
+namespace {
+
+TEST(ModArith, AddSubNegBasics) {
+  const u64 q = 17;
+  EXPECT_EQ(add_mod(9, 9, q), 1u);
+  EXPECT_EQ(add_mod(0, 0, q), 0u);
+  EXPECT_EQ(add_mod(16, 16, q), 15u);
+  EXPECT_EQ(sub_mod(3, 5, q), 15u);
+  EXPECT_EQ(sub_mod(5, 3, q), 2u);
+  EXPECT_EQ(neg_mod(0, q), 0u);
+  EXPECT_EQ(neg_mod(1, q), 16u);
+}
+
+TEST(ModArith, MulModMatchesWideArithmetic) {
+  const u64 q = (u64{1} << 61) - 1;  // Mersenne prime
+  const u64 a = q - 1, b = q - 2;
+  EXPECT_EQ(mul_mod(a, b, q), static_cast<u64>((u128{a} * b) % q));
+}
+
+TEST(ModArith, PowModSmallCases) {
+  EXPECT_EQ(pow_mod(2, 10, 1000), 24u);
+  EXPECT_EQ(pow_mod(3, 0, 7), 1u);
+  EXPECT_EQ(pow_mod(0, 5, 7), 0u);
+  // Fermat: a^(q-1) = 1 mod prime q.
+  EXPECT_EQ(pow_mod(12345, 65536, 65537), 1u);
+}
+
+TEST(ModArith, InvModRoundTrip) {
+  const u64 q = 1000000007;
+  for (u64 a : {u64{1}, u64{2}, u64{12345}, q - 1}) {
+    EXPECT_EQ(mul_mod(a, inv_mod(a, q), q), 1u) << a;
+  }
+}
+
+TEST(ModArith, InvModThrowsOnNonInvertible) {
+  EXPECT_THROW(inv_mod(4, 12), std::invalid_argument);
+  EXPECT_THROW(inv_mod(0, 7), std::invalid_argument);
+}
+
+TEST(ModArith, ModulusRejectsOutOfRange) {
+  EXPECT_THROW(Modulus(0), std::invalid_argument);
+  EXPECT_THROW(Modulus(1), std::invalid_argument);
+  EXPECT_THROW(Modulus(u64{1} << 63), std::invalid_argument);
+}
+
+TEST(ModArith, BarrettReduceMatchesNaive) {
+  Rng rng(42);
+  for (u64 qbits : {u64{20}, u64{36}, u64{50}, u64{62}}) {
+    // Pick an odd modulus near 2^qbits.
+    const u64 q = ((u64{1} << (qbits - 1)) + rng.uniform(u64{1} << (qbits - 1))) | 1;
+    Modulus mod(q);
+    for (int i = 0; i < 1000; ++i) {
+      const u128 z = (u128{rng.next()} << 64) | rng.next();
+      EXPECT_EQ(mod.reduce(z), static_cast<u64>(z % q));
+    }
+  }
+}
+
+TEST(ModArith, BarrettMulMatchesNaive) {
+  Rng rng(7);
+  const u64 q = (u64{1} << 62) - 57;  // near the maximum supported modulus
+  ASSERT_LT(q, kMaxModulus + 1);
+  Modulus mod(q);
+  for (int i = 0; i < 1000; ++i) {
+    const u64 a = rng.uniform(q), b = rng.uniform(q);
+    EXPECT_EQ(mod.mul(a, b), mul_mod(a, b, q));
+  }
+}
+
+TEST(ModArith, ShoupMulMatchesBarrett) {
+  Rng rng(11);
+  const u64 q = 0x3FFFFFFFFFFC0001ULL;  // 62-bit NTT-friendly prime shape
+  Modulus mod(q);
+  for (int i = 0; i < 200; ++i) {
+    const u64 w = rng.uniform(q);
+    MulModShoup shoup(w, q);
+    for (int k = 0; k < 50; ++k) {
+      const u64 x = rng.uniform(q);
+      EXPECT_EQ(shoup.mul(x), mod.mul(w, x));
+    }
+  }
+}
+
+TEST(ModArith, ShoupMulEdgeOperands) {
+  const u64 q = 97;
+  MulModShoup zero(0, q);
+  MulModShoup one(1, q);
+  MulModShoup max(q - 1, q);
+  for (u64 x = 0; x < q; ++x) {
+    EXPECT_EQ(zero.mul(x), 0u);
+    EXPECT_EQ(one.mul(x), x);
+    EXPECT_EQ(max.mul(x), mul_mod(q - 1, x, q));
+  }
+}
+
+class ModulusParamTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ModulusParamTest, FieldAxiomsSampled) {
+  const u64 q = GetParam();
+  Modulus mod(q);
+  Rng rng(q);
+  for (int i = 0; i < 200; ++i) {
+    const u64 a = rng.uniform(q), b = rng.uniform(q), c = rng.uniform(q);
+    // Commutativity and associativity of * and +.
+    EXPECT_EQ(mod.mul(a, b), mod.mul(b, a));
+    EXPECT_EQ(mod.add(a, b), mod.add(b, a));
+    EXPECT_EQ(mod.mul(mod.mul(a, b), c), mod.mul(a, mod.mul(b, c)));
+    EXPECT_EQ(mod.add(mod.add(a, b), c), mod.add(a, mod.add(b, c)));
+    // Distributivity.
+    EXPECT_EQ(mod.mul(a, mod.add(b, c)), mod.add(mod.mul(a, b), mod.mul(a, c)));
+    // Subtraction inverts addition.
+    EXPECT_EQ(mod.sub(mod.add(a, b), b), a);
+    EXPECT_EQ(mod.add(a, mod.neg(a)), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, ModulusParamTest,
+                         ::testing::Values(u64{3}, u64{65537}, u64{0x7E00001},
+                                           u64{1000000007},
+                                           u64{0x0FFFFFFF00000001ULL},
+                                           (u64{1} << 62) - 57));
+
+}  // namespace
+}  // namespace alchemist

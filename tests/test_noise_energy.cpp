@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/energy_model.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keygen.h"
+#include "ckks/noise.h"
+#include "common/rng.h"
+#include "sim/alchemist_sim.h"
+#include "workloads/ckks_workloads.h"
+
+namespace alchemist {
+namespace {
+
+using namespace alchemist::ckks;
+using Complex = std::complex<double>;
+
+struct NoiseFixture {
+  ContextPtr ctx;
+  std::unique_ptr<CkksEncoder> encoder;
+  std::unique_ptr<KeyGenerator> keygen;
+  std::unique_ptr<Encryptor> encryptor;
+  std::unique_ptr<Decryptor> decryptor;
+  std::unique_ptr<Evaluator> evaluator;
+  std::unique_ptr<NoiseOracle> oracle;
+  RelinKeys rk;
+
+  NoiseFixture() {
+    ctx = std::make_shared<CkksContext>(CkksParams::toy(1024, 4, 2));
+    encoder = std::make_unique<CkksEncoder>(ctx);
+    keygen = std::make_unique<KeyGenerator>(ctx, 8);
+    encryptor = std::make_unique<Encryptor>(ctx, keygen->make_public_key());
+    decryptor = std::make_unique<Decryptor>(ctx, keygen->secret_key());
+    evaluator = std::make_unique<Evaluator>(ctx);
+    oracle = std::make_unique<NoiseOracle>(ctx, *encoder, *decryptor);
+    rk = keygen->make_relin_keys();
+  }
+};
+
+NoiseFixture& fx() {
+  static NoiseFixture f;
+  return f;
+}
+
+TEST(NoiseOracle, FreshCiphertextHasHighPrecision) {
+  NoiseFixture& f = fx();
+  std::vector<Complex> z = {{0.5, 0.0}, {-0.25, 0.75}};
+  const Ciphertext ct = f.encryptor->encrypt(f.encoder->encode(
+      std::span<const Complex>(z), 4, f.ctx->params().scale()));
+  EXPECT_LT(f.oracle->error_bits(ct, z), -15.0);       // error below 2^-15
+  EXPECT_GT(f.oracle->precision_bits(ct, z), 14.0);
+}
+
+TEST(NoiseOracle, MultiplicationConsumesPrecision) {
+  NoiseFixture& f = fx();
+  std::vector<Complex> z = {{0.9, 0.0}, {-0.8, 0.0}};
+  Ciphertext ct = f.encryptor->encrypt(f.encoder->encode(
+      std::span<const Complex>(z), 4, f.ctx->params().scale()));
+  const double fresh = f.oracle->precision_bits(ct, z);
+  std::vector<Complex> sq = z;
+  for (auto& v : sq) v *= v;
+  ct = f.evaluator->rescale(f.evaluator->multiply(ct, ct, f.rk));
+  const double after = f.oracle->precision_bits(ct, sq);
+  EXPECT_LT(after, fresh);  // precision strictly decreases
+  EXPECT_GT(after, 5.0);    // but the result is still usable
+}
+
+TEST(CiphertextInvariants, FreshCiphertextPasses) {
+  NoiseFixture& f = fx();
+  std::vector<Complex> z = {{1.0, 0.0}};
+  const Ciphertext ct = f.encryptor->encrypt(f.encoder->encode(
+      std::span<const Complex>(z), 4, f.ctx->params().scale()));
+  EXPECT_NO_THROW(check_ciphertext_invariants(*f.ctx, ct));
+  // After evaluator pipelines too.
+  const Ciphertext sq = f.evaluator->rescale(f.evaluator->multiply(ct, ct, f.rk));
+  EXPECT_NO_THROW(check_ciphertext_invariants(*f.ctx, sq));
+}
+
+TEST(CiphertextInvariants, DetectsCorruption) {
+  NoiseFixture& f = fx();
+  std::vector<Complex> z = {{1.0, 0.0}};
+  Ciphertext ct = f.encryptor->encrypt(f.encoder->encode(
+      std::span<const Complex>(z), 4, f.ctx->params().scale()));
+
+  Ciphertext bad_level = ct;
+  bad_level.level = 0;
+  EXPECT_THROW(check_ciphertext_invariants(*f.ctx, bad_level), std::logic_error);
+
+  Ciphertext bad_scale = ct;
+  bad_scale.scale = -1.0;
+  EXPECT_THROW(check_ciphertext_invariants(*f.ctx, bad_scale), std::logic_error);
+
+  Ciphertext bad_form = ct;
+  bad_form.c0.to_coeff();
+  EXPECT_THROW(check_ciphertext_invariants(*f.ctx, bad_form), std::logic_error);
+
+  Ciphertext bad_residue = ct;
+  bad_residue.c0.channel(0)[0] = ~u64{0};
+  EXPECT_THROW(check_ciphertext_invariants(*f.ctx, bad_residue), std::logic_error);
+
+  Ciphertext bad_basis = ct;
+  bad_basis.level = 3;  // basis still has 4 channels
+  EXPECT_THROW(check_ciphertext_invariants(*f.ctx, bad_basis), std::logic_error);
+}
+
+TEST(CorruptedCiphertext, DecryptsToGarbageNotCrash) {
+  // Failure injection: flipping residues must not crash anything; it only
+  // destroys the plaintext.
+  NoiseFixture& f = fx();
+  std::vector<Complex> z = {{0.5, 0.0}};
+  Ciphertext ct = f.encryptor->encrypt(f.encoder->encode(
+      std::span<const Complex>(z), 4, f.ctx->params().scale()));
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t c = rng.uniform(ct.c0.num_channels());
+    const std::size_t k = rng.uniform(f.ctx->degree());
+    ct.c0.channel(c)[k] = rng.uniform(f.ctx->q_moduli()[c]);
+  }
+  const auto dec = f.decryptor->decrypt(ct, *f.encoder);
+  EXPECT_GT(std::abs(dec[0] - z[0]), 0.1);  // message destroyed, no crash
+}
+
+TEST(EnergyModel, ReferenceWorkloadNearPublishedPower) {
+  workloads::CkksWl w = workloads::CkksWl::paper(44);
+  w.hbm_stream_fraction = 0.05;
+  const auto cfg = arch::ArchConfig::alchemist();
+  const auto r = sim::simulate_alchemist(workloads::build_bootstrapping(w, true), cfg);
+  const auto e = arch::energy_model(cfg, r);
+  EXPECT_GT(e.total_joules, 0);
+  EXPECT_NEAR(e.average_watts, 77.9, 25.0);  // the calibration point
+  EXPECT_GT(e.dynamic_joules, e.hbm_joules);
+}
+
+TEST(EnergyModel, IdleWorkloadBurnsMostlyStatic) {
+  // A memory-bound workload at low utilization leans on static + HBM energy.
+  metaop::OpGraph g;
+  metaop::HighOp op;
+  op.kind = metaop::OpKind::DecompPolyMult;
+  op.n = 4096;
+  op.channels = 2;
+  op.param_a = 4;
+  op.hbm_bytes = 500'000'000;
+  g.add(op);
+  const auto cfg = arch::ArchConfig::alchemist();
+  const auto r = sim::simulate_alchemist(g, cfg);
+  const auto e = arch::energy_model(cfg, r);
+  EXPECT_LT(e.dynamic_joules, e.static_joules + e.hbm_joules);
+  EXPECT_LT(e.average_watts, 77.9);
+}
+
+TEST(EnergyModel, ZeroTimeIsZeroEnergy) {
+  sim::SimResult empty;
+  const auto e = arch::energy_model(arch::ArchConfig::alchemist(), empty);
+  EXPECT_EQ(e.total_joules, 0);
+}
+
+}  // namespace
+}  // namespace alchemist

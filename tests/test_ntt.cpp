@@ -1,0 +1,164 @@
+#include "poly/ntt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/primes.h"
+#include "common/rng.h"
+
+namespace alchemist {
+namespace {
+
+// Direct negacyclic DFT: X[k] = sum_i a[i] psi^(i(2k+1)) — O(N^2) reference.
+std::vector<u64> direct_negacyclic_dft(const std::vector<u64>& a, u64 q, u64 psi) {
+  const std::size_t n = a.size();
+  std::vector<u64> out(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    u64 acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u64 w = pow_mod(psi, (i * (2 * k + 1)) % (2 * n), q);
+      acc = add_mod(acc, mul_mod(a[i], w, q), q);
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+TEST(Ntt, BitReverse) {
+  EXPECT_EQ(bit_reverse(0, 3), 0u);
+  EXPECT_EQ(bit_reverse(1, 3), 4u);
+  EXPECT_EQ(bit_reverse(3, 3), 6u);
+  EXPECT_EQ(bit_reverse(5, 4), 10u);
+  for (std::size_t x = 0; x < 64; ++x) EXPECT_EQ(bit_reverse(bit_reverse(x, 6), 6), x);
+}
+
+TEST(Ntt, ForwardMatchesDirectDftUpToBitReversal) {
+  const std::size_t n = 16;
+  const u64 q = max_ntt_prime(20, n);
+  NttTable table(q, n);
+  Rng rng(1);
+  std::vector<u64> a = rng.uniform_vector(n, q);
+  const auto expected = direct_negacyclic_dft(a, q, table.psi());
+  std::vector<u64> actual = a;
+  table.forward(actual);
+  // forward() emits bit-reversed order.
+  int log_n = 4;
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(actual[bit_reverse(k, log_n)], expected[k]) << k;
+  }
+}
+
+class NttRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NttRoundTrip, InverseUndoesForward) {
+  const std::size_t n = GetParam();
+  const u64 q = max_ntt_prime(50, n);
+  const NttTable& table = get_ntt_table(q, n);
+  Rng rng(n);
+  const std::vector<u64> original = rng.uniform_vector(n, q);
+  std::vector<u64> a = original;
+  table.forward(a);
+  EXPECT_NE(a, original);  // astronomically unlikely to collide
+  table.inverse(a);
+  EXPECT_EQ(a, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NttRoundTrip,
+                         ::testing::Values(4, 8, 64, 256, 1024, 4096, 16384));
+
+TEST(Ntt, ConvolutionTheorem) {
+  // ifft(fft(a) . fft(b)) must equal the schoolbook negacyclic product.
+  const std::size_t n = 64;
+  const u64 q = max_ntt_prime(30, n);
+  const NttTable& table = get_ntt_table(q, n);
+  Rng rng(3);
+  std::vector<u64> a = rng.uniform_vector(n, q);
+  std::vector<u64> b = rng.uniform_vector(n, q);
+
+  // Schoolbook negacyclic convolution.
+  std::vector<u64> expected(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const u64 prod = mul_mod(a[i], b[j], q);
+      if (i + j < n) {
+        expected[i + j] = add_mod(expected[i + j], prod, q);
+      } else {
+        expected[i + j - n] = sub_mod(expected[i + j - n], prod, q);
+      }
+    }
+  }
+
+  table.forward(a);
+  table.forward(b);
+  for (std::size_t i = 0; i < n; ++i) a[i] = mul_mod(a[i], b[i], q);
+  table.inverse(a);
+  EXPECT_EQ(a, expected);
+}
+
+TEST(Ntt, LinearityOfTransform) {
+  const std::size_t n = 128;
+  const u64 q = max_ntt_prime(36, n);
+  const NttTable& table = get_ntt_table(q, n);
+  Rng rng(4);
+  std::vector<u64> a = rng.uniform_vector(n, q);
+  std::vector<u64> b = rng.uniform_vector(n, q);
+  const u64 c = rng.uniform(q);
+
+  std::vector<u64> lhs(n);  // NTT(a + c*b)
+  for (std::size_t i = 0; i < n; ++i) lhs[i] = add_mod(a[i], mul_mod(c, b[i], q), q);
+  table.forward(lhs);
+
+  table.forward(a);
+  table.forward(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(lhs[i], add_mod(a[i], mul_mod(c, b[i], q), q));
+  }
+}
+
+TEST(Ntt, NegacyclicShiftProperty) {
+  // Multiplying by X rotates coefficients with a sign flip at wraparound:
+  // NTT(X * a) == NTT(X) .* NTT(a).
+  const std::size_t n = 32;
+  const u64 q = max_ntt_prime(25, n);
+  const NttTable& table = get_ntt_table(q, n);
+  Rng rng(5);
+  std::vector<u64> a = rng.uniform_vector(n, q);
+
+  std::vector<u64> xa(n);
+  xa[0] = neg_mod(a[n - 1], q);
+  for (std::size_t i = 1; i < n; ++i) xa[i] = a[i - 1];
+
+  std::vector<u64> x_poly(n, 0);
+  x_poly[1] = 1;
+
+  table.forward(a);
+  table.forward(x_poly);
+  table.forward(xa);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(xa[i], mul_mod(a[i], x_poly[i], q));
+  }
+}
+
+TEST(Ntt, TableCacheReturnsSameInstance) {
+  const u64 q = max_ntt_prime(30, 256);
+  const NttTable& t1 = get_ntt_table(q, 256);
+  const NttTable& t2 = get_ntt_table(q, 256);
+  EXPECT_EQ(&t1, &t2);
+  const NttTable& t3 = get_ntt_table(q, 128);
+  EXPECT_NE(&t1, &t3);
+}
+
+TEST(Ntt, SizeMismatchThrows) {
+  const u64 q = max_ntt_prime(30, 64);
+  NttTable table(q, 64);
+  std::vector<u64> wrong(32, 0);
+  EXPECT_THROW(table.forward(wrong), std::invalid_argument);
+  EXPECT_THROW(table.inverse(wrong), std::invalid_argument);
+}
+
+TEST(Ntt, RejectsNonNttPrime) {
+  // 17 is prime but 17 != 1 mod 2*64.
+  EXPECT_THROW(NttTable(17, 64), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace alchemist

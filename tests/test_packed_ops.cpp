@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ckks/encryptor.h"
+#include "ckks/keygen.h"
+#include "ckks/packed_ops.h"
+#include "common/rng.h"
+
+namespace alchemist::ckks {
+namespace {
+
+struct PackedFixture {
+  ContextPtr ctx;
+  std::unique_ptr<CkksEncoder> encoder;
+  std::unique_ptr<KeyGenerator> keygen;
+  std::unique_ptr<Encryptor> encryptor;
+  std::unique_ptr<Decryptor> decryptor;
+  std::unique_ptr<Evaluator> evaluator;
+  RelinKeys rk;
+  GaloisKeys gk;
+
+  PackedFixture() {
+    ctx = std::make_shared<CkksContext>(CkksParams::toy(512, 4, 2));
+    encoder = std::make_unique<CkksEncoder>(ctx);
+    keygen = std::make_unique<KeyGenerator>(ctx, 15);
+    encryptor = std::make_unique<Encryptor>(ctx, keygen->make_public_key());
+    decryptor = std::make_unique<Decryptor>(ctx, keygen->secret_key());
+    evaluator = std::make_unique<Evaluator>(ctx);
+    rk = keygen->make_relin_keys();
+    gk = keygen->make_galois_keys(power_of_two_rotations(ctx->params().slots()));
+  }
+
+  std::vector<double> random_values(u64 seed) const {
+    Rng rng(seed);
+    std::vector<double> z(ctx->params().slots());
+    for (double& v : z) v = 2 * rng.uniform_real() - 1;
+    return z;
+  }
+
+  Ciphertext encrypt(const std::vector<double>& z) const {
+    return encryptor->encrypt(
+        encoder->encode(std::span<const double>(z), 4, ctx->params().scale()));
+  }
+};
+
+PackedFixture& fx() {
+  static PackedFixture f;
+  return f;
+}
+
+TEST(PackedOps, RotationStepList) {
+  EXPECT_EQ(power_of_two_rotations(8), (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(power_of_two_rotations(1), (std::vector<int>{}));
+}
+
+TEST(PackedOps, RotateAndSumAllBroadcastsTotal) {
+  PackedFixture& f = fx();
+  const auto z = f.random_values(1);
+  double total = 0;
+  for (double v : z) total += v;
+  const Ciphertext summed =
+      rotate_and_sum_all(*f.evaluator, f.encrypt(z), f.gk, f.encoder->slots());
+  const auto dec = f.decryptor->decrypt(summed, *f.encoder);
+  for (std::size_t i = 0; i < dec.size(); i += 63) {
+    EXPECT_NEAR(dec[i].real(), total, 1e-2) << i;
+  }
+}
+
+TEST(PackedOps, InnerProductPlain) {
+  PackedFixture& f = fx();
+  const auto z = f.random_values(2);
+  const auto w = f.random_values(3);
+  double expected = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) expected += z[i] * w[i];
+  const Ciphertext ip = inner_product_plain(*f.evaluator, *f.encoder, f.encrypt(z),
+                                            std::span<const double>(w), f.gk);
+  const auto dec = f.decryptor->decrypt(ip, *f.encoder);
+  EXPECT_NEAR(dec[0].real(), expected, 2e-2);
+}
+
+TEST(PackedOps, InnerProductEncrypted) {
+  PackedFixture& f = fx();
+  const auto z = f.random_values(4);
+  const auto w = f.random_values(5);
+  double expected = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) expected += z[i] * w[i];
+  const Ciphertext ip =
+      inner_product(*f.evaluator, f.encrypt(z), f.encrypt(w), f.rk, f.gk);
+  const auto dec = f.decryptor->decrypt(ip, *f.encoder);
+  EXPECT_NEAR(dec[0].real(), expected, 5e-2);
+}
+
+}  // namespace
+}  // namespace alchemist::ckks

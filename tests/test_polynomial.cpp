@@ -1,0 +1,131 @@
+#include "poly/polynomial.h"
+
+#include <gtest/gtest.h>
+
+#include "common/primes.h"
+#include "common/rng.h"
+
+namespace alchemist {
+namespace {
+
+Polynomial random_poly(std::size_t n, u64 q, u64 seed) {
+  Rng rng(seed);
+  return Polynomial(rng.uniform_vector(n, q), q);
+}
+
+TEST(Polynomial, ConstructionAndReduction) {
+  Polynomial p({20, 21, 22, 23}, 7);
+  EXPECT_EQ(p[0], 6u);
+  EXPECT_EQ(p[1], 0u);
+  EXPECT_EQ(p.degree(), 4u);
+  EXPECT_EQ(p.modulus(), 7u);
+  EXPECT_THROW(Polynomial(3, 17), std::invalid_argument);
+}
+
+TEST(Polynomial, AddSubNegate) {
+  const u64 q = 17;
+  Polynomial a({1, 2, 3, 4}, q), b({16, 16, 16, 16}, q);
+  Polynomial sum = a + b;
+  EXPECT_EQ(sum.coeffs(), (std::vector<u64>{0, 1, 2, 3}));
+  Polynomial diff = sum - b;
+  EXPECT_EQ(diff, a);
+  Polynomial neg = a;
+  neg.negate();
+  EXPECT_EQ((a + neg).coeffs(), (std::vector<u64>{0, 0, 0, 0}));
+}
+
+TEST(Polynomial, MulScalar) {
+  const u64 q = 97;
+  Polynomial a({1, 2, 3, 4}, q);
+  a.mul_scalar(10);
+  EXPECT_EQ(a.coeffs(), (std::vector<u64>{10, 20, 30, 40}));
+}
+
+TEST(Polynomial, SchoolbookKnownProduct) {
+  // (1 + X) * (1 + X) = 1 + 2X + X^2 in Z_q[X]/(X^4+1).
+  const u64 q = max_ntt_prime(20, 4);
+  Polynomial a({1, 1, 0, 0}, q);
+  Polynomial c = a.mul_schoolbook(a);
+  EXPECT_EQ(c.coeffs(), (std::vector<u64>{1, 2, 1, 0}));
+}
+
+TEST(Polynomial, SchoolbookWraparoundIsNegacyclic) {
+  // X^(N-1) * X = -1 mod (X^N + 1).
+  const std::size_t n = 8;
+  const u64 q = max_ntt_prime(20, n);
+  Polynomial a(n, q), b(n, q);
+  a[n - 1] = 1;
+  b[1] = 1;
+  Polynomial c = a.mul_schoolbook(b);
+  EXPECT_EQ(c[0], q - 1);
+  for (std::size_t i = 1; i < n; ++i) EXPECT_EQ(c[i], 0u);
+}
+
+class PolyMulParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PolyMulParam, NttMulMatchesSchoolbook) {
+  const std::size_t n = GetParam();
+  const u64 q = max_ntt_prime(45, n);
+  const Polynomial a = random_poly(n, q, 10 + n);
+  const Polynomial b = random_poly(n, q, 20 + n);
+  EXPECT_EQ(a * b, a.mul_schoolbook(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PolyMulParam, ::testing::Values(4, 16, 64, 256, 1024));
+
+TEST(Polynomial, RingAxioms) {
+  const std::size_t n = 64;
+  const u64 q = max_ntt_prime(30, n);
+  const Polynomial a = random_poly(n, q, 1);
+  const Polynomial b = random_poly(n, q, 2);
+  const Polynomial c = random_poly(n, q, 3);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  Polynomial one(n, q);
+  one[0] = 1;
+  EXPECT_EQ(a * one, a);
+}
+
+TEST(Polynomial, AutomorphismComposesLikeGaloisGroup) {
+  const std::size_t n = 16;
+  const u64 q = max_ntt_prime(20, n);
+  const Polynomial a = random_poly(n, q, 4);
+  // sigma_5 . sigma_5 == sigma_25; exponents compose mod 2N.
+  const Polynomial lhs = a.automorphism(5).automorphism(5);
+  const Polynomial rhs = a.automorphism(25 % (2 * n));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Polynomial, AutomorphismIsRingHomomorphism) {
+  const std::size_t n = 32;
+  const u64 q = max_ntt_prime(25, n);
+  const Polynomial a = random_poly(n, q, 5);
+  const Polynomial b = random_poly(n, q, 6);
+  const u64 g = 3;
+  EXPECT_EQ((a * b).automorphism(g), a.automorphism(g) * b.automorphism(g));
+  EXPECT_EQ((a + b).automorphism(g), a.automorphism(g) + b.automorphism(g));
+}
+
+TEST(Polynomial, AutomorphismIdentityAndInverse) {
+  const std::size_t n = 16;
+  const u64 q = max_ntt_prime(20, n);
+  const Polynomial a = random_poly(n, q, 7);
+  EXPECT_EQ(a.automorphism(1), a);
+  // g * g_inv = 1 mod 2N -> automorphisms invert.
+  const u64 g = 5;
+  const u64 g_inv = inv_mod(g, 2 * n);
+  EXPECT_EQ(a.automorphism(g).automorphism(g_inv), a);
+  EXPECT_THROW(a.automorphism(4), std::invalid_argument);
+}
+
+TEST(Polynomial, MismatchedRingsThrow) {
+  Polynomial a(8, 17), b(8, 97), c(16, 17);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= c, std::invalid_argument);
+  EXPECT_THROW(a* b, std::invalid_argument);
+  EXPECT_THROW(a.mul_schoolbook(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace alchemist

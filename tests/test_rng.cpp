@@ -1,0 +1,106 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace alchemist {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const u64 x = a.next();
+    EXPECT_EQ(x, b.next());
+    if (x != c.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(1);
+  for (u64 bound : {u64{1}, u64{2}, u64{3}, u64{1000}, u64{1} << 40}) {
+    for (int i = 0; i < 500; ++i) EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST(Rng, UniformCoversSmallRange) {
+  Rng rng(2);
+  std::map<u64, int> counts;
+  for (int i = 0; i < 6000; ++i) ++counts[rng.uniform(6)];
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_GT(count, 800) << value;  // expectation 1000
+    EXPECT_LT(count, 1200) << value;
+  }
+}
+
+TEST(Rng, TernaryValues) {
+  Rng rng(3);
+  const u64 q = 97;
+  int zeros = 0, ones = 0, minus = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const u64 t = rng.ternary(q);
+    if (t == 0) ++zeros;
+    else if (t == 1) ++ones;
+    else if (t == q - 1) ++minus;
+    else FAIL() << "unexpected ternary value " << t;
+  }
+  EXPECT_GT(zeros, 800);
+  EXPECT_GT(ones, 800);
+  EXPECT_GT(minus, 800);
+}
+
+TEST(Rng, CbdMeanAndSupport) {
+  Rng rng(4);
+  const u64 q = 12289;
+  const int eta = 4;
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const u64 v = rng.cbd(eta, q);
+    const i64 centered = v > q / 2 ? static_cast<i64>(v) - static_cast<i64>(q)
+                                   : static_cast<i64>(v);
+    EXPECT_LE(std::abs(centered), eta);
+    sum += static_cast<double>(centered);
+  }
+  EXPECT_LT(std::abs(sum / 5000.0), 0.15);  // mean ~0, sd of mean ~0.02
+}
+
+TEST(Rng, GaussianMomentsRoughlyMatch) {
+  Rng rng(5);
+  const double sigma = 3.2;
+  double sum = 0, sumsq = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const double g = static_cast<double>(rng.gaussian_signed(sigma));
+    sum += g;
+    sumsq += g * g;
+  }
+  const double mean = sum / trials;
+  const double var = sumsq / trials - mean * mean;
+  EXPECT_LT(std::abs(mean), 0.15);
+  EXPECT_NEAR(var, sigma * sigma + 1.0 / 12.0, 0.8);  // rounding adds ~1/12
+}
+
+TEST(Rng, GaussianModQWrapsNegatives) {
+  Rng rng(6);
+  const u64 q = 1000003;
+  for (int i = 0; i < 1000; ++i) {
+    const u64 v = rng.gaussian(3.2, q);
+    EXPECT_LT(v, q);
+    // Small-noise regime: value is near 0 or near q.
+    EXPECT_TRUE(v < 100 || v > q - 100) << v;
+  }
+}
+
+TEST(Rng, UniformVectorShape) {
+  Rng rng(7);
+  const auto v = rng.uniform_vector(257, 12345);
+  ASSERT_EQ(v.size(), 257u);
+  for (u64 x : v) EXPECT_LT(x, 12345u);
+}
+
+}  // namespace
+}  // namespace alchemist

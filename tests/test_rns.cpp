@@ -1,0 +1,318 @@
+#include "poly/rns.h"
+
+#include <gtest/gtest.h>
+
+#include "common/biguint.h"
+#include "common/primes.h"
+#include "common/rng.h"
+#include "poly/polynomial.h"
+
+namespace alchemist {
+namespace {
+
+RnsPoly random_rns(std::size_t n, const std::vector<u64>& moduli, u64 seed) {
+  RnsPoly p(n, moduli);
+  Rng rng(seed);
+  for (std::size_t c = 0; c < moduli.size(); ++c) {
+    auto ch = p.channel(c);
+    for (std::size_t i = 0; i < n; ++i) ch[i] = rng.uniform(moduli[c]);
+  }
+  return p;
+}
+
+// Residues of a common value x (< all moduli products) in every channel.
+RnsPoly constant_rns(std::size_t n, const std::vector<u64>& moduli,
+                     const std::vector<BigUInt>& values) {
+  RnsPoly p(n, moduli);
+  for (std::size_t c = 0; c < moduli.size(); ++c) {
+    auto ch = p.channel(c);
+    for (std::size_t i = 0; i < n; ++i) ch[i] = values[i].mod_u64(moduli[c]);
+  }
+  return p;
+}
+
+TEST(RnsPoly, ConstructionAndAccessors) {
+  const auto moduli = generate_ntt_primes(30, 64, 3);
+  RnsPoly p(64, moduli);
+  EXPECT_EQ(p.degree(), 64u);
+  EXPECT_EQ(p.num_channels(), 3u);
+  EXPECT_FALSE(p.is_ntt());
+  EXPECT_EQ(p.moduli(), moduli);
+  EXPECT_THROW(RnsPoly(63, moduli), std::invalid_argument);
+  EXPECT_THROW(RnsPoly(64, std::vector<u64>{}), std::invalid_argument);
+}
+
+TEST(RnsPoly, NttRoundTrip) {
+  const auto moduli = generate_ntt_primes(36, 256, 4);
+  RnsPoly p = random_rns(256, moduli, 1);
+  const RnsPoly original = p;
+  p.to_ntt();
+  EXPECT_TRUE(p.is_ntt());
+  EXPECT_NE(p, original);
+  p.to_coeff();
+  EXPECT_EQ(p, original);
+}
+
+TEST(RnsPoly, AddSubNegateElementwise) {
+  const auto moduli = generate_ntt_primes(30, 32, 2);
+  RnsPoly a = random_rns(32, moduli, 2);
+  RnsPoly b = random_rns(32, moduli, 3);
+  RnsPoly sum = a + b;
+  RnsPoly back = sum - b;
+  EXPECT_EQ(back, a);
+  RnsPoly neg = a;
+  neg.negate();
+  RnsPoly zero = a + neg;
+  for (std::size_t c = 0; c < zero.num_channels(); ++c) {
+    for (u64 x : zero.channel(c)) EXPECT_EQ(x, 0u);
+  }
+}
+
+TEST(RnsPoly, NttMulMatchesPerChannelSchoolbook) {
+  const std::size_t n = 64;
+  const auto moduli = generate_ntt_primes(40, n, 3);
+  RnsPoly a = random_rns(n, moduli, 4);
+  RnsPoly b = random_rns(n, moduli, 5);
+
+  // Per-channel reference products.
+  std::vector<Polynomial> expected;
+  for (std::size_t c = 0; c < moduli.size(); ++c) {
+    Polynomial pa(std::vector<u64>(a.channel(c).begin(), a.channel(c).end()), moduli[c]);
+    Polynomial pb(std::vector<u64>(b.channel(c).begin(), b.channel(c).end()), moduli[c]);
+    expected.push_back(pa.mul_schoolbook(pb));
+  }
+
+  a.to_ntt();
+  b.to_ntt();
+  RnsPoly prod = a * b;
+  prod.to_coeff();
+  for (std::size_t c = 0; c < moduli.size(); ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(prod.channel(c)[i], expected[c][i]) << "channel " << c;
+    }
+  }
+}
+
+TEST(RnsPoly, MulRequiresNttForm) {
+  const auto moduli = generate_ntt_primes(30, 16, 2);
+  RnsPoly a = random_rns(16, moduli, 6);
+  RnsPoly b = random_rns(16, moduli, 7);
+  EXPECT_THROW(a *= b, std::invalid_argument);
+}
+
+TEST(RnsPoly, ScalarMulPerChannelAndUniform) {
+  const auto moduli = generate_ntt_primes(30, 16, 2);
+  RnsPoly a = random_rns(16, moduli, 8);
+  RnsPoly b = a;
+  std::vector<u64> scalars = {5, 5};
+  a.mul_scalar(std::span<const u64>(scalars));
+  b.mul_scalar(u64{5});
+  EXPECT_EQ(a, b);
+}
+
+TEST(RnsPoly, ChannelSurgeryPreservesData) {
+  const auto moduli = generate_ntt_primes(30, 16, 4);
+  RnsPoly a = random_rns(16, moduli, 9);
+  RnsPoly head = a.extract_channels(0, 2);
+  RnsPoly tail = a.extract_channels(2, 2);
+  head.append_channels(tail);
+  EXPECT_EQ(head, a);
+  RnsPoly dropped = a;
+  dropped.drop_channels_to(2);
+  EXPECT_EQ(dropped, a.extract_channels(0, 2));
+  EXPECT_THROW(a.extract_channels(3, 2), std::invalid_argument);
+  EXPECT_THROW(dropped.drop_channels_to(0), std::invalid_argument);
+}
+
+TEST(RnsPoly, AutomorphismMatchesSingleChannel) {
+  const std::size_t n = 32;
+  const auto moduli = generate_ntt_primes(30, n, 2);
+  RnsPoly a = random_rns(n, moduli, 10);
+  const u64 g = 5;
+  RnsPoly rotated = a.automorphism(g);
+  for (std::size_t c = 0; c < moduli.size(); ++c) {
+    Polynomial pc(std::vector<u64>(a.channel(c).begin(), a.channel(c).end()), moduli[c]);
+    Polynomial expected = pc.automorphism(g);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(rotated.channel(c)[i], expected[i]);
+  }
+}
+
+TEST(RnsPoly, AutomorphismNttFormConsistent) {
+  const std::size_t n = 32;
+  const auto moduli = generate_ntt_primes(30, n, 2);
+  RnsPoly a = random_rns(n, moduli, 11);
+  RnsPoly coeff_route = a.automorphism(3);
+  RnsPoly ntt_input = a;
+  ntt_input.to_ntt();
+  RnsPoly ntt_route = ntt_input.automorphism(3);
+  ntt_route.to_coeff();
+  EXPECT_EQ(ntt_route, coeff_route);
+}
+
+TEST(BConvTest, MatchesExactFormula) {
+  // The fast base conversion must compute Eq. (1) *exactly as written*:
+  //   out_j = (sum_i [x_i q̂_i^{-1}]_{q_i} q̂_i) mod p_j  (no rounding).
+  const std::size_t n = 8;
+  const auto source = generate_ntt_primes(30, n, 3);
+  const auto target = generate_ntt_primes(31, n, 2);
+  const RnsPoly x = random_rns(n, source, 12);
+  BConv conv(source, target);
+  const RnsPoly out = conv.apply(x);
+
+  const BigUInt big_q = BigUInt::product(source);
+  for (std::size_t k = 0; k < n; ++k) {
+    BigUInt acc(0);
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      const BigUInt qhat = big_q.div_u64(source[i], true);
+      const u64 qhat_inv = inv_mod(qhat.mod_u64(source[i]), source[i]);
+      const u64 v = mul_mod(x.channel(i)[k], qhat_inv, source[i]);
+      BigUInt term = qhat;
+      term.mul_u64(v);
+      acc += term;
+    }
+    for (std::size_t j = 0; j < target.size(); ++j) {
+      EXPECT_EQ(out.channel(j)[k], acc.mod_u64(target[j])) << "k=" << k;
+    }
+  }
+}
+
+TEST(BConvTest, OutputIsValuePlusSmallMultipleOfQ) {
+  // Fast conversion's only error is an additive alpha*Q with alpha < L.
+  const std::size_t n = 4;
+  const auto source = generate_ntt_primes(28, n, 4);
+  const auto target = generate_ntt_primes(29, n, 1);
+  const BigUInt big_q = BigUInt::product(source);
+
+  Rng rng(13);
+  std::vector<BigUInt> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Random x < Q via CRT of random residues.
+    std::vector<u64> residues;
+    for (u64 q : source) residues.push_back(rng.uniform(q));
+    values.push_back(crt_compose(residues, source));
+  }
+  const RnsPoly x = constant_rns(n, source, values);
+  BConv conv(source, target);
+  const RnsPoly out = conv.apply(x);
+
+  const u64 p = target[0];
+  for (std::size_t k = 0; k < n; ++k) {
+    bool matched = false;
+    for (std::size_t alpha = 0; alpha < source.size() && !matched; ++alpha) {
+      BigUInt shifted = values[k];
+      for (std::size_t a = 0; a < alpha; ++a) shifted += big_q;
+      matched = out.channel(0)[k] == shifted.mod_u64(p);
+    }
+    EXPECT_TRUE(matched) << "k=" << k;
+  }
+}
+
+TEST(BConvTest, RejectsBadInput) {
+  const auto source = generate_ntt_primes(28, 8, 2);
+  const auto target = generate_ntt_primes(29, 8, 1);
+  BConv conv(source, target);
+  RnsPoly wrong_basis = random_rns(8, target, 14);
+  EXPECT_THROW(conv.apply(wrong_basis), std::invalid_argument);
+  RnsPoly ntt_form = random_rns(8, source, 15);
+  ntt_form.to_ntt();
+  EXPECT_THROW(conv.apply(ntt_form), std::invalid_argument);
+}
+
+TEST(ModUpDown, ModupPreservesOriginalChannels) {
+  const std::size_t n = 16;
+  const auto q_moduli = generate_ntt_primes(30, n, 3);
+  const auto p_moduli = generate_ntt_primes(32, n, 2);
+  const RnsPoly x = random_rns(n, q_moduli, 16);
+  const RnsPoly up = modup(x, p_moduli);
+  ASSERT_EQ(up.num_channels(), 5u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_TRUE(std::equal(x.channel(c).begin(), x.channel(c).end(),
+                           up.channel(c).begin()));
+  }
+}
+
+TEST(ModUpDown, ModdownExactWhenDivisible) {
+  // y = P * z with z < Q: moddown must return exactly z (Bconv of 0 is 0).
+  const std::size_t n = 8;
+  const auto q_moduli = generate_ntt_primes(30, n, 3);
+  const auto p_moduli = generate_ntt_primes(32, n, 2);
+  const BigUInt big_p = BigUInt::product(p_moduli);
+
+  Rng rng(17);
+  std::vector<BigUInt> z_values, y_values;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<u64> residues;
+    for (u64 q : q_moduli) residues.push_back(rng.uniform(q));
+    BigUInt z = crt_compose(residues, q_moduli);
+    y_values.push_back(z * big_p);
+    z_values.push_back(std::move(z));
+  }
+
+  std::vector<u64> all_moduli = q_moduli;
+  all_moduli.insert(all_moduli.end(), p_moduli.begin(), p_moduli.end());
+  const RnsPoly y = constant_rns(n, all_moduli, y_values);
+  const RnsPoly z = moddown(y, p_moduli.size());
+
+  ASSERT_EQ(z.num_channels(), q_moduli.size());
+  for (std::size_t c = 0; c < q_moduli.size(); ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(z.channel(c)[i], z_values[i].mod_u64(q_moduli[c]));
+    }
+  }
+}
+
+TEST(ModUpDown, ModdownApproximatesDivisionByP) {
+  // For arbitrary y, moddown returns floor-ish(y/P) - alpha for a small alpha
+  // in [0, K): the fast-conversion error that CKKS absorbs as noise.
+  const std::size_t n = 4;
+  const auto q_moduli = generate_ntt_primes(30, n, 2);
+  const auto p_moduli = generate_ntt_primes(32, n, 2);
+  const std::size_t num_special = p_moduli.size();
+  const BigUInt big_p = BigUInt::product(p_moduli);
+
+  std::vector<u64> all_moduli = q_moduli;
+  all_moduli.insert(all_moduli.end(), p_moduli.begin(), p_moduli.end());
+  const BigUInt big_qp = BigUInt::product(all_moduli);
+
+  Rng rng(18);
+  std::vector<BigUInt> y_values;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<u64> residues;
+    for (u64 q : all_moduli) residues.push_back(rng.uniform(q));
+    y_values.push_back(crt_compose(residues, all_moduli));
+  }
+
+  const RnsPoly y = constant_rns(n, all_moduli, y_values);
+  const RnsPoly z = moddown(y, num_special);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // exact quotient (y - (y mod P)) / P
+    const BigUInt y_mod_p = crt_compose(
+        {y_values[i].mod_u64(p_moduli[0]), y_values[i].mod_u64(p_moduli[1])}, p_moduli);
+    const BigUInt quotient = (y_values[i] - y_mod_p).div_u64(p_moduli[0], true)
+                                 .div_u64(p_moduli[1], true);
+    for (std::size_t c = 0; c < q_moduli.size(); ++c) {
+      bool matched = false;
+      for (std::size_t alpha = 0; alpha <= num_special && !matched; ++alpha) {
+        // candidate = quotient - alpha (mod q_c)
+        u64 cand = quotient.mod_u64(q_moduli[c]);
+        cand = sub_mod(cand, alpha % q_moduli[c], q_moduli[c]);
+        matched = z.channel(c)[i] == cand;
+      }
+      EXPECT_TRUE(matched) << "i=" << i << " c=" << c;
+    }
+  }
+}
+
+TEST(ModUpDown, ModdownArgumentChecks) {
+  const auto moduli = generate_ntt_primes(30, 8, 3);
+  RnsPoly x = random_rns(8, moduli, 19);
+  EXPECT_THROW(moddown(x, 0), std::invalid_argument);
+  EXPECT_THROW(moddown(x, 3), std::invalid_argument);
+  RnsPoly ntt = x;
+  ntt.to_ntt();
+  EXPECT_THROW(moddown(ntt, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace alchemist

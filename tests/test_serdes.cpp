@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keygen.h"
+#include "common/primes.h"
+#include "common/rng.h"
+#include "serdes/fhe_serdes.h"
+
+namespace alchemist {
+namespace {
+
+TEST(BinarySerdes, PrimitiveRoundTrip) {
+  BinaryWriter w;
+  w.write_u8(7);
+  w.write_u64(~u64{0});
+  w.write_double(-3.25e100);
+  w.write_u64_vector(std::vector<u64>{1, 2, 3});
+  w.write_tag("hello");
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.read_u8(), 7);
+  EXPECT_EQ(r.read_u64(), ~u64{0});
+  EXPECT_DOUBLE_EQ(r.read_double(), -3.25e100);
+  EXPECT_EQ(r.read_u64_vector(), (std::vector<u64>{1, 2, 3}));
+  EXPECT_NO_THROW(r.expect_tag("hello"));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinarySerdes, TruncationAndTagMismatchThrow) {
+  BinaryWriter w;
+  w.write_u64(42);
+  BinaryReader r(w.buffer());
+  r.read_u64();
+  EXPECT_THROW(r.read_u64(), std::runtime_error);
+
+  BinaryWriter w2;
+  w2.write_tag("alpha");
+  BinaryReader r2(w2.buffer());
+  EXPECT_THROW(r2.expect_tag("beta"), std::runtime_error);
+}
+
+TEST(BinarySerdes, FileRoundTrip) {
+  const std::string path = "/tmp/alchemist_serdes_test.bin";
+  BinaryWriter w;
+  w.write_u64(12345);
+  w.save(path);
+  BinaryReader r = BinaryReader::load(path);
+  EXPECT_EQ(r.read_u64(), 12345u);
+  std::remove(path.c_str());
+  EXPECT_THROW(BinaryReader::load("/nonexistent/nope.bin"), std::runtime_error);
+}
+
+TEST(FheSerdes, RnsPolyRoundTrip) {
+  const auto moduli = generate_ntt_primes(30, 64, 3);
+  RnsPoly p(64, moduli);
+  Rng rng(1);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (auto& x : p.channel(c)) x = rng.uniform(moduli[c]);
+  }
+  p.to_ntt();
+  BinaryWriter w;
+  serdes::write(w, p);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(serdes::read_rns_poly(r), p);
+}
+
+TEST(FheSerdes, RnsPolyRejectsOutOfRangeResidue) {
+  const auto moduli = generate_ntt_primes(30, 16, 1);
+  RnsPoly p(16, moduli);
+  BinaryWriter w;
+  serdes::write(w, p);
+  // Corrupt one residue to >= q.
+  auto buf = w.buffer();
+  // Last 8 bytes hold the final residue; overwrite with ~0.
+  for (std::size_t i = buf.size() - 8; i < buf.size(); ++i) buf[i] = 0xFF;
+  BinaryReader r(std::move(buf));
+  EXPECT_THROW(serdes::read_rns_poly(r), std::runtime_error);
+}
+
+TEST(FheSerdes, CkksCiphertextSurvivesSaveLoadDecrypt) {
+  using namespace ckks;
+  auto ctx = std::make_shared<CkksContext>(CkksParams::toy(512, 3, 1));
+  CkksEncoder encoder(ctx);
+  KeyGenerator keygen(ctx, 3);
+  Encryptor encryptor(ctx, keygen.make_public_key());
+  Decryptor decryptor(ctx, keygen.secret_key());
+
+  const std::vector<double> z = {1.25, -0.75, 3.5};
+  const Ciphertext ct = encryptor.encrypt(
+      encoder.encode(std::span<const double>(z), 3, ctx->params().scale()));
+
+  BinaryWriter w;
+  serdes::write(w, ct);
+  serdes::write(w, keygen.secret_key());
+  BinaryReader r(w.buffer());
+  const Ciphertext loaded_ct = serdes::read_ckks_ciphertext(r);
+  const SecretKey loaded_sk = serdes::read_ckks_secret_key(r);
+
+  Decryptor fresh_decryptor(ctx, loaded_sk);
+  const auto dec = fresh_decryptor.decrypt(loaded_ct, encoder);
+  EXPECT_NEAR(dec[0].real(), 1.25, 1e-5);
+  EXPECT_NEAR(dec[1].real(), -0.75, 1e-5);
+  EXPECT_NEAR(dec[2].real(), 3.5, 1e-5);
+}
+
+TEST(FheSerdes, CkksKeysRoundTripAndStillWork) {
+  using namespace ckks;
+  auto ctx = std::make_shared<CkksContext>(CkksParams::toy(512, 4, 2));
+  CkksEncoder encoder(ctx);
+  KeyGenerator keygen(ctx, 4);
+  Encryptor encryptor(ctx, keygen.make_public_key());
+  Decryptor decryptor(ctx, keygen.secret_key());
+  Evaluator evaluator(ctx);
+
+  BinaryWriter w;
+  serdes::write(w, keygen.make_relin_keys());
+  serdes::write(w, keygen.make_galois_keys({1}));
+  BinaryReader r(w.buffer());
+  const RelinKeys rk = serdes::read_relin_keys(r);
+  const GaloisKeys gk = serdes::read_galois_keys(r);
+
+  const std::vector<double> z = {0.5, -0.5, 2.0};
+  const Ciphertext ct = encryptor.encrypt(
+      encoder.encode(std::span<const double>(z), 4, ctx->params().scale()));
+  // Reloaded keys must still relinearize and rotate correctly.
+  const auto sq = decryptor.decrypt(
+      evaluator.rescale(evaluator.multiply(ct, ct, rk)), encoder);
+  EXPECT_NEAR(sq[0].real(), 0.25, 1e-3);
+  const auto rot = decryptor.decrypt(evaluator.rotate(ct, 1, gk), encoder);
+  EXPECT_NEAR(rot[0].real(), -0.5, 1e-3);
+}
+
+TEST(FheSerdes, TfheRoundTrips) {
+  using namespace tfhe;
+  Rng rng(5);
+  const TfheParams params = TfheParams::toy();
+  const LweKey key = lwe_keygen(params.n_lwe, rng);
+  const LweSample ct = encrypt_bit(true, key, 1e-12, rng);
+  const TrlweKey tkey = trlwe_keygen(params, rng);
+  TorusPoly msg(params.degree);
+  msg[0] = torus_from_message(3, 8);
+  const TrlweSample tct = trlwe_encrypt(params, tkey, msg, rng);
+  const EncInt value = encrypt_int(0xAB, 8, key, 1e-12, rng);
+
+  BinaryWriter w;
+  serdes::write(w, ct);
+  serdes::write(w, key);
+  serdes::write(w, tct);
+  serdes::write(w, value);
+  BinaryReader r(w.buffer());
+
+  const LweSample ct2 = serdes::read_lwe_sample(r);
+  const LweKey key2 = serdes::read_lwe_key(r);
+  EXPECT_TRUE(decrypt_bit(ct2, key2));
+  const TrlweSample tct2 = serdes::read_trlwe_sample(r);
+  EXPECT_EQ(torus_to_message(trlwe_phase(tct2, tkey)[0], 8), 3u);
+  const EncInt value2 = serdes::read_enc_int(r);
+  EXPECT_EQ(decrypt_int(value2, key2), 0xABu);
+}
+
+TEST(FheSerdes, WrongTypeTagFailsLoudly) {
+  using namespace tfhe;
+  Rng rng(6);
+  const LweKey key = lwe_keygen(16, rng);
+  BinaryWriter w;
+  serdes::write(w, key);
+  BinaryReader r(w.buffer());
+  EXPECT_THROW(serdes::read_lwe_sample(r), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace alchemist

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tfhe/integer.h"
+
+namespace alchemist::tfhe {
+namespace {
+
+struct IntFixture {
+  Rng rng{99};
+  TfheParams params = TfheParams::toy();
+  LweKey lwe_key;
+  TrlweKey trlwe_key;
+  BootstrapContext ctx;
+
+  IntFixture() {
+    lwe_key = lwe_keygen(params.n_lwe, rng);
+    trlwe_key = trlwe_keygen(params, rng);
+    ctx = make_bootstrap_context(params, lwe_key, trlwe_key, rng);
+  }
+
+  EncInt enc(u64 v, std::size_t w) {
+    return encrypt_int(v, w, lwe_key, params.lwe_sigma, rng);
+  }
+  u64 dec(const EncInt& v) { return decrypt_int(v, lwe_key); }
+};
+
+IntFixture& fx() {
+  static IntFixture f;
+  return f;
+}
+
+TEST(EncIntTest, EncryptDecryptRoundTrip) {
+  IntFixture& f = fx();
+  for (u64 v : {u64{0}, u64{1}, u64{42}, u64{255}, u64{170}}) {
+    EXPECT_EQ(f.dec(f.enc(v, 8)), v);
+  }
+  // Truncation to width.
+  EXPECT_EQ(f.dec(f.enc(0x1FF, 8)), 0xFFu);
+}
+
+TEST(EncIntTest, TrivialConstant) {
+  IntFixture& f = fx();
+  const EncInt t = trivial_int(0xA5, 8, f.params.n_lwe);
+  EXPECT_EQ(f.dec(t), 0xA5u);
+}
+
+TEST(EncIntTest, AdditionWithWraparound) {
+  IntFixture& f = fx();
+  const struct { u64 a, b; } cases[] = {{3, 5}, {200, 100}, {255, 1}, {0, 0}, {127, 128}};
+  for (const auto& c : cases) {
+    EXPECT_EQ(f.dec(add(f.enc(c.a, 8), f.enc(c.b, 8), f.ctx)), (c.a + c.b) & 0xFF)
+        << c.a << "+" << c.b;
+  }
+}
+
+TEST(EncIntTest, SubtractionTwosComplement) {
+  IntFixture& f = fx();
+  const struct { u64 a, b; } cases[] = {{9, 5}, {5, 9}, {0, 1}, {255, 255}};
+  for (const auto& c : cases) {
+    EXPECT_EQ(f.dec(sub(f.enc(c.a, 8), f.enc(c.b, 8), f.ctx)), (c.a - c.b) & 0xFF)
+        << c.a << "-" << c.b;
+  }
+}
+
+TEST(EncIntTest, Comparisons) {
+  IntFixture& f = fx();
+  const struct { u64 a, b; } cases[] = {{3, 7}, {7, 3}, {5, 5}, {0, 255}, {128, 127}};
+  for (const auto& c : cases) {
+    EXPECT_EQ(decrypt_bit(less_than(f.enc(c.a, 8), f.enc(c.b, 8), f.ctx), f.lwe_key),
+              c.a < c.b)
+        << c.a << "<" << c.b;
+    EXPECT_EQ(decrypt_bit(equal(f.enc(c.a, 8), f.enc(c.b, 8), f.ctx), f.lwe_key),
+              c.a == c.b)
+        << c.a << "==" << c.b;
+  }
+}
+
+TEST(EncIntTest, SelectAndMax) {
+  IntFixture& f = fx();
+  const EncInt a = f.enc(77, 8);
+  const EncInt b = f.enc(33, 8);
+  const LweSample yes = encrypt_bit(true, f.lwe_key, f.params.lwe_sigma, f.rng);
+  const LweSample no = encrypt_bit(false, f.lwe_key, f.params.lwe_sigma, f.rng);
+  EXPECT_EQ(f.dec(select(yes, a, b, f.ctx)), 77u);
+  EXPECT_EQ(f.dec(select(no, a, b, f.ctx)), 33u);
+  EXPECT_EQ(f.dec(max_int(a, b, f.ctx)), 77u);
+  EXPECT_EQ(f.dec(max_int(b, a, f.ctx)), 77u);
+}
+
+TEST(EncIntTest, MultiplicationTruncated) {
+  IntFixture& f = fx();
+  const struct { u64 a, b; } cases[] = {{3, 5}, {12, 11}, {16, 16}, {0, 200}};
+  for (const auto& c : cases) {
+    EXPECT_EQ(f.dec(mul(f.enc(c.a, 8), f.enc(c.b, 8), f.ctx)), (c.a * c.b) & 0xFF)
+        << c.a << "*" << c.b;
+  }
+}
+
+TEST(EncIntTest, RandomizedPropertySweep) {
+  IntFixture& f = fx();
+  Rng rng(2026);
+  for (int trial = 0; trial < 6; ++trial) {
+    const u64 a = rng.uniform(16), b = rng.uniform(16);
+    const EncInt ea = f.enc(a, 4), eb = f.enc(b, 4);
+    EXPECT_EQ(f.dec(add(ea, eb, f.ctx)), (a + b) & 0xF);
+    EXPECT_EQ(f.dec(sub(ea, eb, f.ctx)), (a - b) & 0xF);
+    EXPECT_EQ(decrypt_bit(less_than(ea, eb, f.ctx), f.lwe_key), a < b);
+  }
+}
+
+TEST(EncIntTest, WidthMismatchThrows) {
+  IntFixture& f = fx();
+  EXPECT_THROW(add(f.enc(1, 8), f.enc(1, 4), f.ctx), std::invalid_argument);
+  EXPECT_THROW(less_than(f.enc(1, 8), f.enc(1, 4), f.ctx), std::invalid_argument);
+  EncInt empty;
+  EXPECT_THROW(add(empty, empty, f.ctx), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace alchemist::tfhe

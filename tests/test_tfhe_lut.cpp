@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tfhe/lut.h"
+
+namespace alchemist::tfhe {
+namespace {
+
+struct LutFixture {
+  Rng rng{44};
+  TfheParams params;
+  LweKey lwe_key;
+  TrlweKey trlwe_key;
+  BootstrapContext ctx;
+
+  LutFixture() {
+    params = TfheParams::toy();
+    params.degree = 128;  // 2^(w+1) <= N allows w = 6
+    lwe_key = lwe_keygen(params.n_lwe, rng);
+    trlwe_key = trlwe_keygen(params, rng);
+    ctx = make_bootstrap_context(params, lwe_key, trlwe_key, rng);
+  }
+
+  EncInt enc(u64 v, std::size_t w) {
+    return encrypt_int(v, w, lwe_key, params.lwe_sigma, rng);
+  }
+};
+
+LutFixture& fx() {
+  static LutFixture f;
+  return f;
+}
+
+TEST(TfheLut, PackBitsEncodesValueOnLowerHalfTorus) {
+  LutFixture& f = fx();
+  const std::size_t w = 4;
+  for (u64 v : {u64{0}, u64{1}, u64{7}, u64{10}, u64{15}}) {
+    const LweSample packed = pack_bits(f.enc(v, w), f.ctx);
+    const double phase = torus_to_double(lwe_phase(packed, f.lwe_key));
+    // Expected phase: v / 2^(w+1) = v / 32 in [0, 0.5).
+    EXPECT_NEAR(phase, static_cast<double>(v) / 32.0, 0.01) << v;
+  }
+}
+
+TEST(TfheLut, IdentityLut) {
+  LutFixture& f = fx();
+  for (u64 v : {u64{0}, u64{5}, u64{9}, u64{15}}) {
+    const EncInt out = apply_lut(f.enc(v, 4), [](u64 m) { return m; }, f.ctx);
+    EXPECT_EQ(decrypt_int(out, f.lwe_key), v) << v;
+  }
+}
+
+TEST(TfheLut, NonLinearFunctions) {
+  LutFixture& f = fx();
+  // Squaring mod 16 — impossible with linear homomorphisms alone.
+  for (u64 v : {u64{0}, u64{3}, u64{7}, u64{12}}) {
+    const EncInt sq = apply_lut(f.enc(v, 4), [](u64 m) { return (m * m) & 0xF; }, f.ctx);
+    EXPECT_EQ(decrypt_int(sq, f.lwe_key), (v * v) & 0xF) << v;
+  }
+  // An arbitrary S-box (AES-like nibble substitution).
+  const u64 sbox[16] = {0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+                        0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2};
+  for (u64 v : {u64{1}, u64{6}, u64{14}}) {
+    const EncInt sub = apply_lut(f.enc(v, 4), [&](u64 m) { return sbox[m & 0xF]; }, f.ctx);
+    EXPECT_EQ(decrypt_int(sub, f.lwe_key), sbox[v]) << v;
+  }
+}
+
+TEST(TfheLut, ExhaustiveThreeBit) {
+  LutFixture& f = fx();
+  // Every input of a 3-bit LUT: f(m) = (3m + 1) mod 8.
+  for (u64 v = 0; v < 8; ++v) {
+    const EncInt out =
+        apply_lut(f.enc(v, 3), [](u64 m) { return (3 * m + 1) & 0x7; }, f.ctx);
+    EXPECT_EQ(decrypt_int(out, f.lwe_key), (3 * v + 1) & 0x7) << v;
+  }
+}
+
+TEST(TfheLut, WidthGuards) {
+  LutFixture& f = fx();
+  EncInt empty;
+  EXPECT_THROW(pack_bits(empty, f.ctx), std::invalid_argument);
+  // w = 7 needs 2^8 = 256 > N = 128.
+  EXPECT_THROW(apply_lut(f.enc(0, 7), [](u64 m) { return m; }, f.ctx),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace alchemist::tfhe

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tfhe/torus.h"
+#include "tfhe/torus_poly.h"
+
+namespace alchemist::tfhe {
+namespace {
+
+TEST(Torus, DoubleRoundTrip) {
+  for (double x : {0.0, 0.25, -0.25, 0.125, -0.4999, 0.3}) {
+    EXPECT_NEAR(torus_to_double(torus_from_double(x)), x, 1e-15) << x;
+  }
+}
+
+TEST(Torus, MessageRoundTrip) {
+  for (u64 space : {u64{2}, u64{4}, u64{8}, u64{16}, u64{5}, u64{7}}) {
+    for (u64 m = 0; m < space; ++m) {
+      EXPECT_EQ(torus_to_message(torus_from_message(m, space), space), m)
+          << "space=" << space << " m=" << m;
+    }
+  }
+}
+
+TEST(Torus, MessageRobustToSmallNoise) {
+  const u64 space = 8;
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const u64 m = rng.uniform(space);
+    const Torus clean = torus_from_message(m, space);
+    // Noise up to 1/64 of the torus keeps the nearest-point decoding intact.
+    const i64 noise = static_cast<i64>(rng.uniform(u64{1} << 57)) - (i64{1} << 56);
+    EXPECT_EQ(torus_to_message(clean + static_cast<u64>(noise), space), m);
+  }
+}
+
+TEST(Torus, Z2nRounding) {
+  const std::size_t n = 1024;
+  EXPECT_EQ(torus_to_z2n(0, n), 0u);
+  // t = 1/4 -> 2N/4
+  EXPECT_EQ(torus_to_z2n(u64{1} << 62, n), 512u);
+  // t just below 1 wraps to 0.
+  EXPECT_EQ(torus_to_z2n(~u64{0}, n), 0u);
+}
+
+class GadgetDecomposeParam : public ::testing::TestWithParam<std::pair<int, std::size_t>> {};
+
+TEST_P(GadgetDecomposeParam, ReconstructionWithinBound) {
+  const auto [bg_bits, l] = GetParam();
+  const auto scales = gadget_scales(bg_bits, l);
+  const i64 half_bg = i64{1} << (bg_bits - 1);
+  const u64 bound = u64{1} << (64 - l * static_cast<std::size_t>(bg_bits) - 1);
+  Rng rng(static_cast<u64>(bg_bits) * 1000 + l);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Torus t = rng.next();
+    const auto digits = gadget_decompose(t, bg_bits, l);
+    ASSERT_EQ(digits.size(), l);
+    Torus recon = 0;
+    for (std::size_t i = 0; i < l; ++i) {
+      EXPECT_GE(digits[i], -half_bg);
+      EXPECT_LT(digits[i], half_bg);
+      recon += static_cast<u64>(digits[i]) * scales[i];
+    }
+    const i64 eps = static_cast<i64>(t - recon);
+    EXPECT_LE(static_cast<u64>(std::abs(eps)), bound)
+        << "t=" << t << " bg=" << bg_bits << " l=" << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, GadgetDecomposeParam,
+                         ::testing::Values(std::pair{7, std::size_t{3}},
+                                           std::pair{8, std::size_t{2}},
+                                           std::pair{2, std::size_t{8}},
+                                           std::pair{10, std::size_t{2}},
+                                           std::pair{4, std::size_t{6}}));
+
+TEST(GadgetDecompose, RejectsBadParameters) {
+  EXPECT_THROW(gadget_decompose(0, 0, 3), std::invalid_argument);
+  EXPECT_THROW(gadget_decompose(0, 8, 0), std::invalid_argument);
+  EXPECT_THROW(gadget_decompose(0, 32, 2), std::invalid_argument);  // 64 > 63
+}
+
+TEST(TorusPoly, AddSubNegate) {
+  TorusPoly a(4), b(4);
+  a[0] = 5;
+  a[3] = ~u64{0};
+  b[0] = 3;
+  b[3] = 2;
+  TorusPoly sum = a + b;
+  EXPECT_EQ(sum[0], 8u);
+  EXPECT_EQ(sum[3], 1u);  // wraps
+  TorusPoly diff = sum - b;
+  EXPECT_EQ(diff, a);
+  TorusPoly neg = a;
+  neg.negate();
+  TorusPoly zero = a + neg;
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(zero[i], 0u);
+}
+
+TEST(TorusPoly, RotateBasics) {
+  const std::size_t n = 8;
+  TorusPoly p(n);
+  p[0] = 42;
+  // X^1 shifts coefficient 0 to 1.
+  EXPECT_EQ(p.rotate(1)[1], 42u);
+  // X^N negates (X^N = -1).
+  TorusPoly full = p.rotate(n);
+  EXPECT_EQ(full[0], static_cast<u64>(-i64{42}));
+  // X^2N is identity.
+  EXPECT_EQ(p.rotate(2 * n), p);
+}
+
+TEST(TorusPoly, RotateComposes) {
+  const std::size_t n = 16;
+  Rng rng(2);
+  TorusPoly p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = rng.next();
+  for (u64 e1 : {u64{3}, u64{15}, u64{17}}) {
+    for (u64 e2 : {u64{1}, u64{9}, u64{30}}) {
+      EXPECT_EQ(p.rotate(e1).rotate(e2), p.rotate((e1 + e2) % (2 * n)));
+    }
+  }
+}
+
+TEST(TorusPolyMul, SchoolbookMonomials) {
+  const std::size_t n = 8;
+  std::vector<i64> a(n, 0);
+  a[1] = 1;  // X
+  TorusPoly b(n);
+  b[n - 1] = 7;  // 7 X^(N-1)
+  const TorusPoly prod = negacyclic_mul_schoolbook(a, b);
+  EXPECT_EQ(prod[0], static_cast<u64>(-i64{7}));  // X * X^(N-1) = -1
+  for (std::size_t i = 1; i < n; ++i) EXPECT_EQ(prod[i], 0u);
+}
+
+TEST(TorusPolyMul, NegativeIntCoefficients) {
+  const std::size_t n = 4;
+  std::vector<i64> a = {-3, 0, 0, 0};
+  TorusPoly b(n);
+  b[2] = 10;
+  const TorusPoly prod = negacyclic_mul_schoolbook(a, b);
+  EXPECT_EQ(prod[2], static_cast<u64>(-i64{30}));
+}
+
+class TorusNttMulParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TorusNttMulParam, NttMatchesSchoolbookExactly) {
+  const std::size_t n = GetParam();
+  const TorusNttContext& ctx = TorusNttContext::get(n);
+  Rng rng(n * 31);
+  // Digits in the TFHE gadget range, torus values across the full 2^64.
+  std::vector<i64> a(n);
+  for (i64& v : a) v = static_cast<i64>(rng.uniform(256)) - 128;
+  TorusPoly b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rng.next();
+
+  auto acc = ctx.zero();
+  ctx.mul_accumulate(acc, ctx.forward_int(a), ctx.forward_torus(b));
+  const TorusPoly fast = ctx.inverse(acc);
+  const TorusPoly reference = negacyclic_mul_schoolbook(a, b);
+  EXPECT_EQ(fast, reference) << "bit-exact CRT lift failed at n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TorusNttMulParam, ::testing::Values(16, 64, 256, 1024, 2048));
+
+TEST(TorusNttMul, AccumulationOfManyProducts) {
+  // Accumulating (k+1)*l = 8 products in the domain stays exact.
+  const std::size_t n = 128;
+  const TorusNttContext& ctx = TorusNttContext::get(n);
+  Rng rng(77);
+  auto acc = ctx.zero();
+  TorusPoly expected(n);
+  for (int term = 0; term < 8; ++term) {
+    std::vector<i64> a(n);
+    for (i64& v : a) v = static_cast<i64>(rng.uniform(256)) - 128;
+    TorusPoly b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = rng.next();
+    ctx.mul_accumulate(acc, ctx.forward_int(a), ctx.forward_torus(b));
+    expected += negacyclic_mul_schoolbook(a, b);
+  }
+  EXPECT_EQ(ctx.inverse(acc), expected);
+}
+
+TEST(TorusNttContext, CacheAndErrors) {
+  EXPECT_EQ(&TorusNttContext::get(64), &TorusNttContext::get(64));
+  EXPECT_THROW(TorusNttContext(100), std::invalid_argument);
+  const TorusNttContext& ctx = TorusNttContext::get(32);
+  std::vector<i64> wrong(16, 0);
+  EXPECT_THROW(ctx.forward_int(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace alchemist::tfhe
