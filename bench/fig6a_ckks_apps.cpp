@@ -2,6 +2,10 @@
 // (encrypted & unencrypted weights), fully-packed bootstrapping and
 // 1024-batch HELR — Alchemist vs modeled SHARP/CraterLake and the paper's
 // published reference points (F1, BTS, ARK, CraterLake+, SHARP).
+//
+// Observability: `--trace-out boot.json` records the bootstrapping run as a
+// Chrome trace (open at https://ui.perfetto.dev); `--metrics-out m.json`
+// dumps every run's counter registry (schema alchemist.metrics.v1).
 #include <cstdio>
 
 #include "arch/area_model.h"
@@ -25,8 +29,10 @@ workloads::CkksWl resident(std::size_t level) {
 
 }  // namespace
 
-int main() {
-  const auto cfg = arch::ArchConfig::alchemist();
+int main(int argc, char** argv) {
+  bench::ObsArgs obs(argc, argv, "fig6a_ckks_apps");
+  auto cfg = arch::ArchConfig::alchemist();
+  cfg.telemetry = obs.trace_requested();
   bench::print_header("Figure 6(a) - CKKS applications");
 
   // --- Shallow: LoLa-MNIST ---
@@ -39,17 +45,23 @@ int main() {
                 r_plain.time_us / 1e3);
     std::printf("LoLa-MNIST (encrypted weights):   %8.3f ms   (paper: 0.11 ms)\n",
                 r_enc.time_us / 1e3);
+    obs.add(r_plain);
+    obs.add(r_enc);
   }
 
   // --- Deep: bootstrapping and HELR-1024 ---
   const auto boot = workloads::build_bootstrapping(resident(44), true);
   const auto helr = workloads::build_helr_iteration(resident(30));
-  const auto r_boot = sim::simulate_alchemist(boot, cfg);
+  // The bootstrapping run is the one recorded as a Perfetto timeline.
+  const auto r_boot = sim::simulate_alchemist(boot, cfg, &obs.timeline());
   const auto r_helr = sim::simulate_alchemist(helr, cfg);
+  obs.add(r_boot);
+  obs.add(r_helr);
   const auto s_boot = sim::simulate_modular(boot, arch::spec_by_name("SHARP"));
   const auto s_helr = sim::simulate_modular(helr, arch::spec_by_name("SHARP"));
   const auto c_boot = sim::simulate_modular(boot, arch::spec_by_name("CraterLake"));
   const auto c_helr = sim::simulate_modular(helr, arch::spec_by_name("CraterLake"));
+  for (const auto* r : {&s_boot, &s_helr, &c_boot, &c_helr}) obs.add(*r);
 
   const auto e_boot = arch::energy_model(cfg, r_boot);
   const auto e_helr = arch::energy_model(cfg, r_helr);

@@ -8,9 +8,60 @@
 
 #include "bench_util.h"
 #include "metaop/lowering.h"
+#include "sim/alchemist_sim.h"
+#include "sim/event_sim.h"
+#include "workloads/ckks_workloads.h"
+#include "workloads/tfhe_workloads.h"
 
-int main() {
+namespace {
+
+// Deterministic simulator smoke: a handful of canonical workloads through
+// both simulators. These are the counters CI diffs against the committed
+// BENCH_sim.json baseline (tools/check_bench_baseline.py, 5% tolerance), so
+// keep the set small, fast and fixed.
+void sim_smoke(alchemist::bench::ObsArgs& obs) {
   using namespace alchemist;
+  const auto cfg = arch::ArchConfig::alchemist();
+
+  workloads::CkksWl fresh = workloads::CkksWl::paper(44);
+  workloads::CkksWl resident = workloads::CkksWl::paper(44);
+  resident.hbm_stream_fraction = 0.05;
+  workloads::CkksWl mid = workloads::CkksWl::paper(24);
+  mid.hbm_stream_fraction = 0.05;
+
+  struct Run {
+    const char* label;
+    sim::SimResult result;
+  };
+  Run runs[] = {
+      {"keyswitch/fresh", sim::simulate_alchemist(workloads::build_keyswitch(fresh), cfg)},
+      {"keyswitch/resident",
+       sim::simulate_alchemist(workloads::build_keyswitch(resident), cfg)},
+      {"cmult/L24", sim::simulate_alchemist(workloads::build_cmult(mid), cfg)},
+      {"cmult/L24(event)",
+       sim::simulate_alchemist_events(workloads::build_cmult(mid), cfg)},
+      {"pbs/set-i", sim::simulate_alchemist(
+                        workloads::build_pbs(workloads::TfheWl::set_i()), cfg)},
+  };
+
+  std::printf("\nSimulator smoke (baseline counters for CI):\n");
+  std::printf("%-22s %-18s %12s %10s %12s\n", "run", "accelerator", "cycles",
+              "util", "stall");
+  for (Run& r : runs) {
+    std::printf("%-22s %-18s %12llu %10.3f %12llu\n", r.label,
+                r.result.accelerator.c_str(),
+                static_cast<unsigned long long>(r.result.cycles),
+                r.result.utilization,
+                static_cast<unsigned long long>(r.result.mem_stall_cycles));
+    obs.add(r.label, r.result.accelerator, r.result.registry);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace alchemist;
+  bench::ObsArgs obs(argc, argv, "metaop_core_timing");
   bench::print_header("Ablation (Sec. 4.2/5.2) - Meta-OP lane count j and core timing");
 
   std::printf("%-6s %-10s %-12s %-16s %-10s\n", "j", "NTT util", "Bconv util",
@@ -42,5 +93,7 @@ int main() {
   }
   bench::print_footnote("utilization stays high for every n: the reduction "
                         "phase keeps the multiplier busy");
+
+  sim_smoke(obs);
   return 0;
 }

@@ -13,10 +13,18 @@
 //   --level <L>            CKKS level (default 44)
 //   --batch <B>            TFHE PBS batch (default 16)
 //   --event                use the discrete-event simulator
+//   --trace-out <path>     write a Chrome trace_event JSON of the run
+//                          (open at https://ui.perfetto.dev); Alchemist only
+//   --metrics-out <path>   write the run's counter registry as JSON
+//                          (schema alchemist.metrics.v1)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+
+#include "obs/report.h"
+#include "obs/timeline.h"
 
 #include "arch/baselines.h"
 #include "arch/config.h"
@@ -36,7 +44,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: alchemist_cli <workload> [--accelerator A] [--units N]\n"
                "       [--hbm GB/s] [--stream-fraction f] [--level L]\n"
-               "       [--batch B] [--event]\n"
+               "       [--batch B] [--event] [--trace-out T.json] [--metrics-out M.json]\n"
                "workloads: pmult hadd keyswitch cmult rotation rescale bootstrap\n"
                "           bootstrap-hoisted helr mnist mnist-enc pbs-i pbs-ii bfv-cmult\n");
   return 2;
@@ -49,6 +57,7 @@ int main(int argc, char** argv) {
   const std::string workload = argv[1];
 
   std::string accelerator = "Alchemist";
+  std::string trace_out, metrics_out;
   std::size_t units = 128, batch = 16, level = 44;
   double hbm = 1000.0, stream_fraction = 1.0;
   bool use_event = false;
@@ -68,6 +77,8 @@ int main(int argc, char** argv) {
     else if (arg == "--level") level = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--batch") batch = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--event") use_event = true;
+    else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--metrics-out") metrics_out = next();
     else return usage();
   }
 
@@ -101,12 +112,14 @@ int main(int argc, char** argv) {
 
   // Simulate.
   sim::SimResult result;
+  obs::Timeline timeline;
   if (accelerator == "Alchemist") {
     arch::ArchConfig cfg = arch::ArchConfig::alchemist();
     cfg.num_units = units;
     cfg.hbm_bw_gb_s = hbm;
-    result = use_event ? sim::simulate_alchemist_events(graph, cfg)
-                       : sim::simulate_alchemist(graph, cfg);
+    cfg.telemetry = !trace_out.empty();
+    result = use_event ? sim::simulate_alchemist_events(graph, cfg, &timeline)
+                       : sim::simulate_alchemist(graph, cfg, &timeline);
     const auto energy = arch::energy_model(cfg, result);
     std::printf("workload:      %s (%zu ops)\n", graph.name.c_str(), graph.ops.size());
     std::printf("accelerator:   Alchemist, %zu units, %.0f GB/s HBM%s\n", units, hbm,
@@ -131,6 +144,30 @@ int main(int argc, char** argv) {
     std::printf("time:          %.3f us  (%.1f ops/s)\n", result.time_us,
                 ops_in_graph * 1e6 / result.time_us);
     std::printf("utilization:   %.3f\n", result.utilization);
+  }
+
+  // Observability artifacts.
+  if (!trace_out.empty()) {
+    if (accelerator != "Alchemist") {
+      std::fprintf(stderr, "--trace-out is only supported for the Alchemist simulators\n");
+      return 2;
+    }
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    timeline.write_chrome_trace(out);
+    std::printf("trace:         %s (open in https://ui.perfetto.dev)\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    obs::MetricsReport report("alchemist_cli");
+    report.add(result);
+    if (!report.write_file(metrics_out)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics:       %s\n", metrics_out.c_str());
   }
   return 0;
 }

@@ -21,8 +21,33 @@ const char* to_string(OpClass c) {
     case OpClass::Bconv: return "Bconv";
     case OpClass::DecompPolyMult: return "DecompPolyMult";
     case OpClass::Elementwise: return "Elementwise";
+    case OpClass::kNumClasses: break;
   }
   return "?";
+}
+
+const char* class_tag(OpClass c) {
+  switch (c) {
+    case OpClass::Ntt: return "ntt";
+    case OpClass::Bconv: return "bconv";
+    case OpClass::DecompPolyMult: return "decomp_poly_mult";
+    case OpClass::Elementwise: return "elementwise";
+    case OpClass::kNumClasses: break;
+  }
+  return "?";
+}
+
+OpClass class_of(OpKind kind) {
+  switch (kind) {
+    case OpKind::Ntt:
+    case OpKind::Intt: return OpClass::Ntt;
+    case OpKind::Bconv: return OpClass::Bconv;
+    case OpKind::DecompPolyMult: return OpClass::DecompPolyMult;
+    case OpKind::PointwiseMult:
+    case OpKind::PointwiseAdd:
+    case OpKind::Automorphism: return OpClass::Elementwise;
+  }
+  return OpClass::Elementwise;
 }
 
 const char* to_string(OpKind kind) {

@@ -26,9 +26,18 @@ enum class AccessPattern {
 const char* to_string(AccessPattern p);
 
 // Operator classes used for utilization and ratio accounting (Fig. 1, 7b).
-enum class OpClass { Ntt, Bconv, DecompPolyMult, Elementwise };
+// kNumClasses is a sentinel; per-class accounting arrays (SimResult, the obs
+// counter tags) size themselves from it so adding a class cannot silently
+// truncate attribution anywhere downstream.
+enum class OpClass { Ntt, Bconv, DecompPolyMult, Elementwise, kNumClasses };
+
+inline constexpr std::size_t kNumOpClasses =
+    static_cast<std::size_t>(OpClass::kNumClasses);
 
 const char* to_string(OpClass c);
+// Lowercase metric-tag form ("ntt", "bconv", ...), used in obs counter keys
+// like sim.cycles{class=ntt}.
+const char* class_tag(OpClass c);
 
 // A homogeneous batch of Meta-OPs: `count` ops, each (M_8 A_8)_n R_8.
 struct MetaOpBatch {

@@ -25,6 +25,12 @@ enum class OpKind {
 
 const char* to_string(OpKind kind);
 
+enum class OpClass;  // metaop/metaop.h
+// Operator class an IR node is accounted under (Fig. 1 / Fig. 7b). This used
+// to be re-derived privately by each simulator; it is the single shared
+// mapping now.
+OpClass class_of(OpKind kind);
+
 struct HighOp {
   OpKind kind = OpKind::PointwiseAdd;
   std::size_t n = 0;         // polynomial length

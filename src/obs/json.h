@@ -1,0 +1,61 @@
+// Minimal JSON emission helpers for the observability exporters.
+//
+// The obs layer writes two machine-readable artifacts — Chrome trace_event
+// files and per-run metrics reports — and both need nothing more than
+// correctly escaped strings and locale-independent number formatting. A full
+// JSON library is deliberately avoided (no third-party deps in this repo).
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace alchemist::obs {
+
+// Escape a string for inclusion inside JSON double quotes.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_string(std::string_view s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+inline std::string json_number(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+// Doubles print with enough digits to round-trip; non-finite values (which
+// JSON cannot represent) degrade to 0 rather than emitting invalid output.
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace alchemist::obs

@@ -1,0 +1,67 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+namespace alchemist::obs {
+
+std::string metric_key(std::string_view name, TagList tags) {
+  std::string key(name);
+  if (tags.size() == 0) return key;
+  std::vector<std::pair<std::string_view, std::string_view>> sorted(tags);
+  std::sort(sorted.begin(), sorted.end());
+  key += '{';
+  bool first = true;
+  for (const auto& [k, v] : sorted) {
+    if (!first) key += ',';
+    first = false;
+    key += k;
+    key += '=';
+    key += v;
+  }
+  key += '}';
+  return key;
+}
+
+void Registry::add(std::string_view name, std::uint64_t delta, TagList tags) {
+  counters_[metric_key(name, tags)] += delta;
+}
+
+std::uint64_t Registry::counter(std::string_view name, TagList tags) const {
+  return counter_by_key(metric_key(name, tags));
+}
+
+std::uint64_t Registry::counter_by_key(const std::string& key) const {
+  const auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Registry::set_gauge(std::string_view name, double value, TagList tags) {
+  gauges_[metric_key(name, tags)] = value;
+}
+
+double Registry::gauge(std::string_view name, TagList tags) const {
+  const auto it = gauges_.find(metric_key(name, tags));
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [key, value] : other.counters_) counters_[key] += value;
+  for (const auto& [key, value] : other.gauges_) gauges_[key] = value;
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+}
+
+std::uint64_t Registry::total_over_tags(std::string_view prefix) const {
+  std::uint64_t total = 0;
+  for (auto it = counters_.lower_bound(std::string(prefix));
+       it != counters_.end() && std::string_view(it->first).substr(0, prefix.size()) == prefix;
+       ++it) {
+    total += it->second;
+  }
+  return total;
+}
+
+}  // namespace alchemist::obs

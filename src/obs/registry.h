@@ -1,0 +1,66 @@
+// Counter/gauge registry — the named-metric backbone of the simulators.
+//
+// Every quantity the simulators account for (cycles, stalls, multiplications,
+// HBM traffic, per-class attribution) lives here as a named metric with
+// optional key=value tags, e.g.
+//
+//   sim.cycles                      total wall cycles
+//   sim.cycles{class=ntt}           wall cycles attributed to the NTT class
+//   sim.stall{cause=hbm}            cycles lost to off-chip streaming
+//   sim.mults{lazy=true}            word-mults under lazy reduction
+//
+// Counters are monotonically-accumulated integers; gauges are set-once (or
+// overwritten) doubles for derived rates like utilization. Keys are stored in
+// canonical form (tags sorted by key) so iteration — and therefore every JSON
+// export — is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace alchemist::obs {
+
+// A tag list as written at the call site; canonicalized by metric_key().
+using TagList =
+    std::initializer_list<std::pair<std::string_view, std::string_view>>;
+
+// Canonical key string: `name` or `name{k1=v1,k2=v2}` with tags sorted by key.
+std::string metric_key(std::string_view name, TagList tags);
+
+class Registry {
+ public:
+  // Counters: monotonically accumulating integers.
+  void add(std::string_view name, std::uint64_t delta, TagList tags = {});
+  std::uint64_t counter(std::string_view name, TagList tags = {}) const;
+
+  // Gauges: last-write-wins doubles (rates, ratios, derived values).
+  void set_gauge(std::string_view name, double value, TagList tags = {});
+  double gauge(std::string_view name, TagList tags = {}) const;
+
+  // Canonical-key access for exporters and tests.
+  std::uint64_t counter_by_key(const std::string& key) const;
+  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+
+  // Fold another registry into this one (counters add, gauges overwrite) —
+  // used when aggregating multiple runs into one report.
+  void merge(const Registry& other);
+
+  bool empty() const { return counters_.empty() && gauges_.empty(); }
+  void clear();
+
+  // Sum of all counters whose canonical key starts with `prefix` — e.g.
+  // total_over_tags("sim.cycles{class=") sums the per-class attribution.
+  std::uint64_t total_over_tags(std::string_view prefix) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace alchemist::obs

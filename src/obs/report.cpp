@@ -1,0 +1,55 @@
+#include "obs/report.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace alchemist::obs {
+
+void MetricsReport::write_json(std::ostream& out) const {
+  out << "{\n  \"schema\": " << json_string(kMetricsSchema) << ",\n";
+  out << "  \"tool\": " << json_string(tool_) << ",\n";
+  out << "  \"runs\": [";
+  bool first_run = true;
+  for (const RunMetrics& run : runs_) {
+    out << (first_run ? "\n" : ",\n");
+    first_run = false;
+    out << "    {\n      \"workload\": " << json_string(run.workload) << ",\n";
+    out << "      \"accelerator\": " << json_string(run.accelerator) << ",\n";
+    out << "      \"counters\": {";
+    bool first = true;
+    for (const auto& [key, value] : run.registry.counters()) {
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "        " << json_string(key) << ": " << json_number(value);
+    }
+    out << (first ? "},\n" : "\n      },\n");
+    out << "      \"gauges\": {";
+    first = true;
+    for (const auto& [key, value] : run.registry.gauges()) {
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "        " << json_string(key) << ": " << json_number(value);
+    }
+    out << (first ? "}\n" : "\n      }\n");
+    out << "    }";
+  }
+  out << (first_run ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+std::string MetricsReport::json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+bool MetricsReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace alchemist::obs

@@ -1,0 +1,67 @@
+// Machine-readable per-run metrics report (schema "alchemist.metrics.v1").
+//
+// One report holds the named counters/gauges of any number of simulated runs
+// and serializes to a stable JSON document:
+//
+//   {
+//     "schema": "alchemist.metrics.v1",
+//     "tool": "<producing binary>",
+//     "runs": [
+//       { "workload": "...", "accelerator": "...",
+//         "counters": { "sim.cycles": 123, "sim.cycles{class=ntt}": 45, ... },
+//         "gauges":   { "sim.utilization": 0.86, ... } }
+//     ]
+//   }
+//
+// Key ordering is the registries' canonical (sorted) order, so reports diff
+// cleanly across runs — this is the format of the committed BENCH_sim.json
+// baseline that CI compares against.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace alchemist::obs {
+
+inline constexpr const char* kMetricsSchema = "alchemist.metrics.v1";
+
+struct RunMetrics {
+  std::string workload;
+  std::string accelerator;
+  Registry registry;
+};
+
+class MetricsReport {
+ public:
+  explicit MetricsReport(std::string tool = "") : tool_(std::move(tool)) {}
+
+  void add(std::string workload, std::string accelerator, Registry registry) {
+    runs_.push_back(
+        {std::move(workload), std::move(accelerator), std::move(registry)});
+  }
+  // Any type with .workload / .accelerator / .registry members (sim::SimResult
+  // in practice; a template keeps obs below sim in the layering).
+  template <typename R>
+  void add(const R& result) {
+    add(result.workload, result.accelerator, result.registry);
+  }
+
+  const std::vector<RunMetrics>& runs() const { return runs_; }
+  bool empty() const { return runs_.empty(); }
+
+  void write_json(std::ostream& out) const;
+  std::string json() const;
+  // Write to a file path; returns false (and leaves no file guarantees) on
+  // I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::string tool_;
+  std::vector<RunMetrics> runs_;
+};
+
+}  // namespace alchemist::obs

@@ -1,0 +1,82 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace alchemist::obs {
+
+namespace {
+
+void write_args(std::ostream& out, const TraceEvent& ev) {
+  out << "\"args\":{";
+  bool first = true;
+  for (const auto& [k, v] : ev.num_args) {
+    if (!first) out << ',';
+    first = false;
+    out << json_string(k) << ':' << json_number(v);
+  }
+  for (const auto& [k, v] : ev.str_args) {
+    if (!first) out << ',';
+    first = false;
+    out << json_string(k) << ':' << json_string(v);
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void Timeline::write_chrome_trace(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&]() -> std::ostream& {
+    if (!first) out << ",\n";
+    first = false;
+    return out;
+  };
+
+  // Metadata: one process, one named thread per track.
+  sep() << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+           "\"args\":{\"name\":"
+        << json_string(process_name_) << "}}";
+  for (const auto& [tid, name] : track_names_) {
+    sep() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+          << ",\"args\":{\"name\":" << json_string(name) << "}}";
+  }
+  // Perfetto sorts threads by index when given one; keep track-id order.
+  for (const auto& [tid, name] : track_names_) {
+    sep() << "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+          << ",\"args\":{\"sort_index\":" << tid << "}}";
+  }
+
+  // Complete events, deterministically ordered by (ts, tid, name).
+  std::vector<const TraceEvent*> sorted;
+  sorted.reserve(events_.size());
+  for (const TraceEvent& ev : events_) sorted.push_back(&ev);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->ts != b->ts) return a->ts < b->ts;
+                     if (a->tid != b->tid) return a->tid < b->tid;
+                     return a->name < b->name;
+                   });
+  for (const TraceEvent* ev : sorted) {
+    sep() << "{\"name\":" << json_string(ev->name)
+          << ",\"cat\":" << json_string(ev->cat)
+          << ",\"ph\":\"X\",\"pid\":0,\"tid\":" << ev->tid
+          << ",\"ts\":" << json_number(ev->ts)
+          << ",\"dur\":" << json_number(ev->dur) << ',';
+    write_args(out, *ev);
+    out << '}';
+  }
+  out << "\n]}\n";
+}
+
+std::string Timeline::chrome_trace_json() const {
+  std::ostringstream out;
+  write_chrome_trace(out);
+  return out.str();
+}
+
+}  // namespace alchemist::obs

@@ -1,33 +1,29 @@
 #include "sim/alchemist_sim.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "metaop/lowering.h"
 #include "metaop/mult_count.h"
+#include "sim/telemetry.h"
 
 namespace alchemist::sim {
 
 namespace {
 
+using metaop::class_of;
+using metaop::class_tag;
 using metaop::HighOp;
+using metaop::kNumOpClasses;
 using metaop::MetaOpBatch;
 using metaop::MetaOpStream;
 using metaop::OpClass;
 using metaop::OpGraph;
 using metaop::OpKind;
-
-OpClass class_of(OpKind kind) {
-  switch (kind) {
-    case OpKind::Ntt:
-    case OpKind::Intt: return OpClass::Ntt;
-    case OpKind::Bconv: return OpClass::Bconv;
-    case OpKind::DecompPolyMult: return OpClass::DecompPolyMult;
-    default: return OpClass::Elementwise;
-  }
-}
 
 // ASAP levels over the dependency DAG.
 std::vector<std::vector<std::size_t>> asap_levels(const OpGraph& graph) {
@@ -47,33 +43,53 @@ std::vector<std::vector<std::size_t>> asap_levels(const OpGraph& graph) {
 
 }  // namespace
 
-SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& config) {
+SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& config,
+                             obs::Timeline* timeline) {
   SimResult result;
   result.workload = graph.name;
   result.accelerator = "Alchemist";
+  obs::Registry& reg = result.registry;
+
+  const bool trace = config.telemetry && timeline != nullptr && timeline->enabled();
+  if (trace) {
+    timeline->set_process_name("alchemist-sim(level)");
+    name_fixed_tracks(*timeline);
+  }
+  std::vector<ClassTrackRows> rows;
+  if (trace) {
+    for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+      rows.emplace_back(*timeline, static_cast<OpClass>(c));
+    }
+  }
 
   const std::uint64_t cores = config.total_cores();
   const double hbm_bpc = config.hbm_bytes_per_cycle();
   const double transpose_words_per_cycle =
       static_cast<double>(config.num_units * config.lanes);
-  const double word_bytes = config.word_bits / 8.0;
 
   std::uint64_t total_cycles = 0;
+  std::uint64_t total_transpose = 0;
   double total_hbm_bytes = 0;
   std::uint64_t total_busy_lane_cycles = 0;
-  std::array<std::uint64_t, 4> class_wall = {0, 0, 0, 0};
-  std::array<std::uint64_t, 4> class_busy_lanes = {0, 0, 0, 0};
+  std::array<std::uint64_t, kNumOpClasses> class_wall{};
+  std::array<std::uint64_t, kNumOpClasses> class_busy_lanes{};
 
-  for (const auto& level : asap_levels(graph)) {
+  const auto levels = asap_levels(graph);
+  for (std::size_t level_idx = 0; level_idx < levels.size(); ++level_idx) {
+    const auto& level = levels[level_idx];
     // Cores are fungible across the ops of a level: Meta-OP work pools and
     // fills waves jointly; only the pooled tail is padded.
     std::uint64_t level_core_cycles = 0;   // exact core-cycles of work
     std::uint64_t level_transpose = 0;     // serialized transpose traffic
     double level_hbm_bytes = 0;
+    // Telemetry cursor: the pooled model executes a level's work as if ops
+    // ran back to back at full machine width, so slices tile the level span.
+    double cursor = static_cast<double>(total_cycles);
     for (std::size_t idx : level) {
       const HighOp& op = graph.ops[idx];
       const MetaOpStream stream = metaop::lower(op);
       const OpClass cls = class_of(op.kind);
+      const char* tag = class_tag(cls);
 
       std::uint64_t op_core_cycles = stream.core_cycles();
       std::uint64_t op_busy = 0;
@@ -89,7 +105,7 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
             static_cast<std::uint64_t>(op.n) * std::max<std::size_t>(op.channels, 1);
         op_transpose = static_cast<std::uint64_t>(
             std::ceil(words / transpose_words_per_cycle / 2.0));
-        result.transpose_cycles += op_transpose;
+        total_transpose += op_transpose;
       }
       // Data movement for the op's working set through the local scratchpads
       // is covered by the per-lane operand fetch modeled inside the Meta-OP
@@ -97,15 +113,68 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
       level_core_cycles += op_core_cycles;
       level_transpose += op_transpose;
       level_hbm_bytes += static_cast<double>(op.hbm_bytes);
-      class_wall[static_cast<std::size_t>(cls)] +=
-          (op_core_cycles + cores - 1) / cores + op_transpose;
+      const std::uint64_t op_wall = (op_core_cycles + cores - 1) / cores + op_transpose;
+      class_wall[static_cast<std::size_t>(cls)] += op_wall;
       class_busy_lanes[static_cast<std::size_t>(cls)] += op_busy;
       total_busy_lane_cycles += op_busy;
-      result.total_mults += stream.mult_count();
-      (void)word_bytes;
+      const std::uint64_t op_mults = stream.mult_count();
+      reg.add(metrics::kMults, op_mults, {{"lazy", "true"}});
+      reg.add(metrics::kOps, 1);
+      reg.add(metrics::kOps, 1, {{"class", tag}});
+      reg.add(metrics::kMetaOps, stream.meta_op_count());
+      reg.add(metrics::kHbmBytes, op.hbm_bytes);
+      reg.add(metrics::kBusyLaneCycles, op_busy);
+
+      if (trace) {
+        const double dur =
+            static_cast<double>(op_core_cycles) / static_cast<double>(cores) +
+            static_cast<double>(op_transpose);
+        obs::TraceEvent ev;
+        ev.name = std::string(to_string(op.kind)) + "#" + std::to_string(idx);
+        ev.cat = tag;
+        ev.ts = cursor;
+        ev.dur = dur;
+        ev.tid = rows[static_cast<std::size_t>(cls)].reserve(cursor, cursor + dur);
+        ev.num_args = {
+            {"level", static_cast<double>(level_idx)},
+            {"core_cycles", static_cast<double>(op_core_cycles)},
+            {"cores", static_cast<double>(cores)},
+            {"metaop_batches", static_cast<double>(stream.batches.size())},
+            {"meta_ops", static_cast<double>(stream.meta_op_count())},
+            {"hbm_bytes", static_cast<double>(op.hbm_bytes)},
+            {"transpose_cycles", static_cast<double>(op_transpose)},
+            {"mults", static_cast<double>(op_mults)},
+        };
+        timeline->record(std::move(ev));
+        if (op_transpose > 0) {
+          obs::TraceEvent tr;
+          tr.name = "transpose#" + std::to_string(idx);
+          tr.cat = "transpose";
+          tr.tid = kTransposeTid;
+          tr.ts = cursor + static_cast<double>(op_core_cycles) /
+                               static_cast<double>(cores);
+          tr.dur = static_cast<double>(op_transpose);
+          tr.num_args = {{"words_per_cycle", transpose_words_per_cycle}};
+          timeline->record(std::move(tr));
+        }
+        cursor += dur;
+      }
     }
-    total_cycles +=
+    const std::uint64_t level_wall =
         (level_core_cycles + cores - 1) / cores + level_transpose;
+    if (trace && !level.empty()) {
+      obs::TraceEvent lv;
+      lv.name = "level " + std::to_string(level_idx);
+      lv.cat = "scheduler";
+      lv.tid = kSchedulerTid;
+      lv.ts = static_cast<double>(total_cycles);
+      lv.dur = static_cast<double>(level_wall);
+      lv.num_args = {{"ops", static_cast<double>(level.size())},
+                     {"core_cycles", static_cast<double>(level_core_cycles)},
+                     {"hbm_bytes", level_hbm_bytes}};
+      timeline->record(std::move(lv));
+    }
+    total_cycles += level_wall;
     total_hbm_bytes += level_hbm_bytes;
   }
 
@@ -114,25 +183,60 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
   // overlaps *globally* with compute; only the excess stalls.
   const std::uint64_t hbm_cycles =
       static_cast<std::uint64_t>(std::ceil(total_hbm_bytes / hbm_bpc));
+  std::uint64_t stall_cycles = 0;
   if (hbm_cycles > total_cycles) {
-    result.mem_stall_cycles = hbm_cycles - total_cycles;
+    stall_cycles = hbm_cycles - total_cycles;
     total_cycles = hbm_cycles;
   }
-
-  result.cycles = total_cycles;
-  result.time_us = static_cast<double>(total_cycles) / (config.freq_ghz * 1e3);
-  const double peak = static_cast<double>(config.peak_lanes());
-  result.utilization =
-      total_cycles == 0
-          ? 0.0
-          : static_cast<double>(total_busy_lane_cycles) / (peak * total_cycles);
-  for (std::size_t c = 0; c < 4; ++c) {
-    result.cycles_by_class[c] = class_wall[c];
-    result.util_by_class[c] =
-        class_wall[c] == 0
-            ? 0.0
-            : static_cast<double>(class_busy_lanes[c]) / (peak * class_wall[c]);
+  if (trace) {
+    if (total_hbm_bytes > 0) {
+      obs::TraceEvent hb;
+      hb.name = "evk stream";
+      hb.cat = "hbm";
+      hb.tid = kHbmTid;
+      hb.ts = 0;
+      hb.dur = static_cast<double>(hbm_cycles);
+      hb.num_args = {{"bytes", total_hbm_bytes},
+                     {"bytes_per_cycle", hbm_bpc}};
+      timeline->record(std::move(hb));
+    }
+    if (stall_cycles > 0) {
+      obs::TraceEvent st;
+      st.name = "hbm stall";
+      st.cat = "stall";
+      st.tid = kSchedulerTid;
+      st.ts = static_cast<double>(total_cycles - stall_cycles);
+      st.dur = static_cast<double>(stall_cycles);
+      st.num_args = {{"cycles", static_cast<double>(stall_cycles)}};
+      timeline->record(std::move(st));
+    }
   }
+
+  // Totals and derived rates into the registry; finalize() projects them onto
+  // the legacy aggregate fields.
+  reg.add(metrics::kCycles, total_cycles);
+  reg.add(metrics::kStall, stall_cycles, {{"cause", "hbm"}});
+  reg.add(metrics::kTransposeCycles, total_transpose);
+  const double time_us = static_cast<double>(total_cycles) / (config.freq_ghz * 1e3);
+  reg.set_gauge(metrics::kTimeUs, time_us);
+  const double peak = static_cast<double>(config.peak_lanes());
+  reg.set_gauge(metrics::kUtilization,
+                total_cycles == 0
+                    ? 0.0
+                    : static_cast<double>(total_busy_lane_cycles) /
+                          (peak * static_cast<double>(total_cycles)));
+  for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+    const char* tag = class_tag(static_cast<OpClass>(c));
+    reg.add(metrics::kCycles, class_wall[c], {{"class", tag}});
+    reg.add(metrics::kBusyLaneCycles, class_busy_lanes[c], {{"class", tag}});
+    reg.set_gauge(metrics::kUtilization,
+                  class_wall[c] == 0
+                      ? 0.0
+                      : static_cast<double>(class_busy_lanes[c]) /
+                            (peak * static_cast<double>(class_wall[c])),
+                  {{"class", tag}});
+  }
+  result.finalize();
   return result;
 }
 

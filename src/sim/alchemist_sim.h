@@ -12,15 +12,23 @@
 //    between the two NTT phases.
 //  * Off-chip traffic (evk streaming) is double-buffered against compute:
 //    a level's wall time is max(compute, HBM); the excess is a memory stall.
+//
+// Telemetry: when `config.telemetry` is set and a Timeline sink is passed,
+// the simulator records one Chrome-trace slice per op (on its operator
+// class's unit-group track), per-op HBM streaming slices, transpose slices
+// and per-level scheduler frames. Recording never changes the accounting —
+// the returned SimResult is bit-identical with telemetry on or off.
 #pragma once
 
 #include "arch/config.h"
 #include "metaop/op_graph.h"
+#include "obs/timeline.h"
 #include "sim/result.h"
 
 namespace alchemist::sim {
 
 SimResult simulate_alchemist(const metaop::OpGraph& graph,
-                             const arch::ArchConfig& config);
+                             const arch::ArchConfig& config,
+                             obs::Timeline* timeline = nullptr);
 
 }  // namespace alchemist::sim

@@ -1,6 +1,7 @@
 #include "sim/baseline_sim.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -12,7 +13,10 @@ namespace alchemist::sim {
 
 namespace {
 
+using metaop::class_of;
+using metaop::class_tag;
 using metaop::HighOp;
+using metaop::kNumOpClasses;
 using metaop::OpClass;
 using metaop::OpGraph;
 using metaop::OpKind;
@@ -24,16 +28,6 @@ int engine_of(OpKind kind) {
     case OpKind::Intt: return 0;
     case OpKind::Bconv: return 1;
     default: return 2;  // DecompPolyMult and elementwise run on the MAC engine
-  }
-}
-
-OpClass class_of(OpKind kind) {
-  switch (kind) {
-    case OpKind::Ntt:
-    case OpKind::Intt: return OpClass::Ntt;
-    case OpKind::Bconv: return OpClass::Bconv;
-    case OpKind::DecompPolyMult: return OpClass::DecompPolyMult;
-    default: return OpClass::Elementwise;
   }
 }
 
@@ -58,6 +52,7 @@ SimResult simulate_modular(const OpGraph& graph, const arch::AcceleratorSpec& sp
   SimResult result;
   result.workload = graph.name;
   result.accelerator = spec.name;
+  obs::Registry& reg = result.registry;
 
   const double engine_peaks[3] = {
       spec.peak_mults_per_cycle * spec.fu_ntt_frac,
@@ -71,7 +66,7 @@ SimResult simulate_modular(const OpGraph& graph, const arch::AcceleratorSpec& sp
 
   double total_hbm_bytes = 0;
   double engine_mults[3] = {0, 0, 0};
-  std::array<double, 4> class_mult_totals = {0, 0, 0, 0};
+  std::array<double, kNumOpClasses> class_mult_totals{};
   double total_mults = 0;
 
   for (const auto& level : asap_levels(graph)) {
@@ -88,7 +83,10 @@ SimResult simulate_modular(const OpGraph& graph, const arch::AcceleratorSpec& sp
       class_mult_totals[static_cast<std::size_t>(class_of(op.kind))] +=
           static_cast<double>(mults);
       total_hbm_bytes += static_cast<double>(op.hbm_bytes);
-      result.total_mults += mults;
+      reg.add(metrics::kMults, mults, {{"lazy", "false"}});
+      reg.add(metrics::kOps, 1);
+      reg.add(metrics::kOps, 1, {{"class", class_tag(class_of(op.kind))}});
+      reg.add(metrics::kHbmBytes, op.hbm_bytes);
       total_mults += static_cast<double>(mults);
     }
   }
@@ -104,28 +102,34 @@ SimResult simulate_modular(const OpGraph& graph, const arch::AcceleratorSpec& sp
     }
   }
   const double hbm_cycles = total_hbm_bytes / hbm_bpc;
+  std::uint64_t stall_cycles = 0;
   if (hbm_cycles > total_cycles) {
-    result.mem_stall_cycles = static_cast<std::uint64_t>(hbm_cycles - total_cycles);
+    stall_cycles = static_cast<std::uint64_t>(hbm_cycles - total_cycles);
     total_cycles = hbm_cycles;
   }
 
-  result.cycles = static_cast<std::uint64_t>(std::ceil(total_cycles));
-  result.time_us = total_cycles / (spec.freq_ghz * 1e3);
-  result.utilization =
-      total_cycles == 0
-          ? 0.0
-          : total_mults / (spec.peak_mults_per_cycle * total_cycles);
+  reg.add(metrics::kCycles, static_cast<std::uint64_t>(std::ceil(total_cycles)));
+  reg.add(metrics::kStall, stall_cycles, {{"cause", "hbm"}});
+  reg.set_gauge(metrics::kTimeUs, total_cycles / (spec.freq_ghz * 1e3));
+  reg.set_gauge(metrics::kUtilization,
+                total_cycles == 0
+                    ? 0.0
+                    : total_mults / (spec.peak_mults_per_cycle * total_cycles));
   // Per-class engine utilization over the whole run — the same quantity the
   // paper quotes for SHARP's NTTU / BconvU / element-wise engine.
-  const double class_engine_peak[4] = {engine_peaks[0], engine_peaks[1],
-                                       engine_peaks[2], engine_peaks[2]};
-  for (std::size_t c = 0; c < 4; ++c) {
-    result.cycles_by_class[c] = static_cast<std::uint64_t>(total_cycles);
-    result.util_by_class[c] =
-        total_cycles == 0 || class_engine_peak[c] == 0
-            ? 0.0
-            : class_mult_totals[c] / (class_engine_peak[c] * total_cycles);
+  const std::array<double, kNumOpClasses> class_engine_peak = {
+      engine_peaks[0], engine_peaks[1], engine_peaks[2], engine_peaks[2]};
+  for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+    const char* tag = class_tag(static_cast<OpClass>(c));
+    reg.add(metrics::kCycles, static_cast<std::uint64_t>(total_cycles),
+            {{"class", tag}});
+    reg.set_gauge(metrics::kUtilization,
+                  total_cycles == 0 || class_engine_peak[c] == 0
+                      ? 0.0
+                      : class_mult_totals[c] / (class_engine_peak[c] * total_cycles),
+                  {{"class", tag}});
   }
+  result.finalize();
   return result;
 }
 

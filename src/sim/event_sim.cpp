@@ -1,33 +1,29 @@
 #include "sim/event_sim.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "metaop/lowering.h"
+#include "sim/telemetry.h"
 
 namespace alchemist::sim {
 
 namespace {
 
+using metaop::class_of;
+using metaop::class_tag;
 using metaop::HighOp;
+using metaop::kNumOpClasses;
 using metaop::MetaOpBatch;
 using metaop::MetaOpStream;
 using metaop::OpClass;
 using metaop::OpGraph;
 using metaop::OpKind;
-
-OpClass class_of(OpKind kind) {
-  switch (kind) {
-    case OpKind::Ntt:
-    case OpKind::Intt: return OpClass::Ntt;
-    case OpKind::Bconv: return OpClass::Bconv;
-    case OpKind::DecompPolyMult: return OpClass::DecompPolyMult;
-    default: return OpClass::Elementwise;
-  }
-}
 
 struct OpState {
   double work = 0;        // core-cycles of Meta-OP work (incl. transpose)
@@ -38,22 +34,35 @@ struct OpState {
   std::vector<std::size_t> dependents;
   bool running = false;
   bool done = false;
+  // Telemetry only (never read by the accounting below).
+  double start_time = 0;
+  double compute_done_time = 0;
 };
 
 }  // namespace
 
 SimResult simulate_alchemist_events(const OpGraph& graph,
-                                    const arch::ArchConfig& config) {
+                                    const arch::ArchConfig& config,
+                                    obs::Timeline* timeline) {
   SimResult result;
   result.workload = graph.name;
   result.accelerator = "Alchemist(event)";
+  obs::Registry& reg = result.registry;
   if (graph.ops.empty()) return result;
+
+  const bool trace = config.telemetry && timeline != nullptr && timeline->enabled();
+  if (trace) {
+    timeline->set_process_name("alchemist-sim(event)");
+    name_fixed_tracks(*timeline);
+  }
 
   const double cores = static_cast<double>(config.total_cores());
   const double hbm_bpc = config.hbm_bytes_per_cycle();
   const double transpose_words_per_cycle =
       static_cast<double>(config.num_units * config.lanes);
 
+  std::uint64_t total_transpose = 0;
+  std::array<double, kNumOpClasses> class_busy_total{};
   std::vector<OpState> state(graph.ops.size());
   for (std::size_t i = 0; i < graph.ops.size(); ++i) {
     const HighOp& op = graph.ops[i];
@@ -69,7 +78,7 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
                            static_cast<double>(std::max<std::size_t>(op.channels, 1));
       // Serialized half of the transpose, expressed as extra machine work.
       s.work += words / transpose_words_per_cycle / 2.0 * cores;
-      result.transpose_cycles += static_cast<std::uint64_t>(
+      total_transpose += static_cast<std::uint64_t>(
           words / transpose_words_per_cycle / 2.0);
     }
     s.unmet_deps = op.deps.size();
@@ -77,7 +86,14 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
       if (dep >= i) throw std::invalid_argument("event sim: deps must point backwards");
       state[dep].dependents.push_back(i);
     }
-    result.total_mults += stream.mult_count();
+    class_busy_total[static_cast<std::size_t>(s.cls)] += s.busy_lanes;
+    reg.add(metrics::kMults, stream.mult_count(), {{"lazy", "true"}});
+    reg.add(metrics::kOps, 1);
+    reg.add(metrics::kOps, 1, {{"class", class_tag(s.cls)}});
+    reg.add(metrics::kMetaOps, stream.meta_op_count());
+    reg.add(metrics::kHbmBytes, op.hbm_bytes);
+    reg.add(metrics::kBusyLaneCycles,
+            static_cast<std::uint64_t>(s.busy_lanes));
   }
 
   // Key prefetching: the scheduler knows the op stream in advance, so HBM
@@ -85,8 +101,21 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
   // once its cumulative key traffic has landed.
   double bytes_prefix = 0;
   for (std::size_t i = 0; i < graph.ops.size(); ++i) {
+    const double start_cycle = bytes_prefix / hbm_bpc;
     bytes_prefix += static_cast<double>(graph.ops[i].hbm_bytes);
     state[i].hbm_ready = bytes_prefix / hbm_bpc;
+    if (trace && graph.ops[i].hbm_bytes > 0) {
+      obs::TraceEvent hb;
+      hb.name = std::string("keys ") + to_string(graph.ops[i].kind) + "#" +
+                std::to_string(i);
+      hb.cat = "hbm";
+      hb.tid = kHbmTid;
+      hb.ts = start_cycle;
+      hb.dur = state[i].hbm_ready - start_cycle;
+      hb.num_args = {{"bytes", static_cast<double>(graph.ops[i].hbm_bytes)},
+                     {"bytes_per_cycle", hbm_bpc}};
+      timeline->record(std::move(hb));
+    }
   }
 
   std::vector<std::size_t> running;
@@ -97,8 +126,17 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
     }
   }
 
+  std::vector<ClassTrackRows> rows;
+  if (trace) {
+    for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+      rows.emplace_back(*timeline, static_cast<OpClass>(c));
+    }
+  }
+
   double now = 0;
   double busy_integral = 0;  // lane-cycles actually delivered
+  double stall_integral = 0; // time with live ops but zero runnable compute
+  std::array<double, kNumOpClasses> class_active{};  // per-class busy wall
   std::size_t completed = 0;
   while (!running.empty()) {
     // Work-conserving equal share of the cores among live compute demands.
@@ -116,6 +154,18 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
     }
     if (!(dt > 0) || !std::isfinite(dt)) dt = 1.0;  // zero-work ops finish now
 
+    if (compute_live == 0) stall_integral += dt;
+    // Per-class active wall time: classes with live work this interval.
+    {
+      std::array<bool, kNumOpClasses> live{};
+      for (std::size_t idx : running) {
+        if (state[idx].work > 0) live[static_cast<std::size_t>(state[idx].cls)] = true;
+      }
+      for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+        if (live[c]) class_active[c] += dt;
+      }
+    }
+
     // Advance time and drain work.
     now += dt;
     std::vector<std::size_t> still_running;
@@ -127,13 +177,33 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
         s.busy_lanes -= delivered / std::max(s.work, 1e-9) * s.busy_lanes;
         s.work -= delivered;
         if (s.work < 1e-9) s.work = 0;
+        if (s.work == 0) s.compute_done_time = now;
       }
       if (s.work == 0 && now + 1e-9 >= s.hbm_ready) {
         s.done = true;
         ++completed;
+        if (trace) {
+          const HighOp& op = graph.ops[idx];
+          obs::TraceEvent ev;
+          ev.name = std::string(to_string(op.kind)) + "#" + std::to_string(idx);
+          ev.cat = class_tag(s.cls);
+          ev.ts = s.start_time;
+          ev.dur = now - s.start_time;
+          ev.tid = rows[static_cast<std::size_t>(s.cls)].reserve(s.start_time, now);
+          ev.num_args = {
+              {"ready_cycle", s.start_time},
+              {"end_cycle", now},
+              {"hbm_ready_cycle", s.hbm_ready},
+              {"hbm_wait_cycles",
+               std::max(0.0, now - std::max(s.compute_done_time, s.start_time))},
+              {"hbm_bytes", static_cast<double>(op.hbm_bytes)},
+          };
+          timeline->record(std::move(ev));
+        }
         for (std::size_t dep : s.dependents) {
           if (--state[dep].unmet_deps == 0) {
             state[dep].running = true;
+            state[dep].start_time = now;
             still_running.push_back(dep);
           }
         }
@@ -147,10 +217,26 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
     throw std::logic_error("event sim: dependency cycle or unreachable ops");
   }
 
-  result.cycles = static_cast<std::uint64_t>(std::ceil(now));
-  result.time_us = now / (config.freq_ghz * 1e3);
-  result.utilization =
-      now > 0 ? busy_integral / (static_cast<double>(config.peak_lanes()) * now) : 0;
+  const std::uint64_t total_cycles = static_cast<std::uint64_t>(std::ceil(now));
+  reg.add(metrics::kCycles, total_cycles);
+  reg.add(metrics::kStall, static_cast<std::uint64_t>(std::ceil(stall_integral)),
+          {{"cause", "hbm"}});
+  reg.add(metrics::kTransposeCycles, total_transpose);
+  reg.set_gauge(metrics::kTimeUs, now / (config.freq_ghz * 1e3));
+  const double peak = static_cast<double>(config.peak_lanes());
+  reg.set_gauge(metrics::kUtilization, now > 0 ? busy_integral / (peak * now) : 0);
+  for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+    const char* tag = class_tag(static_cast<OpClass>(c));
+    reg.add(metrics::kCycles,
+            static_cast<std::uint64_t>(std::ceil(class_active[c])),
+            {{"class", tag}});
+    reg.set_gauge(metrics::kUtilization,
+                  class_active[c] > 0
+                      ? class_busy_total[c] / (peak * class_active[c])
+                      : 0.0,
+                  {{"class", tag}});
+  }
+  result.finalize();
   return result;
 }
 

@@ -10,16 +10,23 @@
 // Because the event model removes the level barriers, its cycle count is a
 // lower bound on the analytical model's; tests pin the two within a small
 // factor and above the absolute lower bound (work/cores, bytes/bandwidth).
+//
+// Telemetry: with `config.telemetry` set and a Timeline sink passed, each op
+// is recorded with its *actual* ready/start/end times on its operator class's
+// unit-group tracks, plus per-op HBM key-streaming slices — recording never
+// perturbs the reported SimResult.
 #pragma once
 
 #include "arch/config.h"
 #include "metaop/op_graph.h"
+#include "obs/timeline.h"
 #include "sim/result.h"
 
 namespace alchemist::sim {
 
 SimResult simulate_alchemist_events(const metaop::OpGraph& graph,
-                                    const arch::ArchConfig& config);
+                                    const arch::ArchConfig& config,
+                                    obs::Timeline* timeline = nullptr);
 
 // Time-sharing scheduler (§5.4): interleave independent operation streams
 // into one graph so compute of one stream overlaps key streaming of another.

@@ -1,0 +1,69 @@
+// Shared telemetry plumbing for the two Alchemist simulators: the Chrome
+// trace track layout and a row allocator that keeps concurrent slices from
+// overlapping on one track (Perfetto renders properly-nested slices only, so
+// each operator class gets a small family of rows, filled first-fit).
+//
+// Track id space:
+//   class c, row r  ->  tid = c * kRowsPerClass + r   ("ntt/0", "bconv/1", ...)
+//   HBM channel     ->  kHbmTid                        ("hbm")
+//   transpose RF    ->  kTransposeTid                  ("transpose")
+//   scheduler       ->  kSchedulerTid                  ("scheduler") — level
+//                       frames of the analytical model, stall frames
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metaop/metaop.h"
+#include "obs/timeline.h"
+
+namespace alchemist::sim {
+
+inline constexpr std::uint32_t kRowsPerClass = 64;
+inline constexpr std::uint32_t kHbmTid =
+    static_cast<std::uint32_t>(metaop::kNumOpClasses) * kRowsPerClass;
+inline constexpr std::uint32_t kTransposeTid = kHbmTid + 1;
+inline constexpr std::uint32_t kSchedulerTid = kHbmTid + 2;
+
+inline void name_fixed_tracks(obs::Timeline& timeline) {
+  timeline.set_track_name(kHbmTid, "hbm");
+  timeline.set_track_name(kTransposeTid, "transpose");
+  timeline.set_track_name(kSchedulerTid, "scheduler");
+}
+
+// First-fit row allocation for one operator class's unit-group track family.
+class ClassTrackRows {
+ public:
+  ClassTrackRows(obs::Timeline& timeline, metaop::OpClass cls)
+      : timeline_(timeline), cls_(cls) {}
+
+  // Reserve a row covering [start, end); returns its tid.
+  std::uint32_t reserve(double start, double end) {
+    std::size_t row = 0;
+    while (row < row_end_.size() && row_end_[row] > start + 1e-9) ++row;
+    if (row == row_end_.size()) {
+      if (row_end_.size() < kRowsPerClass) {
+        row_end_.push_back(0);
+        timeline_.set_track_name(tid(row), std::string(metaop::class_tag(cls_)) +
+                                               "/" + std::to_string(row));
+      } else {
+        row = kRowsPerClass - 1;  // saturate: stack on the last row
+      }
+    }
+    row_end_[row] = std::max(row_end_[row], end);
+    return tid(row);
+  }
+
+ private:
+  std::uint32_t tid(std::size_t row) const {
+    return static_cast<std::uint32_t>(cls_) * kRowsPerClass +
+           static_cast<std::uint32_t>(row);
+  }
+  obs::Timeline& timeline_;
+  metaop::OpClass cls_;
+  std::vector<double> row_end_;
+};
+
+}  // namespace alchemist::sim

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "metaop/lowering.h"
 #include "sim/alchemist_sim.h"
 #include "sim/event_sim.h"
@@ -116,6 +118,54 @@ TEST(EventSim, MergeGraphsShiftsDependencies) {
   EXPECT_TRUE(merged.ops[1].deps.empty());
   EXPECT_EQ(merged.ops[2].kind, OpKind::PointwiseAdd);
   EXPECT_EQ(merged.ops[2].deps, (std::vector<std::size_t>{0}));
+}
+
+TEST(EventSim, MergeGraphsPreservesStructure) {
+  // §5.4 time-sharing: direct structural checks on merge_graphs. Streams are
+  // distinguished by polynomial length so dependency edges can be verified to
+  // stay intra-stream after interleaving.
+  OpGraph a, b;
+  a.name = "A";
+  std::size_t prev = a.add(make_op(OpKind::PointwiseMult, 1024, 1));
+  for (int i = 0; i < 4; ++i) {
+    prev = a.add(make_op(OpKind::PointwiseAdd, 1024, 1, {prev}));
+  }
+  b.name = "B";
+  const std::size_t b0 = b.add(make_op(OpKind::Ntt, 2048, 1));
+  const std::size_t b1 = b.add(make_op(OpKind::PointwiseMult, 2048, 1, {b0}));
+  b.add(make_op(OpKind::Intt, 2048, 1, {b1}));
+
+  const OpGraph merged = merge_graphs({a, b}, "merged");
+
+  // Node counts are preserved, per stream and in total.
+  ASSERT_EQ(merged.ops.size(), a.ops.size() + b.ops.size());
+  std::size_t from_a = 0, from_b = 0;
+  for (const HighOp& op : merged.ops) {
+    (op.n == 1024 ? from_a : from_b)++;
+  }
+  EXPECT_EQ(from_a, a.ops.size());
+  EXPECT_EQ(from_b, b.ops.size());
+
+  // Dependencies point backwards and never cross streams.
+  for (std::size_t i = 0; i < merged.ops.size(); ++i) {
+    for (std::size_t dep : merged.ops[i].deps) {
+      ASSERT_LT(dep, i);
+      EXPECT_EQ(merged.ops[dep].n, merged.ops[i].n)
+          << "dependency crossed streams at op " << i;
+    }
+  }
+  // Each stream keeps its internal schedule order (chain lengths survive).
+  std::vector<std::size_t> a_positions;
+  for (std::size_t i = 0; i < merged.ops.size(); ++i) {
+    if (merged.ops[i].n == 1024) a_positions.push_back(i);
+  }
+  EXPECT_TRUE(std::is_sorted(a_positions.begin(), a_positions.end()));
+
+  // Interleaved execution is never slower than running the parts end to end.
+  const auto cfg = arch::ArchConfig::alchemist();
+  const std::uint64_t sum = simulate_alchemist_events(a, cfg).cycles +
+                            simulate_alchemist_events(b, cfg).cycles;
+  EXPECT_LE(simulate_alchemist_events(merged, cfg).cycles, sum);
 }
 
 TEST(EventSim, TimeSharingOverlapsComputeWithKeyStreaming) {

@@ -1,0 +1,287 @@
+// Observability-layer tests: counter registry semantics, Chrome trace export
+// schema, metrics report schema, and the observer-effect-zero guarantee
+// (telemetry on/off yields bit-identical SimResults).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/config.h"
+#include "obs/registry.h"
+#include "obs/report.h"
+#include "obs/timeline.h"
+#include "sim/alchemist_sim.h"
+#include "sim/event_sim.h"
+#include "workloads/ckks_workloads.h"
+
+namespace alchemist {
+namespace {
+
+using metaop::HighOp;
+using metaop::OpGraph;
+using metaop::OpKind;
+
+HighOp make_op(OpKind kind, std::size_t n, std::size_t channels,
+               std::vector<std::size_t> deps = {}, std::uint64_t hbm = 0) {
+  HighOp op;
+  op.kind = kind;
+  op.n = n;
+  op.channels = channels;
+  op.deps = std::move(deps);
+  op.hbm_bytes = hbm;
+  return op;
+}
+
+// The tiny fixed graph used by the trace-schema tests: an NTT feeding a
+// pointwise multiply, with some key traffic.
+OpGraph tiny_graph() {
+  OpGraph g;
+  g.name = "tiny";
+  const std::size_t a = g.add(make_op(OpKind::Ntt, 16384, 2));
+  g.add(make_op(OpKind::PointwiseMult, 16384, 2, {a}, /*hbm=*/1 << 20));
+  return g;
+}
+
+// --- Registry -------------------------------------------------------------
+
+TEST(ObsRegistry, CanonicalKeysAndAccumulation) {
+  obs::Registry reg;
+  reg.add("sim.cycles", 10);
+  reg.add("sim.cycles", 5);
+  EXPECT_EQ(reg.counter("sim.cycles"), 15u);
+
+  // Tag order at the call site doesn't matter: keys canonicalize sorted.
+  reg.add("sim.stall", 7, {{"cause", "hbm"}, {"level", "3"}});
+  reg.add("sim.stall", 1, {{"level", "3"}, {"cause", "hbm"}});
+  EXPECT_EQ(reg.counter("sim.stall", {{"cause", "hbm"}, {"level", "3"}}), 8u);
+  EXPECT_EQ(reg.counter_by_key("sim.stall{cause=hbm,level=3}"), 8u);
+
+  // Absent metrics read as zero.
+  EXPECT_EQ(reg.counter("sim.nothing"), 0u);
+  EXPECT_EQ(reg.gauge("sim.nothing"), 0.0);
+
+  reg.set_gauge("sim.utilization", 0.5);
+  reg.set_gauge("sim.utilization", 0.75);  // last write wins
+  EXPECT_EQ(reg.gauge("sim.utilization"), 0.75);
+}
+
+TEST(ObsRegistry, MergeAndTagTotals) {
+  obs::Registry a, b;
+  a.add("sim.cycles", 100, {{"class", "ntt"}});
+  b.add("sim.cycles", 50, {{"class", "ntt"}});
+  b.add("sim.cycles", 30, {{"class", "bconv"}});
+  b.set_gauge("sim.time_us", 1.5);
+  a.merge(b);
+  EXPECT_EQ(a.counter("sim.cycles", {{"class", "ntt"}}), 150u);
+  EXPECT_EQ(a.counter("sim.cycles", {{"class", "bconv"}}), 30u);
+  EXPECT_EQ(a.gauge("sim.time_us"), 1.5);
+  EXPECT_EQ(a.total_over_tags("sim.cycles{class="), 180u);
+}
+
+// --- Trace schema ---------------------------------------------------------
+
+// Minimal structural JSON scan: quotes/braces/brackets balance outside
+// strings. Enough to catch malformed emission without a JSON dependency.
+void expect_balanced_json(const std::string& s) {
+  int depth_obj = 0, depth_arr = 0;
+  bool in_string = false, escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) escaped = false;
+      else if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++depth_obj; break;
+      case '}': --depth_obj; break;
+      case '[': ++depth_arr; break;
+      case ']': --depth_arr; break;
+      default: break;
+    }
+    ASSERT_GE(depth_obj, 0);
+    ASSERT_GE(depth_arr, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth_obj, 0);
+  EXPECT_EQ(depth_arr, 0);
+}
+
+// Extract the values following every `"key":` occurrence (numbers only).
+std::vector<double> scan_numeric_field(const std::string& json,
+                                       const std::string& key) {
+  std::vector<double> out;
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    out.push_back(std::stod(json.substr(pos)));
+  }
+  return out;
+}
+
+TEST(ObsTrace, LevelSimEmitsSchemaValidChromeTrace) {
+  arch::ArchConfig cfg = arch::ArchConfig::alchemist();
+  cfg.telemetry = true;
+  obs::Timeline timeline;
+  const auto r = sim::simulate_alchemist(tiny_graph(), cfg, &timeline);
+  ASSERT_FALSE(timeline.events().empty());
+
+  const std::string json = timeline.chrome_trace_json();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Only metadata (M) and complete (X) events — no unmatched B/E pairs.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"E\""), std::string::npos);
+  // The two ops, the transpose and the HBM stream all appear.
+  EXPECT_NE(json.find("\"name\":\"NTT#0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"PointwiseMult#1\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"transpose\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"hbm\""), std::string::npos);
+
+  // Timestamps are emitted sorted and non-negative; durations non-negative.
+  const auto ts = scan_numeric_field(json, "ts");
+  ASSERT_FALSE(ts.empty());
+  for (std::size_t i = 1; i < ts.size(); ++i) EXPECT_LE(ts[i - 1], ts[i]);
+  for (double t : ts) EXPECT_GE(t, 0.0);
+  for (double d : scan_numeric_field(json, "dur")) EXPECT_GE(d, 0.0);
+
+  // Trace is consistent with the aggregate result: the last slice ends at or
+  // before the reported cycle count.
+  double max_end = 0;
+  for (const auto& ev : timeline.events()) {
+    max_end = std::max(max_end, ev.ts + ev.dur);
+  }
+  EXPECT_LE(max_end, static_cast<double>(r.cycles) + 1.0);
+}
+
+TEST(ObsTrace, EventSimEmitsPerOpSlices) {
+  arch::ArchConfig cfg = arch::ArchConfig::alchemist();
+  cfg.telemetry = true;
+  obs::Timeline timeline;
+  const OpGraph g = tiny_graph();
+  const auto r = sim::simulate_alchemist_events(g, cfg, &timeline);
+
+  // One compute slice per op plus one HBM slice for the keyed op.
+  std::size_t compute = 0, hbm = 0;
+  for (const auto& ev : timeline.events()) {
+    if (ev.cat == "hbm") ++hbm;
+    else ++compute;
+    EXPECT_GE(ev.dur, 0.0);
+    EXPECT_LE(ev.ts + ev.dur, static_cast<double>(r.cycles) + 1.0);
+  }
+  EXPECT_EQ(compute, g.ops.size());
+  EXPECT_EQ(hbm, 1u);
+  expect_balanced_json(timeline.chrome_trace_json());
+}
+
+TEST(ObsTrace, DisabledTelemetryRecordsNothing) {
+  arch::ArchConfig cfg = arch::ArchConfig::alchemist();  // telemetry = false
+  obs::Timeline timeline;
+  sim::simulate_alchemist(tiny_graph(), cfg, &timeline);
+  sim::simulate_alchemist_events(tiny_graph(), cfg, &timeline);
+  EXPECT_TRUE(timeline.events().empty());
+
+  // A disabled sink also drops records even if the config enables telemetry.
+  cfg.telemetry = true;
+  obs::Timeline off(/*enabled=*/false);
+  sim::simulate_alchemist(tiny_graph(), cfg, &off);
+  EXPECT_TRUE(off.events().empty());
+}
+
+// --- Observer effect = 0 --------------------------------------------------
+
+void expect_identical_results(const sim::SimResult& a, const sim::SimResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.time_us, b.time_us);  // bit-identical doubles, not NEAR
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.mem_stall_cycles, b.mem_stall_cycles);
+  EXPECT_EQ(a.transpose_cycles, b.transpose_cycles);
+  EXPECT_EQ(a.total_mults, b.total_mults);
+  for (std::size_t c = 0; c < metaop::kNumOpClasses; ++c) {
+    EXPECT_EQ(a.util_by_class[c], b.util_by_class[c]);
+    EXPECT_EQ(a.cycles_by_class[c], b.cycles_by_class[c]);
+  }
+  EXPECT_EQ(a.registry.counters(), b.registry.counters());
+  EXPECT_EQ(a.registry.gauges(), b.registry.gauges());
+}
+
+TEST(ObsObserverEffect, TelemetryDoesNotPerturbLevelSim) {
+  const workloads::CkksWl w = workloads::CkksWl::paper(44);
+  const OpGraph g = workloads::build_keyswitch(w);
+  arch::ArchConfig off = arch::ArchConfig::alchemist();
+  arch::ArchConfig on = off;
+  on.telemetry = true;
+  obs::Timeline timeline;
+  const auto r_off = sim::simulate_alchemist(g, off);
+  const auto r_on = sim::simulate_alchemist(g, on, &timeline);
+  EXPECT_FALSE(timeline.events().empty());
+  expect_identical_results(r_off, r_on);
+}
+
+TEST(ObsObserverEffect, TelemetryDoesNotPerturbEventSim) {
+  const workloads::CkksWl w = workloads::CkksWl::paper(24);
+  const OpGraph g = workloads::build_cmult(w);
+  arch::ArchConfig off = arch::ArchConfig::alchemist();
+  arch::ArchConfig on = off;
+  on.telemetry = true;
+  obs::Timeline timeline;
+  const auto r_off = sim::simulate_alchemist_events(g, off);
+  const auto r_on = sim::simulate_alchemist_events(g, on, &timeline);
+  EXPECT_FALSE(timeline.events().empty());
+  expect_identical_results(r_off, r_on);
+}
+
+// --- SimResult-on-registry ------------------------------------------------
+
+TEST(ObsResult, AggregateFieldsMatchRegistry) {
+  const workloads::CkksWl w = workloads::CkksWl::paper(44);
+  const auto r = sim::simulate_alchemist(workloads::build_keyswitch(w),
+                                         arch::ArchConfig::alchemist());
+  using sim::metrics::kCycles;
+  EXPECT_EQ(r.cycles, r.registry.counter(kCycles));
+  EXPECT_EQ(r.mem_stall_cycles, r.registry.counter("sim.stall", {{"cause", "hbm"}}));
+  EXPECT_EQ(r.total_mults, r.registry.counter("sim.mults", {{"lazy", "true"}}));
+  EXPECT_EQ(r.time_us, r.registry.gauge("sim.time_us"));
+  // Per-class wall cycles land under sim.cycles{class=...} and sum over the
+  // classes derived from the (single-source-of-truth) OpClass enum.
+  std::uint64_t class_sum = 0;
+  for (std::size_t c = 0; c < metaop::kNumOpClasses; ++c) {
+    class_sum += r.registry.counter(
+        kCycles, {{"class", metaop::class_tag(static_cast<metaop::OpClass>(c))}});
+  }
+  EXPECT_EQ(class_sum, r.registry.total_over_tags("sim.cycles{class="));
+  EXPECT_GT(class_sum, 0u);
+}
+
+// --- Metrics report -------------------------------------------------------
+
+TEST(ObsReport, StableSchemaAndContent) {
+  const workloads::CkksWl w = workloads::CkksWl::paper(24);
+  const auto r = sim::simulate_alchemist(workloads::build_cmult(w),
+                                         arch::ArchConfig::alchemist());
+  obs::MetricsReport report("test_obs");
+  report.add(r);
+  const std::string json = report.json();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"schema\": \"alchemist.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"tool\": \"test_obs\""), std::string::npos);
+  EXPECT_NE(json.find("\"workload\": \"Cmult\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim.cycles\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim.utilization\""), std::string::npos);
+  // Two identical adds produce two runs (reports never dedupe).
+  report.add(r);
+  EXPECT_EQ(report.runs().size(), 2u);
+}
+
+TEST(ObsReport, EmptyReportIsValidJson) {
+  obs::MetricsReport report("empty");
+  expect_balanced_json(report.json());
+  EXPECT_NE(report.json().find("\"runs\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alchemist

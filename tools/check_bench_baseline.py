@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare an alchemist.metrics.v1 report against the committed baseline.
+
+Usage:
+    tools/check_bench_baseline.py BASELINE.json CURRENT.json [--tolerance 0.05]
+
+Runs are matched by (workload, accelerator). Every counter present in the
+baseline must exist in the current report and stay within the relative
+tolerance (default 5%); `sim.cycles*` and `sim.stall*` counters are the
+regression gate the CI job exists for, but all shared counters are checked —
+a silent change in, say, sim.mults{lazy=true} is a model change that should
+show up in review. Counters only present in the current report are allowed
+(new telemetry is not a regression) but reported for information.
+
+Exit codes: 0 ok, 1 regression/missing data, 2 usage or unreadable input.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "alchemist.metrics.v1":
+        print(f"error: {path}: unexpected schema {doc.get('schema')!r}", file=sys.stderr)
+        sys.exit(2)
+    return {
+        (run["workload"], run["accelerator"]): run.get("counters", {})
+        for run in doc.get("runs", [])
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="max allowed relative drift per counter (default 0.05)")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    infos = []
+    for run_key, base_counters in sorted(baseline.items()):
+        label = f"{run_key[0]} [{run_key[1]}]"
+        cur_counters = current.get(run_key)
+        if cur_counters is None:
+            failures.append(f"{label}: run missing from current report")
+            continue
+        for key, base_value in sorted(base_counters.items()):
+            if key not in cur_counters:
+                failures.append(f"{label}: counter {key} missing")
+                continue
+            cur_value = cur_counters[key]
+            if base_value == 0:
+                if cur_value != 0:
+                    failures.append(f"{label}: {key} was 0, now {cur_value}")
+                continue
+            drift = (cur_value - base_value) / base_value
+            if abs(drift) > args.tolerance:
+                failures.append(
+                    f"{label}: {key} drifted {drift:+.1%} "
+                    f"({base_value} -> {cur_value}, tolerance {args.tolerance:.0%})")
+        new_keys = sorted(set(cur_counters) - set(base_counters))
+        if new_keys:
+            infos.append(f"{label}: new counters (ok): {', '.join(new_keys)}")
+    for run_key in sorted(set(current) - set(baseline)):
+        infos.append(f"{run_key[0]} [{run_key[1]}]: new run (ok)")
+
+    for line in infos:
+        print(f"note: {line}")
+    if failures:
+        print(f"\nFAIL: {len(failures)} baseline deviation(s):")
+        for line in failures:
+            print(f"  {line}")
+        print("\nIf the change is intended, regenerate the baseline with:\n"
+              "  ./build/bench/metaop_core_timing --metrics-out BENCH_sim.json")
+        return 1
+    checked = sum(len(c) for c in baseline.values())
+    print(f"OK: {checked} counters across {len(baseline)} runs within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
