@@ -17,11 +17,21 @@
 //                          (open at https://ui.perfetto.dev); Alchemist only
 //   --metrics-out <path>   write the run's counter registry as JSON
 //                          (schema alchemist.metrics.v1)
+// Fault modeling (Alchemist only; see src/fault/fault_model.h):
+//   --fault-seed <s>       RNG seed for transient fault sampling (default 0xfa117)
+//   --fault-rate <r>       transient fault rate applied to all three domains
+//                          (compute per core-cycle, SRAM per word access,
+//                          HBM per byte streamed; default 0 = no faults)
+//   --fault-policy <p>     none | detect-retry | dmr  (default none)
+//   --mask-units <list>    comma-separated permanently-failed unit ids, e.g.
+//                          "0,5,17"; slot layouts re-partition over the rest
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/report.h"
 #include "obs/timeline.h"
@@ -29,6 +39,7 @@
 #include "arch/baselines.h"
 #include "arch/config.h"
 #include "arch/energy_model.h"
+#include "fault/fault_model.h"
 #include "sim/alchemist_sim.h"
 #include "sim/baseline_sim.h"
 #include "sim/event_sim.h"
@@ -45,9 +56,25 @@ int usage() {
                "usage: alchemist_cli <workload> [--accelerator A] [--units N]\n"
                "       [--hbm GB/s] [--stream-fraction f] [--level L]\n"
                "       [--batch B] [--event] [--trace-out T.json] [--metrics-out M.json]\n"
+               "       [--fault-seed S] [--fault-rate R] [--fault-policy none|detect-retry|dmr]\n"
+               "       [--mask-units i,j,...]\n"
                "workloads: pmult hadd keyswitch cmult rotation rescale bootstrap\n"
                "           bootstrap-hoisted helr mnist mnist-enc pbs-i pbs-ii bfv-cmult\n");
   return 2;
+}
+
+std::vector<std::size_t> parse_unit_list(const char* s) {
+  std::vector<std::size_t> units;
+  const std::string list = s;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t next = list.find(',', pos);
+    if (next == std::string::npos) next = list.size();
+    const std::string item = list.substr(pos, next - pos);
+    if (!item.empty()) units.push_back(static_cast<std::size_t>(std::atoll(item.c_str())));
+    pos = next + 1;
+  }
+  return units;
 }
 
 }  // namespace
@@ -61,6 +88,8 @@ int main(int argc, char** argv) {
   std::size_t units = 128, batch = 16, level = 44;
   double hbm = 1000.0, stream_fraction = 1.0;
   bool use_event = false;
+  fault::FaultConfig fault_cfg;
+  bool fault_requested = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -79,6 +108,26 @@ int main(int argc, char** argv) {
     else if (arg == "--event") use_event = true;
     else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--metrics-out") metrics_out = next();
+    else if (arg == "--fault-seed") {
+      fault_cfg.seed = static_cast<u64>(std::strtoull(next(), nullptr, 0));
+      fault_requested = true;
+    } else if (arg == "--fault-rate") {
+      const double rate = std::atof(next());
+      fault_cfg.compute_fault_rate = fault_cfg.sram_fault_rate =
+          fault_cfg.hbm_fault_rate = rate;
+      fault_requested = true;
+    } else if (arg == "--fault-policy") {
+      try {
+        fault_cfg.policy = fault::policy_from_string(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+      fault_requested = true;
+    } else if (arg == "--mask-units") {
+      fault_cfg.masked_units = parse_unit_list(next());
+      fault_requested = true;
+    }
     else return usage();
   }
 
@@ -118,12 +167,26 @@ int main(int argc, char** argv) {
     cfg.num_units = units;
     cfg.hbm_bw_gb_s = hbm;
     cfg.telemetry = !trace_out.empty();
-    result = use_event ? sim::simulate_alchemist_events(graph, cfg, &timeline)
-                       : sim::simulate_alchemist(graph, cfg, &timeline);
+    std::unique_ptr<fault::FaultModel> fault_model;
+    try {
+      fault_model = std::make_unique<fault::FaultModel>(fault_cfg, cfg.num_units);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad fault configuration: %s\n", e.what());
+      return 2;
+    }
+    fault::FaultModel* fault = fault_requested ? fault_model.get() : nullptr;
+    result = use_event ? sim::simulate_alchemist_events(graph, cfg, &timeline, fault)
+                       : sim::simulate_alchemist(graph, cfg, &timeline, fault);
     const auto energy = arch::energy_model(cfg, result);
     std::printf("workload:      %s (%zu ops)\n", graph.name.c_str(), graph.ops.size());
     std::printf("accelerator:   Alchemist, %zu units, %.0f GB/s HBM%s\n", units, hbm,
                 use_event ? " (event-driven model)" : "");
+    if (fault && fault->enabled()) {
+      std::printf("fault model:   policy=%s rate=%g seed=0x%llx masked=%zu/%zu units\n",
+                  fault::to_string(fault_cfg.policy), fault_cfg.compute_fault_rate,
+                  static_cast<unsigned long long>(fault_cfg.seed),
+                  fault->masked_count(), cfg.num_units);
+    }
     std::printf("cycles:        %llu\n", static_cast<unsigned long long>(result.cycles));
     std::printf("time:          %.3f us  (%.1f ops/s)\n", result.time_us,
                 ops_in_graph * 1e6 / result.time_us);

@@ -80,4 +80,44 @@ std::uint64_t SlotLayout::four_step_transpose_words() const {
   return n_;  // the full polynomial crosses the transpose buffer once
 }
 
+DegradedSlotLayout::DegradedSlotLayout(std::size_t n, std::size_t total_units,
+                                       const std::vector<std::size_t>& masked_units)
+    : n_(n), total_units_(total_units) {
+  if (n == 0 || total_units == 0) {
+    throw std::invalid_argument("DegradedSlotLayout: empty geometry");
+  }
+  std::vector<bool> masked(total_units, false);
+  for (std::size_t id : masked_units) {
+    if (id >= total_units) {
+      throw std::invalid_argument("DegradedSlotLayout: masked unit id out of range");
+    }
+    masked[id] = true;
+  }
+  for (std::size_t u = 0; u < total_units; ++u) {
+    if (!masked[u]) healthy_.push_back(u);
+  }
+  if (healthy_.empty()) {
+    throw std::invalid_argument("DegradedSlotLayout: all units masked out");
+  }
+  slots_per_unit_ = (n_ + healthy_.size() - 1) / healthy_.size();
+}
+
+bool DegradedSlotLayout::is_healthy(std::size_t unit) const {
+  for (std::size_t id : healthy_) {
+    if (id == unit) return true;
+    if (id > unit) break;
+  }
+  return false;
+}
+
+double DegradedSlotLayout::padding_factor() const {
+  return static_cast<double>(slots_per_unit_ * healthy_.size()) /
+         static_cast<double>(n_);
+}
+
+std::size_t DegradedSlotLayout::unit_of_slot(std::size_t slot) const {
+  if (slot >= n_) throw std::out_of_range("DegradedSlotLayout: slot out of range");
+  return healthy_[slot / slots_per_unit_];
+}
+
 }  // namespace alchemist::arch

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "arch/config.h"
 #include "metaop/metaop.h"
@@ -46,6 +47,43 @@ class SlotLayout {
  private:
   std::size_t n_;
   std::size_t units_;
+};
+
+// Slot striping after permanent unit failures: the N slots of every channel
+// are re-partitioned over the surviving units only. Because N is generally
+// not divisible by the healthy count, the stripe rounds up to
+// ceil(N / healthy) slots per unit and the last unit's stripe is padded —
+// the padding is dead lanes the degraded machine still has to clock through,
+// quantified by padding_factor().
+class DegradedSlotLayout {
+ public:
+  // N slots over `total_units` physical units of which `masked_units` (ids in
+  // [0, total_units), duplicates ignored) have permanently failed. Throws
+  // std::invalid_argument if no healthy unit remains or an id is out of range.
+  DegradedSlotLayout(std::size_t n, std::size_t total_units,
+                     const std::vector<std::size_t>& masked_units);
+
+  std::size_t total_units() const { return total_units_; }
+  std::size_t healthy_units() const { return healthy_.size(); }
+  std::size_t masked_units() const { return total_units_ - healthy_.size(); }
+  bool is_healthy(std::size_t unit) const;
+
+  // Stripe geometry of the degraded layout: total slots the machine clocks
+  // through (real + dead padding), always >= N.
+  std::size_t slots_per_unit() const { return slots_per_unit_; }
+  std::size_t padded_slots() const { return slots_per_unit_ * healthy_.size(); }
+  // (real + padded slots) / real slots >= 1: the work inflation every
+  // slot-partitioned operator pays on the degraded geometry.
+  double padding_factor() const;
+
+  // Physical id of the healthy unit owning `slot` (slot < N).
+  std::size_t unit_of_slot(std::size_t slot) const;
+
+ private:
+  std::size_t n_;
+  std::size_t total_units_;
+  std::size_t slots_per_unit_;
+  std::vector<std::size_t> healthy_;  // sorted physical ids
 };
 
 }  // namespace alchemist::arch

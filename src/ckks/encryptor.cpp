@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "ckks/noise.h"
+
 namespace alchemist::ckks {
 
 Encryptor::Encryptor(ContextPtr ctx, PublicKey pk, u64 seed)
@@ -48,10 +50,11 @@ Ciphertext Encryptor::encrypt(const Plaintext& pt) {
   return Ciphertext{std::move(c0), std::move(c1), pt.level, pt.scale};
 }
 
-Decryptor::Decryptor(ContextPtr ctx, SecretKey sk)
-    : ctx_(std::move(ctx)), sk_(std::move(sk)) {}
+Decryptor::Decryptor(ContextPtr ctx, SecretKey sk, bool validate)
+    : ctx_(std::move(ctx)), sk_(std::move(sk)), validate_(validate) {}
 
 std::vector<double> Decryptor::decrypt_coeffs(const Ciphertext& ct) const {
+  if (validate_) check_ciphertext_invariants(*ctx_, ct);
   RnsPoly m = ct.c1;
   m *= sk_.s.extract_channels(0, ct.level);
   m += ct.c0;

@@ -30,7 +30,11 @@ class Encryptor {
 
 class Decryptor {
  public:
-  Decryptor(ContextPtr ctx, SecretKey sk);
+  // `validate` runs check_ciphertext_invariants (ckks/noise.h) on every
+  // ciphertext before decrypting, so evaluator-pipeline bugs and corrupted
+  // inputs surface as std::logic_error at the trust boundary instead of as
+  // garbage plaintexts. Defaults on in debug builds; opt in elsewhere.
+  Decryptor(ContextPtr ctx, SecretKey sk, bool validate = kValidateByDefault);
 
   // Raw decryption: centered coefficients of c0 + c1*s.
   std::vector<double> decrypt_coeffs(const Ciphertext& ct) const;
@@ -38,9 +42,19 @@ class Decryptor {
   std::vector<std::complex<double>> decrypt(const Ciphertext& ct,
                                             const CkksEncoder& encoder) const;
 
+  void set_validate(bool validate) { validate_ = validate; }
+  bool validate() const { return validate_; }
+
  private:
+#ifdef NDEBUG
+  static constexpr bool kValidateByDefault = false;
+#else
+  static constexpr bool kValidateByDefault = true;
+#endif
+
   ContextPtr ctx_;
   SecretKey sk_;
+  bool validate_;
 };
 
 }  // namespace alchemist::ckks

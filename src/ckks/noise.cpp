@@ -1,8 +1,10 @@
 #include "ckks/noise.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace alchemist::ckks {
 
@@ -49,6 +51,47 @@ void check_ciphertext_invariants(const CkksContext& ctx, const Ciphertext& ct) {
         fail("residue out of range");
       }
     }
+  }
+}
+
+NoiseGuard::NoiseGuard(ContextPtr ctx, const Decryptor& decryptor)
+    : ctx_(std::move(ctx)), decryptor_(decryptor) {}
+
+HealthReport NoiseGuard::check(const Ciphertext& ct) const {
+  HealthReport report;
+  try {
+    check_ciphertext_invariants(*ctx_, ct);
+  } catch (const std::logic_error& e) {
+    report.healthy = false;
+    report.reason = e.what();
+    return report;
+  }
+  // Magnitude test against the decryption correctness bound: Q_level / 4.
+  // Any valid CKKS ciphertext keeps |m + e| well under it (otherwise the
+  // message would already wrap); a corrupted one decrypts to coefficients
+  // essentially uniform in ±Q/2, blowing past the bound in every channel.
+  double log2_q = 0;
+  const auto basis = ctx_->basis_at(ct.level);
+  for (u64 q : basis) log2_q += std::log2(static_cast<double>(q));
+  report.budget_bits = log2_q - 2.0;
+  const std::vector<double> coeffs = decryptor_.decrypt_coeffs(ct);
+  double max_mag = 0;
+  for (double c : coeffs) max_mag = std::max(max_mag, std::abs(c));
+  report.coeff_bits = max_mag > 0 ? std::log2(max_mag) : -1074.0;
+  if (!std::isfinite(max_mag) || report.coeff_bits > report.budget_bits) {
+    report.healthy = false;
+    report.reason = "decrypted magnitude 2^" + std::to_string(report.coeff_bits) +
+                    " exceeds the correctness bound 2^" +
+                    std::to_string(report.budget_bits) +
+                    " (corrupted ciphertext)";
+  }
+  return report;
+}
+
+void NoiseGuard::require_healthy(const Ciphertext& ct) const {
+  const HealthReport report = check(ct);
+  if (!report.healthy) {
+    throw CorruptCiphertextError("NoiseGuard: " + report.reason);
   }
 }
 

@@ -1,12 +1,19 @@
-// Noise measurement and ciphertext invariant checks for CKKS.
+// Noise measurement, ciphertext invariant checks and the pre-decryption
+// health guard for CKKS.
 //
 // CKKS noise is only observable with the secret key; the NoiseOracle wraps a
 // decryptor to report how many bits of the scale the error has consumed —
-// the quantity that decides when a ciphertext must be bootstrapped.
+// the quantity that decides when a ciphertext must be bootstrapped. The
+// NoiseGuard turns the same observability into a boundary defense: a
+// corrupted ciphertext (a flipped residue under an NTT, a bad HBM burst, a
+// hostile serialized blob) is flagged with a structured error *before* its
+// garbage plaintext escapes into application code.
 #pragma once
 
 #include <complex>
 #include <span>
+#include <stdexcept>
+#include <string>
 
 #include "ckks/ciphertext.h"
 #include "ckks/encoder.h"
@@ -39,5 +46,41 @@ class NoiseOracle {
 // std::logic_error with a description on violation. Useful in tests and as a
 // debug assertion after evaluator pipelines.
 void check_ciphertext_invariants(const CkksContext& ctx, const Ciphertext& ct);
+
+// Structured error a health check raises for a ciphertext that must not be
+// decrypted (corrupted in transit, in memory, or by a faulty kernel).
+class CorruptCiphertextError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// The guard's verdict, with enough numbers to log why.
+struct HealthReport {
+  bool healthy = true;
+  std::string reason;      // empty when healthy
+  double coeff_bits = 0;   // log2 max |coefficient| of the decrypted poly
+  double budget_bits = 0;  // log2 of the corruption threshold (~ Q_level / 4)
+};
+
+// Pre-decryption health check built on the decryptor's view:
+//  1. the structural invariants above (levels, scale, basis, residue ranges);
+//  2. a magnitude test — a transient fault anywhere in the evaluation
+//     pipeline decorrelates c0 + c1*s from the small message+noise
+//     polynomial, so the decrypted coefficients jump from ~scale*message to
+//     uniform in ±Q/2. Any coefficient above Q_level/4 (the CKKS decryption
+//     correctness bound) flags the ciphertext.
+// check() reports; require_healthy() throws CorruptCiphertextError, so
+// callers can gate decryption with one line.
+class NoiseGuard {
+ public:
+  NoiseGuard(ContextPtr ctx, const Decryptor& decryptor);
+
+  HealthReport check(const Ciphertext& ct) const;
+  void require_healthy(const Ciphertext& ct) const;
+
+ private:
+  ContextPtr ctx_;
+  const Decryptor& decryptor_;
+};
 
 }  // namespace alchemist::ckks

@@ -6,6 +6,29 @@
 
 namespace alchemist {
 
+u64 fnv1a(std::span<const std::uint8_t> bytes) {
+  u64 hash = 14695981039346656037ull;
+  for (std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+u64 BinaryWriter::checksum_since(std::size_t start) const {
+  if (start > buffer_.size()) {
+    throw std::logic_error("BinaryWriter: checksum start past end of buffer");
+  }
+  return fnv1a(std::span<const std::uint8_t>(buffer_).subspan(start));
+}
+
+u64 BinaryReader::checksum_since(std::size_t start) const {
+  if (start > pos_) {
+    throw std::logic_error("BinaryReader: checksum start past read position");
+  }
+  return fnv1a(std::span<const std::uint8_t>(buffer_).subspan(start, pos_ - start));
+}
+
 void BinaryWriter::write_u64(u64 v) {
   for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
@@ -73,8 +96,12 @@ double BinaryReader::read_double() {
 
 std::vector<u64> BinaryReader::read_u64_vector() {
   const u64 count = read_u64();
-  if (count > (1ull << 32)) throw std::runtime_error("BinaryReader: absurd vector size");
-  std::vector<u64> v(count);
+  // Cap the declared count against the bytes actually left before touching
+  // the allocator: a tiny file claiming 2^60 elements must throw, not OOM.
+  if (count > remaining() / sizeof(u64)) {
+    throw std::runtime_error("BinaryReader: vector length exceeds remaining input");
+  }
+  std::vector<u64> v(static_cast<std::size_t>(count));
   for (u64& x : v) x = read_u64();
   return v;
 }

@@ -1,6 +1,11 @@
 // Minimal binary serialization: little-endian, length-prefixed, magic+version
 // header. Used to persist keys and ciphertexts (see src/serdes for the
 // FHE-type overloads).
+//
+// The reader treats every input as adversarial: declared lengths are capped
+// against the bytes actually remaining BEFORE any allocation, so a 16-byte
+// file claiming 2^60 elements throws std::runtime_error instead of OOM-ing,
+// and every malformed stream fails with a typed exception, never UB.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +17,10 @@
 
 namespace alchemist {
 
+// Order-sensitive FNV-1a digest used for the integrity footers of the FHE
+// object framing (src/serdes) — detects any bit flip in a stored stream.
+u64 fnv1a(std::span<const std::uint8_t> bytes);
+
 class BinaryWriter {
  public:
   void write_u8(std::uint8_t v) { buffer_.push_back(v); }
@@ -20,6 +29,10 @@ class BinaryWriter {
   void write_u64_vector(std::span<const u64> v);
   // Write a tag identifying the following object (checked on read).
   void write_tag(const std::string& tag);
+
+  // Bytes written so far; pairs with checksum_since() for framed objects.
+  std::size_t position() const { return buffer_.size(); }
+  u64 checksum_since(std::size_t start) const;
 
   const std::vector<std::uint8_t>& buffer() const { return buffer_; }
   void save(const std::string& path) const;
@@ -37,11 +50,18 @@ class BinaryReader {
   std::uint8_t read_u8();
   u64 read_u64();
   double read_double();
+  // The declared element count is validated against remaining() before the
+  // vector is allocated.
   std::vector<u64> read_u64_vector();
   // Throws std::runtime_error if the next tag does not match.
   void expect_tag(const std::string& tag);
 
   bool at_end() const { return pos_ == buffer_.size(); }
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return buffer_.size() - pos_; }
+  // Digest of the bytes consumed since `start`; compared against the stored
+  // integrity footer by the FHE object readers.
+  u64 checksum_since(std::size_t start) const;
 
  private:
   void need(std::size_t bytes) const;

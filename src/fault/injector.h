@@ -1,0 +1,92 @@
+// Functional-layer fault injection and bounded detect-and-retry execution.
+//
+// The FaultModel (fault_model.h) prices faults in simulated cycles; this file
+// makes them *happen* to real data, so corruption can be chased end-to-end
+// through the FHE library: a residue flipped under an NTT or a lazy kernel
+// propagates into a ciphertext, which the ckks::NoiseGuard must then flag
+// before decryption.
+//
+//   Injector   seeded corruptor for RnsPoly data (uniform residue
+//              replacement — the post-reduction image of any SRAM/lane upset)
+//   poly_checksum
+//              cheap per-channel detection code (the software stand-in for
+//              the ECC/checksum hardware detect-retry relies on)
+//   Retrier    run-compute / validate / re-execute loop, bounded, counting
+//              retries into an obs::Registry
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.h"
+#include "fault/fault_model.h"
+#include "obs/registry.h"
+#include "poly/rns.h"
+
+namespace alchemist::fault {
+
+// Thrown by Retrier when max_retries consecutive re-executions still fail
+// validation (a persistent fault detect-retry cannot mask).
+class UnrecoverableFaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Injector {
+ public:
+  // `rate` is the per-call corruption probability of maybe_corrupt().
+  explicit Injector(u64 seed, double rate = 1.0);
+
+  // Replace one uniformly-chosen residue of one channel with a fresh uniform
+  // value mod that channel's prime. Returns the (channel, index) hit.
+  std::pair<std::size_t, std::size_t> corrupt(RnsPoly& poly);
+
+  // Corrupt with probability `rate`; returns true when a fault was injected.
+  bool maybe_corrupt(RnsPoly& poly);
+
+  std::uint64_t injected() const { return injected_; }
+
+ private:
+  Rng rng_;
+  double rate_;
+  std::uint64_t injected_ = 0;
+};
+
+// Order-sensitive FNV-1a digest over every residue of every channel (plus the
+// basis and form), so any single corrupted word changes the checksum.
+std::uint64_t poly_checksum(const RnsPoly& poly);
+
+// Bounded detect-and-retry harness: run `compute`, check `valid(result)`,
+// re-execute on failure. Attempt counts and successes land in the registry
+// (fault.retries) when one is attached; exhausting max_retries throws
+// UnrecoverableFaultError.
+class Retrier {
+ public:
+  explicit Retrier(std::size_t max_retries = 4, obs::Registry* registry = nullptr)
+      : max_retries_(max_retries), registry_(registry) {}
+
+  template <typename Compute, typename Valid>
+  auto run(Compute&& compute, Valid&& valid) -> decltype(compute()) {
+    for (std::size_t attempt = 0;; ++attempt) {
+      auto result = compute();
+      if (valid(result)) return result;
+      if (attempt >= max_retries_) {
+        throw UnrecoverableFaultError(
+            "detect-retry: validation still failing after " +
+            std::to_string(max_retries_) + " retries");
+      }
+      ++retries_;
+      if (registry_) registry_->add(metrics::kRetries, 1);
+    }
+  }
+
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  std::size_t max_retries_;
+  obs::Registry* registry_;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace alchemist::fault

@@ -1,41 +1,88 @@
 #include "serdes/fhe_serdes.h"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace alchemist::serdes {
 
 namespace {
 
-void write_header(BinaryWriter& w, const char* tag) {
+// Largest ring degree any deployment of this stack uses (paper configs top
+// out at 2^16); anything bigger in a stream is hostile, not a key.
+constexpr u64 kMaxDegree = u64{1} << 26;
+
+std::size_t write_header(BinaryWriter& w, const char* tag) {
+  const std::size_t start = w.position();
   w.write_tag(tag);
   w.write_u64(kFormatVersion);
+  return start;
 }
 
-void read_header(BinaryReader& r, const char* tag) {
+// Footer: FNV-1a over the whole frame [header start, footer). Nested objects
+// carry their own footers, which the enclosing digest simply covers too.
+void write_footer(BinaryWriter& w, std::size_t start) {
+  w.write_u64(w.checksum_since(start));
+}
+
+std::size_t read_header(BinaryReader& r, const char* tag) {
+  const std::size_t start = r.position();
   r.expect_tag(tag);
   const u64 version = r.read_u64();
   if (version != kFormatVersion) {
-    throw std::runtime_error("fhe_serdes: unsupported format version");
+    throw std::runtime_error("fhe_serdes: unsupported format version " +
+                             std::to_string(version));
+  }
+  return start;
+}
+
+void read_footer(BinaryReader& r, std::size_t start) {
+  const u64 computed = r.checksum_since(start);
+  const u64 stored = r.read_u64();
+  if (stored != computed) {
+    throw std::runtime_error("fhe_serdes: checksum mismatch (corrupted stream)");
+  }
+}
+
+// Reject a declared element count that cannot fit in the remaining bytes
+// (each element serializes to at least `min_bytes_each`) BEFORE any
+// reserve/resize, so adversarial prefixes throw instead of OOM-ing.
+void check_count(const BinaryReader& r, u64 count, std::size_t min_bytes_each,
+                 const char* what) {
+  if (count > r.remaining() / min_bytes_each) {
+    throw std::runtime_error(std::string("fhe_serdes: declared ") + what +
+                             " count exceeds remaining input");
   }
 }
 
 }  // namespace
 
 void write(BinaryWriter& w, const RnsPoly& poly) {
-  write_header(w, "rns");
+  const std::size_t start = write_header(w, "rns");
   w.write_u64(poly.degree());
   w.write_u8(poly.is_ntt() ? 1 : 0);
   w.write_u64_vector(poly.moduli());
   for (std::size_t c = 0; c < poly.num_channels(); ++c) {
     w.write_u64_vector(poly.channel(c));
   }
+  write_footer(w, start);
 }
 
 RnsPoly read_rns_poly(BinaryReader& r) {
-  read_header(r, "rns");
+  const std::size_t start = read_header(r, "rns");
   const u64 degree = r.read_u64();
+  if (degree == 0 || (degree & (degree - 1)) != 0 || degree > kMaxDegree) {
+    throw std::runtime_error("fhe_serdes: bad polynomial degree");
+  }
   const bool ntt = r.read_u8() != 0;
   const std::vector<u64> moduli = r.read_u64_vector();
+  if (moduli.empty()) throw std::runtime_error("fhe_serdes: empty modulus basis");
+  for (u64 q : moduli) {
+    if (q < 2) throw std::runtime_error("fhe_serdes: bad modulus value");
+  }
+  // Each channel still owes 8 bytes of length prefix plus 8*degree of
+  // residues; check that before allocating channels worth of zeros.
+  check_count(r, moduli.size(), 8 + 8 * static_cast<std::size_t>(degree), "channel");
   RnsPoly poly(degree, moduli, ntt ? RnsPoly::Form::Ntt : RnsPoly::Form::Coeff);
   for (std::size_t c = 0; c < moduli.size(); ++c) {
     const std::vector<u64> data = r.read_u64_vector();
@@ -45,74 +92,91 @@ RnsPoly read_rns_poly(BinaryReader& r) {
       poly.channel(c)[i] = data[i];
     }
   }
+  read_footer(r, start);
   return poly;
 }
 
 void write(BinaryWriter& w, const tfhe::TorusPoly& poly) {
-  write_header(w, "tpoly");
+  const std::size_t start = write_header(w, "tpoly");
   w.write_u64_vector(poly.coeffs());
+  write_footer(w, start);
 }
 
 tfhe::TorusPoly read_torus_poly(BinaryReader& r) {
-  read_header(r, "tpoly");
-  return tfhe::TorusPoly(r.read_u64_vector());
+  const std::size_t start = read_header(r, "tpoly");
+  tfhe::TorusPoly poly(r.read_u64_vector());
+  read_footer(r, start);
+  return poly;
 }
 
 void write(BinaryWriter& w, const ckks::Ciphertext& ct) {
-  write_header(w, "ckks_ct");
+  const std::size_t start = write_header(w, "ckks_ct");
   w.write_u64(ct.level);
   w.write_double(ct.scale);
   write(w, ct.c0);
   write(w, ct.c1);
+  write_footer(w, start);
 }
 
 ckks::Ciphertext read_ckks_ciphertext(BinaryReader& r) {
-  read_header(r, "ckks_ct");
+  const std::size_t start = read_header(r, "ckks_ct");
   ckks::Ciphertext ct;
   ct.level = r.read_u64();
   ct.scale = r.read_double();
   ct.c0 = read_rns_poly(r);
   ct.c1 = read_rns_poly(r);
-  if (ct.scale <= 0) throw std::runtime_error("fhe_serdes: bad ciphertext scale");
+  if (ct.scale <= 0 || !std::isfinite(ct.scale)) {
+    throw std::runtime_error("fhe_serdes: bad ciphertext scale");
+  }
+  read_footer(r, start);
   return ct;
 }
 
 void write(BinaryWriter& w, const ckks::SecretKey& key) {
-  write_header(w, "ckks_sk");
+  const std::size_t start = write_header(w, "ckks_sk");
   write(w, key.s);
+  write_footer(w, start);
 }
 
 ckks::SecretKey read_ckks_secret_key(BinaryReader& r) {
-  read_header(r, "ckks_sk");
-  return ckks::SecretKey{read_rns_poly(r)};
+  const std::size_t start = read_header(r, "ckks_sk");
+  ckks::SecretKey key{read_rns_poly(r)};
+  read_footer(r, start);
+  return key;
 }
 
 void write(BinaryWriter& w, const ckks::PublicKey& key) {
-  write_header(w, "ckks_pk");
+  const std::size_t start = write_header(w, "ckks_pk");
   write(w, key.b);
   write(w, key.a);
+  write_footer(w, start);
 }
 
 ckks::PublicKey read_ckks_public_key(BinaryReader& r) {
-  read_header(r, "ckks_pk");
+  const std::size_t start = read_header(r, "ckks_pk");
   ckks::PublicKey key;
   key.b = read_rns_poly(r);
   key.a = read_rns_poly(r);
+  read_footer(r, start);
   return key;
 }
 
 void write(BinaryWriter& w, const ckks::KSwitchKey& key) {
-  write_header(w, "ckks_ksk");
+  const std::size_t start = write_header(w, "ckks_ksk");
   w.write_u64(key.digits.size());
   for (const auto& [b, a] : key.digits) {
     write(w, b);
     write(w, a);
   }
+  write_footer(w, start);
 }
 
 ckks::KSwitchKey read_kswitch_key(BinaryReader& r) {
-  read_header(r, "ckks_ksk");
+  const std::size_t start = read_header(r, "ckks_ksk");
   const u64 digits = r.read_u64();
+  // Each digit is two serialized polys; even an empty poly frame takes well
+  // over 40 bytes, so 80 per digit is a safe floor.
+  check_count(r, digits, 80, "keyswitch digit");
   ckks::KSwitchKey key;
   key.digits.reserve(digits);
   for (u64 i = 0; i < digits; ++i) {
@@ -120,62 +184,74 @@ ckks::KSwitchKey read_kswitch_key(BinaryReader& r) {
     RnsPoly a = read_rns_poly(r);
     key.digits.emplace_back(std::move(b), std::move(a));
   }
+  read_footer(r, start);
   return key;
 }
 
 void write(BinaryWriter& w, const ckks::RelinKeys& key) {
-  write_header(w, "ckks_rlk");
+  const std::size_t start = write_header(w, "ckks_rlk");
   write(w, key.key);
+  write_footer(w, start);
 }
 
 ckks::RelinKeys read_relin_keys(BinaryReader& r) {
-  read_header(r, "ckks_rlk");
-  return ckks::RelinKeys{read_kswitch_key(r)};
+  const std::size_t start = read_header(r, "ckks_rlk");
+  ckks::RelinKeys key{read_kswitch_key(r)};
+  read_footer(r, start);
+  return key;
 }
 
 void write(BinaryWriter& w, const ckks::GaloisKeys& keys) {
-  write_header(w, "ckks_glk");
+  const std::size_t start = write_header(w, "ckks_glk");
   w.write_u64(keys.keys.size());
   for (const auto& [elt, key] : keys.keys) {
     w.write_u64(elt);
     write(w, key);
   }
+  write_footer(w, start);
 }
 
 ckks::GaloisKeys read_galois_keys(BinaryReader& r) {
-  read_header(r, "ckks_glk");
+  const std::size_t start = read_header(r, "ckks_glk");
   const u64 count = r.read_u64();
+  // Each entry: 8-byte Galois element + a keyswitch key frame (>= 40 bytes).
+  check_count(r, count, 48, "galois key");
   ckks::GaloisKeys keys;
   for (u64 i = 0; i < count; ++i) {
     const u64 elt = r.read_u64();
     keys.keys.emplace(elt, read_kswitch_key(r));
   }
+  read_footer(r, start);
   return keys;
 }
 
 void write(BinaryWriter& w, const tfhe::LweSample& sample) {
-  write_header(w, "lwe");
+  const std::size_t start = write_header(w, "lwe");
   w.write_u64_vector(sample.a);
   w.write_u64(sample.b);
+  write_footer(w, start);
 }
 
 tfhe::LweSample read_lwe_sample(BinaryReader& r) {
-  read_header(r, "lwe");
+  const std::size_t start = read_header(r, "lwe");
   tfhe::LweSample out;
   out.a = r.read_u64_vector();
   out.b = r.read_u64();
+  read_footer(r, start);
   return out;
 }
 
 void write(BinaryWriter& w, const tfhe::LweKey& key) {
-  write_header(w, "lwe_key");
+  const std::size_t start = write_header(w, "lwe_key");
   w.write_u64(key.s.size());
   for (int bit : key.s) w.write_u8(static_cast<std::uint8_t>(bit));
+  write_footer(w, start);
 }
 
 tfhe::LweKey read_lwe_key(BinaryReader& r) {
-  read_header(r, "lwe_key");
+  const std::size_t start = read_header(r, "lwe_key");
   const u64 n = r.read_u64();
+  check_count(r, n, 1, "key bit");
   tfhe::LweKey key;
   key.s.resize(n);
   for (u64 i = 0; i < n; ++i) {
@@ -183,38 +259,47 @@ tfhe::LweKey read_lwe_key(BinaryReader& r) {
     if (bit > 1) throw std::runtime_error("fhe_serdes: bad key bit");
     key.s[i] = bit;
   }
+  read_footer(r, start);
   return key;
 }
 
 void write(BinaryWriter& w, const tfhe::TrlweSample& sample) {
-  write_header(w, "trlwe");
+  const std::size_t start = write_header(w, "trlwe");
   w.write_u64(sample.k());
   for (const auto& aj : sample.a) write(w, aj);
   write(w, sample.b);
+  write_footer(w, start);
 }
 
 tfhe::TrlweSample read_trlwe_sample(BinaryReader& r) {
-  read_header(r, "trlwe");
+  const std::size_t start = read_header(r, "trlwe");
   const u64 k = r.read_u64();
+  // Each mask poly is a torus-poly frame: tag + version + length + footer.
+  check_count(r, k, 32, "trlwe mask poly");
   tfhe::TrlweSample out;
   out.a.reserve(k);
   for (u64 i = 0; i < k; ++i) out.a.push_back(read_torus_poly(r));
   out.b = read_torus_poly(r);
+  read_footer(r, start);
   return out;
 }
 
 void write(BinaryWriter& w, const tfhe::EncInt& value) {
-  write_header(w, "encint");
+  const std::size_t start = write_header(w, "encint");
   w.write_u64(value.width());
   for (const auto& bit : value.bits) write(w, bit);
+  write_footer(w, start);
 }
 
 tfhe::EncInt read_enc_int(BinaryReader& r) {
-  read_header(r, "encint");
+  const std::size_t start = read_header(r, "encint");
   const u64 width = r.read_u64();
+  // Each bit is an LWE sample frame (tag + version + vector + b + footer).
+  check_count(r, width, 40, "encrypted-int bit");
   tfhe::EncInt out;
   out.bits.reserve(width);
   for (u64 i = 0; i < width; ++i) out.bits.push_back(read_lwe_sample(r));
+  read_footer(r, start);
   return out;
 }
 

@@ -1,6 +1,9 @@
 // Serialization of FHE objects: keys, ciphertexts and polynomials for both
-// schemes. Every object is framed with a type tag and a format version so
-// corrupted or mismatched files fail loudly instead of decrypting garbage.
+// schemes. Every object is framed with a type tag, a format version and an
+// FNV-1a integrity footer covering the full frame (header included), so
+// corrupted, truncated or mismatched files fail loudly with a typed
+// std::runtime_error instead of decrypting garbage. All declared lengths are
+// capped against the bytes remaining in the stream before any allocation.
 #pragma once
 
 #include "ckks/ciphertext.h"
@@ -11,7 +14,8 @@
 
 namespace alchemist::serdes {
 
-inline constexpr u64 kFormatVersion = 1;
+// v2 added the per-frame FNV-1a integrity footer; v1 streams are rejected.
+inline constexpr u64 kFormatVersion = 2;
 
 // --- polynomials ---
 void write(BinaryWriter& w, const RnsPoly& poly);

@@ -9,6 +9,7 @@
 
 #include "metaop/lowering.h"
 #include "metaop/mult_count.h"
+#include "sim/fault_costs.h"
 #include "sim/telemetry.h"
 
 namespace alchemist::sim {
@@ -44,13 +45,19 @@ std::vector<std::vector<std::size_t>> asap_levels(const OpGraph& graph) {
 }  // namespace
 
 SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& config,
-                             obs::Timeline* timeline) {
+                             obs::Timeline* timeline, fault::FaultModel* fault_model) {
   SimResult result;
   result.workload = graph.name;
   result.accelerator = "Alchemist";
   obs::Registry& reg = result.registry;
 
-  const bool trace = config.telemetry && timeline != nullptr && timeline->enabled();
+  // An inert fault model (zero rates, no mask, no redundancy) must leave the
+  // run bit-identical to a fault-free one, so it is dropped entirely here.
+  fault::FaultModel* fault = fault_model && fault_model->enabled() ? fault_model : nullptr;
+  const arch::ArchConfig cfg = fault ? fault->degraded(config) : config;
+  FaultTotals fault_totals;
+
+  const bool trace = cfg.telemetry && timeline != nullptr && timeline->enabled();
   if (trace) {
     timeline->set_process_name("alchemist-sim(level)");
     name_fixed_tracks(*timeline);
@@ -62,10 +69,10 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
     }
   }
 
-  const std::uint64_t cores = config.total_cores();
-  const double hbm_bpc = config.hbm_bytes_per_cycle();
+  const std::uint64_t cores = cfg.total_cores();
+  const double hbm_bpc = cfg.hbm_bytes_per_cycle();
   const double transpose_words_per_cycle =
-      static_cast<double>(config.num_units * config.lanes);
+      static_cast<double>(cfg.num_units * cfg.lanes);
 
   std::uint64_t total_cycles = 0;
   std::uint64_t total_transpose = 0;
@@ -94,7 +101,24 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
       std::uint64_t op_core_cycles = stream.core_cycles();
       std::uint64_t op_busy = 0;
       for (const MetaOpBatch& batch : stream.batches) {
-        op_busy += batch.count * config.lanes * (batch.n + 2);
+        op_busy += batch.count * cfg.lanes * (batch.n + 2);
+      }
+      std::uint64_t op_retry_cycles = 0;
+      fault::OpFaults op_faults;
+      if (fault) {
+        // Degraded stripe: slot-partitioned work inflates by the padding of
+        // ceil(N / healthy_units) striping (the masked units' share must be
+        // re-homed, and the tail stripe is padded).
+        const double pad = fault->slot_padding_factor(op.n);
+        if (pad > 1.0) {
+          op_core_cycles = static_cast<std::uint64_t>(
+              std::ceil(static_cast<double>(op_core_cycles) * pad));
+        }
+        op_faults = fault->sample_op(op_core_cycles, op_busy, op.hbm_bytes);
+        const std::uint64_t batch_cost =
+            op_core_cycles / std::max<std::size_t>(stream.batches.size(), 1);
+        op_retry_cycles =
+            price_op_faults(*fault, op_faults, batch_cost, fault_totals);
       }
       std::uint64_t op_transpose = 0;
       // 4-step NTT: one global transpose between the phases. Chunks of later
@@ -110,10 +134,11 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
       // Data movement for the op's working set through the local scratchpads
       // is covered by the per-lane operand fetch modeled inside the Meta-OP
       // window; only off-chip traffic is charged separately.
-      level_core_cycles += op_core_cycles;
+      level_core_cycles += op_core_cycles + op_retry_cycles;
       level_transpose += op_transpose;
       level_hbm_bytes += static_cast<double>(op.hbm_bytes);
-      const std::uint64_t op_wall = (op_core_cycles + cores - 1) / cores + op_transpose;
+      const std::uint64_t op_wall =
+          (op_core_cycles + op_retry_cycles + cores - 1) / cores + op_transpose;
       class_wall[static_cast<std::size_t>(cls)] += op_wall;
       class_busy_lanes[static_cast<std::size_t>(cls)] += op_busy;
       total_busy_lane_cycles += op_busy;
@@ -127,7 +152,8 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
 
       if (trace) {
         const double dur =
-            static_cast<double>(op_core_cycles) / static_cast<double>(cores) +
+            static_cast<double>(op_core_cycles + op_retry_cycles) /
+                static_cast<double>(cores) +
             static_cast<double>(op_transpose);
         obs::TraceEvent ev;
         ev.name = std::string(to_string(op.kind)) + "#" + std::to_string(idx);
@@ -156,6 +182,22 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
           tr.dur = static_cast<double>(op_transpose);
           tr.num_args = {{"words_per_cycle", transpose_words_per_cycle}};
           timeline->record(std::move(tr));
+        }
+        if (op_faults.total() > 0) {
+          obs::TraceEvent fe;
+          fe.name = std::string("fault ") + to_string(op.kind) + "#" +
+                    std::to_string(idx);
+          fe.cat = "fault";
+          fe.tid = kFaultTid;
+          fe.ts = cursor;
+          fe.dur = static_cast<double>(op_retry_cycles) / static_cast<double>(cores);
+          fe.num_args = {
+              {"faults_compute", static_cast<double>(op_faults.compute)},
+              {"faults_sram", static_cast<double>(op_faults.sram)},
+              {"faults_hbm", static_cast<double>(op_faults.hbm)},
+              {"retry_core_cycles", static_cast<double>(op_retry_cycles)},
+          };
+          timeline->record(std::move(fe));
         }
         cursor += dur;
       }
@@ -217,9 +259,10 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
   reg.add(metrics::kCycles, total_cycles);
   reg.add(metrics::kStall, stall_cycles, {{"cause", "hbm"}});
   reg.add(metrics::kTransposeCycles, total_transpose);
-  const double time_us = static_cast<double>(total_cycles) / (config.freq_ghz * 1e3);
+  if (fault) add_fault_counters(reg, *fault, fault_totals);
+  const double time_us = static_cast<double>(total_cycles) / (cfg.freq_ghz * 1e3);
   reg.set_gauge(metrics::kTimeUs, time_us);
-  const double peak = static_cast<double>(config.peak_lanes());
+  const double peak = static_cast<double>(cfg.peak_lanes());
   reg.set_gauge(metrics::kUtilization,
                 total_cycles == 0
                     ? 0.0

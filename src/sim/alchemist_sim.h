@@ -18,9 +18,18 @@
 // class's unit-group track), per-op HBM streaming slices, transpose slices
 // and per-level scheduler frames. Recording never changes the accounting —
 // the returned SimResult is bit-identical with telemetry on or off.
+//
+// Fault modeling: an optional fault::FaultModel degrades the machine
+// (permanent unit masks re-partition the slot stripe over the healthy units,
+// DMR halves effective cores) and injects seed-deterministic transient
+// faults whose mitigation cost (retries, corrections) is charged per op and
+// counted under fault.* metrics. A model with zero rates, no mask and a
+// non-DMR policy — or no model at all — leaves the results bit-identical to
+// the fault-free simulator.
 #pragma once
 
 #include "arch/config.h"
+#include "fault/fault_model.h"
 #include "metaop/op_graph.h"
 #include "obs/timeline.h"
 #include "sim/result.h"
@@ -29,6 +38,7 @@ namespace alchemist::sim {
 
 SimResult simulate_alchemist(const metaop::OpGraph& graph,
                              const arch::ArchConfig& config,
-                             obs::Timeline* timeline = nullptr);
+                             obs::Timeline* timeline = nullptr,
+                             fault::FaultModel* fault_model = nullptr);
 
 }  // namespace alchemist::sim

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "metaop/lowering.h"
+#include "sim/fault_costs.h"
 #include "sim/telemetry.h"
 
 namespace alchemist::sim {
@@ -37,29 +38,38 @@ struct OpState {
   // Telemetry only (never read by the accounting below).
   double start_time = 0;
   double compute_done_time = 0;
+  fault::OpFaults faults;
+  double retry_cycles = 0;
 };
 
 }  // namespace
 
 SimResult simulate_alchemist_events(const OpGraph& graph,
                                     const arch::ArchConfig& config,
-                                    obs::Timeline* timeline) {
+                                    obs::Timeline* timeline,
+                                    fault::FaultModel* fault_model) {
   SimResult result;
   result.workload = graph.name;
   result.accelerator = "Alchemist(event)";
   obs::Registry& reg = result.registry;
   if (graph.ops.empty()) return result;
 
-  const bool trace = config.telemetry && timeline != nullptr && timeline->enabled();
+  // Inert fault models are dropped so the run stays bit-identical (see
+  // simulate_alchemist).
+  fault::FaultModel* fault = fault_model && fault_model->enabled() ? fault_model : nullptr;
+  const arch::ArchConfig cfg = fault ? fault->degraded(config) : config;
+  FaultTotals fault_totals;
+
+  const bool trace = cfg.telemetry && timeline != nullptr && timeline->enabled();
   if (trace) {
     timeline->set_process_name("alchemist-sim(event)");
     name_fixed_tracks(*timeline);
   }
 
-  const double cores = static_cast<double>(config.total_cores());
-  const double hbm_bpc = config.hbm_bytes_per_cycle();
+  const double cores = static_cast<double>(cfg.total_cores());
+  const double hbm_bpc = cfg.hbm_bytes_per_cycle();
   const double transpose_words_per_cycle =
-      static_cast<double>(config.num_units * config.lanes);
+      static_cast<double>(cfg.num_units * cfg.lanes);
 
   std::uint64_t total_transpose = 0;
   std::array<double, kNumOpClasses> class_busy_total{};
@@ -69,10 +79,27 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
     const MetaOpStream stream = metaop::lower(op);
     OpState& s = state[i];
     s.cls = class_of(op.kind);
-    s.work = static_cast<double>(stream.core_cycles());
+    std::uint64_t op_core_cycles = stream.core_cycles();
+    std::uint64_t op_busy = 0;
     for (const MetaOpBatch& b : stream.batches) {
-      s.busy_lanes += static_cast<double>(b.count * config.lanes * (b.n + 2));
+      op_busy += b.count * cfg.lanes * (b.n + 2);
     }
+    s.busy_lanes = static_cast<double>(op_busy);
+    if (fault) {
+      // Same degraded-stripe inflation and fault pricing as the level engine
+      // (sim/fault_costs.h), sampled in the same graph index order.
+      const double pad = fault->slot_padding_factor(op.n);
+      if (pad > 1.0) {
+        op_core_cycles = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(op_core_cycles) * pad));
+      }
+      s.faults = fault->sample_op(op_core_cycles, op_busy, op.hbm_bytes);
+      const std::uint64_t batch_cost =
+          op_core_cycles / std::max<std::size_t>(stream.batches.size(), 1);
+      s.retry_cycles = static_cast<double>(
+          price_op_faults(*fault, s.faults, batch_cost, fault_totals));
+    }
+    s.work = static_cast<double>(op_core_cycles) + s.retry_cycles;
     if (op.kind == OpKind::Ntt || op.kind == OpKind::Intt) {
       const double words = static_cast<double>(op.n) *
                            static_cast<double>(std::max<std::size_t>(op.channels, 1));
@@ -199,6 +226,22 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
               {"hbm_bytes", static_cast<double>(op.hbm_bytes)},
           };
           timeline->record(std::move(ev));
+          if (s.faults.total() > 0) {
+            obs::TraceEvent fe;
+            fe.name = std::string("fault ") + to_string(op.kind) + "#" +
+                      std::to_string(idx);
+            fe.cat = "fault";
+            fe.tid = kFaultTid;
+            fe.ts = s.start_time;
+            fe.dur = now - s.start_time;
+            fe.num_args = {
+                {"faults_compute", static_cast<double>(s.faults.compute)},
+                {"faults_sram", static_cast<double>(s.faults.sram)},
+                {"faults_hbm", static_cast<double>(s.faults.hbm)},
+                {"retry_core_cycles", s.retry_cycles},
+            };
+            timeline->record(std::move(fe));
+          }
         }
         for (std::size_t dep : s.dependents) {
           if (--state[dep].unmet_deps == 0) {
@@ -222,8 +265,9 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
   reg.add(metrics::kStall, static_cast<std::uint64_t>(std::ceil(stall_integral)),
           {{"cause", "hbm"}});
   reg.add(metrics::kTransposeCycles, total_transpose);
-  reg.set_gauge(metrics::kTimeUs, now / (config.freq_ghz * 1e3));
-  const double peak = static_cast<double>(config.peak_lanes());
+  if (fault) add_fault_counters(reg, *fault, fault_totals);
+  reg.set_gauge(metrics::kTimeUs, now / (cfg.freq_ghz * 1e3));
+  const double peak = static_cast<double>(cfg.peak_lanes());
   reg.set_gauge(metrics::kUtilization, now > 0 ? busy_integral / (peak * now) : 0);
   for (std::size_t c = 0; c < kNumOpClasses; ++c) {
     const char* tag = class_tag(static_cast<OpClass>(c));

@@ -15,9 +15,15 @@
 // is recorded with its *actual* ready/start/end times on its operator class's
 // unit-group tracks, plus per-op HBM key-streaming slices — recording never
 // perturbs the reported SimResult.
+//
+// Fault modeling mirrors simulate_alchemist (see alchemist_sim.h): the same
+// FaultModel degrades the geometry, inflates slot-partitioned work for the
+// re-homed stripe, and charges policy-priced retry work per op — sampled in
+// graph index order so a fixed seed reproduces the run on either engine.
 #pragma once
 
 #include "arch/config.h"
+#include "fault/fault_model.h"
 #include "metaop/op_graph.h"
 #include "obs/timeline.h"
 #include "sim/result.h"
@@ -26,7 +32,8 @@ namespace alchemist::sim {
 
 SimResult simulate_alchemist_events(const metaop::OpGraph& graph,
                                     const arch::ArchConfig& config,
-                                    obs::Timeline* timeline = nullptr);
+                                    obs::Timeline* timeline = nullptr,
+                                    fault::FaultModel* fault_model = nullptr);
 
 // Time-sharing scheduler (§5.4): interleave independent operation streams
 // into one graph so compute of one stream overlaps key streaming of another.

@@ -1,0 +1,84 @@
+// Shared fault accounting between the two Alchemist simulator engines.
+//
+// Both engines sample each op's transient faults from the FaultModel (in
+// graph index order, so a seed fully reproduces a run) and charge the
+// mitigation cost in core-cycles through price_op_faults(); the aggregate
+// totals land in the obs::Registry as fault.* counters via
+// add_fault_counters(). Keeping the policy pricing here guarantees the level
+// and event engines degrade identically.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "fault/fault_model.h"
+#include "obs/registry.h"
+
+namespace alchemist::sim {
+
+struct FaultTotals {
+  std::uint64_t compute = 0;          // injected transients by domain
+  std::uint64_t sram = 0;
+  std::uint64_t hbm = 0;
+  std::uint64_t retries = 0;          // detect-retry re-executions
+  std::uint64_t retry_cycles = 0;     // core-cycles burned re-executing
+  std::uint64_t corrupted_ops = 0;    // ops whose output stays corrupted
+  std::uint64_t dmr_corrections = 0;  // mismatches fixed by the shadow core
+};
+
+// Price one op's transient faults under the model's policy. `batch_cost` is
+// the core-cycle cost of the affected Meta-OP batch (the re-execution
+// granule). Returns the extra core-cycles charged to the op and accumulates
+// the registry totals.
+inline std::uint64_t price_op_faults(const fault::FaultModel& model,
+                                     const fault::OpFaults& faults,
+                                     std::uint64_t batch_cost, FaultTotals& totals) {
+  totals.compute += faults.compute;
+  totals.sram += faults.sram;
+  totals.hbm += faults.hbm;
+  const std::uint64_t n_faults = faults.total();
+  if (n_faults == 0) return 0;
+  std::uint64_t extra = 0;
+  switch (model.config().policy) {
+    case fault::Policy::None:
+      // Undetected: the op completes on time with a corrupted output.
+      ++totals.corrupted_ops;
+      break;
+    case fault::Policy::DetectRetry: {
+      // Each detected fault re-executes the affected batch; the re-issue
+      // window doubles per successive retry within the op (flush, refetch,
+      // re-dispatch compound). Beyond max_retries the op is unrecoverable.
+      const std::uint64_t attempts =
+          std::min<std::uint64_t>(n_faults, model.config().max_retries);
+      for (std::uint64_t a = 0; a < attempts; ++a) extra += batch_cost << a;
+      totals.retries += attempts;
+      totals.retry_cycles += extra;
+      if (n_faults > model.config().max_retries) ++totals.corrupted_ops;
+      break;
+    }
+    case fault::Policy::Dmr:
+      // The shadow core detects the mismatch immediately; one clean
+      // re-execution of the batch corrects each fault.
+      extra = n_faults * batch_cost;
+      totals.dmr_corrections += n_faults;
+      totals.retry_cycles += extra;
+      break;
+  }
+  return extra;
+}
+
+inline void add_fault_counters(obs::Registry& reg, const fault::FaultModel& model,
+                               const FaultTotals& totals) {
+  namespace fm = fault::metrics;
+  reg.add(fm::kInjected, totals.compute + totals.sram + totals.hbm);
+  reg.add(fm::kInjected, totals.compute, {{"domain", "compute"}});
+  reg.add(fm::kInjected, totals.sram, {{"domain", "sram"}});
+  reg.add(fm::kInjected, totals.hbm, {{"domain", "hbm"}});
+  reg.add(fm::kRetries, totals.retries);
+  reg.add(fm::kRetryCycles, totals.retry_cycles);
+  reg.add(fm::kCorruptedOps, totals.corrupted_ops);
+  reg.add(fm::kDmrCorrections, totals.dmr_corrections);
+  reg.add(fm::kMaskedUnits, model.masked_count());
+}
+
+}  // namespace alchemist::sim

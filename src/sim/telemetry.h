@@ -9,6 +9,8 @@
 //   transpose RF    ->  kTransposeTid                  ("transpose")
 //   scheduler       ->  kSchedulerTid                  ("scheduler") — level
 //                       frames of the analytical model, stall frames
+//   fault model     ->  kFaultTid                      ("fault") — injected
+//                       transients, retry re-executions, DMR corrections
 #pragma once
 
 #include <algorithm>
@@ -26,11 +28,13 @@ inline constexpr std::uint32_t kHbmTid =
     static_cast<std::uint32_t>(metaop::kNumOpClasses) * kRowsPerClass;
 inline constexpr std::uint32_t kTransposeTid = kHbmTid + 1;
 inline constexpr std::uint32_t kSchedulerTid = kHbmTid + 2;
+inline constexpr std::uint32_t kFaultTid = kHbmTid + 3;
 
 inline void name_fixed_tracks(obs::Timeline& timeline) {
   timeline.set_track_name(kHbmTid, "hbm");
   timeline.set_track_name(kTransposeTid, "transpose");
   timeline.set_track_name(kSchedulerTid, "scheduler");
+  timeline.set_track_name(kFaultTid, "fault");
 }
 
 // First-fit row allocation for one operator class's unit-group track family.
