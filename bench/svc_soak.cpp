@@ -1,0 +1,269 @@
+// Deterministic soak of the resilient simulation service (src/svc).
+//
+// One run per worker count pushes a fixed, seeded mix of >200 jobs through
+// the JobRunner with everything hostile turned on at once:
+//
+//   * queue capacity below the submission burst  -> deterministic shedding
+//     (workers start paused, so the burst hits a full queue);
+//   * tight deterministic step budgets            -> DeadlineExpired with a
+//     checkpoint captured, later resumed to completion and checked
+//     bit-identical against an uninterrupted reference run;
+//   * injected transient faults + retry budgets   -> retried / failed jobs;
+//   * cooperative cancellation of queued jobs;
+//   * a poison workload class (fault rate 1.0)    -> circuit breaker opens,
+//     subsequent submissions fast-fail with CircuitOpen.
+//
+// The soak asserts, for every worker count, that each job handle lands in
+// exactly one terminal state, that the svc.* terminal-state counters
+// partition svc.submitted, and that the handle tally equals the counters.
+// Exit status is non-zero on any violation, so this doubles as a ctest.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/alchemist_sim.h"
+#include "sim/event_sim.h"
+#include "svc/job_runner.h"
+#include "workloads/ckks_workloads.h"
+
+namespace {
+
+using namespace alchemist;
+using GraphPtr = std::shared_ptr<const metaop::OpGraph>;
+
+constexpr std::size_t kJobs = 260;       // submission burst (wave 1)
+constexpr std::size_t kQueueCap = 224;   // < kJobs: the tail is shed
+constexpr std::size_t kPoisonJobs = 8;   // wave 2: breaker exercise
+constexpr std::size_t kBreakerThreshold = 4;
+constexpr u64 kSeed = 0x50a1'c0deull;
+
+#define SOAK_CHECK(cond, msg)                                      \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      std::fprintf(stderr, "svc_soak FAILED: %s (line %d)\n", msg, \
+                   __LINE__);                                      \
+      return false;                                                \
+    }                                                              \
+  } while (0)
+
+struct SoakStats {
+  u64 submitted = 0, completed = 0, retried_ok = 0, failed = 0, cancelled = 0,
+      expired = 0, shed = 0, circuit_open = 0, retries = 0, resumed = 0;
+  double wall_ms = 0.0, p99_ms = 0.0, throughput = 0.0;
+};
+
+// Uninterrupted reference runs, indexed [graph][engine]; resumed jobs are
+// fault-free, so their results must be bit-identical to these.
+std::vector<std::array<sim::SimResult, 2>> make_references(
+    const std::vector<GraphPtr>& graphs, const arch::ArchConfig& cfg) {
+  std::vector<std::array<sim::SimResult, 2>> refs;
+  refs.reserve(graphs.size());
+  for (const GraphPtr& g : graphs) {
+    refs.push_back({sim::simulate_alchemist(*g, cfg),
+                    sim::simulate_alchemist_events(*g, cfg)});
+  }
+  return refs;
+}
+
+bool run_soak(std::size_t workers, const std::vector<GraphPtr>& graphs,
+              const std::vector<std::array<sim::SimResult, 2>>& refs,
+              SoakStats& out) {
+  svc::RunnerOptions opts;
+  opts.workers = workers;
+  opts.queue_capacity = kQueueCap;
+  opts.breaker_threshold = kBreakerThreshold;
+  opts.breaker_cooldown = std::chrono::seconds(600);  // stays open for the run
+  opts.backoff.base_us = 50;
+  opts.backoff.cap_us = 1000;
+  opts.start_paused = true;  // deterministic queue pressure + cancellation
+  svc::JobRunner runner(opts);
+
+  // Wave 1: seeded mixed burst against parked workers.
+  Rng rng(kSeed);
+  std::vector<svc::JobPtr> handles;
+  std::vector<bool> budgeted(kJobs, false);
+  std::vector<std::size_t> graph_of(kJobs, 0), engine_of(kJobs, 0);
+  handles.reserve(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    svc::JobSpec spec;
+    spec.name = "soak-" + std::to_string(i);
+    graph_of[i] = rng.uniform(graphs.size());
+    engine_of[i] = rng.uniform(2);
+    spec.graph = graphs[graph_of[i]];
+    spec.engine = engine_of[i] == 0 ? svc::Engine::Level : svc::Engine::Event;
+    spec.checkpoint_interval = 2;
+    const u64 r = rng.uniform(100);
+    if (r < 20) {
+      // Tight deterministic deadline; fault-free so a resumed run can be
+      // compared bit-for-bit against the uninterrupted reference.
+      budgeted[i] = true;
+      spec.max_steps = 1 + rng.uniform(2);
+    } else if (r < 50) {
+      spec.fault_enabled = true;
+      spec.fault.seed = rng.next();
+      const double rate = 1e-9 * static_cast<double>(1 + rng.uniform(20));
+      spec.fault.compute_fault_rate = spec.fault.sram_fault_rate =
+          spec.fault.hbm_fault_rate = rate;
+      spec.max_attempts = 3;
+    }
+    handles.push_back(runner.submit(std::move(spec)));
+  }
+  // Cancel a slice of the queued jobs before anything runs.
+  for (std::size_t i = 7; i < kJobs; i += 29) handles[i]->cancel();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  runner.set_paused(false);
+  runner.drain();
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+  // Wave 2: a workload class that always corrupts its output. Draining after
+  // each submission makes the failure order deterministic: the breaker trips
+  // after kBreakerThreshold failures and the rest are rejected CircuitOpen.
+  std::vector<svc::JobPtr> poison;
+  for (std::size_t i = 0; i < kPoisonJobs; ++i) {
+    svc::JobSpec spec;
+    spec.name = "poison-" + std::to_string(i);
+    spec.workload_class = "poison";
+    spec.graph = graphs[0];
+    spec.fault_enabled = true;
+    spec.fault.seed = kSeed + i;
+    spec.fault.compute_fault_rate = 1.0;
+    poison.push_back(runner.submit(std::move(spec)));
+    runner.drain();
+  }
+  for (std::size_t i = 0; i < kPoisonJobs; ++i) {
+    const svc::JobState expect = i < kBreakerThreshold
+                                     ? svc::JobState::Failed
+                                     : svc::JobState::CircuitOpen;
+    SOAK_CHECK(poison[i]->state() == expect, "poison job state mismatch");
+  }
+
+  // Wave 3: resume every deadline-expired job from its checkpoint and verify
+  // the completed result is bit-identical to the uninterrupted reference.
+  std::vector<std::pair<std::size_t, svc::JobPtr>> resumes;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    if (handles[i]->state() != svc::JobState::DeadlineExpired) continue;
+    SOAK_CHECK(budgeted[i], "non-budgeted job expired");
+    const sim::Checkpoint cp = handles[i]->checkpoint();
+    SOAK_CHECK(cp.valid(), "expired job has no checkpoint");
+    svc::JobSpec spec;
+    spec.name = handles[i]->spec().name + "-resume";
+    spec.workload_class = "resume";  // wave-1 failures may have opened class breakers
+    spec.graph = graphs[graph_of[i]];
+    spec.engine = engine_of[i] == 0 ? svc::Engine::Level : svc::Engine::Event;
+    spec.resume_from = cp;
+    resumes.emplace_back(i, runner.submit(std::move(spec)));
+  }
+  runner.drain();
+  for (const auto& [i, job] : resumes) {
+    SOAK_CHECK(job->state() == svc::JobState::Completed, "resume did not complete");
+    const sim::SimResult& ref = refs[graph_of[i]][engine_of[i]];
+    const sim::SimResult got = job->result();
+    SOAK_CHECK(got.cycles == ref.cycles, "resumed cycles differ from reference");
+    SOAK_CHECK(got.time_us == ref.time_us, "resumed time differs from reference");
+    SOAK_CHECK(got.registry.counters() == ref.registry.counters(),
+               "resumed registry differs from reference");
+  }
+
+  // Global invariants: every handle terminal, in a defined state, and the
+  // svc.* terminal counters partition svc.submitted exactly.
+  const obs::Registry reg = runner.snapshot();
+  out.submitted = reg.counter(svc::metrics::kSubmitted);
+  out.completed = reg.counter(svc::metrics::kCompleted);
+  out.retried_ok = reg.counter(svc::metrics::kCompleted, {{"retried", "true"}});
+  out.failed = reg.counter(svc::metrics::kFailed);
+  out.cancelled = reg.counter(svc::metrics::kCancelled);
+  out.expired = reg.counter(svc::metrics::kDeadlineExpired);
+  out.shed = reg.counter(svc::metrics::kRejected, {{"reason", "queue_full"}}) +
+             reg.counter(svc::metrics::kRejected, {{"reason", "shutdown"}});
+  out.circuit_open = reg.counter(svc::metrics::kRejected, {{"reason", "circuit_open"}});
+  out.retries = reg.counter(svc::metrics::kRetries);
+  out.resumed = reg.counter(svc::metrics::kResumed);
+  out.p99_ms = reg.gauge(svc::metrics::kLatencyUs, {{"p", "99"}}) / 1000.0;
+  out.throughput = static_cast<double>(kJobs - out.shed) * 1000.0 / out.wall_ms;
+
+  const u64 total_handles = kJobs + kPoisonJobs + resumes.size();
+  SOAK_CHECK(out.submitted == total_handles, "submitted != handles");
+  SOAK_CHECK(out.completed + out.failed + out.cancelled + out.expired + out.shed +
+                     out.circuit_open == out.submitted,
+             "terminal-state counters do not partition submitted");
+  SOAK_CHECK(out.shed == kJobs - kQueueCap, "unexpected shed count");
+  SOAK_CHECK(out.resumed == resumes.size(), "svc.resumed mismatch");
+
+  std::map<svc::JobState, u64> tally;
+  auto count = [&](const std::vector<svc::JobPtr>& v) {
+    for (const svc::JobPtr& h : v) {
+      SOAK_CHECK(h->terminal(), "job not terminal at end of soak");
+      ++tally[h->state()];
+    }
+    return true;
+  };
+  if (!count(handles) || !count(poison)) return false;
+  for (const auto& [i, job] : resumes) {
+    (void)i;
+    ++tally[job->state()];
+  }
+  SOAK_CHECK(tally[svc::JobState::Completed] == out.completed, "completed tally");
+  SOAK_CHECK(tally[svc::JobState::Failed] == out.failed, "failed tally");
+  SOAK_CHECK(tally[svc::JobState::Cancelled] == out.cancelled, "cancelled tally");
+  SOAK_CHECK(tally[svc::JobState::DeadlineExpired] == out.expired, "expired tally");
+  SOAK_CHECK(tally[svc::JobState::Shed] == out.shed, "shed tally");
+  SOAK_CHECK(tally[svc::JobState::CircuitOpen] == out.circuit_open, "breaker tally");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> worker_counts = {1, 2, 4, 8};
+  if (argc > 1 && std::string(argv[1]) == "--quick") worker_counts = {4};
+
+  const workloads::CkksWl w = workloads::CkksWl::paper(16);
+  std::vector<GraphPtr> graphs;
+  graphs.push_back(std::make_shared<metaop::OpGraph>(workloads::build_pmult(w)));
+  graphs.push_back(std::make_shared<metaop::OpGraph>(workloads::build_hadd(w)));
+  graphs.push_back(std::make_shared<metaop::OpGraph>(workloads::build_rotation(w)));
+  graphs.push_back(std::make_shared<metaop::OpGraph>(workloads::build_keyswitch(w)));
+  const auto refs = make_references(graphs, arch::ArchConfig::alchemist());
+
+  std::printf("svc_soak: %zu jobs/run (+%zu poison, + resumes), queue %zu, seed 0x%llx\n",
+              kJobs, kPoisonJobs, kQueueCap,
+              static_cast<unsigned long long>(kSeed));
+  std::printf("| workers | throughput (jobs/s) | p99 (ms) | completed | retried-ok | failed | cancelled | expired | shed | breaker |\n");
+  std::printf("|---------|---------------------|----------|-----------|------------|--------|-----------|---------|------|---------|\n");
+
+  SoakStats first{};
+  bool first_set = false;
+  for (std::size_t workers : worker_counts) {
+    SoakStats s;
+    if (!run_soak(workers, graphs, refs, s)) return 1;
+    std::printf("| %7zu | %19.0f | %8.2f | %9llu | %10llu | %6llu | %9llu | %7llu | %4llu | %7llu |\n",
+                workers, s.throughput, s.p99_ms,
+                static_cast<unsigned long long>(s.completed),
+                static_cast<unsigned long long>(s.retried_ok),
+                static_cast<unsigned long long>(s.failed),
+                static_cast<unsigned long long>(s.cancelled),
+                static_cast<unsigned long long>(s.expired),
+                static_cast<unsigned long long>(s.shed),
+                static_cast<unsigned long long>(s.circuit_open));
+    // Job outcomes are independent of scheduling: the terminal-state split
+    // must be identical for every worker count.
+    if (!first_set) {
+      first = s;
+      first_set = true;
+    } else if (s.completed != first.completed || s.failed != first.failed ||
+               s.cancelled != first.cancelled || s.expired != first.expired ||
+               s.shed != first.shed || s.circuit_open != first.circuit_open) {
+      std::fprintf(stderr, "svc_soak FAILED: terminal split varies with worker count\n");
+      return 1;
+    }
+  }
+  std::printf("svc_soak OK\n");
+  return 0;
+}

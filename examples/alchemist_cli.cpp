@@ -63,15 +63,60 @@ int usage() {
   return 2;
 }
 
+// Strict numeric parsing: the whole token must be a positive decimal integer.
+std::size_t parse_count(const char* flag, const char* s) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || std::strchr(s, '-') != nullptr ||
+      v == 0) {
+    std::fprintf(stderr, "invalid %s value \"%s\": expected a positive integer\n",
+                 flag, s);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+double parse_real(const char* flag, const char* s, double lo, double hi) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v >= lo && v <= hi)) {
+    std::fprintf(stderr, "invalid %s value \"%s\": expected a number in [%g, %g]\n",
+                 flag, s, lo, hi);
+    std::exit(2);
+  }
+  return v;
+}
+
+u64 parse_seed(const char* flag, const char* s) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 0);
+  if (errno != 0 || end == s || *end != '\0' || std::strchr(s, '-') != nullptr) {
+    std::fprintf(stderr, "invalid %s value \"%s\": expected an unsigned integer\n",
+                 flag, s);
+    std::exit(2);
+  }
+  return static_cast<u64>(v);
+}
+
 std::vector<std::size_t> parse_unit_list(const char* s) {
   std::vector<std::size_t> units;
   const std::string list = s;
   std::size_t pos = 0;
-  while (pos < list.size()) {
+  while (pos <= list.size()) {
     std::size_t next = list.find(',', pos);
     if (next == std::string::npos) next = list.size();
     const std::string item = list.substr(pos, next - pos);
-    if (!item.empty()) units.push_back(static_cast<std::size_t>(std::atoll(item.c_str())));
+    if (item.empty() || item.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr,
+                   "invalid --mask-units entry \"%s\": expected comma-separated "
+                   "non-negative unit ids like \"0,5,17\"\n",
+                   item.c_str());
+      std::exit(2);
+    }
+    units.push_back(
+        static_cast<std::size_t>(std::strtoull(item.c_str(), nullptr, 10)));
     pos = next + 1;
   }
   return units;
@@ -100,27 +145,30 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--accelerator") accelerator = next();
-    else if (arg == "--units") units = static_cast<std::size_t>(std::atoll(next()));
-    else if (arg == "--hbm") hbm = std::atof(next());
-    else if (arg == "--stream-fraction") stream_fraction = std::atof(next());
-    else if (arg == "--level") level = static_cast<std::size_t>(std::atoll(next()));
-    else if (arg == "--batch") batch = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--units") units = parse_count("--units", next());
+    else if (arg == "--hbm") hbm = parse_real("--hbm", next(), 1e-3, 1e9);
+    else if (arg == "--stream-fraction") stream_fraction = parse_real("--stream-fraction", next(), 0.0, 1.0);
+    else if (arg == "--level") level = parse_count("--level", next());
+    else if (arg == "--batch") batch = parse_count("--batch", next());
     else if (arg == "--event") use_event = true;
     else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--metrics-out") metrics_out = next();
     else if (arg == "--fault-seed") {
-      fault_cfg.seed = static_cast<u64>(std::strtoull(next(), nullptr, 0));
+      fault_cfg.seed = parse_seed("--fault-seed", next());
       fault_requested = true;
     } else if (arg == "--fault-rate") {
-      const double rate = std::atof(next());
+      const double rate = parse_real("--fault-rate", next(), 0.0, 1.0);
       fault_cfg.compute_fault_rate = fault_cfg.sram_fault_rate =
           fault_cfg.hbm_fault_rate = rate;
       fault_requested = true;
     } else if (arg == "--fault-policy") {
+      const char* policy = next();
       try {
-        fault_cfg.policy = fault::policy_from_string(next());
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "%s\n", e.what());
+        fault_cfg.policy = fault::policy_from_string(policy);
+      } catch (const std::exception&) {
+        std::fprintf(stderr,
+                     "unknown fault policy \"%s\": expected none, detect-retry or dmr\n",
+                     policy);
         return 2;
       }
       fault_requested = true;

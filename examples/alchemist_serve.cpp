@@ -1,0 +1,139 @@
+// Serving front end for the resilient simulation service (src/svc).
+//
+//   alchemist_serve [--workers N] [--jobs N] [--fault-rate R]
+//                   [--deadline-ms D] [--queue N] [--seed S]
+//
+// Submits a mixed list of CKKS simulation jobs (both engines, a slice of
+// them under an injected transient-fault model with a bounded retry budget,
+// optionally under a wall-clock deadline) to a JobRunner with N workers and
+// a bounded queue, waits for the pool to drain, and prints the report a
+// serving deployment would scrape from the svc.* metrics: terminal-state
+// partition, throughput, p50/p99 latency, and yield.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svc/job_runner.h"
+#include "workloads/ckks_workloads.h"
+
+namespace {
+
+using namespace alchemist;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: alchemist_serve [--workers N] [--jobs N] [--fault-rate R]\n"
+               "       [--deadline-ms D] [--queue N] [--seed S]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t workers = 4, jobs = 32, queue = 64;
+  double fault_rate = 2e-9, deadline_ms = 0.0;
+  u64 seed = 0xa1c4'e5ull;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workers") workers = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--jobs") jobs = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--queue") queue = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--fault-rate") fault_rate = std::atof(next());
+    else if (arg == "--deadline-ms") deadline_ms = std::atof(next());
+    else if (arg == "--seed") seed = static_cast<u64>(std::strtoull(next(), nullptr, 0));
+    else return usage();
+  }
+  if (workers == 0 || jobs == 0 || queue == 0) return usage();
+
+  // A small mixed workload menu; shared_ptr so hundreds of jobs share graphs.
+  const workloads::CkksWl w = workloads::CkksWl::paper(24);
+  std::vector<std::shared_ptr<const metaop::OpGraph>> graphs;
+  graphs.push_back(std::make_shared<metaop::OpGraph>(workloads::build_pmult(w)));
+  graphs.push_back(std::make_shared<metaop::OpGraph>(workloads::build_hadd(w)));
+  graphs.push_back(std::make_shared<metaop::OpGraph>(workloads::build_rotation(w)));
+  graphs.push_back(std::make_shared<metaop::OpGraph>(workloads::build_keyswitch(w)));
+
+  svc::RunnerOptions opts;
+  opts.workers = workers;
+  opts.queue_capacity = queue;
+  svc::JobRunner runner(opts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<svc::JobPtr> handles;
+  handles.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    svc::JobSpec spec;
+    spec.name = "job-" + std::to_string(i);
+    spec.graph = graphs[i % graphs.size()];
+    spec.engine = (i % 2 == 0) ? svc::Engine::Level : svc::Engine::Event;
+    if (fault_rate > 0 && i % 3 == 0) {
+      spec.fault_enabled = true;
+      spec.fault.seed = seed + i;
+      spec.fault.compute_fault_rate = spec.fault.sram_fault_rate =
+          spec.fault.hbm_fault_rate = fault_rate;
+      spec.max_attempts = 3;
+    }
+    if (deadline_ms > 0) {
+      spec.deadline =
+          std::chrono::microseconds(static_cast<long long>(deadline_ms * 1000.0));
+    }
+    handles.push_back(runner.submit(std::move(spec)));
+  }
+  runner.drain();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const obs::Registry reg = runner.snapshot();
+  const u64 submitted = reg.counter(svc::metrics::kSubmitted);
+  const u64 completed = reg.counter(svc::metrics::kCompleted);
+  const u64 retried_ok = reg.counter(svc::metrics::kCompleted, {{"retried", "true"}});
+  const u64 failed = reg.counter(svc::metrics::kFailed);
+  const u64 cancelled = reg.counter(svc::metrics::kCancelled);
+  const u64 expired = reg.counter(svc::metrics::kDeadlineExpired);
+  const u64 rejected = reg.total_over_tags("svc.rejected{");
+  const u64 retries = reg.counter(svc::metrics::kRetries);
+
+  std::printf("alchemist_serve: %zu jobs, %zu workers, queue capacity %zu\n",
+              jobs, workers, queue);
+  std::printf("  completed          %llu  (%llu after retry, %llu sim retries)\n",
+              static_cast<unsigned long long>(completed),
+              static_cast<unsigned long long>(retried_ok),
+              static_cast<unsigned long long>(retries));
+  std::printf("  failed             %llu\n", static_cast<unsigned long long>(failed));
+  std::printf("  cancelled          %llu\n", static_cast<unsigned long long>(cancelled));
+  std::printf("  deadline-expired   %llu\n", static_cast<unsigned long long>(expired));
+  std::printf("  shed / breaker     %llu\n", static_cast<unsigned long long>(rejected));
+  std::printf("  wall               %.2f ms\n", wall_ms);
+  std::printf("  throughput         %.0f jobs/s\n",
+              static_cast<double>(submitted) * 1000.0 / wall_ms);
+  std::printf("  latency p50/p99    %.2f / %.2f ms\n",
+              reg.gauge(svc::metrics::kLatencyUs, {{"p", "50"}}) / 1000.0,
+              reg.gauge(svc::metrics::kLatencyUs, {{"p", "99"}}) / 1000.0);
+  std::printf("  yield              %.1f %%\n",
+              100.0 * static_cast<double>(completed) / static_cast<double>(submitted));
+
+  // The terminal-state counters must partition svc.submitted, and every
+  // handle must have reached a terminal state once drain() returned.
+  if (completed + failed + cancelled + expired + rejected != submitted) {
+    std::fprintf(stderr, "terminal-state counters do not partition submitted\n");
+    return 1;
+  }
+  for (const svc::JobPtr& h : handles) {
+    if (!h->terminal()) {
+      std::fprintf(stderr, "job %s not terminal after drain\n", h->spec().name.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Shared exponential-backoff schedule with deterministic, seed-driven jitter.
+//
+// One implementation serves both retry loops in the codebase: the simulated
+// detect-and-retry harness (fault::Retrier, which *accounts* the delays in
+// virtual microseconds) and the serving layer's real retry loop
+// (svc::JobRunner, which actually sleeps them). Keeping the schedule here
+// guarantees the two price a retry storm identically.
+//
+// The schedule is the classic capped exponential with full-jitter fraction:
+//
+//   delay_k = min(cap, base * multiplier^k) * (1 + jitter * u_k),
+//   u_k ~ Uniform[-1, 1) drawn from an Rng seeded at construction,
+//
+// so a fixed (config, seed) pair reproduces the exact delay sequence — the
+// property every deterministic soak and every bit-identical replay relies on.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace alchemist {
+
+struct BackoffConfig {
+  std::uint64_t base_us = 100;     // first retry delay
+  double multiplier = 2.0;         // growth per attempt (>= 1)
+  std::uint64_t cap_us = 100'000;  // ceiling before jitter
+  double jitter = 0.1;             // fraction in [0, 1]: delay *= 1 +/- jitter
+  u64 seed = 0xbacc'0ffull;        // jitter stream seed
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffConfig cfg = {}) : cfg_(cfg), rng_(cfg.seed) {
+    if (cfg_.base_us == 0) throw std::invalid_argument("Backoff: base_us must be > 0");
+    if (!(cfg_.multiplier >= 1.0) || !std::isfinite(cfg_.multiplier)) {
+      throw std::invalid_argument("Backoff: multiplier must be finite and >= 1");
+    }
+    if (!(cfg_.jitter >= 0.0 && cfg_.jitter <= 1.0)) {
+      throw std::invalid_argument("Backoff: jitter must be in [0, 1]");
+    }
+    if (cfg_.cap_us < cfg_.base_us) {
+      throw std::invalid_argument("Backoff: cap_us must be >= base_us");
+    }
+  }
+
+  const BackoffConfig& config() const { return cfg_; }
+
+  // Delay before the next retry, advancing the attempt counter and the jitter
+  // stream. Never returns 0: a retry always backs off at least 1 us.
+  std::uint64_t next_us() {
+    double delay = static_cast<double>(cfg_.base_us) *
+                   std::pow(cfg_.multiplier, static_cast<double>(attempts_));
+    delay = std::min(delay, static_cast<double>(cfg_.cap_us));
+    if (cfg_.jitter > 0.0) {
+      const double u = 2.0 * rng_.uniform_real() - 1.0;  // [-1, 1)
+      delay *= 1.0 + cfg_.jitter * u;
+    }
+    ++attempts_;
+    const std::uint64_t us =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(delay)));
+    total_us_ += us;
+    return us;
+  }
+
+  // Re-arm at attempt 0 with the original jitter seed (full reproduction).
+  void reset() {
+    attempts_ = 0;
+    total_us_ = 0;
+    rng_ = Rng(cfg_.seed);
+  }
+
+  std::size_t attempts() const { return attempts_; }
+  std::uint64_t total_us() const { return total_us_; }
+
+ private:
+  BackoffConfig cfg_;
+  Rng rng_;
+  std::size_t attempts_ = 0;
+  std::uint64_t total_us_ = 0;
+};
+
+}  // namespace alchemist

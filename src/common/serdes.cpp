@@ -45,6 +45,11 @@ void BinaryWriter::write_u64_vector(std::span<const u64> v) {
   for (u64 x : v) write_u64(x);
 }
 
+void BinaryWriter::write_bytes(std::span<const std::uint8_t> bytes) {
+  write_u64(bytes.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
 void BinaryWriter::write_tag(const std::string& tag) {
   write_u64(tag.size());
   for (char c : tag) buffer_.push_back(static_cast<std::uint8_t>(c));
@@ -104,6 +109,28 @@ std::vector<u64> BinaryReader::read_u64_vector() {
   std::vector<u64> v(static_cast<std::size_t>(count));
   for (u64& x : v) x = read_u64();
   return v;
+}
+
+std::vector<std::uint8_t> BinaryReader::read_bytes() {
+  const u64 count = read_u64();
+  if (count > remaining()) {
+    throw std::runtime_error("BinaryReader: blob length exceeds remaining input");
+  }
+  std::vector<std::uint8_t> v(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                              buffer_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+  pos_ += static_cast<std::size_t>(count);
+  return v;
+}
+
+std::string BinaryReader::read_string(std::size_t max_len) {
+  const u64 len = read_u64();
+  if (len > remaining() || len > max_len) {
+    throw std::runtime_error("BinaryReader: string length exceeds remaining input");
+  }
+  std::string s(reinterpret_cast<const char*>(buffer_.data() + pos_),
+                static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return s;
 }
 
 void BinaryReader::expect_tag(const std::string& tag) {

@@ -27,6 +27,8 @@ class BinaryWriter {
   void write_u64(u64 v);
   void write_double(double v);
   void write_u64_vector(std::span<const u64> v);
+  // Length-prefixed raw byte blob (nested frames, checkpoint cursors).
+  void write_bytes(std::span<const std::uint8_t> bytes);
   // Write a tag identifying the following object (checked on read).
   void write_tag(const std::string& tag);
 
@@ -53,6 +55,12 @@ class BinaryReader {
   // The declared element count is validated against remaining() before the
   // vector is allocated.
   std::vector<u64> read_u64_vector();
+  // Length-prefixed blob written by write_bytes; the declared length is
+  // validated against remaining() before allocation.
+  std::vector<std::uint8_t> read_bytes();
+  // Length-prefixed string written by write_tag, with the same length cap and
+  // an additional sanity bound (`max_len`) for keys that should be short.
+  std::string read_string(std::size_t max_len = 4096);
   // Throws std::runtime_error if the next tag does not match.
   void expect_tag(const std::string& tag);
 

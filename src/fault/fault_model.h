@@ -44,6 +44,7 @@ namespace metrics {
 inline constexpr const char* kInjected = "fault.injected";  // + {domain=}
 inline constexpr const char* kRetries = "fault.retries";
 inline constexpr const char* kRetryCycles = "fault.retry_cycles";
+inline constexpr const char* kBackoffUs = "fault.backoff_us";  // Retrier pacing
 inline constexpr const char* kCorruptedOps = "fault.corrupted_ops";
 inline constexpr const char* kDmrCorrections = "fault.dmr_corrections";
 inline constexpr const char* kMaskedUnits = "fault.masked_units";

@@ -19,6 +19,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/backoff.h"
 #include "common/rng.h"
 #include "fault/fault_model.h"
 #include "obs/registry.h"
@@ -61,10 +62,17 @@ std::uint64_t poly_checksum(const RnsPoly& poly);
 // re-execute on failure. Attempt counts and successes land in the registry
 // (fault.retries) when one is attached; exhausting max_retries throws
 // UnrecoverableFaultError.
+//
+// Each re-execution is paced by the shared exponential-backoff policy
+// (common/backoff.h, deterministic seed-driven jitter — the same policy the
+// svc::JobRunner uses for job-level retries). The delay is accounted, not
+// slept: backoff_us() and the fault.backoff_us counter report the pacing a
+// deployment would have inserted between attempts.
 class Retrier {
  public:
-  explicit Retrier(std::size_t max_retries = 4, obs::Registry* registry = nullptr)
-      : max_retries_(max_retries), registry_(registry) {}
+  explicit Retrier(std::size_t max_retries = 4, obs::Registry* registry = nullptr,
+                   BackoffConfig backoff = {})
+      : max_retries_(max_retries), registry_(registry), backoff_(backoff) {}
 
   template <typename Compute, typename Valid>
   auto run(Compute&& compute, Valid&& valid) -> decltype(compute()) {
@@ -77,15 +85,22 @@ class Retrier {
             std::to_string(max_retries_) + " retries");
       }
       ++retries_;
-      if (registry_) registry_->add(metrics::kRetries, 1);
+      const std::uint64_t delay_us = backoff_.next_us();
+      if (registry_) {
+        registry_->add(metrics::kRetries, 1);
+        registry_->add(metrics::kBackoffUs, delay_us);
+      }
     }
   }
 
   std::uint64_t retries() const { return retries_; }
+  // Total pacing delay the backoff policy charged across all retries.
+  std::uint64_t backoff_us() const { return backoff_.total_us(); }
 
  private:
   std::size_t max_retries_;
   obs::Registry* registry_;
+  Backoff backoff_;
   std::uint64_t retries_ = 0;
 };
 

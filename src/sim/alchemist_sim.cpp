@@ -45,7 +45,8 @@ std::vector<std::vector<std::size_t>> asap_levels(const OpGraph& graph) {
 }  // namespace
 
 SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& config,
-                             obs::Timeline* timeline, fault::FaultModel* fault_model) {
+                             obs::Timeline* timeline, fault::FaultModel* fault_model,
+                             SimControl* control) {
   SimResult result;
   result.workload = graph.name;
   result.accelerator = "Alchemist";
@@ -82,8 +83,113 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
   std::array<std::uint64_t, kNumOpClasses> class_busy_lanes{};
 
   const auto levels = asap_levels(graph);
+
+  // --- execution control: resume, cooperative stop, checkpointing ---------
+  const std::uint64_t fingerprint = sim_fingerprint(config, fault);
+  std::uint64_t resume_level = 0;
+  if (control && control->checkpoint && control->checkpoint->valid()) {
+    const Checkpoint& cp = *control->checkpoint;
+    if (cp.engine != kLevelEngine) {
+      throw CheckpointError("level engine: checkpoint from engine '" + cp.engine + "'");
+    }
+    if (cp.workload != graph.name || cp.op_count != graph.ops.size()) {
+      throw CheckpointError("level engine: checkpoint belongs to a different graph");
+    }
+    if (cp.fingerprint != fingerprint) {
+      throw CheckpointError("level engine: machine/fault configuration changed");
+    }
+    BinaryReader r(cp.state);
+    resume_level = r.read_u64();
+    if (resume_level > levels.size()) {
+      throw CheckpointError("level engine: checkpoint step past end of schedule");
+    }
+    total_cycles = r.read_u64();
+    total_transpose = r.read_u64();
+    total_busy_lane_cycles = r.read_u64();
+    total_hbm_bytes = r.read_double();
+    const std::vector<std::uint64_t> wall = r.read_u64_vector();
+    const std::vector<std::uint64_t> busy = r.read_u64_vector();
+    if (wall.size() != kNumOpClasses || busy.size() != kNumOpClasses) {
+      throw CheckpointError("level engine: per-class array size mismatch");
+    }
+    std::copy(wall.begin(), wall.end(), class_wall.begin());
+    std::copy(busy.begin(), busy.end(), class_busy_lanes.begin());
+    fault_totals.compute = r.read_u64();
+    fault_totals.sram = r.read_u64();
+    fault_totals.hbm = r.read_u64();
+    fault_totals.retries = r.read_u64();
+    fault_totals.retry_cycles = r.read_u64();
+    fault_totals.corrupted_ops = r.read_u64();
+    fault_totals.dmr_corrections = r.read_u64();
+    read_registry(r, reg);
+    // Replaying the skipped levels' transient draws below assumes the fault
+    // RNG starts at the seed, exactly as the interrupted run did.
+    if (fault) fault->reset();
+  }
+  auto save_checkpoint = [&](std::uint64_t levels_done) {
+    Checkpoint cp;
+    cp.engine = kLevelEngine;
+    cp.workload = graph.name;
+    cp.op_count = graph.ops.size();
+    cp.fingerprint = fingerprint;
+    cp.step = levels_done;
+    BinaryWriter w;
+    w.write_u64(levels_done);
+    w.write_u64(total_cycles);
+    w.write_u64(total_transpose);
+    w.write_u64(total_busy_lane_cycles);
+    w.write_double(total_hbm_bytes);
+    w.write_u64_vector(class_wall);
+    w.write_u64_vector(class_busy_lanes);
+    w.write_u64(fault_totals.compute);
+    w.write_u64(fault_totals.sram);
+    w.write_u64(fault_totals.hbm);
+    w.write_u64(fault_totals.retries);
+    w.write_u64(fault_totals.retry_cycles);
+    w.write_u64(fault_totals.corrupted_ops);
+    w.write_u64(fault_totals.dmr_corrections);
+    write_registry(w, reg);
+    cp.state = w.buffer();
+    *control->checkpoint = std::move(cp);
+  };
+  std::uint64_t executed_steps = 0;
+
   for (std::size_t level_idx = 0; level_idx < levels.size(); ++level_idx) {
     const auto& level = levels[level_idx];
+    if (level_idx < resume_level) {
+      // Completed before the checkpoint: skip the accounting (it is already
+      // in the restored accumulators) but replay the fault RNG draws so the
+      // remaining ops sample the same transients as the uninterrupted run.
+      if (fault) {
+        for (std::size_t idx : level) {
+          const HighOp& op = graph.ops[idx];
+          const MetaOpStream stream = metaop::lower(op);
+          std::uint64_t op_core_cycles = stream.core_cycles();
+          std::uint64_t op_busy = 0;
+          for (const MetaOpBatch& batch : stream.batches) {
+            op_busy += batch.count * cfg.lanes * (batch.n + 2);
+          }
+          const double pad = fault->slot_padding_factor(op.n);
+          if (pad > 1.0) {
+            op_core_cycles = static_cast<std::uint64_t>(
+                std::ceil(static_cast<double>(op_core_cycles) * pad));
+          }
+          (void)fault->sample_op(op_core_cycles, op_busy, op.hbm_bytes);
+        }
+      }
+      continue;
+    }
+    if (control) {
+      StopReason stop = control->cancel ? control->cancel->should_stop() : StopReason::None;
+      if (stop == StopReason::None && control->max_steps != 0 &&
+          executed_steps >= control->max_steps) {
+        stop = StopReason::StepBudget;
+      }
+      if (stop != StopReason::None) {
+        if (control->checkpoint) save_checkpoint(level_idx);
+        throw CancelledError(stop, level_idx);
+      }
+    }
     // Cores are fungible across the ops of a level: Meta-OP work pools and
     // fills waves jointly; only the pooled tail is padded.
     std::uint64_t level_core_cycles = 0;   // exact core-cycles of work
@@ -218,6 +324,11 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
     }
     total_cycles += level_wall;
     total_hbm_bytes += level_hbm_bytes;
+    ++executed_steps;
+    if (control && control->checkpoint && control->checkpoint_interval != 0 &&
+        executed_steps % control->checkpoint_interval == 0) {
+      save_checkpoint(level_idx + 1);
+    }
   }
 
   // Key material is prefetched with double buffering across the whole graph

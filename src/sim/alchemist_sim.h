@@ -26,6 +26,15 @@
 // counted under fault.* metrics. A model with zero rates, no mask and a
 // non-DMR policy — or no model at all — leaves the results bit-identical to
 // the fault-free simulator.
+//
+// Execution control: an optional sim::SimControl makes the run cooperative —
+// a step here is one ASAP level. The engine polls the CancelToken / step
+// budget before each level, snapshots its cursor (completed levels, cycle
+// accumulators, registry, fault totals) into the attached Checkpoint, and
+// throws CancelledError on stop. A valid incoming checkpoint resumes the run:
+// completed levels are skipped (the fault RNG is replayed over them so
+// transient sampling stays aligned; the fault model must be in its seed
+// state) and the final SimResult is bit-identical to an uninterrupted run.
 #pragma once
 
 #include "arch/config.h"
@@ -33,12 +42,14 @@
 #include "metaop/op_graph.h"
 #include "obs/timeline.h"
 #include "sim/result.h"
+#include "sim/sim_control.h"
 
 namespace alchemist::sim {
 
 SimResult simulate_alchemist(const metaop::OpGraph& graph,
                              const arch::ArchConfig& config,
                              obs::Timeline* timeline = nullptr,
-                             fault::FaultModel* fault_model = nullptr);
+                             fault::FaultModel* fault_model = nullptr,
+                             SimControl* control = nullptr);
 
 }  // namespace alchemist::sim

@@ -47,7 +47,8 @@ struct OpState {
 SimResult simulate_alchemist_events(const OpGraph& graph,
                                     const arch::ArchConfig& config,
                                     obs::Timeline* timeline,
-                                    fault::FaultModel* fault_model) {
+                                    fault::FaultModel* fault_model,
+                                    SimControl* control) {
   SimResult result;
   result.workload = graph.name;
   result.accelerator = "Alchemist(event)";
@@ -59,6 +60,28 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
   fault::FaultModel* fault = fault_model && fault_model->enabled() ? fault_model : nullptr;
   const arch::ArchConfig cfg = fault ? fault->degraded(config) : config;
   FaultTotals fault_totals;
+
+  // Resume validation happens before the (re)computed setup; the setup loop
+  // below is deterministic, so only the event-loop cursor lives in the
+  // checkpoint — everything per-op static (lowering, fault draws, prefetch
+  // schedule) is rebuilt identically. The fault RNG must therefore restart
+  // at its seed.
+  const std::uint64_t fingerprint = sim_fingerprint(config, fault);
+  const bool resuming =
+      control && control->checkpoint && control->checkpoint->valid();
+  if (resuming) {
+    const Checkpoint& cp = *control->checkpoint;
+    if (cp.engine != kEventEngine) {
+      throw CheckpointError("event engine: checkpoint from engine '" + cp.engine + "'");
+    }
+    if (cp.workload != graph.name || cp.op_count != graph.ops.size()) {
+      throw CheckpointError("event engine: checkpoint belongs to a different graph");
+    }
+    if (cp.fingerprint != fingerprint) {
+      throw CheckpointError("event engine: machine/fault configuration changed");
+    }
+    if (fault) fault->reset();
+  }
 
   const bool trace = cfg.telemetry && timeline != nullptr && timeline->enabled();
   if (trace) {
@@ -165,7 +188,78 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
   double stall_integral = 0; // time with live ops but zero runnable compute
   std::array<double, kNumOpClasses> class_active{};  // per-class busy wall
   std::size_t completed = 0;
+
+  if (resuming) {
+    BinaryReader r(control->checkpoint->state);
+    now = r.read_double();
+    busy_integral = r.read_double();
+    stall_integral = r.read_double();
+    for (double& c : class_active) c = r.read_double();
+    completed = static_cast<std::size_t>(r.read_u64());
+    const std::vector<std::uint64_t> run_ids = r.read_u64_vector();
+    const std::uint64_t n_ops = r.read_u64();
+    if (n_ops != state.size() || completed > state.size()) {
+      throw CheckpointError("event engine: per-op state size mismatch");
+    }
+    for (OpState& s : state) {
+      s.work = r.read_double();
+      s.busy_lanes = r.read_double();
+      s.start_time = r.read_double();
+      s.compute_done_time = r.read_double();
+      s.unmet_deps = static_cast<std::size_t>(r.read_u64());
+      const std::uint8_t flags = r.read_u8();
+      s.running = (flags & 1u) != 0;
+      s.done = (flags & 2u) != 0;
+    }
+    running.clear();
+    for (std::uint64_t id : run_ids) {
+      if (id >= state.size()) {
+        throw CheckpointError("event engine: ready-set index out of range");
+      }
+      running.push_back(static_cast<std::size_t>(id));
+    }
+  }
+  auto save_checkpoint = [&]() {
+    Checkpoint cp;
+    cp.engine = kEventEngine;
+    cp.workload = graph.name;
+    cp.op_count = graph.ops.size();
+    cp.fingerprint = fingerprint;
+    cp.step = completed;
+    BinaryWriter w;
+    w.write_double(now);
+    w.write_double(busy_integral);
+    w.write_double(stall_integral);
+    for (double c : class_active) w.write_double(c);
+    w.write_u64(completed);
+    std::vector<std::uint64_t> run_ids(running.begin(), running.end());
+    w.write_u64_vector(run_ids);
+    w.write_u64(state.size());
+    for (const OpState& s : state) {
+      w.write_double(s.work);
+      w.write_double(s.busy_lanes);
+      w.write_double(s.start_time);
+      w.write_double(s.compute_done_time);
+      w.write_u64(s.unmet_deps);
+      w.write_u8(static_cast<std::uint8_t>((s.running ? 1u : 0u) | (s.done ? 2u : 0u)));
+    }
+    cp.state = w.buffer();
+    *control->checkpoint = std::move(cp);
+  };
+  std::uint64_t executed_steps = 0;
+
   while (!running.empty()) {
+    if (control) {
+      StopReason stop = control->cancel ? control->cancel->should_stop() : StopReason::None;
+      if (stop == StopReason::None && control->max_steps != 0 &&
+          executed_steps >= control->max_steps) {
+        stop = StopReason::StepBudget;
+      }
+      if (stop != StopReason::None) {
+        if (control->checkpoint) save_checkpoint();
+        throw CancelledError(stop, completed);
+      }
+    }
     // Work-conserving equal share of the cores among live compute demands.
     std::size_t compute_live = 0;
     for (std::size_t idx : running) compute_live += state[idx].work > 0 ? 1 : 0;
@@ -255,6 +349,11 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
       }
     }
     running = std::move(still_running);
+    ++executed_steps;
+    if (control && control->checkpoint && control->checkpoint_interval != 0 &&
+        executed_steps % control->checkpoint_interval == 0) {
+      save_checkpoint();
+    }
   }
   if (completed != graph.ops.size()) {
     throw std::logic_error("event sim: dependency cycle or unreachable ops");

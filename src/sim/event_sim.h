@@ -20,6 +20,14 @@
 // FaultModel degrades the geometry, inflates slot-partitioned work for the
 // re-homed stripe, and charges policy-priced retry work per op — sampled in
 // graph index order so a fixed seed reproduces the run on either engine.
+//
+// Execution control: with a sim::SimControl attached the event loop becomes
+// cooperative — a step is one completion interval. The engine polls the
+// CancelToken / step budget each iteration and can snapshot its cursor (event
+// clock, per-op remaining work, ready set) into a Checkpoint; the per-op
+// setup (lowering, fault sampling, key prefetch schedule) is deterministic
+// and is simply recomputed on resume, so a resumed run's SimResult is
+// bit-identical to an uninterrupted one.
 #pragma once
 
 #include "arch/config.h"
@@ -27,13 +35,15 @@
 #include "metaop/op_graph.h"
 #include "obs/timeline.h"
 #include "sim/result.h"
+#include "sim/sim_control.h"
 
 namespace alchemist::sim {
 
 SimResult simulate_alchemist_events(const metaop::OpGraph& graph,
                                     const arch::ArchConfig& config,
                                     obs::Timeline* timeline = nullptr,
-                                    fault::FaultModel* fault_model = nullptr);
+                                    fault::FaultModel* fault_model = nullptr,
+                                    SimControl* control = nullptr);
 
 // Time-sharing scheduler (§5.4): interleave independent operation streams
 // into one graph so compute of one stream overlaps key streaming of another.

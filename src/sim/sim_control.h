@@ -1,0 +1,116 @@
+// Cooperative execution control for the simulator engines.
+//
+// Both engines (sim/alchemist_sim.h level-by-level, sim/event_sim.h
+// event-driven) advance in *steps* — one scheduled level, one completion
+// interval — and poll a SimControl between steps. That gives the serving
+// layer (src/svc) three capabilities without preemption:
+//
+//   * cancellation:  a CancelToken flipped from any thread stops the run at
+//     the next step boundary;
+//   * deadlines:     either a wall-clock deadline carried by the token or a
+//     deterministic per-call step budget (max_steps) — the latter is what the
+//     reproducible soak and the checkpoint tests use;
+//   * checkpointing: the engine snapshots its cursor (completed-step index,
+//     cycle accumulators, registry state) into a sim::Checkpoint every
+//     checkpoint_interval steps and always at the stop point, so an
+//     interrupted job can later resume instead of restarting.
+//
+// A stopped run throws CancelledError after publishing the final checkpoint;
+// the SimResult of a resumed run is bit-identical to an uninterrupted one
+// (pinned by tests/test_sim_control.cpp).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/checkpoint.h"
+
+namespace alchemist::sim {
+
+enum class StopReason : std::uint8_t {
+  None = 0,
+  Cancelled,        // CancelToken::request_cancel()
+  DeadlineExpired,  // wall-clock deadline on the token passed
+  StepBudget,       // SimControl::max_steps exhausted (deterministic deadline)
+};
+
+const char* to_string(StopReason r);
+
+// Thread-safe cancellation flag plus optional wall-clock deadline. The
+// producing side (JobRunner, a signal handler, a test) flips it; the engines
+// poll should_stop() once per step.
+class CancelToken {
+ public:
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  // Absolute steady-clock deadline; a zero time_point means "none".
+  void set_deadline(std::chrono::steady_clock::time_point tp) {
+    deadline_ns_.store(tp.time_since_epoch().count(), std::memory_order_relaxed);
+  }
+  void clear_deadline() { deadline_ns_.store(0, std::memory_order_relaxed); }
+
+  StopReason should_stop() const {
+    if (cancel_requested()) return StopReason::Cancelled;
+    const auto ns = deadline_ns_.load(std::memory_order_relaxed);
+    if (ns != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >= ns) {
+      return StopReason::DeadlineExpired;
+    }
+    return StopReason::None;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::chrono::steady_clock::rep> deadline_ns_{0};
+};
+
+// Per-run control block handed to the engines. All pointers are borrowed and
+// optional; a null/default SimControl is equivalent to no control at all.
+struct SimControl {
+  CancelToken* cancel = nullptr;
+  // Steps this *call* may execute before stopping with StopReason::StepBudget
+  // (0 = unlimited). Counts only steps actually executed, so a resumed run
+  // gets a fresh budget.
+  std::uint64_t max_steps = 0;
+  // Snapshot the cursor into `checkpoint` every k executed steps (0 = only at
+  // the stop point). Ignored when `checkpoint` is null.
+  std::uint64_t checkpoint_interval = 0;
+  // In: a valid() checkpoint resumes the run from its cursor (engine,
+  // workload, geometry and fault fingerprints must match, else
+  // CheckpointError). Out: overwritten with the latest snapshot.
+  Checkpoint* checkpoint = nullptr;
+};
+
+// A cooperative stop. The latest cursor has already been written to
+// control->checkpoint (when one was attached) by the time this is thrown.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError(StopReason reason, std::uint64_t step)
+      : std::runtime_error(std::string("simulation stopped: ") +
+                           sim::to_string(reason) + " at step " +
+                           std::to_string(step)),
+        reason_(reason),
+        step_(step) {}
+
+  StopReason reason() const { return reason_; }
+  std::uint64_t step() const { return step_; }
+
+ private:
+  StopReason reason_;
+  std::uint64_t step_;
+};
+
+inline const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::None: return "none";
+    case StopReason::Cancelled: return "cancelled";
+    case StopReason::DeadlineExpired: return "deadline-expired";
+    case StopReason::StepBudget: return "step-budget";
+  }
+  return "?";
+}
+
+}  // namespace alchemist::sim

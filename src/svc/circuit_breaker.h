@@ -1,0 +1,90 @@
+// Per-workload-class circuit breaker (closed -> open -> half-open).
+//
+// A class whose jobs keep failing (fault-corrupted outputs, blown deadlines)
+// is fast-failed at admission instead of burning worker time: after
+// `threshold` consecutive failures the breaker opens and every submission is
+// rejected with JobState::CircuitOpen until the cooldown elapses. The first
+// admission after the cooldown runs as a half-open probe — its outcome alone
+// decides whether the breaker closes again or re-opens for another cooldown.
+//
+// The class is pure logic over caller-supplied time points (no clock reads,
+// no locks — the JobRunner serializes access under its own mutex), which is
+// what makes it unit-testable with a manual clock.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace alchemist::svc {
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class State { Closed, Open, HalfOpen };
+
+  // `threshold` consecutive failures trip the breaker; 0 disables it (always
+  // closed). `cooldown` is the open period before a half-open probe.
+  CircuitBreaker(std::size_t threshold, Clock::duration cooldown)
+      : threshold_(threshold), cooldown_(cooldown) {}
+
+  // May this job be admitted now? Transitions Open -> HalfOpen when the
+  // cooldown has elapsed, admitting exactly one probe.
+  bool allow(Clock::time_point now) {
+    switch (state_) {
+      case State::Closed:
+        return true;
+      case State::Open:
+        if (now >= open_until_) {
+          state_ = State::HalfOpen;
+          return true;
+        }
+        return false;
+      case State::HalfOpen:
+        return false;  // one probe in flight at a time
+    }
+    return false;
+  }
+
+  void on_success() {
+    state_ = State::Closed;
+    consecutive_failures_ = 0;
+  }
+
+  void on_failure(Clock::time_point now) {
+    if (threshold_ == 0) return;
+    if (state_ == State::HalfOpen) {
+      trip(now);
+      return;
+    }
+    if (++consecutive_failures_ >= threshold_) trip(now);
+  }
+
+  // The in-flight job resolved without a verdict (cancelled): a half-open
+  // probe re-opens with no additional cooldown so the next admission probes
+  // again immediately.
+  void on_neutral(Clock::time_point now) {
+    if (state_ == State::HalfOpen) {
+      state_ = State::Open;
+      open_until_ = now;
+    }
+  }
+
+  State state() const { return state_; }
+  std::size_t consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  void trip(Clock::time_point now) {
+    state_ = State::Open;
+    open_until_ = now + cooldown_;
+    consecutive_failures_ = 0;
+  }
+
+  std::size_t threshold_;
+  Clock::duration cooldown_;
+  State state_ = State::Closed;
+  std::size_t consecutive_failures_ = 0;
+  Clock::time_point open_until_{};
+};
+
+}  // namespace alchemist::svc

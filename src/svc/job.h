@@ -1,0 +1,187 @@
+// Simulation jobs: the unit of work the serving layer schedules.
+//
+// A JobSpec bundles everything one simulation needs — workload graph, machine
+// configuration, optional fault model, engine choice — plus the robustness
+// envelope the JobRunner enforces around it: a deadline (wall-clock and/or a
+// deterministic step budget), a bounded retry budget for fault-corrupted
+// runs, a checkpoint cadence, and an optional checkpoint to resume from.
+//
+// The Job handle is the caller's view of a submitted job: thread-safe state
+// queries, cooperative cancellation, blocking wait, and access to the result
+// or the last captured checkpoint once the job reaches a terminal state.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "arch/config.h"
+#include "fault/fault_model.h"
+#include "metaop/op_graph.h"
+#include "sim/result.h"
+#include "sim/sim_control.h"
+
+namespace alchemist::svc {
+
+// Metric names the JobRunner exports through its obs::Registry snapshot. The
+// terminal-state counters partition svc.submitted: completed + failed +
+// cancelled + deadline_expired + rejected == submitted at every quiescent
+// point (asserted by bench/svc_soak).
+namespace metrics {
+inline constexpr const char* kSubmitted = "svc.submitted";
+inline constexpr const char* kAdmitted = "svc.admitted";
+inline constexpr const char* kCompleted = "svc.completed";  // + {retried=true}
+inline constexpr const char* kFailed = "svc.failed";
+inline constexpr const char* kCancelled = "svc.cancelled";
+inline constexpr const char* kDeadlineExpired = "svc.deadline_expired";
+inline constexpr const char* kRejected = "svc.rejected";  // + {reason=}
+inline constexpr const char* kRetries = "svc.retries";
+inline constexpr const char* kCheckpoints = "svc.checkpoints";
+inline constexpr const char* kResumed = "svc.resumed";
+inline constexpr const char* kQueueDepth = "svc.queue_depth";  // gauge + {stat=peak}
+inline constexpr const char* kLatencyUs = "svc.latency_us";    // gauge {p=50|99}
+inline constexpr const char* kWorkers = "svc.workers";         // gauge
+}  // namespace metrics
+
+enum class Engine : std::uint8_t { Level, Event };
+
+// Every job ends in exactly one of the terminal states below Queued/Running.
+enum class JobState : std::uint8_t {
+  Queued,           // admitted, waiting for a worker
+  Running,          // on a worker thread
+  Completed,        // SimResult available (attempts() > 1 means retried)
+  Failed,           // retries exhausted or non-retryable error
+  Cancelled,        // CancelToken fired (caller or shutdown)
+  DeadlineExpired,  // wall-clock deadline or step budget hit
+  Shed,             // rejected at admission: queue full or shutting down
+  CircuitOpen,      // rejected at admission: workload-class breaker open
+};
+
+const char* to_string(JobState s);
+bool is_terminal(JobState s);
+
+// Per-attempt fault seed: attempt 1 reproduces the configured seed exactly
+// (a retry-free job equals a plain simulator call bit for bit); later
+// attempts re-roll the transient faults through a splitmix64 finalizer, the
+// way independent re-executions see independent upsets on real hardware.
+inline u64 attempt_seed(u64 base, std::size_t attempt) {
+  if (attempt <= 1) return base;
+  u64 x = base + 0x9e37'79b9'7f4a'7c15ull * static_cast<u64>(attempt - 1);
+  x ^= x >> 30;
+  x *= 0xbf58'476d'1ce4'e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d0'49bb'1331'11ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+struct JobSpec {
+  std::string name;            // display / debugging
+  std::string workload_class;  // circuit-breaker key; defaults to graph name
+  std::shared_ptr<const metaop::OpGraph> graph;
+  arch::ArchConfig config = arch::ArchConfig::alchemist();
+  Engine engine = Engine::Level;
+
+  // Fault model (applied only when fault_enabled; the seed is re-rolled per
+  // attempt via attempt_seed).
+  bool fault_enabled = false;
+  fault::FaultConfig fault;
+
+  // Deadline envelope: wall-clock from admission (0 = none) and/or a
+  // deterministic per-attempt simulator step budget (0 = none). Both end the
+  // job in DeadlineExpired with its last checkpoint captured.
+  std::chrono::microseconds deadline{0};
+  std::uint64_t max_steps = 0;
+
+  // Retry budget for fault-corrupted runs (total attempts incl. the first).
+  std::size_t max_attempts = 1;
+
+  // Checkpoint cadence in simulator steps (0 = snapshot only when stopped);
+  // a valid resume_from continues an earlier interrupted run.
+  std::uint64_t checkpoint_interval = 0;
+  sim::Checkpoint resume_from;
+};
+
+class JobRunner;
+
+class Job {
+ public:
+  explicit Job(JobSpec spec) : spec_(std::move(spec)) {}
+
+  const JobSpec& spec() const { return spec_; }
+
+  JobState state() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return state_;
+  }
+  bool terminal() const { return is_terminal(state()); }
+  std::size_t attempts() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return attempts_;
+  }
+  std::string error() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return error_;
+  }
+  // Only meaningful once state() == Completed.
+  sim::SimResult result() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return result_;
+  }
+  // Last captured cursor (valid() only if the job checkpointed before it was
+  // stopped); feed it back through JobSpec::resume_from to continue the run.
+  sim::Checkpoint checkpoint() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return checkpoint_;
+  }
+
+  // Cooperative cancellation: takes effect at the next simulator step (or at
+  // dequeue, if still queued).
+  void cancel() { token_.request_cancel(); }
+
+  void wait() const {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return is_terminal(state_); });
+  }
+
+ private:
+  friend class JobRunner;
+
+  JobSpec spec_;
+  sim::CancelToken token_;
+  std::uint64_t seq_ = 0;  // submission order, seeds per-job backoff jitter
+  std::chrono::steady_clock::time_point submit_time_{};
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  JobState state_ = JobState::Queued;
+  std::size_t attempts_ = 0;
+  std::string error_;
+  sim::SimResult result_;
+  sim::Checkpoint checkpoint_;
+};
+
+using JobPtr = std::shared_ptr<Job>;
+
+inline const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Completed: return "completed";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::DeadlineExpired: return "deadline-expired";
+    case JobState::Shed: return "shed";
+    case JobState::CircuitOpen: return "circuit-open";
+  }
+  return "?";
+}
+
+inline bool is_terminal(JobState s) {
+  return s != JobState::Queued && s != JobState::Running;
+}
+
+}  // namespace alchemist::svc

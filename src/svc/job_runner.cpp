@@ -1,0 +1,323 @@
+#include "svc/job_runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/alchemist_sim.h"
+#include "sim/event_sim.h"
+
+namespace alchemist::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(v.size())));
+  rank = std::min(std::max<std::size_t>(rank, 1), v.size());
+  return v[rank - 1];
+}
+
+}  // namespace
+
+JobRunner::JobRunner(RunnerOptions opts) : opts_(opts) {
+  if (opts_.workers == 0) throw std::invalid_argument("svc: workers must be >= 1");
+  if (opts_.queue_capacity == 0) {
+    throw std::invalid_argument("svc: queue_capacity must be >= 1");
+  }
+  paused_ = opts_.start_paused;
+  workers_.reserve(opts_.workers);
+  for (std::size_t i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobRunner::~JobRunner() {
+  std::vector<JobPtr> orphans;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+    paused_ = false;
+    orphans.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+    // Running jobs stop cooperatively at their next simulator step.
+    for (Job* j : running_) j->token_.request_cancel();
+  }
+  work_cv_.notify_all();
+  for (const JobPtr& job : orphans) {
+    job->token_.request_cancel();
+    finish(job, JobState::Cancelled, "cancelled: runner shutdown",
+           sim::SimResult{}, job->spec_.resume_from, 0);
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+JobPtr JobRunner::submit(JobSpec spec) {
+  if (!spec.graph) throw std::invalid_argument("svc: JobSpec.graph is null");
+  if (spec.workload_class.empty()) spec.workload_class = spec.graph->name;
+  if (spec.max_attempts == 0) spec.max_attempts = 1;
+  auto job = std::make_shared<Job>(std::move(spec));
+  const Clock::time_point now = Clock::now();
+  job->submit_time_ = now;
+
+  JobState rejected = JobState::Queued;  // sentinel: admitted
+  const char* reason = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    reg_.add(metrics::kSubmitted, 1);
+    job->seq_ = ++seq_;
+    if (stopping_) {
+      rejected = JobState::Shed;
+      reason = "shutdown";
+    } else {
+      auto [it, inserted] = breakers_.try_emplace(
+          job->spec_.workload_class, opts_.breaker_threshold, opts_.breaker_cooldown);
+      (void)inserted;
+      if (!it->second.allow(now)) {
+        rejected = JobState::CircuitOpen;
+        reason = "circuit_open";
+      } else if (queue_.size() >= opts_.queue_capacity) {
+        rejected = JobState::Shed;
+        reason = "queue_full";
+        // allow() may have admitted this job as the half-open probe; it will
+        // never run, so let the next submission probe instead.
+        it->second.on_neutral(now);
+      } else {
+        reg_.add(metrics::kAdmitted, 1);
+        if (job->spec_.resume_from.valid()) reg_.add(metrics::kResumed, 1);
+        if (job->spec_.deadline.count() > 0) {
+          job->token_.set_deadline(now + job->spec_.deadline);
+        }
+        queue_.push_back(job);
+        peak_depth_ = std::max(peak_depth_, queue_.size());
+      }
+    }
+    if (rejected != JobState::Queued) {
+      reg_.add(metrics::kRejected, 1, {{"reason", reason}});
+    }
+  }
+  if (rejected != JobState::Queued) {
+    // Not yet visible to any worker; safe to finalize directly.
+    std::lock_guard<std::mutex> jl(job->mu_);
+    job->state_ = rejected;
+    job->error_ = std::string("rejected: ") + reason;
+    job->cv_.notify_all();
+  } else {
+    work_cv_.notify_one();
+  }
+  return job;
+}
+
+void JobRunner::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && running_.empty(); });
+}
+
+void JobRunner::set_paused(bool paused) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    paused_ = paused;
+  }
+  work_cv_.notify_all();
+}
+
+obs::Registry JobRunner::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  obs::Registry reg = reg_;
+  reg.set_gauge(metrics::kQueueDepth, static_cast<double>(queue_.size()));
+  reg.set_gauge(metrics::kQueueDepth, static_cast<double>(peak_depth_),
+                {{"stat", "peak"}});
+  reg.set_gauge(metrics::kWorkers, static_cast<double>(workers_.size()));
+  reg.set_gauge(metrics::kLatencyUs, percentile(latencies_us_, 50.0), {{"p", "50"}});
+  reg.set_gauge(metrics::kLatencyUs, percentile(latencies_us_, 99.0), {{"p", "99"}});
+  return reg;
+}
+
+void JobRunner::worker_loop() {
+  for (;;) {
+    JobPtr job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stopping_ || (!paused_ && !queue_.empty()); });
+      if (stopping_) return;  // the destructor already drained the queue
+      job = queue_.front();
+      queue_.pop_front();
+      running_.push_back(job.get());
+    }
+    run_job(job);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      running_.erase(std::find(running_.begin(), running_.end(), job.get()));
+      if (queue_.empty() && running_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+void JobRunner::run_job(const JobPtr& job) {
+  const JobSpec& spec = job->spec_;
+  {
+    std::lock_guard<std::mutex> lk(job->mu_);
+    job->state_ = JobState::Running;
+  }
+  // The deadline (or a cancel) may have fired while the job sat in the queue.
+  if (const sim::StopReason pre = job->token_.should_stop();
+      pre != sim::StopReason::None) {
+    finish(job,
+           pre == sim::StopReason::Cancelled ? JobState::Cancelled
+                                             : JobState::DeadlineExpired,
+           std::string("stopped while queued: ") + sim::to_string(pre),
+           sim::SimResult{}, spec.resume_from, 0);
+    return;
+  }
+
+  BackoffConfig bc = opts_.backoff;
+  bc.seed ^= 0x9e37'79b9'7f4a'7c15ull * job->seq_;  // per-job jitter stream
+  Backoff backoff(bc);
+  sim::Checkpoint cp = spec.resume_from;
+
+  for (std::size_t attempt = 1;; ++attempt) {
+    std::unique_ptr<fault::FaultModel> fault_model;
+    fault::FaultModel* fault = nullptr;
+    if (spec.fault_enabled) {
+      fault::FaultConfig fc = spec.fault;
+      fc.seed = attempt_seed(spec.fault.seed, attempt);
+      try {
+        fault_model = std::make_unique<fault::FaultModel>(fc, spec.config.num_units);
+      } catch (const std::exception& e) {
+        finish(job, JobState::Failed,
+               std::string("bad fault configuration: ") + e.what(),
+               sim::SimResult{}, sim::Checkpoint{}, attempt);
+        return;
+      }
+      fault = fault_model.get();
+    }
+    sim::SimControl ctl;
+    ctl.cancel = &job->token_;
+    ctl.max_steps = spec.max_steps;
+    ctl.checkpoint_interval = spec.checkpoint_interval;
+    ctl.checkpoint = &cp;
+    try {
+      sim::SimResult result =
+          spec.engine == Engine::Event
+              ? sim::simulate_alchemist_events(*spec.graph, spec.config, nullptr,
+                                               fault, &ctl)
+              : sim::simulate_alchemist(*spec.graph, spec.config, nullptr, fault,
+                                        &ctl);
+      if (result.registry.counter(fault::metrics::kCorruptedOps) == 0) {
+        finish(job, JobState::Completed, std::string(), std::move(result),
+               sim::Checkpoint{}, attempt);
+        return;
+      }
+      // Injected faults corrupted the output: the run is useless. Retry with
+      // a re-rolled seed (independent transients) or give up.
+      if (attempt >= spec.max_attempts) {
+        finish(job, JobState::Failed,
+               "output corrupted by injected faults after " +
+                   std::to_string(attempt) + " attempt(s)",
+               sim::SimResult{}, sim::Checkpoint{}, attempt);
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        reg_.add(metrics::kRetries, 1);
+      }
+      // Exponential backoff, sliced so cancellation stays responsive.
+      std::uint64_t delay_us = backoff.next_us();
+      while (delay_us > 0 && job->token_.should_stop() == sim::StopReason::None) {
+        const std::uint64_t slice = std::min<std::uint64_t>(delay_us, 1000);
+        std::this_thread::sleep_for(std::chrono::microseconds(slice));
+        delay_us -= slice;
+      }
+      if (const sim::StopReason stop = job->token_.should_stop();
+          stop != sim::StopReason::None) {
+        finish(job,
+               stop == sim::StopReason::Cancelled ? JobState::Cancelled
+                                                  : JobState::DeadlineExpired,
+               std::string("stopped during retry backoff: ") + sim::to_string(stop),
+               sim::SimResult{}, std::move(cp), attempt);
+        return;
+      }
+      // The next attempt re-rolls the fault seed, so any checkpoint from this
+      // attempt (interval snapshots) no longer matches — restart clean.
+      cp.clear();
+    } catch (const sim::CancelledError& e) {
+      const JobState st = e.reason() == sim::StopReason::Cancelled
+                              ? JobState::Cancelled
+                              : JobState::DeadlineExpired;
+      finish(job, st, e.what(), sim::SimResult{}, std::move(cp), attempt);
+      return;
+    } catch (const sim::CheckpointError& e) {
+      finish(job, JobState::Failed, std::string("resume failed: ") + e.what(),
+             sim::SimResult{}, sim::Checkpoint{}, attempt);
+      return;
+    } catch (const std::exception& e) {
+      // Malformed graphs and engine invariant violations are not retryable.
+      finish(job, JobState::Failed, e.what(), sim::SimResult{}, sim::Checkpoint{},
+             attempt);
+      return;
+    }
+  }
+}
+
+void JobRunner::finish(const JobPtr& job, JobState state, std::string error,
+                       sim::SimResult result, sim::Checkpoint checkpoint,
+                       std::size_t attempts) {
+  const Clock::time_point now = Clock::now();
+  const bool has_checkpoint = checkpoint.valid();
+  // Account first, publish second: a caller woken by wait() must already see
+  // this job in the svc.* counters when it snapshots the registry.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    record_terminal(state, attempts, has_checkpoint, now, job->submit_time_,
+                    job->spec_.workload_class);
+  }
+  std::lock_guard<std::mutex> lk(job->mu_);
+  job->state_ = state;
+  job->error_ = std::move(error);
+  job->result_ = std::move(result);
+  job->checkpoint_ = std::move(checkpoint);
+  job->attempts_ = attempts;
+  job->cv_.notify_all();
+}
+
+void JobRunner::record_terminal(JobState state, std::size_t attempts,
+                                bool has_checkpoint, Clock::time_point now,
+                                Clock::time_point submit_time,
+                                const std::string& workload_class) {
+  switch (state) {
+    case JobState::Completed:
+      reg_.add(metrics::kCompleted, 1);
+      if (attempts > 1) reg_.add(metrics::kCompleted, 1, {{"retried", "true"}});
+      break;
+    case JobState::Failed:
+      reg_.add(metrics::kFailed, 1);
+      break;
+    case JobState::Cancelled:
+      reg_.add(metrics::kCancelled, 1);
+      break;
+    case JobState::DeadlineExpired:
+      reg_.add(metrics::kDeadlineExpired, 1);
+      break;
+    default:
+      break;  // Shed/CircuitOpen are accounted at admission
+  }
+  if (has_checkpoint) reg_.add(metrics::kCheckpoints, 1);
+  latencies_us_.push_back(
+      std::chrono::duration<double, std::micro>(now - submit_time).count());
+  const auto it = breakers_.find(workload_class);
+  if (it != breakers_.end()) {
+    if (state == JobState::Completed) {
+      it->second.on_success();
+    } else if (state == JobState::Failed || state == JobState::DeadlineExpired) {
+      it->second.on_failure(now);
+    } else {
+      it->second.on_neutral(now);
+    }
+  }
+}
+
+}  // namespace alchemist::svc

@@ -1,0 +1,123 @@
+// Thread-pool simulation service: the host-side robustness layer the
+// accelerator serving stacks (ARK, BASALISC) assume, reproduced in software.
+//
+// N worker threads drain a bounded job queue with admission control:
+//
+//   submit() ──▶ [breaker?] ──▶ [queue full?] ──▶ queue ──▶ worker ──▶ attempt loop
+//                 │ open           │ full                         │
+//                 ▼                ▼                              ├─ Completed
+//             CircuitOpen        Shed                             ├─ retry (backoff, re-rolled
+//                                                                 │         fault seed)
+//                                                                 ├─ Failed (budget exhausted)
+//                                                                 ├─ Cancelled      ┐ checkpoint
+//                                                                 └─ DeadlineExpired┘ captured
+//
+// * Backpressure: the queue never grows past `queue_capacity`; overload is a
+//   typed Shed rejection, not latency collapse.
+// * Deadlines: wall-clock deadlines ride the job's CancelToken; deterministic
+//   step budgets (JobSpec::max_steps) expire the same way. Both leave the
+//   job's last checkpoint on the handle for resumption.
+// * Retries: fault-corrupted runs are re-executed up to max_attempts with
+//   exponential backoff (common/backoff.h, deterministic per-job jitter) and
+//   a fresh per-attempt fault seed.
+// * Circuit breaking: consecutive failures of one workload class fast-fail
+//   subsequent submissions of that class until a cooldown + half-open probe
+//   (svc/circuit_breaker.h).
+// * Observability: svc.* counters and gauges (queue depth, terminal-state
+//   partition, p50/p99 latency) exported as an obs::Registry snapshot.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "obs/registry.h"
+#include "svc/circuit_breaker.h"
+#include "svc/job.h"
+
+namespace alchemist::svc {
+
+struct RunnerOptions {
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 64;
+  // Retry pacing; each job derives a deterministic jitter stream from
+  // backoff.seed and its submission sequence number.
+  BackoffConfig backoff{};
+  // Circuit breaker per workload class: consecutive failures to open, and
+  // the open period before a half-open probe. threshold 0 disables breaking.
+  std::size_t breaker_threshold = 5;
+  std::chrono::milliseconds breaker_cooldown{100};
+  // Start with workers parked (submissions queue up but nothing runs) until
+  // set_paused(false) — deterministic queue-pressure tests rely on this.
+  bool start_paused = false;
+};
+
+class JobRunner {
+ public:
+  explicit JobRunner(RunnerOptions opts = {});
+  // Stops accepting, cancels queued and running jobs, joins the workers.
+  // Every job still reaches a terminal state.
+  ~JobRunner();
+
+  JobRunner(const JobRunner&) = delete;
+  JobRunner& operator=(const JobRunner&) = delete;
+
+  // Admission control; never blocks and never throws on overload. The
+  // returned handle is already terminal (Shed / CircuitOpen) when the job
+  // was rejected. Throws std::invalid_argument only for malformed specs
+  // (null graph).
+  JobPtr submit(JobSpec spec);
+
+  // Block until every admitted job has reached a terminal state.
+  void drain();
+
+  // Park/unpark the worker threads (see RunnerOptions::start_paused).
+  void set_paused(bool paused);
+
+  // Point-in-time copy of the svc.* registry, including queue-depth gauges
+  // and p50/p99 latency over all terminal jobs so far.
+  obs::Registry snapshot() const;
+
+  const RunnerOptions& options() const { return opts_; }
+
+ private:
+  void worker_loop();
+  void run_job(const JobPtr& job);
+  // Terminal transition: updates the svc.* counters, latency record and
+  // workload-class breaker first, then publishes the state to the handle (so
+  // a caller woken by Job::wait() always sees itself accounted).
+  void finish(const JobPtr& job, JobState state, std::string error,
+              sim::SimResult result, sim::Checkpoint checkpoint,
+              std::size_t attempts);
+  // The accounting half of finish(); caller holds mu_.
+  void record_terminal(JobState state, std::size_t attempts, bool has_checkpoint,
+                       std::chrono::steady_clock::time_point now,
+                       std::chrono::steady_clock::time_point submit_time,
+                       const std::string& workload_class);
+
+  RunnerOptions opts_;
+
+  mutable std::mutex mu_;  // queue, breakers, stats, lifecycle flags
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<JobPtr> queue_;
+  std::vector<Job*> running_;  // jobs currently on a worker (for shutdown cancel)
+  std::map<std::string, CircuitBreaker> breakers_;
+  obs::Registry reg_;
+  std::vector<double> latencies_us_;
+  std::size_t peak_depth_ = 0;
+  std::uint64_t seq_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace alchemist::svc

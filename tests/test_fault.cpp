@@ -102,6 +102,60 @@ TEST(DegradedSlotLayout, RepartitionsOverHealthyUnits) {
   EXPECT_THROW(arch::DegradedSlotLayout(64, 2, {0, 1}), std::invalid_argument);
 }
 
+TEST(DegradedSlotLayout, SurvivesAllButOneUnitMasked) {
+  // 127 of 128 units gone: the single survivor owns every slot.
+  std::vector<std::size_t> mask;
+  for (std::size_t u = 0; u < 128; ++u) {
+    if (u != 77) mask.push_back(u);
+  }
+  const std::size_t n = 1 << 12;
+  arch::DegradedSlotLayout one(n, 128, mask);
+  EXPECT_EQ(one.healthy_units(), 1u);
+  EXPECT_EQ(one.masked_units(), 127u);
+  EXPECT_EQ(one.slots_per_unit(), n);
+  EXPECT_EQ(one.padded_slots(), n);
+  EXPECT_DOUBLE_EQ(one.padding_factor(), 1.0);  // one stripe, no remainder
+  for (std::size_t s = 0; s < n; s += 501) EXPECT_EQ(one.unit_of_slot(s), 77u);
+  EXPECT_EQ(one.unit_of_slot(n - 1), 77u);
+}
+
+TEST(DegradedSlotLayout, FullMaskIsATypedFailure) {
+  // Masking every unit (including via duplicate ids) must throw, as must
+  // out-of-range ids — never a silent empty stripe.
+  std::vector<std::size_t> all;
+  for (std::size_t u = 0; u < 16; ++u) all.push_back(u);
+  EXPECT_THROW(arch::DegradedSlotLayout(1 << 10, 16, all), std::invalid_argument);
+  all.push_back(0);  // duplicates still cover every unit
+  EXPECT_THROW(arch::DegradedSlotLayout(1 << 10, 16, all), std::invalid_argument);
+  EXPECT_THROW(arch::DegradedSlotLayout(1 << 10, 16, {16}), std::invalid_argument);
+  EXPECT_THROW(arch::DegradedSlotLayout(1 << 10, 16, {1000}), std::invalid_argument);
+}
+
+TEST(DegradedSlotLayout, RestripingIsStableAcrossRepeatedConstruction) {
+  // The stripe is a pure function of (n, total, mask): rebuilding the layout
+  // (in any mask order, with duplicates) must reproduce the exact assignment.
+  const std::size_t n = 1 << 14;
+  arch::DegradedSlotLayout a(n, 64, {3, 9, 41, 63});
+  arch::DegradedSlotLayout b(n, 64, {63, 41, 9, 3});
+  arch::DegradedSlotLayout c(n, 64, {3, 3, 9, 9, 41, 63, 63});
+  EXPECT_EQ(a.healthy_units(), 60u);
+  EXPECT_EQ(b.healthy_units(), 60u);
+  EXPECT_EQ(c.healthy_units(), 60u);
+  EXPECT_EQ(a.slots_per_unit(), b.slots_per_unit());
+  EXPECT_EQ(a.padding_factor(), b.padding_factor());
+  for (std::size_t s = 0; s < n; ++s) {
+    ASSERT_EQ(a.unit_of_slot(s), b.unit_of_slot(s)) << "slot " << s;
+    ASSERT_EQ(a.unit_of_slot(s), c.unit_of_slot(s)) << "slot " << s;
+  }
+  // Slot ownership is monotone in the slot index (contiguous stripes).
+  std::size_t prev = a.unit_of_slot(0);
+  for (std::size_t s = 1; s < n; ++s) {
+    const std::size_t u = a.unit_of_slot(s);
+    ASSERT_GE(u, prev) << "stripe not contiguous at slot " << s;
+    prev = u;
+  }
+}
+
 TEST(FaultSim, ZeroRateIsBitIdenticalToNoModel) {
   const auto graph = keyswitch_graph(1.0);
   const arch::ArchConfig cfg = arch::ArchConfig::alchemist();

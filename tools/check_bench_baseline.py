@@ -48,26 +48,42 @@ def main():
 
     failures = []
     infos = []
+    # Per-run diff rows (counter, baseline, current, drift, violation flag),
+    # printed as a summary table when the check fails so a reviewer sees the
+    # whole counter landscape, not just the counters that crossed the line.
+    diff_rows = {}
     for run_key, base_counters in sorted(baseline.items()):
         label = f"{run_key[0]} [{run_key[1]}]"
         cur_counters = current.get(run_key)
         if cur_counters is None:
             failures.append(f"{label}: run missing from current report")
             continue
+        rows = diff_rows.setdefault(label, [])
+        run_failed = False
         for key, base_value in sorted(base_counters.items()):
             if key not in cur_counters:
                 failures.append(f"{label}: counter {key} missing")
+                rows.append((key, base_value, None, None, True))
+                run_failed = True
                 continue
             cur_value = cur_counters[key]
             if base_value == 0:
-                if cur_value != 0:
+                bad = cur_value != 0
+                if bad:
                     failures.append(f"{label}: {key} was 0, now {cur_value}")
+                    run_failed = True
+                rows.append((key, base_value, cur_value, None, bad))
                 continue
             drift = (cur_value - base_value) / base_value
-            if abs(drift) > args.tolerance:
+            bad = abs(drift) > args.tolerance
+            if bad:
                 failures.append(
                     f"{label}: {key} drifted {drift:+.1%} "
                     f"({base_value} -> {cur_value}, tolerance {args.tolerance:.0%})")
+                run_failed = True
+            rows.append((key, base_value, cur_value, drift, bad))
+        if not run_failed:
+            del diff_rows[label]
         new_keys = sorted(set(cur_counters) - set(base_counters))
         if new_keys:
             infos.append(f"{label}: new counters (ok): {', '.join(new_keys)}")
@@ -80,6 +96,16 @@ def main():
         print(f"\nFAIL: {len(failures)} baseline deviation(s):")
         for line in failures:
             print(f"  {line}")
+        for label, rows in sorted(diff_rows.items()):
+            print(f"\nper-counter diff for {label} "
+                  f"(! marks counters beyond the {args.tolerance:.0%} tolerance):")
+            width = max(len(r[0]) for r in rows)
+            print(f"  {'counter':<{width}}  {'baseline':>14}  {'current':>14}  drift")
+            for key, base_value, cur_value, drift, bad in rows:
+                mark = "!" if bad else " "
+                cur_s = "missing" if cur_value is None else str(cur_value)
+                drift_s = "-" if drift is None else f"{drift:+.2%}"
+                print(f"{mark} {key:<{width}}  {base_value:>14}  {cur_s:>14}  {drift_s}")
         print("\nIf the change is intended, regenerate the baseline with:\n"
               "  ./build/bench/metaop_core_timing --metrics-out BENCH_sim.json")
         return 1
