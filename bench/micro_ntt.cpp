@@ -1,10 +1,31 @@
-// Microbenchmarks of the NTT substrate: single-step vs 4-step, and the RNS
-// base conversion — the software counterparts of the accelerator's three
-// operator classes.
+// Microbenchmarks of the NTT substrate: single-step vs 4-step, the RNS base
+// conversion, and the parallel lazy-reduction substrate — eager vs Harvey
+// lazy butterflies, and 1..N-thread scaling of the pooled multi-limb paths.
+//
+// Modes:
+//   (default)                google-benchmark wall-clock suite
+//   --threads N              set the substrate pool width first (any mode)
+//   --metrics-out FILE       skip the benchmark loops; run a fixed, seeded
+//                            workload and emit alchemist.metrics.v1. The
+//                            substrate.* chunk/fan-out counters are exact for
+//                            a given --threads value, so CI gates them with
+//                            tools/check_bench_baseline.py; wall-clock rows
+//                            are named *wall_ns and excluded via --ignore.
+//   --smoke                  1-vs-2-thread + lazy-vs-eager bit-identity
+//                            assertions only; exit non-zero on mismatch.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common/primes.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "obs/report.h"
+#include "obs/substrate_metrics.h"
 #include "poly/four_step_ntt.h"
 #include "poly/ntt.h"
 #include "poly/rns.h"
@@ -27,6 +48,22 @@ void BM_NttForward(benchmark::State& state) {
 }
 BENCHMARK(BM_NttForward)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536);
 
+// Eager reference butterflies (canonical [0, q) at every stage) on the same
+// inputs as BM_NttForward — the ratio is the lazy-reduction win.
+void BM_NttForwardEager(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const u64 q = max_ntt_prime(50, n);
+  const NttTable& table = get_ntt_table(q, n);
+  Rng rng(n);
+  std::vector<u64> a = rng.uniform_vector(n, q);
+  for (auto _ : state) {
+    table.forward_eager(a);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_NttForwardEager)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536);
+
 void BM_NttInverse(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const u64 q = max_ntt_prime(50, n);
@@ -40,6 +77,20 @@ void BM_NttInverse(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
 }
 BENCHMARK(BM_NttInverse)->Arg(4096)->Arg(65536);
+
+void BM_NttInverseEager(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const u64 q = max_ntt_prime(50, n);
+  const NttTable& table = get_ntt_table(q, n);
+  Rng rng(n);
+  std::vector<u64> a = rng.uniform_vector(n, q);
+  for (auto _ : state) {
+    table.inverse_eager(a);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_NttInverseEager)->Arg(4096)->Arg(65536);
 
 void BM_FourStepForward(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -72,6 +123,168 @@ void BM_BconvApply(benchmark::State& state) {
 }
 BENCHMARK(BM_BconvApply)->Arg(2)->Arg(4)->Arg(11);
 
+RnsPoly seeded_poly(std::size_t n, const std::vector<u64>& moduli, u64 seed) {
+  RnsPoly p(n, moduli);
+  Rng rng(seed);
+  for (std::size_t c = 0; c < p.num_channels(); ++c) {
+    auto ch = p.channel(c);
+    for (auto& v : ch) v = rng.uniform(moduli[c]);
+  }
+  return p;
+}
+
+// Thread-scaling view of the paper's dominant kernel: a full multi-limb
+// forward NTT (8 limbs fan out across RNS channels on the pool). Arg is the
+// pool width; compare rows to read off scaling.
+void BM_RnsForwardNttThreads(benchmark::State& state) {
+  ThreadPool::set_threads(static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = 1 << 14;
+  const auto moduli = generate_ntt_primes(50, n, 8);
+  RnsPoly x = seeded_poly(n, moduli, 42);
+  for (auto _ : state) {
+    x.to_ntt();
+    benchmark::DoNotOptimize(x.channel(0).data());
+    state.PauseTiming();
+    x.to_coeff();
+    state.ResumeTiming();
+  }
+  ThreadPool::set_threads(1);
+}
+BENCHMARK(BM_RnsForwardNttThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Deterministic harness for --metrics-out / --smoke.
+
+constexpr std::size_t kMetricsN = 1 << 14;
+constexpr std::size_t kMetricsLimbs = 8;
+constexpr std::size_t kMetricsReps = 4;
+
+// Fixed seeded workload: kMetricsReps forward+inverse multi-limb NTTs plus
+// one BConv. Returns the result poly (for equivalence checks) and fills
+// `reg` with the substrate counter deltas plus wall-clock rows.
+RnsPoly run_fixed_workload(obs::Registry* reg) {
+  const auto moduli = generate_ntt_primes(50, kMetricsN, kMetricsLimbs);
+  const auto special = generate_ntt_primes(51, kMetricsN, 2);
+  RnsPoly x = seeded_poly(kMetricsN, moduli, 7);
+  const BConv conv(moduli, special);
+
+  const SubstrateStats before = ThreadPool::instance().stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t rep = 0; rep < kMetricsReps; ++rep) {
+    x.to_ntt();
+    x.to_coeff();
+  }
+  RnsPoly converted = conv.apply(x);
+  const auto t1 = std::chrono::steady_clock::now();
+  const SubstrateStats after = ThreadPool::instance().stats();
+
+  if (reg != nullptr) {
+    // Deterministic for a fixed pool width: chunk counts depend only on
+    // (n, grain, width).
+    reg->add("micro_ntt.n", kMetricsN);
+    reg->add("micro_ntt.limbs", kMetricsLimbs);
+    reg->add("micro_ntt.reps", kMetricsReps);
+    reg->add("substrate.threads", after.threads);
+    reg->add("substrate.parallel_for", after.parallel_fors - before.parallel_fors);
+    reg->add("substrate.inline_runs", after.inline_runs - before.inline_runs);
+    reg->add("substrate.tasks", after.tasks - before.tasks);
+    // Wall-clock rows: machine-dependent, gated out with --ignore wall_ns.
+    reg->add("micro_ntt.wall_ns",
+             static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+    // stats() reports only kernels with nonzero totals; diff by name.
+    for (const auto& [kernel, ns] : after.kernel_ns) {
+      std::uint64_t prior = 0;
+      for (const auto& [bk, bns] : before.kernel_ns) {
+        if (bk == kernel) prior = bns;
+      }
+      if (ns != prior) {
+        reg->add("substrate.kernel_wall_ns", ns - prior, {{"kernel", kernel}});
+      }
+    }
+  }
+  x.append_channels(converted);
+  return x;
+}
+
+int run_metrics_mode(const std::string& path, std::size_t threads) {
+  ThreadPool::set_threads(threads);
+  obs::Registry reg;
+  run_fixed_workload(&reg);
+  obs::MetricsReport report("micro_ntt");
+  report.add("ntt_substrate_t" + std::to_string(threads), "host", std::move(reg));
+  if (!report.write_file(path)) {
+    std::fprintf(stderr, "FAILED to write metrics to %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "metrics written to %s (threads=%zu)\n", path.c_str(), threads);
+  return 0;
+}
+
+int run_smoke_mode() {
+  // Lazy butterflies vs the eager reference.
+  const u64 q = max_ntt_prime(50, 4096);
+  const NttTable& table = get_ntt_table(q, 4096);
+  Rng rng(11);
+  std::vector<u64> lazy = rng.uniform_vector(4096, q);
+  std::vector<u64> eager = lazy;
+  table.forward(lazy);
+  table.forward_eager(eager);
+  if (lazy != eager) {
+    std::fprintf(stderr, "SMOKE FAIL: lazy forward NTT != eager reference\n");
+    return 1;
+  }
+  table.inverse(lazy);
+  table.inverse_eager(eager);
+  if (lazy != eager) {
+    std::fprintf(stderr, "SMOKE FAIL: lazy inverse NTT != eager reference\n");
+    return 1;
+  }
+  // Pooled path vs sequential, bit for bit.
+  ThreadPool::set_threads(1);
+  const RnsPoly seq = run_fixed_workload(nullptr);
+  ThreadPool::set_threads(2);
+  const RnsPoly par = run_fixed_workload(nullptr);
+  if (!(seq == par)) {
+    std::fprintf(stderr, "SMOKE FAIL: 2-thread result != sequential result\n");
+    return 1;
+  }
+  std::fprintf(stderr, "SMOKE OK: lazy==eager, 2-thread==sequential (bit-identical)\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  bool smoke = false;
+  std::size_t threads = 0;
+  // Strip substrate flags before google-benchmark sees argv.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  if (threads > 0) alchemist::ThreadPool::set_threads(threads);
+  if (smoke) return run_smoke_mode();
+  if (!metrics_path.empty()) {
+    // Default to 2 threads so the committed baseline's chunk counters are
+    // reproducible on any machine.
+    return run_metrics_mode(metrics_path, threads > 0 ? threads : 2);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

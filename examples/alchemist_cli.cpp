@@ -17,6 +17,9 @@
 //                          (open at https://ui.perfetto.dev); Alchemist only
 //   --metrics-out <path>   write the run's counter registry as JSON
 //                          (schema alchemist.metrics.v1)
+//   --threads <n>          width of the shared compute pool functional
+//                          kernels fan out on (default ALCHEMIST_THREADS or
+//                          hardware concurrency; 1 = sequential)
 // Fault modeling (Alchemist only; see src/fault/fault_model.h):
 //   --fault-seed <s>       RNG seed for transient fault sampling (default 0xfa117)
 //   --fault-rate <r>       transient fault rate applied to all three domains
@@ -33,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "obs/report.h"
 #include "obs/timeline.h"
 
@@ -57,7 +61,7 @@ int usage() {
                "       [--hbm GB/s] [--stream-fraction f] [--level L]\n"
                "       [--batch B] [--event] [--trace-out T.json] [--metrics-out M.json]\n"
                "       [--fault-seed S] [--fault-rate R] [--fault-policy none|detect-retry|dmr]\n"
-               "       [--mask-units i,j,...]\n"
+               "       [--mask-units i,j,...] [--threads N]\n"
                "workloads: pmult hadd keyswitch cmult rotation rescale bootstrap\n"
                "           bootstrap-hoisted helr mnist mnist-enc pbs-i pbs-ii bfv-cmult\n");
   return 2;
@@ -153,6 +157,7 @@ int main(int argc, char** argv) {
     else if (arg == "--event") use_event = true;
     else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--metrics-out") metrics_out = next();
+    else if (arg == "--threads") ThreadPool::set_threads(parse_count("--threads", next()));
     else if (arg == "--fault-seed") {
       fault_cfg.seed = parse_seed("--fault-seed", next());
       fault_requested = true;

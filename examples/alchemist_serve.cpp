@@ -1,7 +1,7 @@
 // Serving front end for the resilient simulation service (src/svc).
 //
 //   alchemist_serve [--workers N] [--jobs N] [--fault-rate R]
-//                   [--deadline-ms D] [--queue N] [--seed S]
+//                   [--deadline-ms D] [--queue N] [--seed S] [--threads N]
 //
 // Submits a mixed list of CKKS simulation jobs (both engines, a slice of
 // them under an injected transient-fault model with a bounded retry budget,
@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "svc/job_runner.h"
 #include "workloads/ckks_workloads.h"
 
@@ -26,7 +27,10 @@ using namespace alchemist;
 int usage() {
   std::fprintf(stderr,
                "usage: alchemist_serve [--workers N] [--jobs N] [--fault-rate R]\n"
-               "       [--deadline-ms D] [--queue N] [--seed S]\n");
+               "       [--deadline-ms D] [--queue N] [--seed S] [--threads N]\n"
+               "  --threads N  width of the shared compute pool the kernels of\n"
+               "               every job fan out on (default: ALCHEMIST_THREADS\n"
+               "               or hardware concurrency; 1 = sequential)\n");
   return 2;
 }
 
@@ -51,6 +55,11 @@ int main(int argc, char** argv) {
     else if (arg == "--fault-rate") fault_rate = std::atof(next());
     else if (arg == "--deadline-ms") deadline_ms = std::atof(next());
     else if (arg == "--seed") seed = static_cast<u64>(std::strtoull(next(), nullptr, 0));
+    else if (arg == "--threads") {
+      const long long t = std::atoll(next());
+      if (t <= 0) return usage();
+      ThreadPool::set_threads(static_cast<std::size_t>(t));
+    }
     else return usage();
   }
   if (workers == 0 || jobs == 0 || queue == 0) return usage();

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
+
 namespace alchemist::ckks {
 
 namespace {
@@ -84,42 +86,54 @@ std::pair<RnsPoly, RnsPoly> Evaluator::keyswitch(const RnsPoly& d, std::size_t l
   if (digits > key.digits.size()) {
     throw std::invalid_argument("Evaluator::keyswitch: key has too few digits");
   }
+  // dnum-group fan-out: every digit's Modup + DecompPolyMult is independent,
+  // so compute them into per-digit slots on the pool (nested kernels run
+  // inline on the worker) and fold sequentially below — the fixed fold order
+  // keeps the accumulation deterministic regardless of scheduling.
+  KernelTimer timer(Kernel::Keyswitch);
+  std::vector<std::pair<RnsPoly, RnsPoly>> parts(digits);
+  parallel_for(digits, 1, [&](std::size_t jb, std::size_t je) {
+    for (std::size_t j = jb; j < je; ++j) {
+      const auto [first, count] = ctx_->digit_range(j, level);
+
+      // Digit j: residues on its own channels, fast base conversion (Modup)
+      // to every other channel of Q·P.
+      const RnsPoly raw = d_coeff.extract_channels(first, count);
+      std::vector<u64> group(ext_basis.begin() + first,
+                             ext_basis.begin() + first + count);
+      std::vector<u64> others;
+      others.reserve(ext_basis.size() - count);
+      for (std::size_t c = 0; c < ext_basis.size(); ++c) {
+        if (c < first || c >= first + count) others.push_back(ext_basis[c]);
+      }
+      const BConv conv(group, others);
+      const RnsPoly converted = conv.apply(raw);
+
+      RnsPoly ext(ctx_->degree(), ext_basis, RnsPoly::Form::Coeff);
+      std::size_t other_idx = 0;
+      for (std::size_t c = 0; c < ext_basis.size(); ++c) {
+        std::span<const u64> src = (c >= first && c < first + count)
+                                       ? raw.channel(c - first)
+                                       : converted.channel(other_idx++);
+        std::copy(src.begin(), src.end(), ext.channel(c).begin());
+      }
+      ext.to_ntt();
+
+      // DecompPolyMult: digit * evk_j over Q·P. The key lives on the full
+      // basis [q_0..q_{L-1}, p...]; select the channels alive at `level`.
+      RnsPoly evk_b = key.digits[j].first.extract_channels(0, level);
+      evk_b.append_channels(key.digits[j].first.extract_channels(top, num_special));
+      RnsPoly evk_a = key.digits[j].second.extract_channels(0, level);
+      evk_a.append_channels(key.digits[j].second.extract_channels(top, num_special));
+
+      evk_b *= ext;
+      evk_a *= ext;
+      parts[j] = {std::move(evk_b), std::move(evk_a)};
+    }
+  });
   for (std::size_t j = 0; j < digits; ++j) {
-    const auto [first, count] = ctx_->digit_range(j, level);
-
-    // Digit j: residues on its own channels, fast base conversion (Modup) to
-    // every other channel of Q·P.
-    const RnsPoly raw = d_coeff.extract_channels(first, count);
-    std::vector<u64> group(ext_basis.begin() + first, ext_basis.begin() + first + count);
-    std::vector<u64> others;
-    others.reserve(ext_basis.size() - count);
-    for (std::size_t c = 0; c < ext_basis.size(); ++c) {
-      if (c < first || c >= first + count) others.push_back(ext_basis[c]);
-    }
-    const BConv conv(group, others);
-    const RnsPoly converted = conv.apply(raw);
-
-    RnsPoly ext(ctx_->degree(), ext_basis, RnsPoly::Form::Coeff);
-    std::size_t other_idx = 0;
-    for (std::size_t c = 0; c < ext_basis.size(); ++c) {
-      std::span<const u64> src = (c >= first && c < first + count)
-                                     ? raw.channel(c - first)
-                                     : converted.channel(other_idx++);
-      std::copy(src.begin(), src.end(), ext.channel(c).begin());
-    }
-    ext.to_ntt();
-
-    // DecompPolyMult: accumulate digit * evk_j over Q·P. The key lives on the
-    // full basis [q_0..q_{L-1}, p...]; select the channels alive at `level`.
-    RnsPoly evk_b = key.digits[j].first.extract_channels(0, level);
-    evk_b.append_channels(key.digits[j].first.extract_channels(top, num_special));
-    RnsPoly evk_a = key.digits[j].second.extract_channels(0, level);
-    evk_a.append_channels(key.digits[j].second.extract_channels(top, num_special));
-
-    evk_b *= ext;
-    evk_a *= ext;
-    acc0 += evk_b;
-    acc1 += evk_a;
+    acc0 += parts[j].first;
+    acc1 += parts[j].second;
   }
 
   // Moddown: divide by P and return to the Q basis.
@@ -253,29 +267,31 @@ std::vector<Ciphertext> Evaluator::rotate_hoisted(const Ciphertext& a,
   // exactly the decomposition of the rotated c1.)
   RnsPoly c1_coeff = a.c1;
   c1_coeff.to_coeff();
-  std::vector<RnsPoly> ext_digits;
-  ext_digits.reserve(digits);
-  for (std::size_t j = 0; j < digits; ++j) {
-    const auto [first, count] = ctx_->digit_range(j, level);
-    const RnsPoly raw = c1_coeff.extract_channels(first, count);
-    std::vector<u64> group(ext_basis.begin() + first, ext_basis.begin() + first + count);
-    std::vector<u64> others;
-    others.reserve(ext_basis.size() - count);
-    for (std::size_t c = 0; c < ext_basis.size(); ++c) {
-      if (c < first || c >= first + count) others.push_back(ext_basis[c]);
+  std::vector<RnsPoly> ext_digits(digits);
+  parallel_for(digits, 1, [&](std::size_t jb, std::size_t je) {
+    for (std::size_t j = jb; j < je; ++j) {
+      const auto [first, count] = ctx_->digit_range(j, level);
+      const RnsPoly raw = c1_coeff.extract_channels(first, count);
+      std::vector<u64> group(ext_basis.begin() + first,
+                             ext_basis.begin() + first + count);
+      std::vector<u64> others;
+      others.reserve(ext_basis.size() - count);
+      for (std::size_t c = 0; c < ext_basis.size(); ++c) {
+        if (c < first || c >= first + count) others.push_back(ext_basis[c]);
+      }
+      const BConv conv(group, others);
+      const RnsPoly converted = conv.apply(raw);
+      RnsPoly ext(ctx_->degree(), ext_basis, RnsPoly::Form::Coeff);
+      std::size_t other_idx = 0;
+      for (std::size_t c = 0; c < ext_basis.size(); ++c) {
+        std::span<const u64> src = (c >= first && c < first + count)
+                                       ? raw.channel(c - first)
+                                       : converted.channel(other_idx++);
+        std::copy(src.begin(), src.end(), ext.channel(c).begin());
+      }
+      ext_digits[j] = std::move(ext);
     }
-    const BConv conv(group, others);
-    const RnsPoly converted = conv.apply(raw);
-    RnsPoly ext(ctx_->degree(), ext_basis, RnsPoly::Form::Coeff);
-    std::size_t other_idx = 0;
-    for (std::size_t c = 0; c < ext_basis.size(); ++c) {
-      std::span<const u64> src = (c >= first && c < first + count)
-                                     ? raw.channel(c - first)
-                                     : converted.channel(other_idx++);
-      std::copy(src.begin(), src.end(), ext.channel(c).begin());
-    }
-    ext_digits.push_back(std::move(ext));
-  }
+  });
 
   // Per rotation: permute the shared digits, inner-product with that
   // rotation's key, Moddown, and add the rotated c0.
@@ -293,17 +309,24 @@ std::vector<Ciphertext> Evaluator::rotate_hoisted(const Ciphertext& a,
     const KSwitchKey& key = gk.at(g);
     RnsPoly acc0(ctx_->degree(), ext_basis, RnsPoly::Form::Ntt);
     RnsPoly acc1(ctx_->degree(), ext_basis, RnsPoly::Form::Ntt);
+    // Same per-digit slot + sequential fold as keyswitch().
+    std::vector<std::pair<RnsPoly, RnsPoly>> parts(digits);
+    parallel_for(digits, 1, [&](std::size_t jb, std::size_t je) {
+      for (std::size_t j = jb; j < je; ++j) {
+        RnsPoly rotated = ext_digits[j].automorphism(g);
+        rotated.to_ntt();
+        RnsPoly evk_b = key.digits[j].first.extract_channels(0, level);
+        evk_b.append_channels(key.digits[j].first.extract_channels(top, num_special));
+        RnsPoly evk_a = key.digits[j].second.extract_channels(0, level);
+        evk_a.append_channels(key.digits[j].second.extract_channels(top, num_special));
+        evk_b *= rotated;
+        evk_a *= rotated;
+        parts[j] = {std::move(evk_b), std::move(evk_a)};
+      }
+    });
     for (std::size_t j = 0; j < digits; ++j) {
-      RnsPoly rotated = ext_digits[j].automorphism(g);
-      rotated.to_ntt();
-      RnsPoly evk_b = key.digits[j].first.extract_channels(0, level);
-      evk_b.append_channels(key.digits[j].first.extract_channels(top, num_special));
-      RnsPoly evk_a = key.digits[j].second.extract_channels(0, level);
-      evk_a.append_channels(key.digits[j].second.extract_channels(top, num_special));
-      evk_b *= rotated;
-      evk_a *= rotated;
-      acc0 += evk_b;
-      acc1 += evk_a;
+      acc0 += parts[j].first;
+      acc1 += parts[j].second;
     }
     acc0.to_coeff();
     acc1.to_coeff();

@@ -138,6 +138,14 @@ class MulModShoup {
     return r;
   }
 
+  // Lazy (Harvey) variant: skips the final conditional subtraction, so the
+  // result lives in [0, 2q). Valid for any 64-bit x — the butterflies feed it
+  // values up to 4q, which stays below 2^64 because q <= kMaxModulus < 2^62.
+  u64 mul_lazy(u64 x) const {
+    const u64 hi = static_cast<u64>((u128{quotient_} * x) >> 64);
+    return operand_ * x - hi * q_;
+  }
+
  private:
   u64 operand_ = 0;
   u64 quotient_ = 0;

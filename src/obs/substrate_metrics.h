@@ -1,0 +1,34 @@
+// substrate.* metrics: the parallel lazy-reduction substrate's accounting
+// (common/thread_pool.h) rendered as a PR-1 telemetry Registry, so pool
+// activity rides the same export paths as sim.* and svc.* — MetricsReport
+// JSON, bench baselines, and JobRunner snapshots.
+//
+//   substrate.threads            gauge: pool width incl. the calling thread
+//   substrate.parallel_for       fan-outs that split across the pool
+//   substrate.inline_runs        calls run sequentially (1 thread/small/nested)
+//   substrate.tasks              chunks executed across all fan-outs
+//   substrate.kernel_ns{kernel=} cumulative wall ns per kernel family
+//
+// kernel_ns (and anything else wall-clock) is machine-dependent: exclude it
+// from baseline gates (check_bench_baseline.py --ignore 'wall_ns|kernel_ns').
+#pragma once
+
+#include "common/thread_pool.h"
+#include "obs/registry.h"
+
+namespace alchemist::obs {
+
+inline Registry substrate_registry() {
+  Registry reg;
+  const SubstrateStats s = ThreadPool::instance().stats();
+  reg.set_gauge("substrate.threads", static_cast<double>(s.threads));
+  reg.add("substrate.parallel_for", s.parallel_fors);
+  reg.add("substrate.inline_runs", s.inline_runs);
+  reg.add("substrate.tasks", s.tasks);
+  for (const auto& [kernel, ns] : s.kernel_ns) {
+    reg.add("substrate.kernel_ns", ns, {{"kernel", kernel}});
+  }
+  return reg;
+}
+
+}  // namespace alchemist::obs

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/thread_pool.h"
+
 namespace alchemist {
 
 namespace {
@@ -48,15 +50,22 @@ u64 dot_mod_lazy(std::span<const u64> a, std::span<const u64> b, const Modulus& 
   return mod.reduce(acc);  // one reduction for the whole accumulation
 }
 
+// Output coefficients are independent, so both variants split the k-range
+// over the pool (each chunk owns a disjoint slice of `out`). Calls arriving
+// from an already-parallel caller — e.g. BConv's target-channel fan-out —
+// run inline on that worker.
 void weighted_sum_eager(std::span<const std::vector<u64>> x, std::span<const u64> w,
                         const Modulus& mod, std::span<u64> out) {
   if (x.size() != w.size()) throw std::invalid_argument("weighted_sum: size mismatch");
-  for (u64& v : out) v = 0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    for (std::size_t k = 0; k < out.size(); ++k) {
-      out[k] = mod.add(out[k], mod.mul(w[i], x[i][k]));
+  KernelTimer timer(Kernel::WeightedSum);
+  parallel_for(out.size(), 4096, [&](std::size_t kb, std::size_t ke) {
+    for (std::size_t k = kb; k < ke; ++k) out[k] = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      for (std::size_t k = kb; k < ke; ++k) {
+        out[k] = mod.add(out[k], mod.mul(w[i], x[i][k]));
+      }
     }
-  }
+  });
 }
 
 void weighted_sum_lazy(std::span<const std::vector<u64>> x, std::span<const u64> w,
@@ -67,11 +76,14 @@ void weighted_sum_lazy(std::span<const std::vector<u64>> x, std::span<const u64>
     weighted_sum_eager(x, w, mod, out);
     return;
   }
-  for (std::size_t k = 0; k < out.size(); ++k) {
-    u128 acc = 0;
-    for (std::size_t i = 0; i < x.size(); ++i) acc += u128{w[i]} * x[i][k];
-    out[k] = mod.reduce(acc);
-  }
+  KernelTimer timer(Kernel::WeightedSum);
+  parallel_for(out.size(), 4096, [&](std::size_t kb, std::size_t ke) {
+    for (std::size_t k = kb; k < ke; ++k) {
+      u128 acc = 0;
+      for (std::size_t i = 0; i < x.size(); ++i) acc += u128{w[i]} * x[i][k];
+      out[k] = mod.reduce(acc);
+    }
+  });
 }
 
 }  // namespace alchemist

@@ -1,6 +1,8 @@
 #include "poly/ntt.h"
 
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 
 #include "common/primes.h"
@@ -39,6 +41,64 @@ NttTable::NttTable(u64 q, std::size_t n)
 
 void NttTable::forward(std::span<u64> a) const {
   if (a.size() != n_) throw std::invalid_argument("NttTable::forward: size mismatch");
+  // Harvey lazy butterflies: u is folded into [0, 2q) on read, v = w*x lands
+  // in [0, 2q) (Shoup without the final correction), so both outputs stay in
+  // [0, 4q). One canonicalizing pass runs after the last stage.
+  const u64 q = mod_.value();
+  const u64 two_q = 2 * q;
+  std::size_t t = n_;
+  for (std::size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t j1 = 2 * i * t;
+      const MulModShoup& s = root_powers_[m + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        u64 u = a[j];
+        // Branchless fold into [0, 2q): u >= 2q half the time on lazy data,
+        // so a compare-and-subtract branch would mispredict constantly.
+        u -= two_q & (u >= two_q ? ~u64{0} : 0);
+        const u64 v = s.mul_lazy(a[j + t]);
+        a[j] = u + v;
+        a[j + t] = u + two_q - v;
+      }
+    }
+  }
+  for (u64& x : a) {
+    x -= two_q & (x >= two_q ? ~u64{0} : 0);
+    x -= q & (x >= q ? ~u64{0} : 0);
+  }
+}
+
+void NttTable::inverse(std::span<u64> a) const {
+  if (a.size() != n_) throw std::invalid_argument("NttTable::inverse: size mismatch");
+  // Gentleman-Sande with lazy values in [0, 2q): the sum is folded back below
+  // 2q, the difference (shifted by 2q) feeds the lazy Shoup multiply. The
+  // final N^{-1} multiply canonicalizes to [0, q).
+  const u64 q = mod_.value();
+  const u64 two_q = 2 * q;
+  std::size_t t = 1;
+  for (std::size_t m = n_; m > 1; m >>= 1) {
+    const std::size_t h = m >> 1;
+    std::size_t j1 = 0;
+    for (std::size_t i = 0; i < h; ++i) {
+      const MulModShoup& s = inv_root_powers_[h + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const u64 u = a[j];
+        const u64 v = a[j + t];
+        u64 sum = u + v;
+        sum -= two_q & (sum >= two_q ? ~u64{0} : 0);
+        a[j] = sum;
+        a[j + t] = s.mul_lazy(u + two_q - v);
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  for (u64& x : a) x = n_inv_.mul(x);
+}
+
+void NttTable::forward_eager(std::span<u64> a) const {
+  if (a.size() != n_) throw std::invalid_argument("NttTable::forward: size mismatch");
   const u64 q = mod_.value();
   std::size_t t = n_;
   for (std::size_t m = 1; m < n_; m <<= 1) {
@@ -56,7 +116,7 @@ void NttTable::forward(std::span<u64> a) const {
   }
 }
 
-void NttTable::inverse(std::span<u64> a) const {
+void NttTable::inverse_eager(std::span<u64> a) const {
   if (a.size() != n_) throw std::invalid_argument("NttTable::inverse: size mismatch");
   const u64 q = mod_.value();
   std::size_t t = 1;
@@ -79,14 +139,22 @@ void NttTable::inverse(std::span<u64> a) const {
 }
 
 const NttTable& get_ntt_table(u64 q, std::size_t n) {
-  // Single-threaded substrate: a plain static map suffices and keeps table
-  // construction out of every polynomial operation.
+  // Reachable from concurrent pool workers and svc::JobRunner jobs: reads
+  // take a shared lock; a cache miss builds the table outside any lock (O(N)
+  // modular exponentiations) and inserts under the exclusive lock, where a
+  // losing racer simply adopts the winner's table. std::map nodes are stable,
+  // so returned references survive later insertions.
+  static std::shared_mutex mu;
   static std::map<std::pair<u64, std::size_t>, std::unique_ptr<NttTable>> cache;
-  auto key = std::make_pair(q, n);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    it = cache.emplace(key, std::make_unique<NttTable>(q, n)).first;
+  const auto key = std::make_pair(q, n);
+  {
+    std::shared_lock<std::shared_mutex> rlk(mu);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return *it->second;
   }
+  auto table = std::make_unique<NttTable>(q, n);
+  std::unique_lock<std::shared_mutex> wlk(mu);
+  const auto [it, inserted] = cache.emplace(key, std::move(table));
   return *it->second;
 }
 

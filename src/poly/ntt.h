@@ -5,6 +5,15 @@
 // natural output (Longa-Naehrig formulation). Pointwise operations in the NTT
 // domain are order-agnostic as long as both operands use the same transform.
 //
+// The production butterflies are Harvey-style *lazy*: values live in [0, 4q)
+// through the forward stages (the inverse keeps [0, 2q)) and are reduced to
+// canonical [0, q) once at the end — the software analogue of the paper's
+// (M_j A_j)_n R_j deferral, which replaces one conditional correction per
+// butterfly with one per coefficient per transform. 4q < 2^64 holds for every
+// Modulus (q <= kMaxModulus < 2^62). The *_eager variants keep the classical
+// reduce-every-butterfly dataflow as the bit-identical reference for tests
+// and the eager-vs-lazy microbenchmarks.
+//
 // Twiddle factors are applied with Shoup multiplication (precomputed
 // quotients), which is why tables are built once per (q, N) pair and cached.
 #pragma once
@@ -30,9 +39,17 @@ class NttTable {
   u64 psi() const { return psi_; }
 
   // In-place forward negacyclic NTT: natural order in, bit-reversed out.
+  // Input coefficients must be in [0, q); output is canonical [0, q).
   void forward(std::span<u64> a) const;
   // In-place inverse negacyclic NTT: bit-reversed in, natural order out.
   void inverse(std::span<u64> a) const;
+
+  // Classical eagerly-reduced butterflies (pre-lazy dataflow). Bit-identical
+  // outputs to forward()/inverse(); roughly one extra conditional subtraction
+  // per butterfly. Reference implementation for equivalence tests and the
+  // eager-vs-lazy ablation bench.
+  void forward_eager(std::span<u64> a) const;
+  void inverse_eager(std::span<u64> a) const;
 
  private:
   Modulus mod_;
@@ -46,6 +63,8 @@ class NttTable {
 
 // Process-wide cache of NTT tables keyed by (q, N). Table construction costs
 // O(N) modular exponentiations; every RnsPoly channel shares one table.
+// Thread-safe: concurrent lookups take a shared lock, first-time construction
+// an exclusive one, so pool workers and svc jobs may race freely.
 const NttTable& get_ntt_table(u64 q, std::size_t n);
 
 // Bit reversal of the low `bits` bits of x.

@@ -3,10 +3,35 @@
 #include <stdexcept>
 
 #include "common/biguint.h"
+#include "common/thread_pool.h"
 #include "poly/lazy_kernels.h"
 #include "poly/ntt.h"
 
 namespace alchemist {
+
+namespace {
+
+// Fan one flattened [begin, end) range over per-channel contiguous segments:
+// f(channel, i_begin, i_end). Keeps the parallel_for chunking on a single
+// (channels * n)-sized axis while the inner loops stay tight per channel.
+template <typename F>
+void for_channel_segments(std::size_t begin, std::size_t end, std::size_t n, F&& f) {
+  std::size_t c = begin / n;
+  std::size_t i = begin % n;
+  while (begin < end) {
+    const std::size_t len = std::min(end - begin, n - i);
+    f(c, i, i + len);
+    begin += len;
+    ++c;
+    i = 0;
+  }
+}
+
+// Elementwise grain: chunks below this many coefficients are not worth a
+// handoff to the pool.
+constexpr std::size_t kElementwiseGrain = 1 << 13;
+
+}  // namespace
 
 RnsPoly::RnsPoly(std::size_t n, std::vector<u64> moduli, Form form)
     : n_(n), form_(form), moduli_values_(std::move(moduli)) {
@@ -22,17 +47,24 @@ RnsPoly::RnsPoly(std::size_t n, std::vector<u64> moduli, Form form)
 
 void RnsPoly::to_ntt() {
   if (form_ == Form::Ntt) return;
-  for (std::size_t i = 0; i < channels_.size(); ++i) {
-    get_ntt_table(moduli_values_[i], n_).forward(channels_[i]);
-  }
+  KernelTimer timer(Kernel::NttFwd);
+  // One NTT per RNS channel — the paper's embarrassingly-parallel axis.
+  parallel_for(channels_.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      get_ntt_table(moduli_values_[i], n_).forward(channels_[i]);
+    }
+  });
   form_ = Form::Ntt;
 }
 
 void RnsPoly::to_coeff() {
   if (form_ == Form::Coeff) return;
-  for (std::size_t i = 0; i < channels_.size(); ++i) {
-    get_ntt_table(moduli_values_[i], n_).inverse(channels_[i]);
-  }
+  KernelTimer timer(Kernel::NttInv);
+  parallel_for(channels_.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      get_ntt_table(moduli_values_[i], n_).inverse(channels_[i]);
+    }
+  });
   form_ = Form::Coeff;
 }
 
@@ -45,23 +77,31 @@ void RnsPoly::check_compatible(const RnsPoly& other, const char* op) const {
 
 RnsPoly& RnsPoly::operator+=(const RnsPoly& other) {
   check_compatible(other, "+=");
-  for (std::size_t c = 0; c < channels_.size(); ++c) {
-    const u64 q = moduli_values_[c];
-    for (std::size_t i = 0; i < n_; ++i) {
-      channels_[c][i] = add_mod(channels_[c][i], other.channels_[c][i], q);
-    }
-  }
+  KernelTimer timer(Kernel::Elementwise);
+  parallel_for(channels_.size() * n_, kElementwiseGrain,
+               [&](std::size_t b, std::size_t e) {
+    for_channel_segments(b, e, n_, [&](std::size_t c, std::size_t i0, std::size_t i1) {
+      const u64 q = moduli_values_[c];
+      for (std::size_t i = i0; i < i1; ++i) {
+        channels_[c][i] = add_mod(channels_[c][i], other.channels_[c][i], q);
+      }
+    });
+  });
   return *this;
 }
 
 RnsPoly& RnsPoly::operator-=(const RnsPoly& other) {
   check_compatible(other, "-=");
-  for (std::size_t c = 0; c < channels_.size(); ++c) {
-    const u64 q = moduli_values_[c];
-    for (std::size_t i = 0; i < n_; ++i) {
-      channels_[c][i] = sub_mod(channels_[c][i], other.channels_[c][i], q);
-    }
-  }
+  KernelTimer timer(Kernel::Elementwise);
+  parallel_for(channels_.size() * n_, kElementwiseGrain,
+               [&](std::size_t b, std::size_t e) {
+    for_channel_segments(b, e, n_, [&](std::size_t c, std::size_t i0, std::size_t i1) {
+      const u64 q = moduli_values_[c];
+      for (std::size_t i = i0; i < i1; ++i) {
+        channels_[c][i] = sub_mod(channels_[c][i], other.channels_[c][i], q);
+      }
+    });
+  });
   return *this;
 }
 
@@ -70,20 +110,30 @@ RnsPoly& RnsPoly::operator*=(const RnsPoly& other) {
   if (form_ != Form::Ntt) {
     throw std::invalid_argument("RnsPoly::*=: operands must be in NTT form");
   }
-  for (std::size_t c = 0; c < channels_.size(); ++c) {
-    const Modulus& mod = moduli_[c];
-    for (std::size_t i = 0; i < n_; ++i) {
-      channels_[c][i] = mod.mul(channels_[c][i], other.channels_[c][i]);
-    }
-  }
+  KernelTimer timer(Kernel::Elementwise);
+  parallel_for(channels_.size() * n_, kElementwiseGrain,
+               [&](std::size_t b, std::size_t e) {
+    for_channel_segments(b, e, n_, [&](std::size_t c, std::size_t i0, std::size_t i1) {
+      const Modulus& mod = moduli_[c];
+      for (std::size_t i = i0; i < i1; ++i) {
+        channels_[c][i] = mod.mul(channels_[c][i], other.channels_[c][i]);
+      }
+    });
+  });
   return *this;
 }
 
 RnsPoly& RnsPoly::negate() {
-  for (std::size_t c = 0; c < channels_.size(); ++c) {
-    const u64 q = moduli_values_[c];
-    for (u64& x : channels_[c]) x = neg_mod(x, q);
-  }
+  KernelTimer timer(Kernel::Elementwise);
+  parallel_for(channels_.size() * n_, kElementwiseGrain,
+               [&](std::size_t b, std::size_t e) {
+    for_channel_segments(b, e, n_, [&](std::size_t c, std::size_t i0, std::size_t i1) {
+      const u64 q = moduli_values_[c];
+      for (std::size_t i = i0; i < i1; ++i) {
+        channels_[c][i] = neg_mod(channels_[c][i], q);
+      }
+    });
+  });
   return *this;
 }
 
@@ -91,20 +141,32 @@ RnsPoly& RnsPoly::mul_scalar(std::span<const u64> scalar_per_channel) {
   if (scalar_per_channel.size() != channels_.size()) {
     throw std::invalid_argument("RnsPoly::mul_scalar: scalar count mismatch");
   }
-  for (std::size_t c = 0; c < channels_.size(); ++c) {
-    const Modulus& mod = moduli_[c];
-    const u64 s = mod.reduce(scalar_per_channel[c]);
-    for (u64& x : channels_[c]) x = mod.mul(x, s);
-  }
+  KernelTimer timer(Kernel::Elementwise);
+  parallel_for(channels_.size() * n_, kElementwiseGrain,
+               [&](std::size_t b, std::size_t e) {
+    for_channel_segments(b, e, n_, [&](std::size_t c, std::size_t i0, std::size_t i1) {
+      const Modulus& mod = moduli_[c];
+      const u64 s = mod.reduce(scalar_per_channel[c]);
+      for (std::size_t i = i0; i < i1; ++i) {
+        channels_[c][i] = mod.mul(channels_[c][i], s);
+      }
+    });
+  });
   return *this;
 }
 
 RnsPoly& RnsPoly::mul_scalar(u64 scalar) {
-  for (std::size_t c = 0; c < channels_.size(); ++c) {
-    const Modulus& mod = moduli_[c];
-    const u64 s = mod.reduce(scalar);
-    for (u64& x : channels_[c]) x = mod.mul(x, s);
-  }
+  KernelTimer timer(Kernel::Elementwise);
+  parallel_for(channels_.size() * n_, kElementwiseGrain,
+               [&](std::size_t b, std::size_t e) {
+    for_channel_segments(b, e, n_, [&](std::size_t c, std::size_t i0, std::size_t i1) {
+      const Modulus& mod = moduli_[c];
+      const u64 s = mod.reduce(scalar);
+      for (std::size_t i = i0; i < i1; ++i) {
+        channels_[c][i] = mod.mul(channels_[c][i], s);
+      }
+    });
+  });
   return *this;
 }
 
@@ -154,18 +216,22 @@ RnsPoly RnsPoly::automorphism(u64 galois_elt) const {
   }
   RnsPoly out(n_, moduli_values_, Form::Coeff);
   const u64 two_n = 2 * static_cast<u64>(n_);
-  for (std::size_t c = 0; c < channels_.size(); ++c) {
-    const u64 q = moduli_values_[c];
-    for (std::size_t i = 0; i < n_; ++i) {
-      const u64 idx = (static_cast<u64>(i) * galois_elt) % two_n;
-      const u64 v = channels_[c][i];
-      if (idx < n_) {
-        out.channels_[c][idx] = add_mod(out.channels_[c][idx], v, q);
-      } else {
-        out.channels_[c][idx - n_] = sub_mod(out.channels_[c][idx - n_], v, q);
+  // Scatter indices hit every output slot of a channel, so the parallel axis
+  // is whole channels only.
+  parallel_for(channels_.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t c = b; c < e; ++c) {
+      const u64 q = moduli_values_[c];
+      for (std::size_t i = 0; i < n_; ++i) {
+        const u64 idx = (static_cast<u64>(i) * galois_elt) % two_n;
+        const u64 v = channels_[c][i];
+        if (idx < n_) {
+          out.channels_[c][idx] = add_mod(out.channels_[c][idx], v, q);
+        } else {
+          out.channels_[c][idx - n_] = sub_mod(out.channels_[c][idx - n_], v, q);
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -194,29 +260,37 @@ BConv::BConv(std::vector<u64> source_moduli, std::vector<u64> target_moduli)
 RnsPoly BConv::apply(const RnsPoly& x) const {
   if (x.is_ntt()) throw std::invalid_argument("BConv: input must be in coefficient form");
   if (x.moduli() != source_) throw std::invalid_argument("BConv: basis mismatch");
+  KernelTimer timer(Kernel::BConv);
   const std::size_t n = x.degree();
   const std::size_t src_count = source_.size();
 
-  // v_i = [x_i * q̂_i^{-1}]_{q_i}, shared across all target channels.
+  // v_i = [x_i * q̂_i^{-1}]_{q_i}, shared across all target channels; each
+  // source channel is independent.
   std::vector<std::vector<u64>> v(src_count, std::vector<u64>(n));
-  for (std::size_t i = 0; i < src_count; ++i) {
-    const Modulus& qi = x.channel_modulus(i);
-    const std::span<const u64> xi = x.channel(i);
-    for (std::size_t k = 0; k < n; ++k) {
-      v[i][k] = qi.mul(xi[k], qhat_inv_mod_qi_[i]);
+  parallel_for(src_count, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const Modulus& qi = x.channel_modulus(i);
+      const std::span<const u64> xi = x.channel(i);
+      for (std::size_t k = 0; k < n; ++k) {
+        v[i][k] = qi.mul(xi[k], qhat_inv_mod_qi_[i]);
+      }
     }
-  }
+  });
 
   // The paper's lazy reduction (Table 3): accumulate the L weighted channels
   // in 128-bit and reduce once per output coefficient, instead of reducing
   // every product. Falls back to eager reduction when the 128-bit headroom
   // is insufficient (only possible for very long chains of 62-bit primes).
+  // Target channels fan out in parallel; the weighted sum splits its own
+  // coefficient range when it runs at top level.
   RnsPoly out(n, target_, RnsPoly::Form::Coeff);
-  for (std::size_t j = 0; j < target_.size(); ++j) {
-    const Modulus pj(target_[j]);
-    weighted_sum_lazy(std::span<const std::vector<u64>>(v),
-                      std::span<const u64>(qhat_mod_pj_[j]), pj, out.channel(j));
-  }
+  parallel_for(target_.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t j = b; j < e; ++j) {
+      const Modulus pj(target_[j]);
+      weighted_sum_lazy(std::span<const std::vector<u64>>(v),
+                        std::span<const u64>(qhat_mod_pj_[j]), pj, out.channel(j));
+    }
+  });
   return out;
 }
 
@@ -244,15 +318,17 @@ RnsPoly moddown(const RnsPoly& x, std::size_t num_special) {
 
   const BigUInt big_p = BigUInt::product(p_moduli);
   RnsPoly out = q_part;
-  for (std::size_t i = 0; i < num_q; ++i) {
-    const Modulus& qi = out.channel_modulus(i);
-    const u64 p_inv = qi.inv(big_p.mod_u64(qi.value()));
-    std::span<u64> oi = out.channel(i);
-    std::span<const u64> ci = converted.channel(i);
-    for (std::size_t k = 0; k < out.degree(); ++k) {
-      oi[k] = qi.mul(qi.sub(oi[k], ci[k]), p_inv);
+  parallel_for(num_q, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const Modulus& qi = out.channel_modulus(i);
+      const u64 p_inv = qi.inv(big_p.mod_u64(qi.value()));
+      std::span<u64> oi = out.channel(i);
+      std::span<const u64> ci = converted.channel(i);
+      for (std::size_t k = 0; k < out.degree(); ++k) {
+        oi[k] = qi.mul(qi.sub(oi[k], ci[k]), p_inv);
+      }
     }
-  }
+  });
   return out;
 }
 

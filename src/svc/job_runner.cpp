@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/substrate_metrics.h"
 #include "sim/alchemist_sim.h"
 #include "sim/event_sim.h"
 
@@ -126,8 +127,12 @@ void JobRunner::set_paused(bool paused) {
 }
 
 obs::Registry JobRunner::snapshot() const {
+  // Substrate counters are read outside mu_ (they have their own atomics) so
+  // the svc.* snapshot carries the pool's substrate.* activity alongside it.
+  obs::Registry substrate = obs::substrate_registry();
   std::lock_guard<std::mutex> lk(mu_);
   obs::Registry reg = reg_;
+  reg.merge(substrate);
   reg.set_gauge(metrics::kQueueDepth, static_cast<double>(queue_.size()));
   reg.set_gauge(metrics::kQueueDepth, static_cast<double>(peak_depth_),
                 {{"stat", "peak"}});

@@ -24,7 +24,16 @@
 //   subsequent submissions of that class until a cooldown + half-open probe
 //   (svc/circuit_breaker.h).
 // * Observability: svc.* counters and gauges (queue depth, terminal-state
-//   partition, p50/p99 latency) exported as an obs::Registry snapshot.
+//   partition, p50/p99 latency) exported as an obs::Registry snapshot,
+//   together with the substrate.* counters of the shared compute pool.
+// * Intra-job parallelism: functional kernels running inside a job fan out on
+//   the process-wide ThreadPool (common/thread_pool.h), which all workers
+//   share. Nested fan-outs run inline on their worker and callers lend their
+//   own thread, so J job workers over a P-thread pool never run more than
+//   J + P - 1 compute threads — job-level and kernel-level parallelism
+//   compose without oversubscription. ALCHEMIST_THREADS=1 (or
+//   ThreadPool::set_threads(1)) collapses every kernel to the sequential
+//   path; results are bit-identical either way.
 #pragma once
 
 #include <chrono>

@@ -3,6 +3,7 @@
 
 Usage:
     tools/check_bench_baseline.py BASELINE.json CURRENT.json [--tolerance 0.05]
+                                  [--ignore REGEX]
 
 Runs are matched by (workload, accelerator). Every counter present in the
 baseline must exist in the current report and stay within the relative
@@ -12,10 +13,15 @@ a silent change in, say, sim.mults{lazy=true} is a model change that should
 show up in review. Counters only present in the current report are allowed
 (new telemetry is not a regression) but reported for information.
 
+Wall-clock counters are machine-dependent and must not gate: pass
+--ignore 'wall_ns|kernel_ns' to skip any counter whose name matches the
+regex (skips are reported as notes, never as failures).
+
 Exit codes: 0 ok, 1 regression/missing data, 2 usage or unreadable input.
 """
 import argparse
 import json
+import re
 import sys
 
 
@@ -41,7 +47,11 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--tolerance", type=float, default=0.05,
                     help="max allowed relative drift per counter (default 0.05)")
+    ap.add_argument("--ignore", metavar="REGEX", default=None,
+                    help="skip counters whose name matches this regex "
+                         "(e.g. 'wall_ns|kernel_ns' for wall-clock rows)")
     args = ap.parse_args()
+    ignore = re.compile(args.ignore) if args.ignore else None
 
     baseline = load(args.baseline)
     current = load(args.current)
@@ -60,7 +70,11 @@ def main():
             continue
         rows = diff_rows.setdefault(label, [])
         run_failed = False
+        ignored = []
         for key, base_value in sorted(base_counters.items()):
+            if ignore is not None and ignore.search(key):
+                ignored.append(key)
+                continue
             if key not in cur_counters:
                 failures.append(f"{label}: counter {key} missing")
                 rows.append((key, base_value, None, None, True))
@@ -84,6 +98,9 @@ def main():
             rows.append((key, base_value, cur_value, drift, bad))
         if not run_failed:
             del diff_rows[label]
+        if ignored:
+            infos.append(f"{label}: ignored {len(ignored)} counter(s) matching "
+                         f"--ignore: {', '.join(ignored)}")
         new_keys = sorted(set(cur_counters) - set(base_counters))
         if new_keys:
             infos.append(f"{label}: new counters (ok): {', '.join(new_keys)}")
