@@ -1,5 +1,14 @@
 // Reproduces Figure 7(b): per-class and overall utilization rates of
 // Alchemist vs SHARP and CraterLake on bootstrapping / HELR / MNIST.
+//
+// The Alchemist rows also run with the per-unit UnitProfiler attached and
+// cross-check the utilization.v1 view against the simulator's own numbers:
+// the profiler's occupancy (busy+reduction cycles over units x total cycles)
+// must agree with SimResult.utilization within rounding, and every unit's
+// five buckets must sum exactly to the total cycle count. Any mismatch makes
+// the harness exit nonzero, so the two accounting paths cannot drift apart
+// silently.
+#include <cmath>
 #include <cstdio>
 
 #include "arch/baselines.h"
@@ -7,11 +16,16 @@
 #include "bench_util.h"
 #include "sim/alchemist_sim.h"
 #include "sim/baseline_sim.h"
+#include "sim/unit_profiler.h"
 #include "workloads/ckks_workloads.h"
 
 namespace {
 
 using namespace alchemist;
+
+// |profiler occupancy - simulator utilization|: both are ratios of the same
+// busy-core-cycle total, so the only slack is per-unit ceil() integerization.
+constexpr double kOccupancyTolerance = 0.02;
 
 workloads::CkksWl resident(std::size_t level) {
   workloads::CkksWl w = workloads::CkksWl::paper(level);
@@ -23,6 +37,42 @@ void print_util(const char* who, const sim::SimResult& r) {
   std::printf("  %-18s NTT=%.2f Bconv=%.2f DecompPM=%.2f | overall=%.2f\n", who,
               r.util_by_class[0], r.util_by_class[1], r.util_by_class[2],
               r.utilization);
+}
+
+// Returns false (after printing why) when the profile disagrees with the
+// simulator's aggregate accounting.
+bool check_profile(const char* name, const sim::SimResult& r) {
+  const obs::UtilizationProfile& p = r.profile;
+  if (!p.enabled()) {
+    std::printf("  FAIL %s: profiler attached but profile empty\n", name);
+    return false;
+  }
+  for (std::size_t u = 0; u < p.units.size(); ++u) {
+    if (p.units[u].total() != p.total_cycles) {
+      std::printf("  FAIL %s: unit %zu buckets sum to %llu, expected %llu\n",
+                  name, u, static_cast<unsigned long long>(p.units[u].total()),
+                  static_cast<unsigned long long>(p.total_cycles));
+      return false;
+    }
+  }
+  const double occ = p.occupancy();
+  if (std::fabs(occ - r.utilization) > kOccupancyTolerance) {
+    std::printf("  FAIL %s: profile occupancy %.4f vs sim utilization %.4f\n",
+                name, occ, r.utilization);
+    return false;
+  }
+  const obs::UnitCycles agg = p.aggregate();
+  const double denom = static_cast<double>(p.total_cycles) *
+                       static_cast<double>(p.units.size());
+  std::printf(
+      "  profile(v1)        busy=%.2f red=%.2f scratch=%.2f dep=%.2f idle=%.2f"
+      " | occ=%.2f (ok)\n",
+      static_cast<double>(agg.busy) / denom,
+      static_cast<double>(agg.reduction) / denom,
+      static_cast<double>(agg.stall_scratchpad) / denom,
+      static_cast<double>(agg.stall_dependency) / denom,
+      static_cast<double>(agg.idle) / denom, occ);
+  return true;
 }
 
 }  // namespace
@@ -41,12 +91,21 @@ int main() {
       {"LoLa-MNIST", workloads::build_lola_mnist(false)},
   };
 
+  bool ok = true;
   for (auto& c : cases) {
     std::printf("%s\n", c.name);
-    print_util("Alchemist", sim::simulate_alchemist(c.graph, cfg));
+    sim::UnitProfiler prof;
+    const sim::SimResult r =
+        sim::simulate_alchemist(c.graph, cfg, nullptr, nullptr, nullptr, &prof);
+    print_util("Alchemist", r);
+    ok = check_profile(c.name, r) && ok;
     print_util("SHARP (model)", sim::simulate_modular(c.graph, arch::spec_by_name("SHARP")));
     print_util("CraterLake (mdl)",
                sim::simulate_modular(c.graph, arch::spec_by_name("CraterLake")));
+  }
+  if (!ok) {
+    std::printf("\nutilization.v1 cross-check FAILED\n");
+    return 1;
   }
 
   std::printf(

@@ -17,6 +17,16 @@
 // exactly one terminal state, that the svc.* terminal-state counters
 // partition svc.submitted, and that the handle tally equals the counters.
 // Exit status is non-zero on any violation, so this doubles as a ctest.
+//
+// Modes:
+//   --quick            one worker count (4) instead of {1,2,4,8}
+//   --smoke            profiler-overhead gate: the same deterministic job set
+//                      runs with and without JobSpec::profile; results must
+//                      be bit-identical and the profiled wall-clock (best of
+//                      3) within 10% of the unprofiled one
+//   --metrics-out F    write the final run's svc.* registry (latency
+//                      histograms included) as a metrics.v1 JSON report
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -25,6 +35,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/report.h"
 #include "sim/alchemist_sim.h"
 #include "sim/event_sim.h"
 #include "svc/job_runner.h"
@@ -54,7 +65,20 @@ struct SoakStats {
   u64 submitted = 0, completed = 0, retried_ok = 0, failed = 0, cancelled = 0,
       expired = 0, shed = 0, circuit_open = 0, retries = 0, resumed = 0;
   double wall_ms = 0.0, p99_ms = 0.0, throughput = 0.0;
+  obs::Registry reg;  // final snapshot (latency histograms for reporting)
 };
+
+// Per-class latency quantiles from the svc.latency.total_us{class=} histograms.
+void print_class_latency(const obs::Registry& reg) {
+  const std::string prefix = std::string(svc::metrics::kLatencyTotalUs) + "{class=";
+  for (const auto& [key, hist] : reg.histograms()) {
+    if (key.rfind(prefix, 0) != 0 || hist.count() == 0) continue;
+    std::printf("  %-40s p50/p95/p99 = %8.2f / %8.2f / %8.2f ms  (n=%llu)\n",
+                key.c_str(), hist.percentile(50.0) / 1000.0,
+                hist.percentile(95.0) / 1000.0, hist.percentile(99.0) / 1000.0,
+                static_cast<unsigned long long>(hist.count()));
+  }
+}
 
 // Uninterrupted reference runs, indexed [graph][engine]; resumed jobs are
 // fault-free, so their results must be bit-identical to these.
@@ -187,6 +211,7 @@ bool run_soak(std::size_t workers, const std::vector<GraphPtr>& graphs,
   out.resumed = reg.counter(svc::metrics::kResumed);
   out.p99_ms = reg.gauge(svc::metrics::kLatencyUs, {{"p", "99"}}) / 1000.0;
   out.throughput = static_cast<double>(kJobs - out.shed) * 1000.0 / out.wall_ms;
+  out.reg = reg;
 
   const u64 total_handles = kJobs + kPoisonJobs + resumes.size();
   SOAK_CHECK(out.submitted == total_handles, "submitted != handles");
@@ -218,11 +243,118 @@ bool run_soak(std::size_t workers, const std::vector<GraphPtr>& graphs,
   return true;
 }
 
+// Profiler-overhead gate: a deterministic fault-free job set through a
+// 4-worker runner, once with JobSpec::profile off and once on (best wall of
+// kReps each). The simulated outcome must be bit-identical and the profiled
+// wall-clock within kMaxOverhead of the unprofiled one.
+bool run_smoke() {
+  constexpr std::size_t kSmokeJobs = 16;
+  constexpr int kReps = 3;
+  constexpr double kMaxOverhead = 0.10;
+
+  // Heavyweight jobs — the overhead gate is about profiling realistic runs,
+  // not amortizing fixed per-job cost over microsecond-long toy graphs.
+  std::vector<GraphPtr> graphs;
+  graphs.push_back(std::make_shared<metaop::OpGraph>(
+      workloads::build_bootstrapping(workloads::CkksWl::paper(44), true)));
+  graphs.push_back(std::make_shared<metaop::OpGraph>(
+      workloads::build_helr_iteration(workloads::CkksWl::paper(30))));
+
+  auto run = [&](bool profile, std::vector<sim::SimResult>& results,
+                 obs::Registry* reg_out) {
+    svc::RunnerOptions opts;
+    opts.workers = 4;
+    opts.queue_capacity = kSmokeJobs;
+    svc::JobRunner runner(opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<svc::JobPtr> handles;
+    handles.reserve(kSmokeJobs);
+    for (std::size_t i = 0; i < kSmokeJobs; ++i) {
+      svc::JobSpec spec;
+      spec.name = "smoke-" + std::to_string(i);
+      spec.graph = graphs[i % graphs.size()];
+      spec.engine = (i % 2 == 0) ? svc::Engine::Level : svc::Engine::Event;
+      spec.profile = profile;
+      handles.push_back(runner.submit(std::move(spec)));
+    }
+    runner.drain();
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    results.clear();
+    for (const svc::JobPtr& h : handles) {
+      if (h->state() != svc::JobState::Completed) return -1.0;
+      results.push_back(h->result());
+    }
+    if (reg_out != nullptr) *reg_out = runner.snapshot();
+    return wall_ms;
+  };
+
+  double wall_off = 1e300, wall_on = 1e300;
+  std::vector<sim::SimResult> base, profiled, scratch;
+  obs::Registry last_reg;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double ms = run(false, scratch, nullptr);
+    if (ms < 0) { std::fprintf(stderr, "smoke: unprofiled job failed\n"); return false; }
+    wall_off = std::min(wall_off, ms);
+    if (rep == 0) base = scratch;
+  }
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double ms = run(true, scratch, &last_reg);
+    if (ms < 0) { std::fprintf(stderr, "smoke: profiled job failed\n"); return false; }
+    wall_on = std::min(wall_on, ms);
+    if (rep == 0) profiled = scratch;
+  }
+  std::printf("svc_soak --smoke: per-class latency of the last profiled run:\n");
+  print_class_latency(last_reg);
+
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const sim::SimResult& a = base[i];
+    const sim::SimResult& b = profiled[i];
+    if (a.cycles != b.cycles || a.time_us != b.time_us ||
+        a.registry.counters() != b.registry.counters()) {
+      std::fprintf(stderr, "smoke: profiled result of job %zu not bit-identical\n", i);
+      return false;
+    }
+    if (a.profile.enabled() || !b.profile.enabled()) {
+      std::fprintf(stderr, "smoke: profile presence wrong for job %zu\n", i);
+      return false;
+    }
+    for (const obs::UnitCycles& u : b.profile.units) {
+      if (u.total() != b.profile.total_cycles) {
+        std::fprintf(stderr, "smoke: unit buckets of job %zu do not sum to total\n", i);
+        return false;
+      }
+    }
+  }
+  const double overhead = (wall_on - wall_off) / wall_off;
+  std::printf("svc_soak --smoke: wall %0.2f ms off / %0.2f ms on -> overhead %+.1f%% "
+              "(gate <%.0f%%), results bit-identical\n",
+              wall_off, wall_on, 100.0 * overhead, 100.0 * kMaxOverhead);
+  if (overhead >= kMaxOverhead) {
+    std::fprintf(stderr, "svc_soak FAILED: profiler overhead %.1f%% exceeds gate\n",
+                 100.0 * overhead);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::size_t> worker_counts = {1, 2, 4, 8};
-  if (argc > 1 && std::string(argv[1]) == "--quick") worker_counts = {4};
+  bool smoke = false;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") worker_counts = {4};
+    else if (arg == "--smoke") smoke = true;
+    else if (arg == "--metrics-out" && i + 1 < argc) metrics_out = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: svc_soak [--quick] [--smoke] [--metrics-out F]\n");
+      return 2;
+    }
+  }
 
   const workloads::CkksWl w = workloads::CkksWl::paper(16);
   std::vector<GraphPtr> graphs;
@@ -230,6 +362,13 @@ int main(int argc, char** argv) {
   graphs.push_back(std::make_shared<metaop::OpGraph>(workloads::build_hadd(w)));
   graphs.push_back(std::make_shared<metaop::OpGraph>(workloads::build_rotation(w)));
   graphs.push_back(std::make_shared<metaop::OpGraph>(workloads::build_keyswitch(w)));
+
+  if (smoke) {
+    if (!run_smoke()) return 1;
+    std::printf("svc_soak OK\n");
+    return 0;
+  }
+
   const auto refs = make_references(graphs, arch::ArchConfig::alchemist());
 
   std::printf("svc_soak: %zu jobs/run (+%zu poison, + resumes), queue %zu, seed 0x%llx\n",
@@ -238,11 +377,12 @@ int main(int argc, char** argv) {
   std::printf("| workers | throughput (jobs/s) | p99 (ms) | completed | retried-ok | failed | cancelled | expired | shed | breaker |\n");
   std::printf("|---------|---------------------|----------|-----------|------------|--------|-----------|---------|------|---------|\n");
 
-  SoakStats first{};
+  SoakStats first{}, last{};
   bool first_set = false;
   for (std::size_t workers : worker_counts) {
     SoakStats s;
     if (!run_soak(workers, graphs, refs, s)) return 1;
+    last = s;
     std::printf("| %7zu | %19.0f | %8.2f | %9llu | %10llu | %6llu | %9llu | %7llu | %4llu | %7llu |\n",
                 workers, s.throughput, s.p99_ms,
                 static_cast<unsigned long long>(s.completed),
@@ -263,6 +403,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "svc_soak FAILED: terminal split varies with worker count\n");
       return 1;
     }
+  }
+  std::printf("per-class end-to-end latency (last run):\n");
+  print_class_latency(last.reg);
+  if (!metrics_out.empty()) {
+    obs::MetricsReport report("svc_soak");
+    report.add("svc_soak_mix", "JobRunner", last.reg);
+    if (!report.write_file(metrics_out)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics: %s\n", metrics_out.c_str());
   }
   std::printf("svc_soak OK\n");
   return 0;

@@ -13,6 +13,11 @@
 //   --level <L>            CKKS level (default 44)
 //   --batch <B>            TFHE PBS batch (default 16)
 //   --event                use the discrete-event simulator
+//   --profile              attach the per-unit UnitProfiler and print the
+//                          utilization.v1 cycle-bucket breakdown (busy /
+//                          reduction / scratchpad stall / dependency stall /
+//                          idle); with --trace-out, per-unit counter tracks
+//                          ride along in the trace; Alchemist only
 //   --trace-out <path>     write a Chrome trace_event JSON of the run
 //                          (open at https://ui.perfetto.dev); Alchemist only
 //   --metrics-out <path>   write the run's counter registry as JSON
@@ -47,6 +52,7 @@
 #include "sim/alchemist_sim.h"
 #include "sim/baseline_sim.h"
 #include "sim/event_sim.h"
+#include "sim/unit_profiler.h"
 #include "workloads/bfv_workloads.h"
 #include "workloads/ckks_workloads.h"
 #include "workloads/tfhe_workloads.h"
@@ -59,7 +65,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: alchemist_cli <workload> [--accelerator A] [--units N]\n"
                "       [--hbm GB/s] [--stream-fraction f] [--level L]\n"
-               "       [--batch B] [--event] [--trace-out T.json] [--metrics-out M.json]\n"
+               "       [--batch B] [--event] [--profile] [--trace-out T.json] [--metrics-out M.json]\n"
                "       [--fault-seed S] [--fault-rate R] [--fault-policy none|detect-retry|dmr]\n"
                "       [--mask-units i,j,...] [--threads N]\n"
                "workloads: pmult hadd keyswitch cmult rotation rescale bootstrap\n"
@@ -137,6 +143,7 @@ int main(int argc, char** argv) {
   std::size_t units = 128, batch = 16, level = 44;
   double hbm = 1000.0, stream_fraction = 1.0;
   bool use_event = false;
+  bool profile = false;
   fault::FaultConfig fault_cfg;
   bool fault_requested = false;
   for (int i = 2; i < argc; ++i) {
@@ -155,6 +162,7 @@ int main(int argc, char** argv) {
     else if (arg == "--level") level = parse_count("--level", next());
     else if (arg == "--batch") batch = parse_count("--batch", next());
     else if (arg == "--event") use_event = true;
+    else if (arg == "--profile") profile = true;
     else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--metrics-out") metrics_out = next();
     else if (arg == "--threads") ThreadPool::set_threads(parse_count("--threads", next()));
@@ -228,8 +236,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     fault::FaultModel* fault = fault_requested ? fault_model.get() : nullptr;
-    result = use_event ? sim::simulate_alchemist_events(graph, cfg, &timeline, fault)
-                       : sim::simulate_alchemist(graph, cfg, &timeline, fault);
+    sim::UnitProfiler prof;
+    sim::UnitProfiler* profiler = profile ? &prof : nullptr;
+    result = use_event ? sim::simulate_alchemist_events(graph, cfg, &timeline, fault,
+                                                        nullptr, profiler)
+                       : sim::simulate_alchemist(graph, cfg, &timeline, fault,
+                                                 nullptr, profiler);
     const auto energy = arch::energy_model(cfg, result);
     std::printf("workload:      %s (%zu ops)\n", graph.name.c_str(), graph.ops.size());
     std::printf("accelerator:   Alchemist, %zu units, %.0f GB/s HBM%s\n", units, hbm,
@@ -251,6 +263,27 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.total_mults));
     std::printf("energy:        %.3f mJ (%.1f W average)\n",
                 energy.total_joules * 1e3, energy.average_watts);
+    if (profile && result.profile.enabled()) {
+      const obs::UnitCycles agg = result.profile.aggregate();
+      const double denom = static_cast<double>(result.profile.total_cycles) *
+                           static_cast<double>(result.profile.units.size());
+      auto pct = [&](u64 c) { return 100.0 * static_cast<double>(c) / denom; };
+      std::printf("profile:       utilization.v1, %zu units x %llu cycles\n",
+                  result.profile.units.size(),
+                  static_cast<unsigned long long>(result.profile.total_cycles));
+      std::printf("  busy             %6.2f %%\n", pct(agg.busy));
+      std::printf("  reduction        %6.2f %%\n", pct(agg.reduction));
+      std::printf("  stall:scratchpad %6.2f %%\n", pct(agg.stall_scratchpad));
+      std::printf("  stall:dependency %6.2f %%\n", pct(agg.stall_dependency));
+      std::printf("  idle             %6.2f %%\n", pct(agg.idle));
+      std::printf("  occupancy        %6.3f  (sim utilization %.3f)\n",
+                  result.profile.occupancy(), result.utilization);
+      for (const auto& [cls, cycles] : agg.class_occupied) {
+        std::printf("  class %-10s %6.2f %% of occupied core time\n", cls.c_str(),
+                    100.0 * static_cast<double>(cycles) /
+                        static_cast<double>(agg.occupied() ? agg.occupied() : 1));
+      }
+    }
   } else {
     const arch::AcceleratorSpec spec = arch::spec_by_name(accelerator);
     result = sim::simulate_modular(graph, spec);

@@ -2,6 +2,7 @@
 //
 //   alchemist_serve [--workers N] [--jobs N] [--fault-rate R]
 //                   [--deadline-ms D] [--queue N] [--seed S] [--threads N]
+//                   [--introspect-port P] [--loop-seconds S]
 //
 // Submits a mixed list of CKKS simulation jobs (both engines, a slice of
 // them under an injected transient-fault model with a bounded retry budget,
@@ -9,6 +10,13 @@
 // a bounded queue, waits for the pool to drain, and prints the report a
 // serving deployment would scrape from the svc.* metrics: terminal-state
 // partition, throughput, p50/p99 latency, and yield.
+//
+// --introspect-port starts the live introspection window (svc/introspect.h):
+// /healthz, /metrics (Prometheus exposition of svc.latency.* histograms,
+// svc.* counters and substrate.* activity), /statusz (JSON). --loop-seconds
+// keeps resubmitting the job list for at least S seconds so an external
+// scraper has a running service to poll — CI's smoke job curls the endpoints
+// mid-soak.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +25,8 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/substrate_metrics.h"
+#include "svc/introspect.h"
 #include "svc/job_runner.h"
 #include "workloads/ckks_workloads.h"
 
@@ -28,9 +38,14 @@ int usage() {
   std::fprintf(stderr,
                "usage: alchemist_serve [--workers N] [--jobs N] [--fault-rate R]\n"
                "       [--deadline-ms D] [--queue N] [--seed S] [--threads N]\n"
+               "       [--introspect-port P] [--loop-seconds S]\n"
                "  --threads N  width of the shared compute pool the kernels of\n"
                "               every job fan out on (default: ALCHEMIST_THREADS\n"
-               "               or hardware concurrency; 1 = sequential)\n");
+               "               or hardware concurrency; 1 = sequential)\n"
+               "  --introspect-port P  serve /healthz /metrics /statusz on\n"
+               "               127.0.0.1:P (0 = ephemeral; port is printed)\n"
+               "  --loop-seconds S  resubmit the job list for at least S\n"
+               "               seconds (soak mode for live scraping)\n");
   return 2;
 }
 
@@ -38,7 +53,8 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::size_t workers = 4, jobs = 32, queue = 64;
-  double fault_rate = 2e-9, deadline_ms = 0.0;
+  double fault_rate = 2e-9, deadline_ms = 0.0, loop_seconds = 0.0;
+  int introspect_port = -1;
   u64 seed = 0xa1c4'e5ull;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -55,6 +71,8 @@ int main(int argc, char** argv) {
     else if (arg == "--fault-rate") fault_rate = std::atof(next());
     else if (arg == "--deadline-ms") deadline_ms = std::atof(next());
     else if (arg == "--seed") seed = static_cast<u64>(std::strtoull(next(), nullptr, 0));
+    else if (arg == "--introspect-port") introspect_port = std::atoi(next());
+    else if (arg == "--loop-seconds") loop_seconds = std::atof(next());
     else if (arg == "--threads") {
       const long long t = std::atoll(next());
       if (t <= 0) return usage();
@@ -77,28 +95,60 @@ int main(int argc, char** argv) {
   opts.queue_capacity = queue;
   svc::JobRunner runner(opts);
 
+  // Live introspection window: /metrics merges the runner's svc.* snapshot
+  // (latency histograms included) with the shared pool's substrate.* view.
+  std::unique_ptr<svc::IntrospectionServer> introspect;
+  if (introspect_port >= 0) {
+    introspect = std::make_unique<svc::IntrospectionServer>(
+        introspect_port,
+        [&runner] {
+          obs::Registry reg = runner.snapshot();
+          reg.merge(obs::substrate_registry());
+          return reg;
+        },
+        [&runner] { return runner.status_json(); });
+    if (!introspect->ok()) {
+      std::fprintf(stderr, "introspection server failed: %s\n",
+                   introspect->error().c_str());
+      return 1;
+    }
+    std::printf("introspection on http://127.0.0.1:%d (/healthz /metrics /statusz)\n",
+                introspect->port());
+    std::fflush(stdout);
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<svc::JobPtr> handles;
   handles.reserve(jobs);
-  for (std::size_t i = 0; i < jobs; ++i) {
-    svc::JobSpec spec;
-    spec.name = "job-" + std::to_string(i);
-    spec.graph = graphs[i % graphs.size()];
-    spec.engine = (i % 2 == 0) ? svc::Engine::Level : svc::Engine::Event;
-    if (fault_rate > 0 && i % 3 == 0) {
-      spec.fault_enabled = true;
-      spec.fault.seed = seed + i;
-      spec.fault.compute_fault_rate = spec.fault.sram_fault_rate =
-          spec.fault.hbm_fault_rate = fault_rate;
-      spec.max_attempts = 3;
+  std::size_t submitted_jobs = 0;
+  const auto submit_batch = [&] {
+    for (std::size_t i = 0; i < jobs; ++i, ++submitted_jobs) {
+      svc::JobSpec spec;
+      spec.name = "job-" + std::to_string(submitted_jobs);
+      spec.graph = graphs[i % graphs.size()];
+      spec.engine = (i % 2 == 0) ? svc::Engine::Level : svc::Engine::Event;
+      if (fault_rate > 0 && i % 3 == 0) {
+        spec.fault_enabled = true;
+        spec.fault.seed = seed + submitted_jobs;
+        spec.fault.compute_fault_rate = spec.fault.sram_fault_rate =
+            spec.fault.hbm_fault_rate = fault_rate;
+        spec.max_attempts = 3;
+      }
+      if (deadline_ms > 0) {
+        spec.deadline =
+            std::chrono::microseconds(static_cast<long long>(deadline_ms * 1000.0));
+      }
+      handles.push_back(runner.submit(std::move(spec)));
     }
-    if (deadline_ms > 0) {
-      spec.deadline =
-          std::chrono::microseconds(static_cast<long long>(deadline_ms * 1000.0));
-    }
-    handles.push_back(runner.submit(std::move(spec)));
-  }
+  };
+  submit_batch();
   runner.drain();
+  while (loop_seconds > 0 &&
+         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                 .count() < loop_seconds) {
+    submit_batch();
+    runner.drain();
+  }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -114,7 +164,7 @@ int main(int argc, char** argv) {
   const u64 retries = reg.counter(svc::metrics::kRetries);
 
   std::printf("alchemist_serve: %zu jobs, %zu workers, queue capacity %zu\n",
-              jobs, workers, queue);
+              submitted_jobs, workers, queue);
   std::printf("  completed          %llu  (%llu after retry, %llu sim retries)\n",
               static_cast<unsigned long long>(completed),
               static_cast<unsigned long long>(retried_ok),
@@ -129,6 +179,15 @@ int main(int argc, char** argv) {
   std::printf("  latency p50/p99    %.2f / %.2f ms\n",
               reg.gauge(svc::metrics::kLatencyUs, {{"p", "50"}}) / 1000.0,
               reg.gauge(svc::metrics::kLatencyUs, {{"p", "99"}}) / 1000.0);
+  for (const auto& [key, hist] : reg.histograms()) {
+    if (key.rfind(std::string(svc::metrics::kLatencyTotalUs) + "{class=", 0) == 0 &&
+        hist.count() > 0) {
+      std::printf("  %-32s p50/p95/p99  %.2f / %.2f / %.2f ms  (n=%llu)\n",
+                  key.c_str(), hist.percentile(50.0) / 1000.0,
+                  hist.percentile(95.0) / 1000.0, hist.percentile(99.0) / 1000.0,
+                  static_cast<unsigned long long>(hist.count()));
+    }
+  }
   std::printf("  yield              %.1f %%\n",
               100.0 * static_cast<double>(completed) / static_cast<double>(submitted));
 

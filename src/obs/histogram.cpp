@@ -1,0 +1,93 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace alchemist::obs {
+
+std::size_t Histogram::bucket_index(std::uint64_t ticks) {
+  if (ticks < kSubBuckets) return static_cast<std::size_t>(ticks);
+  const int msb = 63 - std::countl_zero(ticks);
+  const int shift = msb - 3;
+  const std::size_t offset = static_cast<std::size_t>((ticks >> shift) & 7u);
+  return static_cast<std::size_t>(msb - 2) * kSubBuckets + offset;
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  return (std::uint64_t{8} + index % kSubBuckets) << (index / kSubBuckets - 1);
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t index) {
+  if (index + 1 < kNumBuckets) return bucket_lower(index + 1);
+  return UINT64_MAX;
+}
+
+namespace {
+
+// Largest double strictly below 2^64; converting anything bigger to
+// uint64_t is undefined behaviour, so saturate first.
+constexpr double kMaxTickDouble = 18446744073709549568.0;
+
+std::uint64_t to_ticks(double value) {
+  if (std::isnan(value) || value <= 0.0) return 0;
+  if (value >= kMaxTickDouble) return UINT64_MAX;
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+void Histogram::record(double value) {
+  const std::uint64_t ticks = to_ticks(value);
+  counts_[bucket_index(ticks)] += 1;
+  sum_ticks_ += ticks;
+  const double v = static_cast<double>(ticks);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_ += 1;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  sum_ticks_ += other.sum_ticks_;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = (p / 100.0) * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    const std::uint64_t next = cum + counts_[i];
+    if (static_cast<double>(next) >= rank) {
+      const double within =
+          counts_[i] == 0 ? 0.0
+                          : (rank - static_cast<double>(cum)) /
+                                static_cast<double>(counts_[i]);
+      const double lo = static_cast<double>(bucket_lower(i));
+      const double hi = static_cast<double>(bucket_upper(i));
+      const double v = lo + std::clamp(within, 0.0, 1.0) * (hi - lo);
+      return std::clamp(v, min_, max_);
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+}  // namespace alchemist::obs

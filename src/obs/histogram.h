@@ -1,0 +1,80 @@
+// Fixed-bucket log-linear latency histogram.
+//
+// Values are clamped to non-negative integer "ticks" (the serving layer
+// records microseconds) and land in one of kNumBuckets fixed buckets:
+// ticks 0..7 get unit-width buckets, and every octave above that is split
+// into kSubBuckets linear sub-buckets, so relative resolution stays ~12%
+// across the full 64-bit range with no per-instance configuration.
+//
+// Because the bucket layout is a compile-time constant, any two histograms
+// merge exactly (bucket-wise addition), and because the running sum is kept
+// in integer ticks, recording the same multiset of values in any order — or
+// from any interleaving of threads, each observing into its own instance
+// merged later — produces a bit-identical snapshot. tests/test_obs.cpp pins
+// boundary placement, merge associativity and order-independence.
+//
+// Histograms register in the obs::Registry next to counters and gauges
+// (Registry::observe) and ride the same exports: the MetricsReport JSON
+// gains a "histograms" section, and the Prometheus exposition renders them
+// as cumulative `_bucket{le=...}` families (obs/prometheus.h).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace alchemist::obs {
+
+class Histogram {
+ public:
+  // 8 linear sub-buckets per octave; 64-bit ticks need (64-3)*8 + 8 indexes.
+  static constexpr std::size_t kSubBuckets = 8;
+  static constexpr std::size_t kNumBuckets = 62 * kSubBuckets;
+
+  // Bucket index of a tick value. Total order: every bucket covers
+  // [bucket_lower(i), bucket_upper(i)) and the ranges tile [0, 2^64).
+  static std::size_t bucket_index(std::uint64_t ticks);
+  static std::uint64_t bucket_lower(std::size_t index);
+  // Exclusive upper bound; the last bucket reports UINT64_MAX.
+  static std::uint64_t bucket_upper(std::size_t index);
+
+  // Record one observation. Negative and NaN values clamp to 0; values past
+  // 2^63 saturate into the top buckets.
+  void record(double value);
+
+  // Bucket-wise addition; exact and associative.
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  // Sum of the recorded tick values (integers, so order-independent).
+  std::uint64_t sum_ticks() const { return sum_ticks_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_ticks_) / static_cast<double>(count_);
+  }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  // Percentile in [0, 100], linearly interpolated inside the hit bucket and
+  // clamped to the recorded [min, max] so edge percentiles never extrapolate
+  // past observed values. Empty histograms report 0.
+  double percentile(double p) const;
+
+  const std::array<std::uint64_t, kNumBuckets>& buckets() const { return counts_; }
+
+  void clear() { *this = Histogram(); }
+
+  bool operator==(const Histogram& other) const {
+    return count_ == other.count_ && sum_ticks_ == other.sum_ticks_ &&
+           min_ == other.min_ && max_ == other.max_ && counts_ == other.counts_;
+  }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ticks_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace alchemist::obs

@@ -50,12 +50,19 @@ inline std::string json_number(std::uint64_t v) {
 }
 
 // Doubles print with enough digits to round-trip; non-finite values (which
-// JSON cannot represent) degrade to 0 rather than emitting invalid output.
+// JSON cannot represent) emit `null` rather than invalid output. Emitters
+// that care count the drops via the two-argument overload — the metrics
+// report surfaces that tally as the `report.dropped_nonfinite` counter.
 inline std::string json_number(double v) {
-  if (!std::isfinite(v)) return "0";
+  if (!std::isfinite(v)) return "null";
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
+}
+
+inline std::string json_number(double v, std::uint64_t& dropped_nonfinite) {
+  if (!std::isfinite(v)) ++dropped_nonfinite;
+  return json_number(v);
 }
 
 }  // namespace alchemist::obs

@@ -1,0 +1,165 @@
+#include "obs/prometheus.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace alchemist::obs {
+
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+// Split a canonical registry key into (name, sorted label pairs).
+struct ParsedKey {
+  std::string_view name;
+  std::vector<std::pair<std::string_view, std::string_view>> labels;
+};
+
+ParsedKey parse_key(std::string_view key) {
+  ParsedKey parsed;
+  const std::size_t brace = key.find('{');
+  if (brace == std::string_view::npos) {
+    parsed.name = key;
+    return parsed;
+  }
+  parsed.name = key.substr(0, brace);
+  std::string_view tags = key.substr(brace + 1);
+  if (!tags.empty() && tags.back() == '}') tags.remove_suffix(1);
+  while (!tags.empty()) {
+    const std::size_t comma = tags.find(',');
+    const std::string_view tag = tags.substr(0, comma);
+    const std::size_t eq = tag.find('=');
+    if (eq != std::string_view::npos)
+      parsed.labels.emplace_back(tag.substr(0, eq), tag.substr(eq + 1));
+    if (comma == std::string_view::npos) break;
+    tags.remove_prefix(comma + 1);
+  }
+  return parsed;
+}
+
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+void append_labels(
+    std::ostream& out,
+    const std::vector<std::pair<std::string_view, std::string_view>>& labels,
+    const char* extra_key = nullptr, const std::string* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << prometheus_name(k) << "=\"" << escape_label_value(v) << '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out << ',';
+    out << extra_key << "=\"" << *extra_value << '"';
+  }
+  out << '}';
+}
+
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string format_value(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+// Emit one `# TYPE` header per family. Registry iteration is sorted by
+// canonical key, so all series of a family are contiguous.
+void type_header(std::ostream& out, const std::string& family,
+                 const char* type, std::string& last_family) {
+  if (family == last_family) return;
+  last_family = family;
+  out << "# TYPE " << family << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) out += valid_name_char(c) ? c : '_';
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string prometheus_exposition(const Registry& reg) {
+  std::ostringstream out;
+  std::string last_family;
+
+  for (const auto& [key, value] : reg.counters()) {
+    const ParsedKey parsed = parse_key(key);
+    const std::string family = prometheus_name(parsed.name);
+    type_header(out, family, "counter", last_family);
+    out << family;
+    append_labels(out, parsed.labels);
+    out << ' ' << format_value(value) << '\n';
+  }
+
+  last_family.clear();
+  for (const auto& [key, value] : reg.gauges()) {
+    const ParsedKey parsed = parse_key(key);
+    const std::string family = prometheus_name(parsed.name);
+    type_header(out, family, "gauge", last_family);
+    out << family;
+    append_labels(out, parsed.labels);
+    out << ' ' << format_value(value) << '\n';
+  }
+
+  last_family.clear();
+  for (const auto& [key, hist] : reg.histograms()) {
+    const ParsedKey parsed = parse_key(key);
+    const std::string family = prometheus_name(parsed.name);
+    type_header(out, family, "histogram", last_family);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (hist.buckets()[i] == 0) continue;
+      cum += hist.buckets()[i];
+      const std::string le =
+          format_value(static_cast<double>(Histogram::bucket_upper(i)));
+      out << family << "_bucket";
+      append_labels(out, parsed.labels, "le", &le);
+      out << ' ' << format_value(cum) << '\n';
+    }
+    const std::string inf = "+Inf";
+    out << family << "_bucket";
+    append_labels(out, parsed.labels, "le", &inf);
+    out << ' ' << format_value(hist.count()) << '\n';
+    out << family << "_sum";
+    append_labels(out, parsed.labels);
+    out << ' ' << format_value(hist.sum_ticks()) << '\n';
+    out << family << "_count";
+    append_labels(out, parsed.labels);
+    out << ' ' << format_value(hist.count()) << '\n';
+  }
+
+  return out.str();
+}
+
+}  // namespace alchemist::obs

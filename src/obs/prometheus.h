@@ -1,0 +1,28 @@
+// Prometheus text exposition (format 0.0.4) for a metric Registry.
+//
+// Canonical registry keys `domain.metric{k1=v1,...}` map onto Prometheus
+// families: the dotted name mangles to `domain_metric` (Prometheus names
+// admit only [a-zA-Z0-9_:]) and the tags become labels. Counters render as
+// `counter` families, gauges as `gauge`, and obs::Histogram entries as full
+// `histogram` families with cumulative `_bucket{le="..."}` rows, `_sum` and
+// `_count`. Derived percentile gauges (`svc.latency.run_us.p95` →
+// `svc_latency_run_us_p95`) keep their own family names so they never
+// collide with the histogram family they summarize.
+//
+// This is what the alchemist_serve introspection endpoint serves at
+// /metrics; tools/check_prom_exposition.py validates the grammar in CI.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace alchemist::obs {
+
+// Mangle a dotted metric name into a valid Prometheus family name.
+std::string prometheus_name(std::string_view name);
+
+// Full exposition page for every counter, gauge, and histogram in `reg`.
+std::string prometheus_exposition(const Registry& reg);
+
+}  // namespace alchemist::obs

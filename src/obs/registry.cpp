@@ -44,14 +44,30 @@ double Registry::gauge(std::string_view name, TagList tags) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+void Registry::set_gauge_by_key(const std::string& key, double value) {
+  gauges_[key] = value;
+}
+
+void Registry::observe(std::string_view name, double value, TagList tags) {
+  histograms_[metric_key(name, tags)].record(value);
+}
+
+const Histogram& Registry::histogram(std::string_view name, TagList tags) const {
+  static const Histogram kEmpty;
+  const auto it = histograms_.find(metric_key(name, tags));
+  return it == histograms_.end() ? kEmpty : it->second;
+}
+
 void Registry::merge(const Registry& other) {
   for (const auto& [key, value] : other.counters_) counters_[key] += value;
   for (const auto& [key, value] : other.gauges_) gauges_[key] = value;
+  for (const auto& [key, value] : other.histograms_) histograms_[key].merge(value);
 }
 
 void Registry::clear() {
   counters_.clear();
   gauges_.clear();
+  histograms_.clear();
 }
 
 std::uint64_t Registry::total_over_tags(std::string_view prefix) const {

@@ -10,9 +10,28 @@
 //   sim.mults{lazy=true}            word-mults under lazy reduction
 //
 // Counters are monotonically-accumulated integers; gauges are set-once (or
-// overwritten) doubles for derived rates like utilization. Keys are stored in
+// overwritten) doubles for derived rates like utilization; histograms are
+// fixed-bucket latency distributions (obs/histogram.h). Keys are stored in
 // canonical form (tags sorted by key) so iteration — and therefore every JSON
 // export — is deterministic.
+//
+// Naming rules (all metrics in this repo follow these):
+//   * Names are dotted `domain.metric[.sub]` paths, lowercase, no spaces:
+//     the domain prefix states which layer owns the metric —
+//       sim.*         simulator cycle/op accounting (src/sim)
+//       util.*        per-unit cycle attribution from the UnitProfiler
+//       fault.*       fault-injection outcomes (src/fault)
+//       svc.*         serving-layer admission/terminal counters (src/svc)
+//       svc.latency.* serving-layer latency histograms and percentiles
+//       substrate.*   host thread-pool / kernel substrate (src/common)
+//       report.*      synthesized at export time (src/obs/report.cpp)
+//   * Dimensions go in tags, never in the name: `sim.cycles{class=ntt}`,
+//     not `sim.cycles.ntt`. Tag keys and values are lowercase.
+//   * Units are a name suffix when not cycles: `_us`, `_ns`, `_bytes`
+//     (e.g. `svc.latency.run_us`). Unsuffixed sim metrics are cycles/counts.
+//   * Percentile gauges derived from a histogram reuse its name plus a
+//     `.pNN` suffix (`svc.latency.total_us.p95`) so the Prometheus
+//     exposition never collides with the histogram family itself.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +41,8 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "obs/histogram.h"
 
 namespace alchemist::obs {
 
@@ -42,16 +63,25 @@ class Registry {
   void set_gauge(std::string_view name, double value, TagList tags = {});
   double gauge(std::string_view name, TagList tags = {}) const;
 
+  // Histograms: fixed-bucket latency distributions (see obs/histogram.h).
+  void observe(std::string_view name, double value, TagList tags = {});
+  const Histogram& histogram(std::string_view name, TagList tags = {}) const;
+
   // Canonical-key access for exporters and tests.
   std::uint64_t counter_by_key(const std::string& key) const;
+  void set_gauge_by_key(const std::string& key, double value);
   const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
   const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
 
-  // Fold another registry into this one (counters add, gauges overwrite) —
-  // used when aggregating multiple runs into one report.
+  // Fold another registry into this one (counters add, gauges overwrite,
+  // histograms merge bucket-wise) — used when aggregating multiple runs into
+  // one report.
   void merge(const Registry& other);
 
-  bool empty() const { return counters_.empty() && gauges_.empty(); }
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
   void clear();
 
   // Sum of all counters whose canonical key starts with `prefix` — e.g.
@@ -61,6 +91,7 @@ class Registry {
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 }  // namespace alchemist::obs

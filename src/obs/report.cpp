@@ -1,12 +1,80 @@
 #include "obs/report.h"
 
+#include <cmath>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <sstream>
 
 #include "obs/json.h"
 
 namespace alchemist::obs {
+
+namespace {
+
+void write_histogram(std::ostream& out, const Histogram& h) {
+  out << "{ \"count\": " << json_number(h.count())
+      << ", \"sum_ticks\": " << json_number(h.sum_ticks())
+      << ", \"min\": " << json_number(h.min())
+      << ", \"max\": " << json_number(h.max())
+      << ", \"p50\": " << json_number(h.percentile(50))
+      << ", \"p95\": " << json_number(h.percentile(95))
+      << ", \"p99\": " << json_number(h.percentile(99)) << ", \"buckets\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (h.buckets()[i] == 0) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << "[" << json_number(Histogram::bucket_lower(i)) << ", "
+        << json_number(h.buckets()[i]) << "]";
+  }
+  out << "] }";
+}
+
+void write_unit_cycles(std::ostream& out, const UnitCycles& u,
+                       const char* indent) {
+  out << "{ \"busy\": " << json_number(u.busy)
+      << ", \"reduction\": " << json_number(u.reduction)
+      << ", \"stall_scratchpad\": " << json_number(u.stall_scratchpad)
+      << ", \"stall_dependency\": " << json_number(u.stall_dependency)
+      << ", \"idle\": " << json_number(u.idle);
+  if (!u.class_occupied.empty()) {
+    out << ",\n" << indent << "  \"classes\": {";
+    bool first = true;
+    for (const auto& [cls, cycles] : u.class_occupied) {
+      if (!first) out << ", ";
+      first = false;
+      out << json_string(cls) << ": " << json_number(cycles);
+    }
+    out << "} ";
+  } else {
+    out << " ";
+  }
+  out << "}";
+}
+
+void write_utilization(std::ostream& out, const UtilizationProfile& p) {
+  out << "      \"utilization\": {\n";
+  out << "        \"schema\": " << json_string(kUtilizationSchema) << ",\n";
+  out << "        \"total_cycles\": " << json_number(p.total_cycles) << ",\n";
+  out << "        \"num_units\": "
+      << json_number(static_cast<std::uint64_t>(p.units.size())) << ",\n";
+  out << "        \"occupancy\": " << json_number(p.occupancy()) << ",\n";
+  out << "        \"aggregate\": ";
+  write_unit_cycles(out, p.aggregate(), "        ");
+  out << ",\n        \"units\": [";
+  bool first = true;
+  for (const UnitCycles& u : p.units) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "          ";
+    write_unit_cycles(out, u, "          ");
+  }
+  out << (first ? "]\n" : "\n        ]\n");
+  out << "      }";
+}
+
+}  // namespace
 
 void MetricsReport::write_json(std::ostream& out) const {
   out << "{\n  \"schema\": " << json_string(kMetricsSchema) << ",\n";
@@ -18,9 +86,20 @@ void MetricsReport::write_json(std::ostream& out) const {
     first_run = false;
     out << "    {\n      \"workload\": " << json_string(run.workload) << ",\n";
     out << "      \"accelerator\": " << json_string(run.accelerator) << ",\n";
+
+    // Non-finite gauges serialize as null; tally them so the report itself
+    // records that values were dropped.
+    std::uint64_t dropped_nonfinite = 0;
+    for (const auto& [key, value] : run.registry.gauges()) {
+      if (!std::isfinite(value)) ++dropped_nonfinite;
+    }
+    std::map<std::string, std::uint64_t> counters = run.registry.counters();
+    if (dropped_nonfinite > 0)
+      counters["report.dropped_nonfinite"] += dropped_nonfinite;
+
     out << "      \"counters\": {";
     bool first = true;
-    for (const auto& [key, value] : run.registry.counters()) {
+    for (const auto& [key, value] : counters) {
       out << (first ? "\n" : ",\n");
       first = false;
       out << "        " << json_string(key) << ": " << json_number(value);
@@ -33,7 +112,25 @@ void MetricsReport::write_json(std::ostream& out) const {
       first = false;
       out << "        " << json_string(key) << ": " << json_number(value);
     }
-    out << (first ? "}\n" : "\n      }\n");
+    const bool more =
+        !run.registry.histograms().empty() || run.profile.enabled();
+    out << (first ? "}" : "\n      }") << (more ? ",\n" : "\n");
+    if (!run.registry.histograms().empty()) {
+      out << "      \"histograms\": {";
+      first = true;
+      for (const auto& [key, hist] : run.registry.histograms()) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "        " << json_string(key) << ": ";
+        write_histogram(out, hist);
+      }
+      out << (first ? "}" : "\n      }")
+          << (run.profile.enabled() ? ",\n" : "\n");
+    }
+    if (run.profile.enabled()) {
+      write_utilization(out, run.profile);
+      out << "\n";
+    }
     out << "    }";
   }
   out << (first_run ? "]\n" : "\n  ]\n") << "}\n";

@@ -9,9 +9,16 @@
 //     "runs": [
 //       { "workload": "...", "accelerator": "...",
 //         "counters": { "sim.cycles": 123, "sim.cycles{class=ntt}": 45, ... },
-//         "gauges":   { "sim.utilization": 0.86, ... } }
+//         "gauges":   { "sim.utilization": 0.86, ... },
+//         "histograms": { "svc.latency.run_us{class=ckks}": {...} },
+//         "utilization": { "schema": "utilization.v1", ... } }
 //     ]
 //   }
+//
+// "histograms" and "utilization" appear only when a run carries them, so
+// pre-existing reports (and the committed BENCH_*.json baselines) are
+// unchanged. Non-finite gauge values serialize as `null` and are tallied in
+// a synthetic `report.dropped_nonfinite` counter for that run.
 //
 // Key ordering is the registries' canonical (sorted) order, so reports diff
 // cleanly across runs — this is the format of the committed BENCH_sim.json
@@ -24,6 +31,7 @@
 #include <vector>
 
 #include "obs/registry.h"
+#include "obs/utilization.h"
 
 namespace alchemist::obs {
 
@@ -33,21 +41,28 @@ struct RunMetrics {
   std::string workload;
   std::string accelerator;
   Registry registry;
+  UtilizationProfile profile;  // empty unless the run was profiled
 };
 
 class MetricsReport {
  public:
   explicit MetricsReport(std::string tool = "") : tool_(std::move(tool)) {}
 
-  void add(std::string workload, std::string accelerator, Registry registry) {
-    runs_.push_back(
-        {std::move(workload), std::move(accelerator), std::move(registry)});
+  void add(std::string workload, std::string accelerator, Registry registry,
+           UtilizationProfile profile = {}) {
+    runs_.push_back({std::move(workload), std::move(accelerator),
+                     std::move(registry), std::move(profile)});
   }
   // Any type with .workload / .accelerator / .registry members (sim::SimResult
-  // in practice; a template keeps obs below sim in the layering).
+  // in practice; a template keeps obs below sim in the layering). A .profile
+  // member, when present, rides along as the utilization.v1 section.
   template <typename R>
   void add(const R& result) {
-    add(result.workload, result.accelerator, result.registry);
+    if constexpr (requires { result.profile; }) {
+      add(result.workload, result.accelerator, result.registry, result.profile);
+    } else {
+      add(result.workload, result.accelerator, result.registry);
+    }
   }
 
   const std::vector<RunMetrics>& runs() const { return runs_; }

@@ -51,24 +51,49 @@ void Timeline::write_chrome_trace(std::ostream& out) const {
           << ",\"args\":{\"sort_index\":" << tid << "}}";
   }
 
-  // Complete events, deterministically ordered by (ts, tid, name).
-  std::vector<const TraceEvent*> sorted;
-  sorted.reserve(events_.size());
-  for (const TraceEvent& ev : events_) sorted.push_back(&ev);
-  std::stable_sort(sorted.begin(), sorted.end(),
-                   [](const TraceEvent* a, const TraceEvent* b) {
-                     if (a->ts != b->ts) return a->ts < b->ts;
-                     if (a->tid != b->tid) return a->tid < b->tid;
-                     return a->name < b->name;
-                   });
-  for (const TraceEvent* ev : sorted) {
-    sep() << "{\"name\":" << json_string(ev->name)
-          << ",\"cat\":" << json_string(ev->cat)
-          << ",\"ph\":\"X\",\"pid\":0,\"tid\":" << ev->tid
-          << ",\"ts\":" << json_number(ev->ts)
-          << ",\"dur\":" << json_number(ev->dur) << ',';
-    write_args(out, *ev);
-    out << '}';
+  // Complete ("X") and counter ("C") events in one stream, deterministically
+  // ordered by (ts, tid, name) so golden-trace diffs stay stable.
+  struct Row {
+    double ts;
+    std::uint32_t tid;
+    const std::string* name;
+    const TraceEvent* x;
+    const CounterEvent* c;
+  };
+  std::vector<Row> sorted;
+  sorted.reserve(events_.size() + counter_events_.size());
+  for (const TraceEvent& ev : events_)
+    sorted.push_back({ev.ts, ev.tid, &ev.name, &ev, nullptr});
+  for (const CounterEvent& ev : counter_events_)
+    sorted.push_back({ev.ts, ev.tid, &ev.name, nullptr, &ev});
+  std::stable_sort(sorted.begin(), sorted.end(), [](const Row& a, const Row& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return *a.name < *b.name;
+  });
+  for (const Row& row : sorted) {
+    if (row.x != nullptr) {
+      const TraceEvent& ev = *row.x;
+      sep() << "{\"name\":" << json_string(ev.name)
+            << ",\"cat\":" << json_string(ev.cat)
+            << ",\"ph\":\"X\",\"pid\":0,\"tid\":" << ev.tid
+            << ",\"ts\":" << json_number(ev.ts)
+            << ",\"dur\":" << json_number(ev.dur) << ',';
+      write_args(out, ev);
+      out << '}';
+    } else {
+      const CounterEvent& ev = *row.c;
+      sep() << "{\"name\":" << json_string(ev.name)
+            << ",\"cat\":\"util\",\"ph\":\"C\",\"pid\":0,\"tid\":" << ev.tid
+            << ",\"ts\":" << json_number(ev.ts) << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [k, v] : ev.series) {
+        if (!first_arg) out << ',';
+        first_arg = false;
+        out << json_string(k) << ':' << json_number(v);
+      }
+      out << "}}";
+    }
   }
   out << "\n]}\n";
 }

@@ -33,6 +33,16 @@ struct TraceEvent {
   std::vector<std::pair<std::string, std::string>> str_args;
 };
 
+// Sampled counter track ("C" phase): Perfetto renders each series as a
+// stacked area chart on its own track. The UnitProfiler emits one of these
+// per unit per level so occupancy is scrubbing-visible next to the op rows.
+struct CounterEvent {
+  std::string name;  // counter track label, e.g. "unit0-util"
+  std::uint32_t tid = 0;
+  double ts = 0;  // sample time, cycles
+  std::vector<std::pair<std::string, double>> series;
+};
+
 class Timeline {
  public:
   explicit Timeline(bool enabled = true) : enabled_(enabled) {}
@@ -47,19 +57,26 @@ class Timeline {
   void record(TraceEvent ev) {
     if (enabled_) events_.push_back(std::move(ev));
   }
+  void record_counter(CounterEvent ev) {
+    if (enabled_) counter_events_.push_back(std::move(ev));
+  }
 
   const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<CounterEvent>& counter_events() const {
+    return counter_events_;
+  }
   const std::map<std::uint32_t, std::string>& track_names() const {
     return track_names_;
   }
   void clear() {
     events_.clear();
+    counter_events_.clear();
     track_names_.clear();
   }
 
   // Chrome trace_event JSON object: metadata (process/thread names) followed
-  // by complete ("X") events sorted by (ts, tid). Loads in Perfetto and
-  // chrome://tracing as-is.
+  // by complete ("X") and counter ("C") events sorted by (ts, tid). Loads in
+  // Perfetto and chrome://tracing as-is.
   void write_chrome_trace(std::ostream& out) const;
   std::string chrome_trace_json() const;
 
@@ -68,6 +85,7 @@ class Timeline {
   std::string process_name_ = "alchemist-sim";
   std::map<std::uint32_t, std::string> track_names_;
   std::vector<TraceEvent> events_;
+  std::vector<CounterEvent> counter_events_;
 };
 
 }  // namespace alchemist::obs

@@ -1,0 +1,27 @@
+#include "obs/utilization.h"
+
+namespace alchemist::obs {
+
+UnitCycles UtilizationProfile::aggregate() const {
+  UnitCycles sum;
+  for (const UnitCycles& u : units) {
+    sum.busy += u.busy;
+    sum.reduction += u.reduction;
+    sum.stall_scratchpad += u.stall_scratchpad;
+    sum.stall_dependency += u.stall_dependency;
+    sum.idle += u.idle;
+    for (const auto& [cls, cycles] : u.class_occupied)
+      sum.class_occupied[cls] += cycles;
+  }
+  return sum;
+}
+
+double UtilizationProfile::occupancy() const {
+  if (units.empty() || total_cycles == 0) return 0.0;
+  const UnitCycles sum = aggregate();
+  const double denom =
+      static_cast<double>(total_cycles) * static_cast<double>(units.size());
+  return static_cast<double>(sum.occupied()) / denom;
+}
+
+}  // namespace alchemist::obs

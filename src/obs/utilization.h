@@ -1,0 +1,67 @@
+// Per-unit cycle attribution ("utilization.v1").
+//
+// The UnitProfiler in src/sim fills one UnitCycles record per computing unit,
+// accounting *every* simulated cycle of that unit to exactly one bucket:
+//
+//   busy               lanes doing Meta-OP arithmetic (the n-cycle body)
+//   reduction          the fixed 2-cycle modular-reduction tail of a Meta-OP
+//   stall_scratchpad   cycles lost to the 4-step NTT global transpose
+//   stall_dependency   cycles a unit waits inside a level for peers/deps
+//   idle               cycles with no compute mapped (incl. trailing HBM wait)
+//
+// The invariant `busy + reduction + stall_scratchpad + stall_dependency +
+// idle == total_cycles` holds exactly for every unit (tests pin it), so the
+// profile is a partition of the simulated timeline, not an estimate. Each
+// unit additionally attributes its occupied (busy+reduction) cycles to
+// Meta-OP classes by label ("ntt", "bconv", ...).
+//
+// The profile lives beside the metric Registry (in SimResult.profile) rather
+// than inside it: registries feed bit-identity checks and checkpoint frames,
+// and the profiler must never perturb either. MetricsReport serializes it as
+// the "utilization" section with schema "utilization.v1".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace alchemist::obs {
+
+inline constexpr const char* kUtilizationSchema = "utilization.v1";
+
+struct UnitCycles {
+  std::uint64_t busy = 0;
+  std::uint64_t reduction = 0;
+  std::uint64_t stall_scratchpad = 0;
+  std::uint64_t stall_dependency = 0;
+  std::uint64_t idle = 0;
+  // Occupied (busy+reduction) cycles attributed to Meta-OP class labels.
+  std::map<std::string, std::uint64_t> class_occupied;
+
+  std::uint64_t total() const {
+    return busy + reduction + stall_scratchpad + stall_dependency + idle;
+  }
+  std::uint64_t occupied() const { return busy + reduction; }
+};
+
+struct UtilizationProfile {
+  std::uint64_t total_cycles = 0;
+  std::vector<UnitCycles> units;
+
+  bool enabled() const { return !units.empty(); }
+
+  // Bucket sums across all units.
+  UnitCycles aggregate() const;
+
+  // Fraction of all unit-cycles spent occupied (busy+reduction); fault-free
+  // this matches the sim.utilization gauge that fig7b_utilization prints.
+  double occupancy() const;
+
+  void clear() {
+    total_cycles = 0;
+    units.clear();
+  }
+};
+
+}  // namespace alchemist::obs

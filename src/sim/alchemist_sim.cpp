@@ -46,7 +46,7 @@ std::vector<std::vector<std::size_t>> asap_levels(const OpGraph& graph) {
 
 SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& config,
                              obs::Timeline* timeline, fault::FaultModel* fault_model,
-                             SimControl* control) {
+                             SimControl* control, UnitProfiler* profiler) {
   SimResult result;
   result.workload = graph.name;
   result.accelerator = "Alchemist";
@@ -125,6 +125,13 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
     // Replaying the skipped levels' transient draws below assumes the fault
     // RNG starts at the seed, exactly as the interrupted run did.
     if (fault) fault->reset();
+    // The skipped levels' cycles were accounted by the interrupted process
+    // and survive only as aggregates — per-unit attribution is impossible.
+    profiler = nullptr;
+  }
+  if (profiler) {
+    profiler->begin(cfg.num_units, cfg.cores_per_unit,
+                    trace ? timeline : nullptr);
   }
   auto save_checkpoint = [&](std::uint64_t levels_done) {
     Checkpoint cp;
@@ -195,6 +202,7 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
     std::uint64_t level_core_cycles = 0;   // exact core-cycles of work
     std::uint64_t level_transpose = 0;     // serialized transpose traffic
     double level_hbm_bytes = 0;
+    UnitProfiler::Level level_profile;
     // Telemetry cursor: the pooled model executes a level's work as if ops
     // ran back to back at full machine width, so slices tile the level span.
     double cursor = static_cast<double>(total_cycles);
@@ -243,6 +251,11 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
       level_core_cycles += op_core_cycles + op_retry_cycles;
       level_transpose += op_transpose;
       level_hbm_bytes += static_cast<double>(op.hbm_bytes);
+      // The 2-cycle reduction tail of every Meta-OP window; retries re-run
+      // whole windows, so the ratio carries over untouched.
+      level_profile.reduction_core_cycles += 2 * stream.meta_op_count();
+      level_profile.class_core_cycles[static_cast<std::size_t>(cls)] +=
+          op_core_cycles + op_retry_cycles;
       const std::uint64_t op_wall =
           (op_core_cycles + op_retry_cycles + cores - 1) / cores + op_transpose;
       class_wall[static_cast<std::size_t>(cls)] += op_wall;
@@ -310,6 +323,11 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
     }
     const std::uint64_t level_wall =
         (level_core_cycles + cores - 1) / cores + level_transpose;
+    if (profiler && !level.empty()) {
+      level_profile.core_cycles = level_core_cycles;
+      level_profile.transpose_cycles = level_transpose;
+      profiler->add_level(total_cycles, level_profile);
+    }
     if (trace && !level.empty()) {
       obs::TraceEvent lv;
       lv.name = "level " + std::to_string(level_idx);
@@ -391,6 +409,9 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
                   {{"class", tag}});
   }
   result.finalize();
+  // After finalize: the profile is a side-channel view, never part of the
+  // registry the bit-identity checks compare.
+  if (profiler) profiler->finish(total_cycles, result.profile);
   return result;
 }
 

@@ -27,6 +27,12 @@
 // non-DMR policy — or no model at all — leaves the results bit-identical to
 // the fault-free simulator.
 //
+// Profiling: an optional sim::UnitProfiler attributes every cycle of every
+// unit to utilization.v1 buckets (SimResult.profile) without perturbing the
+// result. Profiling is unavailable on checkpoint-resumed runs — the skipped
+// levels were accounted elsewhere — so the engine drops the profiler when it
+// restores a checkpoint and the profile comes back empty.
+//
 // Execution control: an optional sim::SimControl makes the run cooperative —
 // a step here is one ASAP level. The engine polls the CancelToken / step
 // budget before each level, snapshots its cursor (completed levels, cycle
@@ -43,6 +49,7 @@
 #include "obs/timeline.h"
 #include "sim/result.h"
 #include "sim/sim_control.h"
+#include "sim/unit_profiler.h"
 
 namespace alchemist::sim {
 
@@ -50,6 +57,7 @@ SimResult simulate_alchemist(const metaop::OpGraph& graph,
                              const arch::ArchConfig& config,
                              obs::Timeline* timeline = nullptr,
                              fault::FaultModel* fault_model = nullptr,
-                             SimControl* control = nullptr);
+                             SimControl* control = nullptr,
+                             UnitProfiler* profiler = nullptr);
 
 }  // namespace alchemist::sim

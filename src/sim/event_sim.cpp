@@ -30,6 +30,10 @@ struct OpState {
   double work = 0;        // core-cycles of Meta-OP work (incl. transpose)
   double hbm_ready = 0;   // earliest time this op's prefetched keys land
   double busy_lanes = 0;  // lane-cycles for utilization accounting
+  // Profiler-only shares of `work`: the transpose traffic folded into it and
+  // the Meta-OP reduction tails within the non-transpose part.
+  double frac_scratch = 0;
+  double frac_reduction = 0;
   OpClass cls = OpClass::Elementwise;
   std::size_t unmet_deps = 0;
   std::vector<std::size_t> dependents;
@@ -48,7 +52,8 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
                                     const arch::ArchConfig& config,
                                     obs::Timeline* timeline,
                                     fault::FaultModel* fault_model,
-                                    SimControl* control) {
+                                    SimControl* control,
+                                    UnitProfiler* profiler) {
   SimResult result;
   result.workload = graph.name;
   result.accelerator = "Alchemist(event)";
@@ -81,6 +86,9 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
       throw CheckpointError("event engine: machine/fault configuration changed");
     }
     if (fault) fault->reset();
+    // Cycles before the resume point were accounted by the interrupted
+    // process; per-unit attribution cannot be reconstructed.
+    profiler = nullptr;
   }
 
   const bool trace = cfg.telemetry && timeline != nullptr && timeline->enabled();
@@ -123,11 +131,20 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
           price_op_faults(*fault, s.faults, batch_cost, fault_totals));
     }
     s.work = static_cast<double>(op_core_cycles) + s.retry_cycles;
+    // Reduction share of the compute work: 2 of every (n+2)-cycle Meta-OP
+    // window. Padding and retries replay whole windows, so the raw stream's
+    // ratio carries over.
+    const double raw_core = static_cast<double>(stream.core_cycles());
+    s.frac_reduction =
+        raw_core > 0 ? 2.0 * static_cast<double>(stream.meta_op_count()) / raw_core
+                     : 0.0;
     if (op.kind == OpKind::Ntt || op.kind == OpKind::Intt) {
       const double words = static_cast<double>(op.n) *
                            static_cast<double>(std::max<std::size_t>(op.channels, 1));
       // Serialized half of the transpose, expressed as extra machine work.
-      s.work += words / transpose_words_per_cycle / 2.0 * cores;
+      const double transpose_work = words / transpose_words_per_cycle / 2.0 * cores;
+      s.work += transpose_work;
+      s.frac_scratch = s.work > 0 ? transpose_work / s.work : 0.0;
       total_transpose += static_cast<std::uint64_t>(
           words / transpose_words_per_cycle / 2.0);
     }
@@ -182,6 +199,7 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
       rows.emplace_back(*timeline, static_cast<OpClass>(c));
     }
   }
+  if (profiler) profiler->begin(cfg.num_units, cfg.cores_per_unit, nullptr);
 
   double now = 0;
   double busy_integral = 0;  // lane-cycles actually delivered
@@ -289,11 +307,21 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
 
     // Advance time and drain work.
     now += dt;
+    double iv_delivered = 0, iv_reduction = 0, iv_scratch = 0;
+    std::array<double, kNumOpClasses> iv_class{};
     std::vector<std::size_t> still_running;
     for (std::size_t idx : running) {
       OpState& s = state[idx];
       if (s.work > 0) {
         const double delivered = std::min(s.work, core_share * dt);
+        if (profiler) {
+          const double d_scratch = delivered * s.frac_scratch;
+          const double d_compute = delivered - d_scratch;
+          iv_delivered += delivered;
+          iv_scratch += d_scratch;
+          iv_reduction += d_compute * s.frac_reduction;
+          iv_class[static_cast<std::size_t>(s.cls)] += d_compute;
+        }
         busy_integral += delivered / s.work * s.busy_lanes;  // proportional
         s.busy_lanes -= delivered / std::max(s.work, 1e-9) * s.busy_lanes;
         s.work -= delivered;
@@ -348,6 +376,10 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
         still_running.push_back(idx);
       }
     }
+    if (profiler) {
+      profiler->accrue(dt, iv_delivered, iv_reduction, iv_scratch, iv_class,
+                       compute_live > 0);
+    }
     running = std::move(still_running);
     ++executed_steps;
     if (control && control->checkpoint && control->checkpoint_interval != 0 &&
@@ -380,6 +412,7 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
                   {{"class", tag}});
   }
   result.finalize();
+  if (profiler) profiler->finish(total_cycles, result.profile);
   return result;
 }
 

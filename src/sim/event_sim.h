@@ -16,6 +16,14 @@
 // unit-group tracks, plus per-op HBM key-streaming slices — recording never
 // perturbs the reported SimResult.
 //
+// Profiling mirrors simulate_alchemist: an optional UnitProfiler accrues the
+// delivered/reduction/scratchpad core-cycles of every completion interval
+// (core sharing is uniform across units, so one fractional profile covers
+// the machine) and integerizes at the end so each unit's buckets sum exactly
+// to the cycle count. Dropped on checkpoint resume; no counter tracks are
+// emitted by this engine (the level engine's per-level sampling is the
+// Perfetto view).
+//
 // Fault modeling mirrors simulate_alchemist (see alchemist_sim.h): the same
 // FaultModel degrades the geometry, inflates slot-partitioned work for the
 // re-homed stripe, and charges policy-priced retry work per op — sampled in
@@ -36,6 +44,7 @@
 #include "obs/timeline.h"
 #include "sim/result.h"
 #include "sim/sim_control.h"
+#include "sim/unit_profiler.h"
 
 namespace alchemist::sim {
 
@@ -43,7 +52,8 @@ SimResult simulate_alchemist_events(const metaop::OpGraph& graph,
                                     const arch::ArchConfig& config,
                                     obs::Timeline* timeline = nullptr,
                                     fault::FaultModel* fault_model = nullptr,
-                                    SimControl* control = nullptr);
+                                    SimControl* control = nullptr,
+                                    UnitProfiler* profiler = nullptr);
 
 // Time-sharing scheduler (§5.4): interleave independent operation streams
 // into one graph so compute of one stream overlaps key streaming of another.

@@ -13,6 +13,7 @@
 
 #include "metaop/metaop.h"
 #include "obs/registry.h"
+#include "obs/utilization.h"
 
 namespace alchemist::sim {
 
@@ -36,6 +37,12 @@ struct SimResult {
 
   // Named counters/gauges — the authoritative accounting for this run.
   obs::Registry registry;
+
+  // Per-unit cycle attribution, filled only when a UnitProfiler was passed to
+  // the engine. Deliberately OUTSIDE the registry: bit-identity checks and
+  // checkpoint frames compare registries, and profiling must never perturb
+  // the simulated result.
+  obs::UtilizationProfile profile;
 
   // Aggregate view derived from the registry (see finalize()). Kept as plain
   // fields so the dozens of existing callers don't change.

@@ -11,6 +11,8 @@
 //                       frames of the analytical model, stall frames
 //   fault model     ->  kFaultTid                      ("fault") — injected
 //                       transients, retry re-executions, DMR corrections
+//   unit profiler   ->  kUtilTidBase + unit            ("util/unit000", ...) —
+//                       per-unit occupancy counter tracks ("C" events)
 #pragma once
 
 #include <algorithm>
@@ -29,6 +31,7 @@ inline constexpr std::uint32_t kHbmTid =
 inline constexpr std::uint32_t kTransposeTid = kHbmTid + 1;
 inline constexpr std::uint32_t kSchedulerTid = kHbmTid + 2;
 inline constexpr std::uint32_t kFaultTid = kHbmTid + 3;
+inline constexpr std::uint32_t kUtilTidBase = kHbmTid + 4;
 
 inline void name_fixed_tracks(obs::Timeline& timeline) {
   timeline.set_track_name(kHbmTid, "hbm");

@@ -1,0 +1,131 @@
+#include "svc/introspect.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/prometheus.h"
+
+namespace alchemist::svc {
+
+namespace {
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// First line of "GET /path HTTP/1.1" -> "/path"; empty on anything else.
+std::string request_path(const std::string& request) {
+  if (request.rfind("GET ", 0) != 0) return {};
+  const std::size_t start = 4;
+  const std::size_t end = request.find(' ', start);
+  if (end == std::string::npos) return {};
+  return request.substr(start, end - start);
+}
+
+}  // namespace
+
+IntrospectionServer::IntrospectionServer(int port, MetricsFn metrics,
+                                         StatusFn status)
+    : metrics_(std::move(metrics)), status_(std::move(status)) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 8) < 0) {
+    error_ = std::string("bind/listen: ") + std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+IntrospectionServer::~IntrospectionServer() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  // shutdown() wakes the blocked accept(); close() alone is not guaranteed to.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  thread_.join();
+  ::close(listen_fd_);
+}
+
+void IntrospectionServer::serve_loop() {
+  for (;;) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // listener broken; introspection goes dark, service lives on
+    }
+    // Bounded read: headers only, no bodies; a stuck client times out.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    std::string request;
+    char buf[1024];
+    while (request.size() < 8192 &&
+           request.find("\r\n\r\n") == std::string::npos) {
+      const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      request.append(buf, static_cast<std::size_t>(n));
+    }
+    const std::string response = handle(request_path(request));
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t n =
+          ::send(client, response.data() + sent, response.size() - sent, 0);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(client);
+    if (stopping_.load()) return;
+  }
+}
+
+std::string IntrospectionServer::handle(const std::string& path) const {
+  if (path == "/healthz") {
+    return http_response("200 OK", "text/plain; charset=utf-8", "ok\n");
+  }
+  if (path == "/metrics") {
+    return http_response("200 OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         prometheus_exposition(metrics_()));
+  }
+  if (path == "/statusz") {
+    return http_response("200 OK", "application/json; charset=utf-8",
+                         status_());
+  }
+  if (path.empty()) {
+    return http_response("400 Bad Request", "text/plain; charset=utf-8",
+                         "bad request\n");
+  }
+  return http_response("404 Not Found", "text/plain; charset=utf-8",
+                       "not found; try /healthz /metrics /statusz\n");
+}
+
+}  // namespace alchemist::svc

@@ -1,0 +1,62 @@
+// Minimal embedded HTTP introspection server for the serving layer.
+//
+// Serves three poll-driven endpoints over plain HTTP/1.1 on a loopback
+// socket (no third-party deps, one accept thread, one request at a time —
+// this is an operator window, not a data plane):
+//
+//   /healthz   200 "ok" while the server is up (liveness probe)
+//   /metrics   Prometheus text exposition (obs/prometheus.h) of the Registry
+//              returned by the metrics callback — counters, gauges, latency
+//              histograms with cumulative buckets
+//   /statusz   the status callback's JSON (JobRunner::status_json():
+//              breaker states, queue occupancy, pool width, substrate.*)
+//
+// Both callbacks are invoked per request on the server thread and must be
+// thread-safe against the running JobRunner — snapshot() and status_json()
+// are, by design. Nothing is cached; every poll sees live state.
+//
+// Port 0 binds an ephemeral port (see port() after construction); CI smoke
+// uses a fixed one. Construction failure (port in use) is reported through
+// ok()/error(), not an exception, so a serving binary can keep running
+// without its introspection window.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/registry.h"
+
+namespace alchemist::svc {
+
+class IntrospectionServer {
+ public:
+  using MetricsFn = std::function<obs::Registry()>;
+  using StatusFn = std::function<std::string()>;
+
+  IntrospectionServer(int port, MetricsFn metrics, StatusFn status);
+  ~IntrospectionServer();
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  bool ok() const { return listen_fd_ >= 0; }
+  // Bound port (resolves 0 to the ephemeral port actually bound).
+  int port() const { return port_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  void serve_loop();
+  std::string handle(const std::string& path) const;
+
+  MetricsFn metrics_;
+  StatusFn status_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::string error_;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace alchemist::svc

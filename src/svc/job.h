@@ -44,6 +44,15 @@ inline constexpr const char* kResumed = "svc.resumed";
 inline constexpr const char* kQueueDepth = "svc.queue_depth";  // gauge + {stat=peak}
 inline constexpr const char* kLatencyUs = "svc.latency_us";    // gauge {p=50|99}
 inline constexpr const char* kWorkers = "svc.workers";         // gauge
+// Latency histograms (obs::Histogram, microsecond ticks), recorded for every
+// admitted job both untagged and per {class=}. queue/run/total are wall-clock
+// (machine-dependent); sim_us is the *simulated* time of completed jobs and
+// therefore deterministic — the cross-worker bit-identity tests pin it.
+// Snapshots derive `<name>.p50/.p95/.p99` gauges from each histogram.
+inline constexpr const char* kLatencyQueueUs = "svc.latency.queue_us";
+inline constexpr const char* kLatencyRunUs = "svc.latency.run_us";
+inline constexpr const char* kLatencyTotalUs = "svc.latency.total_us";
+inline constexpr const char* kLatencySimUs = "svc.latency.sim_us";
 }  // namespace metrics
 
 enum class Engine : std::uint8_t { Level, Event };
@@ -103,6 +112,11 @@ struct JobSpec {
   // a valid resume_from continues an earlier interrupted run.
   std::uint64_t checkpoint_interval = 0;
   sim::Checkpoint resume_from;
+
+  // Attach a UnitProfiler to every attempt: the completed result carries the
+  // per-unit utilization.v1 profile (SimResult.profile). The simulated
+  // outcome is bit-identical either way; resumed runs come back unprofiled.
+  bool profile = false;
 };
 
 class JobRunner;
@@ -154,6 +168,7 @@ class Job {
   sim::CancelToken token_;
   std::uint64_t seq_ = 0;  // submission order, seeds per-job backoff jitter
   std::chrono::steady_clock::time_point submit_time_{};
+  std::chrono::steady_clock::time_point run_start_time_{};  // set at dequeue
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
+#include "obs/json.h"
 #include "obs/substrate_metrics.h"
 #include "sim/alchemist_sim.h"
 #include "sim/event_sim.h"
@@ -23,17 +25,49 @@ double percentile(std::vector<double> v, double p) {
   return v[rank - 1];
 }
 
+// Lifecycle-span track ids: submissions land on the admission track, each
+// worker gets its own run-span track.
+constexpr std::uint32_t kAdmissionTid = 0;
+constexpr std::uint32_t kWorkerTidBase = 1;
+
+// Which worker this thread is, for routing finish() spans; -1 off-pool
+// (destructor-orphaned jobs, rejected submissions).
+thread_local int tls_worker = -1;
+
+const char* to_string(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::Closed: return "closed";
+    case CircuitBreaker::State::Open: return "open";
+    case CircuitBreaker::State::HalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+std::string label_of(const JobSpec& spec, std::uint64_t seq) {
+  return (spec.name.empty() ? spec.workload_class : spec.name) + "#" +
+         std::to_string(seq);
+}
+
 }  // namespace
 
-JobRunner::JobRunner(RunnerOptions opts) : opts_(opts) {
+JobRunner::JobRunner(RunnerOptions opts) : opts_(opts), epoch_(Clock::now()) {
   if (opts_.workers == 0) throw std::invalid_argument("svc: workers must be >= 1");
   if (opts_.queue_capacity == 0) {
     throw std::invalid_argument("svc: queue_capacity must be >= 1");
   }
   paused_ = opts_.start_paused;
+  if (opts_.timeline != nullptr) {
+    opts_.timeline->set_process_name("alchemist-svc");
+    opts_.timeline->set_track_name(kAdmissionTid, "svc/jobs");
+    for (std::size_t i = 0; i < opts_.workers; ++i) {
+      opts_.timeline->set_track_name(
+          kWorkerTidBase + static_cast<std::uint32_t>(i),
+          "svc/worker" + std::to_string(i));
+    }
+  }
   workers_.reserve(opts_.workers);
   for (std::size_t i = 0; i < opts_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -100,6 +134,17 @@ JobPtr JobRunner::submit(JobSpec spec) {
     if (rejected != JobState::Queued) {
       reg_.add(metrics::kRejected, 1, {{"reason", reason}});
     }
+    if (opts_.timeline != nullptr) {
+      obs::TraceEvent ev;
+      ev.name = "submit " + label_of(job->spec_, job->seq_);
+      ev.cat = "svc";
+      ev.tid = kAdmissionTid;
+      ev.ts = ts_us(now);
+      ev.dur = 0;
+      ev.str_args = {{"outcome", reason == nullptr ? "admitted" : reason},
+                     {"class", job->spec_.workload_class}};
+      opts_.timeline->record(std::move(ev));
+    }
   }
   if (rejected != JobState::Queued) {
     // Not yet visible to any worker; safe to finalize directly.
@@ -139,10 +184,86 @@ obs::Registry JobRunner::snapshot() const {
   reg.set_gauge(metrics::kWorkers, static_cast<double>(workers_.size()));
   reg.set_gauge(metrics::kLatencyUs, percentile(latencies_us_, 50.0), {{"p", "50"}});
   reg.set_gauge(metrics::kLatencyUs, percentile(latencies_us_, 99.0), {{"p", "99"}});
+  // Percentile gauges derived from every latency histogram, named
+  // `<name>.pNN[{tags}]` per the registry naming rules so the Prometheus
+  // families stay distinct from the histograms themselves.
+  for (const auto& [key, hist] : reg.histograms()) {
+    const std::size_t brace = key.find('{');
+    const std::string name = key.substr(0, brace);
+    const std::string tags =
+        brace == std::string::npos ? std::string() : key.substr(brace);
+    for (const auto& [suffix, p] :
+         {std::pair<const char*, double>{".p50", 50.0},
+          {".p95", 95.0},
+          {".p99", 99.0}}) {
+      reg.set_gauge_by_key(name + suffix + tags, hist.percentile(p));
+    }
+  }
   return reg;
 }
 
-void JobRunner::worker_loop() {
+std::map<std::string, CircuitBreaker::State> JobRunner::breaker_states() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, CircuitBreaker::State> out;
+  for (const auto& [cls, breaker] : breakers_) out.emplace(cls, breaker.state());
+  return out;
+}
+
+std::string JobRunner::status_json() const {
+  using obs::json_number;
+  using obs::json_string;
+  // Substrate counters have their own atomics; read them outside mu_.
+  const obs::Registry substrate = obs::substrate_registry();
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lk(mu_);
+  out << "{\n";
+  out << "  \"workers\": " << json_number(static_cast<std::uint64_t>(workers_.size()))
+      << ",\n";
+  out << "  \"paused\": " << (paused_ ? "true" : "false") << ",\n";
+  out << "  \"stopping\": " << (stopping_ ? "true" : "false") << ",\n";
+  out << "  \"queue_depth\": "
+      << json_number(static_cast<std::uint64_t>(queue_.size())) << ",\n";
+  out << "  \"queue_capacity\": "
+      << json_number(static_cast<std::uint64_t>(opts_.queue_capacity)) << ",\n";
+  out << "  \"queue_peak\": "
+      << json_number(static_cast<std::uint64_t>(peak_depth_)) << ",\n";
+  out << "  \"running\": "
+      << json_number(static_cast<std::uint64_t>(running_.size())) << ",\n";
+  out << "  \"breakers\": {";
+  bool first = true;
+  for (const auto& [cls, breaker] : breakers_) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    " << json_string(cls) << ": " << json_string(to_string(breaker.state()));
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"counters\": {";
+  first = true;
+  for (const auto& [key, value] : reg_.counters()) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    " << json_string(key) << ": " << json_number(value);
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"substrate\": {";
+  first = true;
+  for (const auto& [key, value] : substrate.counters()) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    " << json_string(key) << ": " << json_number(value);
+  }
+  for (const auto& [key, value] : substrate.gauges()) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    " << json_string(key) << ": " << json_number(value);
+  }
+  out << (first ? "}\n" : "\n  }\n");
+  out << "}\n";
+  return out.str();
+}
+
+void JobRunner::worker_loop(std::size_t worker_id) {
+  tls_worker = static_cast<int>(worker_id);
   for (;;) {
     JobPtr job;
     {
@@ -152,6 +273,7 @@ void JobRunner::worker_loop() {
       job = queue_.front();
       queue_.pop_front();
       running_.push_back(job.get());
+      job->run_start_time_ = Clock::now();
     }
     run_job(job);
     {
@@ -205,13 +327,15 @@ void JobRunner::run_job(const JobPtr& job) {
     ctl.max_steps = spec.max_steps;
     ctl.checkpoint_interval = spec.checkpoint_interval;
     ctl.checkpoint = &cp;
+    sim::UnitProfiler prof;
+    sim::UnitProfiler* profiler = spec.profile ? &prof : nullptr;
     try {
       sim::SimResult result =
           spec.engine == Engine::Event
               ? sim::simulate_alchemist_events(*spec.graph, spec.config, nullptr,
-                                               fault, &ctl)
+                                               fault, &ctl, profiler)
               : sim::simulate_alchemist(*spec.graph, spec.config, nullptr, fault,
-                                        &ctl);
+                                        &ctl, profiler);
       if (result.registry.counter(fault::metrics::kCorruptedOps) == 0) {
         finish(job, JobState::Completed, std::string(), std::move(result),
                sim::Checkpoint{}, attempt);
@@ -231,11 +355,26 @@ void JobRunner::run_job(const JobPtr& job) {
         reg_.add(metrics::kRetries, 1);
       }
       // Exponential backoff, sliced so cancellation stays responsive.
+      const Clock::time_point backoff_start = Clock::now();
       std::uint64_t delay_us = backoff.next_us();
       while (delay_us > 0 && job->token_.should_stop() == sim::StopReason::None) {
         const std::uint64_t slice = std::min<std::uint64_t>(delay_us, 1000);
         std::this_thread::sleep_for(std::chrono::microseconds(slice));
         delay_us -= slice;
+      }
+      if (opts_.timeline != nullptr) {
+        // Nests inside this job's run span on the worker's track.
+        std::lock_guard<std::mutex> lk(mu_);
+        obs::TraceEvent ev;
+        ev.name = "retry " + label_of(spec, job->seq_);
+        ev.cat = "svc.retry";
+        ev.tid = tls_worker >= 0
+                     ? kWorkerTidBase + static_cast<std::uint32_t>(tls_worker)
+                     : kAdmissionTid;
+        ev.ts = ts_us(backoff_start);
+        ev.dur = ts_us(Clock::now()) - ev.ts;
+        ev.num_args = {{"attempt", static_cast<double>(attempt)}};
+        opts_.timeline->record(std::move(ev));
       }
       if (const sim::StopReason stop = job->token_.should_stop();
           stop != sim::StopReason::None) {
@@ -273,12 +412,12 @@ void JobRunner::finish(const JobPtr& job, JobState state, std::string error,
                        std::size_t attempts) {
   const Clock::time_point now = Clock::now();
   const bool has_checkpoint = checkpoint.valid();
+  const double sim_us = state == JobState::Completed ? result.time_us : 0.0;
   // Account first, publish second: a caller woken by wait() must already see
   // this job in the svc.* counters when it snapshots the registry.
   {
     std::lock_guard<std::mutex> lk(mu_);
-    record_terminal(state, attempts, has_checkpoint, now, job->submit_time_,
-                    job->spec_.workload_class);
+    record_terminal(*job, state, attempts, has_checkpoint, now, sim_us);
   }
   std::lock_guard<std::mutex> lk(job->mu_);
   job->state_ = state;
@@ -289,10 +428,11 @@ void JobRunner::finish(const JobPtr& job, JobState state, std::string error,
   job->cv_.notify_all();
 }
 
-void JobRunner::record_terminal(JobState state, std::size_t attempts,
-                                bool has_checkpoint, Clock::time_point now,
-                                Clock::time_point submit_time,
-                                const std::string& workload_class) {
+void JobRunner::record_terminal(const Job& job, JobState state,
+                                std::size_t attempts, bool has_checkpoint,
+                                Clock::time_point now, double sim_us) {
+  const Clock::time_point submit_time = job.submit_time_;
+  const std::string& workload_class = job.spec_.workload_class;
   switch (state) {
     case JobState::Completed:
       reg_.add(metrics::kCompleted, 1);
@@ -311,8 +451,51 @@ void JobRunner::record_terminal(JobState state, std::size_t attempts,
       break;  // Shed/CircuitOpen are accounted at admission
   }
   if (has_checkpoint) reg_.add(metrics::kCheckpoints, 1);
-  latencies_us_.push_back(
-      std::chrono::duration<double, std::micro>(now - submit_time).count());
+  const double total_us =
+      std::chrono::duration<double, std::micro>(now - submit_time).count();
+  latencies_us_.push_back(total_us);
+
+  // Latency histograms: wall-clock queue/run/total for every admitted job,
+  // plus the deterministic simulated time of completed runs.
+  const bool ran = job.run_start_time_ != Clock::time_point{};
+  const double queue_us =
+      ran ? std::chrono::duration<double, std::micro>(job.run_start_time_ -
+                                                      submit_time)
+                .count()
+          : total_us;
+  const double run_us =
+      ran ? std::chrono::duration<double, std::micro>(now - job.run_start_time_)
+                .count()
+          : 0.0;
+  const std::string_view cls = workload_class;
+  reg_.observe(metrics::kLatencyQueueUs, queue_us);
+  reg_.observe(metrics::kLatencyQueueUs, queue_us, {{"class", cls}});
+  reg_.observe(metrics::kLatencyRunUs, run_us);
+  reg_.observe(metrics::kLatencyRunUs, run_us, {{"class", cls}});
+  reg_.observe(metrics::kLatencyTotalUs, total_us);
+  reg_.observe(metrics::kLatencyTotalUs, total_us, {{"class", cls}});
+  if (state == JobState::Completed) {
+    reg_.observe(metrics::kLatencySimUs, sim_us);
+    reg_.observe(metrics::kLatencySimUs, sim_us, {{"class", cls}});
+  }
+
+  if (opts_.timeline != nullptr && ran) {
+    obs::TraceEvent ev;
+    ev.name = "run " + label_of(job.spec_, job.seq_);
+    ev.cat = "svc.run";
+    ev.tid = tls_worker >= 0
+                 ? kWorkerTidBase + static_cast<std::uint32_t>(tls_worker)
+                 : kAdmissionTid;
+    ev.ts = ts_us(job.run_start_time_);
+    ev.dur = ts_us(now) - ev.ts;
+    ev.num_args = {{"queue_us", queue_us},
+                   {"attempts", static_cast<double>(attempts)},
+                   {"sim_us", sim_us}};
+    ev.str_args = {{"state", svc::to_string(state)},
+                   {"class", workload_class}};
+    opts_.timeline->record(std::move(ev));
+  }
+
   const auto it = breakers_.find(workload_class);
   if (it != breakers_.end()) {
     if (state == JobState::Completed) {

@@ -26,6 +26,14 @@
 // * Observability: svc.* counters and gauges (queue depth, terminal-state
 //   partition, p50/p99 latency) exported as an obs::Registry snapshot,
 //   together with the substrate.* counters of the shared compute pool.
+//   Admitted jobs additionally record svc.latency.{queue,run,total,sim}_us
+//   histograms (aggregate and per workload class); snapshots derive
+//   .p50/.p95/.p99 gauges from them. With RunnerOptions::timeline attached,
+//   the runner emits span-style lifecycle events — submit instants, per-job
+//   run spans with queue-wait/terminal-state args, nested retry-backoff
+//   spans — on one track per worker. status_json() is the machine-readable
+//   live view (/statusz): breaker states, queue occupancy, pool width,
+//   substrate.* activity.
 // * Intra-job parallelism: functional kernels running inside a job fan out on
 //   the process-wide ThreadPool (common/thread_pool.h), which all workers
 //   share. Nested fan-outs run inline on their worker and callers lend their
@@ -48,6 +56,7 @@
 
 #include "common/backoff.h"
 #include "obs/registry.h"
+#include "obs/timeline.h"
 #include "svc/circuit_breaker.h"
 #include "svc/job.h"
 
@@ -66,6 +75,10 @@ struct RunnerOptions {
   // Start with workers parked (submissions queue up but nothing runs) until
   // set_paused(false) — deterministic queue-pressure tests rely on this.
   bool start_paused = false;
+  // Optional job-lifecycle span sink (submit -> run -> retry -> terminal),
+  // not owned; must outlive the runner. Timestamps are wall microseconds
+  // since runner construction. Access is serialized under the runner mutex.
+  obs::Timeline* timeline = nullptr;
 };
 
 class JobRunner {
@@ -90,14 +103,23 @@ class JobRunner {
   // Park/unpark the worker threads (see RunnerOptions::start_paused).
   void set_paused(bool paused);
 
-  // Point-in-time copy of the svc.* registry, including queue-depth gauges
-  // and p50/p99 latency over all terminal jobs so far.
+  // Point-in-time copy of the svc.* registry, including queue-depth gauges,
+  // p50/p99 latency over all terminal jobs so far, the latency histograms
+  // and their derived .p50/.p95/.p99 gauges.
   obs::Registry snapshot() const;
+
+  // Live JSON for the /statusz introspection endpoint: worker-pool and queue
+  // occupancy, per-class breaker states, svc.* counters and substrate.*
+  // activity. Thread-safe; poll-driven (computed on call, nothing cached).
+  std::string status_json() const;
+
+  // Per-workload-class breaker states, for introspection and tests.
+  std::map<std::string, CircuitBreaker::State> breaker_states() const;
 
   const RunnerOptions& options() const { return opts_; }
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_id);
   void run_job(const JobPtr& job);
   // Terminal transition: updates the svc.* counters, latency record and
   // workload-class breaker first, then publishes the state to the handle (so
@@ -106,14 +128,19 @@ class JobRunner {
               sim::SimResult result, sim::Checkpoint checkpoint,
               std::size_t attempts);
   // The accounting half of finish(); caller holds mu_.
-  void record_terminal(JobState state, std::size_t attempts, bool has_checkpoint,
+  void record_terminal(const Job& job, JobState state, std::size_t attempts,
+                       bool has_checkpoint,
                        std::chrono::steady_clock::time_point now,
-                       std::chrono::steady_clock::time_point submit_time,
-                       const std::string& workload_class);
+                       double sim_us);
+  // Wall microseconds since runner construction (timeline timestamp base).
+  double ts_us(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - epoch_).count();
+  }
 
   RunnerOptions opts_;
+  std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;  // queue, breakers, stats, lifecycle flags
+  mutable std::mutex mu_;  // queue, breakers, stats, lifecycle flags, timeline
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::deque<JobPtr> queue_;

@@ -3,16 +3,24 @@
 // (telemetry on/off yields bit-identical SimResults).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <iterator>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "arch/config.h"
+#include "obs/histogram.h"
+#include "obs/json.h"
+#include "obs/prometheus.h"
 #include "obs/registry.h"
 #include "obs/report.h"
 #include "obs/timeline.h"
 #include "sim/alchemist_sim.h"
 #include "sim/event_sim.h"
+#include "sim/sim_control.h"
+#include "sim/unit_profiler.h"
 #include "workloads/ckks_workloads.h"
 
 namespace alchemist {
@@ -281,6 +289,321 @@ TEST(ObsReport, EmptyReportIsValidJson) {
   obs::MetricsReport report("empty");
   expect_balanced_json(report.json());
   EXPECT_NE(report.json().find("\"runs\": []"), std::string::npos);
+}
+
+// --- Histogram ------------------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundariesTileTheTickRange) {
+  using obs::Histogram;
+  // Unit buckets below the first octave split.
+  for (std::uint64_t t = 0; t < 8; ++t) {
+    EXPECT_EQ(Histogram::bucket_index(t), t);
+    EXPECT_EQ(Histogram::bucket_lower(t), t);
+    EXPECT_EQ(Histogram::bucket_upper(t), t + 1);
+  }
+  // Every bucket half-open, contiguous, and consistent with bucket_index at
+  // both edges (boundary value belongs to the bucket it lower-bounds).
+  for (std::size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+    const std::uint64_t lo = Histogram::bucket_lower(i);
+    const std::uint64_t hi = Histogram::bucket_upper(i);
+    ASSERT_LT(lo, hi) << "bucket " << i;
+    EXPECT_EQ(Histogram::bucket_lower(i + 1), hi) << "gap after bucket " << i;
+    EXPECT_EQ(Histogram::bucket_index(lo), i);
+    EXPECT_EQ(Histogram::bucket_index(hi - 1), i);
+    EXPECT_EQ(Histogram::bucket_index(hi), i + 1);
+  }
+  // Powers of two start a fresh sub-bucket; value-1 stays one bucket lower.
+  for (int k = 3; k < 63; ++k) {
+    const std::uint64_t v = 1ull << k;
+    EXPECT_EQ(Histogram::bucket_lower(Histogram::bucket_index(v)), v);
+    EXPECT_EQ(Histogram::bucket_index(v - 1) + 1, Histogram::bucket_index(v));
+  }
+}
+
+TEST(ObsHistogram, MergeIsExactAssociativeAndOrderIndependent) {
+  const double values[] = {0,    1,    7,     8,     9,      100.7, 1e3,
+                           4096, 5000, 123e6, 7.5e9, 3.2e12, 1e18};
+  obs::Histogram all;
+  for (double v : values) all.record(v);
+
+  // Same multiset recorded in reverse into shards, merged in two different
+  // association orders: every variant is bit-identical to the single-threaded
+  // histogram.
+  obs::Histogram s1, s2, s3;
+  std::size_t i = 0;
+  for (auto it = std::rbegin(values); it != std::rend(values); ++it, ++i) {
+    (i % 3 == 0 ? s1 : i % 3 == 1 ? s2 : s3).record(*it);
+  }
+  obs::Histogram left = s1;
+  left.merge(s2);
+  left.merge(s3);
+  obs::Histogram right = s2;
+  right.merge(s3);
+  obs::Histogram outer = s1;
+  outer.merge(right);
+  EXPECT_TRUE(left == all);
+  EXPECT_TRUE(outer == all);
+}
+
+TEST(ObsHistogram, PercentileEdges) {
+  obs::Histogram h;
+  EXPECT_EQ(h.percentile(50), 0.0);  // empty
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+
+  h.record(42);
+  for (double p : {0.0, 50.0, 100.0}) EXPECT_EQ(h.percentile(p), 42.0);
+
+  obs::Histogram two;
+  two.record(10);
+  two.record(1000);
+  EXPECT_EQ(two.percentile(0), 10.0);
+  EXPECT_EQ(two.percentile(100), 1000.0);
+  const double p50 = two.percentile(50);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 1000.0);
+
+  // Quantiles are monotone in p and clamped to [min, max] even at the
+  // interpolation edges of the hit bucket.
+  obs::Histogram many;
+  for (int v = 100; v < 200; ++v) many.record(v);
+  double prev = -1;
+  for (double p = 0; p <= 100.0; p += 2.5) {
+    const double q = many.percentile(p);
+    EXPECT_GE(q, many.min());
+    EXPECT_LE(q, many.max());
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+  EXPECT_NEAR(many.percentile(50), 150.0, 16.0);  // ~12% bucket resolution
+
+  // Hostile inputs: NaN and negatives clamp to tick 0, huge values saturate.
+  obs::Histogram hostile;
+  hostile.record(std::nan(""));
+  hostile.record(-5.0);
+  hostile.record(1e30);
+  EXPECT_EQ(hostile.count(), 3u);
+  EXPECT_EQ(hostile.buckets()[0], 2u);
+  EXPECT_EQ(hostile.percentile(100), hostile.max());
+}
+
+TEST(ObsHistogram, RegistryObserveSnapshotAndMerge) {
+  obs::Registry reg;
+  reg.observe("svc.latency.total_us", 100.0, {{"class", "a"}});
+  reg.observe("svc.latency.total_us", 300.0, {{"class", "a"}});
+  reg.observe("svc.latency.total_us", 700.0);
+  EXPECT_EQ(reg.histogram("svc.latency.total_us", {{"class", "a"}}).count(), 2u);
+  EXPECT_EQ(reg.histogram("svc.latency.total_us").count(), 1u);
+  EXPECT_EQ(reg.histogram("svc.latency.absent").count(), 0u);
+
+  obs::Registry other;
+  other.observe("svc.latency.total_us", 500.0, {{"class", "a"}});
+  reg.merge(other);
+  EXPECT_EQ(reg.histogram("svc.latency.total_us", {{"class", "a"}}).count(), 3u);
+  EXPECT_EQ(reg.histogram("svc.latency.total_us", {{"class", "a"}}).sum_ticks(),
+            900u);
+  EXPECT_FALSE(reg.empty());
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+}
+
+// --- JSON non-finite handling ---------------------------------------------
+
+TEST(ObsJson, NonFiniteNumbersEmitNullAndCount) {
+  std::uint64_t dropped = 0;
+  EXPECT_EQ(obs::json_number(1.5, dropped), "1.5");
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(obs::json_number(std::nan(""), dropped), "null");
+  EXPECT_EQ(obs::json_number(HUGE_VAL, dropped), "null");
+  EXPECT_EQ(obs::json_number(-HUGE_VAL, dropped), "null");
+  EXPECT_EQ(dropped, 3u);
+}
+
+TEST(ObsReport, NonFiniteGaugeBecomesNullPlusDroppedCounter) {
+  obs::Registry reg;
+  reg.set_gauge("sim.bad", std::nan(""));
+  reg.set_gauge("sim.good", 2.5);
+  obs::MetricsReport report("test_obs");
+  report.add("w", "a", reg);
+  const std::string json = report.json();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"sim.bad\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"report.dropped_nonfinite\": 1"), std::string::npos);
+
+  // Clean reports must NOT grow the synthetic counter (baselines unchanged).
+  obs::MetricsReport clean("test_obs");
+  obs::Registry ok;
+  ok.set_gauge("sim.good", 1.0);
+  clean.add("w", "a", ok);
+  EXPECT_EQ(clean.json().find("report.dropped_nonfinite"), std::string::npos);
+}
+
+// --- Unit profiler --------------------------------------------------------
+
+void expect_profile_invariants(const sim::SimResult& r,
+                               std::size_t expect_units) {
+  const obs::UtilizationProfile& p = r.profile;
+  ASSERT_TRUE(p.enabled());
+  ASSERT_EQ(p.units.size(), expect_units);
+  EXPECT_EQ(p.total_cycles, r.cycles);
+  for (std::size_t u = 0; u < p.units.size(); ++u) {
+    // THE invariant: the five buckets partition every simulated cycle.
+    ASSERT_EQ(p.units[u].total(), p.total_cycles) << "unit " << u;
+    // Class attribution partitions the occupied cycles the same way.
+    std::uint64_t class_sum = 0;
+    for (const auto& [cls, cycles] : p.units[u].class_occupied) class_sum += cycles;
+    EXPECT_EQ(class_sum, p.units[u].occupied()) << "unit " << u;
+  }
+  // The aggregate view reconciles with the simulator's own utilization.
+  EXPECT_NEAR(p.occupancy(), r.utilization, 0.02);
+}
+
+TEST(ObsProfiler, LevelEngineBucketsPartitionEveryCycle) {
+  const workloads::CkksWl w = workloads::CkksWl::paper(44);
+  const arch::ArchConfig cfg = arch::ArchConfig::alchemist();
+  for (const OpGraph& g : {workloads::build_keyswitch(w),
+                           workloads::build_bootstrapping(w, true)}) {
+    sim::UnitProfiler prof;
+    const auto r = sim::simulate_alchemist(g, cfg, nullptr, nullptr, nullptr, &prof);
+    expect_profile_invariants(r, cfg.num_units);
+  }
+}
+
+TEST(ObsProfiler, EventEngineBucketsPartitionEveryCycle) {
+  const workloads::CkksWl w = workloads::CkksWl::paper(24);
+  const arch::ArchConfig cfg = arch::ArchConfig::alchemist();
+  for (const OpGraph& g :
+       {workloads::build_cmult(w), workloads::build_rotation(w)}) {
+    sim::UnitProfiler prof;
+    const auto r =
+        sim::simulate_alchemist_events(g, cfg, nullptr, nullptr, nullptr, &prof);
+    expect_profile_invariants(r, cfg.num_units);
+  }
+}
+
+TEST(ObsProfiler, ProfiledRunIsBitIdentical) {
+  const workloads::CkksWl w = workloads::CkksWl::paper(24);
+  const OpGraph g = workloads::build_keyswitch(w);
+  const arch::ArchConfig cfg = arch::ArchConfig::alchemist();
+  sim::UnitProfiler lp, ep;
+  const auto level_off = sim::simulate_alchemist(g, cfg);
+  const auto level_on =
+      sim::simulate_alchemist(g, cfg, nullptr, nullptr, nullptr, &lp);
+  expect_identical_results(level_off, level_on);
+  EXPECT_FALSE(level_off.profile.enabled());
+  EXPECT_TRUE(level_on.profile.enabled());
+  const auto event_off = sim::simulate_alchemist_events(g, cfg);
+  const auto event_on =
+      sim::simulate_alchemist_events(g, cfg, nullptr, nullptr, nullptr, &ep);
+  expect_identical_results(event_off, event_on);
+  EXPECT_TRUE(event_on.profile.enabled());
+}
+
+TEST(ObsProfiler, ResumedRunComesBackUnprofiled) {
+  const workloads::CkksWl w = workloads::CkksWl::paper(24);
+  const OpGraph g = workloads::build_keyswitch(w);
+  const arch::ArchConfig cfg = arch::ArchConfig::alchemist();
+
+  // Interrupt a run, then resume it with a profiler attached: the cycles
+  // before the cut were never observed, so the engine must hand back an
+  // empty profile rather than a partial one.
+  sim::Checkpoint cp;
+  sim::SimControl stop;
+  stop.max_steps = 2;
+  stop.checkpoint_interval = 1;
+  stop.checkpoint = &cp;
+  EXPECT_THROW(sim::simulate_alchemist(g, cfg, nullptr, nullptr, &stop),
+               sim::CancelledError);
+  ASSERT_TRUE(cp.valid());
+  sim::SimControl resume;
+  resume.checkpoint = &cp;
+  sim::UnitProfiler prof;
+  const auto resumed =
+      sim::simulate_alchemist(g, cfg, nullptr, nullptr, &resume, &prof);
+  EXPECT_EQ(resumed.cycles, sim::simulate_alchemist(g, cfg).cycles);
+  EXPECT_FALSE(resumed.profile.enabled());
+}
+
+TEST(ObsProfiler, ReportGainsUtilizationSection) {
+  const workloads::CkksWl w = workloads::CkksWl::paper(24);
+  const arch::ArchConfig cfg = arch::ArchConfig::alchemist();
+  sim::UnitProfiler prof;
+  const auto r = sim::simulate_alchemist(workloads::build_cmult(w), cfg, nullptr,
+                                         nullptr, nullptr, &prof);
+  obs::MetricsReport report("test_obs");
+  report.add(r);
+  const std::string json = report.json();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"utilization\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"utilization.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"stall_scratchpad\""), std::string::npos);
+
+  // Unprofiled runs keep the report section-free (committed baselines).
+  obs::MetricsReport plain("test_obs");
+  plain.add(sim::simulate_alchemist(workloads::build_cmult(w), cfg));
+  EXPECT_EQ(plain.json().find("\"utilization\""), std::string::npos);
+}
+
+TEST(ObsProfiler, TraceGainsPerUnitCounterTracks) {
+  const workloads::CkksWl w = workloads::CkksWl::paper(24);
+  arch::ArchConfig cfg = arch::ArchConfig::alchemist();
+  cfg.telemetry = true;
+  obs::Timeline timeline;
+  sim::UnitProfiler prof;
+  const auto r = sim::simulate_alchemist(workloads::build_keyswitch(w), cfg,
+                                         &timeline, nullptr, nullptr, &prof);
+  ASSERT_TRUE(r.profile.enabled());
+  EXPECT_FALSE(timeline.counter_events().empty());
+  std::ostringstream out;
+  timeline.write_chrome_trace(out);
+  const std::string json = out.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("util/unit000"), std::string::npos);
+  EXPECT_NE(json.find("util/unit127"), std::string::npos);
+  EXPECT_NE(json.find("\"busy\""), std::string::npos);
+}
+
+// --- Prometheus exposition ------------------------------------------------
+
+TEST(ObsPrometheus, NameManglingAndEscaping) {
+  EXPECT_EQ(obs::prometheus_name("svc.latency.total_us"), "svc_latency_total_us");
+  EXPECT_EQ(obs::prometheus_name("sim.cycles"), "sim_cycles");
+  EXPECT_EQ(obs::prometheus_name("a-b c"), "a_b_c");
+
+  obs::Registry reg;
+  reg.add("svc.completed", 3, {{"class", "key\"switch\nx\\y"}});
+  const std::string text = obs::prometheus_exposition(reg);
+  EXPECT_NE(text.find("# TYPE svc_completed counter"), std::string::npos);
+  EXPECT_NE(text.find("svc_completed{class=\"key\\\"switch\\nx\\\\y\"} 3"),
+            std::string::npos);
+}
+
+TEST(ObsPrometheus, HistogramRendersCumulativeBuckets) {
+  obs::Registry reg;
+  reg.observe("svc.latency.run_us", 5.0);
+  reg.observe("svc.latency.run_us", 9.0);
+  reg.observe("svc.latency.run_us", 1e6);
+  const std::string text = obs::prometheus_exposition(reg);
+  EXPECT_NE(text.find("# TYPE svc_latency_run_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("svc_latency_run_us_bucket{le=\"6\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("svc_latency_run_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("svc_latency_run_us_count 3"), std::string::npos);
+  EXPECT_NE(text.find("svc_latency_run_us_sum 1000014"), std::string::npos);
+  // Zero buckets are skipped: the exposition stays proportional to the data.
+  EXPECT_EQ(text.find("le=\"1\"} 0"), std::string::npos);
+}
+
+TEST(ObsPrometheus, NonFiniteGaugesUseCanonicalSpelling) {
+  obs::Registry reg;
+  reg.set_gauge("sim.a", std::nan(""));
+  reg.set_gauge("sim.b", HUGE_VAL);
+  reg.set_gauge("sim.c", -HUGE_VAL);
+  const std::string text = obs::prometheus_exposition(reg);
+  EXPECT_NE(text.find("sim_a NaN"), std::string::npos);
+  EXPECT_NE(text.find("sim_b +Inf"), std::string::npos);
+  EXPECT_NE(text.find("sim_c -Inf"), std::string::npos);
 }
 
 }  // namespace

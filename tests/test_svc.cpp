@@ -393,6 +393,144 @@ TEST(JobRunner, DestructorCancelsQueuedJobs) {
   }
 }
 
+TEST(JobRunner, LatencyHistogramsCoverEveryAdmittedJob) {
+  const auto graph = keyswitch_graph();
+  svc::RunnerOptions opts;
+  opts.workers = 3;
+  svc::JobRunner runner(opts);
+  constexpr int kJobs = 9;
+  for (int i = 0; i < kJobs; ++i) {
+    svc::JobSpec spec;
+    spec.graph = graph;
+    spec.workload_class = (i % 2 == 0) ? "even" : "odd";
+    runner.submit(std::move(spec));
+  }
+  runner.drain();
+
+  const obs::Registry reg = runner.snapshot();
+  ASSERT_EQ(reg.counter(svc::metrics::kAdmitted), kJobs);
+  // Each of queue/run/total/sim is recorded untagged and per {class=}, and
+  // the untagged count matches the admitted jobs exactly.
+  for (const char* name :
+       {svc::metrics::kLatencyQueueUs, svc::metrics::kLatencyRunUs,
+        svc::metrics::kLatencyTotalUs, svc::metrics::kLatencySimUs}) {
+    const obs::Histogram& all = reg.histogram(name);
+    EXPECT_EQ(all.count(), kJobs) << name;
+    const obs::Histogram& even = reg.histogram(name, {{"class", "even"}});
+    const obs::Histogram& odd = reg.histogram(name, {{"class", "odd"}});
+    EXPECT_EQ(even.count(), 5u) << name;
+    EXPECT_EQ(odd.count(), 4u) << name;
+    // Per-class shards merge back to the untagged family exactly.
+    obs::Histogram merged = even;
+    merged.merge(odd);
+    EXPECT_EQ(merged, all) << name;
+  }
+  // Simulated latency is strictly positive and identical across the class
+  // split (same graph, deterministic engine).
+  const obs::Histogram& sim_all = reg.histogram(svc::metrics::kLatencySimUs);
+  EXPECT_GT(sim_all.sum_ticks(), 0u);
+  // Derived percentile gauges ride along in the same snapshot.
+  for (const char* p : {"50", "95", "99"}) {
+    EXPECT_GT(reg.gauge(std::string(svc::metrics::kLatencyTotalUs) + ".p" + p),
+              0.0);
+  }
+}
+
+TEST(JobRunner, SimLatencyHistogramIsBitIdenticalAcrossWorkerCounts) {
+  const auto ks = keyswitch_graph();
+  const auto boot = shared_graph(
+      workloads::build_bootstrapping(workloads::CkksWl::paper(16), false));
+  // svc.latency.sim_us records simulated time, which only depends on the
+  // graph + config — not on scheduling, worker count, or wall-clock noise.
+  // The snapshots must therefore be bit-identical for any worker count.
+  std::vector<obs::Histogram> sims;
+  std::vector<obs::Histogram> sims_tagged;
+  for (std::size_t workers = 1; workers <= 8; ++workers) {
+    svc::RunnerOptions opts;
+    opts.workers = workers;
+    svc::JobRunner runner(opts);
+    for (int i = 0; i < 12; ++i) {
+      svc::JobSpec spec;
+      spec.graph = (i % 3 == 0) ? boot : ks;
+      spec.workload_class = (i % 3 == 0) ? "boot" : "ks";
+      spec.engine = (i % 2 == 0) ? svc::Engine::Level : svc::Engine::Event;
+      runner.submit(std::move(spec));
+    }
+    runner.drain();
+    const obs::Registry reg = runner.snapshot();
+    sims.push_back(reg.histogram(svc::metrics::kLatencySimUs));
+    sims_tagged.push_back(
+        reg.histogram(svc::metrics::kLatencySimUs, {{"class", "boot"}}));
+  }
+  for (std::size_t i = 1; i < sims.size(); ++i) {
+    EXPECT_EQ(sims[i], sims[0]) << "workers=" << i + 1;
+    EXPECT_EQ(sims[i].sum_ticks(), sims[0].sum_ticks());
+    EXPECT_EQ(sims_tagged[i], sims_tagged[0]) << "workers=" << i + 1;
+  }
+  EXPECT_EQ(sims[0].count(), 12u);
+  EXPECT_EQ(sims_tagged[0].count(), 4u);
+}
+
+TEST(JobRunner, StatusJsonReportsRunnerAndBreakerState) {
+  const auto graph = keyswitch_graph();
+  svc::RunnerOptions opts;
+  opts.workers = 2;
+  opts.queue_capacity = 32;
+  svc::JobRunner runner(opts);
+  for (int i = 0; i < 4; ++i) {
+    svc::JobSpec spec;
+    spec.graph = graph;
+    spec.workload_class = "statusz";
+    runner.submit(std::move(spec));
+  }
+  runner.drain();
+
+  const std::string json = runner.status_json();
+  for (const char* needle :
+       {"\"workers\": 2", "\"paused\": false", "\"stopping\": false",
+        "\"queue_depth\": 0", "\"queue_capacity\": 32", "\"running\": 0",
+        "\"breakers\"", "\"statusz\": \"closed\"", "\"counters\"",
+        "\"svc.completed\": 4", "\"substrate\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos)
+        << "missing " << needle << " in:\n" << json;
+  }
+  const auto breakers = runner.breaker_states();
+  ASSERT_EQ(breakers.size(), 1u);
+  EXPECT_EQ(breakers.at("statusz"), svc::CircuitBreaker::State::Closed);
+}
+
+TEST(JobRunner, ProfileFlagAttachesUtilizationWithoutPerturbingResults) {
+  const auto graph = keyswitch_graph();
+  svc::JobRunner runner;
+
+  auto submit = [&](bool profile, svc::Engine engine) {
+    svc::JobSpec spec;
+    spec.graph = graph;
+    spec.profile = profile;
+    spec.engine = engine;
+    const svc::JobPtr job = runner.submit(std::move(spec));
+    job->wait();
+    EXPECT_EQ(job->state(), svc::JobState::Completed) << job->error();
+    return job;
+  };
+  for (svc::Engine engine : {svc::Engine::Level, svc::Engine::Event}) {
+    const svc::JobPtr plain = submit(false, engine);
+    const svc::JobPtr profiled = submit(true, engine);
+    // The profiler is an observer: identical simulated outcome either way.
+    EXPECT_EQ(profiled->result().cycles, plain->result().cycles);
+    EXPECT_EQ(profiled->result().time_us, plain->result().time_us);
+    EXPECT_EQ(profiled->result().registry.counters(),
+              plain->result().registry.counters());
+    EXPECT_FALSE(plain->result().profile.enabled());
+    const obs::UtilizationProfile& prof = profiled->result().profile;
+    ASSERT_TRUE(prof.enabled());
+    ASSERT_EQ(prof.units.size(), arch::ArchConfig::alchemist().num_units);
+    for (const obs::UnitCycles& u : prof.units) {
+      EXPECT_EQ(u.total(), prof.total_cycles);
+    }
+  }
+}
+
 TEST(JobRunner, TerminalCountersPartitionSubmitted) {
   const auto graph = keyswitch_graph();
   svc::RunnerOptions opts;

@@ -3,7 +3,11 @@
 
 Usage:
     tools/check_bench_baseline.py BASELINE.json CURRENT.json [--tolerance 0.05]
-                                  [--ignore REGEX]
+                                  [--ignore REGEX] [--md-out FILE]
+
+--md-out writes the full per-counter comparison as a GitHub-flavored Markdown
+table (written on success AND failure; CI appends it to $GITHUB_STEP_SUMMARY
+so every run's counter landscape is one click away).
 
 Runs are matched by (workload, accelerator). Every counter present in the
 baseline must exist in the current report and stay within the relative
@@ -41,6 +45,35 @@ def load(path):
     }
 
 
+def write_markdown(path, md_rows, failures, tolerance):
+    """One GitHub-flavored table over every compared counter."""
+    verdict = (f"❌ **FAIL** — {len(failures)} deviation(s)" if failures
+               else "✅ **OK**")
+    lines = [
+        "### Bench baseline check",
+        "",
+        f"{verdict} (tolerance ±{tolerance:.0%}; wall-clock counters skipped)",
+        "",
+        "| Run | Counter | Baseline | Current | Drift | Status |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    for label, key, base, cur, drift, status in md_rows:
+        drift_s = "—" if drift is None else f"{drift:+.2%}"
+        mark = {"ok": "✅", "FAIL": "❌", "skipped": "⏭ skipped",
+                "new": "🆕 new"}.get(status, status)
+        lines.append(f"| {label} | `{key}` | {base} | {cur} | {drift_s} | {mark} |")
+    if failures:
+        lines += ["", "<details><summary>Deviations</summary>", ""]
+        lines += [f"- {f}" for f in failures]
+        lines += ["", "</details>"]
+    try:
+        with open(path, "w") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as e:
+        print(f"error: cannot write {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -50,6 +83,8 @@ def main():
     ap.add_argument("--ignore", metavar="REGEX", default=None,
                     help="skip counters whose name matches this regex "
                          "(e.g. 'wall_ns|kernel_ns' for wall-clock rows)")
+    ap.add_argument("--md-out", metavar="FILE", default=None,
+                    help="also write the comparison as a Markdown summary table")
     args = ap.parse_args()
     ignore = re.compile(args.ignore) if args.ignore else None
 
@@ -62,11 +97,15 @@ def main():
     # printed as a summary table when the check fails so a reviewer sees the
     # whole counter landscape, not just the counters that crossed the line.
     diff_rows = {}
+    # Every compared counter, for --md-out: (run label, counter, baseline,
+    # current, drift, status string).
+    md_rows = []
     for run_key, base_counters in sorted(baseline.items()):
         label = f"{run_key[0]} [{run_key[1]}]"
         cur_counters = current.get(run_key)
         if cur_counters is None:
             failures.append(f"{label}: run missing from current report")
+            md_rows.append((label, "(run)", "-", "missing", None, "FAIL"))
             continue
         rows = diff_rows.setdefault(label, [])
         run_failed = False
@@ -74,10 +113,14 @@ def main():
         for key, base_value in sorted(base_counters.items()):
             if ignore is not None and ignore.search(key):
                 ignored.append(key)
+                md_rows.append((label, key, base_value,
+                                cur_counters.get(key, "missing"), None,
+                                "skipped"))
                 continue
             if key not in cur_counters:
                 failures.append(f"{label}: counter {key} missing")
                 rows.append((key, base_value, None, None, True))
+                md_rows.append((label, key, base_value, "missing", None, "FAIL"))
                 run_failed = True
                 continue
             cur_value = cur_counters[key]
@@ -87,6 +130,8 @@ def main():
                     failures.append(f"{label}: {key} was 0, now {cur_value}")
                     run_failed = True
                 rows.append((key, base_value, cur_value, None, bad))
+                md_rows.append((label, key, base_value, cur_value, None,
+                                "FAIL" if bad else "ok"))
                 continue
             drift = (cur_value - base_value) / base_value
             bad = abs(drift) > args.tolerance
@@ -96,6 +141,8 @@ def main():
                     f"({base_value} -> {cur_value}, tolerance {args.tolerance:.0%})")
                 run_failed = True
             rows.append((key, base_value, cur_value, drift, bad))
+            md_rows.append((label, key, base_value, cur_value, drift,
+                            "FAIL" if bad else "ok"))
         if not run_failed:
             del diff_rows[label]
         if ignored:
@@ -104,8 +151,13 @@ def main():
         new_keys = sorted(set(cur_counters) - set(base_counters))
         if new_keys:
             infos.append(f"{label}: new counters (ok): {', '.join(new_keys)}")
+            for key in new_keys:
+                md_rows.append((label, key, "-", cur_counters[key], None, "new"))
     for run_key in sorted(set(current) - set(baseline)):
         infos.append(f"{run_key[0]} [{run_key[1]}]: new run (ok)")
+
+    if args.md_out:
+        write_markdown(args.md_out, md_rows, failures, args.tolerance)
 
     for line in infos:
         print(f"note: {line}")

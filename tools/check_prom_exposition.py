@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (format 0.0.4) document.
+
+Usage:
+    tools/check_prom_exposition.py [FILE] [--require-metric NAME]...
+                                   [--require-histogram NAME]...
+
+Reads FILE (or stdin) and checks the structural rules an exposition consumer
+relies on — stdlib only, no prometheus_client dependency:
+
+  * every non-comment line parses as  name[{labels}] value  with a legal
+    metric name ([a-zA-Z_:][a-zA-Z0-9_:]*), legal label names, quoted and
+    correctly escaped label values, and a float-parseable value
+    (NaN/+Inf/-Inf included);
+  * at most one  # TYPE <name> <counter|gauge|histogram|summary|untyped>
+    per metric family, appearing before the family's first sample;
+  * histogram families have  _bucket  series with an `le` label whose
+    cumulative counts are monotonically non-decreasing in le order and end
+    in an le="+Inf" bucket equal to  _count,  plus a  _sum  sample;
+  * no duplicate sample (same name + label set).
+
+--require-metric / --require-histogram fail the check when the named family
+is absent (the CI smoke uses these to pin the svc.latency.* histograms and
+the svc_* counters in the live /metrics endpoint).
+
+Exit codes: 0 valid, 1 violations found, 2 usage / unreadable input.
+"""
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value  — labels part captured raw, parsed separately.
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                     r"(counter|gauge|histogram|summary|untyped)$")
+
+
+def parse_labels(raw, errors, lineno):
+    """'{a="x",b="y"}' -> dict; appends to errors on malformed input."""
+    labels = {}
+    body = raw[1:-1]
+    i = 0
+    while i < len(body):
+        m = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', body[i:])
+        if not m:
+            errors.append(f"line {lineno}: malformed label at ...{body[i:i+30]!r}")
+            return labels
+        name = m.group(1)
+        i += m.end()
+        value = []
+        while i < len(body):
+            c = body[i]
+            if c == "\\":
+                if i + 1 >= len(body) or body[i + 1] not in '\\"n':
+                    errors.append(f"line {lineno}: bad escape in label {name}")
+                    return labels
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[body[i + 1]])
+                i += 2
+            elif c == '"':
+                i += 1
+                break
+            else:
+                value.append(c)
+                i += 1
+        else:
+            errors.append(f"line {lineno}: unterminated label value for {name}")
+            return labels
+        if name in labels:
+            errors.append(f"line {lineno}: duplicate label {name}")
+        labels[name] = "".join(value)
+        if i < len(body):
+            if body[i] != ",":
+                errors.append(f"line {lineno}: expected ',' between labels")
+                return labels
+            i += 1
+    return labels
+
+
+def parse_value(text, errors, lineno):
+    try:
+        return float(text)
+    except ValueError:
+        errors.append(f"line {lineno}: unparseable value {text!r}")
+        return None
+
+
+def base_family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", nargs="?", default="-",
+                    help="exposition file (default: stdin)")
+    ap.add_argument("--require-metric", action="append", default=[],
+                    metavar="NAME", help="fail unless this family has samples")
+    ap.add_argument("--require-histogram", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless this family is a complete histogram")
+    args = ap.parse_args()
+
+    try:
+        text = (sys.stdin.read() if args.file == "-"
+                else open(args.file, encoding="utf-8").read())
+    except OSError as e:
+        print(f"error: cannot read {args.file}: {e}", file=sys.stderr)
+        return 2
+
+    errors = []
+    types = {}            # family -> declared type
+    samples_seen = set()  # (name, frozen labels) for duplicate detection
+    families = set()      # families with at least one sample
+    # histogram family -> {"buckets": [(le, value, labels-minus-le)],
+    #                      "sum": bool, "count": {labelset: value}}
+    histograms = {}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if m:
+                family, ftype = m.groups()
+                if family in types:
+                    errors.append(f"line {lineno}: duplicate # TYPE for {family}")
+                elif family in families:
+                    errors.append(
+                        f"line {lineno}: # TYPE {family} after its samples")
+                else:
+                    types[family] = ftype
+            elif not line.startswith("# HELP") and not line.startswith("# EOF"):
+                # Arbitrary comments are legal; only malformed TYPE lines are not.
+                if line.startswith("# TYPE"):
+                    errors.append(f"line {lineno}: malformed # TYPE line")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name, raw_labels, raw_value = m.groups()
+        labels = parse_labels(raw_labels, errors, lineno) if raw_labels else {}
+        value = parse_value(raw_value, errors, lineno)
+        key = (name, tuple(sorted(labels.items())))
+        if key in samples_seen:
+            errors.append(f"line {lineno}: duplicate sample {name}{labels}")
+        samples_seen.add(key)
+        family = base_family(name) if types.get(base_family(name)) == "histogram" \
+            else name
+        families.add(family)
+        if types.get(family) == "histogram" and value is not None:
+            h = histograms.setdefault(family, {"buckets": {}, "sum": False,
+                                               "count": {}})
+            rest = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"line {lineno}: {name} without le label")
+                else:
+                    h["buckets"].setdefault(rest, []).append(
+                        (labels["le"], value, lineno))
+            elif name.endswith("_sum"):
+                h["sum"] = True
+            elif name.endswith("_count"):
+                h["count"][rest] = value
+
+    for family, h in sorted(histograms.items()):
+        if not h["sum"]:
+            errors.append(f"histogram {family}: missing _sum")
+        if not h["count"]:
+            errors.append(f"histogram {family}: missing _count")
+        for rest, buckets in sorted(h["buckets"].items()):
+            les = [b[0] for b in buckets]
+            if les != sorted(les, key=lambda s: math.inf if s == "+Inf"
+                             else float(s)):
+                errors.append(f"histogram {family}{dict(rest)}: le out of order")
+            prev = -1.0
+            for le, value, lineno in buckets:
+                if value < prev:
+                    errors.append(f"line {lineno}: {family} bucket le={le} "
+                                  f"not cumulative ({value} < {prev})")
+                prev = value
+            if not les or les[-1] != "+Inf":
+                errors.append(f"histogram {family}{dict(rest)}: no +Inf bucket")
+            elif rest in h["count"] and buckets[-1][1] != h["count"][rest]:
+                errors.append(f"histogram {family}{dict(rest)}: +Inf bucket "
+                              f"{buckets[-1][1]} != _count {h['count'][rest]}")
+
+    for name in args.require_metric:
+        if name not in families:
+            errors.append(f"required metric {name} absent")
+    for name in args.require_histogram:
+        if name not in histograms:
+            errors.append(f"required histogram {name} absent or not declared "
+                          f"'# TYPE {name} histogram'")
+
+    if errors:
+        print(f"FAIL: {len(errors)} exposition violation(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"OK: {len(samples_seen)} samples, {len(families)} families, "
+          f"{len(histograms)} histograms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
