@@ -20,12 +20,17 @@
 //
 // Modes:
 //   --quick            one worker count (4) instead of {1,2,4,8}
-//   --smoke            profiler-overhead gate: the same deterministic job set
-//                      runs with and without JobSpec::profile; results must
-//                      be bit-identical and the profiled wall-clock (best of
-//                      3) within 10% of the unprofiled one
+//   --smoke            overhead gates: the same deterministic job set runs
+//                      (a) with and without JobSpec::profile and (b) with and
+//                      without distributed tracing (TraceSink + EventLog at
+//                      phase detail); results must be bit-identical in both
+//                      comparisons and each instrumented wall-clock (best of
+//                      3) within 10% of the plain one
 //   --metrics-out F    write the final run's svc.* registry (latency
-//                      histograms included) as a metrics.v1 JSON report
+//                      histograms included) as a metrics.v1 JSON report;
+//                      traced runs graft their spans in as a spans.v1 section
+//   --trace-out F      write the traced run's spans as a standalone spans.v1
+//                      document (CI feeds this to tools/check_trace_spans.py)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -35,7 +40,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/log.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "sim/alchemist_sim.h"
 #include "sim/event_sim.h"
 #include "svc/job_runner.h"
@@ -95,7 +102,10 @@ std::vector<std::array<sim::SimResult, 2>> make_references(
 
 bool run_soak(std::size_t workers, const std::vector<GraphPtr>& graphs,
               const std::vector<std::array<sim::SimResult, 2>>& refs,
-              SoakStats& out) {
+              SoakStats& out, obs::TraceSink* trace = nullptr,
+              obs::EventLog* log = nullptr) {
+  if (trace != nullptr) trace->clear();
+  if (log != nullptr) log->clear();
   svc::RunnerOptions opts;
   opts.workers = workers;
   opts.queue_capacity = kQueueCap;
@@ -104,6 +114,8 @@ bool run_soak(std::size_t workers, const std::vector<GraphPtr>& graphs,
   opts.backoff.base_us = 50;
   opts.backoff.cap_us = 1000;
   opts.start_paused = true;  // deterministic queue pressure + cancellation
+  opts.trace = trace;
+  opts.log = log;
   svc::JobRunner runner(opts);
 
   // Wave 1: seeded mixed burst against parked workers.
@@ -182,6 +194,9 @@ bool run_soak(std::size_t workers, const std::vector<GraphPtr>& graphs,
     spec.graph = graphs[graph_of[i]];
     spec.engine = engine_of[i] == 0 ? svc::Engine::Level : svc::Engine::Event;
     spec.resume_from = cp;
+    // Continue the interrupted job's trace: both halves of the run share one
+    // trace id, with the resume's root span parented under the original.
+    spec.trace = handles[i]->trace_context();
     resumes.emplace_back(i, runner.submit(std::move(spec)));
   }
   runner.drain();
@@ -243,28 +258,41 @@ bool run_soak(std::size_t workers, const std::vector<GraphPtr>& graphs,
   return true;
 }
 
-// Profiler-overhead gate: a deterministic fault-free job set through a
-// 4-worker runner, once with JobSpec::profile off and once on (best wall of
-// kReps each). The simulated outcome must be bit-identical and the profiled
-// wall-clock within kMaxOverhead of the unprofiled one.
-bool run_smoke() {
+// Instrumentation-overhead gates: a deterministic fault-free job set through
+// a 4-worker runner, once plain, once with JobSpec::profile, and once under
+// distributed tracing (TraceSink + EventLog, phase detail). Each instrumented
+// configuration must reproduce the plain simulated outcome bit for bit and
+// land within kMaxOverhead of the plain wall-clock (best of kReps each).
+bool run_smoke(const std::string& trace_out) {
   constexpr std::size_t kSmokeJobs = 16;
-  constexpr int kReps = 3;
+  constexpr int kReps = 5;
   constexpr double kMaxOverhead = 0.10;
 
-  // Heavyweight jobs — the overhead gate is about profiling realistic runs,
-  // not amortizing fixed per-job cost over microsecond-long toy graphs.
+  // Heavyweight jobs — the overhead gate is about instrumenting realistic
+  // runs, not amortizing fixed per-job cost over microsecond-long toy graphs.
   std::vector<GraphPtr> graphs;
   graphs.push_back(std::make_shared<metaop::OpGraph>(
       workloads::build_bootstrapping(workloads::CkksWl::paper(44), true)));
   graphs.push_back(std::make_shared<metaop::OpGraph>(
       workloads::build_helr_iteration(workloads::CkksWl::paper(30))));
 
-  auto run = [&](bool profile, std::vector<sim::SimResult>& results,
+  // The bootstrap graphs emit ~90k phase spans per run; size the ring so the
+  // --trace-out document keeps every span (parents included) for the checker.
+  obs::TraceSink sink(1 << 17);
+  obs::EventLog log;
+  svc::TraceSummary slowest{};
+  auto run = [&](bool profile, bool traced, std::vector<sim::SimResult>& results,
                  obs::Registry* reg_out) {
     svc::RunnerOptions opts;
     opts.workers = 4;
     opts.queue_capacity = kSmokeJobs;
+    if (traced) {
+      sink.clear();
+      log.clear();
+      opts.trace = &sink;
+      opts.log = &log;
+      opts.trace_detail = obs::TraceDetail::Phases;
+    }
     svc::JobRunner runner(opts);
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<svc::JobPtr> handles;
@@ -285,37 +313,59 @@ bool run_smoke() {
     for (const svc::JobPtr& h : handles) {
       if (h->state() != svc::JobState::Completed) return -1.0;
       results.push_back(h->result());
+      if (traced) {
+        const svc::TraceSummary s = h->trace_summary();
+        if (s.total_us > slowest.total_us) slowest = s;
+      }
     }
     if (reg_out != nullptr) *reg_out = runner.snapshot();
     return wall_ms;
   };
 
-  double wall_off = 1e300, wall_on = 1e300;
-  std::vector<sim::SimResult> base, profiled, scratch;
+  double wall_off = 1e300, wall_profiled = 1e300, wall_traced = 1e300;
+  std::vector<sim::SimResult> base, profiled, traced, scratch;
   obs::Registry last_reg;
   for (int rep = 0; rep < kReps; ++rep) {
-    const double ms = run(false, scratch, nullptr);
-    if (ms < 0) { std::fprintf(stderr, "smoke: unprofiled job failed\n"); return false; }
+    const double ms = run(false, false, scratch, nullptr);
+    if (ms < 0) { std::fprintf(stderr, "smoke: plain job failed\n"); return false; }
     wall_off = std::min(wall_off, ms);
     if (rep == 0) base = scratch;
   }
   for (int rep = 0; rep < kReps; ++rep) {
-    const double ms = run(true, scratch, &last_reg);
+    const double ms = run(true, false, scratch, &last_reg);
     if (ms < 0) { std::fprintf(stderr, "smoke: profiled job failed\n"); return false; }
-    wall_on = std::min(wall_on, ms);
+    wall_profiled = std::min(wall_profiled, ms);
     if (rep == 0) profiled = scratch;
+  }
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double ms = run(false, true, scratch, nullptr);
+    if (ms < 0) { std::fprintf(stderr, "smoke: traced job failed\n"); return false; }
+    wall_traced = std::min(wall_traced, ms);
+    if (rep == 0) traced = scratch;
   }
   std::printf("svc_soak --smoke: per-class latency of the last profiled run:\n");
   print_class_latency(last_reg);
 
+  auto identical = [&](const std::vector<sim::SimResult>& other,
+                       const char* what) {
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const sim::SimResult& a = base[i];
+      const sim::SimResult& b = other[i];
+      if (a.cycles != b.cycles || a.time_us != b.time_us ||
+          a.registry.counters() != b.registry.counters()) {
+        std::fprintf(stderr, "smoke: %s result of job %zu not bit-identical\n",
+                     what, i);
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!identical(profiled, "profiled") || !identical(traced, "traced")) {
+    return false;
+  }
   for (std::size_t i = 0; i < base.size(); ++i) {
     const sim::SimResult& a = base[i];
     const sim::SimResult& b = profiled[i];
-    if (a.cycles != b.cycles || a.time_us != b.time_us ||
-        a.registry.counters() != b.registry.counters()) {
-      std::fprintf(stderr, "smoke: profiled result of job %zu not bit-identical\n", i);
-      return false;
-    }
     if (a.profile.enabled() || !b.profile.enabled()) {
       std::fprintf(stderr, "smoke: profile presence wrong for job %zu\n", i);
       return false;
@@ -327,16 +377,35 @@ bool run_smoke() {
       }
     }
   }
-  const double overhead = (wall_on - wall_off) / wall_off;
-  std::printf("svc_soak --smoke: wall %0.2f ms off / %0.2f ms on -> overhead %+.1f%% "
-              "(gate <%.0f%%), results bit-identical\n",
-              wall_off, wall_on, 100.0 * overhead, 100.0 * kMaxOverhead);
-  if (overhead >= kMaxOverhead) {
-    std::fprintf(stderr, "svc_soak FAILED: profiler overhead %.1f%% exceeds gate\n",
-                 100.0 * overhead);
-    return false;
+  bool ok = true;
+  for (const auto& [label, wall] :
+       {std::pair<const char*, double>{"profiler", wall_profiled},
+        {"tracing", wall_traced}}) {
+    const double overhead = (wall - wall_off) / wall_off;
+    std::printf("svc_soak --smoke: wall %0.2f ms off / %0.2f ms %s -> overhead "
+                "%+.1f%% (gate <%.0f%%), results bit-identical\n",
+                wall_off, wall, label, 100.0 * overhead, 100.0 * kMaxOverhead);
+    if (overhead >= kMaxOverhead) {
+      std::fprintf(stderr, "svc_soak FAILED: %s overhead %.1f%% exceeds gate\n",
+                   label, 100.0 * overhead);
+      ok = false;
+    }
   }
-  return true;
+  std::printf("svc_soak --smoke: %llu spans, %llu log events; slowest trace "
+              "0x%016llx queue %.2f ms run %.2f ms sim %.2f ms\n",
+              static_cast<unsigned long long>(sink.recorded()),
+              static_cast<unsigned long long>(log.recorded()),
+              static_cast<unsigned long long>(slowest.trace_id),
+              slowest.queue_us / 1000.0, slowest.run_us / 1000.0,
+              slowest.sim_us / 1000.0);
+  if (!trace_out.empty()) {
+    if (!obs::write_spans_file(trace_out, sink, "svc_soak")) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return false;
+    }
+    std::printf("trace: %s (spans.v1)\n", trace_out.c_str());
+  }
+  return ok;
 }
 
 }  // namespace
@@ -344,14 +413,17 @@ bool run_smoke() {
 int main(int argc, char** argv) {
   std::vector<std::size_t> worker_counts = {1, 2, 4, 8};
   bool smoke = false;
-  std::string metrics_out;
+  std::string metrics_out, trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") worker_counts = {4};
     else if (arg == "--smoke") smoke = true;
     else if (arg == "--metrics-out" && i + 1 < argc) metrics_out = argv[++i];
+    else if (arg == "--trace-out" && i + 1 < argc) trace_out = argv[++i];
     else {
-      std::fprintf(stderr, "usage: svc_soak [--quick] [--smoke] [--metrics-out F]\n");
+      std::fprintf(stderr,
+                   "usage: svc_soak [--quick] [--smoke] [--metrics-out F] "
+                   "[--trace-out F]\n");
       return 2;
     }
   }
@@ -364,12 +436,18 @@ int main(int argc, char** argv) {
   graphs.push_back(std::make_shared<metaop::OpGraph>(workloads::build_keyswitch(w)));
 
   if (smoke) {
-    if (!run_smoke()) return 1;
+    if (!run_smoke(trace_out)) return 1;
     std::printf("svc_soak OK\n");
     return 0;
   }
 
   const auto refs = make_references(graphs, arch::ArchConfig::alchemist());
+
+  // Every full soak runs traced: the hostile mix (shed storms, breaker trips,
+  // checkpoint/resume) is exactly what the span tree has to survive. The sink
+  // is cleared per run, so it ends holding the last worker count's spans.
+  obs::TraceSink trace_sink;
+  obs::EventLog event_log;
 
   std::printf("svc_soak: %zu jobs/run (+%zu poison, + resumes), queue %zu, seed 0x%llx\n",
               kJobs, kPoisonJobs, kQueueCap,
@@ -381,7 +459,7 @@ int main(int argc, char** argv) {
   bool first_set = false;
   for (std::size_t workers : worker_counts) {
     SoakStats s;
-    if (!run_soak(workers, graphs, refs, s)) return 1;
+    if (!run_soak(workers, graphs, refs, s, &trace_sink, &event_log)) return 1;
     last = s;
     std::printf("| %7zu | %19.0f | %8.2f | %9llu | %10llu | %6llu | %9llu | %7llu | %4llu | %7llu |\n",
                 workers, s.throughput, s.p99_ms,
@@ -406,14 +484,27 @@ int main(int argc, char** argv) {
   }
   std::printf("per-class end-to-end latency (last run):\n");
   print_class_latency(last.reg);
+  std::printf("flight recorder (last run): %llu spans (%llu dropped), "
+              "%llu log events\n",
+              static_cast<unsigned long long>(trace_sink.recorded()),
+              static_cast<unsigned long long>(trace_sink.dropped()),
+              static_cast<unsigned long long>(event_log.recorded()));
   if (!metrics_out.empty()) {
     obs::MetricsReport report("svc_soak");
     report.add("svc_soak_mix", "JobRunner", last.reg);
+    report.attach_spans(trace_sink);
     if (!report.write_file(metrics_out)) {
       std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
       return 1;
     }
     std::printf("metrics: %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!obs::write_spans_file(trace_out, trace_sink, "svc_soak")) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace: %s (spans.v1)\n", trace_out.c_str());
   }
   std::printf("svc_soak OK\n");
   return 0;

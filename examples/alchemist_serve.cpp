@@ -13,19 +13,31 @@
 //
 // --introspect-port starts the live introspection window (svc/introspect.h):
 // /healthz, /metrics (Prometheus exposition of svc.latency.* histograms,
-// svc.* counters and substrate.* activity), /statusz (JSON). --loop-seconds
-// keeps resubmitting the job list for at least S seconds so an external
-// scraper has a running service to poll — CI's smoke job curls the endpoints
-// mid-soak.
+// svc.* counters and substrate.* activity), /statusz (JSON), /buildz (build
+// provenance) and — when tracing is on — /tracez (recent + slowest spans)
+// and /logz (flight-recorder tail). --loop-seconds keeps resubmitting the
+// job list for at least S seconds so an external scraper has a running
+// service to poll — CI's smoke job curls the endpoints mid-soak.
+//
+// Tracing (--trace-out, --timeline-out, or any --introspect-port) threads a
+// TraceContext through every job: queue/attempt/backoff spans from the
+// runner, per-level (or per-op, --trace-detail ops) spans from the engines,
+// fan-out spans from the compute pool. --trace-out writes the spans.v1
+// document; --timeline-out writes a Chrome trace with the span tracks merged
+// in and per-job flow arrows (open in Perfetto).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/log.h"
 #include "obs/substrate_metrics.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 #include "svc/introspect.h"
 #include "svc/job_runner.h"
 #include "workloads/ckks_workloads.h"
@@ -39,13 +51,23 @@ int usage() {
                "usage: alchemist_serve [--workers N] [--jobs N] [--fault-rate R]\n"
                "       [--deadline-ms D] [--queue N] [--seed S] [--threads N]\n"
                "       [--introspect-port P] [--loop-seconds S]\n"
+               "       [--trace-out PATH] [--timeline-out PATH]\n"
+               "       [--trace-detail lifecycle|phases|ops]\n"
                "  --threads N  width of the shared compute pool the kernels of\n"
                "               every job fan out on (default: ALCHEMIST_THREADS\n"
                "               or hardware concurrency; 1 = sequential)\n"
-               "  --introspect-port P  serve /healthz /metrics /statusz on\n"
-               "               127.0.0.1:P (0 = ephemeral; port is printed)\n"
+               "  --introspect-port P  serve /healthz /metrics /statusz /buildz\n"
+               "               /tracez /logz on 127.0.0.1:P (0 = ephemeral; the\n"
+               "               resolved port is printed)\n"
                "  --loop-seconds S  resubmit the job list for at least S\n"
-               "               seconds (soak mode for live scraping)\n");
+               "               seconds (soak mode for live scraping)\n"
+               "  --trace-out PATH  write the spans.v1 trace document\n"
+               "  --timeline-out PATH  write a Chrome trace (Perfetto) with\n"
+               "               job lifecycle slices, span tracks and per-job\n"
+               "               queue->run flow arrows\n"
+               "  --trace-detail  span volume from the simulator engines:\n"
+               "               lifecycle (none), phases (per level; default),\n"
+               "               ops (every scheduled meta-op)\n");
   return 2;
 }
 
@@ -56,6 +78,8 @@ int main(int argc, char** argv) {
   double fault_rate = 2e-9, deadline_ms = 0.0, loop_seconds = 0.0;
   int introspect_port = -1;
   u64 seed = 0xa1c4'e5ull;
+  std::string trace_out, timeline_out;
+  obs::TraceDetail trace_detail = obs::TraceDetail::Phases;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -73,6 +97,15 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") seed = static_cast<u64>(std::strtoull(next(), nullptr, 0));
     else if (arg == "--introspect-port") introspect_port = std::atoi(next());
     else if (arg == "--loop-seconds") loop_seconds = std::atof(next());
+    else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--timeline-out") timeline_out = next();
+    else if (arg == "--trace-detail") {
+      const std::string d = next();
+      if (d == "lifecycle") trace_detail = obs::TraceDetail::Lifecycle;
+      else if (d == "phases") trace_detail = obs::TraceDetail::Phases;
+      else if (d == "ops") trace_detail = obs::TraceDetail::Ops;
+      else return usage();
+    }
     else if (arg == "--threads") {
       const long long t = std::atoll(next());
       if (t <= 0) return usage();
@@ -90,15 +123,33 @@ int main(int argc, char** argv) {
   graphs.push_back(std::make_shared<metaop::OpGraph>(workloads::build_rotation(w)));
   graphs.push_back(std::make_shared<metaop::OpGraph>(workloads::build_keyswitch(w)));
 
+  // Tracing + flight recorder: on whenever an output file or the live
+  // introspection window wants them.
+  const bool tracing =
+      !trace_out.empty() || !timeline_out.empty() || introspect_port >= 0;
+  obs::TraceSink trace_sink;
+  obs::EventLog event_log;
+  obs::Timeline timeline(!timeline_out.empty());
+
   svc::RunnerOptions opts;
   opts.workers = workers;
   opts.queue_capacity = queue;
+  if (tracing) {
+    opts.trace = &trace_sink;
+    opts.trace_detail = trace_detail;
+    opts.log = &event_log;
+    if (timeline.enabled()) opts.timeline = &timeline;
+  }
   svc::JobRunner runner(opts);
 
   // Live introspection window: /metrics merges the runner's svc.* snapshot
-  // (latency histograms included) with the shared pool's substrate.* view.
+  // (latency histograms included) with the shared pool's substrate.* view;
+  // /tracez and /logz serve the span ring and the flight recorder live.
   std::unique_ptr<svc::IntrospectionServer> introspect;
   if (introspect_port >= 0) {
+    svc::IntrospectionOptions iopts;
+    iopts.trace = &trace_sink;
+    iopts.log = &event_log;
     introspect = std::make_unique<svc::IntrospectionServer>(
         introspect_port,
         [&runner] {
@@ -106,14 +157,16 @@ int main(int argc, char** argv) {
           reg.merge(obs::substrate_registry());
           return reg;
         },
-        [&runner] { return runner.status_json(); });
+        [&runner] { return runner.status_json(); }, iopts);
     if (!introspect->ok()) {
       std::fprintf(stderr, "introspection server failed: %s\n",
                    introspect->error().c_str());
       return 1;
     }
-    std::printf("introspection on http://127.0.0.1:%d (/healthz /metrics /statusz)\n",
-                introspect->port());
+    std::printf(
+        "introspection on http://127.0.0.1:%d "
+        "(/healthz /metrics /statusz /buildz /tracez /logz)\n",
+        introspect->port());
     std::fflush(stdout);
   }
 
@@ -190,6 +243,51 @@ int main(int argc, char** argv) {
   }
   std::printf("  yield              %.1f %%\n",
               100.0 * static_cast<double>(completed) / static_cast<double>(submitted));
+
+  if (tracing) {
+    // Flight-recorder digest: span/log volume plus the slowest job's
+    // per-stage TraceSummary, so the trace id to chase is in the output.
+    std::printf("  spans              %llu recorded, %llu dropped; "
+                "%llu log events\n",
+                static_cast<unsigned long long>(trace_sink.recorded()),
+                static_cast<unsigned long long>(trace_sink.dropped()),
+                static_cast<unsigned long long>(event_log.recorded()));
+    const svc::Job* slowest = nullptr;
+    svc::TraceSummary slow{};
+    for (const svc::JobPtr& h : handles) {
+      const svc::TraceSummary s = h->trace_summary();
+      if (slowest == nullptr || s.total_us > slow.total_us) {
+        slowest = h.get();
+        slow = s;
+      }
+    }
+    if (slowest != nullptr) {
+      std::printf("  slowest trace      0x%016llx  queue %.2f ms, run %.2f ms "
+                  "(backoff %.2f, sim %.2f), %zu attempt(s), %llu ckpt bytes\n",
+                  static_cast<unsigned long long>(slow.trace_id),
+                  slow.queue_us / 1000.0, slow.run_us / 1000.0,
+                  slow.backoff_us / 1000.0, slow.sim_us / 1000.0, slow.attempts,
+                  static_cast<unsigned long long>(slow.checkpoint_bytes));
+    }
+  }
+  if (!trace_out.empty()) {
+    if (!obs::write_spans_file(trace_out, trace_sink, "alchemist_serve")) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("  trace              %s (spans.v1)\n", trace_out.c_str());
+  }
+  if (!timeline_out.empty()) {
+    obs::merge_spans_into_timeline(trace_sink.snapshot(), timeline);
+    std::ofstream f(timeline_out);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", timeline_out.c_str());
+      return 1;
+    }
+    timeline.write_chrome_trace(f);
+    std::printf("  timeline           %s (chrome trace + span tracks + flows)\n",
+                timeline_out.c_str());
+  }
 
   // The terminal-state counters must partition svc.submitted, and every
   // handle must have reached a terminal state once drain() returned.

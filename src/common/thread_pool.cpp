@@ -5,6 +5,11 @@
 #include <exception>
 #include <stdexcept>
 
+// Header-only pieces of the trace substrate (TraceSink::record and the
+// ambient thread-local are inline), so adopting the submitting span's context
+// adds no link dependency on the obs library.
+#include "obs/trace.h"
+
 namespace alchemist {
 
 namespace {
@@ -129,9 +134,43 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain, const RangeFn& f
   if (n == 0) return;
   if (grain == 0) grain = 1;
   const std::size_t width = num_threads();
+  // Fan-out tracing: top-level calls on a traced thread record one child span
+  // of the ambient context (obs/trace.h). Only top-level calls mint spans —
+  // nested fan-outs run inline on whichever lane claimed the chunk, so their
+  // ordinals would depend on scheduling. The ordinal counter lives in the
+  // ambient scope and the owning thread issues fan-outs sequentially, so the
+  // k-th fan-out of a job always mints the same span id regardless of pool
+  // width (the inline fast path below records the same span).
+  obs::AmbientTrace& ambient = obs::ambient_trace();
+  const bool span_this = !t_on_worker && ambient.active();
+  obs::TraceContext span_ctx;
+  double span_start = 0;
+  if (span_this) {
+    span_ctx = obs::child_context(ambient.ctx, "parallel_for",
+                                  ambient.next_ordinal++);
+    span_start = ambient.sink->now_us();
+  }
+  auto record_span = [&](std::size_t chunks) {
+    if (!span_this) return;
+    obs::SpanRecord s;
+    s.trace_id = span_ctx.trace_id;
+    s.span_id = span_ctx.span_id;
+    s.parent_span = span_ctx.parent_span;
+    s.name = "parallel_for";
+    s.kind = "pool";
+    s.track = "pool";
+    s.clock = obs::SpanClock::WallUs;
+    s.ts = span_start;
+    s.dur = ambient.sink->now_us() - span_start;
+    s.num_attrs = {{"n", static_cast<double>(n)},
+                   {"chunks", static_cast<double>(chunks)},
+                   {"width", static_cast<double>(width)}};
+    ambient.sink->record(std::move(s));
+  };
   if (width == 1 || n <= grain || t_on_worker) {
     inline_runs_.fetch_add(1, std::memory_order_relaxed);
     fn(0, n);
+    record_span(1);
     return;
   }
   auto task = std::make_shared<Task>();
@@ -166,6 +205,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain, const RangeFn& f
     const auto it = std::find(tasks_.begin(), tasks_.end(), task);
     if (it != tasks_.end()) tasks_.erase(it);
   }
+  record_span(task->chunks);
   if (task->error) std::rethrow_exception(task->error);
 }
 

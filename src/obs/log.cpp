@@ -1,0 +1,80 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace alchemist::obs {
+
+namespace {
+
+std::string hex_id(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+}  // namespace
+
+Severity parse_severity(const std::string& s, Severity fallback) {
+  if (s == "debug") return Severity::Debug;
+  if (s == "info") return Severity::Info;
+  if (s == "warn" || s == "warning") return Severity::Warn;
+  if (s == "error") return Severity::Error;
+  return fallback;
+}
+
+std::vector<LogEvent> EventLog::tail(std::size_t n, Severity min_sev) const {
+  const std::vector<LogEvent> all = snapshot();
+  std::vector<LogEvent> out;
+  // Walk newest-first collecting matches, then restore oldest-first order.
+  for (auto it = all.rbegin(); it != all.rend() && out.size() < n; ++it) {
+    if (it->severity >= min_sev) out.push_back(*it);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string log_event_json(const LogEvent& ev) {
+  std::ostringstream out;
+  out << "{\"ts_us\":" << json_number(ev.ts_us) << ",\"sev\":\""
+      << to_string(ev.severity)
+      << "\",\"component\":" << json_string(ev.component)
+      << ",\"msg\":" << json_string(ev.message);
+  if (ev.trace_id != 0) {
+    out << ",\"trace\":\"" << hex_id(ev.trace_id) << "\",\"span\":\""
+        << hex_id(ev.span_id) << '"';
+  }
+  out << ",\"fields\":{";
+  bool first = true;
+  for (const auto& [k, v] : ev.fields) {
+    if (!first) out << ',';
+    first = false;
+    out << json_string(k) << ':' << json_string(v);
+  }
+  out << "},\"num\":{";
+  first = true;
+  for (const auto& [k, v] : ev.num_fields) {
+    if (!first) out << ',';
+    first = false;
+    out << json_string(k) << ':' << json_number(v);
+  }
+  out << "}}";
+  return out.str();
+}
+
+void write_log_jsonl(std::ostream& out, const std::vector<LogEvent>& events) {
+  for (const LogEvent& ev : events) out << log_event_json(ev) << '\n';
+}
+
+std::string log_jsonl(const std::vector<LogEvent>& events) {
+  std::ostringstream out;
+  write_log_jsonl(out, events);
+  return out.str();
+}
+
+}  // namespace alchemist::obs

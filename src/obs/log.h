@@ -1,0 +1,150 @@
+// Structured event log ("flight recorder") for the serving stack.
+//
+// A bounded ring of structured events — severity, logical component, message,
+// key/value fields, and the trace/span ids of the job that caused the event —
+// kept in memory so the last N interesting things the process did are always
+// inspectable: `/logz` tails the ring over HTTP, and the whole buffer exports
+// as JSON lines (one object per line) for offline triage.
+//
+// Design points, mirroring obs/trace.h:
+//   * Bounded and non-blocking: overflow overwrites the oldest event and
+//     bumps dropped(); the serving path never waits on the recorder.
+//   * Deterministic timestamps on demand: events are stamped from the log's
+//     clock, which tests replace with a virtual clock (set_clock) so that
+//     recorded flight logs are bit-reproducible.
+//   * Zero-allocation no-op path: call sites guard on a null EventLog* before
+//     building the event, so a disabled recorder costs one pointer test.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace alchemist::obs {
+
+enum class Severity : std::uint8_t { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+inline const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Debug: return "debug";
+    case Severity::Info: return "info";
+    case Severity::Warn: return "warn";
+    case Severity::Error: return "error";
+  }
+  return "info";
+}
+
+// "debug"/"info"/"warn"/"error" (also accepts "warning"); defaults to
+// `fallback` on anything unrecognised — used by the /logz?min= query filter.
+Severity parse_severity(const std::string& s, Severity fallback = Severity::Debug);
+
+struct LogEvent {
+  double ts_us = 0;  // log clock microseconds (virtual clock when installed)
+  Severity severity = Severity::Info;
+  std::string component;  // "svc", "sim", "introspect", ...
+  std::string message;
+  std::uint64_t trace_id = 0;  // 0 when the event is not tied to a job
+  std::uint64_t span_id = 0;
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::vector<std::pair<std::string, double>> num_fields;
+};
+
+class EventLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit EventLog(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        epoch_(std::chrono::steady_clock::now()) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+  double now_us() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (clock_) return clock_();
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+  void set_clock(std::function<double()> now_us_fn) {
+    std::lock_guard<std::mutex> lk(mu_);
+    clock_ = std::move(now_us_fn);
+  }
+
+  // Stamps ev.ts_us from the log clock unless the caller already set one.
+  void record(LogEvent ev) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++recorded_;
+    if (ev.ts_us == 0) {
+      ev.ts_us = clock_ ? clock_()
+                        : std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - epoch_)
+                              .count();
+    }
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(ev));
+    } else {
+      ring_[head_] = std::move(ev);
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+    }
+  }
+
+  std::uint64_t recorded() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return recorded_;
+  }
+  std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return dropped_;
+  }
+
+  // Point-in-time copy, oldest first.
+  std::vector<LogEvent> snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<LogEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  // Newest `n` events at or above `min_sev`, oldest first.
+  std::vector<LogEvent> tail(std::size_t n,
+                             Severity min_sev = Severity::Debug) const;
+
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ring_.clear();
+    head_ = 0;
+    recorded_ = dropped_ = 0;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::function<double()> clock_;
+  std::vector<LogEvent> ring_;
+  std::size_t head_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// One JSON object per event, e.g.
+//   {"ts_us":12.5,"sev":"info","component":"svc","msg":"job completed",
+//    "trace":"0xabc...","span":"0xdef...","fields":{"class":"bootstrap"},
+//    "num":{"attempts":2}}
+std::string log_event_json(const LogEvent& ev);
+
+// JSON lines (one event per line, oldest first), used by /logz and file dumps.
+void write_log_jsonl(std::ostream& out, const std::vector<LogEvent>& events);
+std::string log_jsonl(const std::vector<LogEvent>& events);
+
+}  // namespace alchemist::obs

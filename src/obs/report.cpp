@@ -112,8 +112,10 @@ void MetricsReport::write_json(std::ostream& out) const {
       first = false;
       out << "        " << json_string(key) << ": " << json_number(value);
     }
+    const bool has_spans = !run.spans.empty() || run.spans_recorded > 0;
     const bool more =
-        !run.registry.histograms().empty() || run.profile.enabled();
+        !run.registry.histograms().empty() || run.profile.enabled() ||
+        has_spans;
     out << (first ? "}" : "\n      }") << (more ? ",\n" : "\n");
     if (!run.registry.histograms().empty()) {
       out << "      \"histograms\": {";
@@ -125,11 +127,17 @@ void MetricsReport::write_json(std::ostream& out) const {
         write_histogram(out, hist);
       }
       out << (first ? "}" : "\n      }")
-          << (run.profile.enabled() ? ",\n" : "\n");
+          << (run.profile.enabled() || has_spans ? ",\n" : "\n");
     }
     if (run.profile.enabled()) {
       write_utilization(out, run.profile);
-      out << "\n";
+      out << (has_spans ? ",\n" : "\n");
+    }
+    if (has_spans) {
+      out << "      \"spans\": ";
+      write_spans_json(out, run.spans, run.spans_recorded, run.spans_dropped,
+                       tool_);
+      // write_spans_json ends with a newline; nothing else to close here.
     }
     out << "    }";
   }

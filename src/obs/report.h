@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "obs/utilization.h"
 
 namespace alchemist::obs {
@@ -42,6 +43,9 @@ struct RunMetrics {
   std::string accelerator;
   Registry registry;
   UtilizationProfile profile;  // empty unless the run was profiled
+  std::vector<SpanRecord> spans;  // spans.v1 section; empty unless traced
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t spans_dropped = 0;
 };
 
 class MetricsReport {
@@ -50,8 +54,12 @@ class MetricsReport {
 
   void add(std::string workload, std::string accelerator, Registry registry,
            UtilizationProfile profile = {}) {
-    runs_.push_back({std::move(workload), std::move(accelerator),
-                     std::move(registry), std::move(profile)});
+    RunMetrics run;
+    run.workload = std::move(workload);
+    run.accelerator = std::move(accelerator);
+    run.registry = std::move(registry);
+    run.profile = std::move(profile);
+    runs_.push_back(std::move(run));
   }
   // Any type with .workload / .accelerator / .registry members (sim::SimResult
   // in practice; a template keeps obs below sim in the layering). A .profile
@@ -63,6 +71,20 @@ class MetricsReport {
     } else {
       add(result.workload, result.accelerator, result.registry);
     }
+  }
+
+  // Attach a trace-span section (spans.v1) to the most recently added run —
+  // the serving layer records spans out-of-band in a TraceSink, so they are
+  // grafted onto the run after the fact. No-op on an empty report.
+  void attach_spans(std::vector<SpanRecord> spans, std::uint64_t recorded,
+                    std::uint64_t dropped) {
+    if (runs_.empty()) return;
+    runs_.back().spans = std::move(spans);
+    runs_.back().spans_recorded = recorded;
+    runs_.back().spans_dropped = dropped;
+  }
+  void attach_spans(const TraceSink& sink) {
+    attach_spans(sink.snapshot(), sink.recorded(), sink.dropped());
   }
 
   const std::vector<RunMetrics>& runs() const { return runs_; }

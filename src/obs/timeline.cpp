@@ -59,20 +59,36 @@ void Timeline::write_chrome_trace(std::ostream& out) const {
     const std::string* name;
     const TraceEvent* x;
     const CounterEvent* c;
+    const FlowEvent* f;
   };
   std::vector<Row> sorted;
-  sorted.reserve(events_.size() + counter_events_.size());
+  sorted.reserve(events_.size() + counter_events_.size() +
+                 flow_events_.size());
   for (const TraceEvent& ev : events_)
-    sorted.push_back({ev.ts, ev.tid, &ev.name, &ev, nullptr});
+    sorted.push_back({ev.ts, ev.tid, &ev.name, &ev, nullptr, nullptr});
   for (const CounterEvent& ev : counter_events_)
-    sorted.push_back({ev.ts, ev.tid, &ev.name, nullptr, &ev});
+    sorted.push_back({ev.ts, ev.tid, &ev.name, nullptr, &ev, nullptr});
+  for (const FlowEvent& ev : flow_events_)
+    sorted.push_back({ev.ts, ev.tid, &ev.name, nullptr, nullptr, &ev});
   std::stable_sort(sorted.begin(), sorted.end(), [](const Row& a, const Row& b) {
     if (a.ts != b.ts) return a.ts < b.ts;
     if (a.tid != b.tid) return a.tid < b.tid;
     return *a.name < *b.name;
   });
   for (const Row& row : sorted) {
-    if (row.x != nullptr) {
+    if (row.f != nullptr) {
+      const FlowEvent& ev = *row.f;
+      char id_buf[24];
+      std::snprintf(id_buf, sizeof(id_buf), "0x%016llx",
+                    static_cast<unsigned long long>(ev.id));
+      sep() << "{\"name\":" << json_string(ev.name)
+            << ",\"cat\":" << json_string(ev.cat) << ",\"ph\":\"" << ev.phase
+            << "\",\"id\":\"" << id_buf << "\",\"pid\":0,\"tid\":" << ev.tid
+            << ",\"ts\":" << json_number(ev.ts);
+      // Finish steps bind to the enclosing slice, not the next one.
+      if (ev.phase == 'f') out << ",\"bp\":\"e\"";
+      out << '}';
+    } else if (row.x != nullptr) {
       const TraceEvent& ev = *row.x;
       sep() << "{\"name\":" << json_string(ev.name)
             << ",\"cat\":" << json_string(ev.cat)

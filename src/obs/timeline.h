@@ -43,6 +43,19 @@ struct CounterEvent {
   std::vector<std::pair<std::string, double>> series;
 };
 
+// Flow arrow ("s"/"t"/"f" phases): Perfetto draws an arrow through the events
+// sharing (cat, id), binding each to the slice enclosing (tid, ts). The
+// serving layer uses one flow per job — id = trace id — to link the submit
+// instant to the run slice on whichever worker picked the job up.
+struct FlowEvent {
+  std::string name;  // shared flow label, e.g. "job"
+  std::string cat;   // shared flow category, e.g. "svc.flow"
+  std::uint64_t id = 0;
+  std::uint32_t tid = 0;
+  double ts = 0;
+  char phase = 's';  // 's' start, 't' step, 'f' finish
+};
+
 class Timeline {
  public:
   explicit Timeline(bool enabled = true) : enabled_(enabled) {}
@@ -60,17 +73,22 @@ class Timeline {
   void record_counter(CounterEvent ev) {
     if (enabled_) counter_events_.push_back(std::move(ev));
   }
+  void record_flow(FlowEvent ev) {
+    if (enabled_) flow_events_.push_back(std::move(ev));
+  }
 
   const std::vector<TraceEvent>& events() const { return events_; }
   const std::vector<CounterEvent>& counter_events() const {
     return counter_events_;
   }
+  const std::vector<FlowEvent>& flow_events() const { return flow_events_; }
   const std::map<std::uint32_t, std::string>& track_names() const {
     return track_names_;
   }
   void clear() {
     events_.clear();
     counter_events_.clear();
+    flow_events_.clear();
     track_names_.clear();
   }
 
@@ -86,6 +104,7 @@ class Timeline {
   std::map<std::uint32_t, std::string> track_names_;
   std::vector<TraceEvent> events_;
   std::vector<CounterEvent> counter_events_;
+  std::vector<FlowEvent> flow_events_;
 };
 
 }  // namespace alchemist::obs

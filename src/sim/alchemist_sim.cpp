@@ -133,6 +133,82 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
     profiler->begin(cfg.num_units, cfg.cores_per_unit,
                     trace ? timeline : nullptr);
   }
+
+  // --- distributed tracing (cycle-domain spans; see obs/trace.h) ----------
+  obs::TraceSink* tsink = control != nullptr ? control->trace : nullptr;
+  const bool spans_on = tsink != nullptr && control->trace_ctx.valid();
+  const obs::TraceDetail detail =
+      spans_on ? control->trace_detail : obs::TraceDetail::Lifecycle;
+  obs::TraceContext sim_ctx;
+  if (spans_on) sim_ctx = obs::child_context(control->trace_ctx, "sim", 0);
+  const std::uint64_t trace_start_cycles = total_cycles;
+  const std::uint64_t trace_resume_level = resume_level;
+  std::uint64_t trace_checkpoints = 0;
+  // Spans are buffered locally and drained in batches: one sink lock per
+  // kSpanFlush spans instead of per span, so concurrent jobs at Phases/Ops
+  // detail do not serialize on the sink mutex.
+  std::vector<obs::SpanRecord> span_buf;
+  constexpr std::size_t kSpanFlush = 4096;
+  auto buffer_span = [&](obs::SpanRecord&& s) {
+    span_buf.push_back(std::move(s));
+    if (span_buf.size() >= kSpanFlush) tsink->record_batch(span_buf);
+  };
+  // At Phases detail, runs of narrow levels (fewer than kChainWidth ops —
+  // far below machine saturation) coalesce into one "chain" span, split
+  // every kChainMaxLevels so long chains keep visible progress. Bootstrap
+  // graphs are ~99% such levels; per-level spans for them cost more in
+  // traced-run overhead (and Perfetto slice count) than they say — the
+  // interesting structure is the handful of wide levels between chains. Ops
+  // detail keeps the full per-level resolution.
+  constexpr std::size_t kChainWidth = 8;
+  constexpr std::uint64_t kChainMaxLevels = 32;
+  double chain_start_ts = 0;
+  std::uint64_t chain_start_level = 0;
+  std::uint64_t chain_len = 0;
+  auto flush_chain = [&]() {
+    if (chain_len == 0) return;
+    const obs::TraceContext cc =
+        obs::child_context(sim_ctx, "chain", chain_start_level);
+    obs::SpanRecord s;
+    s.trace_id = cc.trace_id;
+    s.span_id = cc.span_id;
+    s.parent_span = cc.parent_span;
+    s.name = "chain";
+    s.kind = "sim";
+    s.track = "sim/levels";
+    s.clock = obs::SpanClock::Cycles;
+    s.ts = chain_start_ts;
+    s.dur = static_cast<double>(total_cycles) - chain_start_ts;
+    s.num_attrs = {{"first_level", static_cast<double>(chain_start_level)},
+                   {"levels", static_cast<double>(chain_len)}};
+    buffer_span(std::move(s));
+    chain_len = 0;
+  };
+  // Terminal span for the whole engine run; flushes the buffer, and is called
+  // on every exit path (completion and just before a cancellation throw).
+  auto record_sim_span = [&](const char* outcome,
+                             std::uint64_t executed) {
+    if (!spans_on) return;
+    flush_chain();
+    obs::SpanRecord s;
+    s.trace_id = sim_ctx.trace_id;
+    s.span_id = sim_ctx.span_id;
+    s.parent_span = sim_ctx.parent_span;
+    s.name = "sim";
+    s.kind = "sim";
+    s.track = "sim";
+    s.clock = obs::SpanClock::Cycles;
+    s.ts = static_cast<double>(trace_start_cycles);
+    s.dur = static_cast<double>(total_cycles - trace_start_cycles);
+    s.attrs = {{"engine", "level"},
+               {"workload", graph.name},
+               {"outcome", outcome}};
+    s.num_attrs = {{"steps", static_cast<double>(executed)},
+                   {"resume_level", static_cast<double>(trace_resume_level)}};
+    span_buf.push_back(std::move(s));
+    tsink->record_batch(span_buf);
+  };
+
   auto save_checkpoint = [&](std::uint64_t levels_done) {
     Checkpoint cp;
     cp.engine = kLevelEngine;
@@ -157,7 +233,25 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
     w.write_u64(fault_totals.dmr_corrections);
     write_registry(w, reg);
     cp.state = w.buffer();
+    const std::uint64_t state_bytes = cp.state.size();
     *control->checkpoint = std::move(cp);
+    if (spans_on) {
+      const obs::TraceContext cc =
+          obs::child_context(sim_ctx, "checkpoint", trace_checkpoints++);
+      obs::SpanRecord s;
+      s.trace_id = cc.trace_id;
+      s.span_id = cc.span_id;
+      s.parent_span = cc.parent_span;
+      s.name = "checkpoint";
+      s.kind = "sim";
+      s.track = "sim/checkpoint";
+      s.clock = obs::SpanClock::Cycles;
+      s.ts = static_cast<double>(total_cycles);
+      s.dur = 0;
+      s.num_attrs = {{"step", static_cast<double>(levels_done)},
+                     {"bytes", static_cast<double>(state_bytes)}};
+      buffer_span(std::move(s));
+    }
   };
   std::uint64_t executed_steps = 0;
 
@@ -194,9 +288,19 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
       }
       if (stop != StopReason::None) {
         if (control->checkpoint) save_checkpoint(level_idx);
+        record_sim_span(sim::to_string(stop), executed_steps);
         throw CancelledError(stop, level_idx);
       }
     }
+    // Narrow levels at Phases detail fold into the running chain span, so
+    // they never mint a per-level context.
+    const bool chained = spans_on && detail == obs::TraceDetail::Phases &&
+                         level.size() < kChainWidth;
+    obs::TraceContext level_ctx;
+    if (spans_on && detail >= obs::TraceDetail::Phases && !chained) {
+      level_ctx = obs::child_context(sim_ctx, "level", level_idx);
+    }
+    double span_cursor = static_cast<double>(total_cycles);
     // Cores are fungible across the ops of a level: Meta-OP work pools and
     // fills waves jointly; only the pooled tail is padded.
     std::uint64_t level_core_cycles = 0;   // exact core-cycles of work
@@ -320,6 +424,33 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
         }
         cursor += dur;
       }
+      if (spans_on && detail == obs::TraceDetail::Ops) {
+        // Same pooled-tiling model as the telemetry cursor above, but kept
+        // separate so span emission never depends on the timeline being on.
+        const double op_dur =
+            static_cast<double>(op_core_cycles + op_retry_cycles) /
+                static_cast<double>(cores) +
+            static_cast<double>(op_transpose);
+        const obs::TraceContext oc =
+            obs::child_context(level_ctx, to_string(op.kind), idx);
+        obs::SpanRecord s;
+        s.trace_id = oc.trace_id;
+        s.span_id = oc.span_id;
+        s.parent_span = oc.parent_span;
+        s.name = to_string(op.kind);
+        s.kind = "sim";
+        s.track = "sim/ops";
+        s.clock = obs::SpanClock::Cycles;
+        s.ts = span_cursor;
+        s.dur = op_dur;
+        s.attrs = {{"class", tag}};
+        s.num_attrs = {{"op", static_cast<double>(idx)},
+                       {"level", static_cast<double>(level_idx)},
+                       {"core_cycles", static_cast<double>(op_core_cycles)},
+                       {"hbm_bytes", static_cast<double>(op.hbm_bytes)}};
+        buffer_span(std::move(s));
+        span_cursor += op_dur;
+      }
     }
     const std::uint64_t level_wall =
         (level_core_cycles + cores - 1) / cores + level_transpose;
@@ -339,6 +470,31 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
                      {"core_cycles", static_cast<double>(level_core_cycles)},
                      {"hbm_bytes", level_hbm_bytes}};
       timeline->record(std::move(lv));
+    }
+    if (chained && !level.empty()) {
+      if (chain_len >= kChainMaxLevels) flush_chain();
+      if (chain_len == 0) {
+        chain_start_level = level_idx;
+        chain_start_ts = static_cast<double>(total_cycles);
+      }
+      ++chain_len;
+    } else if (spans_on && detail >= obs::TraceDetail::Phases &&
+               !level.empty()) {
+      flush_chain();  // a wide level ends any run of narrow levels
+      obs::SpanRecord s;
+      s.trace_id = level_ctx.trace_id;
+      s.span_id = level_ctx.span_id;
+      s.parent_span = level_ctx.parent_span;
+      s.name = "level";
+      s.kind = "sim";
+      s.track = "sim/levels";
+      s.clock = obs::SpanClock::Cycles;
+      s.ts = static_cast<double>(total_cycles);
+      s.dur = static_cast<double>(level_wall);
+      s.num_attrs = {{"level", static_cast<double>(level_idx)},
+                     {"ops", static_cast<double>(level.size())},
+                     {"core_cycles", static_cast<double>(level_core_cycles)}};
+      buffer_span(std::move(s));
     }
     total_cycles += level_wall;
     total_hbm_bytes += level_hbm_bytes;
@@ -382,6 +538,23 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
       timeline->record(std::move(st));
     }
   }
+
+  if (spans_on && detail >= obs::TraceDetail::Phases && stall_cycles > 0) {
+    const obs::TraceContext sc = obs::child_context(sim_ctx, "hbm-stall", 0);
+    obs::SpanRecord s;
+    s.trace_id = sc.trace_id;
+    s.span_id = sc.span_id;
+    s.parent_span = sc.parent_span;
+    s.name = "hbm-stall";
+    s.kind = "sim";
+    s.track = "sim/levels";
+    s.clock = obs::SpanClock::Cycles;
+    s.ts = static_cast<double>(total_cycles - stall_cycles);
+    s.dur = static_cast<double>(stall_cycles);
+    s.num_attrs = {{"cycles", static_cast<double>(stall_cycles)}};
+    buffer_span(std::move(s));
+  }
+  record_sim_span("completed", executed_steps);
 
   // Totals and derived rates into the registry; finalize() projects them onto
   // the legacy aggregate fields.

@@ -237,6 +237,47 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
       running.push_back(static_cast<std::size_t>(id));
     }
   }
+  // --- distributed tracing (cycle-domain spans; see obs/trace.h) ----------
+  obs::TraceSink* tsink = control != nullptr ? control->trace : nullptr;
+  const bool spans_on = tsink != nullptr && control->trace_ctx.valid();
+  const obs::TraceDetail detail =
+      spans_on ? control->trace_detail : obs::TraceDetail::Lifecycle;
+  obs::TraceContext sim_ctx;
+  if (spans_on) sim_ctx = obs::child_context(control->trace_ctx, "sim", 0);
+  const double trace_start = now;
+  std::uint64_t trace_checkpoints = 0;
+  // Local span buffer, drained in batches (one sink lock per kSpanFlush
+  // spans) so concurrent jobs do not serialize on the sink mutex.
+  std::vector<obs::SpanRecord> span_buf;
+  constexpr std::size_t kSpanFlush = 4096;
+  auto buffer_span = [&](obs::SpanRecord&& s) {
+    span_buf.push_back(std::move(s));
+    if (span_buf.size() >= kSpanFlush) tsink->record_batch(span_buf);
+  };
+  // Terminal span for the whole engine run; flushes the buffer, and is called
+  // on every exit path (completion and just before a cancellation throw).
+  auto record_sim_span = [&](const char* outcome,
+                             std::uint64_t executed) {
+    if (!spans_on) return;
+    obs::SpanRecord s;
+    s.trace_id = sim_ctx.trace_id;
+    s.span_id = sim_ctx.span_id;
+    s.parent_span = sim_ctx.parent_span;
+    s.name = "sim";
+    s.kind = "sim";
+    s.track = "sim";
+    s.clock = obs::SpanClock::Cycles;
+    s.ts = trace_start;
+    s.dur = now - trace_start;
+    s.attrs = {{"engine", "event"},
+               {"workload", graph.name},
+               {"outcome", outcome}};
+    s.num_attrs = {{"steps", static_cast<double>(executed)},
+                   {"resumed", resuming ? 1.0 : 0.0}};
+    span_buf.push_back(std::move(s));
+    tsink->record_batch(span_buf);
+  };
+
   auto save_checkpoint = [&]() {
     Checkpoint cp;
     cp.engine = kEventEngine;
@@ -262,7 +303,25 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
       w.write_u8(static_cast<std::uint8_t>((s.running ? 1u : 0u) | (s.done ? 2u : 0u)));
     }
     cp.state = w.buffer();
+    const std::uint64_t state_bytes = cp.state.size();
     *control->checkpoint = std::move(cp);
+    if (spans_on) {
+      const obs::TraceContext cc =
+          obs::child_context(sim_ctx, "checkpoint", trace_checkpoints++);
+      obs::SpanRecord s;
+      s.trace_id = cc.trace_id;
+      s.span_id = cc.span_id;
+      s.parent_span = cc.parent_span;
+      s.name = "checkpoint";
+      s.kind = "sim";
+      s.track = "sim/checkpoint";
+      s.clock = obs::SpanClock::Cycles;
+      s.ts = now;
+      s.dur = 0;
+      s.num_attrs = {{"step", static_cast<double>(completed)},
+                     {"bytes", static_cast<double>(state_bytes)}};
+      buffer_span(std::move(s));
+    }
   };
   std::uint64_t executed_steps = 0;
 
@@ -275,6 +334,7 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
       }
       if (stop != StopReason::None) {
         if (control->checkpoint) save_checkpoint();
+        record_sim_span(sim::to_string(stop), executed_steps);
         throw CancelledError(stop, completed);
       }
     }
@@ -365,6 +425,25 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
             timeline->record(std::move(fe));
           }
         }
+        if (spans_on && detail == obs::TraceDetail::Ops) {
+          const HighOp& op = graph.ops[idx];
+          const obs::TraceContext oc =
+              obs::child_context(sim_ctx, to_string(op.kind), idx);
+          obs::SpanRecord sp;
+          sp.trace_id = oc.trace_id;
+          sp.span_id = oc.span_id;
+          sp.parent_span = oc.parent_span;
+          sp.name = to_string(op.kind);
+          sp.kind = "sim";
+          sp.track = "sim/ops";
+          sp.clock = obs::SpanClock::Cycles;
+          sp.ts = s.start_time;
+          sp.dur = now - s.start_time;
+          sp.attrs = {{"class", class_tag(s.cls)}};
+          sp.num_attrs = {{"op", static_cast<double>(idx)},
+                          {"hbm_bytes", static_cast<double>(op.hbm_bytes)}};
+          buffer_span(std::move(sp));
+        }
         for (std::size_t dep : s.dependents) {
           if (--state[dep].unmet_deps == 0) {
             state[dep].running = true;
@@ -390,6 +469,7 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
   if (completed != graph.ops.size()) {
     throw std::logic_error("event sim: dependency cycle or unreachable ops");
   }
+  record_sim_span("completed", executed_steps);
 
   const std::uint64_t total_cycles = static_cast<std::uint64_t>(std::ceil(now));
   reg.add(metrics::kCycles, total_cycles);

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "sim/checkpoint.h"
 
 namespace alchemist::sim {
@@ -82,6 +83,16 @@ struct SimControl {
   // workload, geometry and fault fingerprints must match, else
   // CheckpointError). Out: overwritten with the latest snapshot.
   Checkpoint* checkpoint = nullptr;
+  // Distributed tracing (obs/trace.h). When `trace` is attached and
+  // `trace_ctx` is valid, the engine records spans under the caller's context
+  // — the run itself, scheduler phases, per-op slices, checkpoint markers —
+  // stamped in machine cycles so traced runs stay bit-reproducible. Span ids
+  // are minted from deterministic ordinals (level/op indices), never from the
+  // host clock. Recording must not perturb the SimResult: with `trace` null
+  // or the context invalid this is a single pointer test per step.
+  obs::TraceSink* trace = nullptr;
+  obs::TraceContext trace_ctx{};
+  obs::TraceDetail trace_detail = obs::TraceDetail::Phases;
 };
 
 // A cooperative stop. The latest cursor has already been written to

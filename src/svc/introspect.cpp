@@ -1,13 +1,17 @@
 #include "svc/introspect.h"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <map>
+#include <sstream>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/json.h"
 #include "obs/prometheus.h"
 
 namespace alchemist::svc {
@@ -26,8 +30,9 @@ std::string http_response(const char* status, const char* content_type,
   return out;
 }
 
-// First line of "GET /path HTTP/1.1" -> "/path"; empty on anything else.
-std::string request_path(const std::string& request) {
+// First line of "GET /path?query HTTP/1.1" -> "/path?query"; empty on
+// anything else.
+std::string request_target(const std::string& request) {
   if (request.rfind("GET ", 0) != 0) return {};
   const std::size_t start = 4;
   const std::size_t end = request.find(' ', start);
@@ -35,11 +40,96 @@ std::string request_path(const std::string& request) {
   return request.substr(start, end - start);
 }
 
+// "k1=v1&k2=v2" -> {k1: v1, k2: v2}; keys without '=' map to "".
+std::map<std::string, std::string> parse_query(const std::string& query) {
+  std::map<std::string, std::string> params;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      if (!pair.empty()) params[pair] = "";
+    } else {
+      params[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+    pos = amp + 1;
+  }
+  return params;
+}
+
+std::size_t param_size(const std::map<std::string, std::string>& params,
+                       const char* key, std::size_t fallback) {
+  const auto it = params.find(key);
+  if (it == params.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') return fallback;
+  return static_cast<std::size_t>(v);
+}
+
 }  // namespace
 
+std::string build_info_json() {
+  using obs::json_string;
+  std::ostringstream out;
+  out << "{\n";
+#ifdef ALCHEMIST_VERSION
+  out << "  \"version\": " << json_string(ALCHEMIST_VERSION) << ",\n";
+#else
+  out << "  \"version\": \"unknown\",\n";
+#endif
+#ifdef ALCHEMIST_BUILD_TYPE
+  out << "  \"build_type\": " << json_string(ALCHEMIST_BUILD_TYPE) << ",\n";
+#elif defined(NDEBUG)
+  out << "  \"build_type\": \"release\",\n";
+#else
+  out << "  \"build_type\": \"debug\",\n";
+#endif
+#if defined(__clang__)
+  out << "  \"compiler\": " << json_string(std::string("clang ") + __VERSION__)
+      << ",\n";
+#elif defined(__GNUC__)
+  out << "  \"compiler\": " << json_string(std::string("gcc ") + __VERSION__)
+      << ",\n";
+#else
+  out << "  \"compiler\": \"unknown\",\n";
+#endif
+  out << "  \"standard\": " << static_cast<long>(__cplusplus) << ",\n";
+  out << "  \"sanitizers\": [";
+  bool first = true;
+  auto add = [&](const char* name) {
+    out << (first ? "" : ", ") << obs::json_string(name);
+    first = false;
+  };
+#if defined(__SANITIZE_ADDRESS__)
+  add("address");
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  add("address");
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+  add("thread");
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  add("thread");
+#endif
+#endif
+#if defined(__SANITIZE_UNDEFINED__)
+  add("undefined");
+#endif
+  (void)add;
+  out << "]\n";
+  out << "}\n";
+  return out.str();
+}
+
 IntrospectionServer::IntrospectionServer(int port, MetricsFn metrics,
-                                         StatusFn status)
-    : metrics_(std::move(metrics)), status_(std::move(status)) {
+                                         StatusFn status,
+                                         IntrospectionOptions opts)
+    : metrics_(std::move(metrics)), status_(std::move(status)), opts_(opts) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     error_ = std::string("socket: ") + std::strerror(errno);
@@ -94,7 +184,7 @@ void IntrospectionServer::serve_loop() {
       if (n <= 0) break;
       request.append(buf, static_cast<std::size_t>(n));
     }
-    const std::string response = handle(request_path(request));
+    const std::string response = handle(request_target(request));
     std::size_t sent = 0;
     while (sent < response.size()) {
       const ssize_t n =
@@ -107,7 +197,13 @@ void IntrospectionServer::serve_loop() {
   }
 }
 
-std::string IntrospectionServer::handle(const std::string& path) const {
+std::string IntrospectionServer::handle(const std::string& target) const {
+  const std::size_t qmark = target.find('?');
+  const std::string path = target.substr(0, qmark);
+  const std::map<std::string, std::string> params =
+      qmark == std::string::npos
+          ? std::map<std::string, std::string>{}
+          : parse_query(target.substr(qmark + 1));
   if (path == "/healthz") {
     return http_response("200 OK", "text/plain; charset=utf-8", "ok\n");
   }
@@ -120,12 +216,35 @@ std::string IntrospectionServer::handle(const std::string& path) const {
     return http_response("200 OK", "application/json; charset=utf-8",
                          status_());
   }
+  if (path == "/buildz") {
+    return http_response("200 OK", "application/json; charset=utf-8",
+                         build_info_json());
+  }
+  if (path == "/tracez" && opts_.trace != nullptr) {
+    const std::size_t recent_n = param_size(params, "n", 50);
+    const std::size_t slowest_n = param_size(params, "slowest", 5);
+    const auto cls = params.find("class");
+    return http_response(
+        "200 OK", "application/json; charset=utf-8",
+        obs::tracez_json(*opts_.trace, recent_n, slowest_n,
+                         cls == params.end() ? std::string() : cls->second));
+  }
+  if (path == "/logz" && opts_.log != nullptr) {
+    const std::size_t n = param_size(params, "n", 100);
+    obs::Severity min_sev = obs::Severity::Debug;
+    if (const auto it = params.find("min"); it != params.end()) {
+      min_sev = obs::parse_severity(it->second, obs::Severity::Debug);
+    }
+    return http_response("200 OK", "application/x-ndjson; charset=utf-8",
+                         obs::log_jsonl(opts_.log->tail(n, min_sev)));
+  }
   if (path.empty()) {
     return http_response("400 Bad Request", "text/plain; charset=utf-8",
                          "bad request\n");
   }
-  return http_response("404 Not Found", "text/plain; charset=utf-8",
-                       "not found; try /healthz /metrics /statusz\n");
+  return http_response(
+      "404 Not Found", "text/plain; charset=utf-8",
+      "not found; try /healthz /metrics /statusz /buildz /tracez /logz\n");
 }
 
 }  // namespace alchemist::svc

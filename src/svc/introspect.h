@@ -1,8 +1,8 @@
 // Minimal embedded HTTP introspection server for the serving layer.
 //
-// Serves three poll-driven endpoints over plain HTTP/1.1 on a loopback
-// socket (no third-party deps, one accept thread, one request at a time —
-// this is an operator window, not a data plane):
+// Serves poll-driven endpoints over plain HTTP/1.1 on a loopback socket (no
+// third-party deps, one accept thread, one request at a time — this is an
+// operator window, not a data plane):
 //
 //   /healthz   200 "ok" while the server is up (liveness probe)
 //   /metrics   Prometheus text exposition (obs/prometheus.h) of the Registry
@@ -10,15 +10,24 @@
 //              histograms with cumulative buckets
 //   /statusz   the status callback's JSON (JobRunner::status_json():
 //              breaker states, queue occupancy, pool width, substrate.*)
+//   /buildz    build provenance JSON: version, build type, compiler,
+//              enabled sanitizers (build_info_json(), always available)
+//   /tracez    recent-span table + slowest-roots-per-class from the attached
+//              TraceSink (obs::tracez_json); ?n= recent rows, ?slowest= roots
+//              per class, ?class= filter. 404 unless a sink is attached.
+//   /logz      flight-recorder tail as JSON lines from the attached
+//              EventLog; ?n= rows, ?min=debug|info|warn|error severity
+//              floor. 404 unless a log is attached.
 //
-// Both callbacks are invoked per request on the server thread and must be
+// The callbacks are invoked per request on the server thread and must be
 // thread-safe against the running JobRunner — snapshot() and status_json()
-// are, by design. Nothing is cached; every poll sees live state.
+// are, by design; TraceSink and EventLog snapshots take the ring mutex.
+// Nothing is cached; every poll sees live state.
 //
-// Port 0 binds an ephemeral port (see port() after construction); CI smoke
-// uses a fixed one. Construction failure (port in use) is reported through
-// ok()/error(), not an exception, so a serving binary can keep running
-// without its introspection window.
+// Port 0 binds an ephemeral port (see port() after construction) — serving
+// binaries print the resolved port so harnesses can scrape it. Construction
+// failure (port in use) is reported through ok()/error(), not an exception,
+// so a serving binary can keep running without its introspection window.
 #pragma once
 
 #include <atomic>
@@ -26,16 +35,31 @@
 #include <string>
 #include <thread>
 
+#include "obs/log.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace alchemist::svc {
+
+// Build provenance served at /buildz: {"version","build_type","compiler",
+// "standard","sanitizers":[...]} — exposed standalone so tests can validate
+// the JSON without binding a socket.
+std::string build_info_json();
+
+// Optional data sources for the trace/log endpoints; pointers are borrowed
+// and must outlive the server. Null members disable their endpoint (404).
+struct IntrospectionOptions {
+  obs::TraceSink* trace = nullptr;  // enables /tracez
+  obs::EventLog* log = nullptr;     // enables /logz
+};
 
 class IntrospectionServer {
  public:
   using MetricsFn = std::function<obs::Registry()>;
   using StatusFn = std::function<std::string()>;
 
-  IntrospectionServer(int port, MetricsFn metrics, StatusFn status);
+  IntrospectionServer(int port, MetricsFn metrics, StatusFn status,
+                      IntrospectionOptions opts = {});
   ~IntrospectionServer();
 
   IntrospectionServer(const IntrospectionServer&) = delete;
@@ -48,10 +72,11 @@ class IntrospectionServer {
 
  private:
   void serve_loop();
-  std::string handle(const std::string& path) const;
+  std::string handle(const std::string& target) const;
 
   MetricsFn metrics_;
   StatusFn status_;
+  IntrospectionOptions opts_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::string error_;

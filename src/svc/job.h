@@ -21,6 +21,7 @@
 #include "arch/config.h"
 #include "fault/fault_model.h"
 #include "metaop/op_graph.h"
+#include "obs/trace.h"
 #include "sim/result.h"
 #include "sim/sim_control.h"
 
@@ -117,6 +118,29 @@ struct JobSpec {
   // per-unit utilization.v1 profile (SimResult.profile). The simulated
   // outcome is bit-identical either way; resumed runs come back unprofiled.
   bool profile = false;
+
+  // Propagated trace context (obs/trace.h). Invalid (the default) means the
+  // runner mints a fresh trace id from its trace seed and the submission
+  // sequence; a valid context joins an existing trace — the resume path sets
+  // this to the interrupted job's context so both halves of the run share one
+  // trace id, and a future network front door will set it from the wire.
+  obs::TraceContext trace{};
+};
+
+// Where a finished job spent its wall time, plus its provenance — the
+// per-job digest of the span tree, available from Job::trace_summary() once
+// the job is terminal and surfaced by alchemist_serve / svc_soak output.
+struct TraceSummary {
+  std::uint64_t trace_id = 0;  // 0 when the runner traced nothing
+  std::uint64_t root_span = 0;
+  double queue_us = 0;    // admission -> dequeue
+  double run_us = 0;      // dequeue -> terminal (includes retries + backoff)
+  double backoff_us = 0;  // total retry backoff sleep inside run_us
+  double total_us = 0;    // admission -> terminal
+  double sim_us = 0;      // simulated time of the completed result (0 else)
+  std::size_t attempts = 0;
+  std::size_t retries = 0;           // attempts - 1 for jobs that ran
+  std::uint64_t checkpoint_bytes = 0;  // size of the last captured checkpoint
 };
 
 class JobRunner;
@@ -152,6 +176,19 @@ class Job {
     return checkpoint_;
   }
 
+  // Root trace context the runner minted (or adopted) for this job at
+  // admission; pass it through JobSpec::trace to continue the same trace
+  // (the checkpoint/resume path). Invalid when the runner was not tracing.
+  obs::TraceContext trace_context() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return trace_ctx_;
+  }
+  // Per-stage wall-time digest; fully populated once terminal() is true.
+  TraceSummary trace_summary() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return summary_;
+  }
+
   // Cooperative cancellation: takes effect at the next simulator step (or at
   // dequeue, if still queued).
   void cancel() { token_.request_cancel(); }
@@ -169,6 +206,12 @@ class Job {
   std::uint64_t seq_ = 0;  // submission order, seeds per-job backoff jitter
   std::chrono::steady_clock::time_point submit_time_{};
   std::chrono::steady_clock::time_point run_start_time_{};  // set at dequeue
+  // Trace-clock stamps of the same instants (TraceSink::now_us, so runner
+  // spans share one clock with the ThreadPool's fan-out spans) and the total
+  // backoff sleep, accumulated by the owning worker before finish().
+  double trace_submit_us_ = 0;
+  double trace_run_start_us_ = 0;
+  double backoff_us_ = 0;
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
@@ -177,6 +220,8 @@ class Job {
   std::string error_;
   sim::SimResult result_;
   sim::Checkpoint checkpoint_;
+  obs::TraceContext trace_ctx_;  // root context, minted at admission
+  TraceSummary summary_;         // filled when the job turns terminal
 };
 
 using JobPtr = std::shared_ptr<Job>;

@@ -105,6 +105,22 @@ JobPtr JobRunner::submit(JobSpec spec) {
     std::lock_guard<std::mutex> lk(mu_);
     reg_.add(metrics::kSubmitted, 1);
     job->seq_ = ++seq_;
+    if (opts_.trace != nullptr) {
+      // Mint (or join) the job's trace. Ids depend only on the trace seed and
+      // the submission sequence, so the same submission order reproduces the
+      // same trace ids for any worker count; a valid spec.trace joins an
+      // existing trace instead (the checkpoint/resume continuation path).
+      const std::uint64_t trace_id =
+          job->spec_.trace.valid() ? job->spec_.trace.trace_id
+                                   : obs::mint_trace_id(opts_.trace_seed ^ job->seq_);
+      const std::uint64_t parent =
+          job->spec_.trace.valid() ? job->spec_.trace.span_id : 0;
+      job->trace_ctx_.trace_id = trace_id;
+      job->trace_ctx_.parent_span = parent;
+      job->trace_ctx_.span_id =
+          obs::mint_span_id(trace_id, parent, "job", job->seq_);
+      job->trace_submit_us_ = opts_.trace->now_us();
+    }
     if (stopping_) {
       rejected = JobState::Shed;
       reason = "shutdown";
@@ -147,12 +163,58 @@ JobPtr JobRunner::submit(JobSpec spec) {
     }
   }
   if (rejected != JobState::Queued) {
-    // Not yet visible to any worker; safe to finalize directly.
-    std::lock_guard<std::mutex> jl(job->mu_);
-    job->state_ = rejected;
-    job->error_ = std::string("rejected: ") + reason;
-    job->cv_.notify_all();
+    {
+      // Not yet visible to any worker; safe to finalize directly.
+      std::lock_guard<std::mutex> jl(job->mu_);
+      job->state_ = rejected;
+      job->error_ = std::string("rejected: ") + reason;
+      job->summary_.trace_id = job->trace_ctx_.trace_id;
+      job->summary_.root_span = job->trace_ctx_.span_id;
+      job->cv_.notify_all();
+    }
+    if (opts_.trace != nullptr && job->trace_ctx_.valid()) {
+      // Rejected jobs still leave a (zero-length) root span so shed storms
+      // are visible in /tracez next to the work that did run.
+      obs::SpanRecord s;
+      s.trace_id = job->trace_ctx_.trace_id;
+      s.span_id = job->trace_ctx_.span_id;
+      s.parent_span = job->trace_ctx_.parent_span;
+      s.name = "job";
+      s.kind = "svc";
+      s.track = "svc/job";
+      s.ts = job->trace_submit_us_;
+      s.dur = 0;
+      s.attrs = {{"class", job->spec_.workload_class},
+                 {"state", svc::to_string(rejected)},
+                 {"reason", reason}};
+      s.num_attrs = {{"seq", static_cast<double>(job->seq_)}};
+      opts_.trace->record(std::move(s));
+    }
+    if (opts_.log != nullptr) {
+      obs::LogEvent ev;
+      ev.severity = obs::Severity::Warn;
+      ev.component = "svc";
+      ev.message = std::string("job rejected: ") + reason;
+      ev.trace_id = job->trace_ctx_.trace_id;
+      ev.span_id = job->trace_ctx_.span_id;
+      ev.fields = {{"class", job->spec_.workload_class},
+                   {"name", label_of(job->spec_, job->seq_)}};
+      ev.num_fields = {{"seq", static_cast<double>(job->seq_)}};
+      opts_.log->record(std::move(ev));
+    }
   } else {
+    if (opts_.log != nullptr) {
+      obs::LogEvent ev;
+      ev.severity = obs::Severity::Debug;
+      ev.component = "svc";
+      ev.message = "job admitted";
+      ev.trace_id = job->trace_ctx_.trace_id;
+      ev.span_id = job->trace_ctx_.span_id;
+      ev.fields = {{"class", job->spec_.workload_class},
+                   {"name", label_of(job->spec_, job->seq_)}};
+      ev.num_fields = {{"seq", static_cast<double>(job->seq_)}};
+      opts_.log->record(std::move(ev));
+    }
     work_cv_.notify_one();
   }
   return job;
@@ -274,6 +336,25 @@ void JobRunner::worker_loop(std::size_t worker_id) {
       queue_.pop_front();
       running_.push_back(job.get());
       job->run_start_time_ = Clock::now();
+      if (opts_.trace != nullptr && job->trace_ctx_.valid()) {
+        job->trace_run_start_us_ = opts_.trace->now_us();
+      }
+    }
+    if (opts_.trace != nullptr && job->trace_ctx_.valid()) {
+      // Queue-wait span: admission stamp -> this dequeue, one per job.
+      obs::TraceContext qc = obs::child_context(job->trace_ctx_, "queue", 0);
+      obs::SpanRecord s;
+      s.trace_id = qc.trace_id;
+      s.span_id = qc.span_id;
+      s.parent_span = qc.parent_span;
+      s.name = "queue";
+      s.kind = "svc";
+      s.track = "svc/queue";
+      s.ts = job->trace_submit_us_;
+      s.dur = job->trace_run_start_us_ - job->trace_submit_us_;
+      s.attrs = {{"class", job->spec_.workload_class}};
+      s.num_attrs = {{"seq", static_cast<double>(job->seq_)}};
+      opts_.trace->record(std::move(s));
     }
     run_job(job);
     {
@@ -305,8 +386,36 @@ void JobRunner::run_job(const JobPtr& job) {
   bc.seed ^= 0x9e37'79b9'7f4a'7c15ull * job->seq_;  // per-job jitter stream
   Backoff backoff(bc);
   sim::Checkpoint cp = spec.resume_from;
+  const bool tracing = opts_.trace != nullptr && job->trace_ctx_.valid();
+  const std::string worker_track =
+      "svc/worker" + std::to_string(tls_worker >= 0 ? tls_worker : 0);
 
   for (std::size_t attempt = 1;; ++attempt) {
+    // Per-attempt span: minted from the attempt number, so the span tree is
+    // identical however the attempts land on workers; only the track (which
+    // worker ran it) and the wall timestamps vary.
+    obs::TraceContext attempt_ctx;
+    double attempt_start_us = 0;
+    if (tracing) {
+      attempt_ctx = obs::child_context(job->trace_ctx_, "attempt", attempt);
+      attempt_start_us = opts_.trace->now_us();
+    }
+    auto record_attempt = [&](const char* outcome) {
+      if (!tracing) return;
+      obs::SpanRecord s;
+      s.trace_id = attempt_ctx.trace_id;
+      s.span_id = attempt_ctx.span_id;
+      s.parent_span = attempt_ctx.parent_span;
+      s.name = "attempt";
+      s.kind = "svc";
+      s.track = worker_track;
+      s.ts = attempt_start_us;
+      s.dur = opts_.trace->now_us() - attempt_start_us;
+      s.attrs = {{"outcome", outcome}, {"class", spec.workload_class}};
+      s.num_attrs = {{"attempt", static_cast<double>(attempt)},
+                     {"seq", static_cast<double>(job->seq_)}};
+      opts_.trace->record(std::move(s));
+    };
     std::unique_ptr<fault::FaultModel> fault_model;
     fault::FaultModel* fault = nullptr;
     if (spec.fault_enabled) {
@@ -315,6 +424,7 @@ void JobRunner::run_job(const JobPtr& job) {
       try {
         fault_model = std::make_unique<fault::FaultModel>(fc, spec.config.num_units);
       } catch (const std::exception& e) {
+        record_attempt("bad-fault-config");
         finish(job, JobState::Failed,
                std::string("bad fault configuration: ") + e.what(),
                sim::SimResult{}, sim::Checkpoint{}, attempt);
@@ -327,20 +437,32 @@ void JobRunner::run_job(const JobPtr& job) {
     ctl.max_steps = spec.max_steps;
     ctl.checkpoint_interval = spec.checkpoint_interval;
     ctl.checkpoint = &cp;
+    ctl.trace = tracing ? opts_.trace : nullptr;
+    ctl.trace_ctx = attempt_ctx;
+    ctl.trace_detail = opts_.trace_detail;
     sim::UnitProfiler prof;
     sim::UnitProfiler* profiler = spec.profile ? &prof : nullptr;
     try {
-      sim::SimResult result =
-          spec.engine == Engine::Event
-              ? sim::simulate_alchemist_events(*spec.graph, spec.config, nullptr,
-                                               fault, &ctl, profiler)
-              : sim::simulate_alchemist(*spec.graph, spec.config, nullptr, fault,
-                                        &ctl, profiler);
+      sim::SimResult result;
+      {
+        // Expose the attempt's context to the compute substrate: ThreadPool
+        // fan-outs issued by the engine adopt it as their parent span.
+        obs::ScopedTraceContext ambient(tracing ? opts_.trace : nullptr,
+                                        attempt_ctx);
+        result = spec.engine == Engine::Event
+                     ? sim::simulate_alchemist_events(*spec.graph, spec.config,
+                                                      nullptr, fault, &ctl,
+                                                      profiler)
+                     : sim::simulate_alchemist(*spec.graph, spec.config, nullptr,
+                                               fault, &ctl, profiler);
+      }
       if (result.registry.counter(fault::metrics::kCorruptedOps) == 0) {
+        record_attempt("completed");
         finish(job, JobState::Completed, std::string(), std::move(result),
                sim::Checkpoint{}, attempt);
         return;
       }
+      record_attempt("corrupted");
       // Injected faults corrupted the output: the run is useless. Retry with
       // a re-rolled seed (independent transients) or give up.
       if (attempt >= spec.max_attempts) {
@@ -354,13 +476,45 @@ void JobRunner::run_job(const JobPtr& job) {
         std::lock_guard<std::mutex> lk(mu_);
         reg_.add(metrics::kRetries, 1);
       }
+      if (opts_.log != nullptr) {
+        obs::LogEvent ev;
+        ev.severity = obs::Severity::Info;
+        ev.component = "svc";
+        ev.message = "job retrying after fault-corrupted attempt";
+        ev.trace_id = job->trace_ctx_.trace_id;
+        ev.span_id = attempt_ctx.span_id;
+        ev.fields = {{"class", spec.workload_class},
+                     {"name", label_of(spec, job->seq_)}};
+        ev.num_fields = {{"attempt", static_cast<double>(attempt)}};
+        opts_.log->record(std::move(ev));
+      }
       // Exponential backoff, sliced so cancellation stays responsive.
       const Clock::time_point backoff_start = Clock::now();
+      const double backoff_start_us = tracing ? opts_.trace->now_us() : 0;
       std::uint64_t delay_us = backoff.next_us();
       while (delay_us > 0 && job->token_.should_stop() == sim::StopReason::None) {
         const std::uint64_t slice = std::min<std::uint64_t>(delay_us, 1000);
         std::this_thread::sleep_for(std::chrono::microseconds(slice));
         delay_us -= slice;
+      }
+      job->backoff_us_ += std::chrono::duration<double, std::micro>(
+                              Clock::now() - backoff_start)
+                              .count();
+      if (tracing) {
+        const obs::TraceContext bctx =
+            obs::child_context(job->trace_ctx_, "backoff", attempt);
+        obs::SpanRecord s;
+        s.trace_id = bctx.trace_id;
+        s.span_id = bctx.span_id;
+        s.parent_span = bctx.parent_span;
+        s.name = "backoff";
+        s.kind = "svc";
+        s.track = worker_track;
+        s.ts = backoff_start_us;
+        s.dur = opts_.trace->now_us() - backoff_start_us;
+        s.attrs = {{"class", spec.workload_class}};
+        s.num_attrs = {{"attempt", static_cast<double>(attempt)}};
+        opts_.trace->record(std::move(s));
       }
       if (opts_.timeline != nullptr) {
         // Nests inside this job's run span on the worker's track.
@@ -392,14 +546,17 @@ void JobRunner::run_job(const JobPtr& job) {
       const JobState st = e.reason() == sim::StopReason::Cancelled
                               ? JobState::Cancelled
                               : JobState::DeadlineExpired;
+      record_attempt(st == JobState::Cancelled ? "cancelled" : "deadline-expired");
       finish(job, st, e.what(), sim::SimResult{}, std::move(cp), attempt);
       return;
     } catch (const sim::CheckpointError& e) {
+      record_attempt("resume-failed");
       finish(job, JobState::Failed, std::string("resume failed: ") + e.what(),
              sim::SimResult{}, sim::Checkpoint{}, attempt);
       return;
     } catch (const std::exception& e) {
       // Malformed graphs and engine invariant violations are not retryable.
+      record_attempt("error");
       finish(job, JobState::Failed, e.what(), sim::SimResult{}, sim::Checkpoint{},
              attempt);
       return;
@@ -413,18 +570,84 @@ void JobRunner::finish(const JobPtr& job, JobState state, std::string error,
   const Clock::time_point now = Clock::now();
   const bool has_checkpoint = checkpoint.valid();
   const double sim_us = state == JobState::Completed ? result.time_us : 0.0;
+  const bool tracing = opts_.trace != nullptr && job->trace_ctx_.valid();
+  const double end_us = tracing ? opts_.trace->now_us() : 0.0;
   // Account first, publish second: a caller woken by wait() must already see
   // this job in the svc.* counters when it snapshots the registry.
   {
     std::lock_guard<std::mutex> lk(mu_);
     record_terminal(*job, state, attempts, has_checkpoint, now, sim_us);
   }
+
+  // Per-job digest of where the wall time went, published with the terminal
+  // state so trace_summary() is complete the moment wait() returns.
+  const bool ran = job->run_start_time_ != Clock::time_point{};
+  TraceSummary summary;
+  summary.trace_id = job->trace_ctx_.trace_id;
+  summary.root_span = job->trace_ctx_.span_id;
+  summary.total_us =
+      std::chrono::duration<double, std::micro>(now - job->submit_time_).count();
+  summary.queue_us =
+      ran ? std::chrono::duration<double, std::micro>(job->run_start_time_ -
+                                                      job->submit_time_)
+                .count()
+          : summary.total_us;
+  summary.run_us =
+      ran ? std::chrono::duration<double, std::micro>(now - job->run_start_time_)
+                .count()
+          : 0.0;
+  summary.backoff_us = job->backoff_us_;
+  summary.sim_us = sim_us;
+  summary.attempts = attempts;
+  summary.retries = attempts > 1 ? attempts - 1 : 0;
+  summary.checkpoint_bytes = checkpoint.state.size();
+
+  if (tracing) {
+    // Root span: admission -> terminal, parent of queue/attempt/backoff.
+    obs::SpanRecord s;
+    s.trace_id = job->trace_ctx_.trace_id;
+    s.span_id = job->trace_ctx_.span_id;
+    s.parent_span = job->trace_ctx_.parent_span;
+    s.name = "job";
+    s.kind = "svc";
+    s.track = "svc/job";
+    s.ts = job->trace_submit_us_;
+    s.dur = end_us - job->trace_submit_us_;
+    s.attrs = {{"name", label_of(job->spec_, job->seq_)},
+               {"class", job->spec_.workload_class},
+               {"state", svc::to_string(state)},
+               {"engine", job->spec_.engine == Engine::Event ? "event" : "level"}};
+    s.num_attrs = {{"seq", static_cast<double>(job->seq_)},
+                   {"attempts", static_cast<double>(attempts)},
+                   {"checkpoint_bytes",
+                    static_cast<double>(summary.checkpoint_bytes)}};
+    opts_.trace->record(std::move(s));
+  }
+  if (opts_.log != nullptr) {
+    obs::LogEvent ev;
+    ev.severity = state == JobState::Completed ? obs::Severity::Info
+                  : state == JobState::Failed  ? obs::Severity::Error
+                                               : obs::Severity::Warn;
+    ev.component = "svc";
+    ev.message = std::string("job ") + svc::to_string(state);
+    ev.trace_id = job->trace_ctx_.trace_id;
+    ev.span_id = job->trace_ctx_.span_id;
+    ev.fields = {{"class", job->spec_.workload_class},
+                 {"name", label_of(job->spec_, job->seq_)}};
+    if (!error.empty()) ev.fields.emplace_back("error", error);
+    ev.num_fields = {{"attempts", static_cast<double>(attempts)},
+                     {"total_us", summary.total_us},
+                     {"sim_us", sim_us}};
+    opts_.log->record(std::move(ev));
+  }
+
   std::lock_guard<std::mutex> lk(job->mu_);
   job->state_ = state;
   job->error_ = std::move(error);
   job->result_ = std::move(result);
   job->checkpoint_ = std::move(checkpoint);
   job->attempts_ = attempts;
+  job->summary_ = summary;
   job->cv_.notify_all();
 }
 
@@ -480,20 +703,41 @@ void JobRunner::record_terminal(const Job& job, JobState state,
   }
 
   if (opts_.timeline != nullptr && ran) {
+    const std::uint32_t tid =
+        tls_worker >= 0 ? kWorkerTidBase + static_cast<std::uint32_t>(tls_worker)
+                        : kAdmissionTid;
+    const double run_ts = ts_us(job.run_start_time_);
+    const double run_dur = ts_us(now) - run_ts;
     obs::TraceEvent ev;
     ev.name = "run " + label_of(job.spec_, job.seq_);
     ev.cat = "svc.run";
-    ev.tid = tls_worker >= 0
-                 ? kWorkerTidBase + static_cast<std::uint32_t>(tls_worker)
-                 : kAdmissionTid;
-    ev.ts = ts_us(job.run_start_time_);
-    ev.dur = ts_us(now) - ev.ts;
+    ev.tid = tid;
+    ev.ts = run_ts;
+    ev.dur = run_dur;
     ev.num_args = {{"queue_us", queue_us},
                    {"attempts", static_cast<double>(attempts)},
                    {"sim_us", sim_us}};
     ev.str_args = {{"state", svc::to_string(state)},
                    {"class", workload_class}};
     opts_.timeline->record(std::move(ev));
+    if (job.trace_ctx_.valid()) {
+      // Flow arrow keyed by the trace id: submit instant on the admission
+      // track -> midpoint of the run slice on whichever worker ran the job,
+      // so Perfetto draws the queue -> run handoff.
+      obs::FlowEvent fs;
+      fs.name = "job";
+      fs.cat = "svc.flow";
+      fs.id = job.trace_ctx_.trace_id;
+      fs.tid = kAdmissionTid;
+      fs.ts = ts_us(job.submit_time_);
+      fs.phase = 's';
+      obs::FlowEvent ff = fs;
+      ff.tid = tid;
+      ff.ts = run_ts + run_dur * 0.5;
+      ff.phase = 'f';
+      opts_.timeline->record_flow(std::move(fs));
+      opts_.timeline->record_flow(std::move(ff));
+    }
   }
 
   const auto it = breakers_.find(workload_class);

@@ -55,8 +55,10 @@
 #include <vector>
 
 #include "common/backoff.h"
+#include "obs/log.h"
 #include "obs/registry.h"
 #include "obs/timeline.h"
+#include "obs/trace.h"
 #include "svc/circuit_breaker.h"
 #include "svc/job.h"
 
@@ -78,7 +80,23 @@ struct RunnerOptions {
   // Optional job-lifecycle span sink (submit -> run -> retry -> terminal),
   // not owned; must outlive the runner. Timestamps are wall microseconds
   // since runner construction. Access is serialized under the runner mutex.
+  // With a TraceSink also attached, the runner adds per-trace flow arrows
+  // (submit instant -> run slice) so Perfetto draws the queue->run handoff.
   obs::Timeline* timeline = nullptr;
+  // Distributed tracing (obs/trace.h): with a sink attached the runner mints
+  // a TraceContext per submitted job (trace_seed ^ submission sequence, so
+  // ids are reproducible across runs and worker counts) and records job /
+  // queue / attempt / backoff spans, propagates the context into both
+  // simulator engines (trace_detail bounds their span volume) and exposes it
+  // to ThreadPool fan-outs via the ambient thread-local. Null = tracing off:
+  // the whole path reduces to pointer tests, no allocation. Not owned; must
+  // outlive the runner.
+  obs::TraceSink* trace = nullptr;
+  obs::TraceDetail trace_detail = obs::TraceDetail::Phases;
+  std::uint64_t trace_seed = 0xa1c4'e015'7f1a'6e57ull;
+  // Structured flight recorder (obs/log.h): job lifecycle events (admitted /
+  // shed / retry / terminal) with the job's trace id attached. Null = off.
+  obs::EventLog* log = nullptr;
 };
 
 class JobRunner {

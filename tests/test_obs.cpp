@@ -3,6 +3,8 @@
 // (telemetry on/off yields bit-identical SimResults).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <iterator>
@@ -11,6 +13,9 @@
 #include <vector>
 
 #include "arch/config.h"
+#include "common/thread_pool.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "obs/histogram.h"
 #include "obs/json.h"
 #include "obs/prometheus.h"
@@ -604,6 +609,305 @@ TEST(ObsPrometheus, NonFiniteGaugesUseCanonicalSpelling) {
   EXPECT_NE(text.find("sim_a NaN"), std::string::npos);
   EXPECT_NE(text.find("sim_b +Inf"), std::string::npos);
   EXPECT_NE(text.find("sim_c -Inf"), std::string::npos);
+}
+
+// --- Distributed tracing / flight recorder --------------------------------
+
+obs::SpanRecord make_span(std::uint64_t trace, std::uint64_t span,
+                          std::uint64_t parent, const char* name,
+                          double ts = 0, double dur = 1) {
+  obs::SpanRecord s;
+  s.trace_id = trace;
+  s.span_id = span;
+  s.parent_span = parent;
+  s.name = name;
+  s.kind = "svc";
+  s.track = "svc/test";
+  s.ts = ts;
+  s.dur = dur;
+  return s;
+}
+
+TEST(ObsSpan, IdMintingIsDeterministicAndNonzero) {
+  EXPECT_EQ(obs::mint_trace_id(7), obs::mint_trace_id(7));
+  EXPECT_NE(obs::mint_trace_id(7), obs::mint_trace_id(8));
+  EXPECT_NE(obs::mint_trace_id(0), 0u);
+
+  const std::uint64_t t = obs::mint_trace_id(1);
+  EXPECT_EQ(obs::mint_span_id(t, 0, "job", 0), obs::mint_span_id(t, 0, "job", 0));
+  EXPECT_NE(obs::mint_span_id(t, 0, "job", 0), obs::mint_span_id(t, 0, "job", 1));
+  EXPECT_NE(obs::mint_span_id(t, 0, "job", 0), obs::mint_span_id(t, 0, "queue", 0));
+
+  obs::TraceContext root;
+  root.trace_id = t;
+  root.span_id = obs::mint_span_id(t, 0, "job", 0);
+  const obs::TraceContext child = obs::child_context(root, "attempt", 1);
+  EXPECT_EQ(child.trace_id, t);
+  EXPECT_EQ(child.parent_span, root.span_id);
+  EXPECT_EQ(child.span_id, obs::mint_span_id(t, root.span_id, "attempt", 1));
+  EXPECT_TRUE(child.valid());
+  EXPECT_FALSE(obs::TraceContext{}.valid());
+}
+
+TEST(ObsSpan, SinkRingEvictsOldestAndCountsDrops) {
+  obs::TraceSink sink(4);
+  for (int i = 0; i < 6; ++i) {
+    sink.record(make_span(1, 10 + i, 0, "s", /*ts=*/i));
+  }
+  EXPECT_EQ(sink.recorded(), 6u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  const std::vector<obs::SpanRecord> spans = sink.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().span_id, 12u);  // oldest two evicted
+  EXPECT_EQ(spans.back().span_id, 15u);
+  sink.clear();
+  EXPECT_EQ(sink.recorded(), 0u);
+  EXPECT_TRUE(sink.snapshot().empty());
+}
+
+TEST(ObsSpan, RecordBatchDrainsUnderOneLockAndKeepsCapacity) {
+  obs::TraceSink sink;
+  std::vector<obs::SpanRecord> batch;
+  for (int i = 0; i < 100; ++i) batch.push_back(make_span(1, 1 + i, 0, "s"));
+  const std::size_t cap = batch.capacity();
+  sink.record_batch(batch);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.capacity(), cap);
+  EXPECT_EQ(sink.recorded(), 100u);
+  sink.record_batch(batch);  // empty batch is a no-op
+  EXPECT_EQ(sink.recorded(), 100u);
+}
+
+TEST(ObsSpan, VirtualClockMakesTimestampsDeterministic) {
+  obs::TraceSink sink;
+  double now = 1000.0;
+  sink.set_clock([&now] { return now; });
+  EXPECT_EQ(sink.now_us(), 1000.0);
+  now = 2500.0;
+  EXPECT_EQ(sink.now_us(), 2500.0);
+}
+
+TEST(ObsSpan, ThreadPoolFanOutAdoptsAmbientContext) {
+  obs::TraceSink sink;
+  obs::TraceContext ctx;
+  ctx.trace_id = obs::mint_trace_id(42);
+  ctx.span_id = obs::mint_span_id(ctx.trace_id, 0, "attempt", 1);
+
+  std::atomic<std::size_t> sum{0};
+  {
+    obs::ScopedTraceContext scope(&sink, ctx);
+    parallel_for(1024, 1, [&](std::size_t b, std::size_t e) {
+      sum.fetch_add(e - b, std::memory_order_relaxed);
+    });
+    parallel_for(1024, 1, [&](std::size_t b, std::size_t e) {
+      sum.fetch_add(e - b, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 2048u);
+  const std::vector<obs::SpanRecord> spans = sink.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  for (const obs::SpanRecord& s : spans) {
+    EXPECT_EQ(s.name, "parallel_for");
+    EXPECT_EQ(s.kind, "pool");
+    EXPECT_EQ(s.trace_id, ctx.trace_id);
+    EXPECT_EQ(s.parent_span, ctx.span_id);
+  }
+  // Sequential fan-outs under one scope take consecutive ordinals.
+  EXPECT_EQ(spans[0].span_id,
+            obs::mint_span_id(ctx.trace_id, ctx.span_id, "parallel_for", 0));
+  EXPECT_EQ(spans[1].span_id,
+            obs::mint_span_id(ctx.trace_id, ctx.span_id, "parallel_for", 1));
+
+  // Outside a scope the pool records nothing: the zero-overhead no-op path.
+  parallel_for(1024, 1, [&](std::size_t b, std::size_t e) {
+    sum.fetch_add(e - b, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sink.recorded(), 2u);
+}
+
+TEST(ObsSpan, SpansJsonHasStableSchema) {
+  obs::SpanRecord s = make_span(0xabcull, 0x123ull, 0, "job", 5.0, 10.0);
+  s.attrs = {{"class", "Pmult"}};
+  s.num_attrs = {{"seq", 3.0}};
+  const std::string doc = obs::spans_json({s}, /*recorded=*/1, /*dropped=*/0, "test");
+  EXPECT_NE(doc.find("\"schema\":\"spans.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"tool\":\"test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"trace\":\"0x0000000000000abc\""), std::string::npos);
+  EXPECT_NE(doc.find("\"span\":\"0x0000000000000123\""), std::string::npos);
+  EXPECT_NE(doc.find("\"parent\":\"0x0000000000000000\""), std::string::npos);
+  EXPECT_NE(doc.find("\"clock\":\"us\""), std::string::npos);
+  EXPECT_NE(doc.find("\"class\":\"Pmult\""), std::string::npos);
+  EXPECT_NE(doc.find("\"seq\":3"), std::string::npos);
+}
+
+TEST(ObsSpan, TracezListsRecentAndSlowestPerClass) {
+  obs::TraceSink sink;
+  obs::SpanRecord fast = make_span(1, 11, 0, "job", 0, 10);
+  fast.attrs = {{"class", "Pmult"}};
+  obs::SpanRecord slow = make_span(2, 21, 0, "job", 0, 99);
+  slow.attrs = {{"class", "Pmult"}};
+  obs::SpanRecord other = make_span(3, 31, 0, "job", 0, 50);
+  other.attrs = {{"class", "Rotation"}};
+  sink.record(fast);
+  sink.record(slow);
+  sink.record(other);
+
+  const std::string doc = obs::tracez_json(sink, /*recent_n=*/10, /*slowest_n=*/1);
+  EXPECT_NE(doc.find("\"recorded\":3"), std::string::npos);
+  // Slowest-1 for Pmult is the dur=99 root; the dur=10 one is trimmed.
+  const std::size_t slowest = doc.find("\"slowest\"");
+  ASSERT_NE(slowest, std::string::npos);
+  EXPECT_NE(doc.find("\"Pmult\":[", slowest), std::string::npos);
+  EXPECT_NE(doc.find("\"Rotation\":[", slowest), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\":99", slowest), std::string::npos);
+  EXPECT_EQ(doc.find("\"dur\":10", slowest), std::string::npos);
+
+  // Class filter narrows both sections.
+  const std::string filtered = obs::tracez_json(sink, 10, 1, "Rotation");
+  EXPECT_EQ(filtered.find("\"Pmult\""), std::string::npos);
+  EXPECT_NE(filtered.find("\"Rotation\""), std::string::npos);
+}
+
+TEST(ObsSpan, MergeIntoTimelineEmitsSlicesAndFlows) {
+  const std::uint64_t trace = obs::mint_trace_id(5);
+  obs::SpanRecord queue = make_span(trace, 2, 1, "queue", 0, 10);
+  queue.track = "svc/queue";
+  obs::SpanRecord attempt = make_span(trace, 3, 1, "attempt", 10, 20);
+  attempt.track = "svc/worker0";
+
+  obs::Timeline timeline(true);
+  obs::merge_spans_into_timeline({queue, attempt}, timeline, /*tid_base=*/500);
+  ASSERT_EQ(timeline.events().size(), 2u);
+  for (const obs::TraceEvent& ev : timeline.events()) {
+    EXPECT_GE(ev.tid, 500u);
+  }
+  // One queue->attempt flow arrow: a start/finish pair sharing the trace id.
+  ASSERT_EQ(timeline.flow_events().size(), 2u);
+  EXPECT_EQ(timeline.flow_events()[0].phase, 's');
+  EXPECT_EQ(timeline.flow_events()[1].phase, 'f');
+  EXPECT_EQ(timeline.flow_events()[0].id, trace);
+  EXPECT_EQ(timeline.flow_events()[1].id, trace);
+
+  const std::string json = timeline.chrome_trace_json();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("span/svc/queue"), std::string::npos);
+}
+
+TEST(ObsLog, RingFiltersBySeverityNewestFirst) {
+  obs::EventLog log;
+  double now = 100.0;
+  log.set_clock([&now] { return now; });
+  for (int i = 0; i < 5; ++i) {
+    obs::LogEvent ev;
+    ev.severity = (i % 2 == 0) ? obs::Severity::Debug : obs::Severity::Warn;
+    ev.component = "test";
+    ev.message = "e" + std::to_string(i);
+    log.record(std::move(ev));
+    now += 1.0;
+  }
+  EXPECT_EQ(log.recorded(), 5u);
+
+  // Newest n surviving the severity floor, returned oldest first.
+  const std::vector<obs::LogEvent> warns = log.tail(10, obs::Severity::Warn);
+  ASSERT_EQ(warns.size(), 2u);
+  EXPECT_EQ(warns[0].message, "e1");
+  EXPECT_EQ(warns[1].message, "e3");
+  EXPECT_EQ(warns[0].ts_us, 101.0);  // virtual clock stamped at record time
+
+  const std::vector<obs::LogEvent> last2 = log.tail(2, obs::Severity::Debug);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_EQ(last2[0].message, "e3");
+  EXPECT_EQ(last2[1].message, "e4");
+
+  const std::string jsonl = obs::log_jsonl(warns);
+  EXPECT_NE(jsonl.find("\"sev\":\"warn\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"msg\":\"e3\""), std::string::npos);
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'),
+            static_cast<std::ptrdiff_t>(warns.size()));
+}
+
+TEST(ObsLog, SeverityParsingRoundTrips) {
+  EXPECT_EQ(obs::parse_severity("warn", obs::Severity::Debug), obs::Severity::Warn);
+  EXPECT_EQ(obs::parse_severity("error", obs::Severity::Debug), obs::Severity::Error);
+  EXPECT_EQ(obs::parse_severity("bogus", obs::Severity::Info), obs::Severity::Info);
+  EXPECT_STREQ(obs::to_string(obs::Severity::Error), "error");
+}
+
+TEST(ObsSpan, LevelEngineChainsNarrowLevelsAtPhasesDetail) {
+  // A long single-op chain into one wide fan-out level: Phases detail must
+  // coalesce the chain and keep one "level" span for the wide level.
+  OpGraph g;
+  g.name = "chainy";
+  std::size_t prev = g.add(make_op(OpKind::Ntt, 4096, 2));
+  for (int i = 0; i < 9; ++i) {
+    prev = g.add(make_op(OpKind::PointwiseMult, 4096, 2, {prev}));
+  }
+  std::vector<std::size_t> wide;
+  for (int i = 0; i < 8; ++i) {
+    wide.push_back(g.add(make_op(OpKind::PointwiseMult, 4096, 2, {prev})));
+  }
+  g.add(make_op(OpKind::PointwiseAdd, 4096, 2, wide));
+
+  obs::TraceSink sink;
+  sim::SimControl ctl;
+  ctl.trace = &sink;
+  ctl.trace_ctx.trace_id = obs::mint_trace_id(9);
+  ctl.trace_ctx.span_id = obs::mint_span_id(ctl.trace_ctx.trace_id, 0, "attempt", 1);
+  ctl.trace_detail = obs::TraceDetail::Phases;
+
+  const sim::SimResult ref = sim::simulate_alchemist(g, arch::ArchConfig::alchemist());
+  const sim::SimResult traced = sim::simulate_alchemist(
+      g, arch::ArchConfig::alchemist(), nullptr, nullptr, &ctl);
+  EXPECT_EQ(traced.cycles, ref.cycles);
+  EXPECT_EQ(traced.registry.counters(), ref.registry.counters());
+
+  std::size_t chains = 0, levels = 0, sims = 0;
+  double chain_levels = 0;
+  for (const obs::SpanRecord& s : sink.snapshot()) {
+    EXPECT_EQ(s.trace_id, ctl.trace_ctx.trace_id);
+    if (s.name == "chain") {
+      ++chains;
+      for (const auto& [k, v] : s.num_attrs) {
+        if (k == "levels") chain_levels += v;
+      }
+      EXPECT_EQ(s.clock, obs::SpanClock::Cycles);
+    } else if (s.name == "level") {
+      ++levels;
+    } else if (s.name == "sim") {
+      ++sims;
+    }
+  }
+  // 12 scheduling levels: 10-deep chain + final add chain around one wide
+  // 8-op level, which alone earns a per-level span.
+  EXPECT_EQ(sims, 1u);
+  EXPECT_EQ(levels, 1u);
+  EXPECT_GE(chains, 1u);
+  EXPECT_EQ(chain_levels, 11.0);
+}
+
+TEST(ObsObserverEffect, OpTracingDoesNotPerturbEventSim) {
+  const OpGraph g = tiny_graph();
+  const sim::SimResult ref =
+      sim::simulate_alchemist_events(g, arch::ArchConfig::alchemist());
+
+  obs::TraceSink sink;
+  sim::SimControl ctl;
+  ctl.trace = &sink;
+  ctl.trace_ctx.trace_id = obs::mint_trace_id(11);
+  ctl.trace_ctx.span_id = obs::mint_span_id(ctl.trace_ctx.trace_id, 0, "attempt", 1);
+  ctl.trace_detail = obs::TraceDetail::Ops;
+  const sim::SimResult traced = sim::simulate_alchemist_events(
+      g, arch::ArchConfig::alchemist(), nullptr, nullptr, &ctl);
+
+  EXPECT_EQ(traced.cycles, ref.cycles);
+  EXPECT_EQ(traced.time_us, ref.time_us);
+  EXPECT_EQ(traced.registry.counters(), ref.registry.counters());
+  std::size_t op_spans = 0;
+  for (const obs::SpanRecord& s : sink.snapshot()) {
+    if (s.track == "sim/ops") ++op_spans;
+  }
+  EXPECT_EQ(op_spans, g.ops.size());
 }
 
 }  // namespace

@@ -3,13 +3,25 @@
 // semantics, including the terminal-state partition invariant.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
+#include <string>
+#include <tuple>
 
 #include "common/backoff.h"
 #include "fault/injector.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "sim/alchemist_sim.h"
+#include "svc/introspect.h"
 #include "svc/job_runner.h"
 #include "workloads/ckks_workloads.h"
 
@@ -563,6 +575,266 @@ TEST(JobRunner, TerminalCountersPartitionSubmitted) {
   EXPECT_EQ(terminal, reg.counter(svc::metrics::kSubmitted));
   EXPECT_EQ(reg.counter(svc::metrics::kSubmitted), 12u);
   for (const svc::JobPtr& j : jobs) EXPECT_TRUE(j->terminal());
+}
+
+// --- Distributed tracing / flight recorder --------------------------------
+
+// (trace, span, parent, name, kind) identity of a span tree: everything that
+// must be invariant across worker counts and repeat runs. Timestamps and
+// track assignment (which worker ran an attempt) legitimately vary.
+using SpanKey =
+    std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::string, std::string>;
+
+std::multiset<SpanKey> span_tree(const obs::TraceSink& sink) {
+  std::multiset<SpanKey> keys;
+  for (const obs::SpanRecord& s : sink.snapshot()) {
+    keys.insert({s.trace_id, s.span_id, s.parent_span, s.name, s.kind});
+  }
+  return keys;
+}
+
+TEST(JobRunner, TracedRunIsBitIdenticalWithSummary) {
+  const auto graph = keyswitch_graph();
+  const sim::SimResult ref =
+      sim::simulate_alchemist(*graph, arch::ArchConfig::alchemist());
+
+  obs::TraceSink sink;
+  obs::EventLog log;
+  svc::RunnerOptions opts;
+  opts.trace = &sink;
+  opts.log = &log;
+  svc::JobRunner runner(opts);
+  svc::JobSpec spec;
+  spec.graph = graph;
+  spec.name = "traced";
+  const svc::JobPtr job = runner.submit(std::move(spec));
+  job->wait();
+  ASSERT_EQ(job->state(), svc::JobState::Completed) << job->error();
+  EXPECT_EQ(job->result().cycles, ref.cycles);
+  EXPECT_EQ(job->result().time_us, ref.time_us);
+  EXPECT_EQ(job->result().registry.counters(), ref.registry.counters());
+
+  const svc::TraceSummary sum = job->trace_summary();
+  EXPECT_NE(sum.trace_id, 0u);
+  EXPECT_EQ(sum.trace_id, job->trace_context().trace_id);
+  EXPECT_NE(sum.root_span, 0u);
+  EXPECT_EQ(sum.attempts, 1u);
+  EXPECT_EQ(sum.retries, 0u);
+  EXPECT_GT(sum.total_us, 0.0);
+  EXPECT_GE(sum.total_us, sum.run_us);
+  EXPECT_EQ(sum.sim_us, ref.time_us);
+
+  // The span tree holds the job root, its queue wait, one attempt and the
+  // engine's run span, all on the same trace.
+  std::map<std::string, std::size_t> by_name;
+  for (const obs::SpanRecord& s : sink.snapshot()) {
+    EXPECT_EQ(s.trace_id, sum.trace_id);
+    ++by_name[s.name];
+  }
+  EXPECT_EQ(by_name["job"], 1u);
+  EXPECT_EQ(by_name["queue"], 1u);
+  EXPECT_EQ(by_name["attempt"], 1u);
+  EXPECT_EQ(by_name["sim"], 1u);
+
+  // Flight recorder saw admission and completion for the job.
+  const std::vector<obs::LogEvent> events = log.tail(10);
+  ASSERT_GE(events.size(), 2u);
+  for (const obs::LogEvent& ev : events) EXPECT_EQ(ev.trace_id, sum.trace_id);
+}
+
+TEST(JobRunner, RetryKeepsTraceIdAndRecordsBackoffSpans) {
+  const auto graph = keyswitch_graph();
+  obs::TraceSink sink;
+  obs::EventLog log;
+  svc::RunnerOptions opts;
+  opts.trace = &sink;
+  opts.log = &log;
+  opts.backoff.base_us = 1000;
+  svc::JobRunner runner(opts);
+  svc::JobSpec spec;
+  spec.graph = graph;
+  spec.fault_enabled = true;
+  spec.fault.compute_fault_rate = 1.0;  // every attempt corrupts
+  spec.max_attempts = 3;
+  const svc::JobPtr job = runner.submit(std::move(spec));
+  job->wait();
+  ASSERT_EQ(job->state(), svc::JobState::Failed);
+
+  const svc::TraceSummary sum = job->trace_summary();
+  EXPECT_EQ(sum.attempts, 3u);
+  EXPECT_EQ(sum.retries, 2u);
+  EXPECT_GT(sum.backoff_us, 0.0);
+
+  std::size_t attempts = 0, backoffs = 0;
+  for (const obs::SpanRecord& s : sink.snapshot()) {
+    EXPECT_EQ(s.trace_id, sum.trace_id) << s.name;
+    if (s.name == "attempt") ++attempts;
+    if (s.name == "backoff") ++backoffs;
+  }
+  EXPECT_EQ(attempts, 3u);
+  EXPECT_EQ(backoffs, 2u);  // no backoff after the final attempt
+
+  bool saw_retry_event = false;
+  for (const obs::LogEvent& ev : log.tail(32)) {
+    if (ev.message.find("retry") != std::string::npos) saw_retry_event = true;
+  }
+  EXPECT_TRUE(saw_retry_event);
+}
+
+TEST(JobRunner, ResumeJoinsTheOriginalTrace) {
+  const auto graph = keyswitch_graph();
+  const sim::SimResult ref =
+      sim::simulate_alchemist(*graph, arch::ArchConfig::alchemist());
+
+  obs::TraceSink sink;
+  svc::RunnerOptions opts;
+  opts.trace = &sink;
+  svc::JobRunner runner(opts);
+  svc::JobSpec spec;
+  spec.graph = graph;
+  spec.max_steps = 1;
+  const svc::JobPtr job = runner.submit(std::move(spec));
+  job->wait();
+  ASSERT_EQ(job->state(), svc::JobState::DeadlineExpired);
+  ASSERT_TRUE(job->checkpoint().valid());
+  EXPECT_GT(job->trace_summary().checkpoint_bytes, 0u);
+
+  svc::JobSpec resume;
+  resume.graph = graph;
+  resume.resume_from = job->checkpoint();
+  resume.trace = job->trace_context();  // both halves share one trace
+  const svc::JobPtr resumed = runner.submit(std::move(resume));
+  resumed->wait();
+  ASSERT_EQ(resumed->state(), svc::JobState::Completed) << resumed->error();
+  EXPECT_EQ(resumed->result().cycles, ref.cycles);
+
+  EXPECT_EQ(resumed->trace_context().trace_id, job->trace_context().trace_id);
+  // The resumed root is linked under the interrupted job's root span, and
+  // the interrupted half recorded its checkpoint capture.
+  std::size_t roots = 0, checkpoints = 0;
+  for (const obs::SpanRecord& s : sink.snapshot()) {
+    EXPECT_EQ(s.trace_id, job->trace_context().trace_id);
+    if (s.name == "job") {
+      ++roots;
+      if (s.span_id == resumed->trace_context().span_id) {
+        EXPECT_EQ(s.parent_span, job->trace_context().span_id);
+      }
+    }
+    if (s.name == "checkpoint") ++checkpoints;
+  }
+  EXPECT_EQ(roots, 2u);
+  EXPECT_GE(checkpoints, 1u);
+}
+
+TEST(JobRunner, SpanTreeIsWorkerCountInvariant) {
+  const auto graph = keyswitch_graph();
+  std::multiset<SpanKey> reference;
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    obs::TraceSink sink;
+    svc::RunnerOptions opts;
+    opts.workers = workers;
+    opts.trace = &sink;
+    svc::JobRunner runner(opts);
+    std::vector<svc::JobPtr> jobs;
+    for (int i = 0; i < 8; ++i) {
+      svc::JobSpec spec;
+      spec.graph = graph;
+      spec.engine = (i % 2 == 0) ? svc::Engine::Level : svc::Engine::Event;
+      jobs.push_back(runner.submit(std::move(spec)));
+    }
+    runner.drain();
+    for (const svc::JobPtr& j : jobs) {
+      ASSERT_EQ(j->state(), svc::JobState::Completed) << j->error();
+    }
+    const std::multiset<SpanKey> tree = span_tree(sink);
+    EXPECT_FALSE(tree.empty());
+    if (reference.empty()) {
+      reference = tree;
+    } else {
+      EXPECT_EQ(tree, reference) << "span tree varies at " << workers << " workers";
+    }
+  }
+}
+
+// --- Introspection endpoints ----------------------------------------------
+
+// Minimal blocking HTTP/1.1 GET against loopback; returns the raw response.
+std::string http_get(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  (void)!::write(fd, req.data(), req.size());
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) out.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return out;
+}
+
+TEST(Introspection, BuildInfoJsonReportsProvenance) {
+  const std::string info = svc::build_info_json();
+  EXPECT_NE(info.find("\"version\""), std::string::npos);
+  EXPECT_NE(info.find("\"build_type\""), std::string::npos);
+  EXPECT_NE(info.find("\"compiler\""), std::string::npos);
+  EXPECT_NE(info.find("\"standard\""), std::string::npos);
+  EXPECT_NE(info.find("\"sanitizers\""), std::string::npos);
+}
+
+TEST(Introspection, EphemeralPortServesTraceLogAndBuildEndpoints) {
+  const auto graph = keyswitch_graph();
+  obs::TraceSink sink;
+  obs::EventLog log;
+  svc::RunnerOptions opts;
+  opts.trace = &sink;
+  opts.log = &log;
+  svc::JobRunner runner(opts);
+  for (int i = 0; i < 4; ++i) {
+    svc::JobSpec spec;
+    spec.graph = graph;
+    runner.submit(std::move(spec));
+  }
+  runner.drain();
+
+  svc::IntrospectionServer server(
+      /*port=*/0, [&] { return runner.snapshot(); },
+      [&] { return runner.status_json(); },
+      svc::IntrospectionOptions{&sink, &log});
+  ASSERT_TRUE(server.ok()) << server.error();
+  // Port 0 must resolve to the actually-bound ephemeral port.
+  ASSERT_GT(server.port(), 0);
+
+  const std::string buildz = http_get(server.port(), "/buildz");
+  EXPECT_NE(buildz.find("200 OK"), std::string::npos);
+  EXPECT_NE(buildz.find("\"version\""), std::string::npos);
+
+  const std::string tracez = http_get(server.port(), "/tracez?n=5&slowest=2");
+  EXPECT_NE(tracez.find("200 OK"), std::string::npos);
+  EXPECT_NE(tracez.find("\"recent\""), std::string::npos);
+  EXPECT_NE(tracez.find("\"slowest\""), std::string::npos);
+
+  const std::string logz = http_get(server.port(), "/logz?n=10&min=info");
+  EXPECT_NE(logz.find("200 OK"), std::string::npos);
+  EXPECT_NE(logz.find("\"sev\":\"info\""), std::string::npos);
+  EXPECT_EQ(logz.find("\"sev\":\"debug\""), std::string::npos);
+}
+
+TEST(Introspection, TraceAndLogEndpointsAre404WithoutSources) {
+  svc::IntrospectionServer server(
+      /*port=*/0, [] { return obs::Registry(); }, [] { return std::string("{}"); });
+  ASSERT_TRUE(server.ok()) << server.error();
+  EXPECT_NE(http_get(server.port(), "/tracez").find("404"), std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/logz").find("404"), std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/buildz").find("200 OK"), std::string::npos);
 }
 
 }  // namespace

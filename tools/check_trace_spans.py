@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate span well-formedness in a spans.v1 trace document.
+
+Usage:
+    check_trace_spans.py TRACE.json [--allow-drops] [--min-spans N]
+
+Accepts either a standalone `spans.v1` document (alchemist_serve --trace-out,
+svc_soak --trace-out) or a `metrics.v1` report whose runs embed a spans
+section (Registry::attach_spans).  Checks, per span set:
+
+  * document bookkeeping: count matches the span array, recorded = count +
+    dropped, and dropped == 0 unless --allow-drops is passed;
+  * ids: every span/trace id is nonzero and (trace, span) pairs are unique;
+  * parentage: a span's parent is either 0 (root) or another span of the
+    same trace present in the document (with --allow-drops a missing parent
+    is tolerated, since the ring may have evicted it);
+  * containment: a child's [ts, ts+dur] interval lies inside its parent's,
+    checked only when both spans are stamped in the same clock domain
+    (host wall-us spans never nest inside cycle-domain simulator spans);
+  * thread serialization: spans on the svc/worker* tracks are recorded by a
+    single worker thread each, so within a track they must be pairwise
+    disjoint or nested.  Queue and simulator tracks interleave concurrent
+    jobs (and independent cycle timelines) and are exempt.
+
+Exit status 0 when every span set passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+# Sequential tracks: one producer thread, wall-clock domain.  svc/queue holds
+# concurrently-queued jobs and sim* tracks restart their cycle timeline per
+# job, so only the worker tracks promise serialization.
+SEQUENTIAL_TRACK_PREFIXES = ("svc/worker",)
+
+# Slack for float round-trips and for parents whose end is stamped a hair
+# before the child's recording (microseconds / cycles).
+EPS = 0.51
+
+
+def fail(errors, fmt, *args):
+    errors.append(fmt % args if args else fmt)
+
+
+def check_span_set(label, doc, allow_drops, errors):
+    """Validate one spans.v1 object; append human-readable errors."""
+    if doc.get("schema") != "spans.v1":
+        fail(errors, "%s: schema is %r, expected 'spans.v1'", label, doc.get("schema"))
+        return 0
+    spans = doc.get("spans", [])
+    recorded = doc.get("recorded", 0)
+    dropped = doc.get("dropped", 0)
+    if doc.get("count") != len(spans):
+        fail(errors, "%s: count=%s but document holds %d spans", label, doc.get("count"), len(spans))
+    if recorded != len(spans) + dropped:
+        fail(errors, "%s: recorded=%d != kept %d + dropped %d", label, recorded, len(spans), dropped)
+    if dropped and not allow_drops:
+        fail(errors, "%s: %d spans dropped (ring overflow); size the sink or pass --allow-drops", label, dropped)
+
+    ids = {}
+    for i, s in enumerate(spans):
+        trace, span = int(s["trace"], 16), int(s["span"], 16)
+        if trace == 0:
+            fail(errors, "%s: span #%d (%s) has zero trace id", label, i, s["name"])
+        if span == 0:
+            fail(errors, "%s: span #%d (%s) has zero span id", label, i, s["name"])
+        if (trace, span) in ids:
+            fail(errors, "%s: duplicate span id 0x%016x in trace 0x%016x (%s and %s)",
+                 label, span, trace, ids[(trace, span)]["name"], s["name"])
+        ids[(trace, span)] = s
+
+    for s in spans:
+        trace, parent = int(s["trace"], 16), int(s["parent"], 16)
+        if parent == 0:
+            continue
+        p = ids.get((trace, parent))
+        if p is None:
+            if not (allow_drops and dropped):
+                fail(errors, "%s: span %s/%s names missing parent 0x%016x",
+                     label, s["trace"], s["name"], parent)
+            continue
+        if p["clock"] != s["clock"]:
+            continue  # cross-clock nesting carries no interval contract
+        if s["name"] == "job" and p["name"] == "job":
+            # A resumed job parents its root span under the interrupted
+            # job's root: follows-from linkage, which by construction starts
+            # after the parent ended.  Only the tree edge is asserted.
+            continue
+        if s["ts"] < p["ts"] - EPS or s["ts"] + s["dur"] > p["ts"] + p["dur"] + EPS:
+            fail(errors,
+                 "%s: child %s [%.3f, %.3f] escapes parent %s [%.3f, %.3f] (trace %s)",
+                 label, s["name"], s["ts"], s["ts"] + s["dur"],
+                 p["name"], p["ts"], p["ts"] + p["dur"], s["trace"])
+
+    by_track = {}
+    for s in spans:
+        if s["track"].startswith(SEQUENTIAL_TRACK_PREFIXES):
+            by_track.setdefault(s["track"], []).append(s)
+    for track, ts in by_track.items():
+        ts.sort(key=lambda s: (s["ts"], -s["dur"]))
+        # Nested spans are fine (a backoff inside an attempt window would
+        # be); partial overlap on a single-threaded track is a clock bug.
+        open_stack = []
+        for s in ts:
+            while open_stack and open_stack[-1]["ts"] + open_stack[-1]["dur"] <= s["ts"] + EPS:
+                open_stack.pop()
+            if open_stack:
+                top = open_stack[-1]
+                if s["ts"] + s["dur"] > top["ts"] + top["dur"] + EPS:
+                    fail(errors,
+                         "%s: %s spans %s [%.3f, %.3f] and %s [%.3f, %.3f] partially overlap",
+                         label, track, top["name"], top["ts"], top["ts"] + top["dur"],
+                         s["name"], s["ts"], s["ts"] + s["dur"])
+                    continue
+            open_stack.append(s)
+    return len(spans)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="spans.v1 document or metrics.v1 report")
+    ap.add_argument("--allow-drops", action="store_true",
+                    help="tolerate ring overflow (dropped > 0 and orphaned parents)")
+    ap.add_argument("--min-spans", type=int, default=1,
+                    help="fail if fewer than N spans total survive (default 1)")
+    args = ap.parse_args()
+
+    with open(args.trace) as f:
+        doc = json.load(f)
+
+    errors = []
+    total = 0
+    if doc.get("schema") == "spans.v1":
+        total += check_span_set(args.trace, doc, args.allow_drops, errors)
+    elif "runs" in doc:
+        for i, run in enumerate(doc["runs"]):
+            if "spans" in run:
+                total += check_span_set("%s run[%d]" % (args.trace, i),
+                                        run["spans"], args.allow_drops, errors)
+    else:
+        errors.append("%s: neither a spans.v1 document nor a metrics report with runs" % args.trace)
+
+    if total < args.min_spans:
+        errors.append("%s: only %d spans present, expected at least %d" % (args.trace, total, args.min_spans))
+
+    for e in errors:
+        print("check_trace_spans: FAIL:", e, file=sys.stderr)
+    if errors:
+        return 1
+    print("check_trace_spans: OK: %d spans validated in %s" % (total, args.trace))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
