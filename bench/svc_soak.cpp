@@ -31,11 +31,19 @@
 //                      traced runs graft their spans in as a spans.v1 section
 //   --trace-out F      write the traced run's spans as a standalone spans.v1
 //                      document (CI feeds this to tools/check_trace_spans.py)
+//   --overload         adversarial multi-tenant isolation scenarios (bursty
+//                      flood, slow-job poisoning, quota probing, overload
+//                      degrade ladder, tenancy-defaults identity); all
+//                      admission verdicts deterministic
+//   --fairness-out F   write the --overload per-tenant stats as a fairness.v1
+//                      JSON report (CI gates it with tools/check_fairness.py)
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -408,22 +416,460 @@ bool run_smoke(const std::string& trace_out) {
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial multi-tenant overload soak (--overload).
+//
+// Deterministic isolation scenarios: every admission verdict is decided
+// against parked workers with non-replenishing (rate 0) token buckets, so the
+// admitted/rejected split is bit-reproducible; only the latency percentiles
+// are wall-clock, and those gate in CI via tools/check_fairness.py against
+// the solo baseline, never in-binary.
+//
+//   solo         the well-behaved tenant alone: the p99 baseline
+//   bursty       adversary floods 10x its rate quota; victim shares the pool
+//   slowjob      adversary holds heavyweight jobs under a concurrency cap
+//   quota_probe  adversary hammers past its burst budget probing for leaks
+//   degrade      overload ladder: degradable jobs run Reduced, then shed
+//   identity     tenancy defaults leave untenanted runs bit-identical
+// ---------------------------------------------------------------------------
+
+constexpr const char* kVictim = "victim";
+constexpr const char* kAdversary = "adversary";
+
+struct TenantStats {
+  u64 submitted = 0, admitted = 0, completed = 0, quota_exceeded = 0, shed = 0,
+      degraded = 0;
+  u64 quota = 0;  // expected admitted under the scenario's contract (0 = n/a)
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+};
+
+TenantStats tenant_stats(const obs::Registry& reg, const std::string& t) {
+  TenantStats s;
+  s.submitted = reg.counter(svc::metrics::kTenantSubmitted, {{"tenant", t}});
+  s.admitted = reg.counter(svc::metrics::kTenantAdmitted, {{"tenant", t}});
+  s.completed = reg.counter(svc::metrics::kTenantTerminal,
+                            {{"state", "completed"}, {"tenant", t}});
+  s.quota_exceeded =
+      reg.counter(svc::metrics::kTenantRejected,
+                  {{"reason", "quota_rate"}, {"tenant", t}}) +
+      reg.counter(svc::metrics::kTenantRejected,
+                  {{"reason", "quota_concurrency"}, {"tenant", t}});
+  for (const char* reason : {"queue_full", "tenant_queue_full", "shutdown", "overload"}) {
+    s.shed += reg.counter(svc::metrics::kTenantRejected,
+                          {{"reason", reason}, {"tenant", t}});
+  }
+  s.degraded = reg.counter(svc::metrics::kTenantDegraded, {{"tenant", t}});
+  const obs::Histogram& h =
+      reg.histogram(svc::metrics::kLatencyTotalUs, {{"tenant", t}});
+  if (h.count() > 0) {
+    s.p50_us = h.percentile(50.0);
+    s.p95_us = h.percentile(95.0);
+    s.p99_us = h.percentile(99.0);
+  }
+  return s;
+}
+
+svc::JobSpec tenant_job(const char* tenant, const GraphPtr& g, std::size_t i,
+                        bool degradable = false) {
+  svc::JobSpec spec;
+  spec.name = std::string(tenant) + "-" + std::to_string(i);
+  spec.workload_class = tenant;
+  spec.tenant = tenant;
+  spec.graph = g;
+  spec.engine = (i % 2 == 0) ? svc::Engine::Level : svc::Engine::Event;
+  spec.degradable = degradable;
+  return spec;
+}
+
+bool all_completed(const std::vector<svc::JobPtr>& handles, const char* what) {
+  for (const svc::JobPtr& h : handles) {
+    SOAK_CHECK(h->state() == svc::JobState::Completed, what);
+  }
+  return true;
+}
+
+// The well-behaved tenant alone: same 24-job load it submits in every
+// contended scenario, no adversary. Its p99 is the isolation baseline.
+bool scenario_solo(const std::vector<GraphPtr>& graphs, TenantStats& victim) {
+  svc::RunnerOptions opts;
+  opts.workers = 2;
+  opts.start_paused = true;
+  svc::TenantPolicy vp;
+  vp.weight = 3;
+  opts.tenants.policies[kVictim] = vp;
+  svc::JobRunner runner(opts);
+  std::vector<svc::JobPtr> handles;
+  for (std::size_t i = 0; i < 24; ++i) {
+    handles.push_back(runner.submit(tenant_job(kVictim, graphs[i % graphs.size()], i)));
+  }
+  runner.set_paused(false);
+  runner.drain();
+  if (!all_completed(handles, "solo: victim job not completed")) return false;
+  victim = tenant_stats(runner.snapshot(), kVictim);
+  SOAK_CHECK(victim.admitted == 24 && victim.completed == 24, "solo accounting");
+  return true;
+}
+
+// Bursty adversary: floods 240 submissions against a 24-token burst budget
+// (10x its quota). The budget caps what it can occupy; DRR weight 3:1 keeps
+// the victim's queue share. All verdicts land against parked workers.
+bool scenario_bursty(const std::vector<GraphPtr>& graphs, TenantStats& victim,
+                     TenantStats& adversary) {
+  svc::RunnerOptions opts;
+  opts.workers = 2;
+  opts.start_paused = true;
+  svc::TenantPolicy vp;
+  vp.weight = 3;
+  opts.tenants.policies[kVictim] = vp;
+  svc::TenantPolicy ap;
+  ap.burst = 24;        // quota: at most 24 jobs of this burst admitted
+  ap.rate_per_sec = 0;  // non-replenishing -> deterministic verdicts
+  ap.weight = 1;
+  opts.tenants.policies[kAdversary] = ap;
+  svc::JobRunner runner(opts);
+  std::vector<svc::JobPtr> vjobs, ajobs;
+  for (std::size_t i = 0, v = 0; i < 240; ++i) {
+    ajobs.push_back(runner.submit(tenant_job(kAdversary, graphs[i % graphs.size()], i)));
+    if (i % 10 == 0) {
+      vjobs.push_back(runner.submit(tenant_job(kVictim, graphs[v % graphs.size()], v)));
+      ++v;
+    }
+  }
+  runner.set_paused(false);
+  runner.drain();
+  if (!all_completed(vjobs, "bursty: victim job not completed")) return false;
+  const obs::Registry reg = runner.snapshot();
+  victim = tenant_stats(reg, kVictim);
+  adversary = tenant_stats(reg, kAdversary);
+  adversary.quota = 24;
+  SOAK_CHECK(victim.submitted == 24 && victim.admitted == 24, "bursty victim admission");
+  SOAK_CHECK(adversary.submitted == 240, "bursty adversary submitted");
+  SOAK_CHECK(adversary.admitted == adversary.quota, "bursty adversary quota not enforced");
+  SOAK_CHECK(adversary.quota_exceeded == 216, "bursty adversary rejections");
+  SOAK_CHECK(adversary.completed == adversary.admitted, "bursty adversary completions");
+  // Typed verdict: quota rejections are QuotaExceeded, not Shed.
+  u64 quota_handles = 0;
+  for (const svc::JobPtr& h : ajobs) {
+    if (h->state() == svc::JobState::QuotaExceeded) ++quota_handles;
+  }
+  SOAK_CHECK(quota_handles == adversary.quota_exceeded, "bursty QuotaExceeded tally");
+  return true;
+}
+
+// Slow-job poisoning: the adversary parks heavyweight jobs; a concurrency
+// quota (max_in_flight 4) bounds how much of the pool it can hold at once,
+// and the slot frees on terminal, so the next wave admits 4 again.
+bool scenario_slowjob(const std::vector<GraphPtr>& graphs, TenantStats& victim,
+                      TenantStats& adversary) {
+  svc::RunnerOptions opts;
+  opts.workers = 4;
+  opts.start_paused = true;
+  svc::TenantPolicy vp;
+  vp.weight = 3;
+  opts.tenants.policies[kVictim] = vp;
+  svc::TenantPolicy ap;
+  ap.max_in_flight = 4;
+  ap.weight = 1;
+  opts.tenants.policies[kAdversary] = ap;
+  svc::JobRunner runner(opts);
+  const GraphPtr& heavy = graphs.back();  // keyswitch: the heaviest of the mix
+  std::vector<svc::JobPtr> vjobs, ajobs;
+  for (int phase = 0; phase < 2; ++phase) {
+    for (std::size_t i = 0; i < 10; ++i) {
+      ajobs.push_back(runner.submit(
+          tenant_job(kAdversary, heavy, static_cast<std::size_t>(phase) * 10 + i)));
+    }
+    for (std::size_t i = 0; i < 8; ++i) {
+      vjobs.push_back(runner.submit(
+          tenant_job(kVictim, graphs[i % graphs.size()],
+                     static_cast<std::size_t>(phase) * 8 + i)));
+    }
+    runner.set_paused(false);
+    runner.drain();
+    runner.set_paused(true);  // park again for the next deterministic wave
+  }
+  runner.set_paused(false);
+  if (!all_completed(vjobs, "slowjob: victim job not completed")) return false;
+  const obs::Registry reg = runner.snapshot();
+  victim = tenant_stats(reg, kVictim);
+  adversary = tenant_stats(reg, kAdversary);
+  adversary.quota = 8;  // 4 in-flight slots x 2 waves
+  SOAK_CHECK(victim.completed == 16, "slowjob victim completions");
+  SOAK_CHECK(adversary.admitted == 8, "slowjob concurrency quota not enforced");
+  SOAK_CHECK(adversary.quota_exceeded == 12, "slowjob concurrency rejections");
+  return true;
+}
+
+// Quota probing: rapid-fire submissions hunting for a token leak. Refunds on
+// rollback paths must not mint tokens: exactly `burst` jobs get through.
+bool scenario_quota_probe(const std::vector<GraphPtr>& graphs,
+                          TenantStats& victim, TenantStats& adversary) {
+  svc::RunnerOptions opts;
+  opts.workers = 2;
+  opts.start_paused = true;
+  opts.tenants.policies[kVictim] = svc::TenantPolicy{};
+  svc::TenantPolicy ap;
+  ap.burst = 8;
+  ap.rate_per_sec = 0;
+  opts.tenants.policies[kAdversary] = ap;
+  svc::JobRunner runner(opts);
+  std::vector<svc::JobPtr> vjobs, ajobs;
+  for (std::size_t i = 0; i < 8; ++i) {
+    vjobs.push_back(runner.submit(tenant_job(kVictim, graphs[i % graphs.size()], i)));
+  }
+  for (std::size_t i = 0; i < 100; ++i) {
+    ajobs.push_back(runner.submit(tenant_job(kAdversary, graphs[i % graphs.size()], i)));
+  }
+  for (std::size_t i = 8; i < 16; ++i) {
+    vjobs.push_back(runner.submit(tenant_job(kVictim, graphs[i % graphs.size()], i)));
+  }
+  runner.set_paused(false);
+  runner.drain();
+  if (!all_completed(vjobs, "quota_probe: victim job not completed")) return false;
+  const obs::Registry reg = runner.snapshot();
+  victim = tenant_stats(reg, kVictim);
+  adversary = tenant_stats(reg, kAdversary);
+  adversary.quota = 8;
+  SOAK_CHECK(adversary.admitted == 8, "quota_probe burst budget not enforced");
+  SOAK_CHECK(adversary.quota_exceeded == 92, "quota_probe rejections");
+  SOAK_CHECK(adversary.submitted ==
+                 adversary.admitted + adversary.quota_exceeded,
+             "quota_probe admission does not partition submissions");
+  for (std::size_t i = 8; i < ajobs.size(); ++i) {
+    SOAK_CHECK(ajobs[i]->state() == svc::JobState::QuotaExceeded,
+               "quota_probe verdict not QuotaExceeded");
+  }
+  SOAK_CHECK(victim.completed == 16, "quota_probe victim completions");
+  return true;
+}
+
+// Overload ladder. Part 1: target 0 + interval 0 + huge shed factor means the
+// second dequeue escalates to Degrade — with one worker the first job runs
+// full-fidelity and every later degradable job runs Reduced, bit-identically.
+// Part 2: shed factor 0 escalates straight to Shed; queued work still drains
+// (never dropped), and post-drain arrivals are typed-shed "overload".
+bool scenario_degrade(const std::vector<GraphPtr>& graphs,
+                      const std::vector<std::array<sim::SimResult, 2>>& refs,
+                      TenantStats& victim, u64& degraded_out) {
+  svc::RunnerOptions opts;
+  opts.workers = 1;
+  opts.start_paused = true;
+  opts.overload.enabled = true;
+  opts.overload.target = std::chrono::microseconds(0);
+  opts.overload.interval = std::chrono::microseconds(0);
+  opts.overload.shed_factor = 1e18;  // never reach Shed in part 1
+  opts.tenants.policies[kVictim] = svc::TenantPolicy{};
+  svc::JobRunner runner(opts);
+  std::vector<svc::JobPtr> handles;
+  constexpr std::size_t kDegradeJobs = 12;
+  for (std::size_t i = 0; i < kDegradeJobs; ++i) {
+    handles.push_back(runner.submit(
+        tenant_job(kVictim, graphs[i % graphs.size()], i, /*degradable=*/true)));
+  }
+  runner.set_paused(false);
+  runner.drain();
+  if (!all_completed(handles, "degrade: job not completed")) return false;
+  SOAK_CHECK(!handles[0]->degraded(), "degrade: first job should run full-fidelity");
+  for (std::size_t i = 1; i < kDegradeJobs; ++i) {
+    SOAK_CHECK(handles[i]->degraded(), "degrade: job not degraded");
+    SOAK_CHECK(handles[i]->trace_summary().degraded, "degrade: summary flag unset");
+    SOAK_CHECK(handles[i]->attempts() == 1, "degrade: retry budget not trimmed");
+  }
+  // Reduced detail must not change the simulated outcome.
+  for (std::size_t i = 0; i < kDegradeJobs; ++i) {
+    const sim::SimResult& ref = refs[i % graphs.size()][i % 2 == 0 ? 0 : 1];
+    const sim::SimResult got = handles[i]->result();
+    SOAK_CHECK(got.cycles == ref.cycles && got.time_us == ref.time_us,
+               "degrade: degraded result not bit-identical");
+    SOAK_CHECK(got.registry.counters() == ref.registry.counters(),
+               "degrade: degraded registry not bit-identical");
+  }
+  const obs::Registry reg = runner.snapshot();
+  victim = tenant_stats(reg, kVictim);
+  degraded_out = reg.counter(svc::metrics::kDegraded);
+  SOAK_CHECK(degraded_out == kDegradeJobs - 1, "degrade: svc.degraded count");
+  SOAK_CHECK(victim.degraded == kDegradeJobs - 1, "degrade: tenant degraded count");
+
+  // Part 2: escalate to Shed, then verify arrivals shed while backlog drains.
+  svc::RunnerOptions sopts;
+  sopts.workers = 1;
+  sopts.start_paused = true;
+  sopts.overload.enabled = true;
+  sopts.overload.target = std::chrono::microseconds(0);
+  sopts.overload.interval = std::chrono::microseconds(0);
+  sopts.overload.shed_factor = 0.0;  // any standing delay sheds
+  svc::JobRunner shedder(sopts);
+  std::vector<svc::JobPtr> queued;
+  for (std::size_t i = 0; i < 6; ++i) {
+    queued.push_back(shedder.submit(tenant_job(kVictim, graphs[0], i)));
+  }
+  shedder.set_paused(false);
+  shedder.drain();
+  // Queued work is never dropped by the ladder.
+  if (!all_completed(queued, "degrade: queued job dropped under shed")) return false;
+  SOAK_CHECK(shedder.overload_level() == svc::OverloadController::Level::Shed,
+             "degrade: ladder did not reach shed");
+  for (std::size_t i = 0; i < 3; ++i) {
+    const svc::JobPtr h = shedder.submit(tenant_job(kVictim, graphs[0], 100 + i));
+    SOAK_CHECK(h->state() == svc::JobState::Shed, "degrade: arrival not shed");
+  }
+  const obs::Registry sreg = shedder.snapshot();
+  SOAK_CHECK(sreg.counter(svc::metrics::kRejected, {{"reason", "overload"}}) == 3,
+             "degrade: overload shed counter");
+  return true;
+}
+
+// Tenancy defaults must be invisible: the same untenanted job set through a
+// runner with a populated policy table (and overload off) produces the same
+// results and byte-identical svc.* counters as the plain pre-PR setup.
+bool scenario_identity(const std::vector<GraphPtr>& graphs) {
+  auto run = [&](bool tenancy, std::vector<sim::SimResult>& results,
+                 std::map<std::string, u64>& counters) {
+    svc::RunnerOptions opts;
+    opts.workers = 2;
+    opts.start_paused = true;
+    if (tenancy) {
+      svc::TenantPolicy vp;
+      vp.weight = 3;
+      vp.burst = 100;
+      opts.tenants.policies[kVictim] = vp;
+      opts.tenants.policies[kAdversary] = svc::TenantPolicy{};
+    }
+    svc::JobRunner runner(opts);
+    std::vector<svc::JobPtr> handles;
+    for (std::size_t i = 0; i < 8; ++i) {
+      svc::JobSpec spec;
+      spec.name = "identity-" + std::to_string(i);
+      spec.graph = graphs[i % graphs.size()];
+      spec.engine = (i % 2 == 0) ? svc::Engine::Level : svc::Engine::Event;
+      handles.push_back(runner.submit(std::move(spec)));  // no tenant
+    }
+    runner.set_paused(false);
+    runner.drain();
+    results.clear();
+    for (const svc::JobPtr& h : handles) {
+      if (h->state() != svc::JobState::Completed) return false;
+      results.push_back(h->result());
+    }
+    counters = runner.snapshot().counters();
+    return true;
+  };
+  std::vector<sim::SimResult> plain, tenanted;
+  std::map<std::string, u64> plain_counters, tenanted_counters;
+  SOAK_CHECK(run(false, plain, plain_counters), "identity: plain run failed");
+  SOAK_CHECK(run(true, tenanted, tenanted_counters), "identity: tenanted run failed");
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    SOAK_CHECK(plain[i].cycles == tenanted[i].cycles &&
+                   plain[i].time_us == tenanted[i].time_us,
+               "identity: results differ with tenancy defaults");
+    SOAK_CHECK(plain[i].registry.counters() == tenanted[i].registry.counters(),
+               "identity: registries differ with tenancy defaults");
+  }
+  SOAK_CHECK(plain_counters == tenanted_counters,
+             "identity: svc.* counters differ with tenancy defaults");
+  return true;
+}
+
+void json_tenant(std::ostringstream& out, const char* indent,
+                 const std::string& name, const TenantStats& s, bool last) {
+  out << indent << "\"" << name << "\": {"
+      << "\"submitted\": " << s.submitted << ", \"admitted\": " << s.admitted
+      << ", \"completed\": " << s.completed
+      << ", \"quota_exceeded\": " << s.quota_exceeded
+      << ", \"shed\": " << s.shed << ", \"degraded\": " << s.degraded
+      << ", \"quota\": " << s.quota << ", \"p50_us\": " << s.p50_us
+      << ", \"p95_us\": " << s.p95_us << ", \"p99_us\": " << s.p99_us << "}"
+      << (last ? "\n" : ",\n");
+}
+
+bool run_overload(const std::vector<GraphPtr>& graphs,
+                  const std::vector<std::array<sim::SimResult, 2>>& refs,
+                  const std::string& fairness_out) {
+  TenantStats solo{}, bursty_v{}, bursty_a{}, slow_v{}, slow_a{}, probe_v{},
+      probe_a{}, degrade_v{};
+  u64 degraded = 0;
+  if (!scenario_solo(graphs, solo)) return false;
+  if (!scenario_bursty(graphs, bursty_v, bursty_a)) return false;
+  if (!scenario_slowjob(graphs, slow_v, slow_a)) return false;
+  if (!scenario_quota_probe(graphs, probe_v, probe_a)) return false;
+  if (!scenario_degrade(graphs, refs, degrade_v, degraded)) return false;
+  if (!scenario_identity(graphs)) return false;
+
+  std::printf("svc_soak --overload: deterministic isolation scenarios\n");
+  std::printf("| scenario    | tenant    | submitted | admitted | completed | quota-rej | p99 (ms) |\n");
+  std::printf("|-------------|-----------|-----------|----------|-----------|-----------|----------|\n");
+  auto row = [](const char* sc, const char* t, const TenantStats& s) {
+    std::printf("| %-11s | %-9s | %9llu | %8llu | %9llu | %9llu | %8.2f |\n", sc, t,
+                static_cast<unsigned long long>(s.submitted),
+                static_cast<unsigned long long>(s.admitted),
+                static_cast<unsigned long long>(s.completed),
+                static_cast<unsigned long long>(s.quota_exceeded),
+                s.p99_us / 1000.0);
+  };
+  row("solo", kVictim, solo);
+  row("bursty", kVictim, bursty_v);
+  row("bursty", kAdversary, bursty_a);
+  row("slowjob", kVictim, slow_v);
+  row("slowjob", kAdversary, slow_a);
+  row("quota_probe", kVictim, probe_v);
+  row("quota_probe", kAdversary, probe_a);
+  row("degrade", kVictim, degrade_v);
+  std::printf("svc_soak --overload: %llu degraded completions under the ladder\n",
+              static_cast<unsigned long long>(degraded));
+
+  if (!fairness_out.empty()) {
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"fairness.v1\",\n  \"tool\": \"svc_soak\",\n"
+        << "  \"scenarios\": {\n";
+    auto scenario = [&](const char* name, const TenantStats* v,
+                        const TenantStats* a, bool last) {
+      out << "    \"" << name << "\": {\"tenants\": {\n";
+      if (a == nullptr) {
+        json_tenant(out, "      ", kVictim, *v, true);
+      } else {
+        json_tenant(out, "      ", kVictim, *v, false);
+        json_tenant(out, "      ", kAdversary, *a, true);
+      }
+      out << "    }}" << (last ? "\n" : ",\n");
+    };
+    scenario("solo", &solo, nullptr, false);
+    scenario("bursty", &bursty_v, &bursty_a, false);
+    scenario("slowjob", &slow_v, &slow_a, false);
+    scenario("quota_probe", &probe_v, &probe_a, false);
+    scenario("degrade", &degrade_v, nullptr, true);
+    out << "  }\n}\n";
+    std::FILE* f = std::fopen(fairness_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", fairness_out.c_str());
+      return false;
+    }
+    const std::string doc = out.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("fairness: %s (fairness.v1)\n", fairness_out.c_str());
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::size_t> worker_counts = {1, 2, 4, 8};
   bool smoke = false;
-  std::string metrics_out, trace_out;
+  bool overload = false;
+  std::string metrics_out, trace_out, fairness_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") worker_counts = {4};
     else if (arg == "--smoke") smoke = true;
+    else if (arg == "--overload") overload = true;
     else if (arg == "--metrics-out" && i + 1 < argc) metrics_out = argv[++i];
     else if (arg == "--trace-out" && i + 1 < argc) trace_out = argv[++i];
+    else if (arg == "--fairness-out" && i + 1 < argc) fairness_out = argv[++i];
     else {
       std::fprintf(stderr,
-                   "usage: svc_soak [--quick] [--smoke] [--metrics-out F] "
-                   "[--trace-out F]\n");
+                   "usage: svc_soak [--quick] [--smoke] [--overload] "
+                   "[--metrics-out F] [--trace-out F] [--fairness-out F]\n");
       return 2;
     }
   }
@@ -442,6 +888,12 @@ int main(int argc, char** argv) {
   }
 
   const auto refs = make_references(graphs, arch::ArchConfig::alchemist());
+
+  if (overload) {
+    if (!run_overload(graphs, refs, fairness_out)) return 1;
+    std::printf("svc_soak OK\n");
+    return 0;
+  }
 
   // Every full soak runs traced: the hostile mix (shed storms, breaker trips,
   // checkpoint/resume) is exactly what the span tree has to survive. The sink

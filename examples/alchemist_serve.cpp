@@ -2,7 +2,7 @@
 //
 //   alchemist_serve [--workers N] [--jobs N] [--fault-rate R]
 //                   [--deadline-ms D] [--queue N] [--seed S] [--threads N]
-//                   [--introspect-port P] [--loop-seconds S]
+//                   [--introspect-port P] [--loop-seconds S] [--tenants N]
 //
 // Submits a mixed list of CKKS simulation jobs (both engines, a slice of
 // them under an injected transient-fault model with a bounded retry budget,
@@ -50,9 +50,13 @@ int usage() {
   std::fprintf(stderr,
                "usage: alchemist_serve [--workers N] [--jobs N] [--fault-rate R]\n"
                "       [--deadline-ms D] [--queue N] [--seed S] [--threads N]\n"
-               "       [--introspect-port P] [--loop-seconds S]\n"
+               "       [--introspect-port P] [--loop-seconds S] [--tenants N]\n"
                "       [--trace-out PATH] [--timeline-out PATH]\n"
                "       [--trace-detail lifecycle|phases|ops]\n"
+               "  --tenants N  spread the jobs round-robin over N tenants\n"
+               "               (tenant-0..tenant-N-1) with unlimited policies:\n"
+               "               per-tenant fair-queue lanes + svc.tenant.*\n"
+               "               metrics with no admission rejections\n"
                "  --threads N  width of the shared compute pool the kernels of\n"
                "               every job fan out on (default: ALCHEMIST_THREADS\n"
                "               or hardware concurrency; 1 = sequential)\n"
@@ -74,7 +78,7 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t workers = 4, jobs = 32, queue = 64;
+  std::size_t workers = 4, jobs = 32, queue = 64, tenants = 0;
   double fault_rate = 2e-9, deadline_ms = 0.0, loop_seconds = 0.0;
   int introspect_port = -1;
   u64 seed = 0xa1c4'e5ull;
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
     if (arg == "--workers") workers = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--jobs") jobs = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--queue") queue = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--tenants") tenants = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--fault-rate") fault_rate = std::atof(next());
     else if (arg == "--deadline-ms") deadline_ms = std::atof(next());
     else if (arg == "--seed") seed = static_cast<u64>(std::strtoull(next(), nullptr, 0));
@@ -134,6 +139,11 @@ int main(int argc, char** argv) {
   svc::RunnerOptions opts;
   opts.workers = workers;
   opts.queue_capacity = queue;
+  // Tenancy smoke mode: per-tenant lanes + svc.tenant.* metrics, but the
+  // zero-initialized (unlimited) policy so no job is ever quota-rejected.
+  for (std::size_t t = 0; t < tenants; ++t) {
+    opts.tenants.policies["tenant-" + std::to_string(t)] = svc::TenantPolicy{};
+  }
   if (tracing) {
     opts.trace = &trace_sink;
     opts.trace_detail = trace_detail;
@@ -180,6 +190,7 @@ int main(int argc, char** argv) {
       spec.name = "job-" + std::to_string(submitted_jobs);
       spec.graph = graphs[i % graphs.size()];
       spec.engine = (i % 2 == 0) ? svc::Engine::Level : svc::Engine::Event;
+      if (tenants > 0) spec.tenant = "tenant-" + std::to_string(i % tenants);
       if (fault_rate > 0 && i % 3 == 0) {
         spec.fault_enabled = true;
         spec.fault.seed = seed + submitted_jobs;
@@ -243,6 +254,19 @@ int main(int argc, char** argv) {
   }
   std::printf("  yield              %.1f %%\n",
               100.0 * static_cast<double>(completed) / static_cast<double>(submitted));
+  for (std::size_t t = 0; t < tenants; ++t) {
+    const std::string name = "tenant-" + std::to_string(t);
+    const auto& hist =
+        reg.histogram(svc::metrics::kLatencyTotalUs, {{"tenant", name}});
+    std::printf("  %-18s submitted %llu, completed %llu, p50/p99 %.2f / %.2f ms\n",
+                name.c_str(),
+                static_cast<unsigned long long>(reg.counter(
+                    svc::metrics::kTenantSubmitted, {{"tenant", name}})),
+                static_cast<unsigned long long>(
+                    reg.counter(svc::metrics::kTenantTerminal,
+                                {{"state", "completed"}, {"tenant", name}})),
+                hist.percentile(50.0) / 1000.0, hist.percentile(99.0) / 1000.0);
+  }
 
   if (tracing) {
     // Flight-recorder digest: span/log volume plus the slowest job's

@@ -50,19 +50,37 @@ class Backoff {
   const BackoffConfig& config() const { return cfg_; }
 
   // Delay before the next retry, advancing the attempt counter and the jitter
-  // stream. Never returns 0: a retry always backs off at least 1 us.
+  // stream. Never returns 0: a retry always backs off at least 1 us. The
+  // exponent saturates: once base * multiplier^k clears the cap the schedule
+  // is pinned there and pow() is no longer evaluated, so arbitrarily high
+  // attempt numbers can neither overflow the double (multiplier^k -> inf) nor
+  // the final integer conversion (llround past 2^63 is undefined — the
+  // jittered cap of a 64-bit cap_us can exceed it).
   std::uint64_t next_us() {
-    double delay = static_cast<double>(cfg_.base_us) *
-                   std::pow(cfg_.multiplier, static_cast<double>(attempts_));
-    delay = std::min(delay, static_cast<double>(cfg_.cap_us));
+    double delay;
+    if (capped_) {
+      delay = static_cast<double>(cfg_.cap_us);
+    } else {
+      delay = static_cast<double>(cfg_.base_us) *
+              std::pow(cfg_.multiplier, static_cast<double>(attempts_));
+      if (!(delay < static_cast<double>(cfg_.cap_us))) {  // also catches inf/nan
+        delay = static_cast<double>(cfg_.cap_us);
+        capped_ = true;
+      }
+    }
     if (cfg_.jitter > 0.0) {
       const double u = 2.0 * rng_.uniform_real() - 1.0;  // [-1, 1)
       delay *= 1.0 + cfg_.jitter * u;
     }
     ++attempts_;
+    // Saturate before the integer conversion: llround on values >= 2^63 is
+    // undefined behaviour, reachable when cap_us is near UINT64_MAX and the
+    // jitter draw lands positive.
+    constexpr double kMaxRoundable = 9.0e18;  // < 2^63 - 1
+    delay = std::min(delay, kMaxRoundable);
     const std::uint64_t us =
         std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(delay)));
-    total_us_ += us;
+    total_us_ += us;  // unsigned accumulate: wraps rather than overflows
     return us;
   }
 
@@ -70,6 +88,7 @@ class Backoff {
   void reset() {
     attempts_ = 0;
     total_us_ = 0;
+    capped_ = false;
     rng_ = Rng(cfg_.seed);
   }
 
@@ -81,6 +100,7 @@ class Backoff {
   Rng rng_;
   std::size_t attempts_ = 0;
   std::uint64_t total_us_ = 0;
+  bool capped_ = false;
 };
 
 }  // namespace alchemist

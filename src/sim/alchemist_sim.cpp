@@ -138,7 +138,7 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
   obs::TraceSink* tsink = control != nullptr ? control->trace : nullptr;
   const bool spans_on = tsink != nullptr && control->trace_ctx.valid();
   const obs::TraceDetail detail =
-      spans_on ? control->trace_detail : obs::TraceDetail::Lifecycle;
+      spans_on ? control->effective_trace_detail() : obs::TraceDetail::Lifecycle;
   obs::TraceContext sim_ctx;
   if (spans_on) sim_ctx = obs::child_context(control->trace_ctx, "sim", 0);
   const std::uint64_t trace_start_cycles = total_cycles;
@@ -499,8 +499,9 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
     total_cycles += level_wall;
     total_hbm_bytes += level_hbm_bytes;
     ++executed_steps;
-    if (control && control->checkpoint && control->checkpoint_interval != 0 &&
-        executed_steps % control->checkpoint_interval == 0) {
+    if (control && control->checkpoint &&
+        control->effective_checkpoint_interval() != 0 &&
+        executed_steps % control->effective_checkpoint_interval() == 0) {
       save_checkpoint(level_idx + 1);
     }
   }

@@ -241,7 +241,7 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
   obs::TraceSink* tsink = control != nullptr ? control->trace : nullptr;
   const bool spans_on = tsink != nullptr && control->trace_ctx.valid();
   const obs::TraceDetail detail =
-      spans_on ? control->trace_detail : obs::TraceDetail::Lifecycle;
+      spans_on ? control->effective_trace_detail() : obs::TraceDetail::Lifecycle;
   obs::TraceContext sim_ctx;
   if (spans_on) sim_ctx = obs::child_context(control->trace_ctx, "sim", 0);
   const double trace_start = now;
@@ -461,8 +461,9 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
     }
     running = std::move(still_running);
     ++executed_steps;
-    if (control && control->checkpoint && control->checkpoint_interval != 0 &&
-        executed_steps % control->checkpoint_interval == 0) {
+    if (control && control->checkpoint &&
+        control->effective_checkpoint_interval() != 0 &&
+        executed_steps % control->effective_checkpoint_interval() == 0) {
       save_checkpoint();
     }
   }

@@ -30,6 +30,15 @@
 
 namespace alchemist::sim {
 
+// Fidelity of a run. Full is the default; Reduced is the serving layer's
+// graceful-degradation hook: the engine skips the optional bookkeeping that
+// costs wall time but never changes the simulated outcome — interval
+// checkpoint snapshots are suppressed (the stop-point snapshot still
+// happens) and engine span volume clamps to Lifecycle. The SimResult of a
+// Reduced run is bit-identical to a Full run of the same job; only the
+// observability detail and the wall-clock cost differ.
+enum class SimDetail : std::uint8_t { Full, Reduced };
+
 enum class StopReason : std::uint8_t {
   None = 0,
   Cancelled,        // CancelToken::request_cancel()
@@ -93,6 +102,18 @@ struct SimControl {
   obs::TraceSink* trace = nullptr;
   obs::TraceContext trace_ctx{};
   obs::TraceDetail trace_detail = obs::TraceDetail::Phases;
+  // Run fidelity (see SimDetail). The engines consult the effective_*
+  // accessors below instead of the raw fields so the downgrade applies in
+  // one place.
+  SimDetail detail = SimDetail::Full;
+
+  obs::TraceDetail effective_trace_detail() const {
+    return detail == SimDetail::Reduced ? obs::TraceDetail::Lifecycle
+                                        : trace_detail;
+  }
+  std::uint64_t effective_checkpoint_interval() const {
+    return detail == SimDetail::Reduced ? 0 : checkpoint_interval;
+  }
 };
 
 // A cooperative stop. The latest cursor has already been written to

@@ -1,0 +1,199 @@
+// Per-tenant admission control: token-bucket rate limits + concurrency quotas.
+//
+// The serving layer multiplexes many tenants onto one bounded worker pool; a
+// tenant that submits faster than its contract must be rejected with a typed
+// verdict (JobState::QuotaExceeded) *before* it can displace anyone else's
+// work in the queue. Two independent limits per tenant:
+//
+//   * rate:        a token bucket (burst capacity, refill rate). Every
+//                  admission takes one token; an empty bucket rejects with
+//                  Verdict::RateLimited. burst == 0 disables the bucket —
+//                  the default, so untenanted deployments are unchanged.
+//   * concurrency: max jobs simultaneously queued or running (in flight).
+//                  max_in_flight == 0 disables the limit.
+//
+// Like svc::CircuitBreaker, everything here is pure logic over
+// caller-supplied time points — no clock reads, no locks (the JobRunner
+// serializes access under its own mutex) — so the deterministic soak
+// scenarios and the unit tests drive it with a manual clock. A refill rate
+// of 0 makes the bucket a pure burst budget, which is what the adversarial
+// soak uses to keep admission verdicts bit-reproducible.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace alchemist::svc {
+
+// Admission and scheduling contract of one tenant. The zero-initialized
+// policy is "unlimited": no rate limit, no concurrency cap, no backlog cap,
+// weight 1 — identical to the pre-tenancy serving behavior.
+struct TenantPolicy {
+  // Token bucket: capacity `burst` tokens, refilled at `rate_per_sec`.
+  // burst == 0 disables rate limiting for the tenant; rate_per_sec == 0
+  // makes the bucket a non-replenishing burst budget (deterministic).
+  double burst = 0.0;
+  double rate_per_sec = 0.0;
+  // Max jobs queued + running at once; 0 = unlimited.
+  std::size_t max_in_flight = 0;
+  // Max jobs waiting in the tenant's fair-queue backlog; 0 = unlimited.
+  // Enforced by the JobRunner at enqueue (Shed{tenant_queue_full}), kept
+  // here so one table describes the whole contract.
+  std::size_t max_backlog = 0;
+  // Deficit-round-robin weight (jobs served per scheduling round relative to
+  // other backlogged tenants). Clamped to >= 1.
+  std::uint32_t weight = 1;
+};
+
+// Tenant -> policy, with a fallback for tenants not explicitly configured.
+// The default fallback is the unlimited policy, so enabling tenancy is
+// strictly opt-in per tenant.
+struct TenantPolicyTable {
+  std::map<std::string, TenantPolicy> policies;
+  TenantPolicy fallback{};
+
+  const TenantPolicy& resolve(const std::string& tenant) const {
+    const auto it = policies.find(tenant);
+    return it == policies.end() ? fallback : it->second;
+  }
+};
+
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TokenBucket() = default;
+  TokenBucket(double burst, double rate_per_sec)
+      : burst_(burst), rate_per_sec_(rate_per_sec), tokens_(burst) {}
+
+  // Take one token, refilling for the elapsed time first. A disabled bucket
+  // (burst == 0) always admits. `now` must be monotone across calls.
+  bool try_take(Clock::time_point now) {
+    if (burst_ <= 0.0) return true;
+    refill(now);
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    return false;
+  }
+
+  // Return a token taken by an admission that was rolled back by a later
+  // admission stage (queue full, breaker): the tenant must not be charged
+  // for a job that never entered the system.
+  void refund() {
+    if (burst_ <= 0.0) return;
+    tokens_ = std::min(burst_, tokens_ + 1.0);
+  }
+
+  double tokens(Clock::time_point now) {
+    if (burst_ <= 0.0) return 0.0;
+    refill(now);
+    return tokens_;
+  }
+
+ private:
+  void refill(Clock::time_point now) {
+    if (last_ == Clock::time_point{}) {
+      last_ = now;
+      return;
+    }
+    if (now <= last_) return;
+    const double dt = std::chrono::duration<double>(now - last_).count();
+    tokens_ = std::min(burst_, tokens_ + rate_per_sec_ * dt);
+    last_ = now;
+  }
+
+  double burst_ = 0.0;
+  double rate_per_sec_ = 0.0;
+  double tokens_ = 0.0;
+  Clock::time_point last_{};
+};
+
+// Per-tenant admission state: one bucket + one in-flight counter per tenant,
+// created lazily on first submission.
+class Admission {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class Verdict { Admit, RateLimited, ConcurrencyLimited };
+
+  explicit Admission(TenantPolicyTable table) : table_(std::move(table)) {}
+
+  const TenantPolicyTable& table() const { return table_; }
+
+  // Admission check for one submission. On Admit the tenant is charged: one
+  // token taken, in-flight incremented. The caller must pair every Admit
+  // with exactly one release() (job reached a terminal state) or rollback()
+  // (a later admission stage rejected the job after all).
+  Verdict admit(const std::string& tenant, Clock::time_point now) {
+    State& st = state_for(tenant);
+    if (!st.bucket.try_take(now)) return Verdict::RateLimited;
+    if (st.policy->max_in_flight != 0 &&
+        st.in_flight >= st.policy->max_in_flight) {
+      st.bucket.refund();
+      return Verdict::ConcurrencyLimited;
+    }
+    ++st.in_flight;
+    return Verdict::Admit;
+  }
+
+  // The admitted job reached a terminal state: free its concurrency slot.
+  void release(const std::string& tenant) {
+    State& st = state_for(tenant);
+    if (st.in_flight > 0) --st.in_flight;
+  }
+
+  // A later admission stage rejected an already-admitted job: free the slot
+  // and refund the token.
+  void rollback(const std::string& tenant) {
+    State& st = state_for(tenant);
+    if (st.in_flight > 0) --st.in_flight;
+    st.bucket.refund();
+  }
+
+  std::size_t in_flight(const std::string& tenant) const {
+    const auto it = states_.find(tenant);
+    return it == states_.end() ? 0 : it->second.in_flight;
+  }
+
+  double tokens(const std::string& tenant, Clock::time_point now) {
+    return state_for(tenant).bucket.tokens(now);
+  }
+
+  const TenantPolicy& policy(const std::string& tenant) {
+    return *state_for(tenant).policy;
+  }
+
+  // Tenants that have submitted at least once, for introspection.
+  template <typename Fn>  // Fn(const std::string&, std::size_t in_flight)
+  void for_each(Fn&& fn) const {
+    for (const auto& [tenant, st] : states_) fn(tenant, st.in_flight);
+  }
+
+ private:
+  struct State {
+    const TenantPolicy* policy = nullptr;  // borrowed from table_
+    TokenBucket bucket;
+    std::size_t in_flight = 0;
+  };
+
+  State& state_for(const std::string& tenant) {
+    const auto it = states_.find(tenant);
+    if (it != states_.end()) return it->second;
+    State st;
+    st.policy = &table_.resolve(tenant);
+    st.bucket = TokenBucket(st.policy->burst, st.policy->rate_per_sec);
+    return states_.emplace(tenant, std::move(st)).first->second;
+  }
+
+  TenantPolicyTable table_;
+  std::map<std::string, State> states_;
+};
+
+}  // namespace alchemist::svc

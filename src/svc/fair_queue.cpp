@@ -1,0 +1,74 @@
+#include "svc/fair_queue.h"
+
+#include <algorithm>
+
+namespace alchemist::svc {
+
+FairQueue::PushResult FairQueue::push(const std::string& tenant,
+                                      std::uint32_t weight,
+                                      std::size_t max_backlog, JobPtr job) {
+  if (size_ >= capacity_) return PushResult::Full;
+  SubQueue& sq = queues_[tenant];
+  if (max_backlog != 0 && sq.jobs.size() >= max_backlog) {
+    return PushResult::TenantFull;
+  }
+  sq.weight = std::max<std::uint32_t>(1, weight);
+  sq.jobs.push_back(std::move(job));
+  ++size_;
+  if (!sq.active) {
+    sq.active = true;
+    // A newly-backlogged tenant joins the ring with an empty deficit: its
+    // first service happens on its first visit, after the tenants already in
+    // the ring have had theirs — arrival order breaks ties deterministically.
+    sq.deficit = 0.0;
+    active_.push_back(tenant);
+  }
+  return PushResult::Ok;
+}
+
+JobPtr FairQueue::pop() {
+  if (size_ == 0) return nullptr;
+  // Deficit round robin with unit job cost. The head tenant is credited its
+  // weight when its deficit cannot cover a job; with weight >= 1 one credit
+  // always suffices, so the loop visits at most two ring nodes per pop.
+  for (;;) {
+    const std::string& tenant = active_.front();
+    SubQueue& sq = queues_[tenant];
+    if (sq.deficit < 1.0) sq.deficit += static_cast<double>(sq.weight);
+    if (sq.deficit >= 1.0) {
+      sq.deficit -= 1.0;
+      JobPtr job = std::move(sq.jobs.front());
+      sq.jobs.pop_front();
+      --size_;
+      if (sq.jobs.empty()) {
+        // An idle tenant keeps no deficit: credit does not accumulate while
+        // there is nothing to serve (the classic DRR anti-burst rule).
+        sq.deficit = 0.0;
+        sq.active = false;
+        active_.pop_front();
+      } else if (sq.deficit < 1.0) {
+        // Quantum exhausted: rotate to the back of the ring for next round.
+        active_.splice(active_.end(), active_, active_.begin());
+      }
+      return job;
+    }
+    // Unreachable with weight >= 1, but keep the ring moving if it ever is.
+    active_.splice(active_.end(), active_, active_.begin());
+  }
+}
+
+std::vector<JobPtr> FairQueue::drain() {
+  std::vector<JobPtr> out;
+  out.reserve(size_);
+  // Drain in DRR order so shutdown cancellation reports the same ordering a
+  // worker would have seen.
+  while (JobPtr job = pop()) out.push_back(std::move(job));
+  return out;
+}
+
+std::size_t FairQueue::backlog(const std::string& tenant) const {
+  const auto it = queues_.find(tenant);
+  return it == queues_.end() ? 0 : it->second.jobs.size();
+}
+
+}  // namespace alchemist::svc

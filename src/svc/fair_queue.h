@@ -1,0 +1,84 @@
+// Per-tenant fair queueing: deficit-round-robin over per-tenant sub-queues.
+//
+// The JobRunner's single FIFO let one bursty tenant park its whole backlog in
+// front of everyone else's first job. Here every tenant gets its own FIFO
+// sub-queue and the workers drain them with deficit round robin (Shreedhar &
+// Varghese): backlogged tenants sit in an active ring; each visit credits the
+// tenant's deficit counter with its weight and serves jobs while the deficit
+// covers them (every job costs 1), so a tenant with weight w receives w jobs
+// per scheduling round regardless of how deep its own backlog is. A bursty
+// tenant therefore queues behind *its own* backlog while everyone else keeps
+// their share of the workers.
+//
+// Properties the serving layer relies on (pinned by tests/test_svc.cpp):
+//   * single-tenant degeneracy: with one tenant the pop order is exactly
+//     FIFO, bit-identical to the old deque — tenancy defaults change nothing;
+//   * determinism: pop order depends only on the push sequence and the
+//     weights, never on time or thread identity (the caller holds one lock);
+//   * bounded capacity: the global capacity bounds the sum of all sub-queues
+//     (overload stays a typed Shed at admission), and per-tenant backlog caps
+//     bound any one tenant's slice of it.
+//
+// Not thread-safe by design: the JobRunner serializes access under its mutex,
+// the same discipline as the circuit breakers and the admission table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "svc/job.h"
+
+namespace alchemist::svc {
+
+class FairQueue {
+ public:
+  explicit FairQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  enum class PushResult { Ok, Full, TenantFull };
+
+  // Append to the tenant's sub-queue. `weight` is the tenant's DRR weight
+  // (clamped to >= 1, latched on first push and refreshed on later pushes);
+  // `max_backlog` == 0 means no per-tenant cap.
+  PushResult push(const std::string& tenant, std::uint32_t weight,
+                  std::size_t max_backlog, JobPtr job);
+
+  // Next job under deficit round robin; nullptr when empty.
+  JobPtr pop();
+
+  // Remove and return every queued job (shutdown path). Tenant rings reset.
+  std::vector<JobPtr> drain();
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  // Queued jobs of one tenant, and the per-tenant view for introspection.
+  std::size_t backlog(const std::string& tenant) const;
+  template <typename Fn>  // Fn(const std::string&, std::size_t backlog)
+  void for_each(Fn&& fn) const {
+    for (const auto& [tenant, sq] : queues_) fn(tenant, sq.jobs.size());
+  }
+
+ private:
+  struct SubQueue {
+    std::deque<JobPtr> jobs;
+    std::uint32_t weight = 1;
+    double deficit = 0.0;
+    bool active = false;  // member of active_ (has queued jobs)
+  };
+
+  std::map<std::string, SubQueue> queues_;
+  // Round-robin ring of tenants with a non-empty sub-queue, in the order
+  // they became backlogged. std::list so rotation never invalidates
+  // iterators held in queues_.
+  std::list<std::string> active_;
+  std::size_t size_ = 0;
+  std::size_t capacity_;
+};
+
+}  // namespace alchemist::svc

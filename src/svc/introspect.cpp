@@ -1,6 +1,7 @@
 #include "svc/introspect.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -172,19 +173,56 @@ void IntrospectionServer::serve_loop() {
       if (errno == EINTR) continue;
       return;  // listener broken; introspection goes dark, service lives on
     }
-    // Bounded read: headers only, no bodies; a stuck client times out.
+    // Bounded read: headers only, no bodies. The kernel receive timeout is
+    // the whole-request deadline — a client trickling bytes can stretch it
+    // per recv(), so the loop also checks total elapsed wall time.
+    const auto deadline_us = std::chrono::duration_cast<std::chrono::microseconds>(
+        opts_.read_deadline);
     timeval tv{};
-    tv.tv_sec = 2;
+    tv.tv_sec = static_cast<time_t>(deadline_us.count() / 1'000'000);
+    tv.tv_usec = static_cast<suseconds_t>(deadline_us.count() % 1'000'000);
     ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    const auto start = std::chrono::steady_clock::now();
     std::string request;
     char buf[1024];
-    while (request.size() < 8192 &&
-           request.find("\r\n\r\n") == std::string::npos) {
+    bool timed_out = false;
+    bool too_large = false;
+    while (request.find("\r\n\r\n") == std::string::npos) {
+      if (request.size() >= opts_.max_request_bytes) {
+        too_large = true;
+        break;
+      }
+      // A request line that never terminates is oversize even before the
+      // headers finish.
+      if (const std::size_t eol = request.find("\r\n");
+          (eol == std::string::npos ? request.size() : eol) >
+          opts_.max_request_line) {
+        too_large = true;
+        break;
+      }
       const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        timed_out = true;
+        break;
+      }
       if (n <= 0) break;
       request.append(buf, static_cast<std::size_t>(n));
+      if (std::chrono::steady_clock::now() - start >= opts_.read_deadline) {
+        timed_out = request.find("\r\n\r\n") == std::string::npos;
+        break;
+      }
     }
-    const std::string response = handle(request_target(request));
+    std::string response;
+    if (too_large) {
+      response = http_response("431 Request Header Fields Too Large",
+                               "text/plain; charset=utf-8",
+                               "request header fields too large\n");
+    } else if (timed_out) {
+      response = http_response("408 Request Timeout",
+                               "text/plain; charset=utf-8", "request timeout\n");
+    } else {
+      response = handle(request_target(request));
+    }
     std::size_t sent = 0;
     while (sent < response.size()) {
       const ssize_t n =

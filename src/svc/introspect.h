@@ -31,6 +31,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <thread>
@@ -51,6 +53,15 @@ std::string build_info_json();
 struct IntrospectionOptions {
   obs::TraceSink* trace = nullptr;  // enables /tracez
   obs::EventLog* log = nullptr;     // enables /logz
+  // Per-connection hardening. One stuck or abusive client must not wedge the
+  // single accept thread: a client that has not produced complete request
+  // headers within `read_deadline` gets 408 Request Timeout; one whose
+  // request line exceeds `max_request_line` bytes or whose headers exceed
+  // `max_request_bytes` gets 431 Request Header Fields Too Large. Either way
+  // the connection closes and the loop moves on.
+  std::chrono::milliseconds read_deadline{2000};
+  std::size_t max_request_line = 2048;
+  std::size_t max_request_bytes = 8192;
 };
 
 class IntrospectionServer {

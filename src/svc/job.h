@@ -30,7 +30,9 @@ namespace alchemist::svc {
 // Metric names the JobRunner exports through its obs::Registry snapshot. The
 // terminal-state counters partition svc.submitted: completed + failed +
 // cancelled + deadline_expired + rejected == submitted at every quiescent
-// point (asserted by bench/svc_soak).
+// point (asserted by bench/svc_soak). Rejection reasons: queue_full,
+// tenant_queue_full, shutdown, overload (all JobState::Shed), circuit_open,
+// quota_rate and quota_concurrency (JobState::QuotaExceeded).
 namespace metrics {
 inline constexpr const char* kSubmitted = "svc.submitted";
 inline constexpr const char* kAdmitted = "svc.admitted";
@@ -45,6 +47,23 @@ inline constexpr const char* kResumed = "svc.resumed";
 inline constexpr const char* kQueueDepth = "svc.queue_depth";  // gauge + {stat=peak}
 inline constexpr const char* kLatencyUs = "svc.latency_us";    // gauge {p=50|99}
 inline constexpr const char* kWorkers = "svc.workers";         // gauge
+// Degraded completions (overload ladder ran the job at reduced detail).
+inline constexpr const char* kDegraded = "svc.degraded";
+// Per-tenant accounting, recorded only for jobs that name a tenant so an
+// untenanted deployment's snapshot is byte-identical to pre-tenancy output.
+// Each carries a {tenant=} tag; rejected adds {reason=}. The per-tenant
+// terminal split partitions svc.tenant.submitted{tenant=} the same way the
+// global counters partition svc.submitted.
+inline constexpr const char* kTenantSubmitted = "svc.tenant.submitted";
+inline constexpr const char* kTenantAdmitted = "svc.tenant.admitted";
+inline constexpr const char* kTenantTerminal = "svc.tenant.terminal";  // + {state=}
+inline constexpr const char* kTenantRejected = "svc.tenant.rejected";  // + {reason=}
+inline constexpr const char* kTenantDegraded = "svc.tenant.degraded";
+inline constexpr const char* kTenantInFlight = "svc.tenant.in_flight";  // gauge
+inline constexpr const char* kTenantBacklog = "svc.tenant.backlog";     // gauge
+// Overload ladder level in force (0 normal, 1 degrade, 2 shed); only set in
+// snapshots when RunnerOptions::overload.enabled.
+inline constexpr const char* kOverloadLevel = "svc.overload_level";  // gauge
 // Latency histograms (obs::Histogram, microsecond ticks), recorded for every
 // admitted job both untagged and per {class=}. queue/run/total are wall-clock
 // (machine-dependent); sim_us is the *simulated* time of completed jobs and
@@ -66,8 +85,9 @@ enum class JobState : std::uint8_t {
   Failed,           // retries exhausted or non-retryable error
   Cancelled,        // CancelToken fired (caller or shutdown)
   DeadlineExpired,  // wall-clock deadline or step budget hit
-  Shed,             // rejected at admission: queue full or shutting down
-  CircuitOpen,      // rejected at admission: workload-class breaker open
+  Shed,             // rejected at admission: queue full, overload, shutdown
+  CircuitOpen,      // rejected at admission: (tenant, class) breaker open
+  QuotaExceeded,    // rejected at admission: tenant rate/concurrency quota
 };
 
 const char* to_string(JobState s);
@@ -91,6 +111,16 @@ inline u64 attempt_seed(u64 base, std::size_t attempt) {
 struct JobSpec {
   std::string name;            // display / debugging
   std::string workload_class;  // circuit-breaker key; defaults to graph name
+  // Admission/fairness identity. Empty (the default) means untenanted: no
+  // quotas, one shared fair-queue lane, no per-tenant metrics — exactly the
+  // pre-tenancy behavior. Non-empty selects the TenantPolicy from
+  // RunnerOptions::tenants and keys the breaker as "tenant/class".
+  std::string tenant;
+  // Overload consent: under OverloadController Degrade/Shed pressure this
+  // job may run at sim::SimDetail::Reduced with its retry budget trimmed to
+  // one attempt; the handle reports it via Job::degraded(). Jobs without the
+  // tag always run at full fidelity.
+  bool degradable = false;
   std::shared_ptr<const metaop::OpGraph> graph;
   arch::ArchConfig config = arch::ArchConfig::alchemist();
   Engine engine = Engine::Level;
@@ -141,6 +171,7 @@ struct TraceSummary {
   std::size_t attempts = 0;
   std::size_t retries = 0;           // attempts - 1 for jobs that ran
   std::uint64_t checkpoint_bytes = 0;  // size of the last captured checkpoint
+  bool degraded = false;  // ran at reduced detail under overload pressure
 };
 
 class JobRunner;
@@ -168,6 +199,14 @@ class Job {
   sim::SimResult result() const {
     std::lock_guard<std::mutex> lk(mu_);
     return result_;
+  }
+  // True when the overload ladder ran this job at reduced detail (see
+  // JobSpec::degradable): interval checkpoints and engine spans suppressed,
+  // no profiler, retry budget trimmed to one attempt. The simulated outcome
+  // itself is bit-identical to a full-fidelity run.
+  bool degraded() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return degraded_;
   }
   // Last captured cursor (valid() only if the job checkpointed before it was
   // stopped); feed it back through JobSpec::resume_from to continue the run.
@@ -216,6 +255,7 @@ class Job {
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   JobState state_ = JobState::Queued;
+  bool degraded_ = false;  // set at dequeue under overload pressure
   std::size_t attempts_ = 0;
   std::string error_;
   sim::SimResult result_;
@@ -236,6 +276,7 @@ inline const char* to_string(JobState s) {
     case JobState::DeadlineExpired: return "deadline-expired";
     case JobState::Shed: return "shed";
     case JobState::CircuitOpen: return "circuit-open";
+    case JobState::QuotaExceeded: return "quota-exceeded";
   }
   return "?";
 }

@@ -50,7 +50,12 @@ std::string label_of(const JobSpec& spec, std::uint64_t seq) {
 
 }  // namespace
 
-JobRunner::JobRunner(RunnerOptions opts) : opts_(opts), epoch_(Clock::now()) {
+JobRunner::JobRunner(RunnerOptions opts)
+    : opts_(std::move(opts)),
+      epoch_(Clock::now()),
+      queue_(opts_.queue_capacity),
+      admission_(opts_.tenants),
+      overload_(opts_.overload) {
   if (opts_.workers == 0) throw std::invalid_argument("svc: workers must be >= 1");
   if (opts_.queue_capacity == 0) {
     throw std::invalid_argument("svc: queue_capacity must be >= 1");
@@ -71,16 +76,19 @@ JobRunner::JobRunner(RunnerOptions opts) : opts_(opts), epoch_(Clock::now()) {
   }
 }
 
-JobRunner::~JobRunner() {
+JobRunner::~JobRunner() { shutdown(); }
+
+void JobRunner::shutdown() {
   std::vector<JobPtr> orphans;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    stopping_ = true;
-    paused_ = false;
-    orphans.assign(queue_.begin(), queue_.end());
-    queue_.clear();
-    // Running jobs stop cooperatively at their next simulator step.
-    for (Job* j : running_) j->token_.request_cancel();
+    if (!stopping_) {
+      stopping_ = true;
+      paused_ = false;
+      orphans = queue_.drain();
+      // Running jobs stop cooperatively at their next simulator step.
+      for (Job* j : running_) j->token_.request_cancel();
+    }
   }
   work_cv_.notify_all();
   for (const JobPtr& job : orphans) {
@@ -88,7 +96,14 @@ JobRunner::~JobRunner() {
     finish(job, JobState::Cancelled, "cancelled: runner shutdown",
            sim::SimResult{}, job->spec_.resume_from, 0);
   }
-  for (std::thread& t : workers_) t.join();
+  // Exactly one caller joins; late callers (including the destructor after
+  // an explicit shutdown) block here until the workers are gone, so
+  // shutdown() returning always means no worker thread is still running.
+  std::lock_guard<std::mutex> jl(join_mu_);
+  if (!joined_) {
+    for (std::thread& t : workers_) t.join();
+    joined_ = true;
+  }
 }
 
 JobPtr JobRunner::submit(JobSpec spec) {
@@ -101,9 +116,12 @@ JobPtr JobRunner::submit(JobSpec spec) {
 
   JobState rejected = JobState::Queued;  // sentinel: admitted
   const char* reason = nullptr;
+  const std::string& tenant = job->spec_.tenant;
+  const bool tenanted = !tenant.empty();
   {
     std::lock_guard<std::mutex> lk(mu_);
     reg_.add(metrics::kSubmitted, 1);
+    if (tenanted) reg_.add(metrics::kTenantSubmitted, 1, {{"tenant", tenant}});
     job->seq_ = ++seq_;
     if (opts_.trace != nullptr) {
       // Mint (or join) the job's trace. Ids depend only on the trace seed and
@@ -125,30 +143,63 @@ JobPtr JobRunner::submit(JobSpec spec) {
       rejected = JobState::Shed;
       reason = "shutdown";
     } else {
+      // Admission pipeline: breaker -> tenant quotas -> overload -> queue.
+      // Each later rejection rolls back the side effects of earlier stages
+      // (half-open probe slot, rate-limit token, in-flight count).
       auto [it, inserted] = breakers_.try_emplace(
-          job->spec_.workload_class, opts_.breaker_threshold, opts_.breaker_cooldown);
+          breaker_key(tenant, job->spec_.workload_class),
+          opts_.breaker_threshold, opts_.breaker_cooldown);
       (void)inserted;
       if (!it->second.allow(now)) {
         rejected = JobState::CircuitOpen;
         reason = "circuit_open";
-      } else if (queue_.size() >= opts_.queue_capacity) {
-        rejected = JobState::Shed;
-        reason = "queue_full";
-        // allow() may have admitted this job as the half-open probe; it will
-        // never run, so let the next submission probe instead.
-        it->second.on_neutral(now);
       } else {
-        reg_.add(metrics::kAdmitted, 1);
-        if (job->spec_.resume_from.valid()) reg_.add(metrics::kResumed, 1);
-        if (job->spec_.deadline.count() > 0) {
-          job->token_.set_deadline(now + job->spec_.deadline);
+        const Admission::Verdict verdict = admission_.admit(tenant, now);
+        if (verdict == Admission::Verdict::RateLimited) {
+          rejected = JobState::QuotaExceeded;
+          reason = "quota_rate";
+          it->second.on_neutral(now);
+        } else if (verdict == Admission::Verdict::ConcurrencyLimited) {
+          rejected = JobState::QuotaExceeded;
+          reason = "quota_concurrency";
+          it->second.on_neutral(now);
+        } else if (overload_.level() == OverloadController::Level::Shed) {
+          rejected = JobState::Shed;
+          reason = "overload";
+          it->second.on_neutral(now);
+          admission_.rollback(tenant);
+        } else {
+          const TenantPolicy& pol = admission_.policy(tenant);
+          const FairQueue::PushResult pr =
+              queue_.push(tenant, pol.weight, pol.max_backlog, job);
+          if (pr != FairQueue::PushResult::Ok) {
+            rejected = JobState::Shed;
+            reason = pr == FairQueue::PushResult::TenantFull ? "tenant_queue_full"
+                                                             : "queue_full";
+            // allow() may have admitted this job as the half-open probe; it
+            // will never run, so let the next submission probe instead.
+            it->second.on_neutral(now);
+            admission_.rollback(tenant);
+          } else {
+            reg_.add(metrics::kAdmitted, 1);
+            if (tenanted) {
+              reg_.add(metrics::kTenantAdmitted, 1, {{"tenant", tenant}});
+            }
+            if (job->spec_.resume_from.valid()) reg_.add(metrics::kResumed, 1);
+            if (job->spec_.deadline.count() > 0) {
+              job->token_.set_deadline(now + job->spec_.deadline);
+            }
+            peak_depth_ = std::max(peak_depth_, queue_.size());
+          }
         }
-        queue_.push_back(job);
-        peak_depth_ = std::max(peak_depth_, queue_.size());
       }
     }
     if (rejected != JobState::Queued) {
       reg_.add(metrics::kRejected, 1, {{"reason", reason}});
+      if (tenanted) {
+        reg_.add(metrics::kTenantRejected, 1,
+                 {{"reason", reason}, {"tenant", tenant}});
+      }
     }
     if (opts_.timeline != nullptr) {
       obs::TraceEvent ev;
@@ -244,6 +295,18 @@ obs::Registry JobRunner::snapshot() const {
   reg.set_gauge(metrics::kQueueDepth, static_cast<double>(peak_depth_),
                 {{"stat", "peak"}});
   reg.set_gauge(metrics::kWorkers, static_cast<double>(workers_.size()));
+  admission_.for_each([&](const std::string& tenant, std::size_t in_flight) {
+    if (tenant.empty()) return;
+    reg.set_gauge(metrics::kTenantInFlight, static_cast<double>(in_flight),
+                  {{"tenant", tenant}});
+    reg.set_gauge(metrics::kTenantBacklog,
+                  static_cast<double>(queue_.backlog(tenant)),
+                  {{"tenant", tenant}});
+  });
+  if (opts_.overload.enabled) {
+    reg.set_gauge(metrics::kOverloadLevel,
+                  static_cast<double>(static_cast<int>(overload_.level())));
+  }
   reg.set_gauge(metrics::kLatencyUs, percentile(latencies_us_, 50.0), {{"p", "50"}});
   reg.set_gauge(metrics::kLatencyUs, percentile(latencies_us_, 99.0), {{"p", "99"}});
   // Percentile gauges derived from every latency histogram, named
@@ -262,6 +325,11 @@ obs::Registry JobRunner::snapshot() const {
     }
   }
   return reg;
+}
+
+OverloadController::Level JobRunner::overload_level() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return overload_.level();
 }
 
 std::map<std::string, CircuitBreaker::State> JobRunner::breaker_states() const {
@@ -291,6 +359,21 @@ std::string JobRunner::status_json() const {
       << json_number(static_cast<std::uint64_t>(peak_depth_)) << ",\n";
   out << "  \"running\": "
       << json_number(static_cast<std::uint64_t>(running_.size())) << ",\n";
+  out << "  \"overload\": "
+      << json_string(OverloadController::to_string(overload_.level())) << ",\n";
+  out << "  \"tenants\": {";
+  bool first_tenant = true;
+  admission_.for_each([&](const std::string& tenant, std::size_t in_flight) {
+    if (tenant.empty()) return;
+    out << (first_tenant ? "\n" : ",\n");
+    first_tenant = false;
+    out << "    " << json_string(tenant) << ": {\"in_flight\": "
+        << json_number(static_cast<std::uint64_t>(in_flight))
+        << ", \"backlog\": "
+        << json_number(static_cast<std::uint64_t>(queue_.backlog(tenant)))
+        << "}";
+  });
+  out << (first_tenant ? "},\n" : "\n  },\n");
   out << "  \"breakers\": {";
   bool first = true;
   for (const auto& [cls, breaker] : breakers_) {
@@ -328,14 +411,22 @@ void JobRunner::worker_loop(std::size_t worker_id) {
   tls_worker = static_cast<int>(worker_id);
   for (;;) {
     JobPtr job;
+    bool degrade = false;
     {
       std::unique_lock<std::mutex> lk(mu_);
       work_cv_.wait(lk, [&] { return stopping_ || (!paused_ && !queue_.empty()); });
-      if (stopping_) return;  // the destructor already drained the queue
-      job = queue_.front();
-      queue_.pop_front();
+      if (stopping_) return;  // shutdown() already drained the queue
+      job = queue_.pop();
       running_.push_back(job.get());
       job->run_start_time_ = Clock::now();
+      // Feed the overload ladder this job's queue sojourn; the level decided
+      // here rides the job out of the lock as its degrade flag.
+      const auto sojourn = std::chrono::duration_cast<std::chrono::microseconds>(
+          job->run_start_time_ - job->submit_time_);
+      const OverloadController::Level level =
+          overload_.observe(sojourn, job->run_start_time_);
+      degrade =
+          job->spec_.degradable && level != OverloadController::Level::Normal;
       if (opts_.trace != nullptr && job->trace_ctx_.valid()) {
         job->trace_run_start_us_ = opts_.trace->now_us();
       }
@@ -356,7 +447,7 @@ void JobRunner::worker_loop(std::size_t worker_id) {
       s.num_attrs = {{"seq", static_cast<double>(job->seq_)}};
       opts_.trace->record(std::move(s));
     }
-    run_job(job);
+    run_job(job, degrade);
     {
       std::lock_guard<std::mutex> lk(mu_);
       running_.erase(std::find(running_.begin(), running_.end(), job.get()));
@@ -365,12 +456,16 @@ void JobRunner::worker_loop(std::size_t worker_id) {
   }
 }
 
-void JobRunner::run_job(const JobPtr& job) {
+void JobRunner::run_job(const JobPtr& job, bool degraded) {
   const JobSpec& spec = job->spec_;
   {
     std::lock_guard<std::mutex> lk(job->mu_);
     job->state_ = JobState::Running;
+    job->degraded_ = degraded;
   }
+  // Degraded service trims the retry budget to one attempt; the simulated
+  // outcome of the attempt itself stays bit-identical (see sim::SimDetail).
+  const std::size_t max_attempts = degraded ? 1 : spec.max_attempts;
   // The deadline (or a cancel) may have fired while the job sat in the queue.
   if (const sim::StopReason pre = job->token_.should_stop();
       pre != sim::StopReason::None) {
@@ -440,8 +535,9 @@ void JobRunner::run_job(const JobPtr& job) {
     ctl.trace = tracing ? opts_.trace : nullptr;
     ctl.trace_ctx = attempt_ctx;
     ctl.trace_detail = opts_.trace_detail;
+    ctl.detail = degraded ? sim::SimDetail::Reduced : sim::SimDetail::Full;
     sim::UnitProfiler prof;
-    sim::UnitProfiler* profiler = spec.profile ? &prof : nullptr;
+    sim::UnitProfiler* profiler = spec.profile && !degraded ? &prof : nullptr;
     try {
       sim::SimResult result;
       {
@@ -465,7 +561,7 @@ void JobRunner::run_job(const JobPtr& job) {
       record_attempt("corrupted");
       // Injected faults corrupted the output: the run is useless. Retry with
       // a re-rolled seed (independent transients) or give up.
-      if (attempt >= spec.max_attempts) {
+      if (attempt >= max_attempts) {
         finish(job, JobState::Failed,
                "output corrupted by injected faults after " +
                    std::to_string(attempt) + " attempt(s)",
@@ -601,6 +697,7 @@ void JobRunner::finish(const JobPtr& job, JobState state, std::string error,
   summary.attempts = attempts;
   summary.retries = attempts > 1 ? attempts - 1 : 0;
   summary.checkpoint_bytes = checkpoint.state.size();
+  summary.degraded = job->degraded_;  // written by this worker in run_job()
 
   if (tracing) {
     // Root span: admission -> terminal, parent of queue/attempt/backoff.
@@ -656,6 +753,8 @@ void JobRunner::record_terminal(const Job& job, JobState state,
                                 Clock::time_point now, double sim_us) {
   const Clock::time_point submit_time = job.submit_time_;
   const std::string& workload_class = job.spec_.workload_class;
+  const std::string& tenant = job.spec_.tenant;
+  const bool tenanted = !tenant.empty();
   switch (state) {
     case JobState::Completed:
       reg_.add(metrics::kCompleted, 1);
@@ -671,8 +770,19 @@ void JobRunner::record_terminal(const Job& job, JobState state,
       reg_.add(metrics::kDeadlineExpired, 1);
       break;
     default:
-      break;  // Shed/CircuitOpen are accounted at admission
+      break;  // Shed/CircuitOpen/QuotaExceeded are accounted at admission
   }
+  if (tenanted) {
+    reg_.add(metrics::kTenantTerminal, 1,
+             {{"state", svc::to_string(state)}, {"tenant", tenant}});
+  }
+  if (job.degraded_) {
+    reg_.add(metrics::kDegraded, 1);
+    if (tenanted) reg_.add(metrics::kTenantDegraded, 1, {{"tenant", tenant}});
+  }
+  // Every job reaching record_terminal() was admitted (rejections finalize
+  // inline in submit()), so its concurrency-quota slot is released here.
+  admission_.release(tenant);
   if (has_checkpoint) reg_.add(metrics::kCheckpoints, 1);
   const double total_us =
       std::chrono::duration<double, std::micro>(now - submit_time).count();
@@ -697,6 +807,10 @@ void JobRunner::record_terminal(const Job& job, JobState state,
   reg_.observe(metrics::kLatencyRunUs, run_us, {{"class", cls}});
   reg_.observe(metrics::kLatencyTotalUs, total_us);
   reg_.observe(metrics::kLatencyTotalUs, total_us, {{"class", cls}});
+  if (tenanted) {
+    reg_.observe(metrics::kLatencyQueueUs, queue_us, {{"tenant", tenant}});
+    reg_.observe(metrics::kLatencyTotalUs, total_us, {{"tenant", tenant}});
+  }
   if (state == JobState::Completed) {
     reg_.observe(metrics::kLatencySimUs, sim_us);
     reg_.observe(metrics::kLatencySimUs, sim_us, {{"class", cls}});
@@ -740,7 +854,7 @@ void JobRunner::record_terminal(const Job& job, JobState state,
     }
   }
 
-  const auto it = breakers_.find(workload_class);
+  const auto it = breakers_.find(breaker_key(tenant, workload_class));
   if (it != breakers_.end()) {
     if (state == JobState::Completed) {
       it->second.on_success();

@@ -1,19 +1,34 @@
 // Thread-pool simulation service: the host-side robustness layer the
 // accelerator serving stacks (ARK, BASALISC) assume, reproduced in software.
 //
-// N worker threads drain a bounded job queue with admission control:
+// N worker threads drain per-tenant fair queues behind a typed admission
+// pipeline:
 //
-//   submit() ──▶ [breaker?] ──▶ [queue full?] ──▶ queue ──▶ worker ──▶ attempt loop
-//                 │ open           │ full                         │
-//                 ▼                ▼                              ├─ Completed
-//             CircuitOpen        Shed                             ├─ retry (backoff, re-rolled
-//                                                                 │         fault seed)
-//                                                                 ├─ Failed (budget exhausted)
-//                                                                 ├─ Cancelled      ┐ checkpoint
-//                                                                 └─ DeadlineExpired┘ captured
+//   submit() ─▶ [breaker?] ─▶ [quota?] ─▶ [overload?] ─▶ fair queue ─▶ worker ─▶ attempt loop
+//               │ open         │ over       │ shedding     (DRR over           │
+//               ▼              ▼            ▼            per-tenant lanes)     ├─ Completed [Degraded]
+//           CircuitOpen   QuotaExceeded    Shed                                ├─ retry (backoff,
+//                                                                              │   re-rolled fault seed)
+//                                                                              ├─ Failed (budget exhausted)
+//                                                                              ├─ Cancelled      ┐ checkpoint
+//                                                                              └─ DeadlineExpired┘ captured
 //
 // * Backpressure: the queue never grows past `queue_capacity`; overload is a
 //   typed Shed rejection, not latency collapse.
+// * Multi-tenant admission (svc/admission.h): JobSpec::tenant selects a
+//   TenantPolicy (token-bucket rate limit, concurrency quota, backlog cap,
+//   DRR weight) from RunnerOptions::tenants; quota violations terminate in
+//   QuotaExceeded, distinct from capacity Shed, so clients can tell "slow
+//   down" from "service is full".
+// * Fair queueing (svc/fair_queue.h): per-tenant sub-queues drained by
+//   deficit round robin — a bursty tenant queues behind its own backlog
+//   instead of everyone's. Untenanted jobs share one lane, which degenerates
+//   to the old FIFO.
+// * Overload ladder (svc/overload.h): CoDel-style queue-sojourn tracking.
+//   Past the target delay, degradable jobs run at reduced detail (Degraded
+//   flag on the handle, bit-identical simulated outcome); past the shed
+//   threshold, new arrivals shed (reason "overload") until the standing
+//   queue drains. Queued work is never dropped.
 // * Deadlines: wall-clock deadlines ride the job's CancelToken; deterministic
 //   step budgets (JobSpec::max_steps) expire the same way. Both leave the
 //   job's last checkpoint on the handle for resumption.
@@ -59,8 +74,11 @@
 #include "obs/registry.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
+#include "svc/admission.h"
 #include "svc/circuit_breaker.h"
+#include "svc/fair_queue.h"
 #include "svc/job.h"
+#include "svc/overload.h"
 
 namespace alchemist::svc {
 
@@ -70,10 +88,17 @@ struct RunnerOptions {
   // Retry pacing; each job derives a deterministic jitter stream from
   // backoff.seed and its submission sequence number.
   BackoffConfig backoff{};
-  // Circuit breaker per workload class: consecutive failures to open, and
-  // the open period before a half-open probe. threshold 0 disables breaking.
+  // Circuit breaker per (tenant, workload class): consecutive failures to
+  // open, and the open period before a half-open probe. threshold 0 disables
+  // breaking. Untenanted jobs key the breaker by class alone, so one
+  // tenant's failing workload never fast-fails another tenant's.
   std::size_t breaker_threshold = 5;
   std::chrono::milliseconds breaker_cooldown{100};
+  // Per-tenant admission quotas and fair-queue weights (svc/admission.h).
+  // The default table is unlimited for every tenant — tenancy is opt-in.
+  TenantPolicyTable tenants{};
+  // Adaptive overload control (svc/overload.h). Disabled by default.
+  OverloadConfig overload{};
   // Start with workers parked (submissions queue up but nothing runs) until
   // set_paused(false) — deterministic queue-pressure tests rely on this.
   bool start_paused = false;
@@ -102,9 +127,15 @@ struct RunnerOptions {
 class JobRunner {
  public:
   explicit JobRunner(RunnerOptions opts = {});
-  // Stops accepting, cancels queued and running jobs, joins the workers.
-  // Every job still reaches a terminal state.
+  // Equivalent to shutdown().
   ~JobRunner();
+
+  // Stops accepting (subsequent submissions shed with reason "shutdown"),
+  // cancels queued and running jobs, joins the workers. Every job still
+  // reaches a terminal state. Idempotent and safe to race with concurrent
+  // submit() calls from other threads — the accounting invariant
+  // (terminal-state counters partition svc.submitted) holds throughout.
+  void shutdown();
 
   JobRunner(const JobRunner&) = delete;
   JobRunner& operator=(const JobRunner&) = delete;
@@ -131,14 +162,18 @@ class JobRunner {
   // activity. Thread-safe; poll-driven (computed on call, nothing cached).
   std::string status_json() const;
 
-  // Per-workload-class breaker states, for introspection and tests.
+  // Per-(tenant, class) breaker states, for introspection and tests. Keys
+  // are "class" for untenanted jobs and "tenant/class" otherwise.
   std::map<std::string, CircuitBreaker::State> breaker_states() const;
+
+  // Overload ladder level currently in force (svc/overload.h).
+  OverloadController::Level overload_level() const;
 
   const RunnerOptions& options() const { return opts_; }
 
  private:
   void worker_loop(std::size_t worker_id);
-  void run_job(const JobPtr& job);
+  void run_job(const JobPtr& job, bool degraded);
   // Terminal transition: updates the svc.* counters, latency record and
   // workload-class breaker first, then publishes the state to the handle (so
   // a caller woken by Job::wait() always sees itself accounted).
@@ -155,13 +190,21 @@ class JobRunner {
     return std::chrono::duration<double, std::micro>(t - epoch_).count();
   }
 
+  // Breaker key: "class" untenanted, "tenant/class" otherwise.
+  static std::string breaker_key(const std::string& tenant,
+                                 const std::string& workload_class) {
+    return tenant.empty() ? workload_class : tenant + "/" + workload_class;
+  }
+
   RunnerOptions opts_;
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;  // queue, breakers, stats, lifecycle flags, timeline
+  mutable std::mutex mu_;  // queue, breakers, admission, stats, flags, timeline
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
-  std::deque<JobPtr> queue_;
+  FairQueue queue_;
+  Admission admission_;
+  OverloadController overload_;
   std::vector<Job*> running_;  // jobs currently on a worker (for shutdown cancel)
   std::map<std::string, CircuitBreaker> breakers_;
   obs::Registry reg_;
@@ -171,6 +214,8 @@ class JobRunner {
   bool paused_ = false;
   bool stopping_ = false;
 
+  std::mutex join_mu_;  // serializes the one-time worker join in shutdown()
+  bool joined_ = false;
   std::vector<std::thread> workers_;
 };
 

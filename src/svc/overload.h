@@ -1,0 +1,110 @@
+// Adaptive overload control: CoDel-style queue-sojourn tracking with a
+// degrade-before-shed escalation ladder.
+//
+// Queue *length* is a poor overload signal (a deep queue of microsecond jobs
+// is healthy; a shallow queue of minute-long jobs is not). Following CoDel
+// (Nichols & Jacobson, CACM 2012) the controller watches queue *delay*: the
+// sojourn time of each job between admission and dequeue, fed by the workers
+// as they pick jobs up. The minimum sojourn over a sliding interval is the
+// standing-queue estimate — bursts that drain within one interval never
+// raise it.
+//
+// Escalation, in order (the graceful-degradation ladder the serving layer
+// applies):
+//
+//   Normal   min sojourn <= target: full-fidelity service.
+//   Degrade  min sojourn has stayed above `target` for a full `interval`:
+//            jobs tagged degradable run at reduced detail (sim::SimDetail::
+//            Reduced — no interval checkpoints, lifecycle-only spans, no
+//            profiler) with their retry budget trimmed to one attempt, and
+//            their results are flagged Degraded. Simulated outcomes stay
+//            bit-identical; only wall-clock cost and observability drop.
+//   Shed     min sojourn has additionally been above shed_factor * target
+//            for a full interval: new arrivals are shed (typed Shed with
+//            reason "overload") until the standing queue drains. Queued work
+//            is never dropped — admission is the only shed point, so the
+//            terminal-state accounting stays exact.
+//
+// One sojourn at or below target resets the ladder to Normal (the standing
+// queue has drained). Pure logic over caller-supplied time points, like
+// CircuitBreaker and Admission: no clock reads, no locks, unit-testable with
+// a manual clock. Disabled (the default) it never leaves Normal, so pre-PR
+// deployments are untouched.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace alchemist::svc {
+
+struct OverloadConfig {
+  bool enabled = false;
+  // Acceptable standing queue delay (CoDel "target").
+  std::chrono::microseconds target{5'000};
+  // How long the delay must stand above target before escalating (CoDel
+  // "interval"). Zero escalates on the first above-target sojourn — the
+  // deterministic soak scenarios use that.
+  std::chrono::microseconds interval{100'000};
+  // Shed once the standing delay exceeds target * shed_factor (and has been
+  // above target for an interval).
+  double shed_factor = 8.0;
+};
+
+class OverloadController {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class Level : std::uint8_t { Normal, Degrade, Shed };
+
+  explicit OverloadController(OverloadConfig cfg = {}) : cfg_(cfg) {}
+
+  const OverloadConfig& config() const { return cfg_; }
+
+  // Feed one queue-sojourn observation (admission -> dequeue) made at `now`.
+  // Returns the level in force *after* the observation.
+  Level observe(std::chrono::microseconds sojourn, Clock::time_point now) {
+    if (!cfg_.enabled) return Level::Normal;
+    if (sojourn <= cfg_.target) {
+      // Standing queue drained: reset the ladder and the window.
+      above_since_ = Clock::time_point{};
+      window_min_ = kNoMin;
+      level_ = Level::Normal;
+      return level_;
+    }
+    if (above_since_ == Clock::time_point{}) {
+      above_since_ = now;
+      window_min_ = sojourn;
+      return level_;  // first above-target sample starts the window
+    }
+    window_min_ = std::min(window_min_, sojourn);
+    if (now - above_since_ >= cfg_.interval) {
+      const auto shed_at = std::chrono::microseconds(static_cast<std::int64_t>(
+          static_cast<double>(cfg_.target.count()) * cfg_.shed_factor));
+      level_ = window_min_ > shed_at ? Level::Shed : Level::Degrade;
+    }
+    return level_;
+  }
+
+  Level level() const { return level_; }
+
+  static const char* to_string(Level l) {
+    switch (l) {
+      case Level::Normal: return "normal";
+      case Level::Degrade: return "degrade";
+      case Level::Shed: return "shed";
+    }
+    return "?";
+  }
+
+ private:
+  static constexpr std::chrono::microseconds kNoMin{
+      std::chrono::microseconds::max()};
+
+  OverloadConfig cfg_;
+  Level level_ = Level::Normal;
+  Clock::time_point above_since_{};
+  std::chrono::microseconds window_min_{kNoMin};
+};
+
+}  // namespace alchemist::svc

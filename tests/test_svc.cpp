@@ -8,12 +8,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <tuple>
 
 #include "common/backoff.h"
@@ -66,6 +69,46 @@ TEST(Backoff, GrowsExponentiallyUpToCap) {
   EXPECT_EQ(bo.next_us(), 1000u);  // capped
   EXPECT_EQ(bo.next_us(), 1000u);
   EXPECT_EQ(bo.total_us(), 100u + 200u + 400u + 800u + 1000u + 1000u);
+}
+
+TEST(Backoff, SaturatesAtCapForHugeAttemptCounts) {
+  // Regression: base * multiplier^k overflows the double to inf within ~300
+  // attempts, and llround of a jittered near-UINT64_MAX cap is UB. Both must
+  // saturate instead.
+  BackoffConfig cfg;
+  cfg.base_us = 100;
+  cfg.multiplier = 10.0;
+  cfg.cap_us = std::numeric_limits<std::uint64_t>::max();
+  cfg.jitter = 0.5;  // jittered cap would land well past 2^63 without the clamp
+  Backoff bo(cfg);
+  constexpr std::uint64_t kMaxRoundable = 9'000'000'000'000'000'000ull;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t d = bo.next_us();
+    ASSERT_GE(d, 1u);
+    ASSERT_LE(d, kMaxRoundable);
+  }
+  EXPECT_EQ(bo.attempts(), 5000u);
+
+  // With jitter off, the saturated schedule is pinned exactly at the clamp.
+  cfg.jitter = 0.0;
+  Backoff pinned(cfg);
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) last = pinned.next_us();
+  EXPECT_EQ(last, kMaxRoundable);
+
+  // The capped_ latch must not freeze growth-free schedules early, and
+  // reset() must re-arm it.
+  BackoffConfig flat;
+  flat.base_us = 500;
+  flat.multiplier = 1.0;
+  flat.cap_us = 1000;
+  flat.jitter = 0.0;
+  Backoff fb(flat);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(fb.next_us(), 500u);
+  bo.reset();
+  cfg.jitter = 0.5;  // back to bo's original config
+  Backoff fresh(cfg);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(bo.next_us(), fresh.next_us());
 }
 
 TEST(Backoff, JitterStaysBounded) {
@@ -835,6 +878,565 @@ TEST(Introspection, TraceAndLogEndpointsAre404WithoutSources) {
   EXPECT_NE(http_get(server.port(), "/tracez").find("404"), std::string::npos);
   EXPECT_NE(http_get(server.port(), "/logz").find("404"), std::string::npos);
   EXPECT_NE(http_get(server.port(), "/buildz").find("200 OK"), std::string::npos);
+}
+
+// Connects and sends `payload` without completing the request, then reads
+// whatever the server answers (the hardening paths: 408 / 431).
+std::string http_send_raw(int port, const std::string& payload) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  if (!payload.empty()) (void)!::write(fd, payload.data(), payload.size());
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(Introspection, SlowClientGets408WithoutWedgingTheServer) {
+  svc::IntrospectionOptions opts;
+  opts.read_deadline = std::chrono::milliseconds(100);
+  svc::IntrospectionServer server(
+      /*port=*/0, [] { return obs::Registry(); },
+      [] { return std::string("{}"); }, opts);
+  ASSERT_TRUE(server.ok()) << server.error();
+  // A client that opens the connection and never finishes its headers must
+  // be cut off with 408 once the read deadline passes...
+  const std::string stalled = http_send_raw(server.port(), "GET /hea");
+  EXPECT_NE(stalled.find("408"), std::string::npos) << stalled;
+  // ...and one that sends nothing at all times out the same way.
+  const std::string silent = http_send_raw(server.port(), "");
+  EXPECT_NE(silent.find("408"), std::string::npos) << silent;
+  // The single-threaded accept loop must still serve the next client.
+  EXPECT_NE(http_get(server.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+}
+
+TEST(Introspection, OversizedRequestsGet431) {
+  svc::IntrospectionOptions opts;
+  opts.max_request_line = 256;
+  opts.max_request_bytes = 2048;
+  svc::IntrospectionServer server(
+      /*port=*/0, [] { return obs::Registry(); },
+      [] { return std::string("{}"); }, opts);
+  ASSERT_TRUE(server.ok()) << server.error();
+  // Request line alone past the cap (no terminator yet).
+  const std::string long_line =
+      "GET /" + std::string(1024, 'a') + " HTTP/1.1\r\n\r\n";
+  EXPECT_NE(http_send_raw(server.port(), long_line).find("431"),
+            std::string::npos);
+  // Short request line, but headers ballooning past max_request_bytes.
+  std::string fat_headers = "GET /healthz HTTP/1.1\r\n";
+  for (int i = 0; i < 64; ++i) {
+    fat_headers += "X-Pad-" + std::to_string(i) + ": " + std::string(100, 'b') + "\r\n";
+  }
+  fat_headers += "\r\n";
+  EXPECT_NE(http_send_raw(server.port(), fat_headers).find("431"),
+            std::string::npos);
+  // Within both caps still works.
+  EXPECT_NE(http_get(server.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+}
+
+// --- Admission: token buckets and quotas ----------------------------------
+
+TEST(TokenBucket, RefillsAtConfiguredRateUnderManualClock) {
+  auto now = std::chrono::steady_clock::time_point{} + 1h;
+  svc::TokenBucket bucket(/*burst=*/2.0, /*rate_per_sec=*/1.0);
+  EXPECT_TRUE(bucket.try_take(now));
+  EXPECT_TRUE(bucket.try_take(now));
+  EXPECT_FALSE(bucket.try_take(now));  // burst exhausted
+  now += 500ms;
+  EXPECT_FALSE(bucket.try_take(now));  // only half a token back
+  now += 500ms;
+  EXPECT_TRUE(bucket.try_take(now));  // one full token refilled
+  EXPECT_FALSE(bucket.try_take(now));
+  // Refunds cannot mint tokens past the burst capacity.
+  now += 1h;
+  for (int i = 0; i < 10; ++i) bucket.refund();
+  EXPECT_DOUBLE_EQ(bucket.tokens(now), 2.0);
+}
+
+TEST(TokenBucket, ZeroBurstDisablesAndZeroRateNeverRefills) {
+  const auto now = std::chrono::steady_clock::time_point{} + 1h;
+  svc::TokenBucket unlimited;  // burst 0 = disabled
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(unlimited.try_take(now));
+
+  svc::TokenBucket budget(/*burst=*/3.0, /*rate_per_sec=*/0.0);
+  auto t = now;
+  EXPECT_TRUE(budget.try_take(t));
+  EXPECT_TRUE(budget.try_take(t));
+  EXPECT_TRUE(budget.try_take(t));
+  t += 24h;  // a non-replenishing budget stays empty forever
+  EXPECT_FALSE(budget.try_take(t));
+}
+
+TEST(Admission, EnforcesRateAndConcurrencyIndependently) {
+  auto now = std::chrono::steady_clock::time_point{} + 1h;
+  svc::TenantPolicyTable table;
+  svc::TenantPolicy p;
+  p.burst = 3;
+  p.rate_per_sec = 0;
+  p.max_in_flight = 1;
+  table.policies["a"] = p;
+  svc::Admission adm(table);
+
+  EXPECT_EQ(adm.admit("a", now), svc::Admission::Verdict::Admit);
+  EXPECT_EQ(adm.in_flight("a"), 1u);
+  // Concurrency rejection refunds the token it took.
+  EXPECT_EQ(adm.admit("a", now), svc::Admission::Verdict::ConcurrencyLimited);
+  EXPECT_EQ(adm.in_flight("a"), 1u);
+  adm.release("a");
+  EXPECT_EQ(adm.admit("a", now), svc::Admission::Verdict::Admit);
+  adm.release("a");
+  EXPECT_EQ(adm.admit("a", now), svc::Admission::Verdict::Admit);
+  adm.release("a");
+  // Three tokens spent; the non-replenishing bucket now rate-limits.
+  EXPECT_EQ(adm.admit("a", now), svc::Admission::Verdict::RateLimited);
+  // rollback() refunds token + slot: admission becomes possible again.
+  EXPECT_EQ(adm.admit("a", now + 1s), svc::Admission::Verdict::RateLimited);
+  adm.rollback("a");
+  EXPECT_EQ(adm.admit("a", now + 1s), svc::Admission::Verdict::Admit);
+
+  // Unconfigured tenants fall back to the unlimited policy.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(adm.admit("other", now), svc::Admission::Verdict::Admit);
+  }
+}
+
+// --- FairQueue: deficit round robin ---------------------------------------
+
+svc::JobPtr queue_job(const std::string& name) {
+  static auto graph = keyswitch_graph();
+  svc::JobSpec spec;
+  spec.name = name;
+  spec.graph = graph;
+  return std::make_shared<svc::Job>(std::move(spec));
+}
+
+TEST(FairQueue, SingleLaneDegeneratesToFifo) {
+  svc::FairQueue q(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.push("", 1, 0, queue_job("j" + std::to_string(i))),
+              svc::FairQueue::PushResult::Ok);
+  }
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const svc::JobPtr j = q.pop();
+    ASSERT_NE(j, nullptr);
+    EXPECT_EQ(j->spec().name, "j" + std::to_string(i));
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(FairQueue, DeficitRoundRobinHonorsWeights) {
+  svc::FairQueue q(32);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(q.push("a", 2, 0, queue_job("a" + std::to_string(i))),
+              svc::FairQueue::PushResult::Ok);
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(q.push("b", 1, 0, queue_job("b" + std::to_string(i))),
+              svc::FairQueue::PushResult::Ok);
+  }
+  // Weight 2:1 -> two of a, one of b, repeating.
+  std::string order;
+  while (const svc::JobPtr j = q.pop()) order += j->spec().name[0];
+  EXPECT_EQ(order, "aabaabaab");
+}
+
+TEST(FairQueue, PerTenantAndGlobalCapsAreDistinct) {
+  svc::FairQueue q(4);
+  EXPECT_EQ(q.push("a", 1, 2, queue_job("a0")), svc::FairQueue::PushResult::Ok);
+  EXPECT_EQ(q.push("a", 1, 2, queue_job("a1")), svc::FairQueue::PushResult::Ok);
+  EXPECT_EQ(q.push("a", 1, 2, queue_job("a2")),
+            svc::FairQueue::PushResult::TenantFull);
+  EXPECT_EQ(q.push("b", 1, 0, queue_job("b0")), svc::FairQueue::PushResult::Ok);
+  EXPECT_EQ(q.push("b", 1, 0, queue_job("b1")), svc::FairQueue::PushResult::Ok);
+  EXPECT_EQ(q.push("b", 1, 0, queue_job("b2")), svc::FairQueue::PushResult::Full);
+  EXPECT_EQ(q.backlog("a"), 2u);
+  EXPECT_EQ(q.backlog("b"), 2u);
+  const std::vector<svc::JobPtr> drained = q.drain();
+  EXPECT_EQ(drained.size(), 4u);
+  EXPECT_TRUE(q.empty());
+}
+
+// --- OverloadController: CoDel-style ladder -------------------------------
+
+TEST(OverloadController, EscalatesAfterIntervalAndResetsOnDrain) {
+  using Level = svc::OverloadController::Level;
+  auto now = std::chrono::steady_clock::time_point{} + 1h;
+  svc::OverloadConfig cfg;
+  cfg.enabled = true;
+  cfg.target = std::chrono::microseconds(100);
+  cfg.interval = std::chrono::microseconds(10'000);
+  cfg.shed_factor = 8.0;
+  svc::OverloadController ctl(cfg);
+
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(50), now), Level::Normal);
+  // First above-target sample opens the window but does not escalate.
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(500), now), Level::Normal);
+  now += 5ms;
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(500), now), Level::Normal);
+  now += 6ms;  // window complete, min sojourn 500us <= 8x target
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(500), now), Level::Degrade);
+  // A single at-target sojourn means the standing queue drained: full reset.
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(100), now), Level::Normal);
+  // Far above shed_factor * target for a full window escalates to Shed.
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(5'000), now), Level::Normal);
+  now += 11ms;
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(5'000), now), Level::Shed);
+  EXPECT_EQ(ctl.level(), Level::Shed);
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(10), now), Level::Normal);
+}
+
+TEST(OverloadController, DisabledNeverLeavesNormal) {
+  using Level = svc::OverloadController::Level;
+  svc::OverloadController ctl;  // default config: disabled
+  auto now = std::chrono::steady_clock::time_point{} + 1h;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ctl.observe(std::chrono::hours(1), now), Level::Normal);
+    now += 1h;
+  }
+}
+
+// --- JobRunner: tenancy ----------------------------------------------------
+
+TEST(JobRunner, QuotaRateLimitRejectsTyped) {
+  const auto graph = keyswitch_graph();
+  svc::RunnerOptions opts;
+  opts.workers = 2;
+  opts.start_paused = true;
+  svc::TenantPolicy p;
+  p.burst = 1;
+  p.rate_per_sec = 0;
+  opts.tenants.policies["t0"] = p;
+  svc::JobRunner runner(opts);
+
+  std::vector<svc::JobPtr> jobs;
+  for (int i = 0; i < 3; ++i) {
+    svc::JobSpec spec;
+    spec.graph = graph;
+    spec.tenant = "t0";
+    jobs.push_back(runner.submit(std::move(spec)));
+  }
+  EXPECT_EQ(jobs[0]->state(), svc::JobState::Queued);
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(jobs[i]->state(), svc::JobState::QuotaExceeded);
+    EXPECT_NE(jobs[i]->error().find("quota_rate"), std::string::npos);
+  }
+  runner.set_paused(false);
+  runner.drain();
+  EXPECT_EQ(jobs[0]->state(), svc::JobState::Completed);
+
+  const obs::Registry reg = runner.snapshot();
+  EXPECT_EQ(reg.counter(svc::metrics::kRejected, {{"reason", "quota_rate"}}), 2u);
+  EXPECT_EQ(reg.counter(svc::metrics::kTenantSubmitted, {{"tenant", "t0"}}), 3u);
+  EXPECT_EQ(reg.counter(svc::metrics::kTenantAdmitted, {{"tenant", "t0"}}), 1u);
+  EXPECT_EQ(reg.counter(svc::metrics::kTenantRejected,
+                        {{"reason", "quota_rate"}, {"tenant", "t0"}}),
+            2u);
+  EXPECT_EQ(reg.counter(svc::metrics::kTenantTerminal,
+                        {{"state", "completed"}, {"tenant", "t0"}}),
+            1u);
+  // Terminal counters + typed rejections still partition svc.submitted.
+  EXPECT_EQ(reg.counter(svc::metrics::kCompleted) +
+                reg.total_over_tags("svc.rejected{"),
+            reg.counter(svc::metrics::kSubmitted));
+}
+
+TEST(JobRunner, ConcurrencyQuotaFreesSlotOnTerminal) {
+  const auto graph = keyswitch_graph();
+  svc::RunnerOptions opts;
+  opts.workers = 2;
+  opts.start_paused = true;
+  svc::TenantPolicy p;
+  p.max_in_flight = 1;
+  opts.tenants.policies["t0"] = p;
+  svc::JobRunner runner(opts);
+
+  auto submit = [&] {
+    svc::JobSpec spec;
+    spec.graph = graph;
+    spec.tenant = "t0";
+    return runner.submit(std::move(spec));
+  };
+  const svc::JobPtr first = submit();
+  const svc::JobPtr second = submit();
+  EXPECT_EQ(first->state(), svc::JobState::Queued);
+  EXPECT_EQ(second->state(), svc::JobState::QuotaExceeded);
+  EXPECT_NE(second->error().find("quota_concurrency"), std::string::npos);
+  runner.set_paused(false);
+  runner.drain();
+  EXPECT_EQ(first->state(), svc::JobState::Completed);
+  // The terminal transition released the slot: the next submission sails in.
+  const svc::JobPtr third = submit();
+  third->wait();
+  EXPECT_EQ(third->state(), svc::JobState::Completed);
+}
+
+TEST(JobRunner, DrrIsolatesLateTenantFromEarlyBacklog) {
+  const auto graph = keyswitch_graph();
+  svc::RunnerOptions opts;
+  opts.workers = 1;  // strictly serial: dequeue order == DRR order
+  opts.start_paused = true;
+  opts.tenants.policies["hog"] = svc::TenantPolicy{};
+  opts.tenants.policies["late"] = svc::TenantPolicy{};
+  svc::JobRunner runner(opts);
+
+  std::vector<svc::JobPtr> hog, late;
+  for (int i = 0; i < 8; ++i) {
+    svc::JobSpec spec;
+    spec.graph = graph;
+    spec.tenant = "hog";
+    hog.push_back(runner.submit(std::move(spec)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    svc::JobSpec spec;
+    spec.graph = graph;
+    spec.tenant = "late";
+    late.push_back(runner.submit(std::move(spec)));
+  }
+  runner.set_paused(false);
+  runner.drain();
+  for (const svc::JobPtr& j : hog) ASSERT_EQ(j->state(), svc::JobState::Completed);
+  for (const svc::JobPtr& j : late) ASSERT_EQ(j->state(), svc::JobState::Completed);
+  // Round robin interleaves the lanes: the late tenant's last job (served by
+  // round 4) dequeues before the hog's last (round 10) despite 8 jobs of
+  // head-of-line backlog — under FIFO it would have waited behind all of them.
+  EXPECT_LT(late.back()->trace_summary().queue_us,
+            hog.back()->trace_summary().queue_us);
+}
+
+TEST(JobRunner, BreakerIsolatedPerTenantAndClass) {
+  const auto graph = keyswitch_graph();
+  svc::RunnerOptions opts;
+  opts.workers = 1;
+  opts.breaker_threshold = 2;
+  opts.breaker_cooldown = std::chrono::seconds(600);
+  svc::JobRunner runner(opts);
+
+  auto poison = [&](const char* tenant) {
+    svc::JobSpec spec;
+    spec.graph = graph;
+    spec.tenant = tenant;
+    spec.workload_class = "poison";
+    spec.fault_enabled = true;
+    spec.fault.compute_fault_rate = 1.0;
+    spec.max_attempts = 1;
+    const svc::JobPtr j = runner.submit(std::move(spec));
+    runner.drain();
+    return j;
+  };
+  EXPECT_EQ(poison("a")->state(), svc::JobState::Failed);
+  EXPECT_EQ(poison("a")->state(), svc::JobState::Failed);
+  // Tenant a's poison breaker is open now...
+  EXPECT_EQ(poison("a")->state(), svc::JobState::CircuitOpen);
+  // ...but tenant b's same-class jobs and untenanted jobs are untouched.
+  EXPECT_EQ(poison("b")->state(), svc::JobState::Failed);
+  EXPECT_EQ(poison("")->state(), svc::JobState::Failed);
+
+  const auto states = runner.breaker_states();
+  ASSERT_TRUE(states.count("a/poison"));
+  ASSERT_TRUE(states.count("b/poison"));
+  ASSERT_TRUE(states.count("poison"));  // untenanted key: class alone
+  EXPECT_EQ(states.at("a/poison"), svc::CircuitBreaker::State::Open);
+  EXPECT_EQ(states.at("b/poison"), svc::CircuitBreaker::State::Closed);
+  EXPECT_EQ(states.at("poison"), svc::CircuitBreaker::State::Closed);
+}
+
+TEST(JobRunner, OverloadDegradesDegradableJobsBitIdentically) {
+  const auto graph = keyswitch_graph();
+  const sim::SimResult ref =
+      sim::simulate_alchemist(*graph, arch::ArchConfig::alchemist());
+  svc::RunnerOptions opts;
+  opts.workers = 1;
+  opts.start_paused = true;
+  opts.overload.enabled = true;
+  // Paused-queue sojourns are milliseconds, so a 1us target is always
+  // exceeded; shed_at = 1us * 1e18 never is — the ladder stops at Degrade.
+  opts.overload.target = std::chrono::microseconds(1);
+  opts.overload.interval = std::chrono::microseconds(0);
+  opts.overload.shed_factor = 1e18;
+  svc::JobRunner runner(opts);
+
+  std::vector<svc::JobPtr> jobs;
+  for (int i = 0; i < 4; ++i) {
+    svc::JobSpec spec;
+    spec.graph = graph;
+    spec.degradable = true;
+    spec.checkpoint_interval = 2;
+    spec.max_attempts = 3;
+    jobs.push_back(runner.submit(std::move(spec)));
+  }
+  runner.set_paused(false);
+  runner.drain();
+  // With one worker the first dequeue only opens the CoDel window; every
+  // later one sees Degrade.
+  ASSERT_EQ(jobs[0]->state(), svc::JobState::Completed);
+  EXPECT_FALSE(jobs[0]->degraded());
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_EQ(jobs[i]->state(), svc::JobState::Completed) << jobs[i]->error();
+    EXPECT_TRUE(jobs[i]->degraded());
+    EXPECT_TRUE(jobs[i]->trace_summary().degraded);
+    EXPECT_EQ(jobs[i]->attempts(), 1u);
+    // Reduced detail changes observability, never the simulated outcome.
+    EXPECT_EQ(jobs[i]->result().cycles, ref.cycles);
+    EXPECT_EQ(jobs[i]->result().registry.counters(), ref.registry.counters());
+  }
+  const obs::Registry reg = runner.snapshot();
+  EXPECT_EQ(reg.counter(svc::metrics::kDegraded), 3u);
+  EXPECT_EQ(reg.gauge(svc::metrics::kOverloadLevel), 1.0);  // Degrade
+}
+
+TEST(JobRunner, NonDegradableJobsKeepFullServiceUnderOverload) {
+  const auto graph = keyswitch_graph();
+  svc::RunnerOptions opts;
+  opts.workers = 1;
+  opts.start_paused = true;
+  opts.overload.enabled = true;
+  opts.overload.target = std::chrono::microseconds(0);
+  opts.overload.interval = std::chrono::microseconds(0);
+  opts.overload.shed_factor = 1e18;
+  svc::JobRunner runner(opts);
+  std::vector<svc::JobPtr> jobs;
+  for (int i = 0; i < 4; ++i) {
+    svc::JobSpec spec;
+    spec.graph = graph;  // degradable defaults to false
+    jobs.push_back(runner.submit(std::move(spec)));
+  }
+  runner.set_paused(false);
+  runner.drain();
+  for (const svc::JobPtr& j : jobs) {
+    ASSERT_EQ(j->state(), svc::JobState::Completed);
+    EXPECT_FALSE(j->degraded());
+  }
+  EXPECT_EQ(runner.snapshot().counter(svc::metrics::kDegraded), 0u);
+}
+
+TEST(JobRunner, StatusJsonReportsTenantsAndOverload) {
+  const auto graph = keyswitch_graph();
+  svc::RunnerOptions opts;
+  opts.workers = 1;
+  opts.start_paused = true;
+  svc::TenantPolicy p;
+  p.max_in_flight = 4;
+  opts.tenants.policies["acme"] = p;
+  svc::JobRunner runner(opts);
+  svc::JobSpec spec;
+  spec.graph = graph;
+  spec.tenant = "acme";
+  const svc::JobPtr job = runner.submit(std::move(spec));
+  const std::string parked = runner.status_json();
+  EXPECT_NE(parked.find("\"overload\": \"normal\""), std::string::npos) << parked;
+  EXPECT_NE(parked.find("\"acme\": {\"in_flight\": 1, \"backlog\": 1}"),
+            std::string::npos)
+      << parked;
+  runner.set_paused(false);
+  runner.drain();
+  const std::string drained = runner.status_json();
+  EXPECT_NE(drained.find("\"acme\": {\"in_flight\": 0, \"backlog\": 0}"),
+            std::string::npos)
+      << drained;
+  const obs::Registry reg = runner.snapshot();
+  EXPECT_EQ(reg.gauge(svc::metrics::kTenantInFlight, {{"tenant", "acme"}}), 0.0);
+  EXPECT_EQ(reg.gauge(svc::metrics::kTenantBacklog, {{"tenant", "acme"}}), 0.0);
+}
+
+// Satellite invariant: whatever interleaving of concurrent submit() against
+// shutdown() plays out, every handle is terminal and the terminal-state
+// counters (typed rejections included) partition svc.submitted exactly.
+TEST(JobRunner, ConcurrentSubmitVersusShutdownKeepsAccountingExact) {
+  const auto graph = keyswitch_graph();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+
+  svc::RunnerOptions opts;
+  opts.workers = 2;
+  opts.queue_capacity = 16;  // small: exercises queue_full alongside shutdown
+  svc::TenantPolicy limited;
+  limited.burst = 10;
+  limited.rate_per_sec = 0;
+  limited.max_in_flight = 4;
+  opts.tenants.policies["limited"] = limited;
+  svc::JobRunner runner(opts);
+
+  std::vector<std::vector<svc::JobPtr>> handles(kThreads);
+  std::atomic<int> submitted_total{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        svc::JobSpec spec;
+        spec.graph = graph;
+        // Half the threads run as the quota-limited tenant so QuotaExceeded
+        // races the shutdown shed path too.
+        if (t % 2 == 0) spec.tenant = "limited";
+        try {
+          handles[t].push_back(runner.submit(std::move(spec)));
+          submitted_total.fetch_add(1);
+        } catch (const std::invalid_argument&) {
+          ADD_FAILURE() << "submit threw on a valid spec";
+          return;
+        }
+      }
+    });
+  }
+  // Let some submissions land, then tear down while the rest race in.
+  std::this_thread::sleep_for(2ms);
+  runner.shutdown();
+  for (std::thread& th : threads) th.join();
+  runner.shutdown();  // idempotent
+
+  std::map<svc::JobState, std::uint64_t> tally;
+  for (const auto& per_thread : handles) {
+    for (const svc::JobPtr& h : per_thread) {
+      ASSERT_TRUE(h->terminal()) << "non-terminal handle after shutdown";
+      ++tally[h->state()];
+    }
+  }
+  const obs::Registry reg = runner.snapshot();
+  const std::uint64_t submitted = reg.counter(svc::metrics::kSubmitted);
+  EXPECT_EQ(submitted, static_cast<std::uint64_t>(submitted_total.load()));
+  const std::uint64_t terminal =
+      reg.counter(svc::metrics::kCompleted) +
+      reg.counter(svc::metrics::kFailed) +
+      reg.counter(svc::metrics::kCancelled) +
+      reg.counter(svc::metrics::kDeadlineExpired) +
+      reg.total_over_tags("svc.rejected{");
+  EXPECT_EQ(terminal, submitted) << "terminal counters do not partition submitted";
+  // Handle tally and counters agree state by state.
+  EXPECT_EQ(tally[svc::JobState::Completed], reg.counter(svc::metrics::kCompleted));
+  EXPECT_EQ(tally[svc::JobState::Cancelled], reg.counter(svc::metrics::kCancelled));
+  EXPECT_EQ(tally[svc::JobState::QuotaExceeded],
+            reg.counter(svc::metrics::kRejected, {{"reason", "quota_rate"}}) +
+                reg.counter(svc::metrics::kRejected,
+                            {{"reason", "quota_concurrency"}}));
+  EXPECT_EQ(tally[svc::JobState::Shed],
+            reg.counter(svc::metrics::kRejected, {{"reason", "queue_full"}}) +
+                reg.counter(svc::metrics::kRejected, {{"reason", "shutdown"}}) +
+                reg.counter(svc::metrics::kRejected,
+                            {{"reason", "tenant_queue_full"}}) +
+                reg.counter(svc::metrics::kRejected, {{"reason", "overload"}}));
+  // Post-shutdown submissions shed deterministically.
+  svc::JobSpec spec;
+  spec.graph = graph;
+  const svc::JobPtr after = runner.submit(std::move(spec));
+  EXPECT_EQ(after->state(), svc::JobState::Shed);
+  EXPECT_NE(after->error().find("shutdown"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Gate the multi-tenant isolation guarantees of a fairness.v1 report.
+
+Usage:
+    tools/check_fairness.py FILE [--max-p99-ratio R] [--p99-floor-us US]
+
+Reads the fairness.v1 JSON written by `svc_soak --overload --fairness-out F`
+and enforces the serving layer's isolation contract — stdlib only:
+
+  * quota enforcement: in every scenario where the adversary carries a quota,
+    `admitted == quota` exactly (a misbehaving tenant is throttled to its
+    contract, never above it) and `admitted + quota_exceeded + shed ==
+    submitted` (every rejection is typed and accounted);
+  * victim integrity: the well-behaved tenant completes everything it
+    submits in every scenario — an adversary can cost the victim latency,
+    never outcomes;
+  * bounded interference: in every contended scenario the victim's p99 stays
+    within --max-p99-ratio (default 2.0) of its solo-baseline p99, with a
+    --p99-floor-us absolute allowance (default 5000) so microsecond-scale
+    baselines don't turn scheduler noise into failures:
+        p99 <= max(ratio * solo_p99, solo_p99 + floor_us)
+  * degradation accounting: the degrade scenario reports at least one
+    degraded completion (the ladder actually engaged) and no quota noise.
+
+Exit codes: 0 all gates hold, 1 violations found, 2 usage / unreadable input.
+"""
+import argparse
+import json
+import sys
+
+CONTENDED = ("bursty", "slowjob", "quota_probe")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("file", help="fairness.v1 JSON report")
+    ap.add_argument("--max-p99-ratio", type=float, default=2.0,
+                    help="max victim p99 as a multiple of the solo baseline")
+    ap.add_argument("--p99-floor-us", type=float, default=5000.0,
+                    help="absolute p99 allowance added to the solo baseline")
+    args = ap.parse_args()
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_fairness: cannot read {args.file}: {e}", file=sys.stderr)
+        return 2
+
+    if doc.get("schema") != "fairness.v1":
+        print(f"check_fairness: not a fairness.v1 document: {doc.get('schema')!r}",
+              file=sys.stderr)
+        return 2
+
+    scenarios = doc.get("scenarios", {})
+    errors = []
+
+    def tenant(scenario, name):
+        t = scenarios.get(scenario, {}).get("tenants", {}).get(name)
+        if t is None:
+            errors.append(f"{scenario}: tenant {name!r} missing from report")
+        return t
+
+    solo = tenant("solo", "victim")
+    if solo is None:
+        for e in errors:
+            print(f"check_fairness: {e}", file=sys.stderr)
+        return 1
+    solo_p99 = float(solo["p99_us"])
+    bound = max(args.max_p99_ratio * solo_p99, solo_p99 + args.p99_floor_us)
+
+    for scenario in CONTENDED + ("degrade",):
+        victim = tenant(scenario, "victim")
+        if victim is None:
+            continue
+        if victim["completed"] != victim["submitted"]:
+            errors.append(
+                f"{scenario}: victim completed {victim['completed']} of "
+                f"{victim['submitted']} submitted — adversary cost it outcomes")
+        if scenario in CONTENDED:
+            p99 = float(victim["p99_us"])
+            if p99 > bound:
+                errors.append(
+                    f"{scenario}: victim p99 {p99:.0f}us exceeds bound "
+                    f"{bound:.0f}us (solo {solo_p99:.0f}us, "
+                    f"ratio {args.max_p99_ratio}, floor {args.p99_floor_us:.0f}us)")
+
+    for scenario in CONTENDED:
+        adv = tenant(scenario, "adversary")
+        if adv is None:
+            continue
+        quota = adv.get("quota", 0)
+        if quota and adv["admitted"] != quota:
+            errors.append(
+                f"{scenario}: adversary admitted {adv['admitted']} != quota {quota}")
+        accounted = adv["admitted"] + adv["quota_exceeded"] + adv["shed"]
+        if accounted != adv["submitted"]:
+            errors.append(
+                f"{scenario}: adversary admitted+rejected {accounted} != "
+                f"submitted {adv['submitted']} — untyped rejection leak")
+
+    degrade = tenant("degrade", "victim")
+    if degrade is not None:
+        if degrade["degraded"] == 0:
+            errors.append("degrade: ladder never degraded a job")
+        if degrade["quota_exceeded"] != 0:
+            errors.append("degrade: unexpected quota rejections")
+
+    if errors:
+        for e in errors:
+            print(f"check_fairness: {e}", file=sys.stderr)
+        print(f"check_fairness: FAILED ({len(errors)} violation(s))",
+              file=sys.stderr)
+        return 1
+
+    ratios = {}
+    for scenario in CONTENDED:
+        v = scenarios.get(scenario, {}).get("tenants", {}).get("victim")
+        if v and solo_p99 > 0:
+            ratios[scenario] = float(v["p99_us"]) / solo_p99
+    summary = ", ".join(f"{s} {r:.2f}x" for s, r in ratios.items())
+    print(f"check_fairness: OK — victim p99 vs solo baseline: {summary} "
+          f"(bound {bound:.0f}us)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
