@@ -646,8 +646,9 @@ bool scenario_quota_probe(const std::vector<GraphPtr>& graphs,
 // Overload ladder. Part 1: target 0 + interval 0 + huge shed factor means the
 // second dequeue escalates to Degrade — with one worker the first job runs
 // full-fidelity and every later degradable job runs Reduced, bit-identically.
-// Part 2: shed factor 0 escalates straight to Shed; queued work still drains
-// (never dropped), and post-drain arrivals are typed-shed "overload".
+// Part 2: shed factor 0 escalates straight to Shed; arrivals during the
+// standing backlog are typed-shed "overload", queued work still drains
+// (never dropped), and once the queue is empty admission recovers.
 bool scenario_degrade(const std::vector<GraphPtr>& graphs,
                       const std::vector<std::array<sim::SimResult, 2>>& refs,
                       TenantStats& victim, u64& degraded_out) {
@@ -690,10 +691,24 @@ bool scenario_degrade(const std::vector<GraphPtr>& graphs,
   SOAK_CHECK(degraded_out == kDegradeJobs - 1, "degrade: svc.degraded count");
   SOAK_CHECK(victim.degraded == kDegradeJobs - 1, "degrade: tenant degraded count");
 
-  // Part 2: escalate to Shed, then verify arrivals shed while backlog drains.
+  // Part 2: escalate to Shed while the backlog stands, verify arrivals shed,
+  // then verify admission recovers once the queue drains.
+  //
+  // The storm must hit a *standing* backlog, so each queued job is pinned to
+  // a guaranteed minimum runtime: permanent fault corruption forces three
+  // attempts with two jitter-free 50ms backoff sleeps in between
+  // (sleep_for's lower bound is hard), giving >= 100ms per job. Waiting for
+  // job 2 and re-parking the worker therefore freezes the runner with the
+  // ladder at Shed (at least two above-target dequeue sojourns observed) and
+  // jobs still queued, with ~100ms of margin against scheduler hiccups.
   svc::RunnerOptions sopts;
   sopts.workers = 1;
   sopts.start_paused = true;
+  sopts.breaker_threshold = 0;  // six straight Failed must not trip a breaker
+  sopts.backoff.base_us = 50'000;
+  sopts.backoff.multiplier = 1.0;
+  sopts.backoff.cap_us = 50'000;
+  sopts.backoff.jitter = 0.0;
   sopts.overload.enabled = true;
   sopts.overload.target = std::chrono::microseconds(0);
   sopts.overload.interval = std::chrono::microseconds(0);
@@ -701,21 +716,46 @@ bool scenario_degrade(const std::vector<GraphPtr>& graphs,
   svc::JobRunner shedder(sopts);
   std::vector<svc::JobPtr> queued;
   for (std::size_t i = 0; i < 6; ++i) {
-    queued.push_back(shedder.submit(tenant_job(kVictim, graphs[0], i)));
+    svc::JobSpec spec = tenant_job(kVictim, graphs[0], i);
+    spec.fault_enabled = true;
+    spec.fault.compute_fault_rate = 1.0;  // every attempt corrupts
+    spec.max_attempts = 3;
+    queued.push_back(shedder.submit(std::move(spec)));
   }
   shedder.set_paused(false);
-  shedder.drain();
-  // Queued work is never dropped by the ladder.
-  if (!all_completed(queued, "degrade: queued job dropped under shed")) return false;
+  queued[2]->wait();
+  shedder.set_paused(true);
   SOAK_CHECK(shedder.overload_level() == svc::OverloadController::Level::Shed,
              "degrade: ladder did not reach shed");
+  // Arrivals that find the standing backlog at Shed are typed-shed.
   for (std::size_t i = 0; i < 3; ++i) {
     const svc::JobPtr h = shedder.submit(tenant_job(kVictim, graphs[0], 100 + i));
     SOAK_CHECK(h->state() == svc::JobState::Shed, "degrade: arrival not shed");
   }
+  shedder.set_paused(false);
+  shedder.drain();
+  // Queued work is never dropped by the ladder: every job ran its full retry
+  // budget to the deterministic Failed verdict rather than being discarded.
+  for (const svc::JobPtr& h : queued) {
+    SOAK_CHECK(h->state() == svc::JobState::Failed,
+               "degrade: queued job dropped under shed");
+    SOAK_CHECK(h->attempts() == 3, "degrade: queued job lost its retry budget");
+  }
   const obs::Registry sreg = shedder.snapshot();
   SOAK_CHECK(sreg.counter(svc::metrics::kRejected, {{"reason", "overload"}}) == 3,
              "degrade: overload shed counter");
+  // Shed never outlives the backlog: the first post-drain arrival finds an
+  // empty queue — a zero standing delay — which resets the ladder, so it is
+  // admitted rather than locked out forever.
+  const svc::JobPtr recovered =
+      shedder.submit(tenant_job(kVictim, graphs[0], 200));
+  SOAK_CHECK(recovered->state() != svc::JobState::Shed,
+             "degrade: post-drain arrival shed");
+  recovered->wait();
+  SOAK_CHECK(recovered->state() == svc::JobState::Completed,
+             "degrade: post-drain arrival not completed");
+  SOAK_CHECK(shedder.overload_level() == svc::OverloadController::Level::Normal,
+             "degrade: ladder did not recover after drain");
   return true;
 }
 

@@ -50,14 +50,21 @@ struct TenantPolicy {
   std::uint32_t weight = 1;
 };
 
-// Tenant -> policy, with a fallback for tenants not explicitly configured.
-// The default fallback is the unlimited policy, so enabling tenancy is
-// strictly opt-in per tenant.
+// Tenant -> policy, with a fallback for *named* tenants not explicitly
+// configured. The default fallback is the unlimited policy, so enabling
+// tenancy is strictly opt-in per tenant. Untenanted submissions (empty
+// tenant) never consult the fallback: job.h's contract is that an empty
+// tenant means no quotas at all — exactly the pre-tenancy behavior — even
+// when a deployment caps unknown tenants with a restrictive fallback.
 struct TenantPolicyTable {
   std::map<std::string, TenantPolicy> policies;
   TenantPolicy fallback{};
 
   const TenantPolicy& resolve(const std::string& tenant) const {
+    if (tenant.empty()) {
+      static const TenantPolicy unlimited{};
+      return unlimited;
+    }
     const auto it = policies.find(tenant);
     return it == policies.end() ? fallback : it->second;
   }
@@ -97,6 +104,14 @@ class TokenBucket {
     return tokens_;
   }
 
+  // Back at full capacity (or disabled): the bucket holds no state worth
+  // keeping, so its owner is indistinguishable from a never-seen tenant.
+  bool full(Clock::time_point now) {
+    if (burst_ <= 0.0) return true;
+    refill(now);
+    return tokens_ >= burst_;
+  }
+
  private:
   void refill(Clock::time_point now) {
     if (last_ == Clock::time_point{}) {
@@ -117,6 +132,16 @@ class TokenBucket {
 
 // Per-tenant admission state: one bucket + one in-flight counter per tenant,
 // created lazily on first submission.
+//
+// Tenant names are caller-controlled, so lazily-created state must not
+// accumulate forever: a state is evicted once it is indistinguishable from a
+// fresh one (nothing in flight, bucket back at full capacity) — but only for
+// tenants the policy table does not name. Explicitly configured tenants are
+// bounded by configuration and stay resident so introspection keeps listing
+// them; a non-replenishing (rate 0) bucket never refills, so a spent burst
+// budget is likewise never forgotten. Eviction runs at the natural touch
+// points (release/rollback) plus an amortized two-probe sweep per admission,
+// which reclaims states whose buckets refilled while the tenant was idle.
 class Admission {
  public:
   using Clock = std::chrono::steady_clock;
@@ -132,6 +157,7 @@ class Admission {
   // with exactly one release() (job reached a terminal state) or rollback()
   // (a later admission stage rejected the job after all).
   Verdict admit(const std::string& tenant, Clock::time_point now) {
+    sweep(now);
     State& st = state_for(tenant);
     if (!st.bucket.try_take(now)) return Verdict::RateLimited;
     if (st.policy->max_in_flight != 0 &&
@@ -144,17 +170,19 @@ class Admission {
   }
 
   // The admitted job reached a terminal state: free its concurrency slot.
-  void release(const std::string& tenant) {
+  void release(const std::string& tenant, Clock::time_point now) {
     State& st = state_for(tenant);
     if (st.in_flight > 0) --st.in_flight;
+    maybe_evict(tenant, now);
   }
 
   // A later admission stage rejected an already-admitted job: free the slot
   // and refund the token.
-  void rollback(const std::string& tenant) {
+  void rollback(const std::string& tenant, Clock::time_point now) {
     State& st = state_for(tenant);
     if (st.in_flight > 0) --st.in_flight;
     st.bucket.refund();
+    maybe_evict(tenant, now);
   }
 
   std::size_t in_flight(const std::string& tenant) const {
@@ -181,6 +209,9 @@ class Admission {
     const TenantPolicy* policy = nullptr;  // borrowed from table_
     TokenBucket bucket;
     std::size_t in_flight = 0;
+    // Resolved through TenantPolicyTable::fallback (a named tenant absent
+    // from the table): the only states eligible for eviction.
+    bool fallback = false;
   };
 
   State& state_for(const std::string& tenant) {
@@ -189,11 +220,37 @@ class Admission {
     State st;
     st.policy = &table_.resolve(tenant);
     st.bucket = TokenBucket(st.policy->burst, st.policy->rate_per_sec);
+    st.fallback =
+        !tenant.empty() && table_.policies.find(tenant) == table_.policies.end();
     return states_.emplace(tenant, std::move(st)).first->second;
+  }
+
+  static bool evictable(State& st, Clock::time_point now) {
+    return st.fallback && st.in_flight == 0 && st.bucket.full(now);
+  }
+
+  void maybe_evict(const std::string& tenant, Clock::time_point now) {
+    const auto it = states_.find(tenant);
+    if (it != states_.end() && evictable(it->second, now)) states_.erase(it);
+  }
+
+  // Amortized reclamation of idle fallback-tenant states whose buckets have
+  // refilled since their last event (rejected probes never release, so their
+  // states would otherwise only ever be touched again by the same tenant).
+  // Two probes per admission retire garbage at least as fast as admissions
+  // can mint it.
+  void sweep(Clock::time_point now) {
+    for (int probes = 0; probes < 2 && !states_.empty(); ++probes) {
+      auto it = states_.upper_bound(cursor_);
+      if (it == states_.end()) it = states_.begin();
+      cursor_ = it->first;
+      if (evictable(it->second, now)) states_.erase(it);
+    }
   }
 
   TenantPolicyTable table_;
   std::map<std::string, State> states_;
+  std::string cursor_;  // sweep position (last probed tenant)
 };
 
 }  // namespace alchemist::svc

@@ -33,7 +33,8 @@ JobPtr FairQueue::pop() {
   // always suffices, so the loop visits at most two ring nodes per pop.
   for (;;) {
     const std::string& tenant = active_.front();
-    SubQueue& sq = queues_[tenant];
+    const auto qit = queues_.find(tenant);
+    SubQueue& sq = qit->second;
     if (sq.deficit < 1.0) sq.deficit += static_cast<double>(sq.weight);
     if (sq.deficit >= 1.0) {
       sq.deficit -= 1.0;
@@ -41,10 +42,12 @@ JobPtr FairQueue::pop() {
       sq.jobs.pop_front();
       --size_;
       if (sq.jobs.empty()) {
-        // An idle tenant keeps no deficit: credit does not accumulate while
-        // there is nothing to serve (the classic DRR anti-burst rule).
-        sq.deficit = 0.0;
-        sq.active = false;
+        // A drained tenant is evicted outright, not just parked: tenant
+        // names are caller-controlled, so per-tenant state must not outlive
+        // the backlog that created it. (This also enforces the classic DRR
+        // anti-burst rule — an idle tenant accumulates no deficit.) The map
+        // node goes first; `tenant` aliases the ring node, which goes last.
+        queues_.erase(qit);
         active_.pop_front();
       } else if (sq.deficit < 1.0) {
         // Quantum exhausted: rotate to the back of the ring for next round.

@@ -17,7 +17,10 @@
 //     weights, never on time or thread identity (the caller holds one lock);
 //   * bounded capacity: the global capacity bounds the sum of all sub-queues
 //     (overload stays a typed Shed at admission), and per-tenant backlog caps
-//     bound any one tenant's slice of it.
+//     bound any one tenant's slice of it;
+//   * bounded state: a sub-queue is erased the moment it drains, so the
+//     tenant map never outgrows the queued jobs themselves — a client
+//     cycling through fresh tenant names leaves nothing behind.
 //
 // Not thread-safe by design: the JobRunner serializes access under its mutex,
 // the same discipline as the circuit breakers and the admission table.
@@ -42,8 +45,9 @@ class FairQueue {
   enum class PushResult { Ok, Full, TenantFull };
 
   // Append to the tenant's sub-queue. `weight` is the tenant's DRR weight
-  // (clamped to >= 1, latched on first push and refreshed on later pushes);
-  // `max_backlog` == 0 means no per-tenant cap.
+  // (clamped to >= 1, refreshed on every push; a tenant whose sub-queue
+  // drained re-enters with a fresh one); `max_backlog` == 0 means no
+  // per-tenant cap.
   PushResult push(const std::string& tenant, std::uint32_t weight,
                   std::size_t max_backlog, JobPtr job);
 
@@ -58,6 +62,7 @@ class FairQueue {
   std::size_t capacity() const { return capacity_; }
 
   // Queued jobs of one tenant, and the per-tenant view for introspection.
+  // Only currently-backlogged tenants appear (drained ones are evicted).
   std::size_t backlog(const std::string& tenant) const;
   template <typename Fn>  // Fn(const std::string&, std::size_t backlog)
   void for_each(Fn&& fn) const {

@@ -53,7 +53,10 @@ inline constexpr const char* kDegraded = "svc.degraded";
 // untenanted deployment's snapshot is byte-identical to pre-tenancy output.
 // Each carries a {tenant=} tag; rejected adds {reason=}. The per-tenant
 // terminal split partitions svc.tenant.submitted{tenant=} the same way the
-// global counters partition svc.submitted.
+// global counters partition svc.submitted. Tenant names absent from
+// RunnerOptions::tenants share the reserved label value "_other": label
+// cardinality is bounded by configuration, so a client cycling invented
+// tenant names cannot grow the registry or /metrics without bound.
 inline constexpr const char* kTenantSubmitted = "svc.tenant.submitted";
 inline constexpr const char* kTenantAdmitted = "svc.tenant.admitted";
 inline constexpr const char* kTenantTerminal = "svc.tenant.terminal";  // + {state=}
@@ -113,7 +116,9 @@ struct JobSpec {
   std::string workload_class;  // circuit-breaker key; defaults to graph name
   // Admission/fairness identity. Empty (the default) means untenanted: no
   // quotas, one shared fair-queue lane, no per-tenant metrics — exactly the
-  // pre-tenancy behavior. Non-empty selects the TenantPolicy from
+  // pre-tenancy behavior, even when the deployment configures a restrictive
+  // TenantPolicyTable::fallback (the fallback governs unknown *named*
+  // tenants only). Non-empty selects the TenantPolicy from
   // RunnerOptions::tenants and keys the breaker as "tenant/class".
   std::string tenant;
   // Overload consent: under OverloadController Degrade/Shed pressure this

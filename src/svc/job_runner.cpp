@@ -106,6 +106,12 @@ void JobRunner::shutdown() {
   }
 }
 
+const std::string& JobRunner::metric_tenant(const std::string& tenant) const {
+  static const std::string kOther = "_other";
+  if (tenant.empty() || opts_.tenants.policies.count(tenant) != 0) return tenant;
+  return kOther;
+}
+
 JobPtr JobRunner::submit(JobSpec spec) {
   if (!spec.graph) throw std::invalid_argument("svc: JobSpec.graph is null");
   if (spec.workload_class.empty()) spec.workload_class = spec.graph->name;
@@ -120,8 +126,9 @@ JobPtr JobRunner::submit(JobSpec spec) {
   const bool tenanted = !tenant.empty();
   {
     std::lock_guard<std::mutex> lk(mu_);
+    const std::string& mtenant = metric_tenant(tenant);
     reg_.add(metrics::kSubmitted, 1);
-    if (tenanted) reg_.add(metrics::kTenantSubmitted, 1, {{"tenant", tenant}});
+    if (tenanted) reg_.add(metrics::kTenantSubmitted, 1, {{"tenant", mtenant}});
     job->seq_ = ++seq_;
     if (opts_.trace != nullptr) {
       // Mint (or join) the job's trace. Ids depend only on the trace seed and
@@ -146,6 +153,14 @@ JobPtr JobRunner::submit(JobSpec spec) {
       // Admission pipeline: breaker -> tenant quotas -> overload -> queue.
       // Each later rejection rolls back the side effects of earlier stages
       // (half-open probe slot, rate-limit token, in-flight count).
+      //
+      // Shed recovery must not depend on another dequeue: sojourn
+      // observations are fed by workers picking jobs up, but at Level::Shed
+      // every arrival is rejected before it can be queued, so once the
+      // backlog drains no observation would ever arrive again and Shed
+      // would be permanent. An empty queue *is* a zero standing delay —
+      // feed that observation here, before consulting the level.
+      if (queue_.empty()) overload_.observe(std::chrono::microseconds{0}, now);
       auto [it, inserted] = breakers_.try_emplace(
           breaker_key(tenant, job->spec_.workload_class),
           opts_.breaker_threshold, opts_.breaker_cooldown);
@@ -167,7 +182,7 @@ JobPtr JobRunner::submit(JobSpec spec) {
           rejected = JobState::Shed;
           reason = "overload";
           it->second.on_neutral(now);
-          admission_.rollback(tenant);
+          admission_.rollback(tenant, now);
         } else {
           const TenantPolicy& pol = admission_.policy(tenant);
           const FairQueue::PushResult pr =
@@ -179,11 +194,11 @@ JobPtr JobRunner::submit(JobSpec spec) {
             // allow() may have admitted this job as the half-open probe; it
             // will never run, so let the next submission probe instead.
             it->second.on_neutral(now);
-            admission_.rollback(tenant);
+            admission_.rollback(tenant, now);
           } else {
             reg_.add(metrics::kAdmitted, 1);
             if (tenanted) {
-              reg_.add(metrics::kTenantAdmitted, 1, {{"tenant", tenant}});
+              reg_.add(metrics::kTenantAdmitted, 1, {{"tenant", mtenant}});
             }
             if (job->spec_.resume_from.valid()) reg_.add(metrics::kResumed, 1);
             if (job->spec_.deadline.count() > 0) {
@@ -193,12 +208,18 @@ JobPtr JobRunner::submit(JobSpec spec) {
           }
         }
       }
+      // A rejection must not leave behind a breaker minted for a tenant the
+      // policy table does not name (the name is caller-controlled): if the
+      // breaker is indistinguishable from a fresh one, drop it again.
+      // Admitted jobs keep theirs — record_terminal() needs it for the
+      // verdict, and re-evicts it there.
+      if (rejected != JobState::Queued) maybe_evict_breaker(it, tenant);
     }
     if (rejected != JobState::Queued) {
       reg_.add(metrics::kRejected, 1, {{"reason", reason}});
       if (tenanted) {
         reg_.add(metrics::kTenantRejected, 1,
-                 {{"reason", reason}, {"tenant", tenant}});
+                 {{"reason", reason}, {"tenant", mtenant}});
       }
     }
     if (opts_.timeline != nullptr) {
@@ -754,6 +775,7 @@ void JobRunner::record_terminal(const Job& job, JobState state,
   const Clock::time_point submit_time = job.submit_time_;
   const std::string& workload_class = job.spec_.workload_class;
   const std::string& tenant = job.spec_.tenant;
+  const std::string& mtenant = metric_tenant(tenant);
   const bool tenanted = !tenant.empty();
   switch (state) {
     case JobState::Completed:
@@ -774,15 +796,15 @@ void JobRunner::record_terminal(const Job& job, JobState state,
   }
   if (tenanted) {
     reg_.add(metrics::kTenantTerminal, 1,
-             {{"state", svc::to_string(state)}, {"tenant", tenant}});
+             {{"state", svc::to_string(state)}, {"tenant", mtenant}});
   }
   if (job.degraded_) {
     reg_.add(metrics::kDegraded, 1);
-    if (tenanted) reg_.add(metrics::kTenantDegraded, 1, {{"tenant", tenant}});
+    if (tenanted) reg_.add(metrics::kTenantDegraded, 1, {{"tenant", mtenant}});
   }
   // Every job reaching record_terminal() was admitted (rejections finalize
   // inline in submit()), so its concurrency-quota slot is released here.
-  admission_.release(tenant);
+  admission_.release(tenant, now);
   if (has_checkpoint) reg_.add(metrics::kCheckpoints, 1);
   const double total_us =
       std::chrono::duration<double, std::micro>(now - submit_time).count();
@@ -808,8 +830,8 @@ void JobRunner::record_terminal(const Job& job, JobState state,
   reg_.observe(metrics::kLatencyTotalUs, total_us);
   reg_.observe(metrics::kLatencyTotalUs, total_us, {{"class", cls}});
   if (tenanted) {
-    reg_.observe(metrics::kLatencyQueueUs, queue_us, {{"tenant", tenant}});
-    reg_.observe(metrics::kLatencyTotalUs, total_us, {{"tenant", tenant}});
+    reg_.observe(metrics::kLatencyQueueUs, queue_us, {{"tenant", mtenant}});
+    reg_.observe(metrics::kLatencyTotalUs, total_us, {{"tenant", mtenant}});
   }
   if (state == JobState::Completed) {
     reg_.observe(metrics::kLatencySimUs, sim_us);
@@ -863,6 +885,23 @@ void JobRunner::record_terminal(const Job& job, JobState state,
     } else {
       it->second.on_neutral(now);
     }
+    maybe_evict_breaker(it, tenant);
+  }
+}
+
+void JobRunner::maybe_evict_breaker(
+    const std::map<std::string, CircuitBreaker>::iterator& it,
+    const std::string& tenant) {
+  // Breakers of tenants named in the policy table are bounded by
+  // configuration and stay resident (introspection keeps listing them), as
+  // do untenanted per-class breakers — the pre-tenancy dimension. For any
+  // other tenant the key is caller-controlled, so a breaker that is
+  // indistinguishable from a fresh one (closed, no failure streak) is
+  // dropped rather than kept per historical tenant name forever.
+  if (tenant.empty() || opts_.tenants.policies.count(tenant) != 0) return;
+  if (it->second.state() == CircuitBreaker::State::Closed &&
+      it->second.consecutive_failures() == 0) {
+    breakers_.erase(it);
   }
 }
 

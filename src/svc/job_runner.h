@@ -28,7 +28,10 @@
 //   Past the target delay, degradable jobs run at reduced detail (Degraded
 //   flag on the handle, bit-identical simulated outcome); past the shed
 //   threshold, new arrivals shed (reason "overload") until the standing
-//   queue drains. Queued work is never dropped.
+//   queue drains. Queued work is never dropped, and Shed never outlives the
+//   backlog: an arrival that finds the queue empty counts as a zero-delay
+//   observation and resets the ladder, so recovery does not depend on a
+//   further dequeue.
 // * Deadlines: wall-clock deadlines ride the job's CancelToken; deterministic
 //   step budgets (JobSpec::max_steps) expire the same way. Both leave the
 //   job's last checkpoint on the handle for resumption.
@@ -195,6 +198,17 @@ class JobRunner {
                                  const std::string& workload_class) {
     return tenant.empty() ? workload_class : tenant + "/" + workload_class;
   }
+
+  // Metric label for a tenant: names absent from the policy table coalesce
+  // to "_other", so per-tenant series cardinality is bounded by
+  // configuration, never by the tenant strings clients invent. Caller holds
+  // mu_ (reads only immutable opts_, but keeps the discipline uniform).
+  const std::string& metric_tenant(const std::string& tenant) const;
+  // Drop a (tenant x class) breaker again when it is indistinguishable from
+  // a fresh one and its tenant is not in the policy table; caller holds mu_.
+  void maybe_evict_breaker(
+      const std::map<std::string, CircuitBreaker>::iterator& it,
+      const std::string& tenant);
 
   RunnerOptions opts_;
   std::chrono::steady_clock::time_point epoch_;

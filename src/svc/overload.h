@@ -5,9 +5,11 @@
 // is healthy; a shallow queue of minute-long jobs is not). Following CoDel
 // (Nichols & Jacobson, CACM 2012) the controller watches queue *delay*: the
 // sojourn time of each job between admission and dequeue, fed by the workers
-// as they pick jobs up. The minimum sojourn over a sliding interval is the
-// standing-queue estimate — bursts that drain within one interval never
-// raise it.
+// as they pick jobs up. The minimum sojourn over the current interval-long
+// window is the standing-queue estimate — bursts that drain within one
+// interval never raise it. After each decision the window re-arms (CoDel
+// re-arms its interval the same way), so the level tracks the delay standing
+// *now*, not a minimum from the start of the congestion epoch.
 //
 // Escalation, in order (the graceful-degradation ladder the serving layer
 // applies):
@@ -26,7 +28,12 @@
 //            terminal-state accounting stays exact.
 //
 // One sojourn at or below target resets the ladder to Normal (the standing
-// queue has drained). Pure logic over caller-supplied time points, like
+// queue has drained). Observations normally arrive at dequeue, but the
+// JobRunner also feeds a zero-delay observation when a submission finds the
+// queue empty: an empty queue *is* a zero standing delay, and without that
+// feed a Shed level reached just as the backlog drained would reject every
+// arrival before it could be queued — no dequeue, no observation, no reset,
+// a permanent lockout. Pure logic over caller-supplied time points, like
 // CircuitBreaker and Admission: no clock reads, no locks, unit-testable with
 // a manual clock. Disabled (the default) it never leaves Normal, so pre-PR
 // deployments are untouched.
@@ -82,6 +89,12 @@ class OverloadController {
       const auto shed_at = std::chrono::microseconds(static_cast<std::int64_t>(
           static_cast<double>(cfg_.target.count()) * cfg_.shed_factor));
       level_ = window_min_ > shed_at ? Level::Shed : Level::Degrade;
+      // Re-arm: the next decision measures a fresh window. A running minimum
+      // over the whole congestion epoch would let one early barely-above-
+      // target sample pin the estimate below the shed threshold forever,
+      // no matter how bad the standing delay later got.
+      above_since_ = now;
+      window_min_ = kNoMin;
     }
     return level_;
   }

@@ -997,22 +997,86 @@ TEST(Admission, EnforcesRateAndConcurrencyIndependently) {
   // Concurrency rejection refunds the token it took.
   EXPECT_EQ(adm.admit("a", now), svc::Admission::Verdict::ConcurrencyLimited);
   EXPECT_EQ(adm.in_flight("a"), 1u);
-  adm.release("a");
+  adm.release("a", now);
   EXPECT_EQ(adm.admit("a", now), svc::Admission::Verdict::Admit);
-  adm.release("a");
+  adm.release("a", now);
   EXPECT_EQ(adm.admit("a", now), svc::Admission::Verdict::Admit);
-  adm.release("a");
+  adm.release("a", now);
   // Three tokens spent; the non-replenishing bucket now rate-limits.
   EXPECT_EQ(adm.admit("a", now), svc::Admission::Verdict::RateLimited);
   // rollback() refunds token + slot: admission becomes possible again.
   EXPECT_EQ(adm.admit("a", now + 1s), svc::Admission::Verdict::RateLimited);
-  adm.rollback("a");
+  adm.rollback("a", now + 1s);
   EXPECT_EQ(adm.admit("a", now + 1s), svc::Admission::Verdict::Admit);
 
   // Unconfigured tenants fall back to the unlimited policy.
   for (int i = 0; i < 50; ++i) {
     EXPECT_EQ(adm.admit("other", now), svc::Admission::Verdict::Admit);
   }
+}
+
+TEST(Admission, RestrictiveFallbackNeverGovernsUntenantedSubmissions) {
+  const auto now = std::chrono::steady_clock::time_point{} + 1h;
+  svc::TenantPolicyTable table;
+  // A deployment capping unknown tenants hard: one-shot budget, one slot.
+  table.fallback.burst = 1;
+  table.fallback.rate_per_sec = 0;
+  table.fallback.max_in_flight = 1;
+  svc::Admission adm(table);
+
+  // The empty tenant resolves the unlimited policy, not the fallback: the
+  // documented contract is that untenanted means no quotas at all.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(adm.admit("", now), svc::Admission::Verdict::Admit);
+  }
+  // An unknown *named* tenant is governed by the fallback.
+  EXPECT_EQ(adm.admit("mystery", now), svc::Admission::Verdict::Admit);
+  EXPECT_EQ(adm.admit("mystery", now), svc::Admission::Verdict::RateLimited);
+}
+
+TEST(Admission, EvictsIdleFallbackStatesButKeepsConfiguredTenants) {
+  auto now = std::chrono::steady_clock::time_point{} + 1h;
+  svc::TenantPolicyTable table;
+  svc::TenantPolicy p;
+  p.burst = 2;
+  p.rate_per_sec = 0;
+  table.policies["keep"] = p;
+  svc::Admission adm(table);
+
+  EXPECT_EQ(adm.admit("keep", now), svc::Admission::Verdict::Admit);
+  EXPECT_EQ(adm.admit("transient", now), svc::Admission::Verdict::Admit);
+  auto tenants = [&] {
+    std::vector<std::string> names;
+    adm.for_each([&](const std::string& t, std::size_t) { names.push_back(t); });
+    return names;
+  };
+  ASSERT_EQ(tenants().size(), 2u);
+
+  // Releasing the fallback-resolved tenant leaves its state indistinguishable
+  // from fresh (nothing in flight, unlimited bucket): it is evicted. The
+  // configured tenant stays resident even once idle.
+  adm.release("transient", now);
+  adm.release("keep", now);
+  EXPECT_EQ(tenants(), std::vector<std::string>{"keep"});
+
+  // A fallback state whose bucket has not refilled is NOT evicted on
+  // release (its remaining budget is real state)...
+  svc::TenantPolicyTable limited;
+  limited.fallback.burst = 2;
+  limited.fallback.rate_per_sec = 1;
+  svc::Admission radm(limited);
+  EXPECT_EQ(radm.admit("cycler", now), svc::Admission::Verdict::Admit);
+  radm.release("cycler", now);
+  std::size_t live = 0;
+  radm.for_each([&](const std::string&, std::size_t) { ++live; });
+  EXPECT_EQ(live, 1u);
+  // ...but once it refills, the amortized sweep piggybacked on a later
+  // admission (of anyone) reclaims it.
+  now += 5s;
+  EXPECT_EQ(radm.admit("someone-else", now), svc::Admission::Verdict::Admit);
+  std::vector<std::string> names;
+  radm.for_each([&](const std::string& t, std::size_t) { names.push_back(t); });
+  EXPECT_EQ(names, std::vector<std::string>{"someone-else"});
 }
 
 // --- FairQueue: deficit round robin ---------------------------------------
@@ -1073,6 +1137,28 @@ TEST(FairQueue, PerTenantAndGlobalCapsAreDistinct) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(FairQueue, EvictsDrainedSubQueues) {
+  svc::FairQueue q(8);
+  ASSERT_EQ(q.push("a", 1, 0, queue_job("a0")), svc::FairQueue::PushResult::Ok);
+  ASSERT_EQ(q.push("b", 1, 0, queue_job("b0")), svc::FairQueue::PushResult::Ok);
+  auto lanes = [&] {
+    std::size_t n = 0;
+    q.for_each([&](const std::string&, std::size_t) { ++n; });
+    return n;
+  };
+  EXPECT_EQ(lanes(), 2u);
+  EXPECT_NE(q.pop(), nullptr);
+  EXPECT_NE(q.pop(), nullptr);
+  EXPECT_TRUE(q.empty());
+  // Drained lanes are erased, not kept at zero: cycling through fresh tenant
+  // names leaves no state behind.
+  EXPECT_EQ(lanes(), 0u);
+  // A returning tenant starts a fresh lane with its current weight.
+  EXPECT_EQ(q.push("a", 3, 0, queue_job("a1")), svc::FairQueue::PushResult::Ok);
+  EXPECT_EQ(q.backlog("a"), 1u);
+  EXPECT_EQ(lanes(), 1u);
+}
+
 // --- OverloadController: CoDel-style ladder -------------------------------
 
 TEST(OverloadController, EscalatesAfterIntervalAndResetsOnDrain) {
@@ -1100,6 +1186,37 @@ TEST(OverloadController, EscalatesAfterIntervalAndResetsOnDrain) {
   EXPECT_EQ(ctl.observe(std::chrono::microseconds(5'000), now), Level::Shed);
   EXPECT_EQ(ctl.level(), Level::Shed);
   EXPECT_EQ(ctl.observe(std::chrono::microseconds(10), now), Level::Normal);
+}
+
+TEST(OverloadController, WindowReArmsSoDegradeCanStillEscalate) {
+  using Level = svc::OverloadController::Level;
+  auto now = std::chrono::steady_clock::time_point{} + 1h;
+  svc::OverloadConfig cfg;
+  cfg.enabled = true;
+  cfg.target = std::chrono::microseconds(100);
+  cfg.interval = std::chrono::microseconds(10'000);
+  cfg.shed_factor = 8.0;  // shed_at = 800us
+  svc::OverloadController ctl(cfg);
+
+  // One early mildly-above-target sample (200us) dominates the first window:
+  // the decision is Degrade.
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(200), now), Level::Normal);
+  now += 11ms;
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(20'000), now), Level::Degrade);
+  // The window re-armed with that decision. Were the 200us sample still the
+  // running minimum, the sustained 20ms standing delay could never cross the
+  // 800us shed threshold; a fresh window sees only the 20ms samples.
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(20'000), now), Level::Degrade);
+  now += 11ms;
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(20'000), now), Level::Shed);
+  // Re-arm works downward too: delay receding below shed_at (but still above
+  // target) de-escalates Shed to Degrade at the next window...
+  now += 1ms;
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(200), now), Level::Shed);
+  now += 11ms;
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(200), now), Level::Degrade);
+  // ...and one at-target sojourn still resets the ladder outright.
+  EXPECT_EQ(ctl.observe(std::chrono::microseconds(50), now), Level::Normal);
 }
 
 TEST(OverloadController, DisabledNeverLeavesNormal) {
@@ -1326,6 +1443,49 @@ TEST(JobRunner, NonDegradableJobsKeepFullServiceUnderOverload) {
   EXPECT_EQ(runner.snapshot().counter(svc::metrics::kDegraded), 0u);
 }
 
+TEST(JobRunner, ShedRecoversOnceBacklogDrains) {
+  using Level = svc::OverloadController::Level;
+  const auto graph = keyswitch_graph();
+  svc::RunnerOptions opts;
+  opts.workers = 1;
+  opts.start_paused = true;
+  opts.overload.enabled = true;
+  // shed_factor 0: any standing delay sheds as soon as the window closes
+  // (interval 0 closes it on the second above-target sojourn).
+  opts.overload.target = std::chrono::microseconds(0);
+  opts.overload.interval = std::chrono::microseconds(0);
+  opts.overload.shed_factor = 0.0;
+  svc::JobRunner runner(opts);
+
+  std::vector<svc::JobPtr> jobs;
+  for (int i = 0; i < 4; ++i) {
+    svc::JobSpec spec;
+    spec.graph = graph;
+    jobs.push_back(runner.submit(std::move(spec)));
+  }
+  runner.set_paused(false);
+  runner.drain();
+  // Queued work drained at Shed (never dropped)...
+  for (const svc::JobPtr& j : jobs) {
+    ASSERT_EQ(j->state(), svc::JobState::Completed) << j->error();
+  }
+  ASSERT_EQ(runner.overload_level(), Level::Shed);
+  // ...and the first post-drain arrival is ADMITTED, not shed: it finds the
+  // queue empty, which counts as a zero-delay observation and resets the
+  // ladder. Without that feed, Shed would reject every arrival before it
+  // could generate the dequeue observation needed to recover — forever.
+  svc::JobSpec spec;
+  spec.graph = graph;
+  const svc::JobPtr recovered = runner.submit(std::move(spec));
+  EXPECT_NE(recovered->state(), svc::JobState::Shed) << recovered->error();
+  recovered->wait();
+  EXPECT_EQ(recovered->state(), svc::JobState::Completed) << recovered->error();
+  EXPECT_EQ(runner.overload_level(), Level::Normal);
+  EXPECT_EQ(runner.snapshot().counter(svc::metrics::kRejected,
+                                      {{"reason", "overload"}}),
+            0u);
+}
+
 TEST(JobRunner, StatusJsonReportsTenantsAndOverload) {
   const auto graph = keyswitch_graph();
   svc::RunnerOptions opts;
@@ -1353,6 +1513,59 @@ TEST(JobRunner, StatusJsonReportsTenantsAndOverload) {
   const obs::Registry reg = runner.snapshot();
   EXPECT_EQ(reg.gauge(svc::metrics::kTenantInFlight, {{"tenant", "acme"}}), 0.0);
   EXPECT_EQ(reg.gauge(svc::metrics::kTenantBacklog, {{"tenant", "acme"}}), 0.0);
+}
+
+// Tenant names are caller-controlled: a client cycling through fresh names
+// must not grow resident state (admission entries, breakers, queue lanes) or
+// metric cardinality without bound. Unconfigured names coalesce under the
+// reserved "_other" label and their per-tenant state is evicted at idle.
+TEST(JobRunner, CyclingUnconfiguredTenantsLeavesNoResidentState) {
+  const auto graph = keyswitch_graph();
+  svc::RunnerOptions opts;
+  opts.workers = 1;
+  opts.tenants.policies["acme"] = svc::TenantPolicy{};
+  svc::JobRunner runner(opts);
+
+  constexpr int kBurners = 8;
+  for (int i = 0; i < kBurners; ++i) {
+    svc::JobSpec spec;
+    spec.graph = graph;
+    spec.tenant = "burner-" + std::to_string(i);
+    const svc::JobPtr j = runner.submit(std::move(spec));
+    j->wait();
+    ASSERT_EQ(j->state(), svc::JobState::Completed) << j->error();
+  }
+  runner.drain();
+
+  // No breaker, admission entry, or queue lane survives per burner name.
+  EXPECT_TRUE(runner.breaker_states().empty());
+  const std::string status = runner.status_json();
+  EXPECT_EQ(status.find("burner-"), std::string::npos) << status;
+
+  // Per-tenant counters aggregate under "_other"; no series per burner name.
+  const obs::Registry reg = runner.snapshot();
+  EXPECT_EQ(reg.counter(svc::metrics::kTenantSubmitted, {{"tenant", "_other"}}),
+            static_cast<std::uint64_t>(kBurners));
+  EXPECT_EQ(reg.counter(svc::metrics::kTenantAdmitted, {{"tenant", "_other"}}),
+            static_cast<std::uint64_t>(kBurners));
+  EXPECT_EQ(reg.counter(svc::metrics::kTenantTerminal,
+                        {{"state", "completed"}, {"tenant", "_other"}}),
+            static_cast<std::uint64_t>(kBurners));
+  EXPECT_EQ(reg.counter(svc::metrics::kTenantSubmitted, {{"tenant", "burner-0"}}),
+            0u);
+
+  // A configured tenant keeps its own label and stays resident once used.
+  svc::JobSpec spec;
+  spec.graph = graph;
+  spec.tenant = "acme";
+  const svc::JobPtr j = runner.submit(std::move(spec));
+  j->wait();
+  ASSERT_EQ(j->state(), svc::JobState::Completed);
+  runner.drain();
+  const obs::Registry after = runner.snapshot();
+  EXPECT_EQ(after.counter(svc::metrics::kTenantSubmitted, {{"tenant", "acme"}}),
+            1u);
+  EXPECT_NE(runner.status_json().find("\"acme\""), std::string::npos);
 }
 
 // Satellite invariant: whatever interleaving of concurrent submit() against
