@@ -1,0 +1,400 @@
+// Chaos soak of the TCP job protocol (src/net): every byte between client
+// and server flows through the seed-driven ChaosProxy, which kills, corrupts
+// and delays connections at exact byte offsets, while the retrying
+// net::Client resubmits through its idempotency keys. The harness then
+// asserts the three robustness claims of the protocol:
+//
+//   1. exactly-once: every job reaches exactly one terminal state, and the
+//      runner charges admission once per key — svc.submitted equals the
+//      number of distinct idempotency keys no matter how many wire attempts
+//      the chaos forced, and the terminal-state counters partition it;
+//   2. bit-identity: the SimResult registry a job delivers through a faulted
+//      wire is byte-for-byte the registry the same workload delivers on a
+//      clean wire (the wire can lose frames, never truth);
+//   3. lifecycle: torn-submit reconnects re-attach to the live job and join
+//      its original trace (net.reattach span), duplicate submissions of a
+//      terminal key replay the cache (net.replay span), and a final drain
+//      leaves no admitted job unaccounted.
+//
+// Usage:
+//   net_soak [--smoke] [--jobs N] [--seed S] [--trace-out F]
+//
+//   --smoke       CI-sized run (fewer jobs, same assertions). Exit 0 only
+//                 when every invariant holds — runs under ctest and the
+//                 thread-sanitizer CI job.
+//   --jobs N      chaos jobs (default 48; --smoke 12)
+//   --seed S      chaos plan seed (default 0xa1c4e157)
+//   --trace-out F write the run's spans as a spans.v1 document; CI feeds it
+//                 to tools/check_trace_spans.py --require-reattach.
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/chaos.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+#include "svc/job_runner.h"
+#include "workloads/ckks_workloads.h"
+
+namespace {
+
+using namespace alchemist;
+using namespace std::chrono_literals;
+
+struct Args {
+  bool smoke = false;
+  std::size_t jobs = 48;
+  std::uint64_t seed = 0xa1c4'e157ull;
+  std::string trace_out;
+};
+
+bool fail(const char* what) {
+  std::fprintf(stderr, "net_soak: FAIL: %s\n", what);
+  return false;
+}
+
+net::WorkloadCatalog make_catalog() {
+  const auto w = workloads::CkksWl::paper(16);
+  net::WorkloadCatalog cat;
+  cat["pmult"] =
+      std::make_shared<const metaop::OpGraph>(workloads::build_pmult(w));
+  cat["hadd"] =
+      std::make_shared<const metaop::OpGraph>(workloads::build_hadd(w));
+  cat["rotation"] =
+      std::make_shared<const metaop::OpGraph>(workloads::build_rotation(w));
+  cat["keyswitch"] =
+      std::make_shared<const metaop::OpGraph>(workloads::build_keyswitch(w));
+  return cat;
+}
+
+const char* workload_of(std::size_t i) {
+  static const char* kNames[] = {"pmult", "hadd", "rotation", "keyswitch"};
+  return kNames[i % 4];
+}
+
+net::ClientOptions client_options(int port, std::size_t attempts) {
+  net::ClientOptions copts;
+  copts.port = port;
+  copts.tick = 5ms;
+  copts.response_timeout = 30s;
+  copts.max_attempts = attempts;
+  copts.backoff.base_us = 500;
+  copts.backoff.cap_us = 20'000;
+  return copts;
+}
+
+// Minimal raw-frame conversation for the deterministic torn-submit scenario:
+// the retrying Client hides connection death on purpose, so the reattach
+// handshake is driven by hand here.
+struct RawConn {
+  net::ScopedFd fd;
+  net::FrameParser parser;
+
+  explicit RawConn(int port) : fd(net::connect_loopback(port)) {
+    if (fd.valid()) net::set_recv_timeout(fd.get(), 20'000us);
+  }
+
+  bool send(net::FrameType type, std::span<const std::uint8_t> payload) {
+    const auto frame = net::encode_frame(type, payload);
+    return net::send_all(fd.get(), frame.data(), frame.size());
+  }
+
+  bool recv_frame(net::Frame& out, std::chrono::milliseconds timeout = 10s) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::array<std::uint8_t, 4096> buf;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (parser.next(out) == net::FrameError::None) return true;
+      if (parser.failed()) return false;
+      std::size_t got = 0;
+      const auto rs = net::recv_some(fd.get(), buf.data(), buf.size(), got);
+      if (rs == net::RecvStatus::Data) {
+        parser.feed(std::span<const std::uint8_t>(buf.data(), got));
+      } else if (rs != net::RecvStatus::TimedOut) {
+        return parser.next(out) == net::FrameError::None;
+      }
+    }
+    return false;
+  }
+
+  bool handshake() {
+    net::HelloPayload hello;
+    hello.client = "net_soak-raw";
+    if (!send(net::FrameType::Hello, net::encode(hello))) return false;
+    net::Frame f;
+    return recv_frame(f) && f.type == net::FrameType::HelloAck;
+  }
+};
+
+// Torn submit, reconnect, re-attach, terminal — exactly once, one trace.
+bool run_reattach_scenario(svc::JobRunner& runner, net::Server& server) {
+  runner.set_paused(true);
+  net::SubmitPayload sub;
+  sub.client_job_id = "reattach-0";
+  sub.tenant = "soak";
+  sub.workload = "keyswitch";
+
+  std::uint64_t first_trace = 0;
+  {
+    RawConn conn(server.port());
+    if (!conn.fd.valid() || !conn.handshake()) {
+      return fail("reattach: first connection failed");
+    }
+    if (!conn.send(net::FrameType::Submit, net::encode(sub))) {
+      return fail("reattach: submit failed");
+    }
+    net::Frame f;
+    if (!conn.recv_frame(f) || f.type != net::FrameType::Status) {
+      return fail("reattach: no submit ack");
+    }
+    first_trace = net::decode_status(f.payload).trace_id;
+  }  // connection torn with the job still queued
+
+  RawConn conn(server.port());
+  if (!conn.fd.valid() || !conn.handshake()) {
+    return fail("reattach: reconnect failed");
+  }
+  if (!conn.send(net::FrameType::Submit, net::encode(sub))) {
+    return fail("reattach: resubmit failed");
+  }
+  net::Frame f;
+  if (!conn.recv_frame(f) || f.type != net::FrameType::Status) {
+    return fail("reattach: no resubmit ack");
+  }
+  const auto st = net::decode_status(f.payload);
+  if (!st.attached) return fail("reattach: resubmission did not re-attach");
+  if (st.trace_id != first_trace) {
+    return fail("reattach: reconnect left the original trace");
+  }
+
+  runner.set_paused(false);
+  for (;;) {
+    if (!conn.recv_frame(f)) return fail("reattach: no terminal result");
+    if (f.type != net::FrameType::Result) continue;
+    const auto rp = net::decode_result(f.payload);
+    if (static_cast<svc::JobState>(rp.state) != svc::JobState::Completed) {
+      return fail("reattach: job did not complete");
+    }
+    if (rp.trace_id != first_trace) {
+      return fail("reattach: result left the original trace");
+    }
+    if (rp.replayed) return fail("reattach: live job misreported as replay");
+    return true;
+  }
+}
+
+bool run(const Args& args) {
+  obs::TraceSink sink(1 << 16);
+  obs::EventLog log;
+
+  svc::RunnerOptions ropts;
+  ropts.workers = 4;
+  ropts.queue_capacity = 256;
+  ropts.trace = &sink;
+  ropts.trace_detail = obs::TraceDetail::Lifecycle;
+  ropts.log = &log;
+  svc::JobRunner runner(ropts);
+
+  net::ServerOptions sopts;
+  sopts.name = "net_soak";
+  sopts.tick = 5ms;
+  sopts.trace = &sink;
+  sopts.log = &log;
+  net::Server server(runner, make_catalog(), sopts);
+  if (!server.start()) {
+    std::fprintf(stderr, "net_soak: server: %s\n", server.error().c_str());
+    return false;
+  }
+
+  // ---- clean-wire references: one run per catalog workload ---------------
+  net::Client direct(client_options(server.port(), 8));
+  std::map<std::string, std::map<std::string, std::uint64_t>> reference;
+  for (std::size_t i = 0; i < 4; ++i) {
+    net::SubmitPayload sub;
+    sub.client_job_id = std::string("ref-") + workload_of(i);
+    sub.tenant = "soak";
+    sub.workload = workload_of(i);
+    const auto out = direct.run(sub);
+    if (!out.delivered || !out.has_result ||
+        static_cast<svc::JobState>(out.state) != svc::JobState::Completed) {
+      return fail("clean-wire reference job did not complete");
+    }
+    reference[sub.workload] = out.result.registry.counters();
+  }
+
+  // ---- chaos pass --------------------------------------------------------
+  net::ChaosOptions copts;
+  copts.target_port = server.port();
+  copts.seed = args.seed;
+  copts.kill_prob = 0.3;
+  copts.corrupt_prob = 0.3;
+  copts.delay_prob = 0.15;
+  copts.delay = 5ms;
+  copts.max_offset = 400;
+  // Bound total injected faults so the per-job retry budget always wins.
+  copts.max_faults = args.jobs * 2;
+  net::ChaosProxy proxy(copts);
+  if (!proxy.start()) {
+    std::fprintf(stderr, "net_soak: proxy: %s\n", proxy.error().c_str());
+    return false;
+  }
+
+  net::Client chaotic(client_options(proxy.port(), 64));
+  std::size_t retried_wire = 0, delivered = 0;
+  for (std::size_t i = 0; i < args.jobs; ++i) {
+    net::SubmitPayload sub;
+    sub.client_job_id = "soak-" + std::to_string(i);
+    sub.tenant = "soak";
+    sub.workload = workload_of(i);
+    const auto out = chaotic.run(sub);
+    if (!out.delivered) {
+      std::fprintf(stderr, "net_soak: %s: %s\n", sub.client_job_id.c_str(),
+                   out.error.c_str());
+      return fail("chaos job exhausted its retry budget");
+    }
+    if (static_cast<svc::JobState>(out.state) != svc::JobState::Completed) {
+      return fail("chaos job reached a non-Completed terminal");
+    }
+    if (!out.has_result) return fail("chaos terminal carried no result");
+    if (out.result.registry.counters() != reference[sub.workload]) {
+      std::fprintf(stderr, "net_soak: %s diverged from the clean-wire run\n",
+                   sub.client_job_id.c_str());
+      return fail("faulted result not bit-identical to the reference");
+    }
+    ++delivered;
+    if (out.connections > 1) ++retried_wire;
+  }
+
+  // ---- duplicate of a terminal key: cached replay, no second run ---------
+  {
+    net::SubmitPayload sub;
+    sub.client_job_id = "soak-0";
+    sub.tenant = "soak";
+    sub.workload = workload_of(0);
+    const auto out = direct.run(sub);
+    if (!out.delivered || !out.replayed) {
+      return fail("duplicate of a terminal key did not replay from cache");
+    }
+    if (out.result.registry.counters() != reference[sub.workload]) {
+      return fail("replayed result not bit-identical");
+    }
+  }
+
+  // ---- torn submit -> reconnect -> re-attach -----------------------------
+  if (!run_reattach_scenario(runner, server)) return false;
+
+  // ---- drain + invariants ------------------------------------------------
+  server.drain("soak complete");
+  runner.drain();
+
+  const std::size_t keys = 4 + args.jobs + 1;  // refs + soak + reattach
+  const auto reg = runner.snapshot();
+  const auto submitted = reg.counter(svc::metrics::kSubmitted);
+  const auto admitted = reg.counter(svc::metrics::kAdmitted);
+  const auto terminal = reg.counter(svc::metrics::kCompleted) +
+                        reg.counter(svc::metrics::kFailed) +
+                        reg.counter(svc::metrics::kCancelled) +
+                        reg.counter(svc::metrics::kDeadlineExpired) +
+                        reg.total_over_tags("svc.rejected");
+  if (submitted != keys) {
+    std::fprintf(stderr, "net_soak: svc.submitted=%llu, distinct keys=%zu\n",
+                 static_cast<unsigned long long>(submitted), keys);
+    return fail("admission charged more/less than once per idempotency key");
+  }
+  if (reg.counter(svc::metrics::kCompleted) != keys) {
+    return fail("not every key completed exactly once");
+  }
+  if (terminal != submitted) {
+    return fail("terminal states do not partition svc.submitted");
+  }
+  if (admitted != submitted) {
+    return fail("admission charge/release did not balance");
+  }
+  if (reg.gauge(svc::metrics::kTenantInFlight, {{"tenant", "_other"}}) != 0) {
+    return fail("tenant in-flight gauge nonzero after drain");
+  }
+
+  const auto net_reg = server.snapshot();
+  const auto net_submitted = net_reg.counter(net::metrics::kSubmitted);
+  const auto net_attached = net_reg.counter(net::metrics::kAttached);
+  const auto net_replayed = net_reg.counter(net::metrics::kReplayed);
+  if (net_submitted != keys) {
+    return fail("net.submitted disagrees with the distinct key count");
+  }
+  if (net_attached < 1) return fail("reattach scenario left no net.attached");
+  if (net_replayed < 1) return fail("replay scenario left no net.replayed");
+
+  server.stop();
+  proxy.stop();
+
+  std::printf(
+      "net_soak: %zu chaos jobs -> %zu completed, %zu over retried wires\n"
+      "net_soak: proxy %llu conns: %llu kills, %llu corruptions, %llu delays\n"
+      "net_soak: server %llu wire submits -> %llu fresh, %llu reattach, "
+      "%llu replays; %llu results\n"
+      "net_soak: exactly-once OK (svc.submitted == %zu keys), bit-identity "
+      "OK, partition OK\n",
+      args.jobs, delivered, retried_wire,
+      static_cast<unsigned long long>(proxy.connections()),
+      static_cast<unsigned long long>(proxy.kills()),
+      static_cast<unsigned long long>(proxy.corruptions()),
+      static_cast<unsigned long long>(proxy.delays()),
+      static_cast<unsigned long long>(net_submitted + net_attached +
+                                      net_replayed),
+      static_cast<unsigned long long>(net_submitted),
+      static_cast<unsigned long long>(net_attached),
+      static_cast<unsigned long long>(net_replayed),
+      static_cast<unsigned long long>(net_reg.counter(net::metrics::kResults)),
+      keys);
+
+  if (!args.trace_out.empty()) {
+    if (!obs::write_spans_file(args.trace_out, sink, "net_soak")) {
+      return fail("cannot write --trace-out document");
+    }
+    std::printf("trace: %s (spans.v1)\n", args.trace_out.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      args.smoke = true;
+      args.jobs = 12;
+    } else if (arg == "--jobs") {
+      args.jobs = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--seed") {
+      args.seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 0));
+    } else if (arg == "--trace-out") {
+      args.trace_out = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: net_soak [--smoke] [--jobs N] [--seed S] "
+                   "[--trace-out F]\n");
+      return 2;
+    }
+  }
+  return run(args) ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// Remote submitter for the framed TCP job protocol (src/net).
+//
+//   alchemist_client --port P [--jobs N] [--workload NAME] [--tenant T]
+//                    [--engine level|event] [--prefix ID] [--retries N]
+//
+// Connects to an alchemist_serve --port instance, submits N jobs naming a
+// server-resident workload, and waits for each terminal Result. Every job
+// carries an idempotency key (--prefix plus index); the client's retry loop
+// (deterministic exponential backoff) resubmits the same key after any
+// transport failure, so a job is charged and run exactly once even across
+// torn connections or a server drain window.
+//
+// Exit status: 0 when every job delivered a Completed result, 1 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "net/client.h"
+#include "svc/job.h"
+
+namespace {
+
+using namespace alchemist;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: alchemist_client --port P [--jobs N] [--workload NAME]\n"
+               "       [--tenant T] [--engine level|event] [--prefix ID]\n"
+               "       [--retries N]\n"
+               "  --port P       job server port (required)\n"
+               "  --jobs N       jobs to submit (default 4)\n"
+               "  --workload W   catalog name: pmult|hadd|rotation|keyswitch\n"
+               "                 (default keyswitch)\n"
+               "  --tenant T     admission identity (default untenanted)\n"
+               "  --prefix ID    idempotency-key prefix (default \"cli\");\n"
+               "                 rerunning with the same prefix against the\n"
+               "                 same server replays cached results\n"
+               "  --retries N    transport attempts per job (default 16)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = -1;
+  std::size_t jobs = 4, retries = 16;
+  std::string workload = "keyswitch", tenant, prefix = "cli";
+  std::uint8_t engine = net::kEngineLevel;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") port = std::atoi(next());
+    else if (arg == "--jobs") jobs = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--workload") workload = next();
+    else if (arg == "--tenant") tenant = next();
+    else if (arg == "--prefix") prefix = next();
+    else if (arg == "--retries") retries = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--engine") {
+      const std::string e = next();
+      if (e == "level") engine = net::kEngineLevel;
+      else if (e == "event") engine = net::kEngineEvent;
+      else return usage();
+    }
+    else return usage();
+  }
+  if (port < 0 || jobs == 0) return usage();
+
+  net::ClientOptions copts;
+  copts.port = port;
+  copts.max_attempts = retries;
+  net::Client client(copts);
+
+  std::size_t completed = 0, replayed = 0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    net::SubmitPayload sub;
+    sub.client_job_id = prefix + "-" + std::to_string(i);
+    sub.tenant = tenant;
+    sub.workload = workload;
+    sub.engine = engine;
+    const net::RunOutcome out = client.run(sub);
+    if (!out.delivered) {
+      std::fprintf(stderr, "%s: no terminal state (%s, code %u)\n",
+                   sub.client_job_id.c_str(), out.error.c_str(),
+                   static_cast<unsigned>(out.last_error_code));
+      continue;
+    }
+    const auto state = static_cast<svc::JobState>(out.state);
+    if (state == svc::JobState::Completed) ++completed;
+    if (out.replayed) ++replayed;
+    std::printf("%-12s %-16s trace 0x%016llx  %s%s%s",
+                sub.client_job_id.c_str(), svc::to_string(state),
+                static_cast<unsigned long long>(out.trace_id),
+                out.replayed ? "[replayed] " : "",
+                out.attached ? "[reattached] " : "",
+                out.connections > 1 ? "[retried] " : "");
+    if (out.has_result) {
+      std::printf(" cycles %llu, sim %.2f us",
+                  static_cast<unsigned long long>(out.result.cycles),
+                  out.result.time_us);
+    } else if (!out.error.empty()) {
+      std::printf(" (%s)", out.error.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("alchemist_client: %zu/%zu completed (%zu replayed)\n",
+              completed, jobs, replayed);
+  return completed == jobs ? 0 : 1;
+}

@@ -26,14 +26,17 @@
 // document; --timeline-out writes a Chrome trace with the span tracks merged
 // in and per-job flow arrows (open in Perfetto).
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "net/server.h"
 #include "obs/log.h"
 #include "obs/substrate_metrics.h"
 #include "obs/timeline.h"
@@ -46,12 +49,18 @@ namespace {
 
 using namespace alchemist;
 
+// SIGINT/SIGTERM request a graceful drain: the handler only sets the flag
+// (async-signal-safe); the main loop notices, stops accepting, checkpoints
+// in-flight jobs, flushes metrics/trace output and exits 0.
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
 int usage() {
   std::fprintf(stderr,
                "usage: alchemist_serve [--workers N] [--jobs N] [--fault-rate R]\n"
                "       [--deadline-ms D] [--queue N] [--seed S] [--threads N]\n"
-               "       [--introspect-port P] [--loop-seconds S] [--tenants N]\n"
-               "       [--trace-out PATH] [--timeline-out PATH]\n"
+               "       [--introspect-port P] [--port P] [--loop-seconds S]\n"
+               "       [--tenants N] [--trace-out PATH] [--timeline-out PATH]\n"
                "       [--trace-detail lifecycle|phases|ops]\n"
                "  --tenants N  spread the jobs round-robin over N tenants\n"
                "               (tenant-0..tenant-N-1) with unlimited policies:\n"
@@ -63,6 +72,11 @@ int usage() {
                "  --introspect-port P  serve /healthz /metrics /statusz /buildz\n"
                "               /tracez /logz on 127.0.0.1:P (0 = ephemeral; the\n"
                "               resolved port is printed)\n"
+               "  --port P     serve the framed TCP job protocol (src/net) on\n"
+               "               127.0.0.1:P (0 = ephemeral; resolved port is\n"
+               "               printed); workloads pmult/hadd/rotation/keyswitch;\n"
+               "               runs until SIGINT/SIGTERM (graceful drain) or\n"
+               "               --loop-seconds expires\n"
                "  --loop-seconds S  resubmit the job list for at least S\n"
                "               seconds (soak mode for live scraping)\n"
                "  --trace-out PATH  write the spans.v1 trace document\n"
@@ -80,7 +94,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::size_t workers = 4, jobs = 32, queue = 64, tenants = 0;
   double fault_rate = 2e-9, deadline_ms = 0.0, loop_seconds = 0.0;
-  int introspect_port = -1;
+  int introspect_port = -1, net_port = -1;
   u64 seed = 0xa1c4'e5ull;
   std::string trace_out, timeline_out;
   obs::TraceDetail trace_detail = obs::TraceDetail::Phases;
@@ -101,6 +115,7 @@ int main(int argc, char** argv) {
     else if (arg == "--deadline-ms") deadline_ms = std::atof(next());
     else if (arg == "--seed") seed = static_cast<u64>(std::strtoull(next(), nullptr, 0));
     else if (arg == "--introspect-port") introspect_port = std::atoi(next());
+    else if (arg == "--port") net_port = std::atoi(next());
     else if (arg == "--loop-seconds") loop_seconds = std::atof(next());
     else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--timeline-out") timeline_out = next();
@@ -180,6 +195,39 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
+  // Framed TCP job server (src/net): remote clients name catalog workloads
+  // and submit with idempotency keys; resubmission after a torn connection is
+  // exactly-once (re-attach or cached replay).
+  std::unique_ptr<net::Server> net_server;
+  if (net_port >= 0) {
+    net::WorkloadCatalog catalog;
+    catalog["pmult"] = graphs[0];
+    catalog["hadd"] = graphs[1];
+    catalog["rotation"] = graphs[2];
+    catalog["keyswitch"] = graphs[3];
+    net::ServerOptions nopts;
+    nopts.port = net_port;
+    if (tracing) {
+      nopts.trace = &trace_sink;
+      nopts.log = &event_log;
+    }
+    net_server =
+        std::make_unique<net::Server>(runner, std::move(catalog), nopts);
+    if (!net_server->start()) {
+      std::fprintf(stderr, "job server failed: %s\n",
+                   net_server->error().c_str());
+      return 1;
+    }
+    std::printf("job server on 127.0.0.1:%d (protocol v%u, "
+                "workloads pmult/hadd/rotation/keyswitch)\n",
+                net_server->port(),
+                static_cast<unsigned>(net::kProtocolVersion));
+    std::fflush(stdout);
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<svc::JobPtr> handles;
   handles.reserve(jobs);
@@ -207,12 +255,35 @@ int main(int argc, char** argv) {
   };
   submit_batch();
   runner.drain();
-  while (loop_seconds > 0 &&
+  while (g_stop == 0 && loop_seconds > 0 &&
          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                  .count() < loop_seconds) {
     submit_batch();
     runner.drain();
   }
+  // With the job server up and no bounded soak, keep serving until a signal
+  // (or until --loop-seconds elapses when one was given).
+  while (net_server != nullptr && g_stop == 0 &&
+         (loop_seconds <= 0 ||
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count() < loop_seconds)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Graceful drain, signal-initiated or natural end of the soak: stop
+  // accepting (remote clients get a typed Draining frame), checkpoint and
+  // terminate in-flight jobs, then fall through to flush metrics/trace and
+  // exit 0. Remote retries land on the next instance via their idempotency
+  // keys.
+  const bool signalled = g_stop != 0;
+  if (net_server != nullptr) net_server->drain("server draining");
+  if (signalled) {
+    std::printf("signal received: draining (checkpointing in-flight jobs)\n");
+    runner.shutdown();  // cancels in-flight work; checkpoints land on handles
+  } else {
+    runner.drain();
+  }
+  if (net_server != nullptr) net_server->stop();
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -254,6 +325,29 @@ int main(int argc, char** argv) {
   }
   std::printf("  yield              %.1f %%\n",
               100.0 * static_cast<double>(completed) / static_cast<double>(submitted));
+  if (net_server != nullptr) {
+    const obs::Registry net_reg = net_server->snapshot();
+    std::printf("  net                %llu conns, %llu submits, %llu attached, "
+                "%llu replayed, %llu results\n",
+                static_cast<unsigned long long>(
+                    net_reg.counter(net::metrics::kAccepted)),
+                static_cast<unsigned long long>(
+                    net_reg.counter(net::metrics::kSubmitted)),
+                static_cast<unsigned long long>(
+                    net_reg.counter(net::metrics::kAttached)),
+                static_cast<unsigned long long>(
+                    net_reg.counter(net::metrics::kReplayed)),
+                static_cast<unsigned long long>(
+                    net_reg.counter(net::metrics::kResults)));
+  }
+  if (signalled) {
+    std::size_t checkpointed = 0;
+    for (const svc::JobPtr& h : handles) {
+      if (h->checkpoint().valid()) ++checkpointed;
+    }
+    std::printf("  drained            %zu in-flight job(s) left a checkpoint\n",
+                checkpointed);
+  }
   for (std::size_t t = 0; t < tenants; ++t) {
     const std::string name = "tenant-" + std::to_string(t);
     const auto& hist =

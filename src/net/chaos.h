@@ -1,0 +1,101 @@
+// Deterministic in-process fault proxy for the TCP job protocol.
+//
+// The chaos harness (bench/net_soak) puts this proxy between net::Client and
+// net::Server: every byte of every connection flows through it, and a
+// seed-driven per-connection fault plan decides — at exact byte offsets, so
+// the outcome is independent of TCP chunking — whether to
+//
+//   * kill the connection after N forwarded bytes (torn submit, torn
+//     response: the two halves of the exactly-once problem),
+//   * corrupt one byte (XOR) so the receiver's FNV-1a frame footer trips and
+//     the stream is dropped as BadChecksum,
+//   * delay forwarding at an offset (exercises read deadlines / slow peers),
+//   * truncate: kill immediately after the client's submit bytes pass, which
+//     is the worst case — the server got the job, the client got nothing.
+//
+// Connection index -> plan is a pure function of the seed, so a soak run is
+// reproducible: same seed, same faults, same recovery path. The proxy never
+// inspects frames; it faults the transport exactly where a real network
+// would.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace alchemist::net {
+
+struct ChaosOptions {
+  int target_port = 0;    // real server
+  int listen_port = 0;    // 0 = ephemeral
+  std::uint64_t seed = 1;
+  // Per-connection fault probabilities (evaluated once per connection, from
+  // the seeded plan). A connection draws at most one fault kind.
+  double kill_prob = 0.25;
+  double corrupt_prob = 0.25;
+  double delay_prob = 0.25;
+  // Fault offsets are drawn in [1, max_offset] forwarded bytes.
+  std::uint32_t max_offset = 512;
+  std::chrono::milliseconds delay{30};
+  // Stop injecting after this many faulted connections (0 = unlimited): lets
+  // a soak guarantee forward progress within the client retry budget.
+  std::uint64_t max_faults = 0;
+};
+
+// What the plan decided for one connection.
+struct FaultPlan {
+  enum class Kind : std::uint8_t { None, Kill, Corrupt, Delay };
+  Kind kind = Kind::None;
+  bool downstream = false;  // fault the server->client direction
+  std::uint64_t offset = 0;
+};
+
+// Pure function of (seed, connection index); exposed for tests.
+FaultPlan plan_for(const ChaosOptions& opts, std::uint64_t conn_index);
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosOptions opts) : opts_(opts) {}
+  ~ChaosProxy() { stop(); }
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  bool start();
+  void stop();
+
+  int port() const { return listener_.port(); }
+  const std::string& error() const { return listener_.error(); }
+
+  std::uint64_t connections() const { return connections_.load(); }
+  std::uint64_t kills() const { return kills_.load(); }
+  std::uint64_t corruptions() const { return corruptions_.load(); }
+  std::uint64_t delays() const { return delays_.load(); }
+  std::uint64_t faulted() const {
+    return kills_.load() + corruptions_.load() + delays_.load();
+  }
+
+ private:
+  void accept_loop();
+  void pump(int from, int to, FaultPlan plan, bool is_downstream);
+
+  ChaosOptions opts_;
+  Listener listener_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> kills_{0};
+  std::atomic<std::uint64_t> corruptions_{0};
+  std::atomic<std::uint64_t> delays_{0};
+
+  std::mutex mu_;
+  std::thread accept_thread_;
+  std::vector<std::thread> pumps_;
+};
+
+}  // namespace alchemist::net

@@ -1,0 +1,74 @@
+// Retrying protocol client for the TCP job server.
+//
+// Client::run() owns the whole reliability dance a remote submitter needs:
+// connect, handshake, submit, stream status, collect the terminal Result —
+// and on any transport failure (torn connection, corrupted frame, server
+// drain, typed retryable rejection) reconnect with deterministic exponential
+// backoff (common/backoff.h) and resubmit the SAME idempotency key. The
+// server's IdempotencyTable turns that resubmission into a re-attach or a
+// cached replay, so from the caller's perspective the job runs exactly once
+// no matter how many times the wire failed underneath.
+//
+// Non-retryable rejections (BadRequest, UnknownWorkload, VersionMismatch, a
+// non-retryable ErrorCode in general) surface immediately in the outcome.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/backoff.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "sim/result.h"
+
+namespace alchemist::net {
+
+struct ClientOptions {
+  int port = 0;
+  std::string name = "alchemist-client";
+  std::size_t max_payload = kDefaultMaxPayload;
+  // Recv poll slice while waiting for frames.
+  std::chrono::milliseconds tick{20};
+  // Bound on one connection's silent wait for the next frame (covers both the
+  // handshake and the job's run time; status frames reset the clock).
+  std::chrono::milliseconds response_timeout{30000};
+  // Transport retry budget: total connection attempts per run() call, paced
+  // by deterministic exponential backoff.
+  std::size_t max_attempts = 16;
+  BackoffConfig backoff{};
+  // Injected sleep, overridable by tests/chaos harnesses that want virtual
+  // time; null = real sleep.
+  void (*sleep_us)(std::uint64_t) = nullptr;
+};
+
+// What one run() call observed end to end.
+struct RunOutcome {
+  bool delivered = false;  // a terminal Result frame arrived
+  std::uint8_t state = 0;  // svc::JobState when delivered
+  std::string error;       // job error text, or transport diagnosis
+  bool replayed = false;   // served from the server's idempotency cache
+  bool attached = false;   // some submission re-attached to the live job
+  bool degraded = false;
+  std::uint64_t trace_id = 0;
+  std::uint16_t last_error_code = 0;  // last typed ErrorCode seen (0 = none)
+  std::size_t connections = 0;        // transport attempts used
+  bool has_result = false;
+  sim::SimResult result;  // finalized; valid when has_result
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions opts) : opts_(opts) {}
+
+  // Submit and wait for a terminal state, retrying the transport as needed.
+  // Blocking; returns delivered=false only when the retry budget is spent.
+  RunOutcome run(const SubmitPayload& submit);
+
+  const ClientOptions& options() const { return opts_; }
+
+ private:
+  ClientOptions opts_;
+};
+
+}  // namespace alchemist::net

@@ -1,0 +1,120 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "common/serdes.h"  // fnv1a
+
+namespace alchemist::net {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'A', 'L', 'C', 'H'};
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t read_u64le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void append_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_u64le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::Hello: return "hello";
+    case FrameType::HelloAck: return "hello-ack";
+    case FrameType::Submit: return "submit";
+    case FrameType::Status: return "status";
+    case FrameType::Result: return "result";
+    case FrameType::Error: return "error";
+    case FrameType::Drain: return "drain";
+    case FrameType::Ping: return "ping";
+    case FrameType::Pong: return "pong";
+    case FrameType::Bye: return "bye";
+  }
+  return "?";
+}
+
+bool is_known_frame_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::Hello) &&
+         t <= static_cast<std::uint8_t>(FrameType::Bye);
+}
+
+const char* to_string(FrameError e) {
+  switch (e) {
+    case FrameError::None: return "none";
+    case FrameError::NeedMore: return "need-more";
+    case FrameError::BadMagic: return "bad-magic";
+    case FrameError::BadVersion: return "bad-version";
+    case FrameError::BadType: return "bad-type";
+    case FrameError::BadReserved: return "bad-reserved";
+    case FrameError::Oversize: return "oversize";
+    case FrameError::BadChecksum: return "bad-checksum";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint8_t version) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderSize + payload.size() + kFrameFooterSize);
+  for (std::uint8_t m : kMagic) out.push_back(m);
+  out.push_back(version);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(0);  // reserved
+  out.push_back(0);
+  append_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  const u64 digest = fnv1a(std::span<const std::uint8_t>(out.data(), out.size()));
+  append_u64le(out, digest);
+  return out;
+}
+
+FrameError FrameParser::next(Frame& out) {
+  if (sticky_ != FrameError::None) return sticky_;
+  if (buf_.size() < kFrameHeaderSize) return FrameError::NeedMore;
+
+  // Header validation happens as soon as the 12 header bytes exist, before
+  // any payload accumulates: the cheap checks reject a garbage or hostile
+  // stream without buffering what it claims to carry.
+  if (std::memcmp(buf_.data(), kMagic, 4) != 0) {
+    return sticky_ = FrameError::BadMagic;
+  }
+  if (buf_[4] != kProtocolVersion) return sticky_ = FrameError::BadVersion;
+  if (!is_known_frame_type(buf_[5])) return sticky_ = FrameError::BadType;
+  if (buf_[6] != 0 || buf_[7] != 0) return sticky_ = FrameError::BadReserved;
+  const std::uint32_t payload_len = read_u32le(buf_.data() + 8);
+  if (payload_len > max_payload_) return sticky_ = FrameError::Oversize;
+
+  const std::size_t frame_size =
+      kFrameHeaderSize + payload_len + kFrameFooterSize;
+  if (buf_.size() < frame_size) return FrameError::NeedMore;
+
+  const std::size_t body = kFrameHeaderSize + payload_len;
+  const u64 want = read_u64le(buf_.data() + body);
+  const u64 got = fnv1a(std::span<const std::uint8_t>(buf_.data(), body));
+  if (want != got) return sticky_ = FrameError::BadChecksum;
+
+  out.type = static_cast<FrameType>(buf_[5]);
+  out.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderSize),
+                     buf_.begin() + static_cast<std::ptrdiff_t>(body));
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(frame_size));
+  return FrameError::None;
+}
+
+}  // namespace alchemist::net

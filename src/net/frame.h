@@ -1,0 +1,112 @@
+// Wire framing for the TCP job-submission protocol.
+//
+// Every message on a job-protocol connection is one frame:
+//
+//   offset  size  field
+//   0       4     magic "ALCH"
+//   4       1     protocol version (kProtocolVersion)
+//   5       1     frame type (FrameType)
+//   6       2     reserved, must be 0
+//   8       4     payload length (little-endian u32)
+//   12      len   payload (a common/serdes-encoded document, see protocol.h)
+//   12+len  8     FNV-1a footer over bytes [0, 12+len) (little-endian u64)
+//
+// The parser applies the serdes reader's discipline to a byte *stream*: the
+// declared payload length is checked against the configured frame cap the
+// moment the header is complete — before any payload is buffered — so a
+// 12-byte header claiming 2^31 bytes is a typed FrameError::Oversize, not an
+// allocation. Corruption anywhere in the frame fails the footer check
+// (FrameError::BadChecksum). All hard errors are sticky: a stream that has
+// desynchronized cannot be trusted to resynchronize, so the owner must close
+// the connection — exactly the posture src/serdes takes with files.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace alchemist::net {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 12;
+inline constexpr std::size_t kFrameFooterSize = 8;
+// Default per-frame payload cap: job requests and serialized SimResult
+// registries are a few KiB; 1 MiB leaves headroom for future key material
+// without letting one frame buffer unbounded memory.
+inline constexpr std::size_t kDefaultMaxPayload = 1u << 20;
+
+enum class FrameType : std::uint8_t {
+  Hello = 1,     // client -> server: version handshake, client name
+  HelloAck = 2,  // server -> client: negotiated limits
+  Submit = 3,    // client -> server: job request with idempotency key
+  Status = 4,    // server -> client: non-terminal state transition
+  Result = 5,    // server -> client: terminal state (+ SimResult payload)
+  Error = 6,     // server -> client: typed rejection (see ErrorCode)
+  Drain = 7,     // server -> client: graceful shutdown notice, then close
+  Ping = 8,      // either direction: liveness probe
+  Pong = 9,      // reply to Ping
+  Bye = 10,      // client -> server: orderly goodbye
+};
+
+const char* to_string(FrameType t);
+bool is_known_frame_type(std::uint8_t t);
+
+// Typed parse outcome. NeedMore is not an error — the stream is mid-frame.
+// Everything from BadMagic down is sticky and terminal for the connection.
+enum class FrameError : std::uint8_t {
+  None = 0,
+  NeedMore,
+  BadMagic,
+  BadVersion,   // distinguished so the server can answer VersionMismatch
+  BadType,      // unknown frame type byte
+  BadReserved,  // nonzero reserved field
+  Oversize,     // declared payload exceeds the cap (431-style rejection)
+  BadChecksum,  // FNV-1a footer mismatch: corruption in flight
+};
+
+const char* to_string(FrameError e);
+
+struct Frame {
+  FrameType type = FrameType::Error;
+  std::vector<std::uint8_t> payload;
+};
+
+// Serialize one frame (header + payload + footer), ready for send_all().
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint8_t version = kProtocolVersion);
+
+// Incremental frame parser over a byte stream. feed() appends received
+// bytes; next() pops at most one complete frame per call. After any hard
+// error the parser is poisoned (failed() == true) and next() keeps returning
+// the same error — the owner must drop the connection.
+class FrameParser {
+ public:
+  explicit FrameParser(std::size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  void feed(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  // Returns None and fills `out` when one full, verified frame was consumed;
+  // NeedMore when the buffer holds only a partial frame; a sticky hard error
+  // otherwise.
+  FrameError next(Frame& out);
+
+  bool failed() const { return sticky_ != FrameError::None; }
+  FrameError error() const { return sticky_; }
+  // Bytes currently buffered (a nonzero value after next() == NeedMore means
+  // a frame is in flight — the owner's read-deadline clock applies).
+  std::size_t buffered() const { return buf_.size(); }
+  std::size_t max_payload() const { return max_payload_; }
+
+ private:
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buf_;
+  FrameError sticky_ = FrameError::None;
+};
+
+}  // namespace alchemist::net

@@ -1,0 +1,125 @@
+// Exactly-once resubmission for the TCP job protocol.
+//
+// A client whose connection died after the server accepted a Submit cannot
+// tell whether the job ran: the TCP ack is not an application ack. Its only
+// safe move is to resubmit — and the server must make that resubmission
+// idempotent. This table is the mechanism: it maps the client-supplied key
+// (tenant, client_job_id) to the job handle the first submission produced,
+// so a duplicate either re-attaches to the live job (the client streams the
+// same terminal it would have seen) or replays the cached terminal state —
+// never a second run, never a second admission charge.
+//
+// Bounding: keys are caller-controlled, so the table must not grow without
+// limit (the same posture svc takes with tenant label cardinality). At
+// capacity, the least-recently-touched *terminal* entry is evicted — its
+// exactly-once window closes, which is the standard at-most-once-cache
+// compromise. If every entry is live (capacity genuinely in use by running
+// jobs), the submission is refused with Busy rather than evicting a live
+// handle, because evicting a live entry would let a retry double-run it.
+//
+// Admission rejections (Shed / CircuitOpen / QuotaExceeded) are deliberately
+// NOT cached: the job never ran, the rejection is retryable by design, and
+// caching it would pin a transient "try later" into a permanent "no". The
+// server calls forget() for those.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "svc/job.h"
+
+namespace alchemist::net {
+
+class IdempotencyTable {
+ public:
+  enum class Outcome : std::uint8_t {
+    Fresh,     // first sighting of the key: `make` ran, handle inserted
+    Attached,  // key maps to a live job: caller streams its transitions
+    Replayed,  // key maps to a terminal job: caller replays the cached state
+    Busy,      // table full of live entries: typed retryable refusal
+  };
+
+  struct Lookup {
+    Outcome outcome = Outcome::Busy;
+    svc::JobPtr job;  // null only for Busy
+  };
+
+  explicit IdempotencyTable(std::size_t capacity) : capacity_(capacity) {}
+
+  // Atomic lookup-or-submit. On a miss, `make` (typically a bound
+  // JobRunner::submit) runs under the table lock so a concurrent duplicate
+  // cannot slip between the capacity check and the insert; the runner never
+  // calls back into the table, so the lock order is acyclic.
+  Lookup submit(const std::string& tenant, const std::string& id,
+                const std::function<svc::JobPtr()>& make) {
+    const Key key{tenant, id};
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.touch = ++clock_;
+      const bool terminal = it->second.job->terminal();
+      return {terminal ? Outcome::Replayed : Outcome::Attached, it->second.job};
+    }
+    if (entries_.size() >= capacity_ && !evict_locked()) {
+      return {Outcome::Busy, nullptr};
+    }
+    svc::JobPtr job = make();
+    entries_.emplace(key, Entry{job, ++clock_});
+    return {Outcome::Fresh, std::move(job)};
+  }
+
+  // Drop the entry for `job` (and only if it still maps to `job`): used when
+  // admission rejected the submission, so the retryable rejection is not
+  // pinned as this key's forever-answer.
+  void forget(const std::string& tenant, const std::string& id,
+              const svc::JobPtr& job) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(Key{tenant, id});
+    if (it != entries_.end() && it->second.job == job) entries_.erase(it);
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_.size();
+  }
+  std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return evictions_;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (tenant, client_job_id)
+  struct Entry {
+    svc::JobPtr job;
+    std::uint64_t touch = 0;  // logical LRU clock
+  };
+
+  // Evict the least-recently-touched terminal entry; false if all are live.
+  // Caller holds mu_.
+  bool evict_locked() {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.job->terminal()) continue;
+      if (victim == entries_.end() || it->second.touch < victim->second.touch) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return false;
+    entries_.erase(victim);
+    ++evictions_;
+    return true;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace alchemist::net

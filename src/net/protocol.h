@@ -1,0 +1,139 @@
+// Payload schemas of the TCP job protocol, encoded through the hardened
+// common/serdes layer (tagged, length-capped, typed failures) inside the
+// FNV-1a-checksummed frames of net/frame.h.
+//
+// The submit payload is the JobSpec-equivalent a remote client can express:
+// instead of shipping an operator graph, it *names* a workload from the
+// server's catalog (the graphs are server-resident, the way evaluation keys
+// are accelerator-resident in ARK — expensive state is reconstructible, not
+// re-shipped) and carries the robustness envelope (deadline, retry budget,
+// fault model) plus the client-supplied idempotency key that makes
+// resubmission after a torn connection exactly-once.
+//
+// Every decode_* throws std::runtime_error on malformed input (truncated
+// documents, wrong tags, oversized strings) — the serdes reader's contract —
+// and the server maps that to ErrorCode::BadRequest rather than crashing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "obs/registry.h"
+
+namespace alchemist::net {
+
+// Typed rejection codes carried by Error frames — the protocol's analogue of
+// the introspection server's 408/431 responses. Transport-class codes
+// (Draining, Busy, ...) invite a retry on a fresh connection; request-class
+// codes (BadRequest, UnknownWorkload, ...) will fail identically on retry
+// and the client surfaces them to the caller.
+enum class ErrorCode : std::uint16_t {
+  BadFrame = 1,         // unparseable/corrupt frame; stream is poisoned
+  VersionMismatch = 2,  // frame or hello protocol version not supported
+  FrameTooLarge = 3,    // declared payload exceeds the server cap (431-style)
+  ReadTimeout = 4,      // partial frame older than the read deadline (408-style)
+  IdleTimeout = 5,      // no traffic and nothing in flight
+  TooManyInFlight = 6,  // per-connection request cap exceeded
+  Busy = 7,             // server at connection/idempotency capacity; retry later
+  Draining = 8,         // graceful shutdown in progress; resubmit elsewhere
+  BadRequest = 9,       // malformed submit payload
+  UnknownWorkload = 10, // workload name not in the server catalog
+  ProtocolViolation = 11,  // e.g. Submit before Hello
+};
+
+const char* to_string(ErrorCode c);
+// Retry guidance: true for transport-class codes where a fresh connection
+// (possibly after backoff) can succeed.
+bool is_retryable(ErrorCode c);
+
+struct HelloPayload {
+  std::uint64_t protocol = kProtocolVersion;
+  std::string client;  // display name, for logs
+};
+
+struct HelloAckPayload {
+  std::uint64_t protocol = kProtocolVersion;
+  std::string server;
+  std::uint64_t max_payload_bytes = 0;  // server frame cap
+  std::uint64_t max_in_flight = 0;      // per-connection request cap
+};
+
+// Engine selector on the wire (matches svc::Engine values).
+inline constexpr std::uint8_t kEngineLevel = 0;
+inline constexpr std::uint8_t kEngineEvent = 1;
+
+struct SubmitPayload {
+  // Idempotency key, scoped per tenant: a resubmission of the same
+  // (tenant, client_job_id) re-attaches to the live job or replays its
+  // cached terminal state instead of re-running. Required, 1..256 bytes.
+  std::string client_job_id;
+  std::string tenant;    // admission identity ("" = untenanted)
+  std::string workload;  // catalog name (server-resident graph)
+  std::uint8_t engine = kEngineLevel;
+  bool degradable = false;
+  // Fault-injection envelope (0 rate = no fault model).
+  std::uint64_t fault_seed = 0;
+  double fault_rate = 0.0;
+  // Robustness envelope, mirroring JobSpec.
+  std::uint64_t deadline_us = 0;
+  std::uint64_t max_steps = 0;
+  std::uint64_t max_attempts = 1;
+  std::uint64_t checkpoint_interval = 0;
+};
+
+// Non-terminal transition notice (also the submit acknowledgement): tells
+// the client its job's current state and the trace id to chase in /tracez.
+struct StatusPayload {
+  std::string client_job_id;
+  std::uint8_t state = 0;  // svc::JobState
+  bool attached = false;   // this submission re-attached to a live job
+  std::uint64_t trace_id = 0;
+};
+
+// Terminal frame. For Completed jobs the deterministic SimResult registry
+// rides along (the caller reconstructs aggregates via SimResult::finalize);
+// rejected/failed jobs carry the state and error text only.
+struct ResultPayload {
+  std::string client_job_id;
+  std::uint8_t state = 0;  // svc::JobState, always terminal
+  std::string error;
+  std::uint64_t attempts = 0;
+  bool degraded = false;
+  bool replayed = false;  // served from the idempotency cache, not a fresh run
+  std::uint64_t trace_id = 0;
+  bool has_result = false;
+  std::string workload;
+  std::string accelerator;
+  obs::Registry registry;  // sim.* counters/gauges of the completed run
+  double sim_time_us = 0.0;
+};
+
+struct ErrorPayload {
+  std::uint16_t code = 0;  // ErrorCode
+  std::string message;
+};
+
+struct DrainPayload {
+  std::string message;
+};
+
+std::vector<std::uint8_t> encode(const HelloPayload& p);
+std::vector<std::uint8_t> encode(const HelloAckPayload& p);
+std::vector<std::uint8_t> encode(const SubmitPayload& p);
+std::vector<std::uint8_t> encode(const StatusPayload& p);
+std::vector<std::uint8_t> encode(const ResultPayload& p);
+std::vector<std::uint8_t> encode(const ErrorPayload& p);
+std::vector<std::uint8_t> encode(const DrainPayload& p);
+
+HelloPayload decode_hello(std::span<const std::uint8_t> bytes);
+HelloAckPayload decode_hello_ack(std::span<const std::uint8_t> bytes);
+SubmitPayload decode_submit(std::span<const std::uint8_t> bytes);
+StatusPayload decode_status(std::span<const std::uint8_t> bytes);
+ResultPayload decode_result(std::span<const std::uint8_t> bytes);
+ErrorPayload decode_error(std::span<const std::uint8_t> bytes);
+DrainPayload decode_drain(std::span<const std::uint8_t> bytes);
+
+}  // namespace alchemist::net

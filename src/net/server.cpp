@@ -1,0 +1,484 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+namespace alchemist::net {
+
+namespace {
+
+// Map a sticky frame-parser failure to the typed rejection the client sees
+// before the connection is dropped. The specific non-retryable codes apply
+// only before the Hello exchange: once the peer has proven it speaks this
+// version within the frame cap, a later bad version byte or hostile length
+// prefix can only be corruption in flight (a chaos kill/flip, a middlebox),
+// and answering it with a fatal VersionMismatch/FrameTooLarge would make the
+// client abandon a job one retry away from success. Post-handshake, every
+// parse failure is the retryable BadFrame: drop the stream, let the
+// idempotency key make the resubmission safe.
+ErrorCode frame_error_code(FrameError e, bool hello_done) {
+  if (hello_done) return ErrorCode::BadFrame;
+  switch (e) {
+    case FrameError::BadVersion: return ErrorCode::VersionMismatch;
+    case FrameError::Oversize: return ErrorCode::FrameTooLarge;
+    default: return ErrorCode::BadFrame;
+  }
+}
+
+}  // namespace
+
+Server::Server(svc::JobRunner& runner, WorkloadCatalog catalog,
+               ServerOptions opts)
+    : runner_(runner),
+      catalog_(std::move(catalog)),
+      opts_(opts),
+      idem_(opts.idempotency_capacity) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  if (started_) return true;
+  if (!listener_.open(opts_.port)) return false;
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::drain(const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (drain_message_.empty()) drain_message_ = message;
+  }
+  draining_.store(true, std::memory_order_release);
+  // Wake the accept thread; connection loops observe the flag on their next
+  // tick and emit the Draining frame themselves.
+  listener_.shutdown();
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> stop_lk(stop_mu_);
+  if (!started_ || joined_) return;
+  drain();
+  stopping_.store(true, std::memory_order_release);
+  // Join the accept thread first: after it exits no new connection thread
+  // can be created, so the swap below captures every live one.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  joined_ = true;
+  listener_.close();
+}
+
+obs::Registry Server::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  obs::Registry copy = reg_;
+  return copy;
+}
+
+std::size_t Server::active_connections() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return active_;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int client = listener_.accept();
+    if (client < 0) return;  // listener shut down (drain/stop)
+    std::uint64_t conn_id = 0;
+    bool refused = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (active_ >= opts_.max_connections) {
+        refused = true;
+        reg_.add(metrics::kRefused, 1);
+      } else {
+        conn_id = next_conn_id_++;
+        ++active_;
+        reg_.add(metrics::kAccepted, 1);
+      }
+    }
+    if (refused) {
+      // Best-effort typed refusal; the frame may not fit in the socket
+      // buffer of a hostile peer, which is fine — we close either way.
+      const auto payload =
+          encode(ErrorPayload{static_cast<std::uint16_t>(ErrorCode::Busy),
+                              "connection limit reached"});
+      const auto frame = encode_frame(FrameType::Error, payload);
+      send_all(client, frame.data(), frame.size());
+      ::close(client);
+      continue;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    conn_threads_.emplace_back(
+        [this, client, conn_id] { handle_connection(client, conn_id); });
+  }
+}
+
+void Server::handle_connection(int fd, std::uint64_t conn_id) {
+  ScopedFd sock(fd);
+  set_recv_timeout(fd, std::chrono::duration_cast<std::chrono::microseconds>(
+                           opts_.tick));
+  set_send_timeout(fd, std::chrono::seconds(5));
+
+  FrameParser parser(opts_.max_payload);
+  bool hello_done = false;
+  bool drain_sent = false;
+  bool closing = false;
+
+  struct Pending {
+    std::string id;
+    svc::JobPtr job;
+    svc::JobState last_sent = svc::JobState::Queued;
+    double accept_ts = 0;  // trace-clock stamp of the submit frame
+  };
+  std::vector<Pending> pending;
+
+  const auto track = "net/conn" + std::to_string(conn_id);
+
+  auto count = [this](const char* name, obs::TagList tags = {}) {
+    std::lock_guard<std::mutex> lk(mu_);
+    reg_.add(name, 1, tags);
+  };
+
+  auto send_frame = [&](FrameType type, std::span<const std::uint8_t> payload) {
+    const auto frame = encode_frame(type, payload);
+    if (!send_all(fd, frame.data(), frame.size())) {
+      closing = true;  // peer gone; EPIPE surfaced as a bool, never a signal
+      return false;
+    }
+    count(metrics::kFramesOut);
+    return true;
+  };
+
+  auto send_error = [&](ErrorCode code, const std::string& msg) {
+    count(metrics::kErrors, {{"code", to_string(code)}});
+    send_frame(FrameType::Error,
+               encode(ErrorPayload{static_cast<std::uint16_t>(code), msg}));
+  };
+
+  // Record a wire-hop span as a *root* of the job's trace: the net hop
+  // brackets the whole server-side job interval, so parenting it under the
+  // runner's job span would break parent-contains-child; a sibling root on
+  // its own net/ track keeps the trace well-formed and the reattach visible.
+  auto record_net_span = [&](const char* name, std::uint64_t trace_id,
+                             double start_ts) {
+    if (opts_.trace == nullptr || trace_id == 0) return;
+    obs::SpanRecord s;
+    s.trace_id = trace_id;
+    s.span_id = obs::mint_span_id(trace_id, 0, name, conn_id);
+    s.parent_span = 0;
+    s.name = name;
+    s.kind = "net";
+    s.track = track;
+    s.ts = start_ts;
+    s.dur = opts_.trace->now_us() - start_ts;
+    opts_.trace->record(std::move(s));
+  };
+
+  auto log_event = [&](obs::Severity sev, std::string msg,
+                       std::uint64_t trace_id = 0) {
+    if (opts_.log == nullptr) return;
+    obs::LogEvent ev;
+    ev.severity = sev;
+    ev.component = "net";
+    ev.message = std::move(msg);
+    ev.trace_id = trace_id;
+    ev.fields.emplace_back("conn", std::to_string(conn_id));
+    opts_.log->record(std::move(ev));
+  };
+
+  auto result_payload = [](const std::string& id, const svc::JobPtr& job,
+                           bool replayed) {
+    ResultPayload rp;
+    rp.client_job_id = id;
+    rp.state = static_cast<std::uint8_t>(job->state());
+    rp.error = job->error();
+    rp.attempts = job->attempts();
+    rp.degraded = job->degraded();
+    rp.replayed = replayed;
+    rp.trace_id = job->trace_context().trace_id;
+    if (job->state() == svc::JobState::Completed) {
+      const sim::SimResult res = job->result();
+      rp.has_result = true;
+      rp.workload = res.workload;
+      rp.accelerator = res.accelerator;
+      rp.registry = res.registry;
+      rp.sim_time_us = res.time_us;
+    }
+    return rp;
+  };
+
+  auto handle_submit = [&](const Frame& f) {
+    SubmitPayload sub;
+    try {
+      sub = decode_submit(f.payload);
+    } catch (const std::exception& e) {
+      // The frame itself was intact (checksum passed); a malformed document
+      // is a request-level error, not a stream desync — keep the connection.
+      send_error(ErrorCode::BadRequest, e.what());
+      return;
+    }
+    if (draining()) {
+      send_error(ErrorCode::Draining, "server is draining");
+      return;
+    }
+    if (pending.size() >= opts_.max_in_flight) {
+      send_error(ErrorCode::TooManyInFlight,
+                 "per-connection in-flight limit reached");
+      return;
+    }
+    const auto cat = catalog_.find(sub.workload);
+    if (cat == catalog_.end()) {
+      send_error(ErrorCode::UnknownWorkload,
+                 "unknown workload: " + sub.workload);
+      return;
+    }
+    const double t0 = opts_.trace != nullptr ? opts_.trace->now_us() : 0.0;
+
+    const auto lookup = idem_.submit(sub.tenant, sub.client_job_id, [&] {
+      svc::JobSpec spec;
+      spec.name = sub.client_job_id;
+      spec.workload_class = sub.workload;
+      spec.tenant = sub.tenant;
+      spec.degradable = sub.degradable;
+      spec.graph = cat->second;
+      spec.config = opts_.config;
+      spec.engine = sub.engine == kEngineEvent ? svc::Engine::Event
+                                               : svc::Engine::Level;
+      if (sub.fault_rate > 0.0) {
+        spec.fault_enabled = true;
+        spec.fault.seed = sub.fault_seed;
+        spec.fault.compute_fault_rate = sub.fault_rate;
+        spec.fault.sram_fault_rate = sub.fault_rate;
+        spec.fault.hbm_fault_rate = sub.fault_rate;
+      }
+      spec.deadline = std::chrono::microseconds(sub.deadline_us);
+      spec.max_steps = sub.max_steps;
+      spec.max_attempts = std::max<std::uint64_t>(1, sub.max_attempts);
+      spec.checkpoint_interval = sub.checkpoint_interval;
+      return runner_.submit(std::move(spec));
+    });
+
+    switch (lookup.outcome) {
+      case IdempotencyTable::Outcome::Busy:
+        send_error(ErrorCode::Busy, "idempotency table full of live jobs");
+        return;
+      case IdempotencyTable::Outcome::Replayed: {
+        count(metrics::kReplayed);
+        count(metrics::kResults);
+        const std::uint64_t tid = lookup.job->trace_context().trace_id;
+        log_event(obs::Severity::Info, "replayed " + sub.client_job_id, tid);
+        send_frame(FrameType::Result,
+                   encode(result_payload(sub.client_job_id, lookup.job, true)));
+        record_net_span("net.replay", tid, t0);
+        return;
+      }
+      case IdempotencyTable::Outcome::Attached: {
+        count(metrics::kAttached);
+        const std::uint64_t tid = lookup.job->trace_context().trace_id;
+        log_event(obs::Severity::Info, "reattached " + sub.client_job_id, tid);
+        StatusPayload st;
+        st.client_job_id = sub.client_job_id;
+        st.state = static_cast<std::uint8_t>(lookup.job->state());
+        st.attached = true;
+        st.trace_id = tid;
+        if (send_frame(FrameType::Status, encode(st))) {
+          pending.push_back(Pending{sub.client_job_id, lookup.job,
+                                    lookup.job->state(), t0});
+        }
+        record_net_span("net.reattach", tid, t0);
+        return;
+      }
+      case IdempotencyTable::Outcome::Fresh:
+        break;
+    }
+
+    count(metrics::kSubmitted);
+    const std::uint64_t tid = lookup.job->trace_context().trace_id;
+    const svc::JobState st0 = lookup.job->state();
+    if (st0 == svc::JobState::Shed || st0 == svc::JobState::CircuitOpen ||
+        st0 == svc::JobState::QuotaExceeded) {
+      // Rejected at admission: the job never ran and the refusal is
+      // retryable by design, so the key must not be pinned to it. (A job
+      // that merely *finished* before this check stays cached — a tiny job
+      // can legally turn terminal between submit() and here, and evicting
+      // it would break the replay guarantee.)
+      idem_.forget(sub.tenant, sub.client_job_id, lookup.job);
+      count(metrics::kResults);
+      log_event(obs::Severity::Warn,
+                "rejected " + sub.client_job_id + ": " + svc::to_string(st0),
+                tid);
+      send_frame(FrameType::Result,
+                 encode(result_payload(sub.client_job_id, lookup.job, false)));
+      record_net_span("net.submit", tid, t0);
+      return;
+    }
+    log_event(obs::Severity::Info, "admitted " + sub.client_job_id, tid);
+    StatusPayload st;
+    st.client_job_id = sub.client_job_id;
+    st.state = static_cast<std::uint8_t>(lookup.job->state());
+    st.attached = false;
+    st.trace_id = tid;
+    if (send_frame(FrameType::Status, encode(st))) {
+      pending.push_back(
+          Pending{sub.client_job_id, lookup.job, lookup.job->state(), t0});
+    }
+    record_net_span("net.submit", tid, t0);
+  };
+
+  auto handle_frame = [&](const Frame& f) {
+    count(metrics::kFramesIn);
+    if (!hello_done && f.type != FrameType::Hello) {
+      send_error(ErrorCode::ProtocolViolation, "expected hello first");
+      closing = true;
+      return;
+    }
+    switch (f.type) {
+      case FrameType::Hello: {
+        HelloPayload hello;
+        try {
+          hello = decode_hello(f.payload);
+        } catch (const std::exception& e) {
+          send_error(ErrorCode::BadRequest, e.what());
+          closing = true;
+          return;
+        }
+        if (hello.protocol != kProtocolVersion) {
+          send_error(ErrorCode::VersionMismatch,
+                     "unsupported protocol version");
+          closing = true;
+          return;
+        }
+        hello_done = true;
+        HelloAckPayload ack;
+        ack.server = opts_.name;
+        ack.max_payload_bytes = opts_.max_payload;
+        ack.max_in_flight = opts_.max_in_flight;
+        send_frame(FrameType::HelloAck, encode(ack));
+        return;
+      }
+      case FrameType::Submit:
+        handle_submit(f);
+        return;
+      case FrameType::Ping:
+        send_frame(FrameType::Pong, f.payload);
+        return;
+      case FrameType::Pong:
+        return;  // tolerated: reply to a server Ping
+      case FrameType::Bye:
+        closing = true;
+        return;
+      default:
+        // Server-to-client frame types arriving here are a protocol breach.
+        send_error(ErrorCode::ProtocolViolation,
+                   std::string("unexpected frame: ") + to_string(f.type));
+        closing = true;
+        return;
+    }
+  };
+
+  std::array<std::uint8_t, 4096> buf;
+  auto last_activity = std::chrono::steady_clock::now();
+  auto partial_since = last_activity;
+  bool partial = false;
+
+  while (!closing && !stopping_.load(std::memory_order_acquire)) {
+    if (draining() && !drain_sent) {
+      drain_sent = true;
+      count(metrics::kDrainNotices);
+      std::string msg;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        msg = drain_message_;
+      }
+      send_frame(FrameType::Drain, encode(DrainPayload{msg}));
+    }
+
+    std::size_t got = 0;
+    const RecvStatus rs = recv_some(fd, buf.data(), buf.size(), got);
+    const auto now = std::chrono::steady_clock::now();
+    if (rs == RecvStatus::Data) {
+      parser.feed(std::span<const std::uint8_t>(buf.data(), got));
+      last_activity = now;
+    } else if (rs == RecvStatus::Closed || rs == RecvStatus::Error) {
+      break;
+    }
+
+    Frame f;
+    while (!closing) {
+      const FrameError fe = parser.next(f);
+      if (fe == FrameError::None) {
+        handle_frame(f);
+        continue;
+      }
+      if (fe == FrameError::NeedMore) break;
+      count(metrics::kBadFrames, {{"error", to_string(fe)}});
+      log_event(obs::Severity::Warn,
+                std::string("bad frame: ") + to_string(fe));
+      send_error(frame_error_code(fe, hello_done), to_string(fe));
+      closing = true;
+    }
+    if (closing) break;
+
+    // Partial-frame read deadline: a peer that started a frame must finish
+    // it within read_deadline (the 408 analogue for binary framing).
+    if (parser.buffered() > 0) {
+      if (!partial) {
+        partial = true;
+        partial_since = now;
+      } else if (now - partial_since > opts_.read_deadline) {
+        send_error(ErrorCode::ReadTimeout, "partial frame read deadline");
+        break;
+      }
+    } else {
+      partial = false;
+    }
+
+    // Stream pending job transitions; deliver terminal Results.
+    for (auto it = pending.begin(); it != pending.end();) {
+      const svc::JobState st = it->job->state();
+      if (svc::is_terminal(st)) {
+        count(metrics::kResults);
+        send_frame(FrameType::Result,
+                   encode(result_payload(it->id, it->job, false)));
+        record_net_span("net.submit.done", it->job->trace_context().trace_id,
+                        it->accept_ts);
+        it = pending.erase(it);
+        continue;
+      }
+      if (st != it->last_sent) {
+        StatusPayload sp;
+        sp.client_job_id = it->id;
+        sp.state = static_cast<std::uint8_t>(st);
+        sp.trace_id = it->job->trace_context().trace_id;
+        send_frame(FrameType::Status, encode(sp));
+        it->last_sent = st;
+      }
+      ++it;
+    }
+
+    if (pending.empty()) {
+      if (draining() && drain_sent) break;  // drained and nothing owed
+      if (now - last_activity > opts_.idle_timeout) {
+        send_error(ErrorCode::IdleTimeout, "idle connection");
+        break;
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    reg_.add(metrics::kClosed, 1);
+    --active_;
+  }
+  log_event(obs::Severity::Debug, "connection closed");
+}
+
+}  // namespace alchemist::net

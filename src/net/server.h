@@ -1,0 +1,155 @@
+// TCP job-submission server: the network front door of the serving layer.
+//
+// One accept thread plus one thread per connection (bounded by
+// ServerOptions::max_connections) speak the framed protocol of net/frame.h /
+// net/protocol.h in front of a svc::JobRunner the embedder owns. The server
+// adds three things the in-process submit() path does not need:
+//
+//   * Connection lifecycle hardening. Every blocking read is bounded: a
+//     partial frame older than `read_deadline` is answered with a typed
+//     ReadTimeout error (the introspection server's 408 analogue), a
+//     connection with no traffic and nothing in flight longer than
+//     `idle_timeout` is closed with IdleTimeout, a frame whose declared
+//     payload exceeds `max_payload` is refused as FrameTooLarge before any
+//     buffering (the 431 analogue), and per-connection in-flight requests are
+//     capped. All I/O goes through net/socket.h: EINTR-safe, SIGPIPE-free.
+//
+//   * Exactly-once resubmission. Submissions carry a client idempotency key;
+//     the IdempotencyTable maps (tenant, client_job_id) to the job handle so
+//     a retry after a torn connection re-attaches to the live job or replays
+//     the cached terminal state — the job never runs twice and admission is
+//     never charged twice. Admission rejections are not cached (retryable).
+//
+//   * Graceful drain. drain() stops the listener, notifies every connection
+//     with a typed Draining frame, refuses new submissions (ErrorCode::
+//     Draining) and lets in-flight jobs run to terminal — their Result frames
+//     still deliver. stop() then force-closes whatever remains.
+//
+// Clients name workloads from a server-resident catalog instead of shipping
+// graphs: expensive state stays on the server the way evaluation keys stay
+// accelerator-resident in ARK, and the wire payload stays small.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/config.h"
+#include "metaop/op_graph.h"
+#include "net/frame.h"
+#include "net/idempotency.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "obs/log.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "svc/job_runner.h"
+
+namespace alchemist::net {
+
+// net.* metric names exported by Server::snapshot().
+namespace metrics {
+inline constexpr const char* kAccepted = "net.accepted";
+inline constexpr const char* kRefused = "net.refused";  // at-capacity accepts
+inline constexpr const char* kClosed = "net.closed";
+inline constexpr const char* kFramesIn = "net.frames_in";
+inline constexpr const char* kFramesOut = "net.frames_out";
+inline constexpr const char* kBadFrames = "net.bad_frames";  // + {error=}
+inline constexpr const char* kErrors = "net.errors";         // + {code=}
+inline constexpr const char* kSubmitted = "net.submitted";   // fresh submits
+inline constexpr const char* kAttached = "net.attached";
+inline constexpr const char* kReplayed = "net.replayed";
+inline constexpr const char* kResults = "net.results";
+inline constexpr const char* kDrainNotices = "net.drain_notices";
+}  // namespace metrics
+
+// Server-resident graphs a remote submission may name.
+using WorkloadCatalog =
+    std::map<std::string, std::shared_ptr<const metaop::OpGraph>>;
+
+struct ServerOptions {
+  int port = 0;  // 0 = ephemeral; resolved via Server::port()
+  std::string name = "alchemist-net";
+  std::size_t max_connections = 32;
+  std::size_t max_in_flight = 8;  // per-connection pending submissions
+  std::size_t max_payload = kDefaultMaxPayload;
+  // Partial-frame read deadline (408-style) and no-traffic idle timeout.
+  std::chrono::milliseconds read_deadline{2000};
+  std::chrono::milliseconds idle_timeout{30000};
+  // Poll granularity of the per-connection loop (recv timeout slice; also
+  // bounds how stale a pending job's streamed Status can be).
+  std::chrono::milliseconds tick{20};
+  std::size_t idempotency_capacity = 1024;
+  // Machine configuration applied to every remote job.
+  arch::ArchConfig config = arch::ArchConfig::alchemist();
+  // Optional observability taps, not owned; must outlive the server. Net
+  // spans are recorded as trace *roots* sharing the job's trace id, so the
+  // wire hop is visible in the same trace without perturbing the runner's
+  // span tree.
+  obs::TraceSink* trace = nullptr;
+  obs::EventLog* log = nullptr;
+};
+
+class Server {
+ public:
+  Server(svc::JobRunner& runner, WorkloadCatalog catalog, ServerOptions opts);
+  ~Server();  // stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Bind + listen + start the accept thread. False (with error()) on failure.
+  bool start();
+
+  // Graceful drain: stop accepting connections, send every live connection a
+  // Draining frame, refuse new submissions. In-flight jobs keep running and
+  // their Result frames still deliver. Idempotent.
+  void drain(const std::string& message = "server draining");
+
+  // drain() + force-close remaining connections + join all threads. After
+  // stop() the runner still owns any jobs that were admitted. Idempotent.
+  void stop();
+
+  bool started() const { return started_; }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  int port() const { return listener_.port(); }
+  const std::string& error() const { return listener_.error(); }
+
+  // Point-in-time copy of the net.* registry.
+  obs::Registry snapshot() const;
+  std::size_t active_connections() const;
+  const IdempotencyTable& idempotency() const { return idem_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd, std::uint64_t conn_id);
+
+  svc::JobRunner& runner_;
+  WorkloadCatalog catalog_;
+  ServerOptions opts_;
+  IdempotencyTable idem_;
+  Listener listener_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::mutex stop_mu_;   // serializes the one-time join in stop()
+  bool joined_ = false;  // guarded by stop_mu_
+
+  mutable std::mutex mu_;  // registry, thread bookkeeping, drain message
+  std::string drain_message_;
+  obs::Registry reg_;
+  std::size_t active_ = 0;
+  std::uint64_t next_conn_id_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace alchemist::net

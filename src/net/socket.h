@@ -1,0 +1,227 @@
+// Shared POSIX socket plumbing for the loopback serving stack.
+//
+// Both network front ends — the HTTP introspection window
+// (svc::IntrospectionServer) and the binary job-submission server
+// (net::Server) — need the same handful of hardened primitives, so they live
+// here once instead of being re-derived per server:
+//
+//   * EINTR-safe, SIGPIPE-safe I/O: send_all() loops partial writes with
+//     MSG_NOSIGNAL (a client that closed mid-response must surface as an
+//     error return, never kill the process), recv_some() retries EINTR and
+//     reports timeouts distinctly from peer closes.
+//   * Deadline plumbing: set_recv_timeout()/set_send_timeout() arm the
+//     kernel SO_RCVTIMEO/SO_SNDTIMEO clocks that bound every blocking call;
+//     a trickling client can stretch one recv() but the callers also check
+//     total elapsed wall time.
+//   * Listener lifecycle: bind/listen on loopback (optionally port 0 for an
+//     ephemeral port, resolved via port()), accept with EINTR retry, and a
+//     shutdown() that provably wakes a blocked accept() — close() alone is
+//     not guaranteed to on Linux.
+//
+// Header-only by design: svc depends on these helpers while net's server
+// library depends on svc, so a net -> svc -> net library cycle is avoided by
+// keeping this layer free of a .cpp.
+#pragma once
+
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace alchemist::net {
+
+// Outcome of one recv_some() call, disambiguating the three non-data cases
+// callers must treat differently.
+enum class RecvStatus : std::uint8_t {
+  Data,      // >= 1 byte read
+  Closed,    // orderly peer shutdown (recv returned 0)
+  TimedOut,  // SO_RCVTIMEO expired (EAGAIN/EWOULDBLOCK)
+  Error,     // hard socket error
+};
+
+// Arm the kernel receive timeout; a zero duration disables it (blocking).
+inline void set_recv_timeout(int fd, std::chrono::microseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(timeout.count() % 1'000'000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+inline void set_send_timeout(int fd, std::chrono::microseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(timeout.count() % 1'000'000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+// One bounded read. Retries EINTR; never raises SIGPIPE (reads cannot).
+inline RecvStatus recv_some(int fd, void* buf, std::size_t cap,
+                            std::size_t& got) {
+  got = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n > 0) {
+      got = static_cast<std::size_t>(n);
+      return RecvStatus::Data;
+    }
+    if (n == 0) return RecvStatus::Closed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvStatus::TimedOut;
+    return RecvStatus::Error;
+  }
+}
+
+// Write the whole buffer or fail. MSG_NOSIGNAL turns a peer that closed
+// mid-response into EPIPE (false return) instead of a process-killing
+// SIGPIPE; EINTR retries; partial writes loop.
+inline bool send_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EPIPE, timeout, reset — the caller drops the connection
+  }
+  return true;
+}
+
+// Loopback TCP listener with the shutdown-to-wake-accept idiom. Non-copyable;
+// close() (or destruction) is idempotent.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Bind 127.0.0.1:port (0 = ephemeral) and listen. On failure ok() is false
+  // and error() holds the errno message; the caller decides whether that is
+  // fatal (a serving binary may keep running without its operator window).
+  bool open(int port, int backlog = 16) {
+    close();
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      error_ = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(fd, backlog) < 0) {
+      error_ = std::string("bind/listen: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      port_ = ntohs(addr.sin_port);
+    }
+    fd_ = fd;
+    return true;
+  }
+
+  // Blocking accept with EINTR retry. Returns the client fd, or -1 once the
+  // listener was shut down (or on a hard error).
+  int accept() const {
+    for (;;) {
+      const int client = ::accept(fd_, nullptr, nullptr);
+      if (client >= 0) return client;
+      if (errno == EINTR) continue;
+      return -1;
+    }
+  }
+
+  // Wake any thread blocked in accept() without closing the fd (the owner
+  // thread still needs it to observe the shutdown and exit cleanly).
+  void shutdown() const {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  // Bound port (resolves 0 to the ephemeral port actually bound).
+  int port() const { return port_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+  std::string error_;
+};
+
+// Blocking loopback connect with a wall-clock timeout (non-blocking connect +
+// poll-free wait via SO_SNDTIMEO is unreliable across platforms; a plain
+// blocking connect to loopback resolves immediately, so the timeout only
+// guards a listener whose backlog is full). Returns the fd or -1.
+inline int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return -1;
+  }
+}
+
+// RAII wrapper for an accepted/connected socket.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace alchemist::net

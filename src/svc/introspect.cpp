@@ -1,16 +1,9 @@
 #include "svc/introspect.h"
 
-#include <cerrno>
 #include <chrono>
 #include <cstdlib>
-#include <cstring>
 #include <map>
 #include <sstream>
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include "obs/json.h"
 #include "obs/prometheus.h"
@@ -131,57 +124,35 @@ IntrospectionServer::IntrospectionServer(int port, MetricsFn metrics,
                                          StatusFn status,
                                          IntrospectionOptions opts)
     : metrics_(std::move(metrics)), status_(std::move(status)), opts_(opts) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    error_ = std::string("socket: ") + std::strerror(errno);
-    return;
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(fd, 8) < 0) {
-    error_ = std::string("bind/listen: ") + std::strerror(errno);
-    ::close(fd);
-    return;
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
-    port_ = ntohs(addr.sin_port);
-  }
-  listen_fd_ = fd;
+  if (!listener_.open(port, /*backlog=*/8)) return;
   thread_ = std::thread([this] { serve_loop(); });
 }
 
 IntrospectionServer::~IntrospectionServer() {
-  if (listen_fd_ < 0) return;
+  if (!listener_.ok()) return;
   stopping_.store(true);
-  // shutdown() wakes the blocked accept(); close() alone is not guaranteed to.
-  ::shutdown(listen_fd_, SHUT_RDWR);
+  // Listener::shutdown() wakes the blocked accept(); close() alone is not
+  // guaranteed to.
+  listener_.shutdown();
   thread_.join();
-  ::close(listen_fd_);
+  listener_.close();
 }
 
 void IntrospectionServer::serve_loop() {
   for (;;) {
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      if (stopping_.load()) return;
-      if (errno == EINTR) continue;
-      return;  // listener broken; introspection goes dark, service lives on
+    const int fd = listener_.accept();
+    if (fd < 0) {
+      // Shut down, or listener broken; introspection goes dark, service
+      // lives on (accept() already retried EINTR).
+      return;
     }
+    net::ScopedFd client(fd);
     // Bounded read: headers only, no bodies. The kernel receive timeout is
     // the whole-request deadline — a client trickling bytes can stretch it
     // per recv(), so the loop also checks total elapsed wall time.
-    const auto deadline_us = std::chrono::duration_cast<std::chrono::microseconds>(
-        opts_.read_deadline);
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(deadline_us.count() / 1'000'000);
-    tv.tv_usec = static_cast<suseconds_t>(deadline_us.count() % 1'000'000);
-    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    net::set_recv_timeout(
+        client.get(), std::chrono::duration_cast<std::chrono::microseconds>(
+                          opts_.read_deadline));
     const auto start = std::chrono::steady_clock::now();
     std::string request;
     char buf[1024];
@@ -200,13 +171,15 @@ void IntrospectionServer::serve_loop() {
         too_large = true;
         break;
       }
-      const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      std::size_t got = 0;
+      const net::RecvStatus rs =
+          net::recv_some(client.get(), buf, sizeof(buf), got);
+      if (rs == net::RecvStatus::TimedOut) {
         timed_out = true;
         break;
       }
-      if (n <= 0) break;
-      request.append(buf, static_cast<std::size_t>(n));
+      if (rs != net::RecvStatus::Data) break;
+      request.append(buf, got);
       if (std::chrono::steady_clock::now() - start >= opts_.read_deadline) {
         timed_out = request.find("\r\n\r\n") == std::string::npos;
         break;
@@ -223,14 +196,10 @@ void IntrospectionServer::serve_loop() {
     } else {
       response = handle(request_target(request));
     }
-    std::size_t sent = 0;
-    while (sent < response.size()) {
-      const ssize_t n =
-          ::send(client, response.data() + sent, response.size() - sent, 0);
-      if (n <= 0) break;
-      sent += static_cast<std::size_t>(n);
-    }
-    ::close(client);
+    // send_all: SIGPIPE-free (MSG_NOSIGNAL) with EINTR retry — a client that
+    // closed mid-response must not kill the process. The old inline loop
+    // lacked both guards.
+    net::send_all(client.get(), response.data(), response.size());
     if (stopping_.load()) return;
   }
 }

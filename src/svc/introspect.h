@@ -37,6 +37,7 @@
 #include <string>
 #include <thread>
 
+#include "net/socket.h"
 #include "obs/log.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -76,10 +77,10 @@ class IntrospectionServer {
   IntrospectionServer(const IntrospectionServer&) = delete;
   IntrospectionServer& operator=(const IntrospectionServer&) = delete;
 
-  bool ok() const { return listen_fd_ >= 0; }
+  bool ok() const { return listener_.ok(); }
   // Bound port (resolves 0 to the ephemeral port actually bound).
-  int port() const { return port_; }
-  const std::string& error() const { return error_; }
+  int port() const { return listener_.port(); }
+  const std::string& error() const { return listener_.error(); }
 
  private:
   void serve_loop();
@@ -88,9 +89,9 @@ class IntrospectionServer {
   MetricsFn metrics_;
   StatusFn status_;
   IntrospectionOptions opts_;
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::string error_;
+  // Shared loopback socket plumbing (net/socket.h): EINTR-safe accept with
+  // the shutdown-to-wake idiom, deadline-bounded recv, SIGPIPE-free send.
+  net::Listener listener_;
   std::atomic<bool> stopping_{false};
   std::thread thread_;
 };

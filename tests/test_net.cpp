@@ -1,0 +1,696 @@
+// The TCP job protocol end to end: exactly-once resubmission semantics of
+// the IdempotencyTable, the Server's connection-lifecycle hardening (version
+// mismatch, oversize frames, drain), the retrying Client, and the seeded
+// determinism of the chaos proxy's fault plans.
+//
+// The admission-accounting regression at the heart of the idempotency design:
+// a duplicate submission of the same (tenant, client_job_id) must return the
+// cached terminal state WITHOUT re-charging admission — svc.submitted and the
+// svc.tenant.* counters move once per key, never once per wire submission.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/chaos.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/idempotency.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "svc/job_runner.h"
+#include "workloads/ckks_workloads.h"
+
+namespace alchemist {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<const metaop::OpGraph> shared_graph(metaop::OpGraph g) {
+  return std::make_shared<const metaop::OpGraph>(std::move(g));
+}
+
+std::shared_ptr<const metaop::OpGraph> keyswitch_graph() {
+  return shared_graph(workloads::build_keyswitch(workloads::CkksWl::paper(16)));
+}
+
+svc::JobSpec tiny_spec(const std::string& name) {
+  svc::JobSpec spec;
+  spec.name = name;
+  spec.graph = keyswitch_graph();
+  return spec;
+}
+
+// Client options tuned for tests: fast ticks, tight backoff, no real sleeps
+// longer than a few ms.
+net::ClientOptions fast_client(int port, std::size_t attempts = 8) {
+  net::ClientOptions copts;
+  copts.port = port;
+  copts.tick = 5ms;
+  copts.response_timeout = 10s;
+  copts.max_attempts = attempts;
+  copts.backoff.base_us = 200;
+  copts.backoff.cap_us = 2000;
+  copts.backoff.jitter = 0.0;
+  return copts;
+}
+
+// ------------------------------------------------------ IdempotencyTable --
+
+TEST(IdempotencyTable, FreshThenAttachedThenReplayed) {
+  svc::RunnerOptions ropts;
+  ropts.workers = 1;
+  ropts.start_paused = true;  // keep the first submission live (Queued)
+  svc::JobRunner runner(ropts);
+  net::IdempotencyTable table(8);
+
+  int makes = 0;
+  auto make = [&] {
+    ++makes;
+    return runner.submit(tiny_spec("idem"));
+  };
+
+  const auto first = table.submit("t", "job-1", make);
+  EXPECT_EQ(first.outcome, net::IdempotencyTable::Outcome::Fresh);
+  ASSERT_NE(first.job, nullptr);
+  EXPECT_EQ(makes, 1);
+
+  // Duplicate while live: re-attach to the same handle, make() not called.
+  const auto dup = table.submit("t", "job-1", make);
+  EXPECT_EQ(dup.outcome, net::IdempotencyTable::Outcome::Attached);
+  EXPECT_EQ(dup.job, first.job);
+  EXPECT_EQ(makes, 1);
+
+  runner.set_paused(false);
+  first.job->wait();
+  ASSERT_EQ(first.job->state(), svc::JobState::Completed);
+
+  // Duplicate after terminal: replay the cached state, still no new run.
+  const auto replay = table.submit("t", "job-1", make);
+  EXPECT_EQ(replay.outcome, net::IdempotencyTable::Outcome::Replayed);
+  EXPECT_EQ(replay.job, first.job);
+  EXPECT_EQ(makes, 1);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(IdempotencyTable, KeysAreScopedPerTenant) {
+  svc::RunnerOptions ropts;
+  ropts.workers = 1;
+  ropts.start_paused = true;
+  svc::JobRunner runner(ropts);
+  net::IdempotencyTable table(8);
+  auto make = [&] { return runner.submit(tiny_spec("scoped")); };
+
+  const auto a = table.submit("tenant-a", "same-id", make);
+  const auto b = table.submit("tenant-b", "same-id", make);
+  EXPECT_EQ(a.outcome, net::IdempotencyTable::Outcome::Fresh);
+  EXPECT_EQ(b.outcome, net::IdempotencyTable::Outcome::Fresh);
+  EXPECT_NE(a.job, b.job);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(IdempotencyTable, ForgetDropsOnlyTheMatchingMapping) {
+  svc::RunnerOptions ropts;
+  ropts.workers = 1;
+  ropts.start_paused = true;
+  svc::JobRunner runner(ropts);
+  net::IdempotencyTable table(8);
+  auto make = [&] { return runner.submit(tiny_spec("forget")); };
+
+  const auto first = table.submit("", "k", make);
+  // forget() with a different job handle is a no-op (a concurrent duplicate
+  // may have replaced the entry between reject and forget).
+  const auto other = runner.submit(tiny_spec("other"));
+  table.forget("", "k", other);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.submit("", "k", make).outcome,
+            net::IdempotencyTable::Outcome::Attached);
+
+  table.forget("", "k", first.job);
+  EXPECT_EQ(table.size(), 0u);
+  // The key is resubmittable: a new run, exactly the retryable-rejection flow.
+  EXPECT_EQ(table.submit("", "k", make).outcome,
+            net::IdempotencyTable::Outcome::Fresh);
+}
+
+TEST(IdempotencyTable, BoundedUnderCallerControlledKeysEvictsTerminalLru) {
+  // Terminal handles cost nothing to make: a shut-down runner sheds every
+  // submission into an immediately-terminal state.
+  svc::JobRunner runner(svc::RunnerOptions{});
+  runner.shutdown();
+  auto make = [&] { return runner.submit(tiny_spec("shed")); };
+
+  net::IdempotencyTable table(4);
+  for (int i = 0; i < 32; ++i) {
+    const auto got =
+        table.submit("", "burner-" + std::to_string(i), make);
+    EXPECT_EQ(got.outcome, net::IdempotencyTable::Outcome::Fresh);
+    ASSERT_NE(got.job, nullptr);
+    ASSERT_TRUE(got.job->terminal());
+    EXPECT_LE(table.size(), 4u);
+  }
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_EQ(table.evictions(), 28u);
+
+  // LRU order: the survivors are the most recently touched keys, so the
+  // oldest key restarts Fresh while the newest replays.
+  int makes_before = 0;
+  auto counting = [&] {
+    ++makes_before;
+    return runner.submit(tiny_spec("again"));
+  };
+  EXPECT_EQ(table.submit("", "burner-31", counting).outcome,
+            net::IdempotencyTable::Outcome::Replayed);
+  EXPECT_EQ(makes_before, 0);
+  EXPECT_EQ(table.submit("", "burner-0", counting).outcome,
+            net::IdempotencyTable::Outcome::Fresh);
+  EXPECT_EQ(makes_before, 1);
+}
+
+TEST(IdempotencyTable, RefusesBusyRatherThanEvictingLiveEntries) {
+  svc::RunnerOptions ropts;
+  ropts.workers = 1;
+  ropts.start_paused = true;  // every submission stays live
+  svc::JobRunner runner(ropts);
+  int makes = 0;
+  auto make = [&] {
+    ++makes;
+    return runner.submit(tiny_spec("live"));
+  };
+
+  net::IdempotencyTable table(2);
+  EXPECT_EQ(table.submit("", "a", make).outcome,
+            net::IdempotencyTable::Outcome::Fresh);
+  EXPECT_EQ(table.submit("", "b", make).outcome,
+            net::IdempotencyTable::Outcome::Fresh);
+
+  const auto refused = table.submit("", "c", make);
+  EXPECT_EQ(refused.outcome, net::IdempotencyTable::Outcome::Busy);
+  EXPECT_EQ(refused.job, nullptr);
+  EXPECT_EQ(makes, 2);  // make() must not run for a refused submission
+
+  // Existing keys still resolve while the table is full.
+  EXPECT_EQ(table.submit("", "a", make).outcome,
+            net::IdempotencyTable::Outcome::Attached);
+}
+
+// -------------------------------------------------------------- raw wire --
+
+// Minimal hand-rolled protocol speaker for the lifecycle tests the retrying
+// Client deliberately papers over (version mismatch, oversize, reattach).
+struct RawConn {
+  net::ScopedFd fd;
+  net::FrameParser parser;
+
+  explicit RawConn(int port) : fd(net::connect_loopback(port)) {
+    if (fd.valid()) net::set_recv_timeout(fd.get(), 20000us);
+  }
+
+  bool send(net::FrameType type, std::span<const std::uint8_t> payload,
+            std::uint8_t version = net::kProtocolVersion) {
+    const auto frame = net::encode_frame(type, payload, version);
+    return net::send_all(fd.get(), frame.data(), frame.size());
+  }
+
+  // Waits for the next frame; false on close/timeout/parse failure.
+  bool recv_frame(net::Frame& out, std::chrono::milliseconds timeout = 5000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::array<std::uint8_t, 4096> buf;
+    for (;;) {
+      if (parser.next(out) == net::FrameError::None) return true;
+      if (parser.failed()) return false;
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::size_t got = 0;
+      const auto rs = net::recv_some(fd.get(), buf.data(), buf.size(), got);
+      if (rs == net::RecvStatus::Data) {
+        parser.feed(std::span<const std::uint8_t>(buf.data(), got));
+      } else if (rs != net::RecvStatus::TimedOut) {
+        // Peer closed: drain whatever was already buffered.
+        if (parser.next(out) == net::FrameError::None) return true;
+        return false;
+      }
+    }
+  }
+
+  bool handshake() {
+    net::HelloPayload hello;
+    hello.client = "raw-test";
+    if (!send(net::FrameType::Hello, net::encode(hello))) return false;
+    net::Frame f;
+    return recv_frame(f) && f.type == net::FrameType::HelloAck;
+  }
+};
+
+struct ServerFixture {
+  obs::TraceSink sink;  // trace ids on the wire require a tracing runner
+  svc::JobRunner runner;
+  net::Server server;
+
+  explicit ServerFixture(svc::RunnerOptions ropts = make_runner_opts(),
+                         net::ServerOptions sopts = make_server_opts())
+      : runner(with_trace(ropts, sink)),
+        server(runner, {{"keyswitch", keyswitch_graph()}}, sopts) {}
+
+  static svc::RunnerOptions make_runner_opts() {
+    svc::RunnerOptions r;
+    r.workers = 2;
+    return r;
+  }
+  static net::ServerOptions make_server_opts() {
+    net::ServerOptions s;
+    s.tick = 5ms;
+    return s;
+  }
+  static svc::RunnerOptions with_trace(svc::RunnerOptions r,
+                                       obs::TraceSink& sink) {
+    r.trace = &sink;
+    return r;
+  }
+};
+
+// ------------------------------------------------------------ server e2e --
+
+TEST(NetServer, CompletesAJobEndToEnd) {
+  ServerFixture fx;
+  ASSERT_TRUE(fx.server.start()) << fx.server.error();
+
+  net::Client client(fast_client(fx.server.port()));
+  net::SubmitPayload sub;
+  sub.client_job_id = "e2e-1";
+  sub.workload = "keyswitch";
+  const auto out = client.run(sub);
+  ASSERT_TRUE(out.delivered) << out.error;
+  EXPECT_EQ(static_cast<svc::JobState>(out.state), svc::JobState::Completed);
+  ASSERT_TRUE(out.has_result);
+  EXPECT_GT(out.result.cycles, 0u);
+  EXPECT_FALSE(out.replayed);
+  EXPECT_NE(out.trace_id, 0u);
+
+  const auto reg = fx.server.snapshot();
+  EXPECT_EQ(reg.counter(net::metrics::kSubmitted), 1u);
+  EXPECT_EQ(reg.counter(net::metrics::kResults), 1u);
+  EXPECT_EQ(reg.counter(net::metrics::kAccepted), 1u);
+}
+
+TEST(NetServer, DuplicateSubmitReplaysWithoutRechargingAdmission) {
+  ServerFixture fx;
+  ASSERT_TRUE(fx.server.start()) << fx.server.error();
+
+  net::SubmitPayload sub;
+  sub.client_job_id = "dup-1";
+  sub.tenant = "acme";
+  sub.workload = "keyswitch";
+
+  net::Client client(fast_client(fx.server.port()));
+  const auto first = client.run(sub);
+  ASSERT_TRUE(first.delivered) << first.error;
+  ASSERT_EQ(static_cast<svc::JobState>(first.state), svc::JobState::Completed);
+
+  // Resubmission of the same (tenant, client_job_id): the cached terminal
+  // replays — bit-identical result, no second run, no second charge.
+  const auto again = client.run(sub);
+  ASSERT_TRUE(again.delivered) << again.error;
+  EXPECT_TRUE(again.replayed);
+  EXPECT_EQ(again.trace_id, first.trace_id);
+  ASSERT_TRUE(again.has_result);
+  EXPECT_EQ(again.result.registry.counters(), first.result.registry.counters());
+
+  // Admission accounting moved exactly once. Tenant names outside the policy
+  // table coalesce under the reserved "_other" label.
+  const auto reg = fx.runner.snapshot();
+  EXPECT_EQ(reg.counter(svc::metrics::kSubmitted), 1u);
+  EXPECT_EQ(reg.counter(svc::metrics::kAdmitted), 1u);
+  EXPECT_EQ(reg.counter(svc::metrics::kCompleted), 1u);
+  EXPECT_EQ(
+      reg.counter(svc::metrics::kTenantSubmitted, {{"tenant", "_other"}}), 1u);
+  EXPECT_EQ(
+      reg.counter(svc::metrics::kTenantAdmitted, {{"tenant", "_other"}}), 1u);
+  EXPECT_EQ(reg.counter(svc::metrics::kTenantTerminal,
+                        {{"state", "completed"}, {"tenant", "_other"}}),
+            1u);
+
+  const auto net_reg = fx.server.snapshot();
+  EXPECT_EQ(net_reg.counter(net::metrics::kSubmitted), 1u);
+  EXPECT_EQ(net_reg.counter(net::metrics::kReplayed), 1u);
+  EXPECT_EQ(net_reg.counter(net::metrics::kResults), 2u);
+}
+
+TEST(NetServer, ReattachJoinsTheLiveJobAndItsTrace) {
+  // The torn-response half of exactly-once: connection dies after the server
+  // admits the job; the resubmission must re-attach (attached=true), share
+  // the original trace id, and deliver a RESULT that was run exactly once.
+  svc::RunnerOptions ropts = ServerFixture::make_runner_opts();
+  ropts.start_paused = true;  // hold the job live across the reconnect
+  ServerFixture fx(ropts);
+  ASSERT_TRUE(fx.server.start()) << fx.server.error();
+
+  net::SubmitPayload sub;
+  sub.client_job_id = "reattach-1";
+  sub.workload = "keyswitch";
+
+  std::uint64_t first_trace = 0;
+  {
+    RawConn conn(fx.server.port());
+    ASSERT_TRUE(conn.fd.valid());
+    ASSERT_TRUE(conn.handshake());
+    ASSERT_TRUE(conn.send(net::FrameType::Submit, net::encode(sub)));
+    net::Frame f;
+    ASSERT_TRUE(conn.recv_frame(f));
+    ASSERT_EQ(f.type, net::FrameType::Status);
+    const auto st = net::decode_status(f.payload);
+    EXPECT_FALSE(st.attached);
+    first_trace = st.trace_id;
+    EXPECT_NE(first_trace, 0u);
+  }  // connection torn here, job still queued
+
+  RawConn conn2(fx.server.port());
+  ASSERT_TRUE(conn2.fd.valid());
+  ASSERT_TRUE(conn2.handshake());
+  ASSERT_TRUE(conn2.send(net::FrameType::Submit, net::encode(sub)));
+  net::Frame f;
+  ASSERT_TRUE(conn2.recv_frame(f));
+  ASSERT_EQ(f.type, net::FrameType::Status);
+  const auto st2 = net::decode_status(f.payload);
+  EXPECT_TRUE(st2.attached);
+  EXPECT_EQ(st2.trace_id, first_trace);
+
+  fx.runner.set_paused(false);
+  net::Frame result;
+  for (;;) {
+    ASSERT_TRUE(conn2.recv_frame(result));
+    if (result.type == net::FrameType::Result) break;
+    ASSERT_EQ(result.type, net::FrameType::Status);
+  }
+  const auto rp = net::decode_result(result.payload);
+  EXPECT_EQ(static_cast<svc::JobState>(rp.state), svc::JobState::Completed);
+  EXPECT_EQ(rp.trace_id, first_trace);
+  EXPECT_FALSE(rp.replayed);  // live re-attach, not a cache replay
+
+  // One run, one admission charge — despite two wire submissions.
+  const auto reg = fx.runner.snapshot();
+  EXPECT_EQ(reg.counter(svc::metrics::kSubmitted), 1u);
+  const auto net_reg = fx.server.snapshot();
+  EXPECT_EQ(net_reg.counter(net::metrics::kSubmitted), 1u);
+  EXPECT_EQ(net_reg.counter(net::metrics::kAttached), 1u);
+}
+
+TEST(NetServer, VersionMismatchAnsweredTypedThenClosed) {
+  ServerFixture fx;
+  ASSERT_TRUE(fx.server.start()) << fx.server.error();
+
+  RawConn conn(fx.server.port());
+  ASSERT_TRUE(conn.fd.valid());
+  net::HelloPayload hello;
+  hello.client = "time-traveler";
+  ASSERT_TRUE(conn.send(net::FrameType::Hello, net::encode(hello),
+                        static_cast<std::uint8_t>(net::kProtocolVersion + 7)));
+  net::Frame f;
+  ASSERT_TRUE(conn.recv_frame(f));
+  ASSERT_EQ(f.type, net::FrameType::Error);
+  const auto err = net::decode_error(f.payload);
+  EXPECT_EQ(static_cast<net::ErrorCode>(err.code),
+            net::ErrorCode::VersionMismatch);
+}
+
+TEST(NetServer, OversizeFrameRefusedAsFrameTooLarge) {
+  net::ServerOptions sopts = ServerFixture::make_server_opts();
+  sopts.max_payload = 512;  // hello payloads fit, the attack below does not
+  ServerFixture fx(ServerFixture::make_runner_opts(), sopts);
+  ASSERT_TRUE(fx.server.start()) << fx.server.error();
+
+  // Before the handshake the oversize claim is the peer's own doing and gets
+  // the specific non-retryable 431 analogue.
+  RawConn conn(fx.server.port());
+  ASSERT_TRUE(conn.fd.valid());
+  const std::vector<std::uint8_t> huge(4096, 0x5a);
+  ASSERT_TRUE(conn.send(net::FrameType::Hello, huge));
+  net::Frame f;
+  ASSERT_TRUE(conn.recv_frame(f));
+  ASSERT_EQ(f.type, net::FrameType::Error);
+  EXPECT_EQ(static_cast<net::ErrorCode>(net::decode_error(f.payload).code),
+            net::ErrorCode::FrameTooLarge);
+}
+
+TEST(NetServer, PostHandshakeParseFailuresAreRetryableBadFrame) {
+  // After a successful Hello the peer has proven it speaks this version
+  // within the cap, so a bad version byte or hostile length prefix can only
+  // be corruption in flight — it must map to the retryable BadFrame, never
+  // to a fatal VersionMismatch/FrameTooLarge that would strand a client one
+  // resubmission away from its result (found by the chaos soak).
+  net::ServerOptions sopts = ServerFixture::make_server_opts();
+  sopts.max_payload = 512;
+  for (int attack = 0; attack < 2; ++attack) {
+    ServerFixture fx(ServerFixture::make_runner_opts(), sopts);
+    ASSERT_TRUE(fx.server.start()) << fx.server.error();
+    RawConn conn(fx.server.port());
+    ASSERT_TRUE(conn.fd.valid());
+    ASSERT_TRUE(conn.handshake());
+    if (attack == 0) {
+      net::SubmitPayload sub;
+      sub.client_job_id = "corrupted";
+      sub.workload = "keyswitch";
+      auto frame = net::encode_frame(net::FrameType::Submit, net::encode(sub));
+      frame[4] ^= 0x40;  // version byte flipped in flight
+      ASSERT_TRUE(net::send_all(conn.fd.get(), frame.data(), frame.size()));
+    } else {
+      const std::vector<std::uint8_t> huge(4096, 0x5a);  // length over the cap
+      ASSERT_TRUE(conn.send(net::FrameType::Submit, huge));
+    }
+    net::Frame f;
+    ASSERT_TRUE(conn.recv_frame(f));
+    ASSERT_EQ(f.type, net::FrameType::Error);
+    const auto err = net::decode_error(f.payload);
+    EXPECT_EQ(static_cast<net::ErrorCode>(err.code), net::ErrorCode::BadFrame)
+        << "attack " << attack;
+    EXPECT_TRUE(net::is_retryable(static_cast<net::ErrorCode>(err.code)));
+  }
+}
+
+TEST(NetServer, SubmitBeforeHelloIsAProtocolViolation) {
+  ServerFixture fx;
+  ASSERT_TRUE(fx.server.start()) << fx.server.error();
+
+  RawConn conn(fx.server.port());
+  ASSERT_TRUE(conn.fd.valid());
+  net::SubmitPayload sub;
+  sub.client_job_id = "rude";
+  sub.workload = "keyswitch";
+  ASSERT_TRUE(conn.send(net::FrameType::Submit, net::encode(sub)));
+  net::Frame f;
+  ASSERT_TRUE(conn.recv_frame(f));
+  ASSERT_EQ(f.type, net::FrameType::Error);
+  EXPECT_EQ(static_cast<net::ErrorCode>(net::decode_error(f.payload).code),
+            net::ErrorCode::ProtocolViolation);
+}
+
+TEST(NetServer, UnknownWorkloadSurfacesWithoutRetry) {
+  ServerFixture fx;
+  ASSERT_TRUE(fx.server.start()) << fx.server.error();
+
+  net::Client client(fast_client(fx.server.port()));
+  net::SubmitPayload sub;
+  sub.client_job_id = "missing-1";
+  sub.workload = "not-in-catalog";
+  const auto out = client.run(sub);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(static_cast<net::ErrorCode>(out.last_error_code),
+            net::ErrorCode::UnknownWorkload);
+  EXPECT_EQ(out.connections, 1u);  // non-retryable: no second attempt
+  EXPECT_EQ(fx.runner.snapshot().counter(svc::metrics::kSubmitted), 0u);
+}
+
+TEST(NetServer, DrainNotifiesAndRefusesNewSubmissions) {
+  // A paused in-flight job keeps the connection open across the drain window
+  // (a drained connection with nothing owed closes right after its notice).
+  svc::RunnerOptions ropts = ServerFixture::make_runner_opts();
+  ropts.start_paused = true;
+  ServerFixture fx(ropts);
+  ASSERT_TRUE(fx.server.start()) << fx.server.error();
+
+  RawConn conn(fx.server.port());
+  ASSERT_TRUE(conn.fd.valid());
+  ASSERT_TRUE(conn.handshake());
+  net::SubmitPayload held;
+  held.client_job_id = "held-1";
+  held.workload = "keyswitch";
+  ASSERT_TRUE(conn.send(net::FrameType::Submit, net::encode(held)));
+  net::Frame f;
+  ASSERT_TRUE(conn.recv_frame(f));
+  ASSERT_EQ(f.type, net::FrameType::Status);
+
+  fx.server.drain("maintenance window");
+  EXPECT_TRUE(fx.server.draining());
+
+  // The live connection hears about the drain...
+  ASSERT_TRUE(conn.recv_frame(f));
+  ASSERT_EQ(f.type, net::FrameType::Drain);
+  EXPECT_EQ(net::decode_drain(f.payload).message, "maintenance window");
+
+  // ...and a new submission on it is refused with the retryable Draining
+  // code, while the held job stays admitted.
+  net::SubmitPayload sub;
+  sub.client_job_id = "late-1";
+  sub.workload = "keyswitch";
+  ASSERT_TRUE(conn.send(net::FrameType::Submit, net::encode(sub)));
+  ASSERT_TRUE(conn.recv_frame(f));
+  ASSERT_EQ(f.type, net::FrameType::Error);
+  const auto err = net::decode_error(f.payload);
+  EXPECT_EQ(static_cast<net::ErrorCode>(err.code), net::ErrorCode::Draining);
+  EXPECT_TRUE(net::is_retryable(net::ErrorCode::Draining));
+  EXPECT_EQ(fx.runner.snapshot().counter(svc::metrics::kSubmitted), 1u);
+
+  // New connections are no longer accepted.
+  RawConn probe(fx.server.port());
+  if (probe.fd.valid()) {
+    EXPECT_FALSE(probe.handshake());
+  }
+
+  fx.runner.set_paused(false);  // let the held job finish before teardown
+}
+
+TEST(NetServer, DrainLetsInFlightJobsFinish) {
+  svc::RunnerOptions ropts = ServerFixture::make_runner_opts();
+  ropts.start_paused = true;
+  ServerFixture fx(ropts);
+  ASSERT_TRUE(fx.server.start()) << fx.server.error();
+
+  RawConn conn(fx.server.port());
+  ASSERT_TRUE(conn.fd.valid());
+  ASSERT_TRUE(conn.handshake());
+  net::SubmitPayload sub;
+  sub.client_job_id = "inflight-1";
+  sub.workload = "keyswitch";
+  ASSERT_TRUE(conn.send(net::FrameType::Submit, net::encode(sub)));
+  net::Frame f;
+  ASSERT_TRUE(conn.recv_frame(f));
+  ASSERT_EQ(f.type, net::FrameType::Status);  // admitted, queued
+
+  fx.server.drain();
+  fx.runner.set_paused(false);
+
+  // The in-flight job still delivers its terminal Result through the drain.
+  bool got_result = false;
+  for (int i = 0; i < 100 && !got_result; ++i) {
+    if (!conn.recv_frame(f)) break;
+    if (f.type == net::FrameType::Result) {
+      got_result = true;
+      EXPECT_EQ(static_cast<svc::JobState>(net::decode_result(f.payload).state),
+                svc::JobState::Completed);
+    }
+  }
+  EXPECT_TRUE(got_result);
+}
+
+// ------------------------------------------------------------ chaos plans --
+
+TEST(ChaosProxy, PlansAreAPureFunctionOfSeedAndIndex) {
+  net::ChaosOptions opts;
+  opts.seed = 0x5eed;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto a = net::plan_for(opts, i);
+    const auto b = net::plan_for(opts, i);
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.downstream, b.downstream) << i;
+    EXPECT_EQ(a.offset, b.offset) << i;
+  }
+  // A different seed reshuffles the plans.
+  net::ChaosOptions other = opts;
+  other.seed = 0xd1ff;
+  int diff = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto a = net::plan_for(opts, i);
+    const auto b = net::plan_for(other, i);
+    if (a.kind != b.kind || a.offset != b.offset) ++diff;
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(ChaosProxy, PlanDistributionRespectsProbabilitiesAndOffsets) {
+  net::ChaosOptions opts;
+  opts.seed = 9;
+  opts.kill_prob = 0.3;
+  opts.corrupt_prob = 0.3;
+  opts.delay_prob = 0.3;
+  opts.max_offset = 100;
+  int kills = 0, corrupts = 0, delays = 0, none = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto p = net::plan_for(opts, i);
+    switch (p.kind) {
+      case net::FaultPlan::Kind::Kill: ++kills; break;
+      case net::FaultPlan::Kind::Corrupt: ++corrupts; break;
+      case net::FaultPlan::Kind::Delay: ++delays; break;
+      case net::FaultPlan::Kind::None: ++none; break;
+    }
+    if (p.kind != net::FaultPlan::Kind::None) {
+      EXPECT_GE(p.offset, 1u);
+      EXPECT_LE(p.offset, 100u);
+    }
+  }
+  // ~300 of each fault kind, ~100 clean; generous tolerances.
+  EXPECT_GT(kills, 200);
+  EXPECT_GT(corrupts, 200);
+  EXPECT_GT(delays, 200);
+  EXPECT_GT(none, 30);
+}
+
+TEST(ChaosProxy, ClientSurvivesFaultsAndResultsStayBitIdentical) {
+  // A miniature of bench/net_soak: jobs submitted through the fault proxy
+  // must all reach Completed exactly once, with the same deterministic
+  // registry as a fault-free run.
+  ServerFixture fx;
+  ASSERT_TRUE(fx.server.start()) << fx.server.error();
+
+  // Fault-free reference.
+  net::Client direct(fast_client(fx.server.port()));
+  net::SubmitPayload ref;
+  ref.client_job_id = "ref-0";
+  ref.workload = "keyswitch";
+  const auto ref_out = direct.run(ref);
+  ASSERT_TRUE(ref_out.delivered) << ref_out.error;
+  ASSERT_TRUE(ref_out.has_result);
+
+  net::ChaosOptions copts;
+  copts.target_port = fx.server.port();
+  copts.seed = 0xc4a05;
+  copts.kill_prob = 0.35;
+  copts.corrupt_prob = 0.35;
+  copts.delay_prob = 0.1;
+  copts.delay = 5ms;
+  copts.max_faults = 12;  // guarantee forward progress in the retry budget
+  net::ChaosProxy proxy(copts);
+  ASSERT_TRUE(proxy.start()) << proxy.error();
+
+  net::Client chaotic(fast_client(proxy.port(), 24));
+  std::size_t completed = 0;
+  for (int i = 0; i < 4; ++i) {
+    net::SubmitPayload sub;
+    sub.client_job_id = "chaos-" + std::to_string(i);
+    sub.workload = "keyswitch";
+    const auto out = chaotic.run(sub);
+    ASSERT_TRUE(out.delivered) << sub.client_job_id << ": " << out.error;
+    ASSERT_EQ(static_cast<svc::JobState>(out.state), svc::JobState::Completed);
+    ASSERT_TRUE(out.has_result);
+    // Same workload, same config: the simulated outcome is bit-identical to
+    // the fault-free reference no matter what the wire did.
+    EXPECT_EQ(out.result.registry.counters(),
+              ref_out.result.registry.counters());
+    ++completed;
+  }
+  EXPECT_EQ(completed, 4u);
+
+  // Exactly-once: every wire retry resolved to the one run per key.
+  const auto reg = fx.runner.snapshot();
+  EXPECT_EQ(reg.counter(svc::metrics::kSubmitted), 5u);  // ref + 4 chaos keys
+  EXPECT_EQ(reg.counter(svc::metrics::kCompleted), 5u);
+  proxy.stop();
+}
+
+}  // namespace
+}  // namespace alchemist

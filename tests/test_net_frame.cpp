@@ -1,0 +1,440 @@
+// Structured fuzzing of the TCP job-protocol framing layer, in the style of
+// test_serdes_fuzz.cpp: every frame type is round-tripped once, then the
+// encoded byte streams are attacked for thousands of seeded iterations with
+// truncation, bit flips, splices, hostile length prefixes, version-mismatch
+// handshakes and interleaved garbage. The contract under attack: FrameParser
+// either produces a verified frame or fails with a typed, sticky FrameError —
+// it never crashes, never allocates what a hostile length prefix claims, and
+// never hands back a silently-corrupt payload. The protocol decoders below it
+// must map every mutated payload to std::runtime_error, never UB.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+
+namespace alchemist {
+namespace {
+
+using net::Frame;
+using net::FrameError;
+using net::FrameParser;
+using net::FrameType;
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+// Feed a whole buffer and pull one frame.
+FrameError parse_one(std::span<const std::uint8_t> wire, Frame& out,
+                     std::size_t max_payload = net::kDefaultMaxPayload) {
+  FrameParser p(max_payload);
+  p.feed(wire);
+  return p.next(out);
+}
+
+// ------------------------------------------------------------ round trips --
+
+TEST(NetFrame, RoundTripsEveryFrameType) {
+  const FrameType kTypes[] = {
+      FrameType::Hello,  FrameType::HelloAck, FrameType::Submit,
+      FrameType::Status, FrameType::Result,   FrameType::Error,
+      FrameType::Drain,  FrameType::Ping,     FrameType::Pong,
+      FrameType::Bye,
+  };
+  for (FrameType t : kTypes) {
+    const auto payload = bytes_of("payload for " + std::string(to_string(t)));
+    const auto wire = net::encode_frame(t, payload);
+    ASSERT_EQ(wire.size(),
+              net::kFrameHeaderSize + payload.size() + net::kFrameFooterSize);
+    Frame f;
+    ASSERT_EQ(parse_one(wire, f), FrameError::None) << to_string(t);
+    EXPECT_EQ(f.type, t);
+    EXPECT_EQ(f.payload, payload);
+  }
+}
+
+TEST(NetFrame, RoundTripsEmptyPayload) {
+  const auto wire = net::encode_frame(FrameType::Ping, {});
+  Frame f;
+  ASSERT_EQ(parse_one(wire, f), FrameError::None);
+  EXPECT_EQ(f.type, FrameType::Ping);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(NetFrame, ParsesBackToBackFramesFromOneFeed) {
+  std::vector<std::uint8_t> wire;
+  for (int i = 0; i < 5; ++i) {
+    const auto one =
+        net::encode_frame(FrameType::Status, bytes_of("s" + std::to_string(i)));
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  FrameParser p;
+  p.feed(wire);
+  Frame f;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(p.next(f), FrameError::None) << i;
+    EXPECT_EQ(f.payload, bytes_of("s" + std::to_string(i)));
+  }
+  EXPECT_EQ(p.next(f), FrameError::NeedMore);
+  EXPECT_EQ(p.buffered(), 0u);
+}
+
+TEST(NetFrame, ByteAtATimeFeedingYieldsTheSameFrame) {
+  const auto payload = bytes_of("drip-fed payload");
+  const auto wire = net::encode_frame(FrameType::Submit, payload);
+  FrameParser p;
+  Frame f;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    p.feed(std::span<const std::uint8_t>(&wire[i], 1));
+    ASSERT_EQ(p.next(f), FrameError::NeedMore) << "byte " << i;
+  }
+  p.feed(std::span<const std::uint8_t>(&wire[wire.size() - 1], 1));
+  ASSERT_EQ(p.next(f), FrameError::None);
+  EXPECT_EQ(f.type, FrameType::Submit);
+  EXPECT_EQ(f.payload, payload);
+}
+
+// -------------------------------------------------------- hostile headers --
+
+TEST(NetFrame, TruncationAtEveryByteNeverYieldsAFrame) {
+  const auto wire = net::encode_frame(FrameType::Result, bytes_of("truncate"));
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    Frame f;
+    const auto err = parse_one({wire.data(), keep}, f);
+    // A prefix is either still incomplete or (once the header is whole and
+    // the checksum range short) NeedMore — never a verified frame.
+    EXPECT_EQ(err, FrameError::NeedMore) << "keep=" << keep;
+  }
+}
+
+TEST(NetFrame, BadMagicIsTypedAndSticky) {
+  auto wire = net::encode_frame(FrameType::Ping, {});
+  wire[0] = 'X';
+  FrameParser p;
+  p.feed(wire);
+  Frame f;
+  EXPECT_EQ(p.next(f), FrameError::BadMagic);
+  EXPECT_TRUE(p.failed());
+  // Sticky: even after feeding a pristine frame the stream stays poisoned.
+  const auto good = net::encode_frame(FrameType::Ping, {});
+  p.feed(good);
+  EXPECT_EQ(p.next(f), FrameError::BadMagic);
+}
+
+TEST(NetFrame, VersionMismatchIsDistinguished) {
+  const auto wire =
+      net::encode_frame(FrameType::Hello, bytes_of("v2 hello"),
+                        static_cast<std::uint8_t>(net::kProtocolVersion + 1));
+  Frame f;
+  EXPECT_EQ(parse_one(wire, f), FrameError::BadVersion);
+}
+
+TEST(NetFrame, UnknownFrameTypeRejected) {
+  auto wire = net::encode_frame(FrameType::Ping, {});
+  for (std::uint8_t t : {std::uint8_t{0}, std::uint8_t{11}, std::uint8_t{0xff}}) {
+    auto mutated = wire;
+    mutated[5] = t;
+    Frame f;
+    EXPECT_EQ(parse_one(mutated, f), FrameError::BadType) << unsigned(t);
+  }
+}
+
+TEST(NetFrame, NonzeroReservedRejected) {
+  auto wire = net::encode_frame(FrameType::Ping, {});
+  wire[6] = 1;
+  Frame f;
+  EXPECT_EQ(parse_one(wire, f), FrameError::BadReserved);
+}
+
+TEST(NetFrame, OversizeLengthPrefixRejectedBeforeBuffering) {
+  // A 12-byte header claiming a 2 GiB payload must be refused from the header
+  // alone: typed Oversize, no allocation, no waiting for 2 GiB to arrive.
+  std::vector<std::uint8_t> header = {'A', 'L', 'C', 'H',
+                                      net::kProtocolVersion,
+                                      static_cast<std::uint8_t>(FrameType::Submit),
+                                      0, 0,
+                                      0x00, 0x00, 0x00, 0x80};  // 1u << 31
+  FrameParser p;
+  p.feed(header);
+  Frame f;
+  EXPECT_EQ(p.next(f), FrameError::Oversize);
+  EXPECT_TRUE(p.failed());
+  EXPECT_EQ(p.buffered(), net::kFrameHeaderSize);  // nothing beyond the header
+}
+
+TEST(NetFrame, PayloadJustOverTheConfiguredCapRejected) {
+  const std::size_t cap = 64;
+  const auto at_cap = net::encode_frame(
+      FrameType::Submit, std::vector<std::uint8_t>(cap, 0xab));
+  const auto over_cap = net::encode_frame(
+      FrameType::Submit, std::vector<std::uint8_t>(cap + 1, 0xab));
+  Frame f;
+  EXPECT_EQ(parse_one(at_cap, f, cap), FrameError::None);
+  EXPECT_EQ(parse_one(over_cap, f, cap), FrameError::Oversize);
+}
+
+TEST(NetFrame, EveryLengthFieldValueEitherParsesOrFailsTyped) {
+  // Sweep the declared length over the whole u32 range by bytes: whatever the
+  // prefix claims, the parser must answer NeedMore / Oversize / BadChecksum —
+  // never a crash or a bogus frame.
+  const auto wire = net::encode_frame(FrameType::Status, bytes_of("abcdef"));
+  Rng rng(2024);
+  for (int iter = 0; iter < 4096; ++iter) {
+    auto mutated = wire;
+    for (int b = 8; b < 12; ++b) {
+      mutated[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(rng.uniform(256));
+    }
+    Frame f;
+    const auto err = parse_one(mutated, f, 1u << 16);
+    EXPECT_TRUE(err == FrameError::NeedMore || err == FrameError::Oversize ||
+                err == FrameError::BadChecksum || err == FrameError::None)
+        << to_string(err);
+    // The only way a random length still parses is the original one.
+    if (err == FrameError::None) {
+      EXPECT_EQ(f.payload, bytes_of("abcdef"));
+    }
+  }
+}
+
+// ----------------------------------------------------- corruption attacks --
+
+TEST(NetFrame, AnySingleBitFlipIsDetected) {
+  const auto payload = bytes_of("checksummed payload bytes");
+  const auto wire = net::encode_frame(FrameType::Result, payload);
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = wire;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      Frame f;
+      const auto err = parse_one(mutated, f);
+      EXPECT_NE(err, FrameError::None) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(NetFrame, FuzzRandomMutationsNeverCrash) {
+  // The classic three mutations from test_serdes_fuzz, plus garbage prefixes,
+  // against a seeded corpus of frames. Success criteria: no crash, no hang,
+  // and None only when the bytes happen to be the unmutated original.
+  Rng rng(77);
+  const auto base = net::encode_frame(
+      FrameType::Submit, bytes_of("fuzz me: idempotency-key-000, keyswitch"));
+  for (int iter = 0; iter < 20000; ++iter) {
+    auto mutated = base;
+    switch (rng.uniform(4)) {
+      case 0:  // truncate
+        mutated.resize(rng.uniform(static_cast<u64>(mutated.size()) + 1));
+        break;
+      case 1: {  // flip 1..4 random bytes
+        const int flips = 1 + static_cast<int>(rng.uniform(4));
+        for (int i = 0; i < flips && !mutated.empty(); ++i) {
+          mutated[rng.uniform(static_cast<u64>(mutated.size()))] ^=
+              static_cast<std::uint8_t>(1 + rng.uniform(255));
+        }
+        break;
+      }
+      case 2: {  // splice: overwrite a run with random bytes
+        if (!mutated.empty()) {
+          const std::size_t at = rng.uniform(static_cast<u64>(mutated.size()));
+          const std::size_t run =
+              1 + rng.uniform(static_cast<u64>(mutated.size() - at));
+          for (std::size_t i = 0; i < run; ++i) {
+            mutated[at + i] = static_cast<std::uint8_t>(rng.uniform(256));
+          }
+        }
+        break;
+      }
+      case 3: {  // interleave garbage before the frame
+        std::vector<std::uint8_t> garbage(1 + rng.uniform(16));
+        for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.uniform(256));
+        mutated.insert(mutated.begin(), garbage.begin(), garbage.end());
+        break;
+      }
+    }
+    FrameParser p;
+    p.feed(mutated);
+    Frame f;
+    const auto err = p.next(f);
+    if (err == FrameError::None) {
+      EXPECT_EQ(f.payload, bytes_of("fuzz me: idempotency-key-000, keyswitch"));
+    }
+  }
+}
+
+TEST(NetFrame, GarbageAfterAValidFramePoisonsOnlySubsequentParses) {
+  auto wire = net::encode_frame(FrameType::Ping, {});
+  const auto garbage = bytes_of("not a frame header at all!");
+  wire.insert(wire.end(), garbage.begin(), garbage.end());
+  FrameParser p;
+  p.feed(wire);
+  Frame f;
+  EXPECT_EQ(p.next(f), FrameError::None);  // the good frame still delivers
+  EXPECT_EQ(f.type, FrameType::Ping);
+  EXPECT_EQ(p.next(f), FrameError::BadMagic);  // then the stream is dead
+  EXPECT_TRUE(p.failed());
+}
+
+// ------------------------------------------------- protocol payload fuzz --
+
+TEST(NetProtocol, SubmitRoundTrip) {
+  net::SubmitPayload s;
+  s.client_job_id = "soak-042";
+  s.tenant = "tenant-a";
+  s.workload = "keyswitch";
+  s.engine = net::kEngineEvent;
+  s.degradable = true;
+  s.fault_seed = 0xdeadbeef;
+  s.fault_rate = 0.25;
+  s.deadline_us = 1000000;
+  s.max_steps = 5000;
+  s.max_attempts = 3;
+  s.checkpoint_interval = 128;
+  const auto bytes = net::encode(s);
+  const auto back = net::decode_submit(bytes);
+  EXPECT_EQ(back.client_job_id, s.client_job_id);
+  EXPECT_EQ(back.tenant, s.tenant);
+  EXPECT_EQ(back.workload, s.workload);
+  EXPECT_EQ(back.engine, s.engine);
+  EXPECT_EQ(back.degradable, s.degradable);
+  EXPECT_EQ(back.fault_seed, s.fault_seed);
+  EXPECT_DOUBLE_EQ(back.fault_rate, s.fault_rate);
+  EXPECT_EQ(back.deadline_us, s.deadline_us);
+  EXPECT_EQ(back.max_steps, s.max_steps);
+  EXPECT_EQ(back.max_attempts, s.max_attempts);
+  EXPECT_EQ(back.checkpoint_interval, s.checkpoint_interval);
+}
+
+TEST(NetProtocol, SubmitRejectsEmptyAndOversizeIdempotencyKeys) {
+  net::SubmitPayload s;
+  s.client_job_id = "";
+  s.workload = "keyswitch";
+  EXPECT_THROW(net::decode_submit(net::encode(s)), std::runtime_error);
+  s.client_job_id = std::string(10000, 'k');
+  EXPECT_THROW(net::decode_submit(net::encode(s)), std::runtime_error);
+}
+
+TEST(NetProtocol, DecodersRejectCrossTypePayloads) {
+  // Feeding one message type's bytes to another type's decoder must be a
+  // typed failure (the tag check), not a misparse.
+  net::HelloPayload hello;
+  hello.client = "tester";
+  const auto bytes = net::encode(hello);
+  EXPECT_NO_THROW(net::decode_hello(bytes));
+  EXPECT_THROW(net::decode_submit(bytes), std::runtime_error);
+  EXPECT_THROW(net::decode_result(bytes), std::runtime_error);
+  EXPECT_THROW(net::decode_status(bytes), std::runtime_error);
+  EXPECT_THROW(net::decode_error(bytes), std::runtime_error);
+}
+
+TEST(NetProtocol, DecodersSurviveMutationStorm) {
+  // Same contract as the serdes fuzz suite: decoded-or-threw, nothing else.
+  struct Target {
+    const char* name;
+    std::vector<std::uint8_t> bytes;
+    void (*parse)(std::span<const std::uint8_t>);
+  };
+  net::SubmitPayload sub;
+  sub.client_job_id = "fuzz-1";
+  sub.workload = "pmult";
+  net::ResultPayload res;
+  res.client_job_id = "fuzz-1";
+  res.state = 2;
+  res.has_result = true;
+  res.workload = "pmult";
+  res.accelerator = "alchemist";
+  res.registry.add("sim.cycles", 129762);
+  res.sim_time_us = 108.1;
+  net::StatusPayload status;
+  status.client_job_id = "fuzz-1";
+  status.state = 1;
+  net::ErrorPayload err;
+  err.code = 7;
+  err.message = "busy";
+  const Target targets[] = {
+      {"hello", net::encode(net::HelloPayload{}),
+       [](std::span<const std::uint8_t> b) { net::decode_hello(b); }},
+      {"hello_ack", net::encode(net::HelloAckPayload{}),
+       [](std::span<const std::uint8_t> b) { net::decode_hello_ack(b); }},
+      {"submit", net::encode(sub),
+       [](std::span<const std::uint8_t> b) { net::decode_submit(b); }},
+      {"status", net::encode(status),
+       [](std::span<const std::uint8_t> b) { net::decode_status(b); }},
+      {"result", net::encode(res),
+       [](std::span<const std::uint8_t> b) { net::decode_result(b); }},
+      {"error", net::encode(err),
+       [](std::span<const std::uint8_t> b) { net::decode_error(b); }},
+      {"drain", net::encode(net::DrainPayload{"bye"}),
+       [](std::span<const std::uint8_t> b) { net::decode_drain(b); }},
+  };
+  Rng rng(4242);
+  for (const auto& t : targets) {
+    // Truncation at every length.
+    for (std::size_t keep = 0; keep < t.bytes.size(); ++keep) {
+      try {
+        t.parse({t.bytes.data(), keep});
+      } catch (const std::exception&) {
+      }
+    }
+    // Random byte flips.
+    for (int iter = 0; iter < 2000; ++iter) {
+      auto mutated = t.bytes;
+      const int flips = 1 + static_cast<int>(rng.uniform(3));
+      for (int i = 0; i < flips; ++i) {
+        mutated[rng.uniform(static_cast<u64>(mutated.size()))] ^=
+            static_cast<std::uint8_t>(1 + rng.uniform(255));
+      }
+      try {
+        t.parse(mutated);
+      } catch (const std::exception&) {
+      }
+    }
+    // Trailing garbage must be rejected, not ignored.
+    auto padded = t.bytes;
+    padded.push_back(0x5a);
+    EXPECT_THROW(t.parse(padded), std::runtime_error) << t.name;
+  }
+}
+
+TEST(NetProtocol, ResultRegistryRoundTripsBitIdentically) {
+  net::ResultPayload res;
+  res.client_job_id = "bits";
+  res.state = 2;
+  res.has_result = true;
+  res.workload = "keyswitch";
+  res.accelerator = "alchemist";
+  res.registry.add("sim.cycles", 129762);
+  res.registry.add("sim.mults", 42, {{"lazy", "true"}});
+  res.registry.set_gauge("sim.time_us", 108.135);
+  res.sim_time_us = 108.135;
+  const auto back = net::decode_result(net::encode(res));
+  ASSERT_TRUE(back.has_result);
+  EXPECT_EQ(back.registry.counters(), res.registry.counters());
+  EXPECT_DOUBLE_EQ(back.sim_time_us, res.sim_time_us);
+}
+
+TEST(NetProtocol, ErrorCodeTaxonomy) {
+  using net::ErrorCode;
+  // Transport-class codes invite a retry; request-class codes do not.
+  EXPECT_TRUE(net::is_retryable(ErrorCode::Busy));
+  EXPECT_TRUE(net::is_retryable(ErrorCode::Draining));
+  EXPECT_TRUE(net::is_retryable(ErrorCode::ReadTimeout));
+  EXPECT_TRUE(net::is_retryable(ErrorCode::IdleTimeout));
+  EXPECT_FALSE(net::is_retryable(ErrorCode::BadRequest));
+  EXPECT_FALSE(net::is_retryable(ErrorCode::UnknownWorkload));
+  EXPECT_FALSE(net::is_retryable(ErrorCode::VersionMismatch));
+  EXPECT_FALSE(net::is_retryable(ErrorCode::ProtocolViolation));
+  // Every code prints something other than the unknown marker.
+  for (std::uint16_t c = 1; c <= 11; ++c) {
+    EXPECT_STRNE(net::to_string(static_cast<ErrorCode>(c)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace alchemist

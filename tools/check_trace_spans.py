@@ -3,6 +3,7 @@
 
 Usage:
     check_trace_spans.py TRACE.json [--allow-drops] [--min-spans N]
+                         [--require-reattach]
 
 Accepts either a standalone `spans.v1` document (alchemist_serve --trace-out,
 svc_soak --trace-out) or a `metrics.v1` report whose runs embed a spans
@@ -20,7 +21,12 @@ section (Registry::attach_spans).  Checks, per span set:
   * thread serialization: spans on the svc/worker* tracks are recorded by a
     single worker thread each, so within a track they must be pairwise
     disjoint or nested.  Queue and simulator tracks interleave concurrent
-    jobs (and independent cycle timelines) and are exempt.
+    jobs (and independent cycle timelines) and are exempt;
+  * reattach continuity (--require-reattach): at least one net.reattach span
+    exists, and every net.reattach span joins a trace that also holds the
+    original submission's net.submit span on a *different* net/ track and
+    the runner's job span — i.e. a job resumed over a reconnect stayed in
+    the trace its first submission started, instead of minting a new one.
 
 Exit status 0 when every span set passes, 1 otherwise.
 """
@@ -117,6 +123,32 @@ def check_span_set(label, doc, allow_drops, errors):
     return len(spans)
 
 
+def check_reattach(label, doc, errors):
+    """Gate the exactly-once reconnect path: a job resumed over a reconnect
+    must join its original trace.  Returns the number of net.reattach spans."""
+    spans = doc.get("spans", [])
+    by_trace = {}
+    for s in spans:
+        by_trace.setdefault(s["trace"], []).append(s)
+    reattaches = [s for s in spans if s["name"] == "net.reattach"]
+    for s in reattaches:
+        peers = by_trace.get(s["trace"], [])
+        submits = [p for p in peers
+                   if p["name"] == "net.submit" and p["track"] != s["track"]]
+        if not submits:
+            fail(errors,
+                 "%s: net.reattach on %s (trace %s) has no originating "
+                 "net.submit on another connection — the reconnect minted a "
+                 "fresh trace instead of joining the original",
+                 label, s["track"], s["trace"])
+        if not any(p["name"] == "job" for p in peers):
+            fail(errors,
+                 "%s: net.reattach trace %s holds no runner job span — the "
+                 "re-attached handle never ran under this trace",
+                 label, s["trace"])
+    return len(reattaches)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("trace", help="spans.v1 document or metrics.v1 report")
@@ -124,6 +156,9 @@ def main():
                     help="tolerate ring overflow (dropped > 0 and orphaned parents)")
     ap.add_argument("--min-spans", type=int, default=1,
                     help="fail if fewer than N spans total survive (default 1)")
+    ap.add_argument("--require-reattach", action="store_true",
+                    help="fail unless a net.reattach span exists and every one "
+                         "joins its original submission's trace")
     args = ap.parse_args()
 
     with open(args.trace) as f:
@@ -131,18 +166,25 @@ def main():
 
     errors = []
     total = 0
+    reattaches = 0
     if doc.get("schema") == "spans.v1":
         total += check_span_set(args.trace, doc, args.allow_drops, errors)
+        if args.require_reattach:
+            reattaches += check_reattach(args.trace, doc, errors)
     elif "runs" in doc:
         for i, run in enumerate(doc["runs"]):
             if "spans" in run:
-                total += check_span_set("%s run[%d]" % (args.trace, i),
-                                        run["spans"], args.allow_drops, errors)
+                label = "%s run[%d]" % (args.trace, i)
+                total += check_span_set(label, run["spans"], args.allow_drops, errors)
+                if args.require_reattach:
+                    reattaches += check_reattach(label, run["spans"], errors)
     else:
         errors.append("%s: neither a spans.v1 document nor a metrics report with runs" % args.trace)
 
     if total < args.min_spans:
         errors.append("%s: only %d spans present, expected at least %d" % (args.trace, total, args.min_spans))
+    if args.require_reattach and reattaches == 0:
+        errors.append("%s: --require-reattach but no net.reattach span present" % args.trace)
 
     for e in errors:
         print("check_trace_spans: FAIL:", e, file=sys.stderr)
