@@ -3,26 +3,36 @@
 // lazy butterflies, and 1..N-thread scaling of the pooled multi-limb paths.
 //
 // Modes:
-//   (default)                google-benchmark wall-clock suite
+//   (default)                google-benchmark wall-clock suite; per-ISA
+//                            NTT variants are registered for every SIMD
+//                            level this host supports
 //   --threads N              set the substrate pool width first (any mode)
+//   --isa NAME               force the SIMD dispatch (scalar|avx2|avx512|
+//                            native); exits 2 if unknown or unsupported
 //   --metrics-out FILE       skip the benchmark loops; run a fixed, seeded
-//                            workload and emit alchemist.metrics.v1. The
-//                            substrate.* chunk/fan-out counters are exact for
-//                            a given --threads value, so CI gates them with
+//                            workload per supported ISA and emit
+//                            alchemist.metrics.v1. The substrate.* chunk/
+//                            fan-out/dispatch counters are exact for a given
+//                            --threads value, so CI gates them with
 //                            tools/check_bench_baseline.py; wall-clock rows
-//                            are named *wall_ns and excluded via --ignore.
-//   --smoke                  1-vs-2-thread + lazy-vs-eager bit-identity
-//                            assertions only; exit non-zero on mismatch.
+//                            are named *wall_ns and excluded via --ignore,
+//                            and the avx2/avx512 runs are host-dependent so
+//                            the gate treats them as --optional.
+//   --smoke                  1-vs-2-thread + lazy-vs-eager + per-ISA
+//                            bit-identity assertions; exit non-zero on
+//                            mismatch.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/primes.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "obs/report.h"
 #include "obs/substrate_metrics.h"
@@ -91,6 +101,47 @@ void BM_NttInverseEager(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
 }
 BENCHMARK(BM_NttInverseEager)->Arg(4096)->Arg(65536);
+
+// Forced-ISA forward/inverse at the paper's workhorse size. Registered from
+// main() for each variant this host supports, so one run prints the
+// scalar-lazy vs AVX2 vs AVX-512 column of the Performance table (compare
+// against BM_NttForwardEager for the eager baseline).
+void BM_NttForwardIsa(benchmark::State& state, simd::Isa isa) {
+  const std::size_t n = 16384;
+  const u64 q = max_ntt_prime(50, n);
+  const NttTable& table = get_ntt_table(q, n);
+  Rng rng(n);
+  std::vector<u64> a = rng.uniform_vector(n, q);
+  for (auto _ : state) {
+    table.forward(a, isa);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+
+void BM_NttInverseIsa(benchmark::State& state, simd::Isa isa) {
+  const std::size_t n = 16384;
+  const u64 q = max_ntt_prime(50, n);
+  const NttTable& table = get_ntt_table(q, n);
+  Rng rng(n);
+  std::vector<u64> a = rng.uniform_vector(n, q);
+  for (auto _ : state) {
+    table.inverse(a, isa);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+
+void register_isa_benchmarks() {
+  for (simd::Isa isa : {simd::Isa::Scalar, simd::Isa::Avx2, simd::Isa::Avx512}) {
+    if (!simd::isa_supported(isa)) continue;
+    const std::string suffix = std::string("/isa:") + simd::isa_name(isa);
+    benchmark::RegisterBenchmark(("BM_NttForwardIsa" + suffix).c_str(),
+                                 BM_NttForwardIsa, isa);
+    benchmark::RegisterBenchmark(("BM_NttInverseIsa" + suffix).c_str(),
+                                 BM_NttInverseIsa, isa);
+  }
+}
 
 void BM_FourStepForward(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -168,6 +219,13 @@ RnsPoly run_fixed_workload(obs::Registry* reg) {
   RnsPoly x = seeded_poly(kMetricsN, moduli, 7);
   const BConv conv(moduli, special);
 
+  std::uint64_t dispatch_before[simd::kNumKerns][simd::kNumIsas];
+  for (std::size_t k = 0; k < simd::kNumKerns; ++k) {
+    for (std::size_t i = 0; i < simd::kNumIsas; ++i) {
+      dispatch_before[k][i] = simd::dispatch_count(static_cast<simd::Kern>(k),
+                                                   static_cast<simd::Isa>(i));
+    }
+  }
   const SubstrateStats before = ThreadPool::instance().stats();
   const auto t0 = std::chrono::steady_clock::now();
   for (std::size_t rep = 0; rep < kMetricsReps; ++rep) {
@@ -188,6 +246,19 @@ RnsPoly run_fixed_workload(obs::Registry* reg) {
     reg->add("substrate.parallel_for", after.parallel_fors - before.parallel_fors);
     reg->add("substrate.inline_runs", after.inline_runs - before.inline_runs);
     reg->add("substrate.tasks", after.tasks - before.tasks);
+    // Per-(kernel, isa) dispatch deltas: exact for a fixed workload and
+    // forced ISA (reps x limbs transforms + the BConv weighted sums).
+    for (std::size_t k = 0; k < simd::kNumKerns; ++k) {
+      for (std::size_t i = 0; i < simd::kNumIsas; ++i) {
+        const auto kern = static_cast<simd::Kern>(k);
+        const auto isa = static_cast<simd::Isa>(i);
+        const std::uint64_t delta =
+            simd::dispatch_count(kern, isa) - dispatch_before[k][i];
+        if (delta == 0) continue;
+        reg->add("substrate.isa_dispatch", delta,
+                 {{"kernel", simd::kern_name(kern)}, {"isa", simd::isa_name(isa)}});
+      }
+    }
     // Wall-clock rows: machine-dependent, gated out with --ignore wall_ns.
     reg->add("micro_ntt.wall_ns",
              static_cast<std::uint64_t>(
@@ -209,20 +280,36 @@ RnsPoly run_fixed_workload(obs::Registry* reg) {
 
 int run_metrics_mode(const std::string& path, std::size_t threads) {
   ThreadPool::set_threads(threads);
-  obs::Registry reg;
-  run_fixed_workload(&reg);
   obs::MetricsReport report("micro_ntt");
-  report.add("ntt_substrate_t" + std::to_string(threads), "host", std::move(reg));
+  // Warm the NTT table cache (twiddle tables + Shoup quotients for all ten
+  // moduli) outside the measured runs: the first ISA in the loop below would
+  // otherwise absorb the one-time construction cost in its wall-clock rows,
+  // skewing the per-ISA comparison.
+  run_fixed_workload(nullptr);
+  // One run per SIMD level: the forced-scalar run keeps its historical name
+  // (its counters are host-independent); avx2/avx512 runs exist only where
+  // CPUID allows them, so the baseline gate lists them under --optional.
+  for (simd::Isa isa : {simd::Isa::Scalar, simd::Isa::Avx2, simd::Isa::Avx512}) {
+    if (!simd::isa_supported(isa)) continue;
+    simd::set_isa(isa);
+    obs::Registry reg;
+    run_fixed_workload(&reg);
+    std::string run = "ntt_substrate_t" + std::to_string(threads);
+    if (isa != simd::Isa::Scalar) run += std::string("_") + simd::isa_name(isa);
+    report.add(run, "host", std::move(reg));
+  }
+  simd::set_isa(simd::best_supported_isa());
   if (!report.write_file(path)) {
     std::fprintf(stderr, "FAILED to write metrics to %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(stderr, "metrics written to %s (threads=%zu)\n", path.c_str(), threads);
+  std::fprintf(stderr, "metrics written to %s (threads=%zu, isa<=%s)\n", path.c_str(),
+               threads, simd::isa_name(simd::best_supported_isa()));
   return 0;
 }
 
 int run_smoke_mode() {
-  // Lazy butterflies vs the eager reference.
+  // Lazy butterflies (runtime-dispatched SIMD) vs the eager reference.
   const u64 q = max_ntt_prime(50, 4096);
   const NttTable& table = get_ntt_table(q, 4096);
   Rng rng(11);
@@ -240,6 +327,26 @@ int run_smoke_mode() {
     std::fprintf(stderr, "SMOKE FAIL: lazy inverse NTT != eager reference\n");
     return 1;
   }
+  // Every compiled+supported SIMD variant, forced, vs the eager reference.
+  for (simd::Isa isa : {simd::Isa::Scalar, simd::Isa::Avx2, simd::Isa::Avx512}) {
+    if (!simd::isa_supported(isa)) continue;
+    std::vector<u64> forced = rng.uniform_vector(4096, q);
+    std::vector<u64> ref = forced;
+    table.forward(forced, isa);
+    table.forward_eager(ref);
+    if (forced != ref) {
+      std::fprintf(stderr, "SMOKE FAIL: %s forward NTT != eager reference\n",
+                   simd::isa_name(isa));
+      return 1;
+    }
+    table.inverse(forced, isa);
+    table.inverse_eager(ref);
+    if (forced != ref) {
+      std::fprintf(stderr, "SMOKE FAIL: %s inverse NTT != eager reference\n",
+                   simd::isa_name(isa));
+      return 1;
+    }
+  }
   // Pooled path vs sequential, bit for bit.
   ThreadPool::set_threads(1);
   const RnsPoly seq = run_fixed_workload(nullptr);
@@ -249,7 +356,10 @@ int run_smoke_mode() {
     std::fprintf(stderr, "SMOKE FAIL: 2-thread result != sequential result\n");
     return 1;
   }
-  std::fprintf(stderr, "SMOKE OK: lazy==eager, 2-thread==sequential (bit-identical)\n");
+  std::fprintf(stderr,
+               "SMOKE OK: lazy==eager, per-ISA==eager (<=%s), 2-thread==sequential "
+               "(bit-identical)\n",
+               simd::isa_name(simd::best_supported_isa()));
   return 0;
 }
 
@@ -269,6 +379,14 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--isa" && i + 1 < argc) {
+      const char* value = argv[++i];
+      try {
+        alchemist::simd::set_isa(alchemist::simd::parse_isa(value));
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "invalid --isa value '%s': %s\n", value, e.what());
+        return 2;
+      }
     } else {
       argv[out++] = argv[i];
     }
@@ -283,6 +401,7 @@ int main(int argc, char** argv) {
     return run_metrics_mode(metrics_path, threads > 0 ? threads : 2);
   }
 
+  register_isa_benchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

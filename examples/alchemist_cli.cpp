@@ -25,6 +25,10 @@
 //   --threads <n>          width of the shared compute pool functional
 //                          kernels fan out on (default ALCHEMIST_THREADS or
 //                          hardware concurrency; 1 = sequential)
+//   --isa <i>              force the SIMD dispatch of the NTT/accumulator
+//                          kernels: scalar | avx2 | avx512 | native
+//                          (default ALCHEMIST_ISA or best CPUID-supported;
+//                          unsupported values exit 2)
 // Fault modeling (Alchemist only; see src/fault/fault_model.h):
 //   --fault-seed <s>       RNG seed for transient fault sampling (default 0xfa117)
 //   --fault-rate <r>       transient fault rate applied to all three domains
@@ -38,9 +42,11 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "obs/report.h"
 #include "obs/timeline.h"
@@ -67,7 +73,7 @@ int usage() {
                "       [--hbm GB/s] [--stream-fraction f] [--level L]\n"
                "       [--batch B] [--event] [--profile] [--trace-out T.json] [--metrics-out M.json]\n"
                "       [--fault-seed S] [--fault-rate R] [--fault-policy none|detect-retry|dmr]\n"
-               "       [--mask-units i,j,...] [--threads N]\n"
+               "       [--mask-units i,j,...] [--threads N] [--isa scalar|avx2|avx512|native]\n"
                "workloads: pmult hadd keyswitch cmult rotation rescale bootstrap\n"
                "           bootstrap-hoisted helr mnist mnist-enc pbs-i pbs-ii bfv-cmult\n");
   return 2;
@@ -166,6 +172,15 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--metrics-out") metrics_out = next();
     else if (arg == "--threads") ThreadPool::set_threads(parse_count("--threads", next()));
+    else if (arg == "--isa") {
+      const char* value = next();
+      try {
+        simd::set_isa(simd::parse_isa(value));
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "invalid --isa value \"%s\": %s\n", value, e.what());
+        return 2;
+      }
+    }
     else if (arg == "--fault-seed") {
       fault_cfg.seed = parse_seed("--fault-seed", next());
       fault_requested = true;

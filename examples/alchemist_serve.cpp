@@ -31,10 +31,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "net/server.h"
 #include "obs/log.h"
@@ -59,6 +61,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: alchemist_serve [--workers N] [--jobs N] [--fault-rate R]\n"
                "       [--deadline-ms D] [--queue N] [--seed S] [--threads N]\n"
+               "       [--isa scalar|avx2|avx512|native]\n"
                "       [--introspect-port P] [--port P] [--loop-seconds S]\n"
                "       [--tenants N] [--trace-out PATH] [--timeline-out PATH]\n"
                "       [--trace-detail lifecycle|phases|ops]\n"
@@ -69,6 +72,10 @@ int usage() {
                "  --threads N  width of the shared compute pool the kernels of\n"
                "               every job fan out on (default: ALCHEMIST_THREADS\n"
                "               or hardware concurrency; 1 = sequential)\n"
+               "  --isa I      force the SIMD dispatch of the NTT/accumulator\n"
+               "               kernels (default: ALCHEMIST_ISA or best CPUID-\n"
+               "               supported); the selection and per-kernel dispatch\n"
+               "               counts surface as substrate.isa* in /metrics\n"
                "  --introspect-port P  serve /healthz /metrics /statusz /buildz\n"
                "               /tracez /logz on 127.0.0.1:P (0 = ephemeral; the\n"
                "               resolved port is printed)\n"
@@ -130,6 +137,15 @@ int main(int argc, char** argv) {
       const long long t = std::atoll(next());
       if (t <= 0) return usage();
       ThreadPool::set_threads(static_cast<std::size_t>(t));
+    }
+    else if (arg == "--isa") {
+      const char* value = next();
+      try {
+        simd::set_isa(simd::parse_isa(value));
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "invalid --isa value \"%s\": %s\n", value, e.what());
+        return 2;
+      }
     }
     else return usage();
   }

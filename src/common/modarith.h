@@ -130,6 +130,7 @@ class MulModShoup {
   }
 
   u64 operand() const { return operand_; }
+  u64 quotient() const { return quotient_; }
 
   u64 mul(u64 x) const {
     const u64 hi = static_cast<u64>((u128{quotient_} * x) >> 64);

@@ -1,5 +1,6 @@
 #include "poly/four_step_ntt.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/primes.h"
@@ -9,29 +10,16 @@ namespace alchemist {
 
 namespace {
 
-// Iterative Cooley-Tukey cyclic DFT, natural order in and out (input is
-// bit-reverse permuted first). `omega` must have multiplicative order m.
-void cyclic_dft(std::span<u64> a, const Modulus& mod, u64 omega) {
-  const std::size_t m = a.size();
-  int log_m = 0;
-  while ((std::size_t{1} << log_m) < m) ++log_m;
-  for (std::size_t i = 0; i < m; ++i) {
-    const std::size_t j = bit_reverse(i, log_m);
-    if (i < j) std::swap(a[i], a[j]);
-  }
-  for (std::size_t len = 2; len <= m; len <<= 1) {
-    const u64 wlen = mod.pow(omega, static_cast<u64>(m / len));
-    for (std::size_t i = 0; i < m; i += len) {
-      u64 w = 1;
-      for (std::size_t j = 0; j < len / 2; ++j) {
-        const u64 u = a[i + j];
-        const u64 v = mod.mul(a[i + j + len / 2], w);
-        a[i + j] = mod.add(u, v);
-        a[i + j + len / 2] = mod.sub(u, v);
-        w = mod.mul(w, wlen);
-      }
-    }
-  }
+inline u64 shoup_mul(u64 x, u64 op, u64 quot, u64 q) {
+  const u64 hi = static_cast<u64>((u128{quot} * x) >> 64);
+  u64 r = op * x - hi * q;
+  if (r >= q) r -= q;
+  return r;  // [0, q) for any 64-bit x, including lazy [0, 4q) DFT outputs
+}
+
+inline u64 shoup_mul_lazy(u64 x, u64 op, u64 quot, u64 q) {
+  const u64 hi = static_cast<u64>((u128{quot} * x) >> 64);
+  return op * x - hi * q;  // [0, 2q)
 }
 
 }  // namespace
@@ -49,60 +37,208 @@ FourStepNtt::FourStepNtt(u64 q, std::size_t n) : mod_(q), n_(n) {
   psi_inv_ = mod_.inv(psi_);
   omega_ = mod_.mul(psi_, psi_);
   omega_inv_ = mod_.inv(omega_);
+  build_plans();
+}
 
-  twist_.resize(n);
-  untwist_.resize(n);
-  const u64 n_inv = mod_.inv(static_cast<u64>(n));
+void FourStepNtt::build_plans() {
+  const u64 q = mod_.value();
+  const auto shoup_pair = [q](u64 w, MulPlan& plan, std::size_t idx) {
+    const MulModShoup s(w, q);
+    plan.op[idx] = s.operand();
+    plan.quot[idx] = s.quotient();
+  };
+  const auto resize_plan = [](MulPlan& plan, std::size_t m) {
+    plan.op.resize(m);
+    plan.quot.resize(m);
+  };
+
+  // Twist psi^i and untwist psi^{-i} * N^{-1}, indexed by the natural
+  // coefficient position (the source index of the first transpose, the
+  // destination index of the last).
+  resize_plan(twist_, n_);
+  resize_plan(untwist_, n_);
+  const u64 n_inv = mod_.inv(static_cast<u64>(n_));
   u64 p = 1, pi = n_inv;
-  for (std::size_t i = 0; i < n; ++i) {
-    twist_[i] = p;
-    untwist_[i] = pi;  // psi^{-i} * N^{-1}
+  for (std::size_t i = 0; i < n_; ++i) {
+    shoup_pair(p, twist_, i);
+    shoup_pair(pi, untwist_, i);
     p = mod_.mul(p, psi_);
     pi = mod_.mul(pi, psi_inv_);
   }
-}
 
-void FourStepNtt::cyclic_ntt(std::span<u64> a, bool invert) const {
-  const u64 w = invert ? omega_inv_ : omega_;
-  // Matrix layout: element a[i2 * n1 + i1] is row i1 (of n1 rows), column i2
-  // (of n2 columns). Output index: k = k1 * n2 + k2.
-  std::vector<u64> row(n2_);
-  std::vector<u64> scratch(n_);
-
-  // Phase 1: n1 independent DFTs of size n2 over stride-n1 slices, with root
-  // w^{n1} (order n2).
-  const u64 w_n1 = mod_.pow(w, static_cast<u64>(n1_));
+  // Mid twiddles omega^{±i1*k2}, laid out row-major with the row-DFT sweep:
+  // mid[i1 * n2 + k2]. Row i1 is the running-power sequence of omega^{i1}.
+  resize_plan(mid_fwd_, n_);
+  resize_plan(mid_inv_, n_);
   for (std::size_t i1 = 0; i1 < n1_; ++i1) {
-    for (std::size_t i2 = 0; i2 < n2_; ++i2) row[i2] = a[i2 * n1_ + i1];
-    cyclic_dft(row, mod_, w_n1);
-    // Phase 2 fused in: per-element twiddle w^(i1 * k2).
+    const u64 step_f = mod_.pow(omega_, static_cast<u64>(i1));
+    const u64 step_i = mod_.pow(omega_inv_, static_cast<u64>(i1));
+    u64 wf = 1, wi = 1;
     for (std::size_t k2 = 0; k2 < n2_; ++k2) {
-      const u64 tw = mod_.pow(w, static_cast<u64>(i1 * k2));
-      scratch[k2 * n1_ + i1] = mod_.mul(row[k2], tw);
+      shoup_pair(wf, mid_fwd_, i1 * n2_ + k2);
+      shoup_pair(wi, mid_inv_, i1 * n2_ + k2);
+      wf = mod_.mul(wf, step_f);
+      wi = mod_.mul(wi, step_i);
     }
   }
 
-  // Phase 3 (after the transpose implied by the scratch layout): n2
-  // independent DFTs of size n1 over contiguous columns, root w^{n2}.
-  const u64 w_n2 = mod_.pow(w, static_cast<u64>(n2_));
-  std::vector<u64> col(n1_);
+  // Sub-DFT stage schedules: tw[len/2 + j] = (w^{m/len})^j flattens every
+  // stage of an m-point natural-order CT into one m-word Shoup pair.
+  const auto build_dft = [this, &shoup_pair, &resize_plan](u64 w, std::size_t m,
+                                                          DftPlan& plan) {
+    plan.m = m;
+    plan.log_m = 0;
+    while ((std::size_t{1} << plan.log_m) < m) ++plan.log_m;
+    resize_plan(plan.tw, m);
+    for (std::size_t len = 2; len <= m; len <<= 1) {
+      const u64 wlen = mod_.pow(w, static_cast<u64>(m / len));
+      u64 cur = 1;
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        shoup_pair(cur, plan.tw, len / 2 + j);
+        cur = mod_.mul(cur, wlen);
+      }
+    }
+  };
+  build_dft(mod_.pow(omega_, static_cast<u64>(n1_)), n2_, row_fwd_);
+  build_dft(mod_.pow(omega_inv_, static_cast<u64>(n1_)), n2_, row_inv_);
+  build_dft(mod_.pow(omega_, static_cast<u64>(n2_)), n1_, col_fwd_);
+  build_dft(mod_.pow(omega_inv_, static_cast<u64>(n2_)), n1_, col_inv_);
+}
+
+namespace {
+
+// In-place m-point cyclic DFT over one contiguous row, natural order in and
+// out: bit-reverse permute, then Harvey lazy CT stages against the flattened
+// Shoup schedule. Input in [0, q); output lazy in [0, 4q).
+void dft_row_lazy(u64* a, std::size_t m, int log_m,
+                  const u64* tw_op, const u64* tw_quot, u64 q) {
+  const u64 two_q = 2 * q;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t j = bit_reverse(i, log_m);
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= m; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < m; i += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        u64 u = a[i + j];
+        u -= two_q & (u >= two_q ? ~u64{0} : 0);
+        const u64 v = shoup_mul_lazy(a[i + j + half], tw_op[half + j],
+                                     tw_quot[half + j], q);
+        a[i + j] = u + v;
+        a[i + j + half] = u + two_q - v;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void FourStepNtt::cyclic_ntt(std::span<u64> a, bool invert, Workspace& ws) const {
+  // Matrix layout: element a[i2 * n1 + i1] is row i1 (of n1 rows), column i2
+  // (of n2 columns). Output index: k = k1 * n2 + k2.
+  const u64 q = mod_.value();
+  ws.buf_a.resize(n_);
+  ws.buf_b.resize(n_);
+  u64* rows = ws.buf_a.data();  // i1-major: rows[i1 * n2 + i2]
+  u64* cols = ws.buf_b.data();  // k2-major: cols[k2 * n1 + i1]
+  const MulPlan& mid = invert ? mid_inv_ : mid_fwd_;
+  const DftPlan& row_plan = invert ? row_inv_ : row_fwd_;
+  const DftPlan& col_plan = invert ? col_inv_ : col_fwd_;
+
+  // Step 1: tiled transpose a (n2 x n1, i2-major) -> rows (i1-major). The
+  // forward negacyclic twist psi^i is fused into this sweep (its index is the
+  // source index); the inverse starts untwisted.
+  for (std::size_t rb = 0; rb < n2_; rb += kTile) {
+    const std::size_t re = std::min(n2_, rb + kTile);
+    for (std::size_t cb = 0; cb < n1_; cb += kTile) {
+      const std::size_t ce = std::min(n1_, cb + kTile);
+      for (std::size_t i2 = rb; i2 < re; ++i2) {
+        for (std::size_t i1 = cb; i1 < ce; ++i1) {
+          const std::size_t src = i2 * n1_ + i1;
+          rows[i1 * n2_ + i2] =
+              invert ? a[src] : shoup_mul(a[src], twist_.op[src], twist_.quot[src], q);
+        }
+      }
+    }
+  }
+
+  // Step 2: n1 contiguous row DFTs of size n2 (root w^{n1}), each followed by
+  // the fused mid-twiddle multiply w^{±i1*k2} that also canonicalizes the
+  // lazy DFT output back to [0, q).
+  for (std::size_t i1 = 0; i1 < n1_; ++i1) {
+    u64* row = rows + i1 * n2_;
+    dft_row_lazy(row, n2_, row_plan.log_m, row_plan.tw.op.data(),
+                 row_plan.tw.quot.data(), q);
+    const u64* mop = mid.op.data() + i1 * n2_;
+    const u64* mquot = mid.quot.data() + i1 * n2_;
+    for (std::size_t k2 = 0; k2 < n2_; ++k2) {
+      row[k2] = shoup_mul(row[k2], mop[k2], mquot[k2], q);
+    }
+  }
+
+  // Step 3: tiled transpose rows (n1 x n2) -> cols (k2-major).
+  for (std::size_t rb = 0; rb < n1_; rb += kTile) {
+    const std::size_t re = std::min(n1_, rb + kTile);
+    for (std::size_t cb = 0; cb < n2_; cb += kTile) {
+      const std::size_t ce = std::min(n2_, cb + kTile);
+      for (std::size_t i1 = rb; i1 < re; ++i1) {
+        for (std::size_t k2 = cb; k2 < ce; ++k2) {
+          cols[k2 * n1_ + i1] = rows[i1 * n2_ + k2];
+        }
+      }
+    }
+  }
+
+  // Step 4: n2 contiguous column DFTs of size n1 (root w^{n2}), lazy output.
   for (std::size_t k2 = 0; k2 < n2_; ++k2) {
-    for (std::size_t i1 = 0; i1 < n1_; ++i1) col[i1] = scratch[k2 * n1_ + i1];
-    cyclic_dft(col, mod_, w_n2);
-    for (std::size_t k1 = 0; k1 < n1_; ++k1) a[k1 * n2_ + k2] = col[k1];
+    dft_row_lazy(cols + k2 * n1_, n1_, col_plan.log_m, col_plan.tw.op.data(),
+                 col_plan.tw.quot.data(), q);
+  }
+
+  // Step 5: tiled transpose cols (n2 x n1) back to the natural output order
+  // a[k1 * n2 + k2]. The inverse fuses untwist psi^{-k} * N^{-1} (indexed by
+  // the destination) which canonicalizes; the forward folds [0,4q) -> [0,q).
+  const u64 two_q = 2 * q;
+  for (std::size_t rb = 0; rb < n2_; rb += kTile) {
+    const std::size_t re = std::min(n2_, rb + kTile);
+    for (std::size_t cb = 0; cb < n1_; cb += kTile) {
+      const std::size_t ce = std::min(n1_, cb + kTile);
+      for (std::size_t k2 = rb; k2 < re; ++k2) {
+        for (std::size_t k1 = cb; k1 < ce; ++k1) {
+          const std::size_t dst = k1 * n2_ + k2;
+          u64 x = cols[k2 * n1_ + k1];
+          if (invert) {
+            x = shoup_mul(x, untwist_.op[dst], untwist_.quot[dst], q);
+          } else {
+            x -= two_q & (x >= two_q ? ~u64{0} : 0);
+            x -= q & (x >= q ? ~u64{0} : 0);
+          }
+          a[dst] = x;
+        }
+      }
+    }
   }
 }
 
 void FourStepNtt::forward(std::span<u64> a) const {
-  if (a.size() != n_) throw std::invalid_argument("FourStepNtt::forward: size mismatch");
-  for (std::size_t i = 0; i < n_; ++i) a[i] = mod_.mul(a[i], twist_[i]);
-  cyclic_ntt(a, /*invert=*/false);
+  static thread_local Workspace ws;
+  forward(a, ws);
 }
 
 void FourStepNtt::inverse(std::span<u64> a) const {
+  static thread_local Workspace ws;
+  inverse(a, ws);
+}
+
+void FourStepNtt::forward(std::span<u64> a, Workspace& ws) const {
+  if (a.size() != n_) throw std::invalid_argument("FourStepNtt::forward: size mismatch");
+  cyclic_ntt(a, /*invert=*/false, ws);
+}
+
+void FourStepNtt::inverse(std::span<u64> a, Workspace& ws) const {
   if (a.size() != n_) throw std::invalid_argument("FourStepNtt::inverse: size mismatch");
-  cyclic_ntt(a, /*invert=*/true);
-  for (std::size_t i = 0; i < n_; ++i) a[i] = mod_.mul(a[i], untwist_[i]);
+  cyclic_ntt(a, /*invert=*/true, ws);
 }
 
 }  // namespace alchemist

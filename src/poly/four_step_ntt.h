@@ -10,7 +10,13 @@
 //
 // This class is the *functional reference* for that decomposition; the cycle
 // simulator (src/sim) charges the corresponding Meta-OPs and transpose traffic
-// analytically.
+// analytically. The implementation is cache-blocked: both global transposes
+// run as kTile x kTile tiles (one tile pair fits L1), the twist / mid-twiddle
+// / untwist multiplies are fused into the tile and row sweeps as precomputed
+// Shoup multiplications, and the sub-DFTs walk contiguous rows with Harvey
+// lazy butterflies. Scratch lives in a reusable Workspace — thread_local by
+// default, or caller-provided for pooled reuse — so repeated transforms do
+// not allocate.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +29,18 @@ namespace alchemist {
 
 class FourStepNtt {
  public:
+  // Transpose tile edge: 32x32 u64 tiles = 8 KiB source + destination
+  // footprint, comfortably inside a 32 KiB L1D even with twiddle tables
+  // streaming alongside.
+  static constexpr std::size_t kTile = 32;
+
+  // Reusable scratch for one transform: two N-word buffers (ping-pong across
+  // the transpose phases). Not thread-safe to share; the no-Workspace entry
+  // points use a thread_local instance instead.
+  struct Workspace {
+    std::vector<u64> buf_a, buf_b;
+  };
+
   // q prime with q ≡ 1 (mod 2N); N a power of two >= 4.
   FourStepNtt(u64 q, std::size_t n);
 
@@ -35,20 +53,45 @@ class FourStepNtt {
   // Exact inverse of forward().
   void inverse(std::span<u64> a) const;
 
+  // Same transforms with caller-owned scratch (no thread_local, no
+  // allocation after first use of `ws`).
+  void forward(std::span<u64> a, Workspace& ws) const;
+  void inverse(std::span<u64> a, Workspace& ws) const;
+
   // Number of independent sub-NTTs per phase — what the paper's "128 sub-NTTs
   // of 128 points" statement counts for N = 16384.
   std::size_t sub_ntts_phase1() const { return n1_; }
   std::size_t sub_ntts_phase2() const { return n2_; }
 
  private:
-  void cyclic_ntt(std::span<u64> a, bool invert) const;
+  // Shoup pairs for an elementwise multiply fused into a sweep.
+  struct MulPlan {
+    std::vector<u64> op, quot;
+  };
+
+  // Per-stage Shoup twiddle plan for an m-point natural-order cyclic DFT:
+  // tw[len/2 + j] = (w^{m/len})^j for each stage len, so the whole schedule
+  // flattens into one pair of m-word arrays (index 0 unused).
+  struct DftPlan {
+    std::size_t m = 0;
+    int log_m = 0;
+    MulPlan tw;
+  };
+
+  void build_plans();
+  void cyclic_ntt(std::span<u64> a, bool invert, Workspace& ws) const;
 
   Modulus mod_;
   std::size_t n_ = 0, n1_ = 0, n2_ = 0;
   u64 psi_ = 0, psi_inv_ = 0;
   u64 omega_ = 0, omega_inv_ = 0;  // psi^2, order-N cyclic root
-  std::vector<u64> twist_;         // psi^i
-  std::vector<u64> untwist_;       // psi^{-i} / N folded in
+
+  MulPlan twist_;       // psi^i, fused into the first transpose
+  MulPlan untwist_;     // psi^{-i} * N^{-1}, fused into the last transpose
+  MulPlan mid_fwd_;     // omega^{i1*k2}, fused into the row-DFT sweep
+  MulPlan mid_inv_;     // omega^{-i1*k2}
+  DftPlan row_fwd_, row_inv_;  // n2-point sub-DFT schedules
+  DftPlan col_fwd_, col_inv_;  // n1-point sub-DFT schedules
 };
 
 }  // namespace alchemist

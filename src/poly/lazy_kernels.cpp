@@ -1,7 +1,9 @@
 #include "poly/lazy_kernels.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace alchemist {
@@ -34,20 +36,22 @@ u64 dot_mod_lazy(std::span<const u64> a, std::span<const u64> b, const Modulus& 
   if (a.size() != b.size()) throw std::invalid_argument("dot_mod: size mismatch");
   if (!lazy_accumulation_fits(a.size(), bit_width_u64(mod.value()),
                               bit_width_u64(mod.value()))) {
-    // Headroom exhausted: fall back to block-wise accumulation.
+    // Headroom exhausted: fall back to block-wise accumulation. Each block's
+    // exact 128-bit sum fits by construction, so the vectorized accumulator
+    // still applies per block.
     u64 acc = 0;
     const std::size_t block = std::size_t{1} << (127 - 2 * bit_width_u64(mod.value()));
     for (std::size_t start = 0; start < a.size(); start += block) {
-      u128 partial = 0;
       const std::size_t end = std::min(a.size(), start + block);
-      for (std::size_t i = start; i < end; ++i) partial += u128{a[i]} * b[i];
-      acc = mod.add(acc, mod.reduce(partial));
+      u64 hi = 0, lo = 0;
+      simd::dot_accumulate(a.data() + start, b.data() + start, end - start, hi, lo);
+      acc = mod.add(acc, mod.reduce((u128{hi} << 64) | lo));
     }
     return acc;
   }
-  u128 acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += u128{a[i]} * b[i];
-  return mod.reduce(acc);  // one reduction for the whole accumulation
+  u64 hi = 0, lo = 0;
+  simd::dot_accumulate(a.data(), b.data(), a.size(), hi, lo);
+  return mod.reduce((u128{hi} << 64) | lo);  // one reduction for the whole sum
 }
 
 // Output coefficients are independent, so both variants split the k-range
@@ -77,11 +81,26 @@ void weighted_sum_lazy(std::span<const std::vector<u64>> x, std::span<const u64>
     return;
   }
   KernelTimer timer(Kernel::WeightedSum);
+  // One dispatch per kernel call; the inner per-block accumulations reuse the
+  // same resolved ISA without re-counting.
+  simd::note_dispatch(simd::Kern::WeightedSum, simd::active_isa());
   parallel_for(out.size(), 4096, [&](std::size_t kb, std::size_t ke) {
-    for (std::size_t k = kb; k < ke; ++k) {
-      u128 acc = 0;
-      for (std::size_t i = 0; i < x.size(); ++i) acc += u128{w[i]} * x[i][k];
-      out[k] = mod.reduce(acc);
+    // Blocked SoA accumulators: for each block of coefficients, fold every
+    // input channel in with the vectorized 128-bit accumulator, then reduce.
+    // The i-over-k loop order turns the per-coefficient channel walk into
+    // contiguous streaming loads of x[i].
+    constexpr std::size_t kBlock = 512;
+    u64 acc_lo[kBlock], acc_hi[kBlock];
+    for (std::size_t b = kb; b < ke; b += kBlock) {
+      const std::size_t len = std::min(kBlock, ke - b);
+      std::fill_n(acc_lo, len, u64{0});
+      std::fill_n(acc_hi, len, u64{0});
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        simd::weighted_accumulate(x[i].data() + b, w[i], len, acc_lo, acc_hi);
+      }
+      for (std::size_t k = 0; k < len; ++k) {
+        out[b + k] = mod.reduce((u128{acc_hi[k]} << 64) | acc_lo[k]);
+      }
     }
   });
 }

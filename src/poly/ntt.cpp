@@ -27,12 +27,20 @@ NttTable::NttTable(u64 q, std::size_t n)
 
   root_powers_.resize(n);
   inv_root_powers_.resize(n);
+  w_op_.resize(n);
+  w_quot_.resize(n);
+  inv_w_op_.resize(n);
+  inv_w_quot_.resize(n);
   u64 power = 1;
   u64 inv_power = 1;
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t rev = bit_reverse(i, log_n_);
     root_powers_[rev] = MulModShoup(power, q);
     inv_root_powers_[rev] = MulModShoup(inv_power, q);
+    w_op_[rev] = root_powers_[rev].operand();
+    w_quot_[rev] = root_powers_[rev].quotient();
+    inv_w_op_[rev] = inv_root_powers_[rev].operand();
+    inv_w_quot_[rev] = inv_root_powers_[rev].quotient();
     power = mul_mod(power, psi_, q);
     inv_power = mul_mod(inv_power, psi_inv, q);
   }
@@ -41,60 +49,28 @@ NttTable::NttTable(u64 q, std::size_t n)
 
 void NttTable::forward(std::span<u64> a) const {
   if (a.size() != n_) throw std::invalid_argument("NttTable::forward: size mismatch");
-  // Harvey lazy butterflies: u is folded into [0, 2q) on read, v = w*x lands
-  // in [0, 2q) (Shoup without the final correction), so both outputs stay in
-  // [0, 4q). One canonicalizing pass runs after the last stage.
-  const u64 q = mod_.value();
-  const u64 two_q = 2 * q;
-  std::size_t t = n_;
-  for (std::size_t m = 1; m < n_; m <<= 1) {
-    t >>= 1;
-    for (std::size_t i = 0; i < m; ++i) {
-      const std::size_t j1 = 2 * i * t;
-      const MulModShoup& s = root_powers_[m + i];
-      for (std::size_t j = j1; j < j1 + t; ++j) {
-        u64 u = a[j];
-        // Branchless fold into [0, 2q): u >= 2q half the time on lazy data,
-        // so a compare-and-subtract branch would mispredict constantly.
-        u -= two_q & (u >= two_q ? ~u64{0} : 0);
-        const u64 v = s.mul_lazy(a[j + t]);
-        a[j] = u + v;
-        a[j + t] = u + two_q - v;
-      }
-    }
-  }
-  for (u64& x : a) {
-    x -= two_q & (x >= two_q ? ~u64{0} : 0);
-    x -= q & (x >= q ? ~u64{0} : 0);
-  }
+  // Harvey lazy butterflies: values live in [0, 4q) through the stages with
+  // one canonicalizing pass at the end. The kernel itself lives in
+  // common/simd.* (scalar / AVX2 / AVX-512, runtime-dispatched,
+  // bit-identical); this wrapper only validates and hands over the SoA view.
+  simd::ntt_forward_lazy(fwd_view(), a.data());
 }
 
 void NttTable::inverse(std::span<u64> a) const {
   if (a.size() != n_) throw std::invalid_argument("NttTable::inverse: size mismatch");
-  // Gentleman-Sande with lazy values in [0, 2q): the sum is folded back below
-  // 2q, the difference (shifted by 2q) feeds the lazy Shoup multiply. The
-  // final N^{-1} multiply canonicalizes to [0, q).
-  const u64 q = mod_.value();
-  const u64 two_q = 2 * q;
-  std::size_t t = 1;
-  for (std::size_t m = n_; m > 1; m >>= 1) {
-    const std::size_t h = m >> 1;
-    std::size_t j1 = 0;
-    for (std::size_t i = 0; i < h; ++i) {
-      const MulModShoup& s = inv_root_powers_[h + i];
-      for (std::size_t j = j1; j < j1 + t; ++j) {
-        const u64 u = a[j];
-        const u64 v = a[j + t];
-        u64 sum = u + v;
-        sum -= two_q & (sum >= two_q ? ~u64{0} : 0);
-        a[j] = sum;
-        a[j + t] = s.mul_lazy(u + two_q - v);
-      }
-      j1 += 2 * t;
-    }
-    t <<= 1;
-  }
-  for (u64& x : a) x = n_inv_.mul(x);
+  // Gentleman-Sande with lazy values in [0, 2q); the final N^{-1} Shoup
+  // multiply canonicalizes to [0, q). Kernel dispatched via common/simd.*.
+  simd::ntt_inverse_lazy(inv_view(), a.data(), n_inv_.operand(), n_inv_.quotient());
+}
+
+void NttTable::forward(std::span<u64> a, simd::Isa isa) const {
+  if (a.size() != n_) throw std::invalid_argument("NttTable::forward: size mismatch");
+  simd::ntt_forward_lazy(fwd_view(), a.data(), isa);
+}
+
+void NttTable::inverse(std::span<u64> a, simd::Isa isa) const {
+  if (a.size() != n_) throw std::invalid_argument("NttTable::inverse: size mismatch");
+  simd::ntt_inverse_lazy(inv_view(), a.data(), n_inv_.operand(), n_inv_.quotient(), isa);
 }
 
 void NttTable::forward_eager(std::span<u64> a) const {

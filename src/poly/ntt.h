@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/modarith.h"
+#include "common/simd.h"
 
 namespace alchemist {
 
@@ -40,9 +41,16 @@ class NttTable {
 
   // In-place forward negacyclic NTT: natural order in, bit-reversed out.
   // Input coefficients must be in [0, q); output is canonical [0, q).
+  // Dispatches to the best runtime-selected SIMD variant (common/simd.h);
+  // all variants are bit-identical to the scalar lazy reference.
   void forward(std::span<u64> a) const;
   // In-place inverse negacyclic NTT: bit-reversed in, natural order out.
   void inverse(std::span<u64> a) const;
+
+  // Forced-ISA variants for tests and per-ISA benchmarks. Throw
+  // std::invalid_argument if `isa` is not compiled in / not CPU-supported.
+  void forward(std::span<u64> a, simd::Isa isa) const;
+  void inverse(std::span<u64> a, simd::Isa isa) const;
 
   // Classical eagerly-reduced butterflies (pre-lazy dataflow). Bit-identical
   // outputs to forward()/inverse(); roughly one extra conditional subtraction
@@ -52,12 +60,24 @@ class NttTable {
   void inverse_eager(std::span<u64> a) const;
 
  private:
+  simd::NttTables fwd_view() const {
+    return {w_op_.data(), w_quot_.data(), mod_.value(), n_};
+  }
+  simd::NttTables inv_view() const {
+    return {inv_w_op_.data(), inv_w_quot_.data(), mod_.value(), n_};
+  }
+
   Modulus mod_;
   std::size_t n_ = 0;
   int log_n_ = 0;
   u64 psi_ = 0;
   std::vector<MulModShoup> root_powers_;      // psi^brev(i)
   std::vector<MulModShoup> inv_root_powers_;  // psi^{-brev(i)}
+  // SoA mirrors of the Shoup pairs above: the SIMD kernels read operands and
+  // quotients from separate contiguous arrays so lanes load with one vector
+  // fetch each instead of a strided gather over MulModShoup structs.
+  std::vector<u64> w_op_, w_quot_;
+  std::vector<u64> inv_w_op_, inv_w_quot_;
   MulModShoup n_inv_;
 };
 

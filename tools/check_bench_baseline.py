@@ -3,7 +3,8 @@
 
 Usage:
     tools/check_bench_baseline.py BASELINE.json CURRENT.json [--tolerance 0.05]
-                                  [--ignore REGEX] [--md-out FILE]
+                                  [--ignore REGEX] [--optional REGEX]
+                                  [--md-out FILE]
 
 --md-out writes the full per-counter comparison as a GitHub-flavored Markdown
 table (written on success AND failure; CI appends it to $GITHUB_STEP_SUMMARY
@@ -20,6 +21,13 @@ show up in review. Counters only present in the current report are allowed
 Wall-clock counters are machine-dependent and must not gate: pass
 --ignore 'wall_ns|kernel_ns' to skip any counter whose name matches the
 regex (skips are reported as notes, never as failures).
+
+Some runs only exist on capable hosts (e.g. the per-ISA NTT substrate runs
+`ntt_substrate_t2_avx2` / `_avx512` need AVX hardware): pass
+--optional '(avx2|avx512)' to demote "run missing from current report" to a
+note for any run whose workload matches the regex. Optional runs ARE still
+fully gated whenever both reports contain them, so a host that can run them
+cannot silently regress them.
 
 Exit codes: 0 ok, 1 regression/missing data, 2 usage or unreadable input.
 """
@@ -83,10 +91,16 @@ def main():
     ap.add_argument("--ignore", metavar="REGEX", default=None,
                     help="skip counters whose name matches this regex "
                          "(e.g. 'wall_ns|kernel_ns' for wall-clock rows)")
+    ap.add_argument("--optional", metavar="REGEX", default=None,
+                    help="runs whose workload matches this regex may be "
+                         "absent from the current report without failing "
+                         "(e.g. '(avx2|avx512)' for host-dependent ISA runs); "
+                         "they are still gated when present in both reports")
     ap.add_argument("--md-out", metavar="FILE", default=None,
                     help="also write the comparison as a Markdown summary table")
     args = ap.parse_args()
     ignore = re.compile(args.ignore) if args.ignore else None
+    optional = re.compile(args.optional) if args.optional else None
 
     baseline = load(args.baseline)
     current = load(args.current)
@@ -104,6 +118,11 @@ def main():
         label = f"{run_key[0]} [{run_key[1]}]"
         cur_counters = current.get(run_key)
         if cur_counters is None:
+            if optional is not None and optional.search(run_key[0]):
+                infos.append(f"{label}: optional run absent from current "
+                             f"report (ok, matches --optional)")
+                md_rows.append((label, "(run)", "-", "absent", None, "skipped"))
+                continue
             failures.append(f"{label}: run missing from current report")
             md_rows.append((label, "(run)", "-", "missing", None, "FAIL"))
             continue
