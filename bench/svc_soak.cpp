@@ -21,11 +21,14 @@
 // Modes:
 //   --quick            one worker count (4) instead of {1,2,4,8}
 //   --smoke            overhead gates: the same deterministic job set runs
-//                      (a) with and without JobSpec::profile and (b) with and
-//                      without distributed tracing (TraceSink + EventLog at
-//                      phase detail); results must be bit-identical in both
-//                      comparisons and each instrumented wall-clock (best of
-//                      3) within 10% of the plain one
+//                      (a) with and without JobSpec::profile, (b) with and
+//                      without JobSpec::mem_profile (memory.v1 attribution;
+//                      every attributed byte must equal the run's
+//                      sim.hbm.bytes) and (c) with and without distributed
+//                      tracing (TraceSink + EventLog at phase detail);
+//                      results must be bit-identical in every comparison and
+//                      each instrumented wall-clock (best of 3) within 10%
+//                      of the plain one
 //   --metrics-out F    write the final run's svc.* registry (latency
 //                      histograms included) as a metrics.v1 JSON report;
 //                      traced runs graft their spans in as a spans.v1 section
@@ -289,7 +292,8 @@ bool run_smoke(const std::string& trace_out) {
   obs::TraceSink sink(1 << 17);
   obs::EventLog log;
   svc::TraceSummary slowest{};
-  auto run = [&](bool profile, bool traced, std::vector<sim::SimResult>& results,
+  auto run = [&](bool profile, bool mem, bool traced,
+                 std::vector<sim::SimResult>& results,
                  obs::Registry* reg_out) {
     svc::RunnerOptions opts;
     opts.workers = 4;
@@ -311,6 +315,7 @@ bool run_smoke(const std::string& trace_out) {
       spec.graph = graphs[i % graphs.size()];
       spec.engine = (i % 2 == 0) ? svc::Engine::Level : svc::Engine::Event;
       spec.profile = profile;
+      spec.mem_profile = mem;
       handles.push_back(runner.submit(std::move(spec)));
     }
     runner.drain();
@@ -330,23 +335,30 @@ bool run_smoke(const std::string& trace_out) {
     return wall_ms;
   };
 
-  double wall_off = 1e300, wall_profiled = 1e300, wall_traced = 1e300;
-  std::vector<sim::SimResult> base, profiled, traced, scratch;
-  obs::Registry last_reg;
+  double wall_off = 1e300, wall_profiled = 1e300, wall_mem = 1e300,
+         wall_traced = 1e300;
+  std::vector<sim::SimResult> base, profiled, memed, traced, scratch;
+  obs::Registry last_reg, mem_reg;
   for (int rep = 0; rep < kReps; ++rep) {
-    const double ms = run(false, false, scratch, nullptr);
+    const double ms = run(false, false, false, scratch, nullptr);
     if (ms < 0) { std::fprintf(stderr, "smoke: plain job failed\n"); return false; }
     wall_off = std::min(wall_off, ms);
     if (rep == 0) base = scratch;
   }
   for (int rep = 0; rep < kReps; ++rep) {
-    const double ms = run(true, false, scratch, &last_reg);
+    const double ms = run(true, false, false, scratch, &last_reg);
     if (ms < 0) { std::fprintf(stderr, "smoke: profiled job failed\n"); return false; }
     wall_profiled = std::min(wall_profiled, ms);
     if (rep == 0) profiled = scratch;
   }
   for (int rep = 0; rep < kReps; ++rep) {
-    const double ms = run(false, true, scratch, nullptr);
+    const double ms = run(false, true, false, scratch, &mem_reg);
+    if (ms < 0) { std::fprintf(stderr, "smoke: mem-profiled job failed\n"); return false; }
+    wall_mem = std::min(wall_mem, ms);
+    if (rep == 0) memed = scratch;
+  }
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double ms = run(false, false, true, scratch, nullptr);
     if (ms < 0) { std::fprintf(stderr, "smoke: traced job failed\n"); return false; }
     wall_traced = std::min(wall_traced, ms);
     if (rep == 0) traced = scratch;
@@ -368,7 +380,35 @@ bool run_smoke(const std::string& trace_out) {
     }
     return true;
   };
-  if (!identical(profiled, "profiled") || !identical(traced, "traced")) {
+  if (!identical(profiled, "profiled") || !identical(memed, "mem-profiled") ||
+      !identical(traced, "traced")) {
+    return false;
+  }
+  // memory.v1 checks: the profile is present exactly when requested, every
+  // streamed byte is attributed (conservation against sim.hbm.bytes), and the
+  // folded sim.mem.bytes counter in the runner snapshot agrees with the sum
+  // over the completed jobs.
+  u64 mem_bytes_sum = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const sim::SimResult& a = base[i];
+    const sim::SimResult& b = memed[i];
+    if (a.mem_profile.enabled() || !b.mem_profile.enabled()) {
+      std::fprintf(stderr, "smoke: memory profile presence wrong for job %zu\n", i);
+      return false;
+    }
+    if (b.mem_profile.attributed_total() != b.mem_profile.total_bytes ||
+        b.mem_profile.total_bytes !=
+            b.registry.counter(sim::metrics::kHbmBytes)) {
+      std::fprintf(stderr,
+                   "smoke: job %zu memory attribution does not conserve "
+                   "sim.hbm.bytes\n",
+                   i);
+      return false;
+    }
+    mem_bytes_sum += b.mem_profile.total_bytes;
+  }
+  if (mem_reg.counter(sim::metrics::kMemBytes) != mem_bytes_sum) {
+    std::fprintf(stderr, "smoke: folded sim.mem.bytes disagrees with job sum\n");
     return false;
   }
   for (std::size_t i = 0; i < base.size(); ++i) {
@@ -388,6 +428,7 @@ bool run_smoke(const std::string& trace_out) {
   bool ok = true;
   for (const auto& [label, wall] :
        {std::pair<const char*, double>{"profiler", wall_profiled},
+        {"mem-profiler", wall_mem},
         {"tracing", wall_traced}}) {
     const double overhead = (wall - wall_off) / wall_off;
     std::printf("svc_soak --smoke: wall %0.2f ms off / %0.2f ms %s -> overhead "

@@ -18,6 +18,11 @@
 //                          reduction / scratchpad stall / dependency stall /
 //                          idle); with --trace-out, per-unit counter tracks
 //                          ride along in the trace; Alchemist only
+//   --mem-profile          attach the MemProfiler and print the memory.v1
+//                          summary (HBM bytes attributed by operand class,
+//                          key-fetch ledger, scratchpad high-water mark);
+//                          with --trace-out, HBM-bandwidth and scratchpad
+//                          counter tracks ride along; Alchemist only
 //   --trace-out <path>     write a Chrome trace_event JSON of the run
 //                          (open at https://ui.perfetto.dev); Alchemist only
 //   --metrics-out <path>   write the run's counter registry as JSON
@@ -71,7 +76,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: alchemist_cli <workload> [--accelerator A] [--units N]\n"
                "       [--hbm GB/s] [--stream-fraction f] [--level L]\n"
-               "       [--batch B] [--event] [--profile] [--trace-out T.json] [--metrics-out M.json]\n"
+               "       [--batch B] [--event] [--profile] [--mem-profile]\n"
+               "       [--trace-out T.json] [--metrics-out M.json]\n"
                "       [--fault-seed S] [--fault-rate R] [--fault-policy none|detect-retry|dmr]\n"
                "       [--mask-units i,j,...] [--threads N] [--isa scalar|avx2|avx512|native]\n"
                "workloads: pmult hadd keyswitch cmult rotation rescale bootstrap\n"
@@ -150,6 +156,7 @@ int main(int argc, char** argv) {
   double hbm = 1000.0, stream_fraction = 1.0;
   bool use_event = false;
   bool profile = false;
+  bool mem_profile = false;
   fault::FaultConfig fault_cfg;
   bool fault_requested = false;
   for (int i = 2; i < argc; ++i) {
@@ -169,6 +176,7 @@ int main(int argc, char** argv) {
     else if (arg == "--batch") batch = parse_count("--batch", next());
     else if (arg == "--event") use_event = true;
     else if (arg == "--profile") profile = true;
+    else if (arg == "--mem-profile") mem_profile = true;
     else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--metrics-out") metrics_out = next();
     else if (arg == "--threads") ThreadPool::set_threads(parse_count("--threads", next()));
@@ -253,10 +261,12 @@ int main(int argc, char** argv) {
     fault::FaultModel* fault = fault_requested ? fault_model.get() : nullptr;
     sim::UnitProfiler prof;
     sim::UnitProfiler* profiler = profile ? &prof : nullptr;
+    sim::MemProfiler mem_prof;
+    sim::MemProfiler* mem = mem_profile ? &mem_prof : nullptr;
     result = use_event ? sim::simulate_alchemist_events(graph, cfg, &timeline, fault,
-                                                        nullptr, profiler)
+                                                        nullptr, profiler, mem)
                        : sim::simulate_alchemist(graph, cfg, &timeline, fault,
-                                                 nullptr, profiler);
+                                                 nullptr, profiler, mem);
     const auto energy = arch::energy_model(cfg, result);
     std::printf("workload:      %s (%zu ops)\n", graph.name.c_str(), graph.ops.size());
     std::printf("accelerator:   Alchemist, %zu units, %.0f GB/s HBM%s\n", units, hbm,
@@ -298,6 +308,33 @@ int main(int argc, char** argv) {
                     100.0 * static_cast<double>(cycles) /
                         static_cast<double>(agg.occupied() ? agg.occupied() : 1));
       }
+    }
+    if (mem_profile && result.mem_profile.enabled()) {
+      const obs::MemoryProfile& m = result.mem_profile;
+      const double hbm_peak = cfg.hbm_bytes_per_cycle() *
+                              static_cast<double>(m.total_cycles);
+      std::printf("memory:        memory.v1, %llu HBM bytes (%.1f %% of peak over the run)\n",
+                  static_cast<unsigned long long>(m.total_bytes),
+                  hbm_peak > 0 ? 100.0 * static_cast<double>(m.total_bytes) / hbm_peak
+                               : 0.0);
+      for (const auto& [operand, classes] : m.attributed) {
+        u64 operand_bytes = 0;
+        for (const auto& [cls, bytes] : classes) operand_bytes += bytes;
+        std::printf("  %-14s %12llu bytes (%5.1f %%)\n", operand.c_str(),
+                    static_cast<unsigned long long>(operand_bytes),
+                    m.total_bytes > 0
+                        ? 100.0 * static_cast<double>(operand_bytes) /
+                              static_cast<double>(m.total_bytes)
+                        : 0.0);
+      }
+      std::printf("  keys:          %zu tracked, %llu bytes fetched, %llu re-fetched\n",
+                  m.keys.size(),
+                  static_cast<unsigned long long>(m.key_fetch_bytes()),
+                  static_cast<unsigned long long>(m.key_refetch_bytes()));
+      std::printf("  scratchpad:    peak %llu / %llu bytes, %llu evictions\n",
+                  static_cast<unsigned long long>(m.scratch_peak_bytes),
+                  static_cast<unsigned long long>(m.scratch_capacity_bytes),
+                  static_cast<unsigned long long>(m.evictions));
     }
   } else {
     const arch::AcceleratorSpec spec = arch::spec_by_name(accelerator);

@@ -86,6 +86,11 @@ int usage() {
                "               --loop-seconds expires\n"
                "  --loop-seconds S  resubmit the job list for at least S\n"
                "               seconds (soak mode for live scraping)\n"
+               "  --mem-profile  run every job (batch and remote) with the\n"
+               "               memory profiler attached: completed jobs fold\n"
+               "               sim.mem.* series into /metrics and a memory\n"
+               "               section into /statusz; results stay\n"
+               "               bit-identical\n"
                "  --trace-out PATH  write the spans.v1 trace document\n"
                "  --timeline-out PATH  write a Chrome trace (Perfetto) with\n"
                "               job lifecycle slices, span tracks and per-job\n"
@@ -103,6 +108,7 @@ int main(int argc, char** argv) {
   double fault_rate = 2e-9, deadline_ms = 0.0, loop_seconds = 0.0;
   int introspect_port = -1, net_port = -1;
   u64 seed = 0xa1c4'e5ull;
+  bool mem_profile = false;
   std::string trace_out, timeline_out;
   obs::TraceDetail trace_detail = obs::TraceDetail::Phases;
   for (int i = 1; i < argc; ++i) {
@@ -124,6 +130,7 @@ int main(int argc, char** argv) {
     else if (arg == "--introspect-port") introspect_port = std::atoi(next());
     else if (arg == "--port") net_port = std::atoi(next());
     else if (arg == "--loop-seconds") loop_seconds = std::atof(next());
+    else if (arg == "--mem-profile") mem_profile = true;
     else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--timeline-out") timeline_out = next();
     else if (arg == "--trace-detail") {
@@ -223,6 +230,7 @@ int main(int argc, char** argv) {
     catalog["keyswitch"] = graphs[3];
     net::ServerOptions nopts;
     nopts.port = net_port;
+    nopts.mem_profile = mem_profile;
     if (tracing) {
       nopts.trace = &trace_sink;
       nopts.log = &event_log;
@@ -254,6 +262,7 @@ int main(int argc, char** argv) {
       spec.name = "job-" + std::to_string(submitted_jobs);
       spec.graph = graphs[i % graphs.size()];
       spec.engine = (i % 2 == 0) ? svc::Engine::Level : svc::Engine::Event;
+      spec.mem_profile = mem_profile;
       if (tenants > 0) spec.tenant = "tenant-" + std::to_string(i % tenants);
       if (fault_rate > 0 && i % 3 == 0) {
         spec.fault_enabled = true;
@@ -341,6 +350,18 @@ int main(int argc, char** argv) {
   }
   std::printf("  yield              %.1f %%\n",
               100.0 * static_cast<double>(completed) / static_cast<double>(submitted));
+  if (mem_profile) {
+    std::printf("  memory             %llu HBM bytes (%llu key bytes, "
+                "%llu re-fetched), scratch peak %.0f / %.0f bytes\n",
+                static_cast<unsigned long long>(
+                    reg.counter(sim::metrics::kMemBytes)),
+                static_cast<unsigned long long>(
+                    reg.counter(sim::metrics::kMemKeyBytes)),
+                static_cast<unsigned long long>(
+                    reg.counter(sim::metrics::kMemKeyRefetchBytes)),
+                reg.gauge(sim::metrics::kMemScratchPeak),
+                reg.gauge(sim::metrics::kMemScratchCapacity));
+  }
   if (net_server != nullptr) {
     const obs::Registry net_reg = net_server->snapshot();
     std::printf("  net                %llu conns, %llu submits, %llu attached, "

@@ -50,6 +50,18 @@ OpClass class_of(OpKind kind) {
   return OpClass::Elementwise;
 }
 
+const char* operand_tag(OperandClass c) {
+  switch (c) {
+    case OperandClass::Evk: return "evk";
+    case OperandClass::RotationKey: return "rotation_key";
+    case OperandClass::CtLimb: return "ct_limb";
+    case OperandClass::Twiddle: return "twiddle";
+    case OperandClass::Plaintext: return "plaintext";
+    case OperandClass::kNumClasses: break;
+  }
+  return "?";
+}
+
 const char* to_string(OpKind kind) {
   switch (kind) {
     case OpKind::Ntt: return "NTT";

@@ -31,6 +31,38 @@ enum class OpClass;  // metaop/metaop.h
 // mapping now.
 OpClass class_of(OpKind kind);
 
+// What an off-chip transfer carries. kNumClasses is a sentinel so per-operand
+// accounting arrays (sim::MemProfiler, the memory.v1 report) size themselves
+// from it, like OpClass/kNumOpClasses.
+enum class OperandClass : std::uint8_t {
+  Evk,          // relinearization / keyswitch evaluation key digits
+  RotationKey,  // Galois rotation keys (keyed by rotation step)
+  CtLimb,       // ciphertext limb traffic (spills, residuals)
+  Twiddle,      // NTT twiddle-factor tables
+  Plaintext,    // plaintext operands (LT diagonals, weights)
+  kNumClasses,
+};
+
+inline constexpr std::size_t kNumOperandClasses =
+    static_cast<std::size_t>(OperandClass::kNumClasses);
+
+// Lowercase metric-tag form ("evk", "rotation_key", ...), used in obs counter
+// keys like sim.mem.bytes{operand=evk}.
+const char* operand_tag(OperandClass c);
+
+// One attributed off-chip transfer of a HighOp. `key_id` identifies the key
+// material a key-class transfer streams (0 = not key material) so the
+// MemProfiler's reuse ledger can tell a re-fetch of the same key from a fetch
+// of a different one. Descriptor bytes partition HighOp::hbm_bytes: the sum
+// over `transfers` never exceeds it, and any remainder is unattributed limb
+// traffic (accounted as ct_limb by the profiler so byte conservation holds
+// for descriptor-free legacy graphs too).
+struct TransferDesc {
+  OperandClass operand_class = OperandClass::CtLimb;
+  std::uint64_t key_id = 0;
+  std::uint64_t bytes = 0;
+};
+
 struct HighOp {
   OpKind kind = OpKind::PointwiseAdd;
   std::size_t n = 0;         // polynomial length
@@ -39,7 +71,19 @@ struct HighOp {
   std::size_t param_b = 0;   // Bconv: K
   std::vector<std::size_t> deps;  // indices into OpGraph::ops
   // Bytes that must come from off-chip (e.g. streaming evaluation keys).
+  // Kept as the authoritative total the engines charge; `transfers` is the
+  // attributed breakdown of the same bytes.
   std::uint64_t hbm_bytes = 0;
+  std::vector<TransferDesc> transfers;
+
+  // Sum of the attributed descriptor bytes (<= hbm_bytes by construction in
+  // the workload lowerings; the profiler treats any excess as a lowering bug
+  // and clamps to hbm_bytes).
+  std::uint64_t transfer_bytes() const {
+    std::uint64_t sum = 0;
+    for (const TransferDesc& t : transfers) sum += t.bytes;
+    return sum;
+  }
 };
 
 struct OpGraph {

@@ -250,6 +250,7 @@ void Server::handle_connection(int fd, std::uint64_t conn_id) {
       spec.degradable = sub.degradable;
       spec.graph = cat->second;
       spec.config = opts_.config;
+      spec.mem_profile = opts_.mem_profile;
       spec.engine = sub.engine == kEngineEvent ? svc::Engine::Event
                                                : svc::Engine::Level;
       if (sub.fault_rate > 0.0) {

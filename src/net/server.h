@@ -88,6 +88,10 @@ struct ServerOptions {
   std::size_t idempotency_capacity = 1024;
   // Machine configuration applied to every remote job.
   arch::ArchConfig config = arch::ArchConfig::alchemist();
+  // Run every remote job with the memory profiler attached (memory.v1):
+  // completed jobs fold sim.mem.* series into the runner snapshot and the
+  // /statusz memory section. Simulated results stay bit-identical.
+  bool mem_profile = false;
   // Optional observability taps, not owned; must outlive the server. Net
   // spans are recorded as trace *roots* sharing the job's trace id, so the
   // wire hop is visible in the same trace without perturbing the runner's

@@ -1,0 +1,95 @@
+// Memory-system attribution profile ("memory.v1").
+//
+// The MemProfiler in src/sim fills one MemoryProfile per run, breaking the
+// single sim.hbm.bytes total down three ways:
+//
+//   attributed   bytes per (operand class x op class), e.g. how much of the
+//                stream was evaluation-key material feeding DecompPolyMult.
+//                The grand total equals sim.hbm.bytes EXACTLY — descriptor
+//                bytes partition each op's hbm_bytes and any unattributed
+//                remainder is accounted as ct_limb, so byte conservation is
+//                an invariant, not an estimate (tools/check_mem_report.py
+//                gates it in CI).
+//   key ledger   per key_id: fetch count, total streamed bytes, and re-fetch
+//                bytes (everything after the first fetch). The re-fetch sum
+//                is the ARK-style inter-op key-reuse headroom a residency-
+//                aware scheduler could reclaim.
+//   timelines    an epoch-bucketed HBM bandwidth-utilization series and a
+//                scratchpad-occupancy series with its working-set high-water
+//                mark against the ArchConfig capacity.
+//
+// Like UtilizationProfile, the profile lives OUTSIDE the metric Registry
+// (SimResult.mem_profile): registries feed bit-identity checks and
+// checkpoint frames, and profiling must never perturb either. MetricsReport
+// serializes it as the "memory" section with schema "memory.v1".
+//
+// Operand/op classes are string tags ("evk", "ntt", ...) rather than metaop
+// enums so obs stays below metaop in the layering, mirroring
+// UnitCycles::class_occupied.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace alchemist::obs {
+
+inline constexpr const char* kMemorySchema = "memory.v1";
+
+// Reuse ledger entry for one key_id.
+struct KeyFetches {
+  std::string operand;            // operand-class tag ("evk", "rotation_key")
+  std::uint64_t fetches = 0;      // times the key streamed from HBM
+  std::uint64_t total_bytes = 0;  // all streamed bytes of this key
+  std::uint64_t refetch_bytes = 0;  // bytes after the first fetch (headroom)
+};
+
+struct MemoryProfile {
+  bool active = false;  // a MemProfiler ran (even over an empty graph)
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_bytes = 0;  // == sim.hbm.bytes of the run
+
+  // attributed[operand_tag][op_class_tag] -> bytes. Sums to total_bytes.
+  std::map<std::string, std::map<std::string, std::uint64_t>> attributed;
+
+  // Key-reuse ledger, keyed by the lowering's key_id.
+  std::map<std::uint64_t, KeyFetches> keys;
+
+  // Epoch timelines: kEpochs buckets spanning [0, total_cycles). bw_util is
+  // the fraction of peak HBM bandwidth the modeled stream used during the
+  // epoch; occupancy_bytes samples scratchpad residency at each epoch start.
+  std::vector<double> bw_util;
+  std::vector<std::uint64_t> occupancy_bytes;
+
+  // Scratchpad model: configured capacity, residency high-water mark, and
+  // evictions (one per residency interval that ends, i.e. once per fetched
+  // working set — a re-fetch in the ledger implies a prior eviction here).
+  std::uint64_t scratch_capacity_bytes = 0;
+  std::uint64_t scratch_peak_bytes = 0;
+  std::uint64_t evictions = 0;
+
+  bool enabled() const { return active; }
+
+  std::uint64_t attributed_total() const {
+    std::uint64_t sum = 0;
+    for (const auto& [op, classes] : attributed)
+      for (const auto& [cls, bytes] : classes) sum += bytes;
+    return sum;
+  }
+  // Ledger aggregates (all keys).
+  std::uint64_t key_fetch_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& [id, k] : keys) sum += k.total_bytes;
+    return sum;
+  }
+  std::uint64_t key_refetch_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& [id, k] : keys) sum += k.refetch_bytes;
+    return sum;
+  }
+
+  void clear() { *this = MemoryProfile{}; }
+};
+
+}  // namespace alchemist::obs

@@ -74,6 +74,68 @@ void write_utilization(std::ostream& out, const UtilizationProfile& p) {
   out << "      }";
 }
 
+void write_memory(std::ostream& out, const MemoryProfile& m) {
+  out << "      \"memory\": {\n";
+  out << "        \"schema\": " << json_string(kMemorySchema) << ",\n";
+  out << "        \"total_cycles\": " << json_number(m.total_cycles) << ",\n";
+  out << "        \"total_bytes\": " << json_number(m.total_bytes) << ",\n";
+  out << "        \"attributed_total\": " << json_number(m.attributed_total())
+      << ",\n";
+  out << "        \"attributed\": {";
+  bool first = true;
+  for (const auto& [operand, classes] : m.attributed) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "          " << json_string(operand) << ": {";
+    bool first_cls = true;
+    for (const auto& [cls, bytes] : classes) {
+      if (!first_cls) out << ", ";
+      first_cls = false;
+      out << json_string(cls) << ": " << json_number(bytes);
+    }
+    out << "}";
+  }
+  out << (first ? "},\n" : "\n        },\n");
+  out << "        \"key_fetch_bytes\": " << json_number(m.key_fetch_bytes())
+      << ",\n";
+  out << "        \"key_refetch_bytes\": " << json_number(m.key_refetch_bytes())
+      << ",\n";
+  out << "        \"keys\": {";
+  first = true;
+  for (const auto& [id, k] : m.keys) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "          " << json_string(std::to_string(id))
+        << ": { \"operand\": " << json_string(k.operand)
+        << ", \"fetches\": " << json_number(k.fetches)
+        << ", \"total_bytes\": " << json_number(k.total_bytes)
+        << ", \"refetch_bytes\": " << json_number(k.refetch_bytes) << " }";
+  }
+  out << (first ? "},\n" : "\n        },\n");
+  out << "        \"scratch_capacity_bytes\": "
+      << json_number(m.scratch_capacity_bytes) << ",\n";
+  out << "        \"scratch_peak_bytes\": " << json_number(m.scratch_peak_bytes)
+      << ",\n";
+  out << "        \"evictions\": " << json_number(m.evictions) << ",\n";
+  out << "        \"bw_util\": [";
+  first = true;
+  for (double v : m.bw_util) {
+    if (!first) out << ", ";
+    first = false;
+    out << json_number(v);
+  }
+  out << "],\n";
+  out << "        \"occupancy_bytes\": [";
+  first = true;
+  for (std::uint64_t v : m.occupancy_bytes) {
+    if (!first) out << ", ";
+    first = false;
+    out << json_number(v);
+  }
+  out << "]\n";
+  out << "      }";
+}
+
 }  // namespace
 
 void MetricsReport::write_json(std::ostream& out) const {
@@ -113,9 +175,10 @@ void MetricsReport::write_json(std::ostream& out) const {
       out << "        " << json_string(key) << ": " << json_number(value);
     }
     const bool has_spans = !run.spans.empty() || run.spans_recorded > 0;
+    const bool has_mem = run.memory.enabled();
     const bool more =
         !run.registry.histograms().empty() || run.profile.enabled() ||
-        has_spans;
+        has_mem || has_spans;
     out << (first ? "}" : "\n      }") << (more ? ",\n" : "\n");
     if (!run.registry.histograms().empty()) {
       out << "      \"histograms\": {";
@@ -127,10 +190,14 @@ void MetricsReport::write_json(std::ostream& out) const {
         write_histogram(out, hist);
       }
       out << (first ? "}" : "\n      }")
-          << (run.profile.enabled() || has_spans ? ",\n" : "\n");
+          << (run.profile.enabled() || has_mem || has_spans ? ",\n" : "\n");
     }
     if (run.profile.enabled()) {
       write_utilization(out, run.profile);
+      out << (has_mem || has_spans ? ",\n" : "\n");
+    }
+    if (has_mem) {
+      write_memory(out, run.memory);
       out << (has_spans ? ",\n" : "\n");
     }
     if (has_spans) {

@@ -15,7 +15,8 @@
 //     ]
 //   }
 //
-// "histograms" and "utilization" appear only when a run carries them, so
+// "histograms", "utilization" and "memory" appear only when a run carries
+// them, so
 // pre-existing reports (and the committed BENCH_*.json baselines) are
 // unchanged. Non-finite gauge values serialize as `null` and are tallied in
 // a synthetic `report.dropped_nonfinite` counter for that run.
@@ -30,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/memory.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "obs/utilization.h"
@@ -43,6 +45,7 @@ struct RunMetrics {
   std::string accelerator;
   Registry registry;
   UtilizationProfile profile;  // empty unless the run was profiled
+  MemoryProfile memory;        // memory.v1 section; empty unless mem-profiled
   std::vector<SpanRecord> spans;  // spans.v1 section; empty unless traced
   std::uint64_t spans_recorded = 0;
   std::uint64_t spans_dropped = 0;
@@ -53,24 +56,30 @@ class MetricsReport {
   explicit MetricsReport(std::string tool = "") : tool_(std::move(tool)) {}
 
   void add(std::string workload, std::string accelerator, Registry registry,
-           UtilizationProfile profile = {}) {
+           UtilizationProfile profile = {}, MemoryProfile memory = {}) {
     RunMetrics run;
     run.workload = std::move(workload);
     run.accelerator = std::move(accelerator);
     run.registry = std::move(registry);
     run.profile = std::move(profile);
+    run.memory = std::move(memory);
     runs_.push_back(std::move(run));
   }
   // Any type with .workload / .accelerator / .registry members (sim::SimResult
   // in practice; a template keeps obs below sim in the layering). A .profile
-  // member, when present, rides along as the utilization.v1 section.
+  // member rides along as the utilization.v1 section and a .mem_profile
+  // member as the memory.v1 section, when present.
   template <typename R>
   void add(const R& result) {
-    if constexpr (requires { result.profile; }) {
-      add(result.workload, result.accelerator, result.registry, result.profile);
-    } else {
-      add(result.workload, result.accelerator, result.registry);
+    RunMetrics run;
+    run.workload = result.workload;
+    run.accelerator = result.accelerator;
+    run.registry = result.registry;
+    if constexpr (requires { result.profile; }) run.profile = result.profile;
+    if constexpr (requires { result.mem_profile; }) {
+      run.memory = result.mem_profile;
     }
+    runs_.push_back(std::move(run));
   }
 
   // Attach a trace-span section (spans.v1) to the most recently added run —

@@ -46,7 +46,8 @@ std::vector<std::vector<std::size_t>> asap_levels(const OpGraph& graph) {
 
 SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& config,
                              obs::Timeline* timeline, fault::FaultModel* fault_model,
-                             SimControl* control, UnitProfiler* profiler) {
+                             SimControl* control, UnitProfiler* profiler,
+                             MemProfiler* mem_profiler) {
   SimResult result;
   result.workload = graph.name;
   result.accelerator = "Alchemist";
@@ -69,6 +70,10 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
       rows.emplace_back(*timeline, static_cast<OpClass>(c));
     }
   }
+
+  // begin() before the resume block: a restored checkpoint overlays the
+  // profiler's accumulators on top of the geometry begin() captures.
+  if (mem_profiler) mem_profiler->begin(cfg, trace ? timeline : nullptr);
 
   const std::uint64_t cores = cfg.total_cores();
   const double hbm_bpc = cfg.hbm_bytes_per_cycle();
@@ -122,6 +127,17 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
     fault_totals.corrupted_ops = r.read_u64();
     fault_totals.dmr_corrections = r.read_u64();
     read_registry(r, reg);
+    // Memory-profiler carry (checkpoint schema v2): restore the interrupted
+    // run's attribution state so the resumed memory.v1 is bit-identical. A
+    // checkpoint written without memory state cannot attribute the skipped
+    // prefix — drop the profiler, like the UnitProfiler below.
+    const bool cp_has_mem = r.read_u8() != 0;
+    if (cp_has_mem) {
+      MemProfiler discard;
+      (mem_profiler != nullptr ? *mem_profiler : discard).deserialize(r);
+    } else {
+      mem_profiler = nullptr;
+    }
     // Replaying the skipped levels' transient draws below assumes the fault
     // RNG starts at the seed, exactly as the interrupted run did.
     if (fault) fault->reset();
@@ -232,6 +248,8 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
     w.write_u64(fault_totals.corrupted_ops);
     w.write_u64(fault_totals.dmr_corrections);
     write_registry(w, reg);
+    w.write_u8(mem_profiler != nullptr ? 1 : 0);
+    if (mem_profiler != nullptr) mem_profiler->serialize(w);
     cp.state = w.buffer();
     const std::uint64_t state_bytes = cp.state.size();
     *control->checkpoint = std::move(cp);
@@ -310,6 +328,9 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
     // Telemetry cursor: the pooled model executes a level's work as if ops
     // ran back to back at full machine width, so slices tile the level span.
     double cursor = static_cast<double>(total_cycles);
+    // Memory-profiler cursor: same tiling, kept separate so memory profiling
+    // never depends on the timeline being on.
+    double mem_cursor = static_cast<double>(total_cycles);
     for (std::size_t idx : level) {
       const HighOp& op = graph.ops[idx];
       const MetaOpStream stream = metaop::lower(op);
@@ -372,6 +393,15 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
       reg.add(metrics::kMetaOps, stream.meta_op_count());
       reg.add(metrics::kHbmBytes, op.hbm_bytes);
       reg.add(metrics::kBusyLaneCycles, op_busy);
+
+      if (mem_profiler) {
+        const double mem_dur =
+            static_cast<double>(op_core_cycles + op_retry_cycles) /
+                static_cast<double>(cores) +
+            static_cast<double>(op_transpose);
+        mem_profiler->record_op(op, mem_cursor + mem_dur);
+        mem_cursor += mem_dur;
+      }
 
       if (trace) {
         const double dur =
@@ -586,6 +616,7 @@ SimResult simulate_alchemist(const OpGraph& graph, const arch::ArchConfig& confi
   // After finalize: the profile is a side-channel view, never part of the
   // registry the bit-identity checks compare.
   if (profiler) profiler->finish(total_cycles, result.profile);
+  if (mem_profiler) mem_profiler->finish(total_cycles, result.mem_profile);
   return result;
 }
 

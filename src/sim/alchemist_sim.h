@@ -33,6 +33,16 @@
 // levels were accounted elsewhere — so the engine drops the profiler when it
 // restores a checkpoint and the profile comes back empty.
 //
+// Memory profiling: an optional sim::MemProfiler attributes every streamed
+// HBM byte to (operand class x op class), keeps the key-reuse ledger and the
+// bandwidth/occupancy timelines (SimResult.mem_profile, schema memory.v1) —
+// again without perturbing the result. Unlike the UnitProfiler it DOES
+// survive checkpoint/resume: the engine serializes its accumulators into the
+// checkpoint state blob (schema v2) and restores them, so a resumed run's
+// memory.v1 is bit-identical to an uninterrupted one. Resuming a checkpoint
+// written without memory state drops the profiler (the skipped prefix cannot
+// be attributed).
+//
 // Execution control: an optional sim::SimControl makes the run cooperative —
 // a step here is one ASAP level. The engine polls the CancelToken / step
 // budget before each level, snapshots its cursor (completed levels, cycle
@@ -48,6 +58,7 @@
 #include "metaop/op_graph.h"
 #include "obs/timeline.h"
 #include "sim/result.h"
+#include "sim/mem_profiler.h"
 #include "sim/sim_control.h"
 #include "sim/unit_profiler.h"
 
@@ -58,6 +69,7 @@ SimResult simulate_alchemist(const metaop::OpGraph& graph,
                              obs::Timeline* timeline = nullptr,
                              fault::FaultModel* fault_model = nullptr,
                              SimControl* control = nullptr,
-                             UnitProfiler* profiler = nullptr);
+                             UnitProfiler* profiler = nullptr,
+                             MemProfiler* mem_profiler = nullptr);
 
 }  // namespace alchemist::sim

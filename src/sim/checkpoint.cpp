@@ -7,7 +7,10 @@ namespace alchemist::sim {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x414c'4348'434b'5031ull;  // "ALCHCKP1"
-constexpr std::uint64_t kVersion = 1;
+// v2: the level-engine state blob carries an optional MemProfiler frame
+// (memory.v1 attribution survives resume). Old blobs lack the frame, so v1
+// streams are rejected rather than misparsed.
+constexpr std::uint64_t kVersion = 2;
 
 }  // namespace
 

@@ -53,12 +53,19 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
                                     obs::Timeline* timeline,
                                     fault::FaultModel* fault_model,
                                     SimControl* control,
-                                    UnitProfiler* profiler) {
+                                    UnitProfiler* profiler,
+                                    MemProfiler* mem_profiler) {
   SimResult result;
   result.workload = graph.name;
   result.accelerator = "Alchemist(event)";
   obs::Registry& reg = result.registry;
-  if (graph.ops.empty()) return result;
+  if (graph.ops.empty()) {
+    if (mem_profiler) {
+      mem_profiler->begin(config);
+      mem_profiler->finish(0, result.mem_profile);
+    }
+    return result;
+  }
 
   // Inert fault models are dropped so the run stays bit-identical (see
   // simulate_alchemist).
@@ -200,6 +207,7 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
     }
   }
   if (profiler) profiler->begin(cfg.num_units, cfg.cores_per_unit, nullptr);
+  if (mem_profiler) mem_profiler->begin(cfg, trace ? timeline : nullptr);
 
   double now = 0;
   double busy_integral = 0;  // lane-cycles actually delivered
@@ -494,6 +502,18 @@ SimResult simulate_alchemist_events(const OpGraph& graph,
   }
   result.finalize();
   if (profiler) profiler->finish(total_cycles, result.profile);
+  if (mem_profiler) {
+    // Feed in HBM prefetch order from per-op state the event loop (or a
+    // checkpoint resume) left behind: an op's working set is released when
+    // both its compute and its key streaming are done, which is exactly its
+    // retirement condition above.
+    for (std::size_t i = 0; i < graph.ops.size(); ++i) {
+      mem_profiler->record_op(
+          graph.ops[i],
+          std::max(state[i].compute_done_time, state[i].hbm_ready));
+    }
+    mem_profiler->finish(total_cycles, result.mem_profile);
+  }
   return result;
 }
 

@@ -24,6 +24,13 @@
 // emitted by this engine (the level engine's per-level sampling is the
 // Perfetto view).
 //
+// Memory profiling mirrors simulate_alchemist: an optional MemProfiler fills
+// SimResult.mem_profile (memory.v1) from the op stream in HBM prefetch order
+// with each op's actual retirement time. The feed happens after the event
+// loop from per-op state that checkpoint/resume restores exactly, so — unlike
+// the UnitProfiler — a resumed run's memory.v1 is bit-identical to an
+// uninterrupted one with no extra checkpoint bytes.
+//
 // Fault modeling mirrors simulate_alchemist (see alchemist_sim.h): the same
 // FaultModel degrades the geometry, inflates slot-partitioned work for the
 // re-homed stripe, and charges policy-priced retry work per op — sampled in
@@ -43,6 +50,7 @@
 #include "metaop/op_graph.h"
 #include "obs/timeline.h"
 #include "sim/result.h"
+#include "sim/mem_profiler.h"
 #include "sim/sim_control.h"
 #include "sim/unit_profiler.h"
 
@@ -53,7 +61,8 @@ SimResult simulate_alchemist_events(const metaop::OpGraph& graph,
                                     obs::Timeline* timeline = nullptr,
                                     fault::FaultModel* fault_model = nullptr,
                                     SimControl* control = nullptr,
-                                    UnitProfiler* profiler = nullptr);
+                                    UnitProfiler* profiler = nullptr,
+                                    MemProfiler* mem_profiler = nullptr);
 
 // Time-sharing scheduler (§5.4): interleave independent operation streams
 // into one graph so compute of one stream overlaps key streaming of another.

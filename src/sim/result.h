@@ -12,6 +12,7 @@
 #include <string>
 
 #include "metaop/metaop.h"
+#include "obs/memory.h"
 #include "obs/registry.h"
 #include "obs/utilization.h"
 
@@ -29,6 +30,19 @@ inline constexpr const char* kMetaOps = "sim.metaops";
 inline constexpr const char* kBusyLaneCycles = "sim.busy_lane_cycles";
 inline constexpr const char* kTimeUs = "sim.time_us";           // gauge
 inline constexpr const char* kUtilization = "sim.utilization";  // + {class=}
+// Memory-profiler series (folded into serving-layer snapshots from
+// SimResult.mem_profile when a job ran with mem_profile; Prometheus exposes
+// them as sim_mem_*). Never written by the engines themselves — the registry
+// inside a SimResult must stay bit-identical with profiling on.
+inline constexpr const char* kMemBytes = "sim.mem.bytes";  // + {class=,operand=}
+inline constexpr const char* kMemKeyFetches = "sim.mem.key.fetches";
+inline constexpr const char* kMemKeyBytes = "sim.mem.key.bytes";
+inline constexpr const char* kMemKeyRefetchBytes = "sim.mem.key.refetch_bytes";
+inline constexpr const char* kMemEvictions = "sim.mem.evictions";
+inline constexpr const char* kMemScratchPeak =
+    "sim.mem.scratch.peak_bytes";  // gauge (max over jobs)
+inline constexpr const char* kMemScratchCapacity =
+    "sim.mem.scratch.capacity_bytes";  // gauge
 }  // namespace metrics
 
 struct SimResult {
@@ -43,6 +57,11 @@ struct SimResult {
   // checkpoint frames compare registries, and profiling must never perturb
   // the simulated result.
   obs::UtilizationProfile profile;
+
+  // Memory-system attribution ("memory.v1"), filled only when a MemProfiler
+  // was passed to the engine. Outside the registry for the same reason as
+  // `profile`: profiling must never perturb the simulated result.
+  obs::MemoryProfile mem_profile;
 
   // Aggregate view derived from the registry (see finalize()). Kept as plain
   // fields so the dozens of existing callers don't change.

@@ -32,6 +32,10 @@ inline constexpr std::uint32_t kTransposeTid = kHbmTid + 1;
 inline constexpr std::uint32_t kSchedulerTid = kHbmTid + 2;
 inline constexpr std::uint32_t kFaultTid = kHbmTid + 3;
 inline constexpr std::uint32_t kUtilTidBase = kHbmTid + 4;
+// Memory-profiler counter tracks (sim::MemProfiler): epoch HBM bandwidth-%
+// and scratchpad residency. Offset leaves room for kUtilTidBase + unit tids.
+inline constexpr std::uint32_t kMemBwTid = kUtilTidBase + 65536;
+inline constexpr std::uint32_t kMemScratchTid = kMemBwTid + 1;
 
 inline void name_fixed_tracks(obs::Timeline& timeline) {
   timeline.set_track_name(kHbmTid, "hbm");

@@ -154,6 +154,12 @@ struct JobSpec {
   // outcome is bit-identical either way; resumed runs come back unprofiled.
   bool profile = false;
 
+  // Attach a MemProfiler to every attempt: the completed result carries the
+  // memory.v1 attribution (SimResult.mem_profile) and the runner folds
+  // sim.mem.* series into its snapshot/statusz. Bit-identical outcome either
+  // way; unlike `profile`, the memory profile survives checkpoint/resume.
+  bool mem_profile = false;
+
   // Propagated trace context (obs/trace.h). Invalid (the default) means the
   // runner mints a fresh trace id from its trace seed and the submission
   // sequence; a valid context joins an existing trace — the resume path sets

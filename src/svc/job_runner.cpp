@@ -403,6 +403,27 @@ std::string JobRunner::status_json() const {
     out << "    " << json_string(cls) << ": " << json_string(to_string(breaker.state()));
   }
   out << (first ? "},\n" : "\n  },\n");
+  // Memory-observability summary, present only once a mem-profiled job has
+  // completed — unprofiled deployments keep their pre-existing /statusz shape.
+  if (reg_.counters().count(sim::metrics::kMemBytes) != 0) {
+    out << "  \"memory\": {\n";
+    out << "    \"bytes\": "
+        << json_number(reg_.counter(sim::metrics::kMemBytes)) << ",\n";
+    out << "    \"key_fetches\": "
+        << json_number(reg_.counter(sim::metrics::kMemKeyFetches)) << ",\n";
+    out << "    \"key_bytes\": "
+        << json_number(reg_.counter(sim::metrics::kMemKeyBytes)) << ",\n";
+    out << "    \"key_refetch_bytes\": "
+        << json_number(reg_.counter(sim::metrics::kMemKeyRefetchBytes))
+        << ",\n";
+    out << "    \"evictions\": "
+        << json_number(reg_.counter(sim::metrics::kMemEvictions)) << ",\n";
+    out << "    \"scratch_peak_bytes\": "
+        << json_number(reg_.gauge(sim::metrics::kMemScratchPeak)) << ",\n";
+    out << "    \"scratch_capacity_bytes\": "
+        << json_number(reg_.gauge(sim::metrics::kMemScratchCapacity)) << "\n";
+    out << "  },\n";
+  }
   out << "  \"counters\": {";
   first = true;
   for (const auto& [key, value] : reg_.counters()) {
@@ -559,6 +580,9 @@ void JobRunner::run_job(const JobPtr& job, bool degraded) {
     ctl.detail = degraded ? sim::SimDetail::Reduced : sim::SimDetail::Full;
     sim::UnitProfiler prof;
     sim::UnitProfiler* profiler = spec.profile && !degraded ? &prof : nullptr;
+    sim::MemProfiler mem_prof;
+    sim::MemProfiler* mem_profiler =
+        spec.mem_profile && !degraded ? &mem_prof : nullptr;
     try {
       sim::SimResult result;
       {
@@ -569,9 +593,10 @@ void JobRunner::run_job(const JobPtr& job, bool degraded) {
         result = spec.engine == Engine::Event
                      ? sim::simulate_alchemist_events(*spec.graph, spec.config,
                                                       nullptr, fault, &ctl,
-                                                      profiler)
+                                                      profiler, mem_profiler)
                      : sim::simulate_alchemist(*spec.graph, spec.config, nullptr,
-                                               fault, &ctl, profiler);
+                                               fault, &ctl, profiler,
+                                               mem_profiler);
       }
       if (result.registry.counter(fault::metrics::kCorruptedOps) == 0) {
         record_attempt("completed");
@@ -694,6 +719,9 @@ void JobRunner::finish(const JobPtr& job, JobState state, std::string error,
   {
     std::lock_guard<std::mutex> lk(mu_);
     record_terminal(*job, state, attempts, has_checkpoint, now, sim_us);
+    if (state == JobState::Completed && result.mem_profile.enabled()) {
+      fold_mem_profile(result.mem_profile);
+    }
   }
 
   // Per-job digest of where the wall time went, published with the terminal
@@ -887,6 +915,30 @@ void JobRunner::record_terminal(const Job& job, JobState state,
     }
     maybe_evict_breaker(it, tenant);
   }
+}
+
+void JobRunner::fold_mem_profile(const obs::MemoryProfile& m) {
+  reg_.add(sim::metrics::kMemBytes, m.total_bytes);
+  for (const auto& [operand, classes] : m.attributed) {
+    for (const auto& [cls, bytes] : classes) {
+      reg_.add(sim::metrics::kMemBytes, bytes,
+               {{"class", cls}, {"operand", operand}});
+    }
+  }
+  std::uint64_t fetches = 0;
+  for (const auto& [id, k] : m.keys) fetches += k.fetches;
+  reg_.add(sim::metrics::kMemKeyFetches, fetches);
+  reg_.add(sim::metrics::kMemKeyBytes, m.key_fetch_bytes());
+  reg_.add(sim::metrics::kMemKeyRefetchBytes, m.key_refetch_bytes());
+  reg_.add(sim::metrics::kMemEvictions, m.evictions);
+  // Peak is a high-water mark across every profiled job; capacity is a fixed
+  // property of the arch config and last-write-wins is fine.
+  const double peak = static_cast<double>(m.scratch_peak_bytes);
+  if (peak > reg_.gauge(sim::metrics::kMemScratchPeak)) {
+    reg_.set_gauge(sim::metrics::kMemScratchPeak, peak);
+  }
+  reg_.set_gauge(sim::metrics::kMemScratchCapacity,
+                 static_cast<double>(m.scratch_capacity_bytes));
 }
 
 void JobRunner::maybe_evict_breaker(

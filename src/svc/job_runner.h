@@ -188,6 +188,10 @@ class JobRunner {
                        bool has_checkpoint,
                        std::chrono::steady_clock::time_point now,
                        double sim_us);
+  // Fold a completed job's memory.v1 profile into the runner registry as
+  // sim.mem.* series; caller holds mu_. Only ever called for mem-profiled
+  // jobs, so an unprofiled deployment's snapshot stays byte-identical.
+  void fold_mem_profile(const obs::MemoryProfile& m);
   // Wall microseconds since runner construction (timeline timestamp base).
   double ts_us(std::chrono::steady_clock::time_point t) const {
     return std::chrono::duration<double, std::micro>(t - epoch_).count();

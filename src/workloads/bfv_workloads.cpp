@@ -10,7 +10,8 @@ using metaop::OpKind;
 
 std::size_t add_op(OpGraph& g, OpKind kind, std::size_t n, std::size_t channels,
                    std::vector<std::size_t> deps, std::size_t pa = 0,
-                   std::size_t pb = 0, std::uint64_t hbm = 0) {
+                   std::size_t pb = 0, std::uint64_t hbm = 0,
+                   std::vector<metaop::TransferDesc> transfers = {}) {
   HighOp op;
   op.kind = kind;
   op.n = n;
@@ -19,8 +20,13 @@ std::size_t add_op(OpGraph& g, OpKind kind, std::size_t n, std::size_t channels,
   op.param_b = pb;
   op.deps = std::move(deps);
   op.hbm_bytes = hbm;
+  op.transfers = std::move(transfers);
   return g.add(std::move(op));
 }
+
+// BFV relinearization key id: one key per scheme instance (cf. the CKKS
+// generators' kRelinKeyId).
+constexpr std::uint64_t kBfvRelinKeyId = 1;
 
 }  // namespace
 
@@ -55,8 +61,11 @@ OpGraph build_bfv_cmult(const BfvWl& w) {
   for (std::size_t d = 0; d < w.dnum; ++d) {
     digit_ntts.push_back(add_op(g, OpKind::Ntt, w.n, w.level, {fix}));
   }
-  const std::size_t dpm = add_op(g, OpKind::DecompPolyMult, w.n, 2 * w.level,
-                                 digit_ntts, w.dnum, 0, evk_bytes);
+  const std::size_t dpm =
+      add_op(g, OpKind::DecompPolyMult, w.n, 2 * w.level, digit_ntts, w.dnum,
+             0, evk_bytes,
+             {{metaop::OperandClass::Evk, kBfvRelinKeyId,
+               static_cast<std::uint64_t>(evk_bytes)}});
   add_op(g, OpKind::Intt, w.n, 2 * w.level, {dpm});
   return g;
 }

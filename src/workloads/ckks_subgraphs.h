@@ -11,13 +11,21 @@
 
 namespace alchemist::workloads {
 
+// Well-known key ids used by the CKKS generators' transfer descriptors (the
+// MemProfiler's reuse ledger is keyed by these). There is one relinearization
+// key per scheme instance; rotation keys are per-step, so call sites pass
+// kRotationKeyBase + step. Ids only need to be stable within one graph.
+inline constexpr std::uint64_t kRelinKeyId = 1;
+inline constexpr std::uint64_t kRotationKeyBase = 100;
+
 // Thin convenience wrapper for wiring DAG nodes.
 struct GraphBuilder {
   metaop::OpGraph g;
 
   std::size_t add(metaop::OpKind kind, std::size_t n, std::size_t channels,
                   std::vector<std::size_t> deps, std::size_t pa = 0,
-                  std::size_t pb = 0, std::uint64_t hbm_bytes = 0) {
+                  std::size_t pb = 0, std::uint64_t hbm_bytes = 0,
+                  std::vector<metaop::TransferDesc> transfers = {}) {
     metaop::HighOp op;
     op.kind = kind;
     op.n = n;
@@ -26,6 +34,7 @@ struct GraphBuilder {
     op.param_b = pb;
     op.deps = std::move(deps);
     op.hbm_bytes = hbm_bytes;
+    op.transfers = std::move(transfers);
     return g.add(std::move(op));
   }
 };
@@ -35,18 +44,30 @@ std::uint64_t evk_stream_bytes(const CkksWl& w, std::size_t digits);
 
 // Each appender wires a complete operator pipeline into `b`, depending on
 // `input` (node indices), and returns the index of its final op.
-std::size_t append_keyswitch_coeff(GraphBuilder& b, const CkksWl& w,
-                                   std::vector<std::size_t> input);
-std::size_t append_keyswitch(GraphBuilder& b, const CkksWl& w,
-                             std::vector<std::size_t> input);
+//
+// The keyswitch-bearing appenders take the identity of the key their
+// DecompPolyMult streams (`key_id` + operand class), defaulting to the
+// relinearization key; rotation appenders default to kRotationKeyBase (an
+// "unspecified rotation") so legacy call sites keep building valid graphs,
+// while the workload builders pass per-step ids for an honest reuse ledger.
+std::size_t append_keyswitch_coeff(
+    GraphBuilder& b, const CkksWl& w, std::vector<std::size_t> input,
+    std::uint64_t key_id = kRelinKeyId,
+    metaop::OperandClass key_class = metaop::OperandClass::Evk);
+std::size_t append_keyswitch(
+    GraphBuilder& b, const CkksWl& w, std::vector<std::size_t> input,
+    std::uint64_t key_id = kRelinKeyId,
+    metaop::OperandClass key_class = metaop::OperandClass::Evk);
 std::size_t append_rescale(GraphBuilder& b, const CkksWl& w,
                            std::vector<std::size_t> input);
 std::size_t append_cmult_rescale(GraphBuilder& b, const CkksWl& w,
                                  std::vector<std::size_t> input);
 std::size_t append_rotation(GraphBuilder& b, const CkksWl& w,
-                            std::vector<std::size_t> input);
+                            std::vector<std::size_t> input,
+                            std::uint64_t rot_key_id = kRotationKeyBase);
 std::size_t append_hoisted_rotations(GraphBuilder& b, const CkksWl& w,
                                      std::size_t count,
-                                     std::vector<std::size_t> input);
+                                     std::vector<std::size_t> input,
+                                     std::uint64_t rot_key_base = kRotationKeyBase);
 
 }  // namespace alchemist::workloads

@@ -29,7 +29,9 @@ std::uint64_t evk_stream_bytes(const CkksWl& w, std::size_t digits) {
 // Hybrid keyswitch core of one polynomial already in NTT form; the returned
 // node leaves the switched pair in *coefficient* form over Q (callers fuse a
 // rescale or append the final NTT).
-std::size_t append_keyswitch_coeff(Builder& b, const CkksWl& w, Deps input) {
+std::size_t append_keyswitch_coeff(Builder& b, const CkksWl& w, Deps input,
+                                   std::uint64_t key_id,
+                                   metaop::OperandClass key_class) {
   const std::size_t l = w.level;
   const std::size_t a = w.alpha();
   const std::size_t K = w.num_special();
@@ -48,10 +50,13 @@ std::size_t append_keyswitch_coeff(Builder& b, const CkksWl& w, Deps input) {
   }
 
   // DecompPolyMult: accumulate digit * evk over both output components; the
-  // evaluation key streams from HBM (double-buffered by the simulator).
+  // evaluation key streams from HBM (double-buffered by the simulator). The
+  // descriptor attributes the full stream to the key so the MemProfiler can
+  // split key traffic from limb traffic and track per-key reuse.
+  const std::uint64_t evk_bytes = evk_stream_bytes(w, digits);
   const std::size_t dpm = b.add(OpKind::DecompPolyMult, w.n, 2 * (l + K),
-                                std::move(digit_ntts), digits, 0,
-                                evk_stream_bytes(w, digits));
+                                std::move(digit_ntts), digits, 0, evk_bytes,
+                                {{key_class, key_id, evk_bytes}});
 
   // Moddown both components: INTT, Bconv P->Q, subtract + scale, NTT.
   const std::size_t intt2 = b.add(OpKind::Intt, w.n, 2 * (l + K), {dpm});
@@ -60,8 +65,11 @@ std::size_t append_keyswitch_coeff(Builder& b, const CkksWl& w, Deps input) {
   return b.add(OpKind::PointwiseMult, w.n, 2 * l, {conv0, conv1});
 }
 
-std::size_t append_keyswitch(Builder& b, const CkksWl& w, Deps input) {
-  const std::size_t fix = append_keyswitch_coeff(b, w, std::move(input));
+std::size_t append_keyswitch(Builder& b, const CkksWl& w, Deps input,
+                             std::uint64_t key_id,
+                             metaop::OperandClass key_class) {
+  const std::size_t fix =
+      append_keyswitch_coeff(b, w, std::move(input), key_id, key_class);
   return b.add(OpKind::Ntt, w.n, 2 * w.level, {fix});
 }
 
@@ -90,16 +98,18 @@ std::size_t append_cmult_rescale(Builder& b, const CkksWl& w, Deps input) {
   return b.add(OpKind::Ntt, w.n, 2 * (l - 1), {fix});
 }
 
-std::size_t append_rotation(Builder& b, const CkksWl& w, Deps input) {
+std::size_t append_rotation(Builder& b, const CkksWl& w, Deps input,
+                            std::uint64_t rot_key_id) {
   const std::size_t l = w.level;
   const std::size_t rot = b.add(OpKind::Automorphism, w.n, 2 * l, std::move(input));
-  const std::size_t ks = append_keyswitch(b, w, {rot});
+  const std::size_t ks = append_keyswitch(b, w, {rot}, rot_key_id,
+                                          metaop::OperandClass::RotationKey);
   return b.add(OpKind::PointwiseAdd, w.n, l, {rot, ks});
 }
 
 // `count` rotations sharing a single decomposition + Modup (hoisting).
 std::size_t append_hoisted_rotations(Builder& b, const CkksWl& w, std::size_t count,
-                                     Deps input) {
+                                     Deps input, std::uint64_t rot_key_base) {
   const std::size_t l = w.level;
   const std::size_t a = w.alpha();
   const std::size_t K = w.num_special();
@@ -118,11 +128,14 @@ std::size_t append_hoisted_rotations(Builder& b, const CkksWl& w, std::size_t co
   // also paid once (lazy hoisting, as in the BSGS linear transforms of
   // ARK/SHARP bootstrapping).
   Deps rot_outputs;
+  const std::uint64_t evk_bytes = evk_stream_bytes(w, digits);
   for (std::size_t r = 0; r < count; ++r) {
     const std::size_t perm =
         b.add(OpKind::Automorphism, w.n, digits * (l + K), digit_ntts);
-    rot_outputs.push_back(b.add(OpKind::DecompPolyMult, w.n, 2 * (l + K), {perm},
-                                digits, 0, evk_stream_bytes(w, digits)));
+    rot_outputs.push_back(
+        b.add(OpKind::DecompPolyMult, w.n, 2 * (l + K), {perm}, digits, 0,
+              evk_bytes,
+              {{metaop::OperandClass::RotationKey, rot_key_base + r, evk_bytes}}));
   }
   const std::size_t sum =
       b.add(OpKind::PointwiseAdd, w.n, 2 * (l + K), std::move(rot_outputs));
@@ -139,17 +152,26 @@ std::size_t append_linear_transform(Builder& b, const CkksWl& w, std::size_t slo
   const auto root = static_cast<std::size_t>(std::ceil(std::sqrt(
       static_cast<double>(slots))));
   std::size_t last;
+  // BSGS rotation keys are per-step and shared by every linear-transform
+  // stage of a schedule (baby steps at kRotationKeyBase + r, giant steps at
+  // kRotationKeyBase + 64 + i), so the later CoeffToSlot/SlotToCoeff stages
+  // re-fetch them — the reuse headroom the ledger is meant to expose.
   if (hoisting) {
-    const std::size_t baby = append_hoisted_rotations(b, w, root, input);
+    const std::size_t baby =
+        append_hoisted_rotations(b, w, root, input, kRotationKeyBase);
     const std::size_t mults = b.add(OpKind::PointwiseMult, w.n, 2 * w.level * root
                                     / std::max<std::size_t>(root, 1), {baby});
     // Giant steps stay un-hoisted (different decompositions).
     Deps g = {mults};
-    for (std::size_t i = 0; i < root; ++i) g = {append_rotation(b, w, g)};
+    for (std::size_t i = 0; i < root; ++i) {
+      g = {append_rotation(b, w, g, kRotationKeyBase + 64 + i)};
+    }
     last = g[0];
   } else {
     Deps cur = std::move(input);
-    for (std::size_t i = 0; i < 2 * root; ++i) cur = {append_rotation(b, w, cur)};
+    for (std::size_t i = 0; i < 2 * root; ++i) {
+      cur = {append_rotation(b, w, cur, kRotationKeyBase + i)};
+    }
     last = b.add(OpKind::PointwiseMult, w.n, 2 * w.level, cur);
   }
   return last;
@@ -247,7 +269,9 @@ OpGraph build_helr_iteration(const CkksWl& w, std::size_t /*iters_per_bootstrap*
   // over the 256 features packed per ciphertext.
   Deps last = {b.add(OpKind::PointwiseMult, w.n, 2 * cur.level, {})};
   for (int step = 0; step < 8; ++step) {
-    last = {append_rotation(b, cur, last)};
+    // Power-of-two rotation tree: one distinct key per step.
+    last = {append_rotation(b, cur, last,
+                            kRotationKeyBase + static_cast<std::uint64_t>(step))};
     last = {b.add(OpKind::PointwiseAdd, w.n, 2 * cur.level, last)};
   }
   // Degree-3 sigmoid approximation: two multiplies and rescales.
@@ -285,10 +309,13 @@ OpGraph build_lola_mnist(bool encrypted_weights) {
   };
 
   CkksWl cur = wl;
-  // Conv 5x5 (stride 2): 25 rotated weighted taps accumulated.
+  // Conv 5x5 (stride 2): 25 rotated weighted taps accumulated. Tap rotations
+  // use distinct per-layer key ranges (conv at base, dense1 at base+32,
+  // dense2 at base+64).
   Deps taps;
   for (int t = 0; t < 25; ++t) {
-    const std::size_t rot = append_rotation(b, cur, {});
+    const std::size_t rot = append_rotation(
+        b, cur, {}, kRotationKeyBase + static_cast<std::uint64_t>(t));
     taps.push_back(weight_mult(cur, {rot}));
   }
   Deps last = {b.add(OpKind::PointwiseAdd, wl.n, 2 * cur.level, std::move(taps))};
@@ -302,7 +329,8 @@ OpGraph build_lola_mnist(bool encrypted_weights) {
   // Dense 100: BSGS-style rotations + weighted sums.
   Deps dense1;
   for (int t = 0; t < 12; ++t) {
-    const std::size_t rot = append_rotation(b, cur, last);
+    const std::size_t rot = append_rotation(
+        b, cur, last, kRotationKeyBase + 32 + static_cast<std::uint64_t>(t));
     dense1.push_back(weight_mult(cur, {rot}));
   }
   last = {b.add(OpKind::PointwiseAdd, wl.n, 2 * cur.level, std::move(dense1))};
@@ -316,7 +344,8 @@ OpGraph build_lola_mnist(bool encrypted_weights) {
   // Final dense 10.
   Deps dense2;
   for (int t = 0; t < 4; ++t) {
-    const std::size_t rot = append_rotation(b, cur, last);
+    const std::size_t rot = append_rotation(
+        b, cur, last, kRotationKeyBase + 64 + static_cast<std::uint64_t>(t));
     dense2.push_back(weight_mult(cur, {rot}));
   }
   b.add(OpKind::PointwiseAdd, wl.n, 2 * cur.level, std::move(dense2));

@@ -42,7 +42,9 @@ OpGraph build_pbs(const TfheWl& w) {
     const std::size_t f = g.add(fwd);
 
     // DecompPolyMult: each output component accumulates rows products with
-    // the TGSW row polynomials (this is where the BK streams in).
+    // the TGSW row polynomials (this is where the BK streams in). Each step
+    // uses its own bootstrapping-key slice, so key ids are per-step and the
+    // reuse ledger correctly shows no re-fetches within one PBS.
     HighOp dpm;
     dpm.kind = OpKind::DecompPolyMult;
     dpm.n = w.degree;
@@ -50,6 +52,9 @@ OpGraph build_pbs(const TfheWl& w) {
     dpm.param_a = rows;
     dpm.deps = {f};
     dpm.hbm_bytes = bk_step_bytes;
+    dpm.transfers = {{metaop::OperandClass::Evk,
+                      kTfheBkKeyBase + static_cast<std::uint64_t>(step),
+                      bk_step_bytes}};
     const std::size_t m = g.add(dpm);
 
     // Inverse NTT back to the torus accumulator.

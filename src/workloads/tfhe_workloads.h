@@ -5,6 +5,11 @@
 
 namespace alchemist::workloads {
 
+// Key-id range for the per-step bootstrapping-key slices in the transfer
+// descriptors (step s streams key kTfheBkKeyBase + s). Disjoint from the CKKS
+// relin/rotation ids so merged cross-scheme graphs keep distinct ledgers.
+inline constexpr std::uint64_t kTfheBkKeyBase = 1000;
+
 struct TfheWl {
   std::size_t n_lwe = 630;    // blind-rotation steps
   std::size_t degree = 1024;  // TRLWE polynomial degree N

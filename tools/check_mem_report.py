@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validate the memory.v1 section of a metrics.v1 report.
+
+Usage:
+    tools/check_mem_report.py REPORT.json [--min-runs N] [--require-refetch]
+
+Reads a metrics report produced with --mem-profile (alchemist_cli,
+alchemist_serve, svc_soak) and gates the invariants the memory profiler
+promises — stdlib only:
+
+  * schema: every memory section declares "memory.v1";
+  * byte conservation: attributed_total equals the sum over the
+    (operand x op-class) attribution matrix, equals total_bytes, and equals
+    the run's sim.hbm.bytes counter when present — every streamed HBM byte
+    is attributed exactly once, none invented;
+  * key ledger: every key has fetches >= 1; refetch_bytes <= total_bytes
+    per key, and refetch_bytes > 0 implies fetches >= 2; the ledger sums
+    match the report's key_fetch_bytes / key_refetch_bytes rollups and the
+    key bytes never exceed total traffic; key operand classes are key-like
+    (evk / rotation_key);
+  * timeline: bw_util and occupancy_bytes are equal-length, non-empty
+    epoch vectors; every bw_util entry lies in [0, 1]; occupancy entries
+    are non-negative integers;
+  * scratchpad: capacity is positive; peak is reported (peak above
+    capacity is legal — it is the signal that the working set spills);
+  * bookkeeping: total_cycles > 0 whenever bytes moved.
+
+--min-runs fails the check unless at least N runs carry a memory section
+(default 1).  --require-refetch additionally demands at least one run with
+key_refetch_bytes > 0 — the CI bootstrap/HELR smokes use it to pin the
+key-thrash signal the ledger exists to expose.
+
+Exit codes: 0 valid, 1 violations found, 2 usage / unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+KEY_OPERANDS = ("evk", "rotation_key")
+HBM_COUNTER = "sim.hbm.bytes"
+
+
+def fail(errors, fmt, *args):
+    errors.append(fmt % args if args else fmt)
+
+
+def check_run(run, idx, errors):
+    """Validate one run's memory section; returns its key_refetch_bytes."""
+    mem = run["memory"]
+    tag = "run %d (%s)" % (idx, run.get("workload", "?"))
+
+    if mem.get("schema") != "memory.v1":
+        fail(errors, "%s: schema %r, expected 'memory.v1'", tag,
+             mem.get("schema"))
+
+    total = mem.get("total_bytes", 0)
+    attributed_total = mem.get("attributed_total", 0)
+    matrix_sum = sum(
+        bytes_
+        for classes in mem.get("attributed", {}).values()
+        for bytes_ in classes.values())
+    if matrix_sum != attributed_total:
+        fail(errors, "%s: attribution matrix sums to %d but "
+             "attributed_total says %d", tag, matrix_sum, attributed_total)
+    if attributed_total != total:
+        fail(errors, "%s: attributed_total %d != total_bytes %d "
+             "(conservation broken)", tag, attributed_total, total)
+    counters = run.get("counters", {})
+    if HBM_COUNTER in counters and counters[HBM_COUNTER] != total:
+        fail(errors, "%s: total_bytes %d != %s counter %d", tag, total,
+             HBM_COUNTER, counters[HBM_COUNTER])
+
+    key_bytes = 0
+    key_refetch = 0
+    for key_id, key in mem.get("keys", {}).items():
+        ktag = "%s key %s" % (tag, key_id)
+        if key.get("fetches", 0) < 1:
+            fail(errors, "%s: %d fetches (ledger entry without a fetch)",
+                 ktag, key.get("fetches", 0))
+        if key.get("refetch_bytes", 0) > key.get("total_bytes", 0):
+            fail(errors, "%s: refetch_bytes %d > total_bytes %d", ktag,
+                 key["refetch_bytes"], key["total_bytes"])
+        if key.get("refetch_bytes", 0) > 0 and key.get("fetches", 0) < 2:
+            fail(errors, "%s: refetch bytes with only %d fetch(es)", ktag,
+                 key.get("fetches", 0))
+        if key.get("operand") not in KEY_OPERANDS:
+            fail(errors, "%s: operand %r is not a key class %s", ktag,
+                 key.get("operand"), list(KEY_OPERANDS))
+        key_bytes += key.get("total_bytes", 0)
+        key_refetch += key.get("refetch_bytes", 0)
+    if key_bytes != mem.get("key_fetch_bytes", 0):
+        fail(errors, "%s: ledger sums to %d fetched bytes but "
+             "key_fetch_bytes says %d", tag, key_bytes,
+             mem.get("key_fetch_bytes", 0))
+    if key_refetch != mem.get("key_refetch_bytes", 0):
+        fail(errors, "%s: ledger sums to %d refetched bytes but "
+             "key_refetch_bytes says %d", tag, key_refetch,
+             mem.get("key_refetch_bytes", 0))
+    if key_bytes > total:
+        fail(errors, "%s: key bytes %d exceed total traffic %d", tag,
+             key_bytes, total)
+
+    bw = mem.get("bw_util", [])
+    occ = mem.get("occupancy_bytes", [])
+    if not bw or len(bw) != len(occ):
+        fail(errors, "%s: bw_util (%d) / occupancy_bytes (%d) must be "
+             "equal-length, non-empty epoch vectors", tag, len(bw), len(occ))
+    for i, v in enumerate(bw):
+        if not 0.0 <= v <= 1.0:
+            fail(errors, "%s: bw_util[%d] = %r outside [0, 1]", tag, i, v)
+    for i, v in enumerate(occ):
+        if not isinstance(v, int) or v < 0:
+            fail(errors, "%s: occupancy_bytes[%d] = %r not a non-negative "
+                 "integer", tag, i, v)
+
+    if mem.get("scratch_capacity_bytes", 0) <= 0:
+        fail(errors, "%s: scratch_capacity_bytes %r not positive", tag,
+             mem.get("scratch_capacity_bytes"))
+    if "scratch_peak_bytes" not in mem:
+        fail(errors, "%s: scratch_peak_bytes missing", tag)
+    if total > 0 and mem.get("total_cycles", 0) <= 0:
+        fail(errors, "%s: %d bytes moved in %r cycles", tag, total,
+             mem.get("total_cycles"))
+
+    return mem.get("key_refetch_bytes", 0)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate memory.v1 sections in a metrics report")
+    parser.add_argument("report", help="metrics.v1 JSON file")
+    parser.add_argument("--min-runs", type=int, default=1,
+                        help="require at least N runs with a memory section")
+    parser.add_argument("--require-refetch", action="store_true",
+                        help="require at least one run with nonzero "
+                             "key_refetch_bytes")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print("error: cannot read %s: %s" % (args.report, exc),
+              file=sys.stderr)
+        return 2
+
+    if doc.get("schema") != "alchemist.metrics.v1":
+        print("error: %s is not a metrics.v1 report (schema %r)"
+              % (args.report, doc.get("schema")), file=sys.stderr)
+        return 2
+
+    errors = []
+    mem_runs = 0
+    refetch_total = 0
+    for idx, run in enumerate(doc.get("runs", [])):
+        if "memory" not in run:
+            continue
+        mem_runs += 1
+        refetch_total += check_run(run, idx, errors)
+
+    if mem_runs < args.min_runs:
+        fail(errors, "%d run(s) carry a memory section, need >= %d "
+             "(was --mem-profile passed?)", mem_runs, args.min_runs)
+    if args.require_refetch and refetch_total == 0:
+        fail(errors, "no run reports key re-fetch bytes "
+             "(--require-refetch)")
+
+    if errors:
+        for e in errors:
+            print("FAIL: %s" % e, file=sys.stderr)
+        print("%s: %d violation(s) across %d memory run(s)"
+              % (args.report, len(errors), mem_runs), file=sys.stderr)
+        return 1
+
+    print("%s: %d memory run(s) ok, %d key re-fetch bytes"
+          % (args.report, mem_runs, refetch_total))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
